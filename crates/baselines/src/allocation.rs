@@ -1,0 +1,181 @@
+//! The shared rate-allocation model behind both §7.5 baselines.
+//!
+//! A deployment is abstracted as: per-query admitted source rate `r_q`
+//! (tuples/second), bounded by the query's input rate, with per-node
+//! capacity constraints `Σ_q load[n][q] · r_q ≤ cap_n` — `load[n][q]` is 1
+//! when a fragment of `q` runs on node `n` (each admitted tuple is
+//! processed once per traversed node) and 0 otherwise.
+
+use themis_core::fairness::jain_index;
+
+/// A rate-allocation problem instance.
+#[derive(Debug, Clone)]
+pub struct AllocationProblem {
+    /// Per-query objective weight (FIT's query weights; all 1 in §7.5).
+    pub weights: Vec<f64>,
+    /// Per-query offered input rate (upper bound on `r_q`).
+    pub input_rates: Vec<f64>,
+    /// `load[n][q]`: processing demand on node `n` per unit of `r_q`.
+    pub load: Vec<Vec<f64>>,
+    /// Per-node capacity (same unit as rates).
+    pub capacities: Vec<f64>,
+}
+
+impl AllocationProblem {
+    /// Number of queries.
+    pub fn n_queries(&self) -> usize {
+        self.input_rates.len()
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Builds the uniform-load instance used throughout §7.5: every query
+    /// has fragments on a set of nodes; each admitted tuple loads each of
+    /// those nodes by 1.
+    pub fn uniform(
+        input_rates: Vec<f64>,
+        hosts: Vec<Vec<usize>>,
+        capacities: Vec<f64>,
+    ) -> Self {
+        let n_nodes = capacities.len();
+        let mut load = vec![vec![0.0; input_rates.len()]; n_nodes];
+        for (q, hs) in hosts.iter().enumerate() {
+            for &n in hs {
+                load[n][q] = 1.0;
+            }
+        }
+        AllocationProblem {
+            weights: vec![1.0; input_rates.len()],
+            input_rates,
+            load,
+            capacities,
+        }
+    }
+
+    /// Checks an allocation for feasibility within a tolerance.
+    pub fn is_feasible(&self, rates: &[f64], tol: f64) -> bool {
+        if rates.len() != self.n_queries() {
+            return false;
+        }
+        for (q, &r) in rates.iter().enumerate() {
+            if r < -tol || r > self.input_rates[q] + tol {
+                return false;
+            }
+        }
+        for (n, row) in self.load.iter().enumerate() {
+            let used: f64 = row.iter().zip(rates.iter()).map(|(a, r)| a * r).sum();
+            if used > self.capacities[n] + tol {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An allocation outcome with the fairness views the paper reports.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Admitted rate per query.
+    pub rates: Vec<f64>,
+    /// Objective value reported by the solver.
+    pub objective: f64,
+}
+
+impl Allocation {
+    /// Fraction of input each query gets (the closest analogue of a SIC
+    /// value for rate-based schemes).
+    pub fn rate_fractions(&self, problem: &AllocationProblem) -> Vec<f64> {
+        self.rates
+            .iter()
+            .zip(problem.input_rates.iter())
+            .map(|(&r, &cap)| if cap > 0.0 { r / cap } else { 0.0 })
+            .collect()
+    }
+
+    /// Jain's index over the rate fractions.
+    pub fn jain_rate_fractions(&self, problem: &AllocationProblem) -> f64 {
+        jain_index(&self.rate_fractions(problem))
+    }
+
+    /// Jain's index over normalised log-output utilities
+    /// (`log(1+r) / log(1+input)`), the view §7.5 uses for [44].
+    pub fn jain_log_utilities(&self, problem: &AllocationProblem) -> f64 {
+        let utils: Vec<f64> = self
+            .rates
+            .iter()
+            .zip(problem.input_rates.iter())
+            .map(|(&r, &cap)| {
+                if cap > 0.0 {
+                    (1.0 + r).ln() / (1.0 + cap).ln()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        jain_index(&utils)
+    }
+
+    /// Queries admitted at (nearly) full input rate.
+    pub fn fully_admitted(&self, problem: &AllocationProblem, tol: f64) -> usize {
+        self.rates
+            .iter()
+            .zip(problem.input_rates.iter())
+            .filter(|&(&r, &cap)| cap > 0.0 && r >= cap - tol)
+            .count()
+    }
+
+    /// Queries completely starved.
+    pub fn starved(&self, tol: f64) -> usize {
+        self.rates.iter().filter(|&&r| r <= tol).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_problem() -> AllocationProblem {
+        AllocationProblem::uniform(
+            vec![10.0, 10.0, 10.0],
+            vec![vec![0], vec![1], vec![0, 1]],
+            vec![15.0, 15.0],
+        )
+    }
+
+    #[test]
+    fn uniform_builder_shapes_load() {
+        let p = two_node_problem();
+        assert_eq!(p.n_queries(), 3);
+        assert_eq!(p.n_nodes(), 2);
+        assert_eq!(p.load[0], vec![1.0, 0.0, 1.0]);
+        assert_eq!(p.load[1], vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let p = two_node_problem();
+        assert!(p.is_feasible(&[10.0, 10.0, 5.0], 1e-9));
+        assert!(!p.is_feasible(&[10.0, 10.0, 6.0], 1e-9), "node capacity");
+        assert!(!p.is_feasible(&[11.0, 0.0, 0.0], 1e-9), "input bound");
+        assert!(!p.is_feasible(&[-1.0, 0.0, 0.0], 1e-9), "negative rate");
+        assert!(!p.is_feasible(&[1.0, 1.0], 1e-9), "shape");
+    }
+
+    #[test]
+    fn allocation_views() {
+        let p = two_node_problem();
+        let a = Allocation {
+            rates: vec![10.0, 10.0, 0.0],
+            objective: 20.0,
+        };
+        assert_eq!(a.rate_fractions(&p), vec![1.0, 1.0, 0.0]);
+        assert_eq!(a.fully_admitted(&p, 1e-9), 2);
+        assert_eq!(a.starved(1e-9), 1);
+        // Two full + one starved: J = (2)^2/(3*2) = 2/3.
+        assert!((a.jain_rate_fractions(&p) - 2.0 / 3.0).abs() < 1e-9);
+        assert!(a.jain_log_utilities(&p) < 1.0);
+    }
+}

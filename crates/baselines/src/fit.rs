@@ -1,0 +1,92 @@
+//! The FIT-style baseline of §7.5 (Tatbul et al. [34]): distributed load
+//! shedding that maximises the *sum* of weighted query throughputs.
+//!
+//! The paper shows the resulting LP is "clearly not a fair solution": on a
+//! 2-node deployment of 60 two-fragment AVG-all queries, the optimum lets 3
+//! queries process all their input, one a fraction, and starves the rest.
+
+use crate::allocation::{Allocation, AllocationProblem};
+use crate::simplex::{solve, Lp, LpError};
+
+/// Solves the FIT throughput-maximisation LP:
+///
+/// `max Σ w_q r_q  s.t.  Σ_q load[n][q]·r_q ≤ cap_n, 0 ≤ r_q ≤ input_q`.
+pub fn solve_fit(problem: &AllocationProblem) -> Result<Allocation, LpError> {
+    let n = problem.n_queries();
+    let mut constraints: Vec<(Vec<f64>, f64)> = Vec::with_capacity(problem.n_nodes() + n);
+    for (row, &cap) in problem.load.iter().zip(problem.capacities.iter()) {
+        constraints.push((row.clone(), cap));
+    }
+    for q in 0..n {
+        let mut a = vec![0.0; n];
+        a[q] = 1.0;
+        constraints.push((a, problem.input_rates[q]));
+    }
+    let lp = Lp {
+        objective: problem.weights.clone(),
+        constraints,
+    };
+    let s = solve(&lp)?;
+    Ok(Allocation {
+        rates: s.x,
+        objective: s.objective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §7.5 set-up: queries whose two fragments are co-located on the
+    /// same two nodes ("all operators connecting to sources are collocated
+    /// on the same node"), equal weights 1. With capacity for only a few
+    /// queries, the LP starves almost everyone.
+    #[test]
+    fn paper_setup_starves_most_queries() {
+        let n_queries = 60;
+        let input = 10.0;
+        // Every query loads both nodes; each node fits 3.5 queries' input.
+        let hosts: Vec<Vec<usize>> = (0..n_queries).map(|_| vec![0, 1]).collect();
+        let p = AllocationProblem::uniform(
+            vec![input; n_queries],
+            hosts,
+            vec![35.0, 35.0],
+        );
+        let a = solve_fit(&p).unwrap();
+        assert!(p.is_feasible(&a.rates, 1e-6));
+        // Objective: total throughput equals the bottleneck capacity.
+        assert!((a.objective - 35.0).abs() < 1e-6);
+        // The vertex solution: 3 full queries, 1 partial, 56 starved —
+        // exactly the unfairness the paper reports.
+        assert_eq!(a.fully_admitted(&p, 1e-6), 3);
+        assert_eq!(a.starved(1e-6), n_queries - 4);
+        // Hugely unfair by Jain's index: close to 3.5/60.
+        let jain = a.jain_rate_fractions(&p);
+        assert!(jain < 0.1, "jain {jain}");
+    }
+
+    #[test]
+    fn weights_steer_admission() {
+        let mut p = AllocationProblem::uniform(
+            vec![10.0, 10.0],
+            vec![vec![0], vec![0]],
+            vec![10.0],
+        );
+        p.weights = vec![1.0, 2.0];
+        let a = solve_fit(&p).unwrap();
+        assert!((a.rates[1] - 10.0).abs() < 1e-6, "heavy query wins");
+        assert!(a.rates[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn underloaded_admits_everything() {
+        let p = AllocationProblem::uniform(
+            vec![5.0, 5.0],
+            vec![vec![0], vec![0]],
+            vec![100.0],
+        );
+        let a = solve_fit(&p).unwrap();
+        assert_eq!(a.fully_admitted(&p, 1e-6), 2);
+        assert!((a.jain_rate_fractions(&p) - 1.0).abs() < 1e-9);
+    }
+}

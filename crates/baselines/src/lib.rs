@@ -1,0 +1,43 @@
+//! # themis-baselines
+//!
+//! The related-work baselines of §7.5:
+//!
+//! * [`fit`] — FIT-style distributed load shedding (Tatbul et al. [34]):
+//!   maximise the sum of weighted query throughputs, solved as an LP with
+//!   the in-repo [`simplex`] solver (the paper used GLPK);
+//! * [`utility`] — Zhao et al. [44]: maximise `Σ log(r_q)` of output rates
+//!   (proportional fairness), solved by dual gradient (the paper used
+//!   Matlab);
+//! * [`allocation`] — the shared rate-allocation model plus the fairness
+//!   views (rate fractions, normalised log utilities) the paper reports.
+//!
+//! ```
+//! use themis_baselines::prelude::*;
+//!
+//! // Two queries share one node; FIT starves one, log utility splits.
+//! let p = AllocationProblem::uniform(
+//!     vec![10.0, 10.0],
+//!     vec![vec![0], vec![0]],
+//!     vec![10.0],
+//! );
+//! let fit = solve_fit(&p).unwrap();
+//! assert_eq!(fit.starved(1e-6), 1);
+//! let pf = solve_log_utility(&p, UtilityOpts::default());
+//! assert_eq!(pf.starved(1e-6), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod allocation;
+pub mod fit;
+pub mod simplex;
+pub mod utility;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::allocation::{Allocation, AllocationProblem};
+    pub use crate::fit::solve_fit;
+    pub use crate::simplex::{solve, Lp, LpError, LpSolution};
+    pub use crate::utility::{solve_log_utility, UtilityOpts};
+}

@@ -1,0 +1,247 @@
+//! A small dense-LP simplex solver.
+//!
+//! §7.5 of the paper solves the FIT [34] throughput-maximisation problem
+//! with GLPK; this module is the in-repo substitute. It solves LPs in the
+//! canonical form
+//!
+//! `maximize c·x  subject to  A·x ≤ b,  x ≥ 0,  b ≥ 0`
+//!
+//! with the standard tableau method (slack-variable initial basis, Bland's
+//! rule, so no cycling and no phase-1 needed). The problems arising from
+//! load shedding — rate variables bounded by input rates and node
+//! capacities — are exactly of this shape.
+
+/// An LP in canonical form: maximise `objective · x` subject to
+/// `constraints[i].0 · x ≤ constraints[i].1` and `x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct Lp {
+    /// Objective coefficients (length = number of variables).
+    pub objective: Vec<f64>,
+    /// Constraints `(a, b)` meaning `a · x ≤ b` with `b ≥ 0`.
+    pub constraints: Vec<(Vec<f64>, f64)>,
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal assignment.
+    pub x: Vec<f64>,
+    /// Objective value at the optimum.
+    pub objective: f64,
+    /// Simplex pivots performed.
+    pub iterations: usize,
+}
+
+/// Solver failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// The LP is unbounded above.
+    Unbounded,
+    /// A constraint has negative right-hand side (not canonical form).
+    NegativeRhs,
+    /// Dimension mismatch between objective and constraint rows.
+    BadShape,
+    /// Pivot limit exceeded (defensive; Bland's rule should prevent this).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Unbounded => write!(f, "LP is unbounded"),
+            LpError::NegativeRhs => write!(f, "constraint rhs must be non-negative"),
+            LpError::BadShape => write!(f, "constraint row length mismatch"),
+            LpError::IterationLimit => write!(f, "pivot limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP; see module docs for the accepted form.
+pub fn solve(lp: &Lp) -> Result<LpSolution, LpError> {
+    let n = lp.objective.len();
+    let m = lp.constraints.len();
+    for (a, b) in &lp.constraints {
+        if a.len() != n {
+            return Err(LpError::BadShape);
+        }
+        if *b < 0.0 {
+            return Err(LpError::NegativeRhs);
+        }
+    }
+
+    // Tableau: m rows of [A | I | b], plus objective row [-c | 0 | 0].
+    let cols = n + m + 1;
+    let mut t = vec![vec![0.0; cols]; m + 1];
+    for (i, (a, b)) in lp.constraints.iter().enumerate() {
+        t[i][..n].copy_from_slice(a);
+        t[i][n + i] = 1.0;
+        t[i][cols - 1] = *b;
+    }
+    for (cell, c) in t[m].iter_mut().zip(lp.objective.iter()) {
+        *cell = -c;
+    }
+    // basis[i] = variable index basic in row i (starts as the slacks).
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    let max_pivots = 50 * (n + m).max(10);
+    let mut iterations = 0;
+    // Bland's rule: entering variable = smallest index with negative
+    // reduced cost; loop until no candidate remains (optimum reached).
+    while let Some(pivot_col) = (0..n + m).find(|&j| t[m][j] < -EPS) {
+        // Ratio test; Bland tie-break on the basic variable index.
+        let mut pivot_row: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][pivot_col] > EPS {
+                let ratio = t[i][cols - 1] / t[i][pivot_col];
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && pivot_row.map(|r| basis[i] < basis[r]).unwrap_or(true));
+                if better {
+                    best_ratio = ratio;
+                    pivot_row = Some(i);
+                }
+            }
+        }
+        let Some(r) = pivot_row else {
+            return Err(LpError::Unbounded);
+        };
+        // Pivot.
+        let pv = t[r][pivot_col];
+        for v in t[r].iter_mut() {
+            *v /= pv;
+        }
+        for i in 0..=m {
+            if i != r {
+                let factor = t[i][pivot_col];
+                if factor.abs() > EPS {
+                    let row_r = t[r].clone();
+                    for (v, rv) in t[i].iter_mut().zip(row_r.iter()) {
+                        *v -= factor * rv;
+                    }
+                }
+            }
+        }
+        basis[r] = pivot_col;
+        iterations += 1;
+        if iterations > max_pivots {
+            return Err(LpError::IterationLimit);
+        }
+    }
+
+    let mut x = vec![0.0; n];
+    for (i, &bv) in basis.iter().enumerate() {
+        if bv < n {
+            x[bv] = t[i][cols - 1];
+        }
+    }
+    let objective = lp
+        .objective
+        .iter()
+        .zip(x.iter())
+        .map(|(c, v)| c * v)
+        .sum();
+    Ok(LpSolution {
+        x,
+        objective,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(objective: Vec<f64>, constraints: Vec<(Vec<f64>, f64)>) -> Lp {
+        Lp {
+            objective,
+            constraints,
+        }
+    }
+
+    #[test]
+    fn textbook_two_variable() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+        // Optimum (2, 6), objective 36.
+        let s = solve(&lp(
+            vec![3.0, 5.0],
+            vec![
+                (vec![1.0, 0.0], 4.0),
+                (vec![0.0, 2.0], 12.0),
+                (vec![3.0, 2.0], 18.0),
+            ],
+        ))
+        .unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-6, "{s:?}");
+        assert!((s.x[0] - 2.0).abs() < 1e-6);
+        assert!((s.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_zero_rhs() {
+        // max x s.t. x <= 0: optimum 0.
+        let s = solve(&lp(vec![1.0], vec![(vec![1.0], 0.0)])).unwrap();
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with constraint on another variable only.
+        let r = solve(&lp(vec![1.0, 0.0], vec![(vec![0.0, 1.0], 5.0)]));
+        assert_eq!(r.err().map(|e| format!("{e}")), Some("LP is unbounded".into()));
+    }
+
+    #[test]
+    fn negative_rhs_rejected() {
+        let r = solve(&lp(vec![1.0], vec![(vec![1.0], -1.0)]));
+        assert!(matches!(r, Err(LpError::NegativeRhs)));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let r = solve(&lp(vec![1.0, 1.0], vec![(vec![1.0], 1.0)]));
+        assert!(matches!(r, Err(LpError::BadShape)));
+    }
+
+    #[test]
+    fn knapsack_like_throughput() {
+        // The FIT §7.5 shape: 6 queries, one shared node of capacity 3,
+        // each rate bounded by 1, equal weights. Optimum: total 3 —
+        // the LP is indifferent about which queries win, giving extreme
+        // (unfair) vertex solutions.
+        let n = 6;
+        let mut cons = vec![(vec![1.0; n], 3.0)];
+        for q in 0..n {
+            let mut a = vec![0.0; n];
+            a[q] = 1.0;
+            cons.push((a, 1.0));
+        }
+        let s = solve(&lp(vec![1.0; n], cons)).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-6);
+        // Vertex solution: exactly three queries at 1, rest at 0.
+        let full = s.x.iter().filter(|&&v| v > 1.0 - 1e-6).count();
+        let zero = s.x.iter().filter(|&&v| v < 1e-6).count();
+        assert_eq!(full, 3);
+        assert_eq!(zero, 3);
+    }
+
+    #[test]
+    fn weighted_objective_prefers_heavy_query() {
+        // Two queries share capacity 1; the weighted one wins everything.
+        let s = solve(&lp(
+            vec![2.0, 1.0],
+            vec![
+                (vec![1.0, 1.0], 1.0),
+                (vec![1.0, 0.0], 1.0),
+                (vec![0.0, 1.0], 1.0),
+            ],
+        ))
+        .unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-6);
+        assert!(s.x[1].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,153 @@
+//! The Zhao et al. [44] baseline of §7.5: maximise the *sum of concave
+//! utilities* `Σ log(r_q)` of query output rates under node capacity
+//! constraints (proportional fairness on rates).
+//!
+//! The paper solved this program in Matlab; here a dual (sub)gradient
+//! method exploits the closed-form primal solution of the separable
+//! logarithmic objective: `r_q = min(input_q, 1 / Σ_n λ_n a_nq)`.
+
+use crate::allocation::{Allocation, AllocationProblem};
+
+/// Solver parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UtilityOpts {
+    /// Dual iterations.
+    pub iterations: usize,
+    /// Multiplicative dual step size.
+    pub step: f64,
+}
+
+impl Default for UtilityOpts {
+    fn default() -> Self {
+        UtilityOpts {
+            iterations: 5_000,
+            step: 0.05,
+        }
+    }
+}
+
+/// Maximises `Σ log(r_q)` subject to the problem's constraints.
+pub fn solve_log_utility(problem: &AllocationProblem, opts: UtilityOpts) -> Allocation {
+    let n = problem.n_queries();
+    let m = problem.n_nodes();
+    let mut lambda = vec![1.0f64; m];
+    let mut rates = vec![0.0f64; n];
+    for _ in 0..opts.iterations {
+        // Primal update: KKT stationarity for log utility.
+        for (q, rate) in rates.iter_mut().enumerate() {
+            let price: f64 = (0..m).map(|nn| lambda[nn] * problem.load[nn][q]).sum();
+            *rate = if price > 0.0 {
+                (1.0 / price).min(problem.input_rates[q])
+            } else {
+                problem.input_rates[q]
+            };
+        }
+        // Dual update: multiplicative weights on constraint violation.
+        for (nn, l) in lambda.iter_mut().enumerate() {
+            let used: f64 = (0..n).map(|q| problem.load[nn][q] * rates[q]).sum();
+            let cap = problem.capacities[nn].max(1e-12);
+            let violation = (used - cap) / cap;
+            *l = (*l * (opts.step * violation).exp()).max(1e-12);
+        }
+    }
+    // Final feasibility projection: uniformly scale down if any constraint
+    // is still (slightly) violated.
+    let mut scale = 1.0f64;
+    for nn in 0..m {
+        let used: f64 = (0..n).map(|q| problem.load[nn][q] * rates[q]).sum();
+        if used > problem.capacities[nn] && used > 0.0 {
+            scale = scale.min(problem.capacities[nn] / used);
+        }
+    }
+    for r in rates.iter_mut() {
+        *r *= scale;
+    }
+    let objective = rates.iter().map(|&r| (r.max(1e-12)).ln()).sum();
+    Allocation { rates, objective }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_equal_queries_split_evenly() {
+        // Proportional fairness on one node: equal split of capacity.
+        let p = AllocationProblem::uniform(
+            vec![100.0; 4],
+            (0..4).map(|_| vec![0]).collect(),
+            vec![40.0],
+        );
+        let a = solve_log_utility(&p, UtilityOpts::default());
+        assert!(p.is_feasible(&a.rates, 1e-6));
+        for &r in &a.rates {
+            assert!((r - 10.0).abs() < 0.5, "rates {:?}", a.rates);
+        }
+        assert!(a.jain_rate_fractions(&p) > 0.999);
+    }
+
+    #[test]
+    fn input_bound_binds_when_capacity_abounds() {
+        let p = AllocationProblem::uniform(
+            vec![5.0, 5.0],
+            vec![vec![0], vec![0]],
+            vec![1000.0],
+        );
+        let a = solve_log_utility(&p, UtilityOpts::default());
+        assert!((a.rates[0] - 5.0).abs() < 1e-3);
+        assert!((a.rates[1] - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn multi_node_queries_pay_for_every_hop() {
+        // One query spans both nodes, two local queries each use one node.
+        // The spanning query is charged on both constraints, so it gets
+        // less than the local queries (the classic proportional-fairness
+        // outcome).
+        let p = AllocationProblem::uniform(
+            vec![100.0; 3],
+            vec![vec![0], vec![1], vec![0, 1]],
+            vec![30.0, 30.0],
+        );
+        let a = solve_log_utility(&p, UtilityOpts::default());
+        assert!(p.is_feasible(&a.rates, 1e-6));
+        assert!(a.rates[2] < a.rates[0], "{:?}", a.rates);
+        assert!(a.rates[2] < a.rates[1]);
+        // Proportional fairness: local 20, spanning 10.
+        assert!((a.rates[0] - 20.0).abs() < 1.0, "{:?}", a.rates);
+        assert!((a.rates[2] - 10.0).abs() < 1.0, "{:?}", a.rates);
+    }
+
+    #[test]
+    fn never_starves_anyone() {
+        // Unlike FIT, log utility gives every query a positive rate.
+        let p = AllocationProblem::uniform(
+            vec![10.0; 60],
+            (0..60).map(|_| vec![0, 1]).collect(),
+            vec![35.0, 35.0],
+        );
+        let a = solve_log_utility(&p, UtilityOpts::default());
+        assert!(p.is_feasible(&a.rates, 1e-6));
+        assert_eq!(a.starved(1e-6), 0);
+        assert!(a.jain_rate_fractions(&p) > 0.99, "equal queries, equal rates");
+    }
+
+    #[test]
+    fn heterogeneous_deployment_is_less_than_perfectly_fair() {
+        // The §7.5 "complex deployment" shape: queries with different
+        // fragment counts randomly placed over 4 nodes get unequal prices,
+        // so the log-utility solution is fair-ish but not SIC-fair.
+        let hosts: Vec<Vec<usize>> = (0..60)
+            .map(|q| match q % 3 {
+                0 => vec![q % 4, (q + 1) % 4, (q + 2) % 4],
+                1 => vec![q % 4, (q + 1) % 4],
+                _ => vec![q % 4, (q + 3) % 4],
+            })
+            .collect();
+        let p = AllocationProblem::uniform(vec![10.0; 60], hosts, vec![40.0; 4]);
+        let a = solve_log_utility(&p, UtilityOpts::default());
+        assert!(p.is_feasible(&a.rates, 1e-5));
+        let j = a.jain_log_utilities(&p);
+        assert!(j > 0.5 && j < 0.999, "jain {j}");
+    }
+}

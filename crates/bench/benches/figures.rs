@@ -1,0 +1,80 @@
+//! One Criterion benchmark per evaluation figure/table: each runs the
+//! figure's experiment at `Scale::quick()` (the same code path the
+//! `experiments` binary uses at full scale), so `cargo bench` regenerates
+//! every figure end to end and tracks the simulator's performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use themis_bench::figures::correlation::{correlation, CorrelationQuery};
+use themis_bench::figures::fairness::{fig10, fig11, fig8, fig9};
+use themis_bench::figures::related::related_work;
+use themis_bench::figures::scalability::{fig12, fig13, fig14};
+use themis_bench::figures::{ablation, tables};
+use themis_bench::scenarios::Scale;
+
+const SEED: u64 = 20160626;
+
+fn figure_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("table1", |b| b.iter(|| black_box(tables::table1())));
+    group.bench_function("table2", |b| b.iter(|| black_box(tables::table2())));
+    group.bench_function("fig06_sic_correlation_avg", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(correlation(CorrelationQuery::Avg, &scale, SEED)));
+    });
+    group.bench_function("fig07_sic_correlation_top5", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(correlation(CorrelationQuery::Top5, &scale, SEED)));
+    });
+    group.bench_function("fig08_single_node_fairness", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(fig8(&scale, SEED)));
+    });
+    group.bench_function("fig09_shedding_interval", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(fig9(&scale, SEED)));
+    });
+    group.bench_function("fig10_balance_vs_random", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(fig10(&scale, SEED)));
+    });
+    group.bench_function("fig11_multifragmentation", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(fig11(&scale, SEED)));
+    });
+    group.bench_function("fig12_scaling_nodes", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(fig12(&scale, SEED)));
+    });
+    group.bench_function("fig13_scaling_queries", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(fig13(&scale, SEED)));
+    });
+    group.bench_function("fig14_bursty_wan", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(fig14(&scale, SEED)));
+    });
+    group.bench_function("related_work_75", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(related_work(&scale, SEED)));
+    });
+    group.bench_function("ablation_update_sic", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(ablation::update_sic_ablation(&scale, SEED)));
+    });
+    group.bench_function("ablation_batch_order", |b| {
+        let scale = Scale::quick();
+        b.iter(|| black_box(ablation::batch_order_ablation(&scale, SEED)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figure_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! §7.6 micro-benchmark: execution time of one `selectTuplesToKeep`
+//! invocation, BALANCE-SIC vs the random baseline, across buffer sizes.
+//!
+//! The paper reports 0.088 ms (fair) vs 0.079 ms (random) per batch on the
+//! mixed workload — an 11% overhead. The interesting output here is the
+//! *ratio* between the two policies at comparable buffer shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use themis_core::prelude::*;
+
+/// Builds a realistic buffer snapshot: `queries` queries, each with
+/// `batches` buffered batches of `tuples` tuples and slightly different
+/// SIC values (as produced by Eq. 1 under different source rates).
+fn snapshot(queries: usize, batches: usize, tuples: usize) -> Vec<QueryBufferState> {
+    let mut idx = 0;
+    (0..queries)
+        .map(|q| {
+            let per_tuple = 1.0 / (200.0 + 10.0 * q as f64);
+            let batch_list = (0..batches)
+                .map(|b| {
+                    let cb = CandidateBatch {
+                        buffer_index: idx,
+                        sic: Sic(per_tuple * tuples as f64 * (1.0 + 0.01 * b as f64)),
+                        tuples,
+                        created: Timestamp(idx as u64 * 100),
+                    };
+                    idx += 1;
+                    cb
+                })
+                .collect();
+            QueryBufferState {
+                query: QueryId(q as u32),
+                base_sic: Sic(0.001 * q as f64),
+                batches: batch_list,
+            }
+        })
+        .collect()
+}
+
+fn bench_shedders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_shedder");
+    for &(queries, batches) in &[(10usize, 8usize), (50, 8), (200, 8), (50, 40)] {
+        let states = snapshot(queries, batches, 50);
+        let total: usize = states.iter().map(|s| s.buffered_tuples()).sum();
+        let capacity = total / 3; // heavy overload, like the paper's runs
+        group.bench_with_input(
+            BenchmarkId::new("balance-sic", format!("{queries}q x {batches}b")),
+            &states,
+            |b, states| {
+                let mut shedder = BalanceSicShedder::new(7);
+                b.iter(|| black_box(shedder.select_to_keep(capacity, states)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random", format!("{queries}q x {batches}b")),
+            &states,
+            |b, states| {
+                let mut shedder = RandomShedder::new(7);
+                b.iter(|| black_box(shedder.select_to_keep(capacity, states)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shedders);
+criterion_main!(benches);

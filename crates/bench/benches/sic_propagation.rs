@@ -1,0 +1,117 @@
+//! Micro-benchmarks of the SIC machinery on the hot path: Eq.-1 stamping
+//! at arrival, Eq.-3 propagation through windowed operators, and the
+//! sliding-STW result tracker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use themis_core::prelude::*;
+use themis_operators::prelude::*;
+
+fn bench_source_stamping(c: &mut Criterion) {
+    c.bench_function("sic/stamp_source_batch_80t", |b| {
+        let mut assigner = SourceSicAssigner::new(StwConfig::PAPER_DEFAULT, 10);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 200_000;
+            let now = Timestamp(t);
+            let tuples: Vec<Tuple> = (0..80)
+                .map(|i| Tuple::measurement(now, Sic::ZERO, i as f64))
+                .collect();
+            let mut batch = Batch::from_source(QueryId(0), SourceId(0), now, tuples);
+            assigner.stamp(now, &mut batch);
+            black_box(batch.sic())
+        });
+    });
+}
+
+fn bench_operator_pipeline(c: &mut Criterion) {
+    c.bench_function("sic/avg_window_1000t", |b| {
+        b.iter(|| {
+            let mut op = OperatorSpec::with_grace(
+                WindowSpec::tumbling(TimeDelta::from_secs(1)),
+                LogicSpec::Avg { field: 0 },
+                TimeDelta::ZERO,
+            )
+            .build();
+            let tuples: Vec<Tuple> = (0..1000)
+                .map(|i| Tuple::measurement(Timestamp(500_000), Sic(0.001), i as f64))
+                .collect();
+            op.feed(0, tuples, Timestamp(500_000));
+            black_box(op.tick(Timestamp::from_secs(1)))
+        });
+    });
+    c.bench_function("sic/join_window_2x200t", |b| {
+        b.iter(|| {
+            let mut op = OperatorSpec::with_grace(
+                WindowSpec::tumbling(TimeDelta::from_secs(1)),
+                LogicSpec::Join {
+                    left_key: 0,
+                    right_key: 0,
+                },
+                TimeDelta::ZERO,
+            )
+            .build();
+            let row = |id: i64, v: f64| {
+                Tuple::new(
+                    Timestamp(500_000),
+                    Sic(0.001),
+                    vec![Value::I64(id), Value::F64(v)],
+                )
+            };
+            let left: Vec<Tuple> = (0..200).map(|i| row(i % 20, i as f64)).collect();
+            let right: Vec<Tuple> = (0..200).map(|i| row(i % 20, i as f64)).collect();
+            op.feed(0, left, Timestamp(500_000));
+            op.feed(1, right, Timestamp(500_000));
+            black_box(op.tick(Timestamp::from_secs(1)))
+        });
+    });
+    c.bench_function("sic/topk_window_500t", |b| {
+        b.iter(|| {
+            let mut op = OperatorSpec::with_grace(
+                WindowSpec::tumbling(TimeDelta::from_secs(1)),
+                LogicSpec::TopK {
+                    k: 5,
+                    id_field: 0,
+                    value_field: 1,
+                },
+                TimeDelta::ZERO,
+            )
+            .build();
+            let tuples: Vec<Tuple> = (0..500)
+                .map(|i| {
+                    Tuple::new(
+                        Timestamp(500_000),
+                        Sic(0.002),
+                        vec![Value::I64(i % 50), Value::F64((i * 37 % 101) as f64)],
+                    )
+                })
+                .collect();
+            op.feed(0, tuples, Timestamp(500_000));
+            black_box(op.tick(Timestamp::from_secs(1)))
+        });
+    });
+}
+
+fn bench_result_tracker(c: &mut Criterion) {
+    c.bench_function("sic/result_tracker_record_and_read", |b| {
+        let mut tracker = ResultSicTracker::new(StwConfig::PAPER_DEFAULT);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000;
+            let now = Timestamp(t);
+            for q in 0..100u32 {
+                tracker.record(now, QueryId(q), Sic(0.1));
+            }
+            black_box(tracker.query_sic(now, QueryId(50)))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_source_stamping,
+    bench_operator_pipeline,
+    bench_result_tracker
+);
+criterion_main!(benches);

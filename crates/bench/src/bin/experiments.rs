@@ -1,0 +1,149 @@
+//! Regenerates the THEMIS evaluation tables and figures.
+//!
+//! ```text
+//! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
+//!              fig13|fig14|related|overhead|ablation|dynamics] [--quick]
+//! ```
+//!
+//! Each experiment prints the series the paper plots and writes a CSV
+//! under `results/`. `--quick` switches to the reduced scale used by the
+//! benches (for smoke runs). Built to be run with `--release`.
+
+use std::time::Instant;
+
+use themis_bench::figures::correlation::{correlation, render as render_corr, CorrelationQuery};
+use themis_bench::figures::fairness::{fig10, fig11, fig8, fig9, render as render_fair};
+use themis_bench::figures::overhead::{overhead, render as render_overhead};
+use themis_bench::figures::related::{related_work, render as render_related};
+use themis_bench::figures::scalability::{fig12, fig13, fig14, render as render_scal};
+use themis_bench::figures::{ablation, dynamics, tables};
+use themis_bench::scenarios::Scale;
+use themis_bench::table::TextTable;
+
+const SEED: u64 = 20160626; // SIGMOD'16 started June 26.
+const RESULTS_DIR: &str = "results";
+
+fn emit(name: &str, table: TextTable) {
+    println!("{}", table.render());
+    if let Err(e) = table.write_csv(RESULTS_DIR, name) {
+        eprintln!("(could not write {RESULTS_DIR}/{name}.csv: {e})");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::default_scale()
+    };
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+    let all = what.contains(&"all");
+    let run = |name: &str| all || what.contains(&name);
+    let t0 = Instant::now();
+
+    if run("table1") {
+        emit("table1", tables::table1());
+    }
+    if run("table2") {
+        emit("table2", tables::table2());
+    }
+    if run("fig6") {
+        for (q, name) in [
+            (CorrelationQuery::Avg, "fig6a_avg"),
+            (CorrelationQuery::Count, "fig6b_count"),
+            (CorrelationQuery::Max, "fig6c_max"),
+        ] {
+            let pts = correlation(q, &scale, SEED);
+            emit(name, render_corr(q, &pts));
+        }
+    }
+    if run("fig7") {
+        for (q, name) in [
+            (CorrelationQuery::Top5, "fig7a_top5"),
+            (CorrelationQuery::Cov, "fig7b_cov"),
+        ] {
+            let pts = correlation(q, &scale, SEED);
+            emit(name, render_corr(q, &pts));
+        }
+    }
+    if run("fig8") {
+        let pts = fig8(&scale, SEED);
+        emit("fig08", render_fair("Figure 8: single-node fairness", "queries", &pts));
+    }
+    if run("fig9") {
+        let pts = fig9(&scale, SEED);
+        emit("fig09", render_fair("Figure 9: shedding interval", "interval", &pts));
+    }
+    if run("fig10") {
+        let pts = fig10(&scale, SEED);
+        emit(
+            "fig10",
+            render_fair(
+                "Figure 10: BALANCE-SIC vs random across 18 nodes",
+                "fragments",
+                &pts,
+            ),
+        );
+    }
+    if run("fig11") {
+        let pts = fig11(&scale, SEED);
+        emit(
+            "fig11",
+            render_fair("Figure 11: multi-fragmentation ratio", "ratio-3frag", &pts),
+        );
+    }
+    if run("fig12") {
+        let pts = fig12(&scale, SEED);
+        emit("fig12", render_scal("Figure 12: scaling nodes", "nodes", &pts));
+    }
+    if run("fig13") {
+        let pts = fig13(&scale, SEED);
+        emit("fig13", render_scal("Figure 13: scaling queries", "queries", &pts));
+    }
+    if run("fig14") {
+        let pts = fig14(&scale, SEED);
+        emit(
+            "fig14",
+            render_scal("Figure 14: burstiness and wide-area latency", "deployment", &pts),
+        );
+    }
+    if run("related") {
+        let rows = related_work(&scale, SEED);
+        emit("related", render_related(&rows));
+    }
+    if run("overhead") {
+        let secs = if quick { 4 } else { 10 };
+        let rows = overhead(secs, SEED);
+        emit("overhead", render_overhead(&rows));
+    }
+    if run("ablation") {
+        let pts = ablation::update_sic_ablation(&scale, SEED);
+        emit(
+            "ablation_update_sic",
+            ablation::render("Ablation: updateSIC dissemination (Figure 4 at scale)", &pts),
+        );
+        let pts = ablation::batch_order_ablation(&scale, SEED);
+        emit(
+            "ablation_batch_order",
+            ablation::render("Ablation: Algorithm 1 batch-admission order", &pts),
+        );
+        let pts = ablation::policy_comparison(&scale, SEED);
+        emit(
+            "ablation_policies",
+            ablation::render("Extension: shedding-policy comparison", &pts),
+        );
+    }
+    if run("dynamics") {
+        let (pts, arrive, depart) = dynamics::dynamics(&scale, SEED);
+        emit("dynamics", dynamics::render(&pts, arrive, depart));
+    }
+
+    eprintln!("total time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,118 @@
+//! Ablations beyond the paper's figures (flagged as extensions in
+//! DESIGN.md §6): the `updateSIC` dissemination switch (Figure 4's
+//! pathology at scale) and the batch-admission order of Algorithm 1
+//! line 16.
+
+use themis_query::prelude::PlacementPolicy;
+use themis_sim::prelude::*;
+use themis_workloads::prelude::*;
+
+use crate::figures::fairness::FairnessPoint;
+use crate::scenarios::{add_complex_mix, capacity_for_overload, mix_sources_per_fragment, Scale};
+use crate::table::{f, TextTable};
+
+/// An asymmetric deployment — single-fragment queries co-located with
+/// 3-fragment spanning queries — which is where the Figure-4 pathology
+/// shows: without `updateSIC`, nodes over-service the spanning queries
+/// whose local SIC view is capped below the single-fragment queries'.
+fn base_scenario(name: &str, scale: &Scale, seed: u64) -> Scenario {
+    let n_span = scale.n(20);
+    let n_local = scale.n(40);
+    let total_fragments = (3 * n_span + n_local) as f64;
+    let demand = total_fragments * mix_sources_per_fragment() * scale.tuples_per_sec as f64;
+    let capacity = capacity_for_overload(demand / 6.0, 3.0);
+    let b = ScenarioBuilder::new(name, seed)
+        .nodes(6)
+        .placement(PlacementPolicy::UniformRandom)
+        .capacity_tps(capacity)
+        .duration(scale.duration)
+        .warmup(scale.warmup);
+    let b = add_complex_mix(b, n_local, 1, scale.profile(Dataset::Uniform));
+    add_complex_mix(b, n_span, 3, scale.profile(Dataset::Uniform))
+        .build()
+        .expect("placement")
+}
+
+/// Ablation: coordinator `updateSIC` dissemination on vs off (Figure 4 at
+/// scale). Without it, every node balances only its local view and
+/// multi-fragment queries drift apart.
+pub fn update_sic_ablation(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
+    let mut out = Vec::new();
+    for (label, coordinator) in [("with-updateSIC", true), ("without-updateSIC", false)] {
+        let cfg = SimConfig {
+            coordinator,
+            ..Default::default()
+        };
+        let report = run_scenario(base_scenario(label, scale, seed), cfg);
+        out.push(FairnessPoint {
+            x: label.into(),
+            policy: report.policy,
+            mean_sic: report.fairness.mean,
+            jain: report.fairness.jain,
+            std: report.fairness.std,
+        });
+    }
+    out
+}
+
+/// Ablation: the batch-admission order of Algorithm 1 line 16
+/// (`max(xSIC)` vs lowest-first vs arrival order). Keeping the most
+/// valuable batches should achieve the highest mean SIC for the same
+/// tuple budget.
+pub fn batch_order_ablation(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
+    let mut out = Vec::new();
+    for (label, policy) in [
+        ("highest-sic-first", ShedPolicy::BalanceSic),
+        ("fifo-order", ShedPolicy::BalanceSicFifoOrder),
+        ("lowest-sic-first", ShedPolicy::BalanceSicLowestFirst),
+    ] {
+        let report = run_scenario(
+            base_scenario(label, scale, seed),
+            SimConfig::with_policy(policy),
+        );
+        out.push(FairnessPoint {
+            x: label.into(),
+            policy: report.policy,
+            mean_sic: report.fairness.mean,
+            jain: report.fairness.jain,
+            std: report.fairness.std,
+        });
+    }
+    out
+}
+
+/// Extension experiment: all shedding policies on the same overloaded
+/// mixed workload. BALANCE-SIC should dominate on Jain's index;
+/// the priority (admission-control) baseline reproduces the FIT LP's
+/// serve-few-starve-many outcome inside the running system.
+pub fn policy_comparison(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
+    let mut out = Vec::new();
+    for policy in [
+        ShedPolicy::BalanceSic,
+        ShedPolicy::Random,
+        ShedPolicy::Fifo,
+        ShedPolicy::Priority,
+    ] {
+        let report = run_scenario(
+            base_scenario(policy.name(), scale, seed),
+            SimConfig::with_policy(policy),
+        );
+        out.push(FairnessPoint {
+            x: policy.name().into(),
+            policy: report.policy,
+            mean_sic: report.fairness.mean,
+            jain: report.fairness.jain,
+            std: report.fairness.std,
+        });
+    }
+    out
+}
+
+/// Renders ablation points.
+pub fn render(title: &str, points: &[FairnessPoint]) -> TextTable {
+    let mut t = TextTable::new(title, &["variant", "mean-sic", "jain", "std"]);
+    for p in points {
+        t.row(vec![p.x.clone(), f(p.mean_sic), f(p.jain), f(p.std)]);
+    }
+    t
+}

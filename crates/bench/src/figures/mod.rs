@@ -1,0 +1,12 @@
+//! One module per evaluation artefact (table or figure), each exposing a
+//! data-producing function plus a text renderer so the binary, the
+//! Criterion benches and the integration tests share one implementation.
+
+pub mod ablation;
+pub mod correlation;
+pub mod dynamics;
+pub mod fairness;
+pub mod overhead;
+pub mod related;
+pub mod scalability;
+pub mod tables;

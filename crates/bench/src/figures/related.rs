@@ -1,0 +1,161 @@
+//! §7.5 — comparison against related work: the FIT throughput LP [34] and
+//! the Zhao log-utility allocation [44], against BALANCE-SIC.
+
+use themis_baselines::prelude::*;
+use themis_core::prelude::*;
+use themis_query::prelude::*;
+use themis_sim::prelude::*;
+use themis_workloads::prelude::*;
+
+use crate::scenarios::{capacity_for_overload, Scale};
+use crate::table::{f, TextTable};
+
+/// Outcome of one related-work comparison row.
+#[derive(Debug, Clone)]
+pub struct RelatedRow {
+    /// Scheme under test.
+    pub scheme: String,
+    /// Deployment label.
+    pub deployment: String,
+    /// Queries processing their full input.
+    pub fully_admitted: usize,
+    /// Queries receiving nothing.
+    pub starved: usize,
+    /// Jain's index of the scheme's fairness view.
+    pub jain: f64,
+}
+
+/// The simple §7.5 set-up: 60 two-fragment AVG-all queries whose fragments
+/// are co-located on the same two nodes, with capacity for ~3.5 queries.
+pub fn simple_setup() -> AllocationProblem {
+    let n_queries = 60;
+    let hosts: Vec<Vec<usize>> = (0..n_queries).map(|_| vec![0, 1]).collect();
+    AllocationProblem::uniform(vec![1.0; n_queries], hosts, vec![3.5, 3.5])
+}
+
+/// The complex §7.5 deployment: 20 AVG-all (3 fragments), 20 COV and 20
+/// TOP-5 (2 fragments each), fragments randomly placed on 4 nodes.
+/// Input rates are proportional to each query's source count.
+pub fn complex_setup(seed: u64) -> (Vec<QuerySpec>, Deployment, AllocationProblem) {
+    use rand::SeedableRng;
+    let mut src = IdGen::new();
+    let mut queries = Vec::new();
+    for i in 0..60u32 {
+        let t = match i / 20 {
+            0 => Template::AvgAll { fragments: 3 },
+            1 => Template::Cov { fragments: 2 },
+            _ => Template::Top5 { fragments: 2 },
+        };
+        queries.push(t.build(QueryId(i), &mut src));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let deployment = place(&queries, 4, PlacementPolicy::RoundRobin, &mut rng).unwrap();
+    let hosts: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| {
+            (0..q.n_fragments())
+                .map(|fi| deployment.node_of(q.id, fi).unwrap().index())
+                .collect()
+        })
+        .collect();
+    let input_rates: Vec<f64> = queries.iter().map(|q| q.n_sources() as f64).collect();
+    // Capacity for roughly 40% of the offered per-node load.
+    let mut node_load = [0.0f64; 4];
+    for (q, hs) in hosts.iter().enumerate() {
+        for &n in hs {
+            node_load[n] += input_rates[q];
+        }
+    }
+    let capacities: Vec<f64> = node_load.iter().map(|l| l * 0.4).collect();
+    let problem = AllocationProblem::uniform(input_rates, hosts, capacities);
+    (queries, deployment, problem)
+}
+
+/// Runs the §7.5 comparison; `themis_jain` values come from simulator runs
+/// of matching scenarios.
+pub fn related_work(scale: &Scale, seed: u64) -> Vec<RelatedRow> {
+    let mut rows = Vec::new();
+
+    // --- Simple set-up: FIT vs log utility. ---
+    let simple = simple_setup();
+    let fit = solve_fit(&simple).expect("LP solvable");
+    rows.push(RelatedRow {
+        scheme: "FIT [34] (max throughput LP)".into(),
+        deployment: "60xAVG-all/2 nodes".into(),
+        fully_admitted: fit.fully_admitted(&simple, 1e-6),
+        starved: fit.starved(1e-6),
+        jain: fit.jain_rate_fractions(&simple),
+    });
+    let pf = solve_log_utility(&simple, UtilityOpts::default());
+    rows.push(RelatedRow {
+        scheme: "Zhao [44] (log utility)".into(),
+        deployment: "60xAVG-all/2 nodes".into(),
+        fully_admitted: pf.fully_admitted(&simple, 1e-3),
+        starved: pf.starved(1e-6),
+        jain: pf.jain_rate_fractions(&simple),
+    });
+
+    // --- Complex deployment: log utility vs BALANCE-SIC. ---
+    let (_, _, problem) = complex_setup(seed);
+    let pf = solve_log_utility(&problem, UtilityOpts::default());
+    rows.push(RelatedRow {
+        scheme: "Zhao [44] (log utility)".into(),
+        deployment: "complex/4 nodes".into(),
+        fully_admitted: pf.fully_admitted(&problem, 1e-3),
+        starved: pf.starved(1e-6),
+        jain: pf.jain_log_utilities(&problem),
+    });
+
+    // THEMIS on the equivalent simulated deployment.
+    let mut b = ScenarioBuilder::new("related-themis", seed)
+        .nodes(4)
+        .duration(scale.duration)
+        .warmup(scale.warmup);
+    for i in 0..60usize {
+        let t = match i / 20 {
+            0 => Template::AvgAll { fragments: 3 },
+            1 => Template::Cov { fragments: 2 },
+            _ => Template::Top5 { fragments: 2 },
+        };
+        b = b.add_queries(t, 1, scale.profile(Dataset::Uniform));
+    }
+    let total_sources = 60.0 * (30.0 + 4.0 + 40.0) / 3.0;
+    let demand = total_sources * scale.tuples_per_sec as f64;
+    let b = b.capacity_tps(capacity_for_overload(demand / 4.0, 2.5));
+    let scn = b.build().expect("placement");
+    let report = run_scenario(scn, SimConfig::default());
+    rows.push(RelatedRow {
+        scheme: "THEMIS (BALANCE-SIC)".into(),
+        deployment: "complex/4 nodes".into(),
+        fully_admitted: report
+            .per_query
+            .iter()
+            .filter(|q| q.mean_sic > 0.999)
+            .count(),
+        starved: report
+            .per_query
+            .iter()
+            .filter(|q| q.mean_sic < 1e-6)
+            .count(),
+        jain: report.jain(),
+    });
+    rows
+}
+
+/// Renders the comparison table.
+pub fn render(rows: &[RelatedRow]) -> TextTable {
+    let mut t = TextTable::new(
+        "§7.5 comparison against related work",
+        &["scheme", "deployment", "full", "starved", "jain"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.scheme.clone(),
+            r.deployment.clone(),
+            r.fully_admitted.to_string(),
+            r.starved.to_string(),
+            f(r.jain),
+        ]);
+    }
+    t
+}

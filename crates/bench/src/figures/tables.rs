@@ -1,0 +1,59 @@
+//! Tables 1 and 2 of the paper, regenerated from the implementation (the
+//! numbers are asserted against the templates, not hard-coded prose).
+
+use themis_core::prelude::*;
+use themis_query::prelude::*;
+use themis_workloads::prelude::*;
+
+use crate::table::TextTable;
+
+/// Table 1: the query workloads with their per-fragment shape.
+pub fn table1() -> TextTable {
+    let mut t = TextTable::new(
+        "Table 1: query workloads",
+        &["query", "workload", "fragments", "ops/fragment", "sources/fragment"],
+    );
+    let mut src = IdGen::new();
+    let rows: Vec<(Template, &str)> = vec![
+        (Template::Avg, "aggregate"),
+        (Template::Max, "aggregate"),
+        (Template::Count, "aggregate"),
+        (Template::AvgAll { fragments: 3 }, "complex"),
+        (Template::Top5 { fragments: 2 }, "complex"),
+        (Template::Cov { fragments: 2 }, "complex"),
+    ];
+    for (tmpl, workload) in rows {
+        let q = tmpl.build(QueryId(0), &mut src);
+        // Regenerated, not transcribed: count operators from the spec.
+        let ops = q.fragments[0].n_operators();
+        debug_assert_eq!(ops, tmpl.ops_per_fragment());
+        t.row(vec![
+            tmpl.name().to_string(),
+            workload.to_string(),
+            q.n_fragments().to_string(),
+            ops.to_string(),
+            tmpl.sources_per_fragment().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 2: the two test-bed profiles driving the simulator.
+pub fn table2() -> TextTable {
+    let mut t = TextTable::new(
+        "Table 2: test-bed set-ups (simulated)",
+        &["testbed", "processing-nodes", "link-latency", "src-rate", "batches/s", "batch-size"],
+    );
+    for tb in [LOCAL, EMULAB, WAN] {
+        let p = tb.source_profile(Dataset::Uniform);
+        t.row(vec![
+            tb.name.to_string(),
+            tb.processing_nodes.to_string(),
+            format!("{}", tb.link_latency),
+            format!("{} t/s", tb.source_rate),
+            tb.batches_per_sec.to_string(),
+            p.batch_size().to_string(),
+        ]);
+    }
+    t
+}

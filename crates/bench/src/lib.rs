@@ -1,0 +1,12 @@
+//! # themis-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! THEMIS evaluation (§7). See EXPERIMENTS.md for the paper-vs-measured
+//! record and `src/bin/experiments.rs` for the CLI.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod scenarios;
+pub mod table;

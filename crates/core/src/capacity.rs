@@ -1,0 +1,167 @@
+//! Online capacity estimation (§6 "Overload detection" and "Cost model").
+//!
+//! Each node estimates the average processing time per tuple from the work
+//! completed between successive overload-detector invocations, smoothed with
+//! a moving average. The input-buffer threshold `c` — the number of tuples
+//! the node can process during one shedding interval — follows directly.
+//! The model is operator-agnostic and adapts to heterogeneous node hardware,
+//! exactly as the paper requires.
+
+use crate::time::TimeDelta;
+
+/// Exponentially weighted moving average over per-tuple processing cost.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    alpha: f64,
+    per_tuple_micros: Option<f64>,
+}
+
+impl CostModel {
+    /// Default smoothing factor: recent intervals weigh 20 %.
+    pub const DEFAULT_ALPHA: f64 = 0.2;
+
+    /// Creates a cost model with the given smoothing factor in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        CostModel {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            per_tuple_micros: None,
+        }
+    }
+
+    /// Records one observation window: `busy` processing time spent on
+    /// `tuples` tuples since the last detector invocation. Windows with no
+    /// processed tuples carry no cost signal and are skipped.
+    pub fn observe(&mut self, busy: TimeDelta, tuples: u64) {
+        if tuples == 0 {
+            return;
+        }
+        let sample = busy.as_micros() as f64 / tuples as f64;
+        self.per_tuple_micros = Some(match self.per_tuple_micros {
+            None => sample,
+            Some(prev) => prev + self.alpha * (sample - prev),
+        });
+    }
+
+    /// Current estimate of the per-tuple processing time, if any observation
+    /// has been made.
+    pub fn per_tuple(&self) -> Option<TimeDelta> {
+        self.per_tuple_micros
+            .map(|m| TimeDelta::from_micros(m.max(0.0).round() as u64))
+    }
+
+    /// The input-buffer threshold `c`: how many tuples fit into one shedding
+    /// `interval` at the current cost estimate. Before any observation the
+    /// model returns `fallback` (a configured initial capacity).
+    pub fn capacity(&self, interval: TimeDelta, fallback: usize) -> usize {
+        match self.per_tuple_micros {
+            None => fallback,
+            Some(m) if m <= 0.0 => fallback,
+            Some(m) => ((interval.as_micros() as f64 / m).floor() as usize).max(1),
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::new(Self::DEFAULT_ALPHA)
+    }
+}
+
+/// Periodically compares the input-buffer backlog against the capacity
+/// threshold (§6): when the backlog exceeds `c`, the node is overloaded and
+/// the tuple shedder must run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadDetector {
+    /// Shedding interval; also the detector period (250 ms in §7).
+    pub interval: TimeDelta,
+    /// Initial capacity used before the cost model has observations.
+    pub initial_capacity: usize,
+}
+
+impl OverloadDetector {
+    /// Creates a detector with the paper's defaults: 250 ms interval.
+    pub fn new(interval: TimeDelta, initial_capacity: usize) -> Self {
+        OverloadDetector {
+            interval,
+            initial_capacity,
+        }
+    }
+
+    /// The current capacity threshold per the cost model.
+    pub fn threshold(&self, model: &CostModel) -> usize {
+        model.capacity(self.interval, self.initial_capacity)
+    }
+
+    /// True when the buffered tuple count exceeds the threshold, i.e. the
+    /// node cannot process its backlog within one interval.
+    pub fn is_overloaded(&self, model: &CostModel, buffered_tuples: usize) -> bool {
+        buffered_tuples > self.threshold(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_before_observations_uses_fallback() {
+        let m = CostModel::default();
+        assert_eq!(m.capacity(TimeDelta::from_millis(250), 1234), 1234);
+        assert_eq!(m.per_tuple(), None);
+    }
+
+    #[test]
+    fn capacity_tracks_observed_cost() {
+        let mut m = CostModel::new(1.0); // no smoothing for the test
+        // 100 tuples in 10 ms -> 100 us/tuple -> 2500 tuples per 250 ms.
+        m.observe(TimeDelta::from_millis(10), 100);
+        assert_eq!(m.capacity(TimeDelta::from_millis(250), 1), 2500);
+        assert_eq!(m.per_tuple(), Some(TimeDelta::from_micros(100)));
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        let mut m = CostModel::new(0.2);
+        m.observe(TimeDelta::from_millis(10), 100); // 100 us
+        m.observe(TimeDelta::from_millis(100), 100); // 1000 us spike
+        let est = m.per_tuple().unwrap().as_micros() as f64;
+        // 100 + 0.2*(1000-100) = 280 us
+        assert!((est - 280.0).abs() < 1.0, "est {est}");
+    }
+
+    #[test]
+    fn zero_tuple_windows_ignored() {
+        let mut m = CostModel::new(0.5);
+        m.observe(TimeDelta::from_millis(50), 0);
+        assert_eq!(m.per_tuple(), None);
+        m.observe(TimeDelta::from_millis(10), 10);
+        m.observe(TimeDelta::from_millis(123), 0);
+        assert_eq!(m.per_tuple(), Some(TimeDelta::from_micros(1000)));
+    }
+
+    #[test]
+    fn detector_thresholds() {
+        let mut m = CostModel::new(1.0);
+        m.observe(TimeDelta::from_millis(10), 100); // 2500 tuples/250 ms
+        let det = OverloadDetector::new(TimeDelta::from_millis(250), 10);
+        assert_eq!(det.threshold(&m), 2500);
+        assert!(!det.is_overloaded(&m, 2500));
+        assert!(det.is_overloaded(&m, 2501));
+    }
+
+    #[test]
+    fn detector_uses_fallback_without_observations() {
+        let m = CostModel::default();
+        let det = OverloadDetector::new(TimeDelta::from_millis(250), 100);
+        assert!(det.is_overloaded(&m, 101));
+        assert!(!det.is_overloaded(&m, 99));
+    }
+
+    #[test]
+    fn capacity_never_zero() {
+        let mut m = CostModel::new(1.0);
+        // Pathologically slow: 1 tuple per second.
+        m.observe(TimeDelta::from_secs(1), 1);
+        assert_eq!(m.capacity(TimeDelta::from_millis(250), 10), 1);
+    }
+}

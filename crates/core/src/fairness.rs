@@ -1,0 +1,136 @@
+//! Fairness statistics: Jain's Fairness Index and summary statistics over
+//! per-query SIC values (§7.2, "To measure the effectiveness of the
+//! BALANCE-SIC fairness approach, we use the Jain's Fairness Index").
+
+use crate::sic::Sic;
+
+/// Jain's Fairness Index over a set of allocations:
+///
+/// `J(x) = (Σ x_i)² / (n · Σ x_i²)`
+///
+/// Ranges from `1/n` (one query gets everything) to `1` (perfect balance).
+/// Returns 1.0 for an empty set (vacuously fair) and for all-zero
+/// allocations (every query is equally starved).
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+/// Jain's index over SIC values.
+pub fn jain_index_sic(values: &[Sic]) -> f64 {
+    let raw: Vec<f64> = values.iter().map(|s| s.value()).collect();
+    jain_index(&raw)
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; 0 for slices shorter than 2.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// A fairness summary over the per-query SIC values of one experiment —
+/// exactly the three series the paper plots in Figure 10 (Jain's index,
+/// std and mean of SIC values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessSummary {
+    /// Number of queries summarised.
+    pub n: usize,
+    /// Jain's Fairness Index of the SIC values.
+    pub jain: f64,
+    /// Mean SIC value.
+    pub mean: f64,
+    /// Population standard deviation of the SIC values.
+    pub std: f64,
+    /// Minimum SIC value.
+    pub min: f64,
+    /// Maximum SIC value.
+    pub max: f64,
+}
+
+impl FairnessSummary {
+    /// Summarises a set of per-query SIC values.
+    pub fn from_sics(values: &[Sic]) -> Self {
+        let raw: Vec<f64> = values.iter().map(|s| s.value()).collect();
+        FairnessSummary {
+            n: raw.len(),
+            jain: jain_index(&raw),
+            mean: mean(&raw),
+            std: std_dev(&raw),
+            min: raw.iter().copied().fold(f64::INFINITY, f64::min),
+            max: raw.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_perfect_balance() {
+        assert!((jain_index(&[0.3, 0.3, 0.3, 0.3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_worst_case_is_one_over_n() {
+        let v = [1.0, 0.0, 0.0, 0.0];
+        assert!((jain_index(&v) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_intermediate() {
+        // Two equal, two starved: J = (2)^2 / (4 * 2) = 0.5.
+        assert!((jain_index(&[1.0, 1.0, 0.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_edge_cases() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[0.42]), 1.0);
+    }
+
+    #[test]
+    fn jain_scale_invariant() {
+        let a = [0.1, 0.2, 0.7];
+        let b = [1.0, 2.0, 7.0];
+        assert!((jain_index(&a) - jain_index(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_from_sics() {
+        let s = FairnessSummary::from_sics(&[Sic(0.2), Sic(0.2), Sic(0.4)]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 0.26666666).abs() < 1e-6);
+        assert_eq!(s.min, 0.2);
+        assert_eq!(s.max, 0.4);
+        assert!(s.jain < 1.0 && s.jain > 0.8);
+    }
+}

@@ -1,0 +1,125 @@
+//! Strongly-typed identifiers used across the THEMIS system.
+//!
+//! Every entity of the federated processing model from §3 of the paper
+//! (queries, sources, operators, fragments, nodes) gets its own id newtype so
+//! that ids of different kinds cannot be confused at compile time.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw numeric value of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one user query (a DAG of operators, §3 "Query graph").
+    QueryId,
+    "q"
+);
+id_type!(
+    /// Identifies one data source feeding a query (§3 "Data model").
+    SourceId,
+    "s"
+);
+id_type!(
+    /// Identifies one operator inside a query graph.
+    OperatorId,
+    "o"
+);
+id_type!(
+    /// Identifies one query fragment (a disjoint set of operators deployed on
+    /// one node, §3 "Query deployment").
+    FragmentId,
+    "f"
+);
+id_type!(
+    /// Identifies one FSPS node. The paper treats each autonomous site as a
+    /// single node without loss of generality (§3).
+    NodeId,
+    "n"
+);
+
+/// Allocates consecutive ids of any id type; used by builders.
+#[derive(Debug, Default, Clone)]
+pub struct IdGen {
+    next: u32,
+}
+
+impl IdGen {
+    /// Creates a generator starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the next id, converted into the requested id type.
+    /// (Not an `Iterator`: the target id type varies per call site.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next<T: From<u32>>(&mut self) -> T {
+        let id = self.next;
+        self.next += 1;
+        T::from(id)
+    }
+
+    /// Number of ids handed out so far.
+    pub fn count(&self) -> usize {
+        self.next as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(QueryId(3).to_string(), "q3");
+        assert_eq!(SourceId(0).to_string(), "s0");
+        assert_eq!(OperatorId(12).to_string(), "o12");
+        assert_eq!(FragmentId(7).to_string(), "f7");
+        assert_eq!(NodeId(17).to_string(), "n17");
+    }
+
+    #[test]
+    fn idgen_is_sequential() {
+        let mut gen = IdGen::new();
+        let a: QueryId = gen.next();
+        let b: QueryId = gen.next();
+        assert_eq!(a, QueryId(0));
+        assert_eq!(b, QueryId(1));
+        assert_eq!(gen.count(), 2);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

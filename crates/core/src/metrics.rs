@@ -1,0 +1,223 @@
+//! Result-quality metrics used by the SIC-correlation experiments (§7.1):
+//! mean absolute (relative) error, the normalised Kendall distance between
+//! top-k lists, and sample statistics for covariance streams.
+
+/// Mean absolute relative error between perfect and degraded result series:
+///
+/// `( Σ |(degraded_i - perfect_i) / perfect_i| ) / n`
+///
+/// exactly as defined in §7.1. Pairs whose perfect value is zero fall back to
+/// the absolute difference (the relative error is undefined there).
+/// Returns 0 for empty input.
+pub fn mean_absolute_error(perfect: &[f64], degraded: &[f64]) -> f64 {
+    let n = perfect.len().min(degraded.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        let p = perfect[i];
+        let d = degraded[i];
+        sum += if p == 0.0 {
+            (d - p).abs()
+        } else {
+            ((d - p) / p).abs()
+        };
+    }
+    sum / n as f64
+}
+
+/// Normalised Kendall distance between two top-k lists (Fagin et al. [18],
+/// used for the TOP-5 correlation in §7.1).
+///
+/// Counts pairwise disagreements over the union of elements — both inverted
+/// pairs and pairs broken by elements present in only one list — and divides
+/// by the maximum possible count so the result lies in `[0, 1]`
+/// (`0` identical, `1` maximally different).
+///
+/// This is the `K^(p)` distance with the optimistic penalty `p = 1/2` for
+/// pairs where both elements miss from one of the lists, a standard choice
+/// for comparing partial rankings.
+pub fn kendall_top_k(perfect: &[i64], degraded: &[i64]) -> f64 {
+    if perfect.is_empty() && degraded.is_empty() {
+        return 0.0;
+    }
+    let pos = |list: &[i64], x: i64| -> Option<usize> { list.iter().position(|&v| v == x) };
+    // Union of elements, preserving first-seen order.
+    let mut union: Vec<i64> = Vec::with_capacity(perfect.len() + degraded.len());
+    for &x in perfect.iter().chain(degraded.iter()) {
+        if !union.contains(&x) {
+            union.push(x);
+        }
+    }
+    let mut penalty = 0.0;
+    let mut max_penalty = 0.0;
+    for i in 0..union.len() {
+        for j in (i + 1)..union.len() {
+            let (a, b) = (union[i], union[j]);
+            let pa = pos(perfect, a);
+            let pb = pos(perfect, b);
+            let da = pos(degraded, a);
+            let db = pos(degraded, b);
+            max_penalty += 1.0;
+            penalty += match ((pa, pb), (da, db)) {
+                // Both pairs ranked in both lists: 1 if inverted.
+                ((Some(x1), Some(y1)), (Some(x2), Some(y2))) => {
+                    if (x1 < y1) != (x2 < y2) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                // One element missing from one list: disagreement iff the
+                // present element is ranked below the missing one's partner.
+                ((Some(x1), Some(y1)), (Some(_), None)) => {
+                    // b missing from degraded: ordered pair (a before b)
+                    // agrees iff perfect also ranks a before b.
+                    if x1 < y1 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                ((Some(x1), Some(y1)), (None, Some(_))) => {
+                    if y1 < x1 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                ((Some(_), None), (Some(x2), Some(y2))) => {
+                    if x2 < y2 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                ((None, Some(_)), (Some(x2), Some(y2))) => {
+                    if y2 < x2 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                // Both elements appear in only one list each: optimistic 1/2.
+                _ => 0.5,
+            };
+        }
+    }
+    if max_penalty == 0.0 {
+        0.0
+    } else {
+        penalty / max_penalty
+    }
+}
+
+/// Sample covariance of two equally long series; 0 for fewer than 2 samples.
+pub fn sample_covariance(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x[..n].iter().sum::<f64>() / n as f64;
+    let my = y[..n].iter().sum::<f64>() / n as f64;
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += (x[i] - mx) * (y[i] - my);
+    }
+    acc / (n as f64 - 1.0)
+}
+
+/// Standard deviation of a series of sampled values around a reference value
+/// (used for the COV correlation: "we can estimate the deviation of the
+/// values from the perfect value through the standard deviation", §7.1).
+pub fn std_around(values: &[f64], reference: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let var = values
+        .iter()
+        .map(|v| (v - reference) * (v - reference))
+        .sum::<f64>()
+        / values.len() as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_basic() {
+        // 10% relative error everywhere.
+        let p = [10.0, 20.0, 40.0];
+        let d = [11.0, 18.0, 44.0];
+        assert!((mean_absolute_error(&p, &d) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_zero_reference_uses_absolute() {
+        assert_eq!(mean_absolute_error(&[0.0], &[0.5]), 0.5);
+        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mae_identical_is_zero() {
+        let p = [1.0, 2.0, 3.0];
+        assert_eq!(mean_absolute_error(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn kendall_identical_lists() {
+        assert_eq!(kendall_top_k(&[1, 2, 3, 4, 5], &[1, 2, 3, 4, 5]), 0.0);
+    }
+
+    #[test]
+    fn kendall_reversed_lists() {
+        let d = kendall_top_k(&[1, 2, 3], &[3, 2, 1]);
+        assert!((d - 1.0).abs() < 1e-12, "reversal should be maximal: {d}");
+    }
+
+    #[test]
+    fn kendall_disjoint_lists() {
+        // Entirely different elements: dominated by the 1/2-penalty pairs,
+        // plus full penalties for same-list pairs ordered inconsistently.
+        let d = kendall_top_k(&[1, 2], &[3, 4]);
+        assert!(d > 0.0 && d <= 1.0);
+    }
+
+    #[test]
+    fn kendall_single_swap() {
+        let d = kendall_top_k(&[1, 2, 3], &[2, 1, 3]);
+        // One inverted pair out of three.
+        assert!((d - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_empty() {
+        assert_eq!(kendall_top_k(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn kendall_one_missing_element() {
+        // degraded misses 3, has 4 instead.
+        let d = kendall_top_k(&[1, 2, 3], &[1, 2, 4]);
+        assert!(d > 0.0 && d < 0.5, "small perturbation, got {d}");
+    }
+
+    #[test]
+    fn covariance_of_correlated_series() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let c = sample_covariance(&x, &y);
+        assert!((c - 10.0 / 3.0).abs() < 1e-9);
+        assert_eq!(sample_covariance(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn std_around_reference() {
+        assert_eq!(std_around(&[], 5.0), 0.0);
+        assert_eq!(std_around(&[5.0, 5.0], 5.0), 0.0);
+        assert!((std_around(&[4.0, 6.0], 5.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! The Source Information Content (SIC) metric (§4 of the paper).
+//!
+//! SIC quantifies, per tuple, how much *source data* contributed to it:
+//!
+//! * a **source tuple** from source `s` is worth `1 / (|T_s| · |S|)` where
+//!   `|T_s|` is the number of tuples `s` emits during one source time window
+//!   and `|S|` is the number of sources of the query (Eq. 1);
+//! * a **derived tuple** emitted by an operator that atomically consumed the
+//!   input set `T_in` and produced `T_out` is worth
+//!   `sum(SIC(T_in)) / |T_out|` (Eq. 3);
+//! * the **query result SIC** is the sum of result-tuple SIC values over one
+//!   source time window (Eq. 4) and lies in `[0, 1]` — `1` is perfect
+//!   processing, `0` means every source tuple was shed.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A SIC value: non-negative information mass carried by a tuple or batch.
+///
+/// This is a thin `f64` wrapper that keeps SIC arithmetic explicit and gives
+/// it a total order (needed for the max-SIC batch selection of Algorithm 1,
+/// line 16).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Sic(pub f64);
+
+impl Sic {
+    /// The zero SIC value.
+    pub const ZERO: Sic = Sic(0.0);
+    /// The SIC value of a perfect query result over one STW.
+    pub const PERFECT: Sic = Sic(1.0);
+
+    /// Assigns the SIC value of one source tuple per Eq. 1:
+    /// `1 / (tuples_from_source_in_stw · n_sources)`.
+    ///
+    /// Both counts are clamped to at least 1 so that a source that has not
+    /// yet been rate-profiled still yields a finite value.
+    pub fn source_tuple(tuples_from_source_in_stw: u64, n_sources: usize) -> Sic {
+        let t = tuples_from_source_in_stw.max(1) as f64;
+        let s = n_sources.max(1) as f64;
+        Sic(1.0 / (t * s))
+    }
+
+    /// Splits the aggregate input SIC mass across `n_outputs` derived tuples
+    /// per Eq. 3. With zero outputs the mass is lost (the paper's model:
+    /// tuples "lost" in filters/joins no longer contribute).
+    pub fn derived_tuple(input_sum: Sic, n_outputs: usize) -> Sic {
+        if n_outputs == 0 {
+            Sic::ZERO
+        } else {
+            Sic(input_sum.0 / n_outputs as f64)
+        }
+    }
+
+    /// Raw value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True when the value is a valid SIC mass (finite and non-negative).
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+
+    /// Clamps a result SIC to the theoretical `[0, 1]` interval. The sliding
+    /// STW approximation (§6) can transiently overshoot 1 slightly; clamping
+    /// is applied only where the paper's `qSIC ∈ [0, 1]` contract matters.
+    pub fn clamp_unit(self) -> Sic {
+        Sic(self.0.clamp(0.0, 1.0))
+    }
+
+    /// Total order (NaN-safe) used for selecting max-SIC batches.
+    pub fn total_cmp(&self, other: &Sic) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Sic {
+    type Output = Sic;
+    fn add(self, rhs: Sic) -> Sic {
+        Sic(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Sic {
+    fn add_assign(&mut self, rhs: Sic) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Sic {
+    type Output = Sic;
+    fn sub(self, rhs: Sic) -> Sic {
+        Sic(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Sic {
+    fn sum<I: Iterator<Item = Sic>>(iter: I) -> Sic {
+        Sic(iter.map(|s| s.0).sum())
+    }
+}
+
+impl fmt::Display for Sic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+impl From<f64> for Sic {
+    fn from(v: f64) -> Self {
+        Sic(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_source_assignment() {
+        // Figure 2: two sources; one emits 4 tuples/STW -> 1/(4*2) = 0.125,
+        // the other 2 tuples/STW -> 1/(2*2) = 0.25.
+        assert_eq!(Sic::source_tuple(4, 2), Sic(0.125));
+        assert_eq!(Sic::source_tuple(2, 2), Sic(0.25));
+    }
+
+    #[test]
+    fn eq1_clamps_degenerate_counts() {
+        assert_eq!(Sic::source_tuple(0, 0), Sic(1.0));
+        assert!(Sic::source_tuple(0, 3).is_valid());
+    }
+
+    #[test]
+    fn eq3_derivation() {
+        // Figure 2, operator b: 4 inputs of 0.125 -> 2 outputs of 0.25.
+        let input_sum = Sic(4.0 * 0.125);
+        assert_eq!(Sic::derived_tuple(input_sum, 2), Sic(0.25));
+        // A filter dropping everything loses the mass.
+        assert_eq!(Sic::derived_tuple(input_sum, 0), Sic::ZERO);
+    }
+
+    #[test]
+    fn figure2_end_to_end_mass() {
+        // Without shedding the whole query carries SIC mass 1:
+        // 4 * 0.125 + 2 * 0.25 = 1.0, propagated to 2 result tuples of 0.5.
+        let sources: Sic = std::iter::repeat(Sic::source_tuple(4, 2))
+            .take(4)
+            .chain(std::iter::repeat(Sic::source_tuple(2, 2)).take(2))
+            .sum();
+        assert!((sources.value() - 1.0).abs() < 1e-12);
+        let result = Sic::derived_tuple(sources, 2);
+        assert_eq!(result, Sic(0.5));
+    }
+
+    #[test]
+    fn arithmetic_and_order() {
+        let a = Sic(0.2);
+        let b = Sic(0.3);
+        assert_eq!(a + b, Sic(0.5));
+        assert_eq!((b - a).value(), 0.3 - 0.2);
+        assert_eq!(a.total_cmp(&b), std::cmp::Ordering::Less);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Sic(0.5));
+    }
+
+    #[test]
+    fn clamp_unit_bounds() {
+        assert_eq!(Sic(1.7).clamp_unit(), Sic(1.0));
+        assert_eq!(Sic(-0.2).clamp_unit(), Sic::ZERO);
+        assert_eq!(Sic(0.4).clamp_unit(), Sic(0.4));
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Sic(0.0).is_valid());
+        assert!(!Sic(f64::NAN).is_valid());
+        assert!(!Sic(-1.0).is_valid());
+        assert!(!Sic(f64::INFINITY).is_valid());
+    }
+}

@@ -1,0 +1,223 @@
+//! Tuples and batches — the data model of §3 plus the batch framing of §6.
+//!
+//! A tuple is `(τ, SIC, V)`: logical timestamp, SIC meta-data and payload.
+//! Operators that emit several tuples atomically group them into a *batch*
+//! with a single header carrying the query id, the aggregate SIC value and a
+//! creation timestamp; the tuple shedder admits or discards whole batches.
+
+use crate::ids::{QueryId, SourceId};
+use crate::sic::Sic;
+use crate::time::Timestamp;
+use crate::value::Row;
+
+/// One stream tuple: `(τ, SIC, V)` per the paper's data model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// Logical timestamp of generation (by a source or by an operator).
+    pub ts: Timestamp,
+    /// Source information content carried by this tuple.
+    pub sic: Sic,
+    /// Payload values according to the tuple's schema.
+    pub values: Row,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    pub fn new(ts: Timestamp, sic: Sic, values: Row) -> Self {
+        Tuple { ts, sic, values }
+    }
+
+    /// Convenience constructor for single-valued measurement tuples.
+    pub fn measurement(ts: Timestamp, sic: Sic, v: impl Into<crate::value::Value>) -> Self {
+        Tuple {
+            ts,
+            sic,
+            values: vec![v.into()],
+        }
+    }
+
+    /// Numeric view of field `i` (panics if out of range).
+    pub fn f64(&self, i: usize) -> f64 {
+        self.values[i].as_f64()
+    }
+
+    /// Integer view of field `i` (panics if out of range).
+    pub fn i64(&self, i: usize) -> i64 {
+        self.values[i].as_i64()
+    }
+}
+
+/// The per-batch header of §6 ("SIC maintenance"): query id, aggregate SIC
+/// value and a creation timestamp. In the prototype this header costs 10
+/// bytes on the wire; here it is precomputed metadata for the shedder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchHeader {
+    /// The query these tuples belong to.
+    pub query: QueryId,
+    /// Sum of the SIC values of the tuples in the batch.
+    pub sic: Sic,
+    /// Creation time of the batch (source emission or operator output time).
+    pub created: Timestamp,
+    /// Source that emitted the batch, when it is a source batch. Derived
+    /// batches produced by operators carry `None`.
+    pub source: Option<SourceId>,
+}
+
+/// A sequence of tuples moved and shed as a unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    header: BatchHeader,
+    tuples: Vec<Tuple>,
+}
+
+impl Batch {
+    /// Builds a batch, computing the header SIC as the sum of tuple SICs.
+    pub fn new(query: QueryId, created: Timestamp, tuples: Vec<Tuple>) -> Self {
+        let sic = tuples.iter().map(|t| t.sic).sum();
+        Batch {
+            header: BatchHeader {
+                query,
+                sic,
+                created,
+                source: None,
+            },
+            tuples,
+        }
+    }
+
+    /// Builds a source batch, recording the emitting source.
+    pub fn from_source(
+        query: QueryId,
+        source: SourceId,
+        created: Timestamp,
+        tuples: Vec<Tuple>,
+    ) -> Self {
+        let mut b = Batch::new(query, created, tuples);
+        b.header.source = Some(source);
+        b
+    }
+
+    /// The batch header.
+    #[inline]
+    pub fn header(&self) -> &BatchHeader {
+        &self.header
+    }
+
+    /// Query id from the header.
+    #[inline]
+    pub fn query(&self) -> QueryId {
+        self.header.query
+    }
+
+    /// Aggregate SIC value from the header.
+    #[inline]
+    pub fn sic(&self) -> Sic {
+        self.header.sic
+    }
+
+    /// Creation timestamp from the header.
+    #[inline]
+    pub fn created(&self) -> Timestamp {
+        self.header.created
+    }
+
+    /// Emitting source, if this is a source batch.
+    #[inline]
+    pub fn source(&self) -> Option<SourceId> {
+        self.header.source
+    }
+
+    /// The tuples in the batch.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples in the batch; the shedder counts capacity in tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the batch carries no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Consumes the batch, returning its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Re-stamps the SIC values of all tuples uniformly so the batch carries
+    /// `per_tuple` SIC each; used when the STW assigner re-evaluates source
+    /// rates per slide (§6 "SIC maintenance").
+    pub fn assign_uniform_sic(&mut self, per_tuple: Sic) {
+        for t in &mut self.tuples {
+            t.sic = per_tuple;
+        }
+        self.header.sic = Sic(per_tuple.value() * self.tuples.len() as f64);
+    }
+
+    /// Size in bytes of the wire header as implemented in the paper's
+    /// prototype (§7.6): SIC value + query id + timestamp packed in 10 bytes.
+    pub const WIRE_HEADER_BYTES: usize = 10;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(ts: u64, sic: f64, v: f64) -> Tuple {
+        Tuple::measurement(Timestamp(ts), Sic(sic), v)
+    }
+
+    #[test]
+    fn header_sums_tuple_sics() {
+        let b = Batch::new(
+            QueryId(1),
+            Timestamp(5),
+            vec![t(1, 0.125, 10.0), t(2, 0.125, 11.0), t(3, 0.25, 12.0)],
+        );
+        assert_eq!(b.query(), QueryId(1));
+        assert!((b.sic().value() - 0.5).abs() < 1e-12);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.created(), Timestamp(5));
+        assert_eq!(b.source(), None);
+    }
+
+    #[test]
+    fn source_batches_record_source() {
+        let b = Batch::from_source(QueryId(0), SourceId(7), Timestamp(1), vec![t(1, 0.1, 1.0)]);
+        assert_eq!(b.source(), Some(SourceId(7)));
+    }
+
+    #[test]
+    fn uniform_sic_restamping() {
+        let mut b = Batch::new(QueryId(0), Timestamp(0), vec![t(0, 0.0, 1.0), t(0, 0.0, 2.0)]);
+        assert_eq!(b.sic(), Sic::ZERO);
+        b.assign_uniform_sic(Sic(0.05));
+        assert!((b.sic().value() - 0.1).abs() < 1e-12);
+        assert!(b.tuples().iter().all(|t| t.sic == Sic(0.05)));
+    }
+
+    #[test]
+    fn tuple_accessors() {
+        let tu = Tuple::new(
+            Timestamp(9),
+            Sic(0.2),
+            vec![Value::I64(4), Value::F64(2.5)],
+        );
+        assert_eq!(tu.i64(0), 4);
+        assert_eq!(tu.f64(1), 2.5);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = Batch::new(QueryId(0), Timestamp(0), vec![]);
+        assert!(b.is_empty());
+        assert_eq!(b.sic(), Sic::ZERO);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests over the core THEMIS invariants.
+
+use proptest::prelude::*;
+use themis_core::prelude::*;
+
+/// Strategy: a buffer snapshot of up to 8 queries, each with up to 20
+/// batches of 1-20 tuples and small positive SIC values.
+fn arb_states() -> impl Strategy<Value = Vec<QueryBufferState>> {
+    prop::collection::vec(
+        (
+            0.0f64..0.5,
+            prop::collection::vec((1usize..20, 1e-6f64..0.05), 0..20),
+        ),
+        1..8,
+    )
+    .prop_map(|queries| {
+        let mut idx = 0usize;
+        queries
+            .into_iter()
+            .enumerate()
+            .map(|(q, (base, batches))| {
+                let batches = batches
+                    .into_iter()
+                    .map(|(tuples, sic)| {
+                        let b = CandidateBatch {
+                            buffer_index: idx,
+                            sic: Sic(sic),
+                            tuples,
+                            created: Timestamp(idx as u64),
+                        };
+                        idx += 1;
+                        b
+                    })
+                    .collect();
+                QueryBufferState {
+                    query: QueryId(q as u32),
+                    base_sic: Sic(base),
+                    batches,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The shedder never admits more tuples than the capacity, for any
+    /// policy.
+    #[test]
+    fn shedders_respect_capacity(states in arb_states(), cap in 0usize..500, seed in 0u64..1000) {
+        let shedders: Vec<Box<dyn Shedder>> = vec![
+            Box::new(BalanceSicShedder::new(seed)),
+            Box::new(RandomShedder::new(seed)),
+            Box::new(FifoShedder::new()),
+        ];
+        for mut s in shedders {
+            let d = s.select_to_keep(cap, &states);
+            prop_assert!(d.kept_tuples <= cap, "{} kept {} > cap {}", s.name(), d.kept_tuples, cap);
+        }
+    }
+
+    /// Keep-set indices are unique and refer to actual buffered batches.
+    #[test]
+    fn keep_set_is_valid(states in arb_states(), cap in 0usize..500, seed in 0u64..1000) {
+        let valid: std::collections::HashSet<usize> = states
+            .iter()
+            .flat_map(|q| q.batches.iter().map(|b| b.buffer_index))
+            .collect();
+        let mut s = BalanceSicShedder::new(seed);
+        let d = s.select_to_keep(cap, &states);
+        let mut seen = std::collections::HashSet::new();
+        for &i in &d.keep {
+            prop_assert!(valid.contains(&i), "kept unknown index {i}");
+            prop_assert!(seen.insert(i), "duplicate keep index {i}");
+        }
+        // Conservation: kept + shed tuples equals the buffered total.
+        let total: usize = states.iter().map(|q| q.buffered_tuples()).sum();
+        prop_assert_eq!(d.kept_tuples + d.shed_tuples, total);
+    }
+
+    /// With unlimited capacity, nothing is shed by any policy.
+    #[test]
+    fn unlimited_capacity_sheds_nothing(states in arb_states(), seed in 0u64..100) {
+        let total: usize = states.iter().map(|q| q.buffered_tuples()).sum();
+        for mut s in [
+            Box::new(BalanceSicShedder::new(seed)) as Box<dyn Shedder>,
+            Box::new(RandomShedder::new(seed)),
+            Box::new(FifoShedder::new()),
+        ] {
+            let d = s.select_to_keep(total, &states);
+            prop_assert_eq!(d.kept_tuples, total, "{} shed under no overload", s.name());
+        }
+    }
+
+    /// BALANCE-SIC weakly dominates random shedding in Jain's index when all
+    /// batches are single tuples (so the convergence argument applies
+    /// exactly).
+    #[test]
+    fn balance_is_fairer_than_random_on_unit_batches(
+        per_query in prop::collection::vec((1usize..60, 1e-4f64..0.02), 2..6),
+        seed in 0u64..50,
+    ) {
+        let mut idx = 0usize;
+        let states: Vec<QueryBufferState> = per_query
+            .iter()
+            .enumerate()
+            .map(|(q, &(n, sic))| {
+                let batches = (0..n)
+                    .map(|_| {
+                        let b = CandidateBatch {
+                            buffer_index: idx,
+                            sic: Sic(sic),
+                            tuples: 1,
+                            created: Timestamp(idx as u64),
+                        };
+                        idx += 1;
+                        b
+                    })
+                    .collect();
+                QueryBufferState { query: QueryId(q as u32), base_sic: Sic::ZERO, batches }
+            })
+            .collect();
+        let total: usize = states.iter().map(|q| q.buffered_tuples()).sum();
+        let cap = total / 2;
+        let kept_sics = |d: &ShedDecision| -> Vec<f64> {
+            let kept: std::collections::HashSet<usize> = d.keep.iter().copied().collect();
+            states
+                .iter()
+                .map(|q| {
+                    q.batches
+                        .iter()
+                        .filter(|b| kept.contains(&b.buffer_index))
+                        .map(|b| b.sic.value())
+                        .sum::<f64>()
+                })
+                .collect()
+        };
+        let db = BalanceSicShedder::new(seed).select_to_keep(cap, &states);
+        let dr = RandomShedder::new(seed).select_to_keep(cap, &states);
+        let jb = jain_index(&kept_sics(&db));
+        let jr = jain_index(&kept_sics(&dr));
+        // Allow small numerical slack; random can occasionally be fair by
+        // chance but should never be *meaningfully* fairer.
+        prop_assert!(jb >= jr - 0.05, "balance {jb} vs random {jr}");
+    }
+
+    /// Jain's index is bounded by [1/n, 1] on non-degenerate inputs.
+    #[test]
+    fn jain_bounds(values in prop::collection::vec(0.0f64..1.0, 1..50)) {
+        let j = jain_index(&values);
+        let n = values.len() as f64;
+        prop_assert!(j <= 1.0 + 1e-12);
+        prop_assert!(j >= 1.0 / n - 1e-12);
+    }
+
+    /// Eq. 3 conserves SIC mass: splitting an input sum across any positive
+    /// number of outputs and re-summing returns the input sum.
+    #[test]
+    fn sic_propagation_conserves_mass(mass in 0.0f64..10.0, n in 1usize..100) {
+        let per = Sic::derived_tuple(Sic(mass), n);
+        let back: Sic = std::iter::repeat(per).take(n).sum();
+        prop_assert!((back.value() - mass).abs() < 1e-9 * mass.max(1.0));
+    }
+
+    /// The sliding accumulator's total is always the sum of the last
+    /// `window` worth of additions.
+    #[test]
+    fn sliding_accumulator_window_sum(
+        adds in prop::collection::vec((0u64..5_000, 0.0f64..10.0), 1..100),
+    ) {
+        use themis_core::stw::{SlidingAccumulator, StwConfig};
+        let cfg = StwConfig::new(TimeDelta::from_millis(1000), TimeDelta::from_millis(250));
+        let mut acc = SlidingAccumulator::new(cfg);
+        let mut adds = adds;
+        adds.sort_by_key(|&(t, _)| t);
+        for &(t, v) in &adds {
+            acc.add(Timestamp::from_millis(t), v);
+        }
+        let now_ms = adds.last().unwrap().0;
+        let now_slide = now_ms / 250;
+        // Manual reference: sum of values whose slide index is within the
+        // last 4 slides.
+        let expect: f64 = adds
+            .iter()
+            .filter(|&&(t, _)| {
+                let s = t / 250;
+                now_slide - s < 4
+            })
+            .map(|&(_, v)| v)
+            .sum();
+        prop_assert!((acc.total() - expect).abs() < 1e-9, "{} vs {}", acc.total(), expect);
+    }
+
+    /// Cost-model capacity estimates are always positive and respond
+    /// monotonically to the per-tuple cost.
+    #[test]
+    fn cost_model_monotone(
+        fast_us in 1u64..100,
+        slow_extra in 1u64..1000,
+        tuples in 1u64..10_000,
+    ) {
+        let interval = TimeDelta::from_millis(250);
+        let mut fast = CostModel::new(1.0);
+        fast.observe(TimeDelta::from_micros(fast_us * tuples), tuples);
+        let mut slow = CostModel::new(1.0);
+        slow.observe(TimeDelta::from_micros((fast_us + slow_extra) * tuples), tuples);
+        let cf = fast.capacity(interval, 1);
+        let cs = slow.capacity(interval, 1);
+        prop_assert!(cf >= 1 && cs >= 1);
+        prop_assert!(cf >= cs, "faster node must have >= capacity ({cf} vs {cs})");
+    }
+}

@@ -1,0 +1,410 @@
+//! The multi-threaded THEMIS prototype: one worker thread per FSPS node,
+//! a source pump, and a coordinator loop disseminating result SIC values.
+//!
+//! Where the simulator models time, the engine *is* real: ticks fire on the
+//! wall clock, the cost model measures actual processing time, and the
+//! shedder's execution time is measured per invocation (the §7.6 overhead
+//! numbers come from here and from the Criterion benches).
+
+use std::collections::{BinaryHeap, HashMap};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+
+use themis_core::prelude::*;
+use themis_workloads::prelude::*;
+
+use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch};
+use crate::worker::{run_worker, WorkerConfig, WorkerRouting};
+
+/// Shedding policy for the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePolicy {
+    /// Algorithm 1 (BALANCE-SIC).
+    BalanceSic,
+    /// The random baseline.
+    Random,
+}
+
+impl EnginePolicy {
+    fn build(&self, seed: u64) -> Box<dyn Shedder> {
+        match self {
+            EnginePolicy::BalanceSic => Box::new(BalanceSicShedder::new(seed)),
+            EnginePolicy::Random => Box::new(RandomShedder::new(seed)),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EnginePolicy::BalanceSic => "balance-sic",
+            EnginePolicy::Random => "random",
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Shedding policy.
+    pub policy: EnginePolicy,
+    /// Artificial per-tuple processing cost, so modest source rates create
+    /// genuine overload (`ZERO` disables; nodes are then extremely fast).
+    pub synthetic_cost: TimeDelta,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            policy: EnginePolicy::BalanceSic,
+            synthetic_cost: TimeDelta::ZERO,
+        }
+    }
+}
+
+/// Output of an engine run.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// Per-node counters.
+    pub nodes: Vec<NodeReport>,
+    /// Mean sampled result SIC per query.
+    pub per_query_sic: Vec<(QueryId, f64)>,
+    /// Fairness over the per-query SIC values.
+    pub fairness: FairnessSummary,
+    /// Result emissions observed per query.
+    pub result_counts: HashMap<QueryId, usize>,
+    /// Coordinator updates sent.
+    pub coordinator_messages: u64,
+    /// Shedding policy used.
+    pub policy: &'static str,
+}
+
+impl EngineReport {
+    /// Mean shedder execution time per invocation across nodes (µs).
+    pub fn mean_shed_time_us(&self) -> f64 {
+        let (ns, n): (u64, u64) = self
+            .nodes
+            .iter()
+            .fold((0, 0), |(a, b), r| (a + r.shed_time_ns, b + r.shed_decisions));
+        if n == 0 {
+            0.0
+        } else {
+            ns as f64 / n as f64 / 1_000.0
+        }
+    }
+
+    /// Fraction of arrived tuples shed.
+    pub fn shed_fraction(&self) -> f64 {
+        let arrived: u64 = self.nodes.iter().map(|n| n.arrived_tuples).sum();
+        let shed: u64 = self.nodes.iter().map(|n| n.shed_tuples).sum();
+        if arrived == 0 {
+            0.0
+        } else {
+            shed as f64 / arrived as f64
+        }
+    }
+}
+
+/// Entry in the source pump's schedule heap.
+struct Due {
+    at: Timestamp,
+    driver: usize,
+}
+impl PartialEq for Due {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.driver == other.driver
+    }
+}
+impl Eq for Due {}
+impl PartialOrd for Due {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Due {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.driver).cmp(&(self.at, self.driver))
+    }
+}
+
+/// Runs the scenario on real threads for `warmup + duration` wall time and
+/// reports per-query SIC fairness plus node counters.
+pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
+    let epoch = Instant::now();
+    let interval = Duration::from_micros(scenario.shedding_interval.as_micros());
+    let deadline = epoch
+        + Duration::from_micros((scenario.warmup + scenario.duration).as_micros());
+    let warmup_end = epoch + Duration::from_micros(scenario.warmup.as_micros());
+
+    // Channels.
+    let mut node_txs: Vec<Sender<EngineMsg>> = Vec::with_capacity(scenario.n_nodes);
+    let mut node_rxs = Vec::with_capacity(scenario.n_nodes);
+    for _ in 0..scenario.n_nodes {
+        let (tx, rx) = unbounded();
+        node_txs.push(tx);
+        node_rxs.push(rx);
+    }
+    let (results_tx, results_rx) = unbounded::<ResultEvent>();
+
+    // Routing tables.
+    let mut downstream: HashMap<(QueryId, usize), (usize, usize)> = HashMap::new();
+    let mut source_route: HashMap<SourceId, usize> = HashMap::new();
+    let mut source_frag: HashMap<SourceId, (QueryId, usize)> = HashMap::new();
+    let mut per_node_fragments: Vec<Vec<(QueryId, usize)>> = vec![Vec::new(); scenario.n_nodes];
+    for q in &scenario.queries {
+        for (fi, frag) in q.fragments.iter().enumerate() {
+            let node = scenario
+                .deployment
+                .node_of(q.id, fi)
+                .expect("validated deployment")
+                .index();
+            per_node_fragments[node].push((q.id, fi));
+            for b in &frag.sources {
+                source_route.insert(b.source, node);
+                source_frag.insert(b.source, (q.id, fi));
+            }
+            if fi != q.result_fragment {
+                if let Some(down) = q.downstream_of(fi) {
+                    let dnode = scenario
+                        .deployment
+                        .node_of(q.id, down)
+                        .expect("validated deployment")
+                        .index();
+                    downstream.insert((q.id, fi), (dnode, down));
+                }
+            }
+        }
+    }
+
+    // Spawn workers.
+    let mut handles = Vec::new();
+    for (n, rx) in node_rxs.into_iter().enumerate() {
+        let shedder = config.policy.build(scenario.seed ^ (0xE0_0000 + n as u64));
+        let initial_capacity = if config.synthetic_cost.is_zero() {
+            usize::MAX / 2
+        } else {
+            ((scenario.shedding_interval.as_micros() / config.synthetic_cost.as_micros().max(1))
+                as usize)
+                .max(1)
+        };
+        let wc = WorkerConfig {
+            id: NodeId(n as u32),
+            interval: scenario.shedding_interval,
+            stw: scenario.stw,
+            shedder,
+            synthetic_cost: config.synthetic_cost,
+            initial_capacity,
+        };
+        let routing = WorkerRouting {
+            downstream: downstream.clone(),
+            node_txs: node_txs.clone(),
+            results_tx: results_tx.clone(),
+        };
+        let queries = scenario.queries.clone();
+        let fragments = per_node_fragments[n].clone();
+        handles.push(thread::spawn(move || {
+            run_worker(wc, queries, fragments, routing, rx, epoch)
+        }));
+    }
+    drop(results_tx);
+
+    // Source pump thread.
+    let pump_txs = node_txs.clone();
+    let pump_scenario = scenario.clone();
+    let pump_routes = source_route.clone();
+    let pump_frags = source_frag.clone();
+    let pump_deadline = deadline;
+    let pump = thread::spawn(move || {
+        let mut drivers: Vec<SourceDriver> = Vec::new();
+        for q in &pump_scenario.queries {
+            for s in &q.sources {
+                let profile = pump_scenario.profiles[&s.id];
+                drivers.push(SourceDriver::new(
+                    q.id,
+                    s,
+                    profile,
+                    pump_scenario.seed ^ (s.id.0 as u64).wrapping_mul(0x9E37_79B9),
+                ));
+            }
+        }
+        let mut heap: BinaryHeap<Due> = drivers
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Due {
+                at: d.next_time(),
+                driver: i,
+            })
+            .collect();
+        while let Some(due) = heap.pop() {
+            let fire_at = epoch + Duration::from_micros(due.at.as_micros());
+            if fire_at > pump_deadline {
+                break;
+            }
+            if let Some(wait) = fire_at.checked_duration_since(Instant::now()) {
+                thread::sleep(wait);
+            }
+            let d = &mut drivers[due.driver];
+            let src = d.source;
+            let query = d.query;
+            let batch = d.emit();
+            if let (Some(&node), Some(&(q, fi))) = (pump_routes.get(&src), pump_frags.get(&src)) {
+                debug_assert_eq!(q, query);
+                let _ = pump_txs[node].send(EngineMsg::Batch(RoutedBatch {
+                    query,
+                    fragment: fi,
+                    ingress: themis_query::prelude::Ingress::Source(src),
+                    batch,
+                }));
+            }
+            heap.push(Due {
+                at: d.next_time(),
+                driver: due.driver,
+            });
+        }
+    });
+
+    // Coordinator loop on this thread.
+    let mut tracker = ResultSicTracker::new(scenario.stw);
+    let mut coordinators: Vec<QueryCoordinator> = scenario
+        .queries
+        .iter()
+        .map(|q| {
+            QueryCoordinator::new(
+                q.id,
+                scenario.deployment.hosts_of(q.id),
+                scenario.shedding_interval,
+            )
+        })
+        .collect();
+    let mut samples: HashMap<QueryId, Vec<f64>> = scenario
+        .queries
+        .iter()
+        .map(|q| (q.id, Vec::new()))
+        .collect();
+    let mut result_counts: HashMap<QueryId, usize> = HashMap::new();
+    let mut coordinator_messages = 0u64;
+    let mut next_tick = Instant::now() + interval;
+    loop {
+        let now_wall = Instant::now();
+        if now_wall >= deadline {
+            break;
+        }
+        // Drain pending results.
+        while let Ok(ev) = results_rx.try_recv() {
+            let now = Timestamp(epoch.elapsed().as_micros() as u64);
+            tracker.record(now, ev.query, ev.sic);
+            *result_counts.entry(ev.query).or_insert(0) += 1;
+        }
+        if now_wall >= next_tick {
+            next_tick += interval;
+            let now = Timestamp(epoch.elapsed().as_micros() as u64);
+            for c in coordinators.iter_mut() {
+                let sic = tracker.query_sic(now, c.query());
+                c.on_result_sic(sic);
+                for update in c.tick(now) {
+                    coordinator_messages += 1;
+                    let _ = node_txs[update.node.index()].send(EngineMsg::Sic(update));
+                }
+            }
+            if now_wall >= warmup_end {
+                for (q, series) in samples.iter_mut() {
+                    series.push(tracker.query_sic(now, *q).value());
+                }
+            }
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    // Shutdown.
+    for tx in &node_txs {
+        let _ = tx.send(EngineMsg::Shutdown);
+    }
+    let _ = pump.join();
+    let nodes: Vec<NodeReport> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker panicked"))
+        .collect();
+
+    let mut per_query_sic: Vec<(QueryId, f64)> = samples
+        .into_iter()
+        .map(|(q, series)| {
+            let mean = if series.is_empty() {
+                0.0
+            } else {
+                series.iter().sum::<f64>() / series.len() as f64
+            };
+            (q, mean)
+        })
+        .collect();
+    per_query_sic.sort_by_key(|&(q, _)| q);
+    let sics: Vec<Sic> = per_query_sic.iter().map(|&(_, s)| Sic(s)).collect();
+    EngineReport {
+        nodes,
+        fairness: FairnessSummary::from_sics(&sics),
+        per_query_sic,
+        result_counts,
+        coordinator_messages,
+        policy: config.policy.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_query::prelude::Template;
+
+    fn scenario(n_queries: usize, rate: u32, seed: u64) -> Scenario {
+        ScenarioBuilder::new("engine-test", seed)
+            .nodes(2)
+            .capacity_tps(1_000_000)
+            .duration(TimeDelta::from_millis(2500))
+            .warmup(TimeDelta::from_millis(1500))
+            .stw_window(TimeDelta::from_secs(2))
+            .add_queries(
+                Template::Avg,
+                n_queries,
+                SourceProfile {
+                    tuples_per_sec: rate,
+                    batches_per_sec: 5,
+                    burst: Burstiness::Steady,
+                    dataset: Dataset::Uniform,
+                },
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn underloaded_engine_runs_clean() {
+        let report = run_engine(&scenario(4, 100, 1), EngineConfig::default());
+        assert_eq!(report.per_query_sic.len(), 4);
+        // No shedding without synthetic cost.
+        assert_eq!(report.shed_fraction(), 0.0);
+        // Results flowed for every query.
+        assert_eq!(report.result_counts.len(), 4);
+        assert!(report.coordinator_messages > 0);
+        // SIC should be positive (timing jitter keeps it below perfect).
+        for &(q, s) in &report.per_query_sic {
+            assert!(s > 0.3, "query {q} sic {s}");
+        }
+    }
+
+    #[test]
+    fn synthetic_cost_induces_shedding() {
+        // Per node: 2 queries x 400 t/s = 800 t/s demand vs 1/(2 ms) =
+        // 500 t/s capacity.
+        let cfg = EngineConfig {
+            policy: EnginePolicy::BalanceSic,
+            synthetic_cost: TimeDelta::from_micros(2000),
+        };
+        let report = run_engine(&scenario(4, 400, 2), cfg);
+        assert!(
+            report.shed_fraction() > 0.1,
+            "shed {}",
+            report.shed_fraction()
+        );
+        assert!(report.mean_shed_time_us() > 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # themis-engine
+//!
+//! The multi-threaded THEMIS prototype (Figure 5 of the paper): per-node
+//! worker threads with input buffers, a wall-clock overload detector and
+//! cost model, the BALANCE-SIC tuple shedder, a source pump and a
+//! coordinator loop disseminating result SIC values.
+//!
+//! The engine complements the deterministic simulator: it demonstrates the
+//! system on real threads and channels and provides the measured shedder
+//! execution times reported in the §7.6 overhead experiment.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod messages;
+pub mod worker;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::engine::{run_engine, EngineConfig, EnginePolicy, EngineReport};
+    pub use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch};
+}

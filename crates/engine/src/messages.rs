@@ -1,0 +1,87 @@
+//! Messages and reports exchanged inside the prototype engine.
+
+use themis_core::prelude::*;
+use themis_query::prelude::Ingress;
+
+/// A batch plus routing info (same shape as the simulator's).
+#[derive(Debug, Clone)]
+pub struct RoutedBatch {
+    /// Owning query.
+    pub query: QueryId,
+    /// Destination fragment.
+    pub fragment: usize,
+    /// Entry point into the fragment.
+    pub ingress: Ingress,
+    /// Payload.
+    pub batch: Batch,
+}
+
+/// Messages delivered to node workers.
+pub enum EngineMsg {
+    /// A data batch.
+    Batch(RoutedBatch),
+    /// A coordinator SIC update.
+    Sic(SicUpdate),
+    /// Stop the worker.
+    Shutdown,
+}
+
+/// A query-result emission observed by the coordinator thread.
+#[derive(Debug, Clone)]
+pub struct ResultEvent {
+    /// The emitting query.
+    pub query: QueryId,
+    /// Emission timestamp (logical).
+    pub at: Timestamp,
+    /// SIC mass of the emission.
+    pub sic: Sic,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+/// Counters accumulated by one node worker.
+#[derive(Debug, Clone, Default)]
+pub struct NodeReport {
+    /// Tuples arrived (pre-shedding).
+    pub arrived_tuples: u64,
+    /// Tuples admitted.
+    pub kept_tuples: u64,
+    /// Tuples shed.
+    pub shed_tuples: u64,
+    /// Batches shed.
+    pub shed_batches: u64,
+    /// Shedder invocations under overload.
+    pub shed_invocations: u64,
+    /// Total wall time spent inside `select_to_keep`, nanoseconds.
+    pub shed_time_ns: u64,
+    /// Number of timed shedder calls.
+    pub shed_decisions: u64,
+    /// Coordinator updates received.
+    pub sic_updates: u64,
+}
+
+impl NodeReport {
+    /// Mean shedder execution time per invocation, in microseconds
+    /// (the §7.6 overhead metric).
+    pub fn mean_shed_time_us(&self) -> f64 {
+        if self.shed_decisions == 0 {
+            0.0
+        } else {
+            self.shed_time_ns as f64 / self.shed_decisions as f64 / 1_000.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_shed_time() {
+        let mut r = NodeReport::default();
+        assert_eq!(r.mean_shed_time_us(), 0.0);
+        r.shed_time_ns = 3_000_000;
+        r.shed_decisions = 3;
+        assert_eq!(r.mean_shed_time_us(), 1000.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! The per-node worker thread of the prototype engine: a wall-clock
+//! incarnation of the THEMIS node of Figure 5 (input buffer, overload
+//! detector, online cost model, tuple shedder, operator execution).
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use themis_core::prelude::*;
+use themis_query::prelude::*;
+
+use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch};
+
+/// Per-node static configuration.
+pub struct WorkerConfig {
+    /// Node id.
+    pub id: NodeId,
+    /// Shedding interval (wall time).
+    pub interval: TimeDelta,
+    /// STW configuration.
+    pub stw: StwConfig,
+    /// Tuple shedder.
+    pub shedder: Box<dyn Shedder>,
+    /// Artificial per-tuple processing cost (spin), so that modest source
+    /// rates overload the node reproducibly. `TimeDelta::ZERO` disables it.
+    pub synthetic_cost: TimeDelta,
+    /// Initial capacity estimate (tuples per interval) used before the
+    /// cost model has observations.
+    pub initial_capacity: usize,
+}
+
+/// What a worker needs to route fragment outputs.
+pub struct WorkerRouting {
+    /// `(query, fragment)` -> downstream `(node index, fragment)`; absent
+    /// means the fragment emits query results.
+    pub downstream: HashMap<(QueryId, usize), (usize, usize)>,
+    /// Senders to every node (index = node).
+    pub node_txs: Vec<Sender<EngineMsg>>,
+    /// Sink for query results.
+    pub results_tx: Sender<ResultEvent>,
+}
+
+/// Runs the node loop until an [`EngineMsg::Shutdown`] arrives; returns the
+/// node's counters.
+pub fn run_worker(
+    config: WorkerConfig,
+    queries: Vec<QuerySpec>,
+    fragments: Vec<(QueryId, usize)>,
+    routing: WorkerRouting,
+    rx: Receiver<EngineMsg>,
+    epoch: Instant,
+) -> NodeReport {
+    let mut runtimes: BTreeMap<(QueryId, usize), FragmentRuntime> = BTreeMap::new();
+    let mut assigners: HashMap<QueryId, SourceSicAssigner> = HashMap::new();
+    let by_id: HashMap<QueryId, &QuerySpec> = queries.iter().map(|q| (q.id, q)).collect();
+    for (q, fi) in &fragments {
+        let spec = by_id[q];
+        runtimes.insert((*q, *fi), FragmentRuntime::new(&spec.fragments[*fi]));
+        assigners
+            .entry(*q)
+            .or_insert_with(|| SourceSicAssigner::new(config.stw, spec.n_sources()));
+    }
+
+    let mut buffer: Vec<RoutedBatch> = Vec::new();
+    let mut sic_table = SicTable::new();
+    let mut cost_model = CostModel::default();
+    let detector = OverloadDetector::new(config.interval, config.initial_capacity);
+    let mut shedder = config.shedder;
+    let mut report = NodeReport::default();
+
+    let now_ts = |epoch: Instant| Timestamp(epoch.elapsed().as_micros() as u64);
+    let interval = std::time::Duration::from_micros(config.interval.as_micros());
+    let mut next_tick = Instant::now() + interval;
+
+    loop {
+        // Drain messages until the tick deadline.
+        let timeout = next_tick.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(timeout) {
+            Ok(EngineMsg::Batch(mut rb)) => {
+                report.arrived_tuples += rb.batch.len() as u64;
+                if rb.batch.source().is_some() {
+                    if let Some(a) = assigners.get_mut(&rb.query) {
+                        a.stamp(now_ts(epoch), &mut rb.batch);
+                    }
+                }
+                buffer.push(rb);
+                continue;
+            }
+            Ok(EngineMsg::Sic(update)) => {
+                report.sic_updates += 1;
+                sic_table.apply(&update);
+                continue;
+            }
+            Ok(EngineMsg::Shutdown) => break,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+
+        // --- Tick: detector -> shedder -> processing. ---
+        next_tick += interval;
+        let now = now_ts(epoch);
+        let c = detector.threshold(&cost_model);
+        let buffered: usize = buffer.iter().map(|rb| rb.batch.len()).sum();
+
+        let keep: Vec<usize> = if buffered > c {
+            report.shed_invocations += 1;
+            let states = snapshot(&buffer, &sic_table);
+            let shed_start = Instant::now();
+            let decision = shedder.select_to_keep(c, &states);
+            report.shed_time_ns += shed_start.elapsed().as_nanos() as u64;
+            report.shed_decisions += 1;
+            report.kept_tuples += decision.kept_tuples as u64;
+            report.shed_tuples += decision.shed_tuples as u64;
+            report.shed_batches += decision.shed_batches as u64;
+            let mut keep = decision.keep;
+            keep.sort_unstable();
+            keep
+        } else {
+            report.kept_tuples += buffered as u64;
+            (0..buffer.len()).collect()
+        };
+
+        let busy_start = Instant::now();
+        let mut kept_tuples = 0u64;
+        let drained = std::mem::take(&mut buffer);
+        let mut keep_iter = keep.into_iter().peekable();
+        for (idx, rb) in drained.into_iter().enumerate() {
+            if keep_iter.peek() == Some(&idx) {
+                keep_iter.next();
+            } else {
+                continue;
+            }
+            kept_tuples += rb.batch.len() as u64;
+            if !config.synthetic_cost.is_zero() {
+                spin_for(config.synthetic_cost.as_micros() * rb.batch.len() as u64);
+            }
+            if let Some(rt) = runtimes.get_mut(&(rb.query, rb.fragment)) {
+                let (q, f) = (rb.query, rb.fragment);
+                let emissions = rt.ingest(rb.ingress, rb.batch.into_tuples(), now);
+                route(&routing, q, f, emissions);
+            }
+        }
+        for (&(q, f), rt) in runtimes.iter_mut() {
+            let emissions = rt.tick(now);
+            route(&routing, q, f, emissions);
+        }
+        let busy = TimeDelta::from_micros(busy_start.elapsed().as_micros() as u64);
+        cost_model.observe(busy, kept_tuples);
+    }
+    report
+}
+
+fn route(
+    routing: &WorkerRouting,
+    query: QueryId,
+    fragment: usize,
+    emissions: Vec<themis_operators::op::Emission>,
+) {
+    for e in emissions {
+        match routing.downstream.get(&(query, fragment)) {
+            Some(&(node, df)) => {
+                let rb = RoutedBatch {
+                    query,
+                    fragment: df,
+                    ingress: Ingress::Upstream(fragment),
+                    batch: Batch::new(query, e.at, e.tuples),
+                };
+                // A full channel or closed peer means shutdown is racing;
+                // dropping the batch is equivalent to shedding it.
+                let _ = routing.node_txs[node].send(EngineMsg::Batch(rb));
+            }
+            None => {
+                let _ = routing.results_tx.send(ResultEvent {
+                    query,
+                    at: e.at,
+                    sic: e.sic(),
+                    rows: e.tuples.into_iter().map(|t| t.values).collect(),
+                });
+            }
+        }
+    }
+}
+
+fn snapshot(buffer: &[RoutedBatch], sic_table: &SicTable) -> Vec<QueryBufferState> {
+    let mut by_query: HashMap<QueryId, Vec<CandidateBatch>> = HashMap::new();
+    for (idx, rb) in buffer.iter().enumerate() {
+        by_query.entry(rb.query).or_default().push(CandidateBatch {
+            buffer_index: idx,
+            sic: rb.batch.sic(),
+            tuples: rb.batch.len(),
+            created: rb.batch.created(),
+        });
+    }
+    let mut states: Vec<QueryBufferState> = by_query
+        .into_iter()
+        .map(|(query, batches)| {
+            let buffered: Sic = batches.iter().map(|b| b.sic).sum();
+            let reported = sic_table.get(query);
+            QueryBufferState {
+                query,
+                base_sic: Sic((reported.value() - buffered.value()).max(0.0)),
+                batches,
+            }
+        })
+        .collect();
+    states.sort_by_key(|s| s.query);
+    states
+}
+
+/// Busy-spins for roughly `micros` microseconds (sleeping is too coarse at
+/// this granularity).
+fn spin_for(micros: u64) {
+    let start = Instant::now();
+    let target = std::time::Duration::from_micros(micros);
+    while start.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_roughly_waits() {
+        let t0 = Instant::now();
+        spin_for(200);
+        let us = t0.elapsed().as_micros();
+        assert!(us >= 200, "spun only {us}us");
+    }
+
+    #[test]
+    fn snapshot_projects_base_sic() {
+        let tuples = vec![Tuple::measurement(Timestamp(0), Sic(0.2), 1.0)];
+        let rb = RoutedBatch {
+            query: QueryId(1),
+            fragment: 0,
+            ingress: Ingress::Source(SourceId(0)),
+            batch: Batch::new(QueryId(1), Timestamp(0), tuples),
+        };
+        let mut table = SicTable::new();
+        table.set(QueryId(1), Sic(0.5));
+        let states = snapshot(&[rb], &table);
+        assert_eq!(states.len(), 1);
+        assert!((states[0].base_sic.value() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! # themis-operators
+//!
+//! SIC-propagating streaming operators for THEMIS. Operators are black
+//! boxes to the fairness machinery (§4 of the paper): each one consumes
+//! *atomic input groups* defined by its window and emits derived tuples that
+//! carry `sum(input SIC) / |outputs|` (Eq. 3).
+//!
+//! * [`window`] — pass-through, tumbling, sliding and count windows;
+//! * [`logic`] — the black-box logic: aggregates, filter/project, top-k,
+//!   group-by, join, covariance;
+//! * [`op`] — [`op::WindowedOperator`], the executable combination that
+//!   handles SIC propagation.
+//!
+//! ```
+//! use themis_operators::prelude::*;
+//! use themis_core::prelude::*;
+//!
+//! let spec = OperatorSpec::new(
+//!     WindowSpec::tumbling(TimeDelta::from_secs(1)),
+//!     LogicSpec::Avg { field: 0 },
+//! );
+//! let mut avg = spec.build();
+//! avg.push(0, vec![Tuple::measurement(Timestamp(0), Sic(0.5), 10.0)], Timestamp(0));
+//! // Windows close `grace` after their end (default 500 ms).
+//! let out = avg.tick(Timestamp::from_millis(1500));
+//! assert_eq!(out[0].tuples[0].f64(0), 10.0);
+//! assert_eq!(out[0].tuples[0].sic, Sic(0.5)); // Eq. 3
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod logic;
+pub mod op;
+pub mod window;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::logic::{CmpOp, LogicSpec, PaneLogic, Predicate};
+    pub use crate::op::{Emission, OperatorSpec, WindowedOperator};
+    pub use crate::window::{Pane, WindowBuffer, WindowSpec};
+}

@@ -1,0 +1,320 @@
+//! Windowed aggregate logic: AVG, SUM, COUNT (with HAVING), MAX, MIN, plus
+//! the partial/merge pair used by incremental multi-fragment trees
+//! (the AVG-all workload of Table 1). Aggregates collapse the pane, so they
+//! return no per-row timestamps — the operator wrapper stamps outputs with
+//! the pane's window timestamp.
+
+use themis_core::prelude::*;
+
+use super::filter::Predicate;
+use super::{OutRow, PaneLogic};
+
+fn values<'a>(panes: &'a [&[Tuple]], field: usize) -> impl Iterator<Item = f64> + 'a {
+    panes
+        .iter()
+        .flat_map(|p| p.iter())
+        .map(move |t| t.values.get(field).map(|v| v.as_f64()).unwrap_or(0.0))
+}
+
+fn is_empty(panes: &[&[Tuple]]) -> bool {
+    panes.iter().all(|p| p.is_empty())
+}
+
+/// `Select Avg(t.v)` over a pane; emits `[avg]`.
+#[derive(Debug)]
+pub struct AvgLogic {
+    field: usize,
+}
+
+impl AvgLogic {
+    /// Creates the aggregate on `field`.
+    pub fn new(field: usize) -> Self {
+        AvgLogic { field }
+    }
+}
+
+impl PaneLogic for AvgLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        if is_empty(panes) {
+            return Vec::new();
+        }
+        let (mut sum, mut n) = (0.0, 0u64);
+        for v in values(panes, self.field) {
+            sum += v;
+            n += 1;
+        }
+        vec![(None, vec![Value::F64(sum / n as f64)])]
+    }
+
+    fn name(&self) -> &'static str {
+        "avg"
+    }
+}
+
+/// Incremental partial average; emits `[sum, count]` so a downstream
+/// [`MergeAvgLogic`] can combine fragments exactly.
+#[derive(Debug)]
+pub struct PartialAvgLogic {
+    field: usize,
+}
+
+impl PartialAvgLogic {
+    /// Creates the partial aggregate on `field`.
+    pub fn new(field: usize) -> Self {
+        PartialAvgLogic { field }
+    }
+}
+
+impl PaneLogic for PartialAvgLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        if is_empty(panes) {
+            return Vec::new();
+        }
+        let (mut sum, mut n) = (0.0, 0i64);
+        for v in values(panes, self.field) {
+            sum += v;
+            n += 1;
+        }
+        vec![(None, vec![Value::F64(sum), Value::I64(n)])]
+    }
+
+    fn name(&self) -> &'static str {
+        "partial-avg"
+    }
+}
+
+/// Merges `[sum, count]` partials into the exact global `[avg]`.
+#[derive(Debug, Default)]
+pub struct MergeAvgLogic;
+
+impl PaneLogic for MergeAvgLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        let (mut sum, mut n) = (0.0, 0i64);
+        for t in panes.iter().flat_map(|p| p.iter()) {
+            sum += t.values.first().map(|v| v.as_f64()).unwrap_or(0.0);
+            n += t.values.get(1).map(|v| v.as_i64()).unwrap_or(0);
+        }
+        if n == 0 {
+            return Vec::new();
+        }
+        vec![(None, vec![Value::F64(sum / n as f64)])]
+    }
+
+    fn name(&self) -> &'static str {
+        "merge-avg"
+    }
+}
+
+/// `Select Sum(t.v)`; emits `[sum]`.
+#[derive(Debug)]
+pub struct SumLogic {
+    field: usize,
+}
+
+impl SumLogic {
+    /// Creates the aggregate on `field`.
+    pub fn new(field: usize) -> Self {
+        SumLogic { field }
+    }
+}
+
+impl PaneLogic for SumLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        if is_empty(panes) {
+            return Vec::new();
+        }
+        vec![(None, vec![Value::F64(values(panes, self.field).sum())])]
+    }
+
+    fn name(&self) -> &'static str {
+        "sum"
+    }
+}
+
+/// `Select Count(t.v) [Having pred]`; emits `[count]`. The optional
+/// predicate implements Table 1's `Having t.v >= 50` COUNT query inside the
+/// atomic pane, so the pane's SIC mass is retained by the count result.
+#[derive(Debug)]
+pub struct CountLogic {
+    predicate: Option<Predicate>,
+}
+
+impl CountLogic {
+    /// Creates the aggregate with an optional HAVING predicate.
+    pub fn new(predicate: Option<Predicate>) -> Self {
+        CountLogic { predicate }
+    }
+}
+
+impl PaneLogic for CountLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        if is_empty(panes) {
+            return Vec::new();
+        }
+        let n = panes
+            .iter()
+            .flat_map(|p| p.iter())
+            .filter(|t| self.predicate.map(|p| p.eval(t)).unwrap_or(true))
+            .count();
+        vec![(None, vec![Value::I64(n as i64)])]
+    }
+
+    fn name(&self) -> &'static str {
+        "count"
+    }
+}
+
+/// `Select Max(t.v)`; emits `[max]`.
+#[derive(Debug)]
+pub struct MaxLogic {
+    field: usize,
+}
+
+impl MaxLogic {
+    /// Creates the aggregate on `field`.
+    pub fn new(field: usize) -> Self {
+        MaxLogic { field }
+    }
+}
+
+impl PaneLogic for MaxLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        values(panes, self.field)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .map(|m| vec![(None, vec![Value::F64(m)])])
+            .unwrap_or_default()
+    }
+
+    fn name(&self) -> &'static str {
+        "max"
+    }
+}
+
+/// `Select Min(t.v)`; emits `[min]`.
+#[derive(Debug)]
+pub struct MinLogic {
+    field: usize,
+}
+
+impl MinLogic {
+    /// Creates the aggregate on `field`.
+    pub fn new(field: usize) -> Self {
+        MinLogic { field }
+    }
+}
+
+impl PaneLogic for MinLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        values(panes, self.field)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .map(|m| vec![(None, vec![Value::F64(m)])])
+            .unwrap_or_default()
+    }
+
+    fn name(&self) -> &'static str {
+        "min"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::filter::CmpOp;
+    use super::*;
+
+    fn pane(vals: &[f64]) -> Vec<Tuple> {
+        vals.iter()
+            .map(|&v| Tuple::measurement(Timestamp(0), Sic(0.1), v))
+            .collect()
+    }
+
+    fn rows(out: Vec<OutRow>) -> Vec<Row> {
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    #[test]
+    fn avg_of_pane() {
+        let p = pane(&[10.0, 20.0, 30.0]);
+        let out = AvgLogic::new(0).apply(&[&p]);
+        assert_eq!(out[0].0, None, "aggregates are stamped by the pane");
+        assert_eq!(rows(out), vec![vec![Value::F64(20.0)]]);
+    }
+
+    #[test]
+    fn avg_empty_emits_nothing() {
+        assert!(AvgLogic::new(0).apply(&[&[][..]]).is_empty());
+    }
+
+    #[test]
+    fn partial_then_merge_is_exact() {
+        let p1 = pane(&[10.0, 20.0]);
+        let p2 = pane(&[40.0]);
+        let r1 = PartialAvgLogic::new(0).apply(&[&p1]);
+        let r2 = PartialAvgLogic::new(0).apply(&[&p2]);
+        let partials: Vec<Tuple> = [r1, r2]
+            .into_iter()
+            .flatten()
+            .map(|(_, row)| Tuple::new(Timestamp(0), Sic(0.1), row))
+            .collect();
+        let merged = MergeAvgLogic.apply(&[&partials]);
+        let avg = merged[0].1[0].as_f64();
+        assert!((avg - 70.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_avg_with_zero_count_emits_nothing() {
+        assert!(MergeAvgLogic.apply(&[&[][..]]).is_empty());
+    }
+
+    #[test]
+    fn sum_logic() {
+        let p = pane(&[1.5, 2.5]);
+        assert_eq!(
+            rows(SumLogic::new(0).apply(&[&p])),
+            vec![vec![Value::F64(4.0)]]
+        );
+    }
+
+    #[test]
+    fn count_with_having() {
+        let p = pane(&[10.0, 55.0, 50.0, 99.0]);
+        let out = CountLogic::new(Some(Predicate::new(0, CmpOp::Ge, 50.0))).apply(&[&p]);
+        assert_eq!(rows(out), vec![vec![Value::I64(3)]]);
+        let all = CountLogic::new(None).apply(&[&p]);
+        assert_eq!(rows(all), vec![vec![Value::I64(4)]]);
+    }
+
+    #[test]
+    fn count_having_zero_matches_still_emits() {
+        // The pane was processed: the count result (0) is a valid result
+        // carrying the pane's SIC mass.
+        let p = pane(&[1.0]);
+        let out = CountLogic::new(Some(Predicate::new(0, CmpOp::Ge, 50.0))).apply(&[&p]);
+        assert_eq!(rows(out), vec![vec![Value::I64(0)]]);
+    }
+
+    #[test]
+    fn max_min() {
+        let p = pane(&[3.0, -1.0, 7.0]);
+        assert_eq!(
+            rows(MaxLogic::new(0).apply(&[&p])),
+            vec![vec![Value::F64(7.0)]]
+        );
+        assert_eq!(
+            rows(MinLogic::new(0).apply(&[&p])),
+            vec![vec![Value::F64(-1.0)]]
+        );
+        assert!(MaxLogic::new(0).apply(&[&[][..]]).is_empty());
+    }
+
+    #[test]
+    fn aggregates_span_ports() {
+        let p0 = pane(&[1.0]);
+        let p1 = pane(&[3.0]);
+        let out = AvgLogic::new(0).apply(&[&p0, &p1]);
+        assert_eq!(rows(out), vec![vec![Value::F64(2.0)]]);
+    }
+}

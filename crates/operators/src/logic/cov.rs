@@ -1,0 +1,88 @@
+//! Sample covariance over two input streams (the COV workload of Table 1:
+//! "covariance of CPU usage of two nodes every sec").
+
+use themis_core::prelude::*;
+
+use super::{OutRow, PaneLogic};
+
+/// Computes the sample covariance between the `field` values of port 0 and
+/// port 1 within one pane, pairing tuples positionally (both sources sample
+/// the same clock). Emits `[cov]`, or nothing when fewer than two pairs are
+/// available.
+#[derive(Debug)]
+pub struct CovLogic {
+    field: usize,
+}
+
+impl CovLogic {
+    /// Creates the logic on `field` of both ports.
+    pub fn new(field: usize) -> Self {
+        CovLogic { field }
+    }
+}
+
+impl PaneLogic for CovLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        let xs = panes.first().copied().unwrap_or(&[]);
+        let ys = panes.get(1).copied().unwrap_or(&[]);
+        let n = xs.len().min(ys.len());
+        if n < 2 {
+            return Vec::new();
+        }
+        let get = |t: &Tuple| t.values.get(self.field).map(|v| v.as_f64()).unwrap_or(0.0);
+        let mx = xs[..n].iter().map(get).sum::<f64>() / n as f64;
+        let my = ys[..n].iter().map(get).sum::<f64>() / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += (get(&xs[i]) - mx) * (get(&ys[i]) - my);
+        }
+        vec![(None, vec![Value::F64(acc / (n as f64 - 1.0))])]
+    }
+
+    fn name(&self) -> &'static str {
+        "cov"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pane(vals: &[f64]) -> Vec<Tuple> {
+        vals.iter()
+            .map(|&v| Tuple::measurement(Timestamp(0), Sic(0.1), v))
+            .collect()
+    }
+
+    #[test]
+    fn covariance_of_linear_series() {
+        let x = pane(&[1.0, 2.0, 3.0, 4.0]);
+        let y = pane(&[2.0, 4.0, 6.0, 8.0]);
+        let out = CovLogic::new(0).apply(&[&x, &y]);
+        assert!((out[0].1[0].as_f64() - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_covariance() {
+        let x = pane(&[1.0, 2.0, 3.0]);
+        let y = pane(&[3.0, 2.0, 1.0]);
+        let out = CovLogic::new(0).apply(&[&x, &y]);
+        assert!(out[0].1[0].as_f64() < 0.0);
+    }
+
+    #[test]
+    fn uses_min_length() {
+        let x = pane(&[1.0, 2.0, 3.0]);
+        let y = pane(&[1.0, 2.0]);
+        let out = CovLogic::new(0).apply(&[&x, &y]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn too_few_pairs_emits_nothing() {
+        let x = pane(&[1.0]);
+        let y = pane(&[2.0]);
+        assert!(CovLogic::new(0).apply(&[&x, &y]).is_empty());
+        assert!(CovLogic::new(0).apply(&[]).is_empty());
+    }
+}

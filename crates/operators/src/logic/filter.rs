@@ -1,0 +1,193 @@
+//! Stateless row logic: identity, filter, project. All three are
+//! row-preserving: output rows inherit the timestamp of the tuple they came
+//! from, so downstream event-time windows keep grouping correctly.
+
+use themis_core::prelude::*;
+
+use super::{OutRow, PaneLogic};
+
+/// Comparison operator for predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `field > v`
+    Gt,
+    /// `field >= v`
+    Ge,
+    /// `field < v`
+    Lt,
+    /// `field <= v`
+    Le,
+    /// `field == v` (numeric equality)
+    Eq,
+}
+
+/// A `field ⊙ constant` predicate over the numeric view of a field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predicate {
+    /// Field index.
+    pub field: usize,
+    /// Comparison.
+    pub op: CmpOp,
+    /// Right-hand constant.
+    pub value: f64,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(field: usize, op: CmpOp, value: f64) -> Self {
+        Predicate { field, op, value }
+    }
+
+    /// Evaluates the predicate against a tuple.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        let v = t.values.get(self.field).map(|v| v.as_f64()).unwrap_or(0.0);
+        match self.op {
+            CmpOp::Gt => v > self.value,
+            CmpOp::Ge => v >= self.value,
+            CmpOp::Lt => v < self.value,
+            CmpOp::Le => v <= self.value,
+            CmpOp::Eq => v == self.value,
+        }
+    }
+}
+
+/// Pass-through logic used by source receivers, forwarders and output
+/// operators: every input row is emitted unchanged.
+#[derive(Debug, Default)]
+pub struct IdentityLogic;
+
+impl PaneLogic for IdentityLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        panes
+            .iter()
+            .flat_map(|p| p.iter().map(|t| (Some(t.ts), t.values.clone())))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+/// Filter: emits the rows matching the predicate. Because the pane is the
+/// atomic unit (Eq. 3), the pane's SIC mass redistributes over survivors —
+/// filtering alone does not degrade the query's SIC unless *all* rows drop.
+#[derive(Debug)]
+pub struct FilterLogic {
+    predicate: Predicate,
+}
+
+impl FilterLogic {
+    /// Creates the filter.
+    pub fn new(predicate: Predicate) -> Self {
+        FilterLogic { predicate }
+    }
+}
+
+impl PaneLogic for FilterLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        panes
+            .iter()
+            .flat_map(|p| p.iter())
+            .filter(|t| self.predicate.eval(t))
+            .map(|t| (Some(t.ts), t.values.clone()))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+}
+
+/// Projection: keeps a subset of fields per row.
+#[derive(Debug)]
+pub struct ProjectLogic {
+    fields: Vec<usize>,
+}
+
+impl ProjectLogic {
+    /// Creates the projection.
+    pub fn new(fields: Vec<usize>) -> Self {
+        ProjectLogic { fields }
+    }
+}
+
+impl PaneLogic for ProjectLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        panes
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|t| {
+                let row = self
+                    .fields
+                    .iter()
+                    .map(|&f| t.values.get(f).copied().unwrap_or(Value::F64(0.0)))
+                    .collect();
+                (Some(t.ts), row)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "project"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> Tuple {
+        Tuple::measurement(Timestamp(7), Sic(0.1), v)
+    }
+
+    #[test]
+    fn predicate_ops() {
+        let x = t(50.0);
+        assert!(Predicate::new(0, CmpOp::Ge, 50.0).eval(&x));
+        assert!(!Predicate::new(0, CmpOp::Gt, 50.0).eval(&x));
+        assert!(Predicate::new(0, CmpOp::Le, 50.0).eval(&x));
+        assert!(!Predicate::new(0, CmpOp::Lt, 50.0).eval(&x));
+        assert!(Predicate::new(0, CmpOp::Eq, 50.0).eval(&x));
+        // Missing field reads as 0.
+        assert!(Predicate::new(7, CmpOp::Lt, 1.0).eval(&x));
+    }
+
+    #[test]
+    fn identity_passes_all_preserving_ts() {
+        let tuples = vec![t(1.0), t(2.0)];
+        let mut id = IdentityLogic;
+        let out = id.apply(&[&tuples]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, Some(Timestamp(7)));
+        assert_eq!(out[0].1[0].as_f64(), 1.0);
+    }
+
+    #[test]
+    fn filter_selects_matching() {
+        let tuples = vec![t(10.0), t(60.0), t(55.0)];
+        let mut f = FilterLogic::new(Predicate::new(0, CmpOp::Ge, 50.0));
+        let out = f.apply(&[&tuples]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(ts, _)| ts.is_some()));
+    }
+
+    #[test]
+    fn filter_can_drop_everything() {
+        let tuples = vec![t(1.0)];
+        let mut f = FilterLogic::new(Predicate::new(0, CmpOp::Gt, 100.0));
+        assert!(f.apply(&[&tuples]).is_empty());
+    }
+
+    #[test]
+    fn project_reorders_fields() {
+        let tuple = Tuple::new(
+            Timestamp(0),
+            Sic(0.1),
+            vec![Value::I64(7), Value::F64(3.5)],
+        );
+        let mut p = ProjectLogic::new(vec![1, 0]);
+        let out = p.apply(&[&[tuple][..]]);
+        assert_eq!(out[0].1, vec![Value::F64(3.5), Value::I64(7)]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Windowed equi-join (the TOP-5 workload joins CPU and memory streams on
+//! node id, Table 1).
+
+use std::collections::HashMap;
+
+use themis_core::prelude::*;
+
+use super::{OutRow, PaneLogic};
+
+/// Hash equi-join of the two input ports on integer key fields. For every
+/// matching pair the output row is the left row concatenated with the right
+/// row. The pane pair is processed atomically, so Eq. 3 spreads the combined
+/// SIC mass of both panes over the join results.
+#[derive(Debug)]
+pub struct JoinLogic {
+    left_key: usize,
+    right_key: usize,
+}
+
+impl JoinLogic {
+    /// Creates the join.
+    pub fn new(left_key: usize, right_key: usize) -> Self {
+        JoinLogic {
+            left_key,
+            right_key,
+        }
+    }
+}
+
+impl PaneLogic for JoinLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        let left = panes.first().copied().unwrap_or(&[]);
+        let right = panes.get(1).copied().unwrap_or(&[]);
+        // Build side: the smaller pane.
+        let mut index: HashMap<i64, Vec<&Tuple>> = HashMap::new();
+        for t in right {
+            let k = t
+                .values
+                .get(self.right_key)
+                .map(|v| v.as_i64())
+                .unwrap_or(0);
+            index.entry(k).or_default().push(t);
+        }
+        let mut out = Vec::new();
+        for l in left {
+            let k = l
+                .values
+                .get(self.left_key)
+                .map(|v| v.as_i64())
+                .unwrap_or(0);
+            if let Some(matches) = index.get(&k) {
+                for r in matches {
+                    let mut row = l.values.clone();
+                    row.extend(r.values.iter().copied());
+                    out.push((None, row));
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "join"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: i64, v: f64) -> Tuple {
+        Tuple::new(Timestamp(0), Sic(0.1), vec![Value::I64(id), Value::F64(v)])
+    }
+
+    #[test]
+    fn joins_matching_keys() {
+        let left = vec![row(1, 0.5), row(2, 0.7)];
+        let right = vec![row(2, 100.0), row(3, 200.0)];
+        let out = JoinLogic::new(0, 0).apply(&[&left, &right]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].1,
+            vec![
+                Value::I64(2),
+                Value::F64(0.7),
+                Value::I64(2),
+                Value::F64(100.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn join_produces_cross_product_per_key() {
+        let left = vec![row(1, 0.1), row(1, 0.2)];
+        let right = vec![row(1, 10.0), row(1, 20.0)];
+        let out = JoinLogic::new(0, 0).apply(&[&left, &right]);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn empty_sides_join_to_nothing() {
+        let left = vec![row(1, 0.1)];
+        assert!(JoinLogic::new(0, 0).apply(&[&left, &[][..]]).is_empty());
+        assert!(JoinLogic::new(0, 0).apply(&[&[][..], &left]).is_empty());
+        assert!(JoinLogic::new(0, 0).apply(&[]).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Top-k and group-by logic used by the TOP-5 workload of Table 1.
+
+use std::collections::HashMap;
+
+use themis_core::prelude::*;
+
+use super::{OutRow, PaneLogic};
+
+/// Emits the `k` rows with the largest `value_field`, as `[id, value]`
+/// pairs in descending value order. Duplicate ids keep their best value, so
+/// the logic also merges partial top-k lists arriving from upstream
+/// fragments (the incremental chain layout of §7).
+#[derive(Debug)]
+pub struct TopKLogic {
+    k: usize,
+    id_field: usize,
+    value_field: usize,
+}
+
+impl TopKLogic {
+    /// Creates the logic.
+    pub fn new(k: usize, id_field: usize, value_field: usize) -> Self {
+        TopKLogic {
+            k: k.max(1),
+            id_field,
+            value_field,
+        }
+    }
+}
+
+impl PaneLogic for TopKLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        let mut best: HashMap<i64, f64> = HashMap::new();
+        for t in panes.iter().flat_map(|p| p.iter()) {
+            let id = t.values.get(self.id_field).map(|v| v.as_i64()).unwrap_or(0);
+            let v = t
+                .values
+                .get(self.value_field)
+                .map(|v| v.as_f64())
+                .unwrap_or(0.0);
+            best.entry(id)
+                .and_modify(|cur| *cur = cur.max(v))
+                .or_insert(v);
+        }
+        let mut rows: Vec<(i64, f64)> = best.into_iter().collect();
+        // Descending by value, ascending id as a deterministic tie-break.
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(self.k);
+        rows.into_iter()
+            .map(|(id, v)| (None, vec![Value::I64(id), Value::F64(v)]))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "top-k"
+    }
+}
+
+/// Per-key maximum (a group-by aggregate); emits `[key, max]` rows in
+/// ascending key order.
+#[derive(Debug)]
+pub struct GroupMaxLogic {
+    key_field: usize,
+    value_field: usize,
+}
+
+impl GroupMaxLogic {
+    /// Creates the logic.
+    pub fn new(key_field: usize, value_field: usize) -> Self {
+        GroupMaxLogic {
+            key_field,
+            value_field,
+        }
+    }
+}
+
+impl PaneLogic for GroupMaxLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        let mut best: HashMap<i64, f64> = HashMap::new();
+        for t in panes.iter().flat_map(|p| p.iter()) {
+            let key = t
+                .values
+                .get(self.key_field)
+                .map(|v| v.as_i64())
+                .unwrap_or(0);
+            let v = t
+                .values
+                .get(self.value_field)
+                .map(|v| v.as_f64())
+                .unwrap_or(0.0);
+            best.entry(key)
+                .and_modify(|cur| *cur = cur.max(v))
+                .or_insert(v);
+        }
+        let mut rows: Vec<(i64, f64)> = best.into_iter().collect();
+        rows.sort_by_key(|&(k, _)| k);
+        rows.into_iter()
+            .map(|(k, v)| (None, vec![Value::I64(k), Value::F64(v)]))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "group-max"
+    }
+}
+
+/// Per-key average (a group-by aggregate); emits `[key, avg]` rows in
+/// ascending key order. The TOP-5 workload uses it to average each node's
+/// CPU and memory readings inside one window before joining.
+#[derive(Debug)]
+pub struct GroupAvgLogic {
+    key_field: usize,
+    value_field: usize,
+}
+
+impl GroupAvgLogic {
+    /// Creates the logic.
+    pub fn new(key_field: usize, value_field: usize) -> Self {
+        GroupAvgLogic {
+            key_field,
+            value_field,
+        }
+    }
+}
+
+impl PaneLogic for GroupAvgLogic {
+    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+        let mut acc: HashMap<i64, (f64, u64)> = HashMap::new();
+        for t in panes.iter().flat_map(|p| p.iter()) {
+            let key = t
+                .values
+                .get(self.key_field)
+                .map(|v| v.as_i64())
+                .unwrap_or(0);
+            let v = t
+                .values
+                .get(self.value_field)
+                .map(|v| v.as_f64())
+                .unwrap_or(0.0);
+            let e = acc.entry(key).or_insert((0.0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        let mut rows: Vec<(i64, f64)> = acc
+            .into_iter()
+            .map(|(k, (sum, n))| (k, sum / n as f64))
+            .collect();
+        rows.sort_by_key(|&(k, _)| k);
+        rows.into_iter()
+            .map(|(k, v)| (None, vec![Value::I64(k), Value::F64(v)]))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "group-avg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: i64, v: f64) -> Tuple {
+        Tuple::new(
+            Timestamp(0),
+            Sic(0.1),
+            vec![Value::I64(id), Value::F64(v)],
+        )
+    }
+
+    fn ids(out: &[OutRow]) -> Vec<i64> {
+        out.iter().map(|(_, r)| r[0].as_i64()).collect()
+    }
+
+    #[test]
+    fn topk_orders_descending() {
+        let pane = vec![row(1, 5.0), row(2, 9.0), row(3, 7.0), row(4, 1.0)];
+        let out = TopKLogic::new(2, 0, 1).apply(&[&pane]);
+        assert_eq!(ids(&out), vec![2, 3]);
+    }
+
+    #[test]
+    fn topk_merges_duplicate_ids() {
+        let pane = vec![row(1, 5.0), row(1, 8.0), row(2, 6.0)];
+        let out = TopKLogic::new(5, 0, 1).apply(&[&pane]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1[0].as_i64(), 1);
+        assert_eq!(out[0].1[1].as_f64(), 8.0);
+    }
+
+    #[test]
+    fn topk_ties_break_on_id() {
+        let pane = vec![row(9, 5.0), row(3, 5.0)];
+        let out = TopKLogic::new(2, 0, 1).apply(&[&pane]);
+        assert_eq!(out[0].1[0].as_i64(), 3);
+    }
+
+    #[test]
+    fn topk_handles_short_panes() {
+        let pane = vec![row(1, 5.0)];
+        let out = TopKLogic::new(5, 0, 1).apply(&[&pane]);
+        assert_eq!(out.len(), 1);
+        assert!(TopKLogic::new(5, 0, 1).apply(&[&[][..]]).is_empty());
+    }
+
+    #[test]
+    fn group_max_groups() {
+        let pane = vec![row(1, 5.0), row(1, 7.0), row(2, 3.0)];
+        let out = GroupMaxLogic::new(0, 1).apply(&[&pane]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1, vec![Value::I64(1), Value::F64(7.0)]);
+        assert_eq!(out[1].1, vec![Value::I64(2), Value::F64(3.0)]);
+    }
+
+    #[test]
+    fn group_avg_averages_per_key() {
+        let pane = vec![row(1, 4.0), row(1, 8.0), row(2, 3.0)];
+        let out = GroupAvgLogic::new(0, 1).apply(&[&pane]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1, vec![Value::I64(1), Value::F64(6.0)]);
+        assert_eq!(out[1].1, vec![Value::I64(2), Value::F64(3.0)]);
+    }
+}

@@ -1,0 +1,362 @@
+//! The executable operator: window + black-box logic + Eq.-3 SIC
+//! propagation.
+//!
+//! A [`WindowedOperator`] buffers pushed tuples in its [`WindowBuffer`];
+//! whenever a pane closes, the pane's tuple groups are handed atomically to
+//! the [`PaneLogic`], and every output tuple receives
+//! `sum(input SIC) / |outputs|` (Eq. 3). Row-preserving logic keeps the
+//! originating tuples' timestamps; aggregate outputs are stamped with the
+//! pane's window timestamp.
+
+use themis_core::prelude::*;
+
+use crate::logic::{LogicSpec, PaneLogic};
+use crate::window::{WindowBuffer, WindowSpec};
+
+/// An atomic output group of one operator (becomes a batch downstream).
+#[derive(Debug, Clone)]
+pub struct Emission {
+    /// Emission stamp (pane timestamp).
+    pub at: Timestamp,
+    /// Output tuples, each already stamped with its Eq.-3 SIC share.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Emission {
+    /// Total SIC mass carried by this emission.
+    pub fn sic(&self) -> Sic {
+        self.tuples.iter().map(|t| t.sic).sum()
+    }
+}
+
+/// Declarative operator description used by query graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSpec {
+    /// Window that atomically groups the operator's input.
+    pub window: WindowSpec,
+    /// Black-box processing logic.
+    pub logic: LogicSpec,
+    /// Lateness grace for time windows; templates grow this along fragment
+    /// chains so downstream windows wait for delayed upstream partials.
+    pub grace: TimeDelta,
+}
+
+/// Default lateness grace: covers one shedding interval (250 ms) plus LAN
+/// latency and processing time.
+pub const DEFAULT_GRACE: TimeDelta = TimeDelta(500_000);
+
+impl OperatorSpec {
+    /// Creates a spec with the default grace.
+    pub fn new(window: WindowSpec, logic: LogicSpec) -> Self {
+        OperatorSpec {
+            window,
+            logic,
+            grace: DEFAULT_GRACE,
+        }
+    }
+
+    /// Creates a spec with an explicit grace.
+    pub fn with_grace(window: WindowSpec, logic: LogicSpec, grace: TimeDelta) -> Self {
+        OperatorSpec {
+            window,
+            logic,
+            grace,
+        }
+    }
+
+    /// A pass-through operator (receiver, forwarder, output).
+    pub fn identity() -> Self {
+        OperatorSpec::new(WindowSpec::PassThrough, LogicSpec::Identity)
+    }
+
+    /// Instantiates the executable operator.
+    pub fn build(&self) -> WindowedOperator {
+        WindowedOperator::new(
+            self.window,
+            self.logic.build(),
+            self.logic.ports(),
+            self.grace,
+        )
+    }
+
+    /// Number of input ports.
+    pub fn ports(&self) -> usize {
+        self.logic.ports()
+    }
+}
+
+/// An instantiated, stateful operator.
+pub struct WindowedOperator {
+    buffer: WindowBuffer,
+    logic: Box<dyn PaneLogic>,
+    processed_tuples: u64,
+}
+
+impl WindowedOperator {
+    /// Wires a window to logic over `ports` input ports.
+    pub fn new(
+        window: WindowSpec,
+        logic: Box<dyn PaneLogic>,
+        ports: usize,
+        grace: TimeDelta,
+    ) -> Self {
+        WindowedOperator {
+            buffer: WindowBuffer::new(window, ports, grace),
+            logic,
+            processed_tuples: 0,
+        }
+    }
+
+    /// Logic name, for diagnostics.
+    pub fn name(&self) -> &'static str {
+        self.logic.name()
+    }
+
+    /// Feeds tuples into `port` without draining. Callers delivering to
+    /// multi-port operators must feed *all* ports before calling
+    /// [`WindowedOperator::tick`], otherwise a due pane could close with
+    /// only part of its input (e.g. a join seeing one side only).
+    pub fn feed(&mut self, port: usize, tuples: Vec<Tuple>, now: Timestamp) {
+        self.buffer.push(port, tuples, now);
+    }
+
+    /// Feeds tuples into `port` and drains immediately; returns emissions
+    /// that become ready (pass-through and filled count windows). Only safe
+    /// for single-port operators or when ports are fed in lock-step.
+    pub fn push(&mut self, port: usize, tuples: Vec<Tuple>, now: Timestamp) -> Vec<Emission> {
+        self.buffer.push(port, tuples, now);
+        self.drain(now)
+    }
+
+    /// Advances logical time, closing due panes.
+    pub fn tick(&mut self, now: Timestamp) -> Vec<Emission> {
+        self.drain(now)
+    }
+
+    /// Tuples processed by the logic so far (cost-model accounting).
+    pub fn processed_tuples(&self) -> u64 {
+        self.processed_tuples
+    }
+
+    /// Tuples currently buffered in open windows.
+    pub fn buffered_tuples(&self) -> usize {
+        self.buffer.buffered()
+    }
+
+    fn drain(&mut self, now: Timestamp) -> Vec<Emission> {
+        let panes = self.buffer.close_up_to(now);
+        let mut out = Vec::with_capacity(panes.len());
+        for pane in panes {
+            let input_sic = pane.input_sic();
+            self.processed_tuples += pane.input_len() as u64;
+            let groups: Vec<&[Tuple]> = pane.inputs.iter().map(Vec::as_slice).collect();
+            let rows = self.logic.apply(&groups);
+            if rows.is_empty() {
+                // Mass is lost when an atomic group yields no derived tuples
+                // (e.g. a join window with no matches) — the paper's model.
+                continue;
+            }
+            let share = Sic::derived_tuple(input_sic, rows.len());
+            let tuples = rows
+                .into_iter()
+                .map(|(ts, values)| Tuple::new(ts.unwrap_or(pane.at), share, values))
+                .collect();
+            out.push(Emission {
+                at: pane.at,
+                tuples,
+            });
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for WindowedOperator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedOperator")
+            .field("logic", &self.logic.name())
+            .field("window", &self.buffer.spec())
+            .field("buffered", &self.buffer.buffered())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{CmpOp, Predicate};
+
+    fn t(ms: u64, sic: f64, v: f64) -> Tuple {
+        Tuple::measurement(Timestamp::from_millis(ms), Sic(sic), v)
+    }
+
+    fn spec_no_grace(window: WindowSpec, logic: LogicSpec) -> OperatorSpec {
+        OperatorSpec::with_grace(window, logic, TimeDelta::ZERO)
+    }
+
+    #[test]
+    fn avg_operator_propagates_sic() {
+        let spec = spec_no_grace(
+            WindowSpec::tumbling(TimeDelta::from_secs(1)),
+            LogicSpec::Avg { field: 0 },
+        );
+        let mut op = spec.build();
+        assert!(op
+            .push(
+                0,
+                vec![t(100, 0.25, 10.0), t(600, 0.25, 30.0)],
+                Timestamp::from_millis(600),
+            )
+            .is_empty());
+        let out = op.tick(Timestamp::from_secs(1));
+        assert_eq!(out.len(), 1);
+        let e = &out[0];
+        assert_eq!(e.tuples.len(), 1);
+        assert_eq!(e.tuples[0].f64(0), 20.0);
+        // Eq. 3: 0.5 total input SIC over 1 output.
+        assert!((e.tuples[0].sic.value() - 0.5).abs() < 1e-12);
+        // Aggregate output is stamped 1 us before the window end.
+        assert_eq!(e.tuples[0].ts, Timestamp(999_999));
+        assert_eq!(op.processed_tuples(), 2);
+    }
+
+    #[test]
+    fn grace_defers_emission() {
+        let spec = OperatorSpec::new(
+            WindowSpec::tumbling(TimeDelta::from_secs(1)),
+            LogicSpec::Avg { field: 0 },
+        );
+        assert_eq!(spec.grace, DEFAULT_GRACE);
+        let mut op = spec.build();
+        op.push(0, vec![t(100, 0.1, 1.0)], Timestamp::from_millis(100));
+        assert!(op.tick(Timestamp::from_secs(1)).is_empty());
+        assert_eq!(op.tick(Timestamp::from_millis(1500)).len(), 1);
+    }
+
+    #[test]
+    fn filter_redistributes_mass_over_survivors() {
+        let spec = spec_no_grace(
+            WindowSpec::tumbling(TimeDelta::from_secs(1)),
+            LogicSpec::Filter(Predicate::new(0, CmpOp::Ge, 50.0)),
+        );
+        let mut op = spec.build();
+        op.push(
+            0,
+            vec![t(0, 0.1, 10.0), t(1, 0.1, 60.0), t(2, 0.1, 70.0)],
+            Timestamp::from_millis(2),
+        );
+        let out = op.tick(Timestamp::from_secs(1));
+        let e = &out[0];
+        assert_eq!(e.tuples.len(), 2);
+        // 0.3 input mass over 2 survivors: 0.15 each.
+        for tu in &e.tuples {
+            assert!((tu.sic.value() - 0.15).abs() < 1e-12);
+        }
+        assert!((e.sic().value() - 0.3).abs() < 1e-12);
+        // Row-preserving: original timestamps kept.
+        assert_eq!(e.tuples[0].ts, Timestamp::from_millis(1));
+    }
+
+    #[test]
+    fn empty_output_loses_mass() {
+        let spec = spec_no_grace(
+            WindowSpec::tumbling(TimeDelta::from_secs(1)),
+            LogicSpec::Filter(Predicate::new(0, CmpOp::Ge, 1000.0)),
+        );
+        let mut op = spec.build();
+        op.push(0, vec![t(0, 0.1, 10.0)], Timestamp(0));
+        let out = op.tick(Timestamp::from_secs(2));
+        assert!(out.is_empty(), "no emission when all rows filtered");
+    }
+
+    #[test]
+    fn passthrough_emits_on_push() {
+        let mut op = OperatorSpec::identity().build();
+        let out = op.push(0, vec![t(5, 0.2, 1.0)], Timestamp::from_millis(9));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tuples[0].sic, Sic(0.2));
+        assert_eq!(out[0].tuples[0].f64(0), 1.0);
+        // Identity keeps the tuple's own timestamp.
+        assert_eq!(out[0].tuples[0].ts, Timestamp::from_millis(5));
+    }
+
+    #[test]
+    fn two_port_join_spreads_combined_mass() {
+        let spec = spec_no_grace(
+            WindowSpec::tumbling(TimeDelta::from_secs(1)),
+            LogicSpec::Join {
+                left_key: 0,
+                right_key: 0,
+            },
+        );
+        let mut op = spec.build();
+        let row = |id: i64, v: f64, sic: f64| {
+            Tuple::new(
+                Timestamp::from_millis(10),
+                Sic(sic),
+                vec![Value::I64(id), Value::F64(v)],
+            )
+        };
+        op.push(
+            0,
+            vec![row(1, 0.9, 0.2), row(2, 0.5, 0.2)],
+            Timestamp::from_millis(10),
+        );
+        op.push(1, vec![row(1, 128.0, 0.3)], Timestamp::from_millis(10));
+        let out = op.tick(Timestamp::from_secs(1));
+        assert_eq!(out.len(), 1);
+        let e = &out[0];
+        assert_eq!(e.tuples.len(), 1, "only id 1 matches");
+        // Combined input mass 0.7 over one output row.
+        assert!((e.tuples[0].sic.value() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure2_three_operator_query() {
+        // Reproduces Figure 2 (no shedding): operators b and c feed a.
+        // b: 4 source tuples (SIC 0.125) -> 2 derived (0.25 each).
+        // c: 2 source tuples (SIC 0.25)  -> 2 derived (0.25 each).
+        // a: 4 derived -> results carrying total qSIC = 1.
+        let win = WindowSpec::tumbling(TimeDelta::from_secs(1));
+        let mut b = WindowedOperator::new(
+            WindowSpec::Count { count: 2 },
+            LogicSpec::Avg { field: 0 }.build(),
+            1,
+            TimeDelta::ZERO,
+        );
+        let mut c = WindowedOperator::new(
+            WindowSpec::Count { count: 1 },
+            LogicSpec::Identity.build(),
+            1,
+            TimeDelta::ZERO,
+        );
+        let mut a = WindowedOperator::new(
+            win,
+            LogicSpec::Avg { field: 0 }.build(),
+            1,
+            TimeDelta::ZERO,
+        );
+
+        let now = Timestamp::from_millis(10);
+        let b_in: Vec<Tuple> = (0..4).map(|i| t(10, 0.125, i as f64)).collect();
+        let c_in: Vec<Tuple> = (0..2).map(|i| t(10, 0.25, i as f64)).collect();
+        let b_out: Vec<Tuple> = b
+            .push(0, b_in, now)
+            .into_iter()
+            .flat_map(|e| e.tuples)
+            .collect();
+        let c_out: Vec<Tuple> = c
+            .push(0, c_in, now)
+            .into_iter()
+            .flat_map(|e| e.tuples)
+            .collect();
+        assert_eq!(b_out.len(), 2);
+        assert!(b_out.iter().all(|t| (t.sic.value() - 0.25).abs() < 1e-12));
+        assert_eq!(c_out.len(), 2);
+
+        a.push(0, b_out, now);
+        a.push(0, c_out, now);
+        let results = a.tick(Timestamp::from_secs(1));
+        let total: f64 = results.iter().map(|e| e.sic().value()).sum();
+        assert!((total - 1.0).abs() < 1e-12, "qSIC = {total}");
+    }
+}

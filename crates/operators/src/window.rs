@@ -1,0 +1,425 @@
+//! Windows that atomically emit tuples for operator processing.
+//!
+//! The paper's model (§3): "for each operator o ∈ O, there exists a time or
+//! count window that atomically emits tuples for processing by o". The
+//! window therefore defines the *atomic input group* (`T_in` of Eq. 3); the
+//! operator distributes the group's SIC mass over its outputs.
+//!
+//! Two timing details matter for multi-fragment queries:
+//!
+//! * **Grace**: in a distributed deployment tuples reach a window after
+//!   network latency and input-buffer queueing, so a time window only closes
+//!   `grace` after its end. Query templates grow the grace along fragment
+//!   chains so downstream windows wait for upstream partials.
+//! * **Stamping**: a closed pane carries the timestamp that aggregate
+//!   outputs are stamped with — one microsecond *before* the window end, so
+//!   downstream windows of the same length assign derived results to the
+//!   same window index instead of cascading one window of latency per hop.
+
+use std::collections::BTreeMap;
+
+use themis_core::prelude::*;
+
+/// How an operator's input is grouped into atomic panes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowSpec {
+    /// Every pushed batch is processed immediately as its own pane
+    /// (per-batch operators: receivers, pass-through filters, forwarders).
+    PassThrough,
+    /// Tumbling time window: pane `k` covers `[k·size, (k+1)·size)` and
+    /// closes `grace` after logical time passes its end.
+    Tumbling {
+        /// Window length.
+        size: TimeDelta,
+    },
+    /// Sliding time window: panes of `size` every `slide`. A tuple belongs
+    /// to `size/slide` panes; its SIC value is divided by that overlap so
+    /// mass is conserved (§6 "we also provide a practical way to divide the
+    /// SIC value of an input tuple across all its derived tuples per
+    /// slide").
+    Sliding {
+        /// Window length.
+        size: TimeDelta,
+        /// Slide between pane starts.
+        slide: TimeDelta,
+    },
+    /// Count window: a pane closes after `count` tuples (per port).
+    Count {
+        /// Tuples per pane.
+        count: usize,
+    },
+}
+
+impl WindowSpec {
+    /// Tumbling window helper.
+    pub fn tumbling(size: TimeDelta) -> Self {
+        WindowSpec::Tumbling { size }
+    }
+
+    /// Sliding window helper; a slide of zero or larger than `size`
+    /// degenerates to a tumbling window.
+    pub fn sliding(size: TimeDelta, slide: TimeDelta) -> Self {
+        if slide.is_zero() || slide >= size {
+            WindowSpec::Tumbling { size }
+        } else {
+            WindowSpec::Sliding { size, slide }
+        }
+    }
+
+    /// Number of panes a tuple participates in.
+    pub fn overlap(&self) -> u64 {
+        match self {
+            WindowSpec::Sliding { size, slide } => size.div(*slide).max(1),
+            _ => 1,
+        }
+    }
+
+    /// True for time-based windows (the ones affected by grace).
+    pub fn is_timed(&self) -> bool {
+        matches!(
+            self,
+            WindowSpec::Tumbling { .. } | WindowSpec::Sliding { .. }
+        )
+    }
+}
+
+/// A closed pane ready for operator processing.
+#[derive(Debug, Clone)]
+pub struct Pane {
+    /// Stamp for derived aggregate outputs: one microsecond before the
+    /// window end for time windows, the latest input timestamp otherwise.
+    pub at: Timestamp,
+    /// The atomic tuple groups, one per input port.
+    pub inputs: Vec<Vec<Tuple>>,
+}
+
+impl Pane {
+    /// Total SIC mass across all ports (the `Σ SIC(T_in)` of Eq. 3).
+    pub fn input_sic(&self) -> Sic {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.iter().map(|t| t.sic))
+            .sum()
+    }
+
+    /// Total tuples across all ports.
+    pub fn input_len(&self) -> usize {
+        self.inputs.iter().map(Vec::len).sum()
+    }
+
+    fn max_ts(&self) -> Timestamp {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.iter().map(|t| t.ts))
+            .max()
+            .unwrap_or(Timestamp::ZERO)
+    }
+}
+
+/// Multi-port pane buffer implementing [`WindowSpec`].
+#[derive(Debug)]
+pub struct WindowBuffer {
+    spec: WindowSpec,
+    ports: usize,
+    grace: TimeDelta,
+    /// Time windows: pane index -> per-port tuples.
+    panes: BTreeMap<u64, Vec<Vec<Tuple>>>,
+    /// Count windows: per-port pending tuples.
+    pending: Vec<Vec<Tuple>>,
+    /// Pass-through: panes emitted directly on push.
+    ready: Vec<Pane>,
+}
+
+impl WindowBuffer {
+    /// Creates a buffer for `ports` input ports; time windows close `grace`
+    /// after their end.
+    pub fn new(spec: WindowSpec, ports: usize, grace: TimeDelta) -> Self {
+        WindowBuffer {
+            spec,
+            ports: ports.max(1),
+            grace,
+            panes: BTreeMap::new(),
+            pending: vec![Vec::new(); ports.max(1)],
+            ready: Vec::new(),
+        }
+    }
+
+    /// The configured window.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Number of input ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Lateness grace applied to time windows.
+    pub fn grace(&self) -> TimeDelta {
+        self.grace
+    }
+
+    /// Buffered tuple count (for memory accounting).
+    pub fn buffered(&self) -> usize {
+        let in_panes: usize = self
+            .panes
+            .values()
+            .map(|ps| ps.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        let in_pending: usize = self.pending.iter().map(Vec::len).sum();
+        in_panes + in_pending
+    }
+
+    /// Pushes tuples into `port` at logical time `now`.
+    pub fn push(&mut self, port: usize, tuples: Vec<Tuple>, now: Timestamp) {
+        let port = port.min(self.ports - 1);
+        match self.spec {
+            WindowSpec::PassThrough => {
+                if !tuples.is_empty() {
+                    let mut inputs = vec![Vec::new(); self.ports];
+                    inputs[port] = tuples;
+                    let mut pane = Pane {
+                        at: now,
+                        inputs,
+                    };
+                    pane.at = pane.max_ts();
+                    self.ready.push(pane);
+                }
+            }
+            WindowSpec::Tumbling { size } => {
+                let size_us = size.as_micros().max(1);
+                for t in tuples {
+                    let idx = t.ts.as_micros() / size_us;
+                    self.pane_port(idx, port).push(t);
+                }
+            }
+            WindowSpec::Sliding { slide, .. } => {
+                // A tuple at time τ belongs to panes whose span covers τ.
+                // Pane p covers [p·slide, p·slide + size); SIC is divided by
+                // the overlap to conserve mass (§6).
+                let slide_us = slide.as_micros().max(1);
+                let overlap = self.spec.overlap();
+                for t in tuples {
+                    let last = t.ts.as_micros() / slide_us;
+                    let first = last.saturating_sub(overlap - 1);
+                    // Divide by the number of panes the tuple actually
+                    // joins: near the stream start there are fewer than
+                    // `overlap` panes, and dividing by the full overlap
+                    // would silently lose SIC mass.
+                    let n_panes = last - first + 1;
+                    let mut shared = t.clone();
+                    shared.sic = Sic(t.sic.value() / n_panes as f64);
+                    for idx in first..=last {
+                        self.pane_port(idx, port).push(shared.clone());
+                    }
+                }
+            }
+            WindowSpec::Count { count } => {
+                let count = count.max(1);
+                self.pending[port].extend(tuples);
+                while self.pending[port].len() >= count {
+                    let rest = self.pending[port].split_off(count);
+                    let full = std::mem::replace(&mut self.pending[port], rest);
+                    let mut inputs = vec![Vec::new(); self.ports];
+                    inputs[port] = full;
+                    let mut pane = Pane { at: now, inputs };
+                    pane.at = pane.max_ts();
+                    self.ready.push(pane);
+                }
+            }
+        }
+    }
+
+    fn pane_port(&mut self, idx: u64, port: usize) -> &mut Vec<Tuple> {
+        let ports = self.ports;
+        &mut self
+            .panes
+            .entry(idx)
+            .or_insert_with(|| vec![Vec::new(); ports])[port]
+    }
+
+    fn pane_end(&self, idx: u64) -> u64 {
+        match self.spec {
+            WindowSpec::Tumbling { size } => (idx + 1) * size.as_micros().max(1),
+            WindowSpec::Sliding { size, slide } => {
+                idx * slide.as_micros().max(1) + size.as_micros().max(1)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Closes every time pane whose end (plus grace) has passed `now` and
+    /// returns them in order, together with any pass-through/count panes
+    /// accumulated since the last call.
+    pub fn close_up_to(&mut self, now: Timestamp) -> Vec<Pane> {
+        let mut out = std::mem::take(&mut self.ready);
+        if !self.spec.is_timed() {
+            return out;
+        }
+        let deadline = now.as_micros().saturating_sub(self.grace.as_micros());
+        let closed: Vec<u64> = self
+            .panes
+            .keys()
+            .copied()
+            .take_while(|&idx| self.pane_end(idx) <= deadline)
+            .collect();
+        for idx in closed {
+            let inputs = self.panes.remove(&idx).expect("pane exists");
+            if inputs.iter().all(Vec::is_empty) {
+                continue;
+            }
+            // Stamp 1 us before the end so downstream windows assign the
+            // derived tuples to this same window index.
+            let at = Timestamp(self.pane_end(idx).saturating_sub(1));
+            out.push(Pane { at, inputs });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64, sic: f64, v: f64) -> Tuple {
+        Tuple::measurement(Timestamp::from_millis(ms), Sic(sic), v)
+    }
+
+    fn buf(spec: WindowSpec, ports: usize) -> WindowBuffer {
+        WindowBuffer::new(spec, ports, TimeDelta::ZERO)
+    }
+
+    #[test]
+    fn passthrough_emits_immediately() {
+        let mut w = buf(WindowSpec::PassThrough, 1);
+        w.push(0, vec![t(1, 0.1, 5.0)], Timestamp::from_millis(3));
+        let panes = w.close_up_to(Timestamp::from_millis(3));
+        assert_eq!(panes.len(), 1);
+        assert_eq!(panes[0].input_len(), 1);
+        // Stamped with the max input ts, not the push time.
+        assert_eq!(panes[0].at, Timestamp::from_millis(1));
+        assert!(w.close_up_to(Timestamp::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn tumbling_closes_on_time() {
+        let size = TimeDelta::from_secs(1);
+        let mut w = buf(WindowSpec::tumbling(size), 1);
+        w.push(
+            0,
+            vec![t(100, 0.1, 1.0), t(900, 0.1, 2.0)],
+            Timestamp::from_millis(900),
+        );
+        w.push(0, vec![t(1100, 0.1, 3.0)], Timestamp::from_millis(1100));
+        assert!(w.close_up_to(Timestamp::from_millis(999)).is_empty());
+        let panes = w.close_up_to(Timestamp::from_millis(1000));
+        assert_eq!(panes.len(), 1);
+        assert_eq!(panes[0].input_len(), 2);
+        // Stamped 1 us before the window end.
+        assert_eq!(panes[0].at, Timestamp(1_000_000 - 1));
+        let panes = w.close_up_to(Timestamp::from_secs(2));
+        assert_eq!(panes.len(), 1);
+        assert_eq!(panes[0].inputs[0][0].f64(0), 3.0);
+    }
+
+    #[test]
+    fn grace_delays_closing() {
+        let mut w = WindowBuffer::new(
+            WindowSpec::tumbling(TimeDelta::from_secs(1)),
+            1,
+            TimeDelta::from_millis(500),
+        );
+        w.push(0, vec![t(500, 0.1, 1.0)], Timestamp::from_millis(500));
+        assert!(w.close_up_to(Timestamp::from_millis(1000)).is_empty());
+        assert!(w.close_up_to(Timestamp::from_millis(1499)).is_empty());
+        // Late tuple arrives during the grace period and still counts.
+        w.push(0, vec![t(990, 0.1, 2.0)], Timestamp::from_millis(1200));
+        let panes = w.close_up_to(Timestamp::from_millis(1500));
+        assert_eq!(panes.len(), 1);
+        assert_eq!(panes[0].input_len(), 2);
+    }
+
+    #[test]
+    fn tumbling_skips_empty_panes() {
+        let mut w = buf(WindowSpec::tumbling(TimeDelta::from_secs(1)), 1);
+        w.push(0, vec![t(100, 0.1, 1.0)], Timestamp::from_millis(100));
+        w.push(0, vec![t(5100, 0.1, 2.0)], Timestamp::from_millis(5100));
+        let panes = w.close_up_to(Timestamp::from_secs(10));
+        assert_eq!(panes.len(), 2, "gap windows are not emitted");
+    }
+
+    #[test]
+    fn sliding_divides_sic_across_overlap() {
+        // 1 s window sliding by 250 ms: overlap 4.
+        let spec = WindowSpec::sliding(TimeDelta::from_secs(1), TimeDelta::from_millis(250));
+        assert_eq!(spec.overlap(), 4);
+        let mut w = buf(spec, 1);
+        w.push(0, vec![t(1000, 0.4, 1.0)], Timestamp::from_secs(1));
+        // The tuple at t=1 s belongs to panes starting 250,500,750,1000 ms.
+        let panes = w.close_up_to(Timestamp::from_millis(2100));
+        assert_eq!(panes.len(), 4);
+        let total: f64 = panes.iter().map(|p| p.input_sic().value()).sum();
+        assert!((total - 0.4).abs() < 1e-12, "mass conserved: {total}");
+        for p in &panes {
+            assert!((p.inputs[0][0].sic.value() - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sliding_degenerates_to_tumbling() {
+        let spec = WindowSpec::sliding(TimeDelta::from_secs(1), TimeDelta::from_secs(2));
+        assert_eq!(spec, WindowSpec::tumbling(TimeDelta::from_secs(1)));
+    }
+
+    #[test]
+    fn count_window_batches_per_port() {
+        let mut w = buf(WindowSpec::Count { count: 3 }, 1);
+        w.push(0, vec![t(1, 0.1, 1.0), t(2, 0.1, 2.0)], Timestamp(2));
+        assert!(w.close_up_to(Timestamp(2)).is_empty());
+        w.push(0, vec![t(3, 0.1, 3.0), t(4, 0.1, 4.0)], Timestamp(4));
+        let panes = w.close_up_to(Timestamp(4));
+        assert_eq!(panes.len(), 1);
+        assert_eq!(panes[0].input_len(), 3);
+        assert_eq!(w.buffered(), 1, "fourth tuple pending");
+    }
+
+    #[test]
+    fn two_port_tumbling_aligns_panes() {
+        let mut w = buf(WindowSpec::tumbling(TimeDelta::from_secs(1)), 2);
+        w.push(0, vec![t(100, 0.1, 1.0)], Timestamp::from_millis(100));
+        w.push(1, vec![t(200, 0.2, 2.0)], Timestamp::from_millis(200));
+        let panes = w.close_up_to(Timestamp::from_secs(1));
+        assert_eq!(panes.len(), 1);
+        assert_eq!(panes[0].inputs[0].len(), 1);
+        assert_eq!(panes[0].inputs[1].len(), 1);
+        assert!((panes[0].input_sic().value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stamping_avoids_cascaded_window_latency() {
+        // A chain of two identical tumbling windows: results of window 1
+        // stamped at end-1us land in the *same* index of window 2, which can
+        // close at the same logical instant.
+        let size = TimeDelta::from_secs(1);
+        let mut w1 = buf(WindowSpec::tumbling(size), 1);
+        let mut w2 = buf(WindowSpec::tumbling(size), 1);
+        w1.push(0, vec![t(300, 0.1, 1.0)], Timestamp::from_millis(300));
+        let p1 = w1.close_up_to(Timestamp::from_secs(1));
+        assert_eq!(p1.len(), 1);
+        // Re-stamp as an aggregate output would be.
+        let derived = Tuple::measurement(p1[0].at, Sic(0.1), 42.0);
+        w2.push(0, vec![derived], Timestamp::from_secs(1));
+        let p2 = w2.close_up_to(Timestamp::from_secs(1));
+        assert_eq!(p2.len(), 1, "no extra window of latency");
+    }
+
+    #[test]
+    fn buffered_accounting() {
+        let mut w = buf(WindowSpec::tumbling(TimeDelta::from_secs(1)), 1);
+        assert_eq!(w.buffered(), 0);
+        w.push(0, vec![t(1, 0.1, 1.0), t(2, 0.1, 1.0)], Timestamp(2));
+        assert_eq!(w.buffered(), 2);
+        w.close_up_to(Timestamp::from_secs(1));
+        assert_eq!(w.buffered(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests: Eq.-3 SIC propagation invariants over arbitrary
+//! tuple streams and operator configurations.
+
+use proptest::prelude::*;
+
+use themis_core::prelude::*;
+use themis_operators::prelude::*;
+
+/// Strategy: a batch of tuples within one 1-second window, each with a
+/// small positive SIC and a keyed payload.
+fn arb_window_tuples() -> impl Strategy<Value = Vec<Tuple>> {
+    prop::collection::vec(
+        (0u64..999, 1e-6f64..0.01, 0i64..8, -100.0f64..100.0),
+        1..60,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(ms, sic, key, v)| {
+                Tuple::new(
+                    Timestamp::from_millis(ms),
+                    Sic(sic),
+                    vec![Value::I64(key), Value::F64(v)],
+                )
+            })
+            .collect()
+    })
+}
+
+fn total_sic(tuples: &[Tuple]) -> f64 {
+    tuples.iter().map(|t| t.sic.value()).sum()
+}
+
+fn run_op(logic: LogicSpec, tuples: Vec<Tuple>) -> Vec<Emission> {
+    let mut op = OperatorSpec::with_grace(
+        WindowSpec::tumbling(TimeDelta::from_secs(1)),
+        logic,
+        TimeDelta::ZERO,
+    )
+    .build();
+    op.feed(0, tuples, Timestamp::from_millis(999));
+    op.tick(Timestamp::from_secs(1))
+}
+
+proptest! {
+    /// Aggregates that always emit at least one row conserve the pane's
+    /// full SIC mass (Eq. 3).
+    #[test]
+    fn aggregates_conserve_mass(tuples in arb_window_tuples()) {
+        let input = total_sic(&tuples);
+        for logic in [
+            LogicSpec::Avg { field: 1 },
+            LogicSpec::Sum { field: 1 },
+            LogicSpec::Count { predicate: None },
+            LogicSpec::Max { field: 1 },
+            LogicSpec::Min { field: 1 },
+            LogicSpec::TopK { k: 5, id_field: 0, value_field: 1 },
+            LogicSpec::GroupAvg { key_field: 0, value_field: 1 },
+            LogicSpec::GroupMax { key_field: 0, value_field: 1 },
+            LogicSpec::Identity,
+        ] {
+            let out = run_op(logic.clone(), tuples.clone());
+            let output: f64 = out.iter().map(|e| e.sic().value()).sum();
+            prop_assert!(
+                (output - input).abs() < 1e-9 * input.max(1.0),
+                "{logic:?}: {input} in, {output} out"
+            );
+        }
+    }
+
+    /// A filter either conserves the pane's mass (when at least one row
+    /// survives) or loses it entirely (when none do) — never anything in
+    /// between.
+    #[test]
+    fn filter_mass_is_all_or_surviving(tuples in arb_window_tuples(), threshold in -100.0f64..100.0) {
+        let input = total_sic(&tuples);
+        let survivors = tuples
+            .iter()
+            .filter(|t| t.f64(1) >= threshold)
+            .count();
+        let out = run_op(
+            LogicSpec::Filter(Predicate::new(1, CmpOp::Ge, threshold)),
+            tuples.clone(),
+        );
+        let output: f64 = out.iter().map(|e| e.sic().value()).sum();
+        if survivors == 0 {
+            prop_assert_eq!(output, 0.0);
+        } else {
+            prop_assert!((output - input).abs() < 1e-9 * input.max(1.0));
+            let rows: usize = out.iter().map(|e| e.tuples.len()).sum();
+            prop_assert_eq!(rows, survivors);
+        }
+    }
+
+    /// Sliding windows split each tuple's SIC across its panes without
+    /// creating or destroying mass.
+    #[test]
+    fn sliding_window_conserves_mass(
+        tuples in arb_window_tuples(),
+        slide_ms in prop::sample::select(vec![250u64, 500]),
+    ) {
+        let input = total_sic(&tuples);
+        let mut buf = WindowBuffer::new(
+            WindowSpec::sliding(TimeDelta::from_secs(1), TimeDelta::from_millis(slide_ms)),
+            1,
+            TimeDelta::ZERO,
+        );
+        buf.push(0, tuples, Timestamp::from_millis(999));
+        // Close everything well past the last pane.
+        let panes = buf.close_up_to(Timestamp::from_secs(10));
+        let output: f64 = panes.iter().map(|p| p.input_sic().value()).sum();
+        prop_assert!(
+            (output - input).abs() < 1e-9 * input.max(1.0),
+            "{input} in vs {output} out across {} panes",
+            panes.len()
+        );
+    }
+
+    /// A join's output mass never exceeds its combined input mass, and
+    /// equals it when every row finds a match.
+    #[test]
+    fn join_mass_bounded_by_inputs(
+        left in arb_window_tuples(),
+        right in arb_window_tuples(),
+    ) {
+        let input = total_sic(&left) + total_sic(&right);
+        let mut op = OperatorSpec::with_grace(
+            WindowSpec::tumbling(TimeDelta::from_secs(1)),
+            LogicSpec::Join { left_key: 0, right_key: 0 },
+            TimeDelta::ZERO,
+        )
+        .build();
+        op.feed(0, left.clone(), Timestamp::from_millis(999));
+        op.feed(1, right.clone(), Timestamp::from_millis(999));
+        let out = op.tick(Timestamp::from_secs(1));
+        let output: f64 = out.iter().map(|e| e.sic().value()).sum();
+        prop_assert!(output <= input + 1e-9, "join created mass: {output} > {input}");
+        // With keys 0..8 on both sides of non-trivial panes, a match is
+        // almost certain — if one exists, full mass must be carried.
+        if !out.is_empty() {
+            prop_assert!((output - input).abs() < 1e-9 * input.max(1.0));
+        }
+    }
+
+    /// Count windows emit fixed-size panes and conserve mass for the
+    /// tuples they release.
+    #[test]
+    fn count_window_pane_sizes(tuples in arb_window_tuples(), count in 1usize..10) {
+        let n = tuples.len();
+        let mut buf = WindowBuffer::new(WindowSpec::Count { count }, 1, TimeDelta::ZERO);
+        buf.push(0, tuples, Timestamp::from_millis(999));
+        let panes = buf.close_up_to(Timestamp::from_secs(1));
+        prop_assert_eq!(panes.len(), n / count);
+        for p in &panes {
+            prop_assert_eq!(p.input_len(), count);
+        }
+        prop_assert_eq!(buf.buffered(), n % count);
+    }
+
+    /// Operator output timestamps never exceed the pane stamp, so derived
+    /// tuples always fall into the window that produced them (no cascaded
+    /// window latency).
+    #[test]
+    fn aggregate_outputs_stamped_within_window(tuples in arb_window_tuples()) {
+        let out = run_op(LogicSpec::Avg { field: 1 }, tuples);
+        for e in &out {
+            for t in &e.tuples {
+                prop_assert!(t.ts.as_micros() < 1_000_000, "stamp {} >= window end", t.ts);
+            }
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Fragment-to-node placement.
+//!
+//! The paper assumes placement is chosen by the query user and fixed for the
+//! query's lifetime (§3); fragments of one query always land on *different*
+//! nodes. The evaluation uses round-robin-style balanced placements and a
+//! Zipf-skewed placement for the scalability experiment (§7.3, Fig. 12),
+//! reflecting characteristic C1 (skewed query workload distribution).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use themis_core::prelude::*;
+
+use crate::graph::QuerySpec;
+
+/// Maps every fragment of every query to its hosting node.
+#[derive(Debug, Clone, Default)]
+pub struct Deployment {
+    assignments: HashMap<(QueryId, usize), NodeId>,
+}
+
+impl Deployment {
+    /// Creates an empty deployment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns one fragment to a node.
+    pub fn assign(&mut self, query: QueryId, fragment: usize, node: NodeId) {
+        self.assignments.insert((query, fragment), node);
+    }
+
+    /// The node hosting `(query, fragment)`.
+    pub fn node_of(&self, query: QueryId, fragment: usize) -> Option<NodeId> {
+        self.assignments.get(&(query, fragment)).copied()
+    }
+
+    /// All nodes hosting fragments of `query` (deduplicated, sorted).
+    pub fn hosts_of(&self, query: QueryId) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .assignments
+            .iter()
+            .filter(|((q, _), _)| *q == query)
+            .map(|(_, &n)| n)
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Number of fragments assigned per node.
+    pub fn load_per_node(&self) -> HashMap<NodeId, usize> {
+        let mut load = HashMap::new();
+        for &node in self.assignments.values() {
+            *load.entry(node).or_insert(0) += 1;
+        }
+        load
+    }
+
+    /// Total assignments.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True when nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Checks the paper's constraint: fragments of one query never share a
+    /// node, and every fragment of every given query is assigned.
+    pub fn validate(&self, queries: &[QuerySpec]) -> Result<(), PlacementError> {
+        for q in queries {
+            let mut seen: Vec<NodeId> = Vec::with_capacity(q.n_fragments());
+            for f in 0..q.n_fragments() {
+                let Some(node) = self.node_of(q.id, f) else {
+                    return Err(PlacementError::Unassigned {
+                        query: q.id,
+                        fragment: f,
+                    });
+                };
+                if seen.contains(&node) {
+                    return Err(PlacementError::SharedNode { query: q.id, node });
+                }
+                seen.push(node);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Placement failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A fragment has no node.
+    Unassigned {
+        /// The query.
+        query: QueryId,
+        /// The fragment index.
+        fragment: usize,
+    },
+    /// Two fragments of one query share a node.
+    SharedNode {
+        /// The query.
+        query: QueryId,
+        /// The shared node.
+        node: NodeId,
+    },
+    /// A query has more fragments than there are nodes.
+    TooFewNodes {
+        /// The query.
+        query: QueryId,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::Unassigned { query, fragment } => {
+                write!(f, "fragment {fragment} of {query} unassigned")
+            }
+            PlacementError::SharedNode { query, node } => {
+                write!(f, "{query} has two fragments on {node}")
+            }
+            PlacementError::TooFewNodes { query } => {
+                write!(f, "{query} has more fragments than nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementPolicy {
+    /// Balanced: fragments cycle through nodes, each query starting where
+    /// the previous one stopped. Beware: when the workload cycles query
+    /// templates with a period that divides the node count, round-robin
+    /// aligns templates with nodes and co-locates only same-template
+    /// fragments; prefer [`PlacementPolicy::UniformRandom`] for mixed
+    /// workloads.
+    RoundRobin,
+    /// Each query's fragments land on a uniformly random set of distinct
+    /// nodes (the paper's multi-node evaluations deploy fragments
+    /// randomly).
+    UniformRandom,
+    /// Zipf-skewed: node `k` (1-based rank) is chosen with probability
+    /// proportional to `1/k^s` — some sites host far more fragments than
+    /// others (§7.3).
+    Zipf {
+        /// Skew exponent (the paper's scalability runs use ≈ 1).
+        exponent: f64,
+    },
+}
+
+/// Computes a deployment of `queries` over `n_nodes` nodes.
+///
+/// Fragments of one query are always placed on distinct nodes; queries with
+/// more fragments than nodes are rejected.
+pub fn place(
+    queries: &[QuerySpec],
+    n_nodes: usize,
+    policy: PlacementPolicy,
+    rng: &mut StdRng,
+) -> Result<Deployment, PlacementError> {
+    let mut deployment = Deployment::new();
+    let mut cursor = 0usize;
+    for q in queries {
+        if q.n_fragments() > n_nodes {
+            return Err(PlacementError::TooFewNodes { query: q.id });
+        }
+        match policy {
+            PlacementPolicy::RoundRobin => {
+                for f in 0..q.n_fragments() {
+                    deployment.assign(q.id, f, NodeId((cursor % n_nodes) as u32));
+                    cursor += 1;
+                }
+            }
+            PlacementPolicy::UniformRandom => {
+                // Sample a distinct node per fragment, uniformly.
+                let mut available: Vec<usize> = (0..n_nodes).collect();
+                for f in 0..q.n_fragments() {
+                    let pick = rng.gen_range(0..available.len());
+                    deployment.assign(q.id, f, NodeId(available.swap_remove(pick) as u32));
+                }
+            }
+            PlacementPolicy::Zipf { exponent } => {
+                let mut weights: Vec<f64> = (1..=n_nodes)
+                    .map(|k| 1.0 / (k as f64).powf(exponent))
+                    .collect();
+                for f in 0..q.n_fragments() {
+                    let total: f64 = weights.iter().sum();
+                    let mut x = rng.gen::<f64>() * total;
+                    let mut pick = 0;
+                    for (i, &w) in weights.iter().enumerate() {
+                        if w <= 0.0 {
+                            continue;
+                        }
+                        x -= w;
+                        pick = i;
+                        if x <= 0.0 {
+                            break;
+                        }
+                    }
+                    deployment.assign(q.id, f, NodeId(pick as u32));
+                    // Without replacement within one query.
+                    weights[pick] = 0.0;
+                }
+            }
+        }
+    }
+    Ok(deployment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::Template;
+    use rand::SeedableRng;
+
+    fn queries(n: usize, fragments: usize) -> Vec<QuerySpec> {
+        let mut src = IdGen::new();
+        (0..n)
+            .map(|i| Template::Cov { fragments }.build(QueryId(i as u32), &mut src))
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let qs = queries(10, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = place(&qs, 6, PlacementPolicy::RoundRobin, &mut rng).unwrap();
+        assert_eq!(d.len(), 30);
+        d.validate(&qs).unwrap();
+        let load = d.load_per_node();
+        assert!(load.values().all(|&l| l == 5), "{load:?}");
+    }
+
+    #[test]
+    fn zipf_skews_load() {
+        let qs = queries(200, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = place(&qs, 10, PlacementPolicy::Zipf { exponent: 1.0 }, &mut rng).unwrap();
+        d.validate(&qs).unwrap();
+        let load = d.load_per_node();
+        let first = *load.get(&NodeId(0)).unwrap_or(&0);
+        let last = *load.get(&NodeId(9)).unwrap_or(&0);
+        assert!(
+            first > 2 * last.max(1),
+            "zipf should load node 0 far more: {first} vs {last}"
+        );
+    }
+
+    #[test]
+    fn fragments_never_share_nodes() {
+        let qs = queries(50, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for policy in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::Zipf { exponent: 1.0 },
+        ] {
+            let d = place(&qs, 4, policy, &mut rng).unwrap();
+            d.validate(&qs).unwrap();
+        }
+    }
+
+    #[test]
+    fn too_few_nodes_rejected() {
+        let qs = queries(1, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            place(&qs, 4, PlacementPolicy::RoundRobin, &mut rng).err(),
+            Some(PlacementError::TooFewNodes { query: QueryId(0) })
+        );
+    }
+
+    #[test]
+    fn hosts_of_lists_unique_nodes() {
+        let qs = queries(1, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = place(&qs, 5, PlacementPolicy::RoundRobin, &mut rng).unwrap();
+        let hosts = d.hosts_of(QueryId(0));
+        assert_eq!(hosts.len(), 3);
+    }
+
+    #[test]
+    fn validate_detects_missing_and_shared() {
+        let qs = queries(1, 2);
+        let mut d = Deployment::new();
+        d.assign(QueryId(0), 0, NodeId(0));
+        assert!(matches!(
+            d.validate(&qs),
+            Err(PlacementError::Unassigned { .. })
+        ));
+        d.assign(QueryId(0), 1, NodeId(0));
+        assert!(matches!(
+            d.validate(&qs),
+            Err(PlacementError::SharedNode { .. })
+        ));
+    }
+}

@@ -1,0 +1,661 @@
+//! The query workloads of Table 1.
+//!
+//! **Aggregate workload** (single source, 1 s windows): `AVG`, `MAX`,
+//! `COUNT` (`Having t.v >= 50`).
+//!
+//! **Complex workload** (data-centre monitoring, multi-fragment):
+//! * `AVG-all` — average CPU usage over all sources; fragments form a
+//!   *tree*: every fragment computes a `[sum, count]` partial over its 10
+//!   sources and the root fragment merges partials into the final average.
+//!   13 operators per fragment.
+//! * `TOP-5` — top 5 nodes by available CPU with free memory ≥ 100 MB;
+//!   fragments form a *chain*, each merging its local top-5 candidates with
+//!   the upstream partial list. 29 operators per fragment (10 CPU
+//!   receivers, 10 memory receivers, 1 filter, 3 time windows, 2 averages,
+//!   1 join, 1 top-k, 1 output).
+//! * `COV` — covariance of the CPU usage of two nodes; fragments form a
+//!   chain; the final value is the mean of the per-fragment covariances
+//!   (incremental-equivalent processing, see DESIGN.md). 5 operators per
+//!   fragment.
+
+use themis_core::prelude::*;
+use themis_operators::prelude::*;
+
+use crate::graph::{
+    FragmentSpec, LocalEdge, QuerySpec, SourceBinding, SourceKind, SourceSpec, UpstreamBinding,
+};
+
+/// Base lateness grace for time windows (covers one shedding interval plus
+/// LAN latency).
+pub const GRACE_BASE: TimeDelta = TimeDelta(500_000);
+/// Additional grace per upstream fragment hop, so merge windows wait for
+/// partials that crossed the network and a shedding queue.
+pub const GRACE_STEP: TimeDelta = TimeDelta(500_000);
+
+/// The evaluation's window length: every Table-1 query reports once per
+/// second.
+pub const WINDOW: TimeDelta = TimeDelta(1_000_000);
+
+/// A Table-1 query template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Template {
+    /// `Select Avg(t.v) from Src[Range 1 sec]`
+    Avg,
+    /// `Select Max(t.v) from Src[Range 1 sec]`
+    Max,
+    /// `Select Count(t.v) ... Having t.v >= 50`
+    Count,
+    /// Average CPU usage over all sources (tree of fragments).
+    AvgAll {
+        /// Number of fragments (≥ 1).
+        fragments: usize,
+    },
+    /// Top-5 nodes by CPU with memory filter (chain of fragments).
+    Top5 {
+        /// Number of fragments (≥ 1).
+        fragments: usize,
+    },
+    /// Covariance of two CPU streams (chain of fragments).
+    Cov {
+        /// Number of fragments (≥ 1).
+        fragments: usize,
+    },
+}
+
+impl Template {
+    /// Template name as in Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Template::Avg => "AVG",
+            Template::Max => "MAX",
+            Template::Count => "COUNT",
+            Template::AvgAll { .. } => "AVG-all",
+            Template::Top5 { .. } => "TOP-5",
+            Template::Cov { .. } => "COV",
+        }
+    }
+
+    /// Operators per fragment, matching Table 1 for the complex workload.
+    pub fn ops_per_fragment(&self) -> usize {
+        match self {
+            Template::Avg | Template::Max | Template::Count => 3,
+            Template::AvgAll { .. } => 13,
+            Template::Top5 { .. } => 29,
+            Template::Cov { .. } => 5,
+        }
+    }
+
+    /// Sources per fragment.
+    pub fn sources_per_fragment(&self) -> usize {
+        match self {
+            Template::Avg | Template::Max | Template::Count => 1,
+            Template::AvgAll { .. } => 10,
+            Template::Top5 { .. } => 20,
+            Template::Cov { .. } => 2,
+        }
+    }
+
+    /// Number of fragments.
+    pub fn fragments(&self) -> usize {
+        match self {
+            Template::Avg | Template::Max | Template::Count => 1,
+            Template::AvgAll { fragments }
+            | Template::Top5 { fragments }
+            | Template::Cov { fragments } => (*fragments).max(1),
+        }
+    }
+
+    /// Builds the query, drawing fresh source ids from `sources`.
+    pub fn build(&self, id: QueryId, sources: &mut IdGen) -> QuerySpec {
+        let spec = match self {
+            Template::Avg => build_simple(id, self.name(), sources, LogicSpec::Avg { field: 0 }),
+            Template::Max => build_simple(id, self.name(), sources, LogicSpec::Max { field: 0 }),
+            Template::Count => build_simple(
+                id,
+                self.name(),
+                sources,
+                LogicSpec::Count {
+                    predicate: Some(Predicate::new(0, CmpOp::Ge, 50.0)),
+                },
+            ),
+            Template::AvgAll { .. } => build_avg_all(id, self.fragments(), sources),
+            Template::Top5 { .. } => build_top5(id, self.fragments(), sources),
+            Template::Cov { .. } => build_cov(id, self.fragments(), sources),
+        };
+        debug_assert_eq!(spec.validate(), Ok(()));
+        spec
+    }
+}
+
+fn chain_grace(pos: usize) -> TimeDelta {
+    TimeDelta(GRACE_BASE.as_micros() + GRACE_STEP.as_micros() * pos as u64)
+}
+
+/// AVG / MAX / COUNT: receiver -> 1 s windowed aggregate -> output.
+fn build_simple(
+    id: QueryId,
+    template: &'static str,
+    sources: &mut IdGen,
+    logic: LogicSpec,
+) -> QuerySpec {
+    let src: SourceId = sources.next();
+    let frag = FragmentSpec {
+        operators: vec![
+            OperatorSpec::identity(),
+            OperatorSpec::with_grace(WindowSpec::tumbling(WINDOW), logic, GRACE_BASE),
+            OperatorSpec::identity(),
+        ],
+        edges: vec![
+            LocalEdge {
+                from: 0,
+                to: 1,
+                port: 0,
+            },
+            LocalEdge {
+                from: 1,
+                to: 2,
+                port: 0,
+            },
+        ],
+        sources: vec![SourceBinding {
+            source: src,
+            op: 0,
+            port: 0,
+        }],
+        upstreams: vec![],
+        root: 2,
+    };
+    QuerySpec {
+        id,
+        template,
+        fragments: vec![frag],
+        result_fragment: 0,
+        sources: vec![SourceSpec {
+            id: src,
+            key: None,
+            kind: SourceKind::Generic,
+        }],
+    }
+}
+
+/// AVG-all: `fragments` fragments of 13 operators, tree-merged at
+/// fragment 0.
+///
+/// Per fragment: 10 receivers (0-9), 1 time window (10), 1 partial average
+/// (11), 1 output (12). The root fragment's op 12 is the merge window that
+/// combines local and upstream `[sum, count]` partials into the final
+/// average.
+fn build_avg_all(id: QueryId, fragments: usize, sources: &mut IdGen) -> QuerySpec {
+    let mut specs = Vec::with_capacity(fragments);
+    let mut declared = Vec::new();
+    for f in 0..fragments {
+        let mut operators: Vec<OperatorSpec> =
+            (0..10).map(|_| OperatorSpec::identity()).collect();
+        // Op 10: the 1 s time window grouping all local sources.
+        operators.push(OperatorSpec::with_grace(
+            WindowSpec::tumbling(WINDOW),
+            LogicSpec::Identity,
+            GRACE_BASE,
+        ));
+        // Op 11: partial [sum, count] over the grouped pane.
+        operators.push(OperatorSpec::new(
+            WindowSpec::PassThrough,
+            LogicSpec::PartialAvg { field: 0 },
+        ));
+        // Op 12: leaf output (identity) or root merge (tree depth 1).
+        if f == 0 {
+            operators.push(OperatorSpec::with_grace(
+                WindowSpec::tumbling(WINDOW),
+                LogicSpec::MergeAvg,
+                chain_grace(1),
+            ));
+        } else {
+            operators.push(OperatorSpec::identity());
+        }
+        let mut edges: Vec<LocalEdge> = (0..10)
+            .map(|i| LocalEdge {
+                from: i,
+                to: 10,
+                port: 0,
+            })
+            .collect();
+        edges.push(LocalEdge {
+            from: 10,
+            to: 11,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: 11,
+            to: 12,
+            port: 0,
+        });
+        let mut bindings = Vec::with_capacity(10);
+        for i in 0..10 {
+            let sid: SourceId = sources.next();
+            // Unkeyed rows ([value]): the tree aggregates a single field
+            // and never joins, so no node id is carried.
+            declared.push(SourceSpec {
+                id: sid,
+                key: None,
+                kind: SourceKind::Cpu,
+            });
+            bindings.push(SourceBinding {
+                source: sid,
+                op: i,
+                port: 0,
+            });
+        }
+        // Leaves feed the root fragment's merge operator.
+        let upstreams = Vec::new();
+        specs.push(FragmentSpec {
+            operators,
+            edges,
+            sources: bindings,
+            upstreams,
+            root: 12,
+        });
+    }
+    for f in 1..fragments {
+        specs[0].upstreams.push(UpstreamBinding {
+            fragment: f,
+            op: 12,
+            port: 0,
+        });
+    }
+    QuerySpec {
+        id,
+        template: "AVG-all",
+        fragments: specs,
+        result_fragment: 0,
+        sources: declared,
+    }
+}
+
+/// TOP-5: `fragments` fragments of 29 operators, chained; the last fragment
+/// emits the query result.
+///
+/// Per fragment: 10 CPU receivers (0-9), 10 memory receivers (10-19),
+/// memory filter (20), CPU window (21), memory window (22), 2 group
+/// averages (23, 24), join (25), merge window (26), top-k (27), output
+/// (28). Upstream partial lists join at the merge window.
+fn build_top5(id: QueryId, fragments: usize, sources: &mut IdGen) -> QuerySpec {
+    let mut specs = Vec::with_capacity(fragments);
+    let mut declared = Vec::new();
+    for f in 0..fragments {
+        let mut operators: Vec<OperatorSpec> =
+            (0..20).map(|_| OperatorSpec::identity()).collect();
+        // 20: free-memory filter (>= 100 000 KB), per-batch atomic.
+        operators.push(OperatorSpec::new(
+            WindowSpec::PassThrough,
+            LogicSpec::Filter(Predicate::new(1, CmpOp::Ge, 100_000.0)),
+        ));
+        // 21/22: CPU and memory 1 s windows.
+        operators.push(OperatorSpec::with_grace(
+            WindowSpec::tumbling(WINDOW),
+            LogicSpec::Identity,
+            GRACE_BASE,
+        ));
+        operators.push(OperatorSpec::with_grace(
+            WindowSpec::tumbling(WINDOW),
+            LogicSpec::Identity,
+            GRACE_BASE,
+        ));
+        // 23/24: per-node averages over the window panes.
+        operators.push(OperatorSpec::new(
+            WindowSpec::PassThrough,
+            LogicSpec::GroupAvg {
+                key_field: 0,
+                value_field: 1,
+            },
+        ));
+        operators.push(OperatorSpec::new(
+            WindowSpec::PassThrough,
+            LogicSpec::GroupAvg {
+                key_field: 0,
+                value_field: 1,
+            },
+        ));
+        // 25: join CPU with filtered memory on node id.
+        operators.push(OperatorSpec::with_grace(
+            WindowSpec::tumbling(WINDOW),
+            LogicSpec::Join {
+                left_key: 0,
+                right_key: 0,
+            },
+            GRACE_BASE,
+        ));
+        // 26: merge window combining local candidates and upstream top-5.
+        operators.push(OperatorSpec::with_grace(
+            WindowSpec::tumbling(WINDOW),
+            LogicSpec::Identity,
+            chain_grace(f),
+        ));
+        // 27: top-5 by CPU ([id, cpu] after the join row projection below).
+        operators.push(OperatorSpec::new(
+            WindowSpec::PassThrough,
+            LogicSpec::TopK {
+                k: 5,
+                id_field: 0,
+                value_field: 1,
+            },
+        ));
+        // 28: output.
+        operators.push(OperatorSpec::identity());
+
+        let mut edges: Vec<LocalEdge> = Vec::new();
+        for i in 0..10 {
+            edges.push(LocalEdge {
+                from: i,
+                to: 21,
+                port: 0,
+            });
+        }
+        for i in 10..20 {
+            edges.push(LocalEdge {
+                from: i,
+                to: 20,
+                port: 0,
+            });
+        }
+        edges.push(LocalEdge {
+            from: 20,
+            to: 22,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: 21,
+            to: 23,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: 22,
+            to: 24,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: 23,
+            to: 25,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: 24,
+            to: 25,
+            port: 1,
+        });
+        edges.push(LocalEdge {
+            from: 25,
+            to: 26,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: 26,
+            to: 27,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: 27,
+            to: 28,
+            port: 0,
+        });
+
+        let mut bindings = Vec::with_capacity(20);
+        for i in 0..10 {
+            let node_key = (f * 10 + i) as i64;
+            let cpu: SourceId = sources.next();
+            declared.push(SourceSpec {
+                id: cpu,
+                key: Some(node_key),
+                kind: SourceKind::Cpu,
+            });
+            bindings.push(SourceBinding {
+                source: cpu,
+                op: i,
+                port: 0,
+            });
+            let mem: SourceId = sources.next();
+            declared.push(SourceSpec {
+                id: mem,
+                key: Some(node_key),
+                kind: SourceKind::MemFree,
+            });
+            bindings.push(SourceBinding {
+                source: mem,
+                op: 10 + i,
+                port: 0,
+            });
+        }
+        let upstreams = if f > 0 {
+            vec![UpstreamBinding {
+                fragment: f - 1,
+                op: 26,
+                port: 0,
+            }]
+        } else {
+            Vec::new()
+        };
+        specs.push(FragmentSpec {
+            operators,
+            edges,
+            sources: bindings,
+            upstreams,
+            root: 28,
+        });
+    }
+    QuerySpec {
+        id,
+        template: "TOP-5",
+        fragments: specs,
+        result_fragment: fragments - 1,
+        sources: declared,
+    }
+}
+
+/// COV: `fragments` fragments of 5 operators, chained.
+///
+/// Per fragment: 2 receivers (0, 1), a windowed covariance (2), a merge
+/// window combining local and upstream partial covariances (3), and an
+/// averaging output (4).
+fn build_cov(id: QueryId, fragments: usize, sources: &mut IdGen) -> QuerySpec {
+    let mut specs = Vec::with_capacity(fragments);
+    let mut declared = Vec::new();
+    for f in 0..fragments {
+        let operators = vec![
+            OperatorSpec::identity(),
+            OperatorSpec::identity(),
+            OperatorSpec::with_grace(
+                WindowSpec::tumbling(WINDOW),
+                LogicSpec::Cov { field: 0 },
+                GRACE_BASE,
+            ),
+            OperatorSpec::with_grace(
+                WindowSpec::tumbling(WINDOW),
+                LogicSpec::Identity,
+                chain_grace(f),
+            ),
+            OperatorSpec::new(WindowSpec::PassThrough, LogicSpec::Avg { field: 0 }),
+        ];
+        let edges = vec![
+            LocalEdge {
+                from: 0,
+                to: 2,
+                port: 0,
+            },
+            LocalEdge {
+                from: 1,
+                to: 2,
+                port: 1,
+            },
+            LocalEdge {
+                from: 2,
+                to: 3,
+                port: 0,
+            },
+            LocalEdge {
+                from: 3,
+                to: 4,
+                port: 0,
+            },
+        ];
+        let mut bindings = Vec::with_capacity(2);
+        for i in 0..2 {
+            let sid: SourceId = sources.next();
+            declared.push(SourceSpec {
+                id: sid,
+                key: None,
+                kind: SourceKind::Cpu,
+            });
+            bindings.push(SourceBinding {
+                source: sid,
+                op: i,
+                port: 0,
+            });
+        }
+        let upstreams = if f > 0 {
+            vec![UpstreamBinding {
+                fragment: f - 1,
+                op: 3,
+                port: 0,
+            }]
+        } else {
+            Vec::new()
+        };
+        specs.push(FragmentSpec {
+            operators,
+            edges,
+            sources: bindings,
+            upstreams,
+            root: 4,
+        });
+    }
+    QuerySpec {
+        id,
+        template: "COV",
+        fragments: specs,
+        result_fragment: fragments - 1,
+        sources: declared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(t: Template) -> QuerySpec {
+        let mut gen = IdGen::new();
+        t.build(QueryId(0), &mut gen)
+    }
+
+    #[test]
+    fn table1_operator_counts() {
+        // The paper's Table 1: 13, 29 and 5 operators per fragment.
+        for (t, ops) in [
+            (Template::AvgAll { fragments: 3 }, 13),
+            (Template::Top5 { fragments: 2 }, 29),
+            (Template::Cov { fragments: 2 }, 5),
+        ] {
+            let q = build(t);
+            for f in &q.fragments {
+                assert_eq!(f.n_operators(), ops, "{}", t.name());
+            }
+            assert_eq!(t.ops_per_fragment(), ops);
+        }
+    }
+
+    #[test]
+    fn table1_source_counts() {
+        for (t, srcs) in [
+            (Template::Avg, 1),
+            (Template::AvgAll { fragments: 4 }, 40),
+            (Template::Top5 { fragments: 2 }, 40),
+            (Template::Cov { fragments: 3 }, 6),
+        ] {
+            let q = build(t);
+            assert_eq!(q.n_sources(), srcs, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn all_templates_validate() {
+        for t in [
+            Template::Avg,
+            Template::Max,
+            Template::Count,
+            Template::AvgAll { fragments: 1 },
+            Template::AvgAll { fragments: 6 },
+            Template::Top5 { fragments: 1 },
+            Template::Top5 { fragments: 6 },
+            Template::Cov { fragments: 1 },
+            Template::Cov { fragments: 6 },
+        ] {
+            let q = build(t);
+            assert_eq!(q.validate(), Ok(()), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn avg_all_is_a_tree() {
+        let q = build(Template::AvgAll { fragments: 4 });
+        // Root fragment 0 consumes all leaves.
+        assert_eq!(q.fragments[0].upstreams.len(), 3);
+        assert_eq!(q.result_fragment, 0);
+        for f in 1..4 {
+            assert_eq!(q.downstream_of(f), Some(0));
+        }
+    }
+
+    #[test]
+    fn top5_and_cov_are_chains() {
+        for t in [Template::Top5 { fragments: 4 }, Template::Cov { fragments: 4 }] {
+            let q = build(t);
+            assert_eq!(q.result_fragment, 3);
+            for f in 0..3 {
+                assert_eq!(q.downstream_of(f), Some(f + 1), "{}", t.name());
+            }
+            assert_eq!(q.downstream_of(3), None);
+        }
+    }
+
+    #[test]
+    fn chain_grace_grows_downstream() {
+        let q = build(Template::Top5 { fragments: 3 });
+        let merge_grace =
+            |f: usize| q.fragments[f].operators[26].grace.as_micros();
+        assert!(merge_grace(0) < merge_grace(1));
+        assert!(merge_grace(1) < merge_grace(2));
+    }
+
+    #[test]
+    fn source_ids_are_unique_across_queries() {
+        let mut gen = IdGen::new();
+        let q1 = Template::Top5 { fragments: 2 }.build(QueryId(0), &mut gen);
+        let q2 = Template::Cov { fragments: 2 }.build(QueryId(1), &mut gen);
+        let mut all: Vec<u32> = q1
+            .sources
+            .iter()
+            .chain(q2.sources.iter())
+            .map(|s| s.id.0)
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn top5_keys_pair_cpu_and_mem() {
+        let q = build(Template::Top5 { fragments: 2 });
+        // For each key there must be exactly one Cpu and one MemFree source.
+        use std::collections::HashMap;
+        let mut by_key: HashMap<i64, (u32, u32)> = HashMap::new();
+        for s in &q.sources {
+            let e = by_key.entry(s.key.unwrap()).or_insert((0, 0));
+            match s.kind {
+                SourceKind::Cpu => e.0 += 1,
+                SourceKind::MemFree => e.1 += 1,
+                SourceKind::Generic => {}
+            }
+        }
+        assert_eq!(by_key.len(), 20);
+        assert!(by_key.values().all(|&(c, m)| c == 1 && m == 1));
+    }
+}

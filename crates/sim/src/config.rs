@@ -1,0 +1,126 @@
+//! Simulator configuration: shedding policy and the updateSIC ablation.
+
+use themis_core::prelude::*;
+
+/// Which tuple shedder nodes run (Algorithm 1 or a baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// The paper's BALANCE-SIC fair shedder (Algorithm 1).
+    BalanceSic,
+    /// Random shedding (the §7.2 baseline).
+    Random,
+    /// Drop-from-tail (bounded queue) baseline.
+    Fifo,
+    /// Admission-control baseline: lowest query ids are served to
+    /// saturation, the rest starve (the node-local analogue of the
+    /// throughput-maximising FIT LP of §7.5).
+    Priority,
+    /// Ablation: Algorithm 1 but admitting *lowest*-SIC batches first
+    /// (inverts line 16's `max(xSIC)`).
+    BalanceSicLowestFirst,
+    /// Ablation: Algorithm 1 with arrival-order admission.
+    BalanceSicFifoOrder,
+}
+
+impl ShedPolicy {
+    /// Instantiates the shedder with a node-specific seed.
+    pub fn build(&self, seed: u64) -> Box<dyn Shedder> {
+        match self {
+            ShedPolicy::BalanceSic => Box::new(BalanceSicShedder::new(seed)),
+            ShedPolicy::Random => Box::new(RandomShedder::new(seed)),
+            ShedPolicy::Fifo => Box::new(FifoShedder::new()),
+            ShedPolicy::Priority => Box::new(PriorityShedder::new()),
+            ShedPolicy::BalanceSicLowestFirst => {
+                Box::new(BalanceSicShedder::with_order(seed, BatchOrder::LowestSicFirst))
+            }
+            ShedPolicy::BalanceSicFifoOrder => {
+                Box::new(BalanceSicShedder::with_order(seed, BatchOrder::Fifo))
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedPolicy::BalanceSic => "balance-sic",
+            ShedPolicy::Random => "random",
+            ShedPolicy::Fifo => "fifo",
+            ShedPolicy::Priority => "priority",
+            ShedPolicy::BalanceSicLowestFirst => "balance-sic(lowest-first)",
+            ShedPolicy::BalanceSicFifoOrder => "balance-sic(fifo-order)",
+        }
+    }
+}
+
+/// Simulator switches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Shedding policy run by every node.
+    pub policy: ShedPolicy,
+    /// Whether the query coordinators disseminate result SIC values
+    /// (`updateSIC`). Disabling reproduces the Figure-4 "without
+    /// updateSIC" pathology: nodes fall back to their local accepted-SIC
+    /// view.
+    pub coordinator: bool,
+    /// Record per-query result values (needed by the §7.1 correlation
+    /// experiments; memory-heavy for large runs).
+    pub record_results: bool,
+    /// How often per-query SIC values are sampled for the report.
+    pub sample_interval: TimeDelta,
+    /// Record the full per-query SIC time series (for the dynamics
+    /// experiment); means are always recorded.
+    pub record_series: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            policy: ShedPolicy::BalanceSic,
+            coordinator: true,
+            record_results: false,
+            sample_interval: TimeDelta::from_secs(1),
+            record_series: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Default config with the given policy.
+    pub fn with_policy(policy: ShedPolicy) -> Self {
+        SimConfig {
+            policy,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_build() {
+        for p in [
+            ShedPolicy::BalanceSic,
+            ShedPolicy::Random,
+            ShedPolicy::Fifo,
+            ShedPolicy::Priority,
+            ShedPolicy::BalanceSicLowestFirst,
+            ShedPolicy::BalanceSicFifoOrder,
+        ] {
+            let s = p.build(1);
+            assert!(!s.name().is_empty());
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.policy, ShedPolicy::BalanceSic);
+        assert!(c.coordinator);
+        assert!(!c.record_results);
+        let c2 = SimConfig::with_policy(ShedPolicy::Random);
+        assert_eq!(c2.policy, ShedPolicy::Random);
+    }
+}

@@ -1,0 +1,57 @@
+//! # themis-sim
+//!
+//! A deterministic discrete-event simulator of a federated stream
+//! processing system — this repo's substitute for the paper's Emulab
+//! test-bed (Table 2; see DESIGN.md for the substitution argument).
+//!
+//! The simulation wires a [`themis_workloads::scenario::Scenario`] into:
+//!
+//! * [`node::SimNode`]s — input buffer, overload detector, online cost
+//!   model and the configured tuple shedder (Figure 5 of the paper);
+//! * links with configurable one-way latency (LAN 5 ms / WAN 50 ms);
+//! * per-query coordinators disseminating result SIC values
+//!   (`updateSIC`), with an ablation switch to disable them;
+//! * a result-SIC tracker sampling every query's `qSIC` for the report.
+//!
+//! ```
+//! use themis_core::prelude::*;
+//! use themis_query::prelude::*;
+//! use themis_workloads::prelude::*;
+//! use themis_sim::prelude::*;
+//!
+//! let scenario = ScenarioBuilder::new("doc", 1)
+//!     .nodes(2)
+//!     .capacity_tps(200)
+//!     .duration(TimeDelta::from_secs(10))
+//!     .warmup(TimeDelta::from_secs(5))
+//!     .add_queries(
+//!         Template::Cov { fragments: 2 },
+//!         4,
+//!         SourceProfile {
+//!             tuples_per_sec: 40,
+//!             batches_per_sec: 4,
+//!             burst: Burstiness::Steady,
+//!             dataset: Dataset::Uniform,
+//!         },
+//!     )
+//!     .build()
+//!     .unwrap();
+//! let report = run_scenario(scenario, SimConfig::default());
+//! assert_eq!(report.per_query.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod node;
+pub mod report;
+pub mod sim;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::config::{ShedPolicy, SimConfig};
+    pub use crate::node::{NodeOutput, RoutedBatch, SimNode};
+    pub use crate::report::{NodeStats, QueryStats, SimReport};
+    pub use crate::sim::{run_scenario, Simulation};
+}

@@ -1,0 +1,264 @@
+//! Source models: constant-rate batched emission, with optional burstiness
+//! (§7.4: "10% of the time they generate tuples at 10× their normal
+//! rate").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use themis_core::prelude::*;
+use themis_query::prelude::{SourceKind, SourceSpec};
+
+use crate::datasets::{Dataset, ValueGen};
+
+/// Burstiness model for a source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Burstiness {
+    /// Constant rate.
+    Steady,
+    /// For a fraction of 1-second periods, the emission rate is multiplied
+    /// by `factor` (the paper's bursty sources: `fraction = 0.1`,
+    /// `factor = 10`).
+    Bursty {
+        /// Fraction of periods that burst.
+        fraction: f64,
+        /// Rate multiplier while bursting.
+        factor: u32,
+    },
+}
+
+impl Burstiness {
+    /// The paper's §7.4 configuration: 10% of the time at 10× rate.
+    pub const PAPER_BURSTY: Burstiness = Burstiness::Bursty {
+        fraction: 0.1,
+        factor: 10,
+    };
+}
+
+/// Rate/batching profile of a source (per Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceProfile {
+    /// Tuples per second under the steady regime.
+    pub tuples_per_sec: u32,
+    /// Batches per second (batch size = rate / batches).
+    pub batches_per_sec: u32,
+    /// Burstiness model.
+    pub burst: Burstiness,
+    /// Value distribution.
+    pub dataset: Dataset,
+}
+
+impl SourceProfile {
+    /// The local test-bed profile of Table 2: 400 t/s in 5 batches of 80.
+    pub fn local(dataset: Dataset) -> Self {
+        SourceProfile {
+            tuples_per_sec: 400,
+            batches_per_sec: 5,
+            burst: Burstiness::Steady,
+            dataset,
+        }
+    }
+
+    /// The Emulab profile of Table 2: 150 t/s in 3 batches of 50.
+    pub fn emulab(dataset: Dataset) -> Self {
+        SourceProfile {
+            tuples_per_sec: 150,
+            batches_per_sec: 3,
+            burst: Burstiness::Steady,
+            dataset,
+        }
+    }
+
+    /// Steady batch size.
+    pub fn batch_size(&self) -> usize {
+        (self.tuples_per_sec / self.batches_per_sec.max(1)).max(1) as usize
+    }
+
+    /// Interval between batch emissions.
+    pub fn interval(&self) -> TimeDelta {
+        TimeDelta(1_000_000 / self.batches_per_sec.max(1) as u64)
+    }
+}
+
+/// Drives one source: emits timestamped, zero-SIC batches for its query
+/// (the hosting node assigns Eq.-1 SIC values on arrival).
+#[derive(Debug)]
+pub struct SourceDriver {
+    /// The source.
+    pub source: SourceId,
+    /// The query it feeds.
+    pub query: QueryId,
+    key: Option<i64>,
+    kind: SourceKind,
+    profile: SourceProfile,
+    values: ValueGen,
+    burst_rng: SmallRng,
+    /// Periods (seconds) currently decided: (period index, bursting?).
+    current_period: (u64, bool),
+    next_emission: Timestamp,
+}
+
+impl SourceDriver {
+    /// Creates the driver; emissions are de-phased per source so batches of
+    /// different sources do not all arrive at the same instant.
+    pub fn new(query: QueryId, spec: &SourceSpec, profile: SourceProfile, seed: u64) -> Self {
+        let mut phase_rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let phase = TimeDelta::from_micros(phase_rng.gen_range(0..profile.interval().as_micros().max(1)));
+        SourceDriver {
+            source: spec.id,
+            query,
+            key: spec.key,
+            kind: spec.kind,
+            profile,
+            values: ValueGen::new(profile.dataset, seed),
+            burst_rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D)),
+            current_period: (u64::MAX, false),
+            next_emission: Timestamp::ZERO + phase,
+        }
+    }
+
+    /// When the next batch is due.
+    pub fn next_time(&self) -> Timestamp {
+        self.next_emission
+    }
+
+    /// Delays the first emission until `start` (plus the source's phase);
+    /// used for queries that arrive mid-run.
+    pub fn start_at(&mut self, start: Timestamp) {
+        if self.next_emission < start {
+            self.next_emission = start + (self.next_emission - Timestamp::ZERO);
+        }
+    }
+
+    fn bursting(&mut self, now: Timestamp) -> bool {
+        let Burstiness::Bursty { fraction, .. } = self.profile.burst else {
+            return false;
+        };
+        let period = now.as_micros() / 1_000_000;
+        if self.current_period.0 != period {
+            self.current_period = (period, self.burst_rng.gen::<f64>() < fraction);
+        }
+        self.current_period.1
+    }
+
+    /// Emits the batch due at `next_time()` and schedules the next one.
+    pub fn emit(&mut self) -> Batch {
+        let now = self.next_emission;
+        let factor = if self.bursting(now) {
+            match self.profile.burst {
+                Burstiness::Bursty { factor, .. } => factor as usize,
+                Burstiness::Steady => 1,
+            }
+        } else {
+            1
+        };
+        let n = self.profile.batch_size() * factor;
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|_| {
+                let v = match self.kind {
+                    SourceKind::MemFree => self.values.mem_free_kb(now),
+                    _ => self.values.value(now),
+                };
+                let values = match self.key {
+                    Some(k) => vec![Value::I64(k), Value::F64(v)],
+                    None => vec![Value::F64(v)],
+                };
+                Tuple::new(now, Sic::ZERO, values)
+            })
+            .collect();
+        self.next_emission = now + self.profile.interval();
+        Batch::from_source(self.query, self.source, now, tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: SourceKind) -> SourceSpec {
+        SourceSpec {
+            id: SourceId(3),
+            key: Some(7),
+            kind,
+        }
+    }
+
+    #[test]
+    fn table2_profiles() {
+        let local = SourceProfile::local(Dataset::Uniform);
+        assert_eq!(local.batch_size(), 80);
+        assert_eq!(local.interval(), TimeDelta::from_millis(200));
+        let emulab = SourceProfile::emulab(Dataset::Uniform);
+        assert_eq!(emulab.batch_size(), 50);
+        assert_eq!(emulab.interval(), TimeDelta::from_micros(333_333));
+    }
+
+    #[test]
+    fn steady_driver_emits_constant_batches() {
+        let profile = SourceProfile::local(Dataset::Uniform);
+        let mut d = SourceDriver::new(QueryId(1), &spec(SourceKind::Cpu), profile, 5);
+        let mut last = None;
+        for _ in 0..10 {
+            let t = d.next_time();
+            let b = d.emit();
+            assert_eq!(b.len(), 80);
+            assert_eq!(b.query(), QueryId(1));
+            assert_eq!(b.source(), Some(SourceId(3)));
+            assert_eq!(b.created(), t);
+            assert!(b.tuples().iter().all(|tu| tu.sic == Sic::ZERO));
+            assert_eq!(b.tuples()[0].i64(0), 7, "keyed row");
+            if let Some(prev) = last {
+                assert_eq!((t - prev), TimeDelta::from_millis(200));
+            }
+            last = Some(t);
+        }
+    }
+
+    #[test]
+    fn phases_differ_across_sources() {
+        let profile = SourceProfile::emulab(Dataset::Uniform);
+        let d1 = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 1);
+        let d2 = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 2);
+        assert_ne!(d1.next_time(), d2.next_time());
+    }
+
+    #[test]
+    fn bursty_driver_bursts_roughly_ten_percent() {
+        let profile = SourceProfile {
+            burst: Burstiness::PAPER_BURSTY,
+            ..SourceProfile::emulab(Dataset::Uniform)
+        };
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 9);
+        let mut burst_batches = 0;
+        let mut total = 0;
+        // 300 seconds of emissions.
+        while d.next_time() < Timestamp::from_secs(300) {
+            let b = d.emit();
+            total += 1;
+            if b.len() > 50 {
+                assert_eq!(b.len(), 500, "burst factor 10");
+                burst_batches += 1;
+            }
+        }
+        let frac = burst_batches as f64 / total as f64;
+        assert!((0.04..=0.2).contains(&frac), "burst fraction {frac}");
+    }
+
+    #[test]
+    fn mem_sources_emit_memory_values() {
+        let profile = SourceProfile::emulab(Dataset::Uniform);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::MemFree), profile, 4);
+        let b = d.emit();
+        // KB scale, not 0-100.
+        assert!(b.tuples().iter().any(|t| t.f64(1) > 1000.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let profile = SourceProfile::local(Dataset::Mixed);
+        let mut a = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 77);
+        let mut b = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 77);
+        for _ in 0..5 {
+            assert_eq!(a.emit(), b.emit());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The two experimental test-beds of Table 2, as simulation profiles.
+
+use themis_core::prelude::*;
+
+use crate::datasets::Dataset;
+use crate::sources::SourceProfile;
+
+/// A test-bed profile (Table 2): node counts, link latency and the source
+/// rate/batching configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Testbed {
+    /// Profile name.
+    pub name: &'static str,
+    /// Processing nodes available.
+    pub processing_nodes: usize,
+    /// One-way link latency between nodes.
+    pub link_latency: TimeDelta,
+    /// Source rate in tuples/second.
+    pub source_rate: u32,
+    /// Batches per second per source.
+    pub batches_per_sec: u32,
+}
+
+/// Local test-bed (Table 2): 3 servers — 1 source node, 1 query submission
+/// node, 1 processing node; sources at 400 t/s in 5 batches of 80.
+pub const LOCAL: Testbed = Testbed {
+    name: "local",
+    processing_nodes: 1,
+    link_latency: TimeDelta(1_000), // 1 Gbps LAN, sub-millisecond
+    source_rate: 400,
+    batches_per_sec: 5,
+};
+
+/// Emulab test-bed (Table 2): 25 servers — 3 source nodes, 3 submission
+/// nodes, up to 18 processing nodes in a 100 Mbps star with 5 ms delays;
+/// sources at 150 t/s in 3 batches of 50.
+pub const EMULAB: Testbed = Testbed {
+    name: "emulab",
+    processing_nodes: 18,
+    link_latency: TimeDelta(5_000),
+    source_rate: 150,
+    batches_per_sec: 3,
+};
+
+/// Wide-area variant used in §7.4: Emulab profile with 50 ms latencies.
+pub const WAN: Testbed = Testbed {
+    name: "fsps-wan",
+    link_latency: TimeDelta(50_000),
+    ..EMULAB
+};
+
+impl Testbed {
+    /// The test-bed's source profile over the given dataset.
+    pub fn source_profile(&self, dataset: Dataset) -> SourceProfile {
+        SourceProfile {
+            tuples_per_sec: self.source_rate,
+            batches_per_sec: self.batches_per_sec,
+            burst: crate::sources::Burstiness::Steady,
+            dataset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_parameters() {
+        assert_eq!(LOCAL.source_rate, 400);
+        assert_eq!(LOCAL.source_profile(Dataset::Uniform).batch_size(), 80);
+        assert_eq!(EMULAB.source_rate, 150);
+        assert_eq!(EMULAB.source_profile(Dataset::Uniform).batch_size(), 50);
+        assert_eq!(EMULAB.processing_nodes, 18);
+        assert_eq!(EMULAB.link_latency, TimeDelta::from_millis(5));
+        assert_eq!(WAN.link_latency, TimeDelta::from_millis(50));
+        assert_eq!(WAN.source_rate, EMULAB.source_rate);
+    }
+}

@@ -1,0 +1,245 @@
+//! Cross-crate integration: SIC mass flows correctly from sources through
+//! operators, fragments, the network and the result tracker.
+
+use themis::prelude::*;
+
+fn underloaded(template: Template, n: usize, nodes: usize, seed: u64) -> SimReport {
+    let scenario = ScenarioBuilder::new("sic-pipeline", seed)
+        .nodes(nodes)
+        .capacity_tps(1_000_000)
+        .duration(TimeDelta::from_secs(16))
+        .warmup(TimeDelta::from_secs(8))
+        .stw_window(TimeDelta::from_secs(5))
+        .add_queries(
+            template,
+            n,
+            SourceProfile {
+                tuples_per_sec: 40,
+                batches_per_sec: 4,
+                burst: Burstiness::Steady,
+                dataset: Dataset::Uniform,
+            },
+        )
+        .build()
+        .unwrap();
+    run_scenario(scenario, SimConfig::default())
+}
+
+/// Without overload, every template's result SIC sits near 1 — Eq. 1-4
+/// conserve source information end to end.
+#[test]
+fn perfect_processing_reaches_unit_sic() {
+    for (template, nodes) in [
+        (Template::Avg, 1),
+        (Template::Max, 1),
+        (Template::Count, 1),
+        (Template::AvgAll { fragments: 2 }, 2),
+        (Template::Cov { fragments: 2 }, 2),
+        (Template::Top5 { fragments: 2 }, 2),
+    ] {
+        let report = underloaded(template, 2, nodes, 5);
+        for q in &report.per_query {
+            assert!(
+                q.mean_sic > 0.85,
+                "{} ({} fragments): SIC {}",
+                q.template,
+                q.fragments,
+                q.mean_sic
+            );
+            assert!(
+                q.mean_sic < 1.05,
+                "{}: SIC cannot exceed 1 (+STW noise): {}",
+                q.template,
+                q.mean_sic
+            );
+        }
+    }
+}
+
+/// Fragment chains of any length preserve SIC mass.
+#[test]
+fn chain_length_does_not_leak_sic() {
+    for fragments in [1usize, 2, 3, 4] {
+        let report = underloaded(Template::Cov { fragments }, 2, fragments.max(2), 9);
+        for q in &report.per_query {
+            assert!(
+                q.mean_sic > 0.8,
+                "{fragments}-fragment chain leaked mass: {}",
+                q.mean_sic
+            );
+        }
+    }
+}
+
+/// The AVG-all tree merges partial aggregates exactly: the result value
+/// equals the global average of all source values.
+#[test]
+fn avg_all_tree_value_correctness() {
+    let scenario = ScenarioBuilder::new("avg-all-values", 3)
+        .nodes(3)
+        .capacity_tps(1_000_000)
+        .duration(TimeDelta::from_secs(12))
+        .warmup(TimeDelta::from_secs(6))
+        .stw_window(TimeDelta::from_secs(4))
+        .add_queries(
+            Template::AvgAll { fragments: 3 },
+            1,
+            SourceProfile {
+                tuples_per_sec: 40,
+                batches_per_sec: 4,
+                burst: Burstiness::Steady,
+                dataset: Dataset::Uniform,
+            },
+        )
+        .build()
+        .unwrap();
+    let cfg = SimConfig {
+        record_results: true,
+        ..Default::default()
+    };
+    let report = run_scenario(scenario, cfg);
+    let results = report.results.values().next().expect("results recorded");
+    assert!(!results.is_empty());
+    // Uniform on [0,100]: every windowed average over 300 source tuples
+    // should be close to 50.
+    for (_, rows) in results {
+        let v = rows[0][0].as_f64();
+        assert!((v - 50.0).abs() < 15.0, "window avg {v}");
+    }
+}
+
+/// Shedding reduces SIC proportionally: halving capacity roughly halves
+/// the result SIC of a single query.
+#[test]
+fn sic_tracks_capacity_fraction() {
+    let run = |capacity: u32| -> f64 {
+        let scenario = ScenarioBuilder::new("sic-fraction", 4)
+            .nodes(1)
+            .capacity_tps(capacity)
+            .duration(TimeDelta::from_secs(16))
+            .warmup(TimeDelta::from_secs(8))
+            .stw_window(TimeDelta::from_secs(5))
+            .add_queries(
+                Template::Avg,
+                4,
+                SourceProfile {
+                    tuples_per_sec: 40,
+                    batches_per_sec: 4,
+                    burst: Burstiness::Steady,
+                    dataset: Dataset::Gaussian,
+                },
+            )
+            .build()
+            .unwrap();
+        run_scenario(scenario, SimConfig::default()).mean_sic()
+    };
+    // Demand is 160 t/s.
+    let full = run(200);
+    let half = run(80);
+    let quarter = run(40);
+    assert!(full > 0.9, "no overload: {full}");
+    assert!((half - 0.5).abs() < 0.15, "half capacity: {half}");
+    assert!((quarter - 0.25).abs() < 0.12, "quarter capacity: {quarter}");
+    assert!(full > half && half > quarter);
+}
+
+/// Eq. 1 normalisation: a query's SIC is rate-independent — doubling all
+/// source rates under proportionally doubled capacity leaves SIC the same.
+#[test]
+fn sic_is_rate_normalised() {
+    let run = |rate: u32, capacity: u32| -> f64 {
+        let scenario = ScenarioBuilder::new("rate-norm", 8)
+            .nodes(1)
+            .capacity_tps(capacity)
+            .duration(TimeDelta::from_secs(16))
+            .warmup(TimeDelta::from_secs(8))
+            .stw_window(TimeDelta::from_secs(5))
+            .add_queries(
+                Template::Avg,
+                2,
+                SourceProfile {
+                    tuples_per_sec: rate,
+                    batches_per_sec: 4,
+                    burst: Burstiness::Steady,
+                    dataset: Dataset::Uniform,
+                },
+            )
+            .build()
+            .unwrap();
+        run_scenario(scenario, SimConfig::default()).mean_sic()
+    };
+    let slow = run(40, 40);
+    let fast = run(80, 80);
+    assert!(
+        (slow - fast).abs() < 0.1,
+        "SIC must be rate-normalised: {slow} vs {fast}"
+    );
+}
+
+/// A custom sliding-window query (2 s range, 1 s slide) conserves SIC mass
+/// end to end: each tuple's mass is split across its panes (§6 "divide the
+/// SIC value of an input tuple across all its derived tuples per slide")
+/// and re-summed by the result tracker.
+#[test]
+fn sliding_window_query_conserves_sic() {
+    use themis::operators::op::OperatorSpec;
+    use themis::operators::window::WindowSpec;
+    use themis::query::graph::{FragmentSpec, LocalEdge, SourceBinding, SourceSpec};
+    use themis::query::runtime::{FragmentRuntime, Ingress};
+
+    let source = SourceId(0);
+    let frag = FragmentSpec {
+        operators: vec![
+            OperatorSpec::identity(),
+            OperatorSpec::with_grace(
+                WindowSpec::sliding(TimeDelta::from_secs(2), TimeDelta::from_secs(1)),
+                LogicSpec::Avg { field: 0 },
+                TimeDelta::ZERO,
+            ),
+            OperatorSpec::identity(),
+        ],
+        edges: vec![
+            LocalEdge { from: 0, to: 1, port: 0 },
+            LocalEdge { from: 1, to: 2, port: 0 },
+        ],
+        sources: vec![SourceBinding { source, op: 0, port: 0 }],
+        upstreams: vec![],
+        root: 2,
+    };
+    let q = QuerySpec {
+        id: QueryId(0),
+        template: "sliding-avg",
+        fragments: vec![frag],
+        result_fragment: 0,
+        sources: vec![SourceSpec { id: source, key: None, kind: SourceKind::Generic }],
+    };
+    q.validate().unwrap();
+
+    let mut rt = FragmentRuntime::new(&q.fragments[0]);
+    // 8 seconds of tuples, 4 per second, each worth 1/32 so total mass = 1.
+    let mut emitted = 0.0;
+    let mut out = Vec::new();
+    for s in 0..8u64 {
+        for k in 0..4u64 {
+            let ts = Timestamp::from_millis(s * 1000 + k * 250 + 100);
+            out.extend(rt.ingest(
+                Ingress::Source(source),
+                vec![Tuple::measurement(ts, Sic(1.0 / 32.0), 50.0)],
+                ts,
+            ));
+        }
+        emitted += 4.0 / 32.0;
+    }
+    // Close every remaining pane (well past the last window).
+    out.extend(rt.tick(Timestamp::from_secs(20)));
+    let total: f64 = out.iter().map(|e| e.sic().value()).sum();
+    assert!(
+        (total - emitted).abs() < 1e-9,
+        "sliding windows must conserve mass: {total} vs {emitted}"
+    );
+    // Overlapping windows: roughly one result per slide.
+    assert!(out.len() >= 7, "panes emitted: {}", out.len());
+    for e in &out {
+        assert!((e.tuples[0].f64(0) - 50.0).abs() < 1e-9, "window average");
+    }
+}
