@@ -35,11 +35,7 @@ impl AllocationProblem {
     /// Builds the uniform-load instance used throughout §7.5: every query
     /// has fragments on a set of nodes; each admitted tuple loads each of
     /// those nodes by 1.
-    pub fn uniform(
-        input_rates: Vec<f64>,
-        hosts: Vec<Vec<usize>>,
-        capacities: Vec<f64>,
-    ) -> Self {
+    pub fn uniform(input_rates: Vec<f64>, hosts: Vec<Vec<usize>>, capacities: Vec<f64>) -> Self {
         let n_nodes = capacities.len();
         let mut load = vec![vec![0.0; input_rates.len()]; n_nodes];
         for (q, hs) in hosts.iter().enumerate() {

@@ -47,11 +47,7 @@ mod tests {
         let input = 10.0;
         // Every query loads both nodes; each node fits 3.5 queries' input.
         let hosts: Vec<Vec<usize>> = (0..n_queries).map(|_| vec![0, 1]).collect();
-        let p = AllocationProblem::uniform(
-            vec![input; n_queries],
-            hosts,
-            vec![35.0, 35.0],
-        );
+        let p = AllocationProblem::uniform(vec![input; n_queries], hosts, vec![35.0, 35.0]);
         let a = solve_fit(&p).unwrap();
         assert!(p.is_feasible(&a.rates, 1e-6));
         // Objective: total throughput equals the bottleneck capacity.
@@ -67,11 +63,8 @@ mod tests {
 
     #[test]
     fn weights_steer_admission() {
-        let mut p = AllocationProblem::uniform(
-            vec![10.0, 10.0],
-            vec![vec![0], vec![0]],
-            vec![10.0],
-        );
+        let mut p =
+            AllocationProblem::uniform(vec![10.0, 10.0], vec![vec![0], vec![0]], vec![10.0]);
         p.weights = vec![1.0, 2.0];
         let a = solve_fit(&p).unwrap();
         assert!((a.rates[1] - 10.0).abs() < 1e-6, "heavy query wins");
@@ -80,11 +73,7 @@ mod tests {
 
     #[test]
     fn underloaded_admits_everything() {
-        let p = AllocationProblem::uniform(
-            vec![5.0, 5.0],
-            vec![vec![0], vec![0]],
-            vec![100.0],
-        );
+        let p = AllocationProblem::uniform(vec![5.0, 5.0], vec![vec![0], vec![0]], vec![100.0]);
         let a = solve_fit(&p).unwrap();
         assert_eq!(a.fully_admitted(&p, 1e-6), 2);
         assert!((a.jain_rate_fractions(&p) - 1.0).abs() < 1e-9);

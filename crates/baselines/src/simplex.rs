@@ -139,12 +139,7 @@ pub fn solve(lp: &Lp) -> Result<LpSolution, LpError> {
             x[bv] = t[i][cols - 1];
         }
     }
-    let objective = lp
-        .objective
-        .iter()
-        .zip(x.iter())
-        .map(|(c, v)| c * v)
-        .sum();
+    let objective = lp.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
     Ok(LpSolution {
         x,
         objective,
@@ -192,7 +187,10 @@ mod tests {
     fn unbounded_detected() {
         // max x with constraint on another variable only.
         let r = solve(&lp(vec![1.0, 0.0], vec![(vec![0.0, 1.0], 5.0)]));
-        assert_eq!(r.err().map(|e| format!("{e}")), Some("LP is unbounded".into()));
+        assert_eq!(
+            r.err().map(|e| format!("{e}")),
+            Some("LP is unbounded".into())
+        );
     }
 
     #[test]

@@ -88,11 +88,7 @@ mod tests {
 
     #[test]
     fn input_bound_binds_when_capacity_abounds() {
-        let p = AllocationProblem::uniform(
-            vec![5.0, 5.0],
-            vec![vec![0], vec![0]],
-            vec![1000.0],
-        );
+        let p = AllocationProblem::uniform(vec![5.0, 5.0], vec![vec![0], vec![0]], vec![1000.0]);
         let a = solve_log_utility(&p, UtilityOpts::default());
         assert!((a.rates[0] - 5.0).abs() < 1e-3);
         assert!((a.rates[1] - 5.0).abs() < 1e-3);
@@ -129,7 +125,10 @@ mod tests {
         let a = solve_log_utility(&p, UtilityOpts::default());
         assert!(p.is_feasible(&a.rates, 1e-6));
         assert_eq!(a.starved(1e-6), 0);
-        assert!(a.jain_rate_fractions(&p) > 0.99, "equal queries, equal rates");
+        assert!(
+            a.jain_rate_fractions(&p) > 0.99,
+            "equal queries, equal rates"
+        );
     }
 
     #[test]

@@ -2,26 +2,36 @@
 //!
 //! ```text
 //! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
-//!              fig13|fig14|related|overhead|ablation|dynamics] [--quick]
+//!              fig13|fig14|related|overhead|ablation|dynamics|policies]
+//!             [--quick] [--policy=<name>]
 //! ```
 //!
 //! Each experiment prints the series the paper plots and writes a CSV
 //! under `results/`. `--quick` switches to the reduced scale used by the
-//! benches (for smoke runs). Built to be run with `--release`.
+//! benches (for smoke runs). `--policy=<name>` restricts the `policies`
+//! parity experiment to one registry policy (any [`PolicyKind`] name,
+//! e.g. `balance-sic`, `fifo`, `balance-sic-lowest-first`). Built to be
+//! run with `--release`.
 
 use std::time::Instant;
 
 use themis_bench::figures::correlation::{correlation, render as render_corr, CorrelationQuery};
 use themis_bench::figures::fairness::{fig10, fig11, fig8, fig9, render as render_fair};
 use themis_bench::figures::overhead::{overhead, render as render_overhead};
+use themis_bench::figures::parity::{policy_parity, render as render_parity};
 use themis_bench::figures::related::{related_work, render as render_related};
 use themis_bench::figures::scalability::{fig12, fig13, fig14, render as render_scal};
 use themis_bench::figures::{ablation, dynamics, tables};
 use themis_bench::scenarios::Scale;
 use themis_bench::table::TextTable;
+use themis_core::shedder::PolicyKind;
 
 const SEED: u64 = 20160626; // SIGMOD'16 started June 26.
 const RESULTS_DIR: &str = "results";
+const EXPERIMENTS: &[&str] = &[
+    "all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "related", "overhead", "ablation", "policies", "dynamics",
+];
 
 fn emit(name: &str, table: TextTable) {
     println!("{}", table.render());
@@ -38,14 +48,42 @@ fn main() {
     } else {
         Scale::default_scale()
     };
+    if let Some(flag) = args
+        .iter()
+        .find(|a| a.starts_with("--") && *a != "--quick" && !a.starts_with("--policy="))
+    {
+        eprintln!("unknown option `{flag}` (expected --quick or --policy=<name>)");
+        std::process::exit(2);
+    }
+    let policy_arg = args.iter().find_map(|a| a.strip_prefix("--policy="));
+    let policies: Vec<PolicyKind> = match policy_arg {
+        Some(name) => match name.parse::<PolicyKind>() {
+            Ok(p) => vec![p],
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+        None => PolicyKind::ALL.to_vec(),
+    };
     let what: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
     let what = if what.is_empty() { vec!["all"] } else { what };
+    if let Some(unknown) = what.iter().find(|w| !EXPERIMENTS.contains(w)) {
+        eprintln!(
+            "unknown experiment `{unknown}` (expected one of: {})",
+            EXPERIMENTS.join(", ")
+        );
+        std::process::exit(2);
+    }
     let all = what.contains(&"all");
     let run = |name: &str| all || what.contains(&name);
+    if policy_arg.is_some() && !run("policies") {
+        eprintln!("note: --policy only affects the `policies` experiment, which is not selected");
+    }
     let t0 = Instant::now();
 
     if run("table1") {
@@ -75,11 +113,17 @@ fn main() {
     }
     if run("fig8") {
         let pts = fig8(&scale, SEED);
-        emit("fig08", render_fair("Figure 8: single-node fairness", "queries", &pts));
+        emit(
+            "fig08",
+            render_fair("Figure 8: single-node fairness", "queries", &pts),
+        );
     }
     if run("fig9") {
         let pts = fig9(&scale, SEED);
-        emit("fig09", render_fair("Figure 9: shedding interval", "interval", &pts));
+        emit(
+            "fig09",
+            render_fair("Figure 9: shedding interval", "interval", &pts),
+        );
     }
     if run("fig10") {
         let pts = fig10(&scale, SEED);
@@ -101,17 +145,27 @@ fn main() {
     }
     if run("fig12") {
         let pts = fig12(&scale, SEED);
-        emit("fig12", render_scal("Figure 12: scaling nodes", "nodes", &pts));
+        emit(
+            "fig12",
+            render_scal("Figure 12: scaling nodes", "nodes", &pts),
+        );
     }
     if run("fig13") {
         let pts = fig13(&scale, SEED);
-        emit("fig13", render_scal("Figure 13: scaling queries", "queries", &pts));
+        emit(
+            "fig13",
+            render_scal("Figure 13: scaling queries", "queries", &pts),
+        );
     }
     if run("fig14") {
         let pts = fig14(&scale, SEED);
         emit(
             "fig14",
-            render_scal("Figure 14: burstiness and wide-area latency", "deployment", &pts),
+            render_scal(
+                "Figure 14: burstiness and wide-area latency",
+                "deployment",
+                &pts,
+            ),
         );
     }
     if run("related") {
@@ -127,7 +181,10 @@ fn main() {
         let pts = ablation::update_sic_ablation(&scale, SEED);
         emit(
             "ablation_update_sic",
-            ablation::render("Ablation: updateSIC dissemination (Figure 4 at scale)", &pts),
+            ablation::render(
+                "Ablation: updateSIC dissemination (Figure 4 at scale)",
+                &pts,
+            ),
         );
         let pts = ablation::batch_order_ablation(&scale, SEED);
         emit(
@@ -139,6 +196,11 @@ fn main() {
             "ablation_policies",
             ablation::render("Extension: shedding-policy comparison", &pts),
         );
+    }
+    if run("policies") {
+        let secs = if quick { 1 } else { 3 };
+        let rows = policy_parity(&policies, &scale, secs, SEED);
+        emit("policies", render_parity(&rows));
     }
     if run("dynamics") {
         let (pts, arrive, depart) = dynamics::dynamics(&scale, SEED);

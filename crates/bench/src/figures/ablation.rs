@@ -62,9 +62,9 @@ pub fn update_sic_ablation(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
 pub fn batch_order_ablation(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
     let mut out = Vec::new();
     for (label, policy) in [
-        ("highest-sic-first", ShedPolicy::BalanceSic),
-        ("fifo-order", ShedPolicy::BalanceSicFifoOrder),
-        ("lowest-sic-first", ShedPolicy::BalanceSicLowestFirst),
+        ("highest-sic-first", PolicyKind::BalanceSic),
+        ("fifo-order", PolicyKind::BalanceSicFifoOrder),
+        ("lowest-sic-first", PolicyKind::BalanceSicLowestFirst),
     ] {
         let report = run_scenario(
             base_scenario(label, scale, seed),
@@ -88,10 +88,10 @@ pub fn batch_order_ablation(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
 pub fn policy_comparison(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
     let mut out = Vec::new();
     for policy in [
-        ShedPolicy::BalanceSic,
-        ShedPolicy::Random,
-        ShedPolicy::Fifo,
-        ShedPolicy::Priority,
+        PolicyKind::BalanceSic,
+        PolicyKind::Random,
+        PolicyKind::Fifo,
+        PolicyKind::Priority,
     ] {
         let report = run_scenario(
             base_scenario(policy.name(), scale, seed),

@@ -80,7 +80,13 @@ pub fn dynamics(scale: &Scale, seed: u64) -> (Vec<DynamicsPoint>, Timestamp, Tim
         let mean_of = |ids: &[QueryId]| -> f64 {
             let vals: Vec<f64> = ids
                 .iter()
-                .filter_map(|q| report.sic_series.get(q).and_then(|s| s.get(i)).map(|&(_, v)| v))
+                .filter_map(|q| {
+                    report
+                        .sic_series
+                        .get(q)
+                        .and_then(|s| s.get(i))
+                        .map(|&(_, v)| v)
+                })
                 .collect();
             if vals.is_empty() {
                 0.0

@@ -76,14 +76,9 @@ pub fn fig9(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
             .shedding_interval(TimeDelta::from_millis(ms))
             .duration(scale.duration)
             .warmup(scale.warmup);
-        let scn = add_complex_mix_varied(
-            b,
-            n_queries,
-            &[1, 2, 3],
-            scale.profile(Dataset::Uniform),
-        )
-        .build()
-        .expect("placement");
+        let scn = add_complex_mix_varied(b, n_queries, &[1, 2, 3], scale.profile(Dataset::Uniform))
+            .build()
+            .expect("placement");
         let report = run_scenario(scn, SimConfig::default());
         out.push(point(format!("{ms}ms"), &report));
     }
@@ -107,11 +102,10 @@ pub fn fig10(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
     for (label, frags) in configs {
         let mean_frags = frags.iter().sum::<usize>() as f64 / frags.len() as f64;
         let n_queries = ((total_fragments as f64 / mean_frags).round() as usize).max(1);
-        let demand = total_fragments as f64
-            * mix_sources_per_fragment()
-            * scale.tuples_per_sec as f64;
+        let demand =
+            total_fragments as f64 * mix_sources_per_fragment() * scale.tuples_per_sec as f64;
         let capacity = capacity_for_overload(demand / 18.0, 3.0);
-        for policy in [ShedPolicy::BalanceSic, ShedPolicy::Random] {
+        for policy in [PolicyKind::BalanceSic, PolicyKind::Random] {
             let b = ScenarioBuilder::new(format!("fig10-{label}-{}", policy.name()), seed)
                 .nodes(18)
                 .placement(PlacementPolicy::UniformRandom)

@@ -7,6 +7,7 @@ pub mod correlation;
 pub mod dynamics;
 pub mod fairness;
 pub mod overhead;
+pub mod parity;
 pub mod related;
 pub mod scalability;
 pub mod tables;

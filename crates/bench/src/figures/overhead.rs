@@ -53,7 +53,7 @@ fn overhead_scenario(secs: u64, seed: u64) -> Scenario {
 /// constant overload.
 pub fn overhead(secs: u64, seed: u64) -> Vec<OverheadRow> {
     let mut rows = Vec::new();
-    for policy in [EnginePolicy::BalanceSic, EnginePolicy::Random] {
+    for policy in [PolicyKind::BalanceSic, PolicyKind::Random] {
         let scn = overhead_scenario(secs, seed);
         let cfg = EngineConfig {
             policy,
@@ -75,7 +75,13 @@ pub fn overhead(secs: u64, seed: u64) -> Vec<OverheadRow> {
 pub fn render(rows: &[OverheadRow]) -> TextTable {
     let mut t = TextTable::new(
         "§7.6 shedder overhead (batch header: 10 B, SIC update: 30 B)",
-        &["policy", "shed-us/invocation", "shed-fraction", "coord-msgs", "coord-bytes"],
+        &[
+            "policy",
+            "shed-us/invocation",
+            "shed-fraction",
+            "coord-msgs",
+            "coord-bytes",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -1,0 +1,139 @@
+//! Sim↔engine parity over the unified shedding-policy registry: every
+//! [`PolicyKind`] runs on the same overloaded workload in the
+//! deterministic simulator *and* the multi-threaded prototype engine.
+//!
+//! This is the measurement the single-registry refactor exists to enable:
+//! before it, the engine knew only 2 of the simulator's 6 policies, so no
+//! figure could compare a policy's behaviour across runtimes.
+
+use themis_core::prelude::*;
+use themis_engine::prelude::*;
+use themis_query::prelude::Template;
+use themis_sim::prelude::*;
+use themis_workloads::prelude::*;
+
+use crate::scenarios::{add_complex_mix, capacity_for_overload, mix_sources_per_fragment, Scale};
+use crate::table::{f, TextTable};
+
+/// One policy's outcome in both runtimes.
+#[derive(Debug, Clone)]
+pub struct ParityRow {
+    /// The registry policy.
+    pub policy: PolicyKind,
+    /// Simulator: mean per-query SIC.
+    pub sim_mean_sic: f64,
+    /// Simulator: Jain's index over per-query SIC values.
+    pub sim_jain: f64,
+    /// Simulator: fraction of arrived tuples shed.
+    pub sim_shed: f64,
+    /// Engine: fraction of arrived tuples shed.
+    pub engine_shed: f64,
+    /// Engine: mean shedder execution time per invocation (µs).
+    pub engine_shed_us: f64,
+}
+
+/// The simulator side: an overloaded complex-mix federation.
+fn sim_scenario(name: &str, scale: &Scale, seed: u64) -> Scenario {
+    let n_queries = scale.n(18);
+    let fragments = 2;
+    let demand =
+        (n_queries * fragments) as f64 * mix_sources_per_fragment() * scale.tuples_per_sec as f64;
+    let capacity = capacity_for_overload(demand / 4.0, 3.0);
+    add_complex_mix(
+        ScenarioBuilder::new(name, seed)
+            .nodes(4)
+            .capacity_tps(capacity)
+            .duration(scale.duration)
+            .warmup(scale.warmup),
+        n_queries,
+        fragments,
+        scale.profile(Dataset::Uniform),
+    )
+    .build()
+    .expect("placement")
+}
+
+/// The engine side: wall-clock seconds, so kept short; a synthetic
+/// per-tuple cost forces genuine overload on every run.
+fn engine_scenario(name: &str, secs: u64, seed: u64) -> Scenario {
+    ScenarioBuilder::new(name, seed)
+        .nodes(2)
+        .capacity_tps(1_000_000)
+        .duration(TimeDelta::from_millis(secs * 1000))
+        .warmup(TimeDelta::from_millis(500))
+        .stw_window(TimeDelta::from_secs(1))
+        .add_queries(
+            Template::Avg,
+            4,
+            SourceProfile {
+                tuples_per_sec: 300,
+                batches_per_sec: 5,
+                burst: Burstiness::Steady,
+                dataset: Dataset::Uniform,
+            },
+        )
+        .build()
+        .expect("placement")
+}
+
+/// Runs each policy through both runtimes and collects the parity rows.
+///
+/// `engine_secs` is the measured wall-clock duration per engine run (the
+/// simulator side uses `scale`'s simulated durations and is cheap).
+pub fn policy_parity(
+    policies: &[PolicyKind],
+    scale: &Scale,
+    engine_secs: u64,
+    seed: u64,
+) -> Vec<ParityRow> {
+    policies
+        .iter()
+        .map(|&policy| {
+            let sim = run_scenario(
+                sim_scenario(policy.name(), scale, seed),
+                SimConfig::with_policy(policy),
+            );
+            let engine = run_engine(
+                &engine_scenario(policy.name(), engine_secs, seed),
+                EngineConfig {
+                    policy,
+                    synthetic_cost: TimeDelta::from_micros(1500),
+                },
+            );
+            ParityRow {
+                policy,
+                sim_mean_sic: sim.mean_sic(),
+                sim_jain: sim.jain(),
+                sim_shed: sim.shed_fraction(),
+                engine_shed: engine.shed_fraction(),
+                engine_shed_us: engine.mean_shed_time_us(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the parity table.
+pub fn render(rows: &[ParityRow]) -> TextTable {
+    let mut t = TextTable::new(
+        "Policy parity: every registry policy in simulator and engine",
+        &[
+            "policy",
+            "sim-mean-sic",
+            "sim-jain",
+            "sim-shed",
+            "engine-shed",
+            "engine-us/shed",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.policy.name().to_string(),
+            f(r.sim_mean_sic),
+            f(r.sim_jain),
+            f(r.sim_shed),
+            f(r.engine_shed),
+            f(r.engine_shed_us),
+        ]);
+    }
+    t
+}

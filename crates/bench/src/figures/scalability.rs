@@ -57,10 +57,8 @@ pub fn fig12(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
 /// Figure 13: growing query counts on a fixed 18-node deployment.
 pub fn fig13(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
     let query_counts = [60usize, 120, 180, 240, 300];
-    let demand_at_180 = scale.n(180) as f64
-        * 3.5
-        * mix_sources_per_fragment()
-        * scale.tuples_per_sec as f64;
+    let demand_at_180 =
+        scale.n(180) as f64 * 3.5 * mix_sources_per_fragment() * scale.tuples_per_sec as f64;
     let capacity = capacity_for_overload(demand_at_180 / 18.0, 3.0);
     let mut out = Vec::new();
     for &count in &query_counts {
@@ -90,15 +88,22 @@ pub fn fig14(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
     let deployments: [(&str, TimeDelta, Burstiness); 4] = [
         ("LAN", TimeDelta::from_millis(5), Burstiness::Steady),
         ("FSPS", TimeDelta::from_millis(50), Burstiness::Steady),
-        ("LAN-bursty", TimeDelta::from_millis(5), Burstiness::PAPER_BURSTY),
-        ("FSPS-bursty", TimeDelta::from_millis(50), Burstiness::PAPER_BURSTY),
+        (
+            "LAN-bursty",
+            TimeDelta::from_millis(5),
+            Burstiness::PAPER_BURSTY,
+        ),
+        (
+            "FSPS-bursty",
+            TimeDelta::from_millis(50),
+            Burstiness::PAPER_BURSTY,
+        ),
     ];
     let mut out = Vec::new();
     for &(name, latency, burst) in &deployments {
         for &count in &[20usize, 40] {
             let n = scale.n(count);
-            let demand =
-                n as f64 * 2.0 * mix_sources_per_fragment() * scale.tuples_per_sec as f64;
+            let demand = n as f64 * 2.0 * mix_sources_per_fragment() * scale.tuples_per_sec as f64;
             let capacity = capacity_for_overload(demand / 4.0, 2.0);
             let profile = SourceProfile {
                 burst,

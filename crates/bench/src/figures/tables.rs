@@ -11,7 +11,13 @@ use crate::table::TextTable;
 pub fn table1() -> TextTable {
     let mut t = TextTable::new(
         "Table 1: query workloads",
-        &["query", "workload", "fragments", "ops/fragment", "sources/fragment"],
+        &[
+            "query",
+            "workload",
+            "fragments",
+            "ops/fragment",
+            "sources/fragment",
+        ],
     );
     let mut src = IdGen::new();
     let rows: Vec<(Template, &str)> = vec![
@@ -42,7 +48,14 @@ pub fn table1() -> TextTable {
 pub fn table2() -> TextTable {
     let mut t = TextTable::new(
         "Table 2: test-bed set-ups (simulated)",
-        &["testbed", "processing-nodes", "link-latency", "src-rate", "batches/s", "batch-size"],
+        &[
+            "testbed",
+            "processing-nodes",
+            "link-latency",
+            "src-rate",
+            "batches/s",
+            "batch-size",
+        ],
     );
     for tb in [LOCAL, EMULAB, WAN] {
         let p = tb.source_profile(Dataset::Uniform);

@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn capacity_tracks_observed_cost() {
         let mut m = CostModel::new(1.0); // no smoothing for the test
-        // 100 tuples in 10 ms -> 100 us/tuple -> 2500 tuples per 250 ms.
+                                         // 100 tuples in 10 ms -> 100 us/tuple -> 2500 tuples per 250 ms.
         m.observe(TimeDelta::from_millis(10), 100);
         assert_eq!(m.capacity(TimeDelta::from_millis(250), 1), 2500);
         assert_eq!(m.per_tuple(), Some(TimeDelta::from_micros(100)));

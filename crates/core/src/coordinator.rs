@@ -181,7 +181,9 @@ mod tests {
         c.on_result_sic(Sic(0.4));
         let first = c.tick(Timestamp::from_millis(0));
         assert_eq!(first.len(), 2);
-        assert!(first.iter().all(|u| u.sic == Sic(0.4) && u.query == QueryId(3)));
+        assert!(first
+            .iter()
+            .all(|u| u.sic == Sic(0.4) && u.query == QueryId(3)));
         // Too early: nothing.
         assert!(c.tick(Timestamp::from_millis(100)).is_empty());
         // Due again.

@@ -60,7 +60,8 @@ pub mod prelude {
     pub use crate::ids::{FragmentId, IdGen, NodeId, OperatorId, QueryId, SourceId};
     pub use crate::shedder::{
         build_buffer_states, BalanceSicShedder, BatchOrder, CandidateBatch, FifoShedder,
-        PriorityShedder, QueryBufferState, RandomShedder, ShedDecision, Shedder,
+        ParsePolicyError, PolicyKind, PriorityShedder, QueryBufferState, RandomShedder,
+        ShedDecision, Shedder,
     };
     pub use crate::sic::Sic;
     pub use crate::stw::{ResultSicTracker, SourceSicAssigner, StwConfig};

@@ -238,7 +238,7 @@ impl Shedder for BalanceSicShedder {
         match self.order {
             BatchOrder::HighestSicFirst => "balance-sic",
             BatchOrder::LowestSicFirst => "balance-sic(lowest-first)",
-            BatchOrder::Fifo => "balance-sic(fifo)",
+            BatchOrder::Fifo => "balance-sic(fifo-order)",
         }
     }
 }

@@ -13,12 +13,20 @@
 //! * [`FifoShedder`] — drop-from-tail baseline (keep oldest batches);
 //! * batch-order ablations of line 16's `max(xSIC)` rule via
 //!   [`BatchOrder`].
+//!
+//! Every policy is registered in [`PolicyKind`] — the single,
+//! workspace-wide enumeration through which the simulator, the prototype
+//! engine, the benches and the `experiments` CLI all build their
+//! shedders ([`PolicyKind::build`], with [`PolicyKind::name`] /
+//! `FromStr` round-tripping the canonical names).
 
 mod balance_sic;
+mod policy;
 mod random;
 mod variants;
 
 pub use balance_sic::{BalanceSicShedder, BatchOrder};
+pub use policy::{ParsePolicyError, PolicyKind};
 pub use random::RandomShedder;
 pub use variants::{FifoShedder, PriorityShedder};
 
@@ -217,13 +225,17 @@ mod tests {
             )
         };
         let buffer = vec![mk(0, 0.1), mk(1, 0.2), mk(0, 0.3)];
-        let states = build_buffer_states(&buffer, |q| {
-            if q == QueryId(0) {
-                Sic(0.5)
-            } else {
-                Sic(0.1)
-            }
-        });
+        let states =
+            build_buffer_states(
+                &buffer,
+                |q| {
+                    if q == QueryId(0) {
+                        Sic(0.5)
+                    } else {
+                        Sic(0.1)
+                    }
+                },
+            );
         assert_eq!(states.len(), 2);
         let q0 = &states[0];
         assert_eq!(q0.query, QueryId(0));

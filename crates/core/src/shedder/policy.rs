@@ -1,0 +1,209 @@
+//! The canonical shedding-policy registry.
+//!
+//! Exactly one enumeration of shedding policies exists in the workspace:
+//! [`PolicyKind`]. Every runtime that sheds tuples — the discrete-event
+//! simulator, the multi-threaded prototype engine, the benchmark figures
+//! and the `experiments` CLI — instantiates its [`Shedder`] through
+//! [`PolicyKind::build`], so all variants behave identically everywhere
+//! and a policy added here is immediately runnable in every runtime.
+
+use std::fmt;
+use std::str::FromStr;
+
+use super::balance_sic::{BalanceSicShedder, BatchOrder};
+use super::random::RandomShedder;
+use super::variants::{FifoShedder, PriorityShedder};
+use super::Shedder;
+
+/// Which tuple shedder a node runs (Algorithm 1 or a baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// The paper's BALANCE-SIC fair shedder (Algorithm 1).
+    BalanceSic,
+    /// Random shedding (the §7.2 baseline).
+    Random,
+    /// Drop-from-tail (bounded queue) baseline.
+    Fifo,
+    /// Admission-control baseline: lowest query ids are served to
+    /// saturation, the rest starve (the node-local analogue of the
+    /// throughput-maximising FIT LP of §7.5).
+    Priority,
+    /// Ablation: Algorithm 1 but admitting *lowest*-SIC batches first
+    /// (inverts line 16's `max(xSIC)`).
+    BalanceSicLowestFirst,
+    /// Ablation: Algorithm 1 with arrival-order admission.
+    BalanceSicFifoOrder,
+}
+
+impl PolicyKind {
+    /// Every policy, in registry order.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::BalanceSic,
+        PolicyKind::Random,
+        PolicyKind::Fifo,
+        PolicyKind::Priority,
+        PolicyKind::BalanceSicLowestFirst,
+        PolicyKind::BalanceSicFifoOrder,
+    ];
+
+    /// Instantiates the shedder with a node-specific seed.
+    pub fn build(&self, seed: u64) -> Box<dyn Shedder> {
+        match self {
+            PolicyKind::BalanceSic => Box::new(BalanceSicShedder::new(seed)),
+            PolicyKind::Random => Box::new(RandomShedder::new(seed)),
+            PolicyKind::Fifo => Box::new(FifoShedder::new()),
+            PolicyKind::Priority => Box::new(PriorityShedder::new()),
+            PolicyKind::BalanceSicLowestFirst => Box::new(BalanceSicShedder::with_order(
+                seed,
+                BatchOrder::LowestSicFirst,
+            )),
+            PolicyKind::BalanceSicFifoOrder => {
+                Box::new(BalanceSicShedder::with_order(seed, BatchOrder::Fifo))
+            }
+        }
+    }
+
+    /// Canonical display name; [`FromStr`] round-trips it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::BalanceSic => "balance-sic",
+            PolicyKind::Random => "random",
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Priority => "priority",
+            PolicyKind::BalanceSicLowestFirst => "balance-sic(lowest-first)",
+            PolicyKind::BalanceSicFifoOrder => "balance-sic(fifo-order)",
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    input: String,
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown shedding policy `{}` (expected one of: ",
+            self.input
+        )?;
+        for (i, p) in PolicyKind::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(p.name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for PolicyKind {
+    type Err = ParsePolicyError;
+
+    /// Accepts the canonical [`PolicyKind::name`] plus a CLI-friendly
+    /// spelling that replaces parentheses with dashes (e.g.
+    /// `balance-sic-lowest-first`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s
+            .trim()
+            .to_ascii_lowercase()
+            .chars()
+            .map(|c| if c == '_' { '-' } else { c })
+            .collect();
+        PolicyKind::ALL
+            .iter()
+            .find(|p| {
+                let name = p.name();
+                if norm == name {
+                    return true;
+                }
+                // Parenthesised names also accept a dashed CLI spelling:
+                // `balance-sic(lowest-first)` ⇔ `balance-sic-lowest-first`.
+                name.contains('(') && norm == name.replace('(', "-").replace(')', "")
+            })
+            .copied()
+            .ok_or_else(|| ParsePolicyError {
+                input: s.trim().to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_policy_builds_a_shedder() {
+        for p in PolicyKind::ALL {
+            let mut s = p.build(42);
+            let d = s.select_to_keep(10, &[]);
+            assert!(d.keep.is_empty());
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: HashSet<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), PolicyKind::ALL.len());
+        assert_eq!(PolicyKind::BalanceSic.to_string(), "balance-sic");
+    }
+
+    #[test]
+    fn from_str_round_trips_every_name() {
+        for p in PolicyKind::ALL {
+            assert_eq!(p.name().parse::<PolicyKind>(), Ok(p), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_cli_spellings() {
+        assert_eq!(
+            "Balance-SIC".parse::<PolicyKind>(),
+            Ok(PolicyKind::BalanceSic)
+        );
+        assert_eq!(
+            "balance_sic".parse::<PolicyKind>(),
+            Ok(PolicyKind::BalanceSic)
+        );
+        assert_eq!(
+            "balance-sic-lowest-first".parse::<PolicyKind>(),
+            Ok(PolicyKind::BalanceSicLowestFirst)
+        );
+        assert_eq!(
+            "balance-sic-fifo-order".parse::<PolicyKind>(),
+            Ok(PolicyKind::BalanceSicFifoOrder)
+        );
+        assert_eq!(" fifo ".parse::<PolicyKind>(), Ok(PolicyKind::Fifo));
+    }
+
+    #[test]
+    fn from_str_rejects_unknown_with_listing() {
+        let err = "drop-everything".parse::<PolicyKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("drop-everything"));
+        for p in PolicyKind::ALL {
+            assert!(msg.contains(p.name()), "error lists {}", p.name());
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_truncated_spellings() {
+        // A truncated `balance-sic-lowest-first` must not silently fall
+        // back to plain BALANCE-SIC.
+        assert!("balance-sic-".parse::<PolicyKind>().is_err());
+        assert!("balance-sic-lowest".parse::<PolicyKind>().is_err());
+        assert!("balance-siclowest-first".parse::<PolicyKind>().is_err());
+    }
+}

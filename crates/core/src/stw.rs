@@ -415,7 +415,10 @@ mod tests {
         tracker.record(Timestamp::from_millis(400), q, Sic(0.4));
         assert_eq!(tracker.query_sic(Timestamp::from_millis(500), q), Sic(0.8));
         // After the STW passes, the SIC decays to zero.
-        assert_eq!(tracker.query_sic(Timestamp::from_millis(2000), q), Sic::ZERO);
+        assert_eq!(
+            tracker.query_sic(Timestamp::from_millis(2000), q),
+            Sic::ZERO
+        );
     }
 
     #[test]

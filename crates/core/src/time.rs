@@ -163,10 +163,7 @@ mod tests {
         assert_eq!(t.as_micros(), 1_500_000);
         assert_eq!((t - Timestamp::from_secs(1)).as_millis_f64(), 500.0);
         // saturating subtraction never panics
-        assert_eq!(
-            (Timestamp::ZERO - Timestamp::from_secs(5)),
-            TimeDelta::ZERO
-        );
+        assert_eq!((Timestamp::ZERO - Timestamp::from_secs(5)), TimeDelta::ZERO);
     }
 
     #[test]

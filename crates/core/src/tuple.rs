@@ -196,7 +196,11 @@ mod tests {
 
     #[test]
     fn uniform_sic_restamping() {
-        let mut b = Batch::new(QueryId(0), Timestamp(0), vec![t(0, 0.0, 1.0), t(0, 0.0, 2.0)]);
+        let mut b = Batch::new(
+            QueryId(0),
+            Timestamp(0),
+            vec![t(0, 0.0, 1.0), t(0, 0.0, 2.0)],
+        );
         assert_eq!(b.sic(), Sic::ZERO);
         b.assign_uniform_sic(Sic(0.05));
         assert!((b.sic().value() - 0.1).abs() < 1e-12);
@@ -205,11 +209,7 @@ mod tests {
 
     #[test]
     fn tuple_accessors() {
-        let tu = Tuple::new(
-            Timestamp(9),
-            Sic(0.2),
-            vec![Value::I64(4), Value::F64(2.5)],
-        );
+        let tu = Tuple::new(Timestamp(9), Sic(0.2), vec![Value::I64(4), Value::F64(2.5)]);
         assert_eq!(tu.i64(0), 4);
         assert_eq!(tu.f64(1), 2.5);
     }

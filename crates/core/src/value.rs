@@ -101,10 +101,12 @@ mod tests {
 
     #[test]
     fn ordering_handles_nan() {
-        let mut vals = [Value::F64(f64::NAN),
+        let mut vals = [
+            Value::F64(f64::NAN),
             Value::F64(1.0),
             Value::I64(-2),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         // NaN sorts first under total_cmp (negative NaN bit pattern aside,
         // the positive NaN produced here sorts last); just assert no panic

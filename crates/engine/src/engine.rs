@@ -18,37 +18,13 @@ use themis_workloads::prelude::*;
 use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch};
 use crate::worker::{run_worker, WorkerConfig, WorkerRouting};
 
-/// Shedding policy for the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EnginePolicy {
-    /// Algorithm 1 (BALANCE-SIC).
-    BalanceSic,
-    /// The random baseline.
-    Random,
-}
-
-impl EnginePolicy {
-    fn build(&self, seed: u64) -> Box<dyn Shedder> {
-        match self {
-            EnginePolicy::BalanceSic => Box::new(BalanceSicShedder::new(seed)),
-            EnginePolicy::Random => Box::new(RandomShedder::new(seed)),
-        }
-    }
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            EnginePolicy::BalanceSic => "balance-sic",
-            EnginePolicy::Random => "random",
-        }
-    }
-}
-
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
-    /// Shedding policy.
-    pub policy: EnginePolicy,
+    /// Shedding policy — the workspace-wide registry
+    /// ([`themis_core::shedder::PolicyKind`]) shared with the simulator,
+    /// so every variant the simulator knows also runs on real threads.
+    pub policy: PolicyKind,
     /// Artificial per-tuple processing cost, so modest source rates create
     /// genuine overload (`ZERO` disables; nodes are then extremely fast).
     pub synthetic_cost: TimeDelta,
@@ -57,7 +33,7 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            policy: EnginePolicy::BalanceSic,
+            policy: PolicyKind::BalanceSic,
             synthetic_cost: TimeDelta::ZERO,
         }
     }
@@ -83,10 +59,9 @@ pub struct EngineReport {
 impl EngineReport {
     /// Mean shedder execution time per invocation across nodes (µs).
     pub fn mean_shed_time_us(&self) -> f64 {
-        let (ns, n): (u64, u64) = self
-            .nodes
-            .iter()
-            .fold((0, 0), |(a, b), r| (a + r.shed_time_ns, b + r.shed_decisions));
+        let (ns, n): (u64, u64) = self.nodes.iter().fold((0, 0), |(a, b), r| {
+            (a + r.shed_time_ns, b + r.shed_decisions)
+        });
         if n == 0 {
             0.0
         } else {
@@ -134,8 +109,7 @@ impl Ord for Due {
 pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
     let epoch = Instant::now();
     let interval = Duration::from_micros(scenario.shedding_interval.as_micros());
-    let deadline = epoch
-        + Duration::from_micros((scenario.warmup + scenario.duration).as_micros());
+    let deadline = epoch + Duration::from_micros((scenario.warmup + scenario.duration).as_micros());
     let warmup_end = epoch + Duration::from_micros(scenario.warmup.as_micros());
 
     // Channels.
@@ -396,7 +370,7 @@ mod tests {
         // Per node: 2 queries x 400 t/s = 800 t/s demand vs 1/(2 ms) =
         // 500 t/s capacity.
         let cfg = EngineConfig {
-            policy: EnginePolicy::BalanceSic,
+            policy: PolicyKind::BalanceSic,
             synthetic_cost: TimeDelta::from_micros(2000),
         };
         let report = run_engine(&scenario(4, 400, 2), cfg);

@@ -18,6 +18,7 @@ pub mod worker;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::engine::{run_engine, EngineConfig, EnginePolicy, EngineReport};
+    pub use crate::engine::{run_engine, EngineConfig, EngineReport};
     pub use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch};
+    pub use themis_core::shedder::PolicyKind;
 }

@@ -181,11 +181,7 @@ mod tests {
 
     #[test]
     fn project_reorders_fields() {
-        let tuple = Tuple::new(
-            Timestamp(0),
-            Sic(0.1),
-            vec![Value::I64(7), Value::F64(3.5)],
-        );
+        let tuple = Tuple::new(Timestamp(0), Sic(0.1), vec![Value::I64(7), Value::F64(3.5)]);
         let mut p = ProjectLogic::new(vec![1, 0]);
         let out = p.apply(&[&[tuple][..]]);
         assert_eq!(out[0].1, vec![Value::F64(3.5), Value::I64(7)]);

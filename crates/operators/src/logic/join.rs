@@ -43,11 +43,7 @@ impl PaneLogic for JoinLogic {
         }
         let mut out = Vec::new();
         for l in left {
-            let k = l
-                .values
-                .get(self.left_key)
-                .map(|v| v.as_i64())
-                .unwrap_or(0);
+            let k = l.values.get(self.left_key).map(|v| v.as_i64()).unwrap_or(0);
             if let Some(matches) = index.get(&k) {
                 for r in matches {
                     let mut row = l.values.clone();

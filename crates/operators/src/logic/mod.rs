@@ -173,10 +173,7 @@ mod tests {
     fn specs_build_and_report_ports() {
         let specs = [
             (LogicSpec::Identity, 1),
-            (
-                LogicSpec::Filter(Predicate::new(0, CmpOp::Ge, 50.0)),
-                1,
-            ),
+            (LogicSpec::Filter(Predicate::new(0, CmpOp::Ge, 50.0)), 1),
             (LogicSpec::Avg { field: 0 }, 1),
             (LogicSpec::Cov { field: 0 }, 2),
             (

@@ -161,11 +161,7 @@ mod tests {
     use super::*;
 
     fn row(id: i64, v: f64) -> Tuple {
-        Tuple::new(
-            Timestamp(0),
-            Sic(0.1),
-            vec![Value::I64(id), Value::F64(v)],
-        )
+        Tuple::new(Timestamp(0), Sic(0.1), vec![Value::I64(id), Value::F64(v)])
     }
 
     fn ids(out: &[OutRow]) -> Vec<i64> {

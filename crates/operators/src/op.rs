@@ -329,12 +329,8 @@ mod tests {
             1,
             TimeDelta::ZERO,
         );
-        let mut a = WindowedOperator::new(
-            win,
-            LogicSpec::Avg { field: 0 }.build(),
-            1,
-            TimeDelta::ZERO,
-        );
+        let mut a =
+            WindowedOperator::new(win, LogicSpec::Avg { field: 0 }.build(), 1, TimeDelta::ZERO);
 
         let now = Timestamp::from_millis(10);
         let b_in: Vec<Tuple> = (0..4).map(|i| t(10, 0.125, i as f64)).collect();

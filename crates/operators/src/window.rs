@@ -178,10 +178,7 @@ impl WindowBuffer {
                 if !tuples.is_empty() {
                     let mut inputs = vec![Vec::new(); self.ports];
                     inputs[port] = tuples;
-                    let mut pane = Pane {
-                        at: now,
-                        inputs,
-                    };
+                    let mut pane = Pane { at: now, inputs };
                     pane.at = pane.max_ts();
                     self.ready.push(pane);
                 }

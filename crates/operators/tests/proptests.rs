@@ -9,21 +9,19 @@ use themis_operators::prelude::*;
 /// Strategy: a batch of tuples within one 1-second window, each with a
 /// small positive SIC and a keyed payload.
 fn arb_window_tuples() -> impl Strategy<Value = Vec<Tuple>> {
-    prop::collection::vec(
-        (0u64..999, 1e-6f64..0.01, 0i64..8, -100.0f64..100.0),
-        1..60,
+    prop::collection::vec((0u64..999, 1e-6f64..0.01, 0i64..8, -100.0f64..100.0), 1..60).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|(ms, sic, key, v)| {
+                    Tuple::new(
+                        Timestamp::from_millis(ms),
+                        Sic(sic),
+                        vec![Value::I64(key), Value::F64(v)],
+                    )
+                })
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|(ms, sic, key, v)| {
-                Tuple::new(
-                    Timestamp::from_millis(ms),
-                    Sic(sic),
-                    vec![Value::I64(key), Value::F64(v)],
-                )
-            })
-            .collect()
-    })
 }
 
 fn total_sic(tuples: &[Tuple]) -> f64 {

@@ -343,7 +343,10 @@ mod tests {
     fn bad_refs_rejected() {
         let mut q = simple_query();
         q.fragments[0].root = 9;
-        assert_eq!(q.validate(), Err(QueryError::BadOperatorRef { fragment: 0 }));
+        assert_eq!(
+            q.validate(),
+            Err(QueryError::BadOperatorRef { fragment: 0 })
+        );
 
         let mut q = simple_query();
         q.result_fragment = 5;
@@ -384,7 +387,10 @@ mod tests {
             op: 0,
             port: 0,
         });
-        assert_eq!(q.validate(), Err(QueryError::BadUpstreamRef { fragment: 0 }));
+        assert_eq!(
+            q.validate(),
+            Err(QueryError::BadUpstreamRef { fragment: 0 })
+        );
     }
 
     #[test]
@@ -408,10 +414,26 @@ mod tests {
         let f = FragmentSpec {
             operators: (0..4).map(|_| OperatorSpec::identity()).collect(),
             edges: vec![
-                LocalEdge { from: 0, to: 1, port: 0 },
-                LocalEdge { from: 0, to: 2, port: 0 },
-                LocalEdge { from: 1, to: 3, port: 0 },
-                LocalEdge { from: 2, to: 3, port: 0 },
+                LocalEdge {
+                    from: 0,
+                    to: 1,
+                    port: 0,
+                },
+                LocalEdge {
+                    from: 0,
+                    to: 2,
+                    port: 0,
+                },
+                LocalEdge {
+                    from: 1,
+                    to: 3,
+                    port: 0,
+                },
+                LocalEdge {
+                    from: 2,
+                    to: 3,
+                    port: 0,
+                },
             ],
             sources: vec![],
             upstreams: vec![],

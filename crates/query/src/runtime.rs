@@ -70,7 +70,12 @@ impl FragmentRuntime {
 
     /// Injects a batch of tuples arriving through `ingress`; returns root
     /// emissions triggered synchronously (pass-through chains).
-    pub fn ingest(&mut self, ingress: Ingress, tuples: Vec<Tuple>, now: Timestamp) -> Vec<Emission> {
+    pub fn ingest(
+        &mut self,
+        ingress: Ingress,
+        tuples: Vec<Tuple>,
+        now: Timestamp,
+    ) -> Vec<Emission> {
         let Some(&(op, port)) = self.ingress.get(&ingress) else {
             // Unroutable data (e.g. a stale batch after reconfiguration) is
             // dropped; its SIC mass is lost like any shed tuple.
@@ -96,11 +101,7 @@ impl FragmentRuntime {
         self.ops.iter().map(WindowedOperator::buffered_tuples).sum()
     }
 
-    fn run(
-        &mut self,
-        now: Timestamp,
-        initial: Vec<(usize, usize, Vec<Tuple>)>,
-    ) -> Vec<Emission> {
+    fn run(&mut self, now: Timestamp, initial: Vec<(usize, usize, Vec<Tuple>)>) -> Vec<Emission> {
         let mut inbox: Vec<Vec<(usize, Vec<Tuple>)>> = vec![Vec::new(); self.ops.len()];
         for (op, port, tuples) in initial {
             inbox[op].push((port, tuples));
@@ -283,7 +284,11 @@ mod tests {
         }
         // Root merges local + upstream partials; its merge grace is 1 s.
         for (fi, e) in partials {
-            roots[0].ingest(Ingress::Upstream(fi), e.tuples, Timestamp::from_millis(1650));
+            roots[0].ingest(
+                Ingress::Upstream(fi),
+                e.tuples,
+                Timestamp::from_millis(1650),
+            );
         }
         let out = roots[0].tick(Timestamp::from_millis(2600));
         assert_eq!(out.len(), 1, "final average");

@@ -189,8 +189,7 @@ fn build_avg_all(id: QueryId, fragments: usize, sources: &mut IdGen) -> QuerySpe
     let mut specs = Vec::with_capacity(fragments);
     let mut declared = Vec::new();
     for f in 0..fragments {
-        let mut operators: Vec<OperatorSpec> =
-            (0..10).map(|_| OperatorSpec::identity()).collect();
+        let mut operators: Vec<OperatorSpec> = (0..10).map(|_| OperatorSpec::identity()).collect();
         // Op 10: the 1 s time window grouping all local sources.
         operators.push(OperatorSpec::with_grace(
             WindowSpec::tumbling(WINDOW),
@@ -282,8 +281,7 @@ fn build_top5(id: QueryId, fragments: usize, sources: &mut IdGen) -> QuerySpec {
     let mut specs = Vec::with_capacity(fragments);
     let mut declared = Vec::new();
     for f in 0..fragments {
-        let mut operators: Vec<OperatorSpec> =
-            (0..20).map(|_| OperatorSpec::identity()).collect();
+        let mut operators: Vec<OperatorSpec> = (0..20).map(|_| OperatorSpec::identity()).collect();
         // 20: free-memory filter (>= 100 000 KB), per-batch atomic.
         operators.push(OperatorSpec::new(
             WindowSpec::PassThrough,
@@ -605,7 +603,10 @@ mod tests {
 
     #[test]
     fn top5_and_cov_are_chains() {
-        for t in [Template::Top5 { fragments: 4 }, Template::Cov { fragments: 4 }] {
+        for t in [
+            Template::Top5 { fragments: 4 },
+            Template::Cov { fragments: 4 },
+        ] {
             let q = build(t);
             assert_eq!(q.result_fragment, 3);
             for f in 0..3 {
@@ -618,8 +619,7 @@ mod tests {
     #[test]
     fn chain_grace_grows_downstream() {
         let q = build(Template::Top5 { fragments: 3 });
-        let merge_grace =
-            |f: usize| q.fragments[f].operators[26].grace.as_micros();
+        let merge_grace = |f: usize| q.fragments[f].operators[26].grace.as_micros();
         assert!(merge_grace(0) < merge_grace(1));
         assert!(merge_grace(1) < merge_grace(2));
     }

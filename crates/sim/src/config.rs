@@ -1,62 +1,17 @@
 //! Simulator configuration: shedding policy and the updateSIC ablation.
+//!
+//! The shedding policy itself is the workspace-wide registry
+//! [`themis_core::shedder::PolicyKind`]; this module only holds the
+//! simulator-specific switches around it.
 
 use themis_core::prelude::*;
-
-/// Which tuple shedder nodes run (Algorithm 1 or a baseline).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ShedPolicy {
-    /// The paper's BALANCE-SIC fair shedder (Algorithm 1).
-    BalanceSic,
-    /// Random shedding (the §7.2 baseline).
-    Random,
-    /// Drop-from-tail (bounded queue) baseline.
-    Fifo,
-    /// Admission-control baseline: lowest query ids are served to
-    /// saturation, the rest starve (the node-local analogue of the
-    /// throughput-maximising FIT LP of §7.5).
-    Priority,
-    /// Ablation: Algorithm 1 but admitting *lowest*-SIC batches first
-    /// (inverts line 16's `max(xSIC)`).
-    BalanceSicLowestFirst,
-    /// Ablation: Algorithm 1 with arrival-order admission.
-    BalanceSicFifoOrder,
-}
-
-impl ShedPolicy {
-    /// Instantiates the shedder with a node-specific seed.
-    pub fn build(&self, seed: u64) -> Box<dyn Shedder> {
-        match self {
-            ShedPolicy::BalanceSic => Box::new(BalanceSicShedder::new(seed)),
-            ShedPolicy::Random => Box::new(RandomShedder::new(seed)),
-            ShedPolicy::Fifo => Box::new(FifoShedder::new()),
-            ShedPolicy::Priority => Box::new(PriorityShedder::new()),
-            ShedPolicy::BalanceSicLowestFirst => {
-                Box::new(BalanceSicShedder::with_order(seed, BatchOrder::LowestSicFirst))
-            }
-            ShedPolicy::BalanceSicFifoOrder => {
-                Box::new(BalanceSicShedder::with_order(seed, BatchOrder::Fifo))
-            }
-        }
-    }
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ShedPolicy::BalanceSic => "balance-sic",
-            ShedPolicy::Random => "random",
-            ShedPolicy::Fifo => "fifo",
-            ShedPolicy::Priority => "priority",
-            ShedPolicy::BalanceSicLowestFirst => "balance-sic(lowest-first)",
-            ShedPolicy::BalanceSicFifoOrder => "balance-sic(fifo-order)",
-        }
-    }
-}
 
 /// Simulator switches.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
-    /// Shedding policy run by every node.
-    pub policy: ShedPolicy,
+    /// Shedding policy run by every node (the unified registry shared
+    /// with the prototype engine).
+    pub policy: PolicyKind,
     /// Whether the query coordinators disseminate result SIC values
     /// (`updateSIC`). Disabling reproduces the Figure-4 "without
     /// updateSIC" pathology: nodes fall back to their local accepted-SIC
@@ -75,7 +30,7 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
-            policy: ShedPolicy::BalanceSic,
+            policy: PolicyKind::BalanceSic,
             coordinator: true,
             record_results: false,
             sample_interval: TimeDelta::from_secs(1),
@@ -86,7 +41,7 @@ impl Default for SimConfig {
 
 impl SimConfig {
     /// Default config with the given policy.
-    pub fn with_policy(policy: ShedPolicy) -> Self {
+    pub fn with_policy(policy: PolicyKind) -> Self {
         SimConfig {
             policy,
             ..Default::default()
@@ -99,28 +54,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn policies_build() {
-        for p in [
-            ShedPolicy::BalanceSic,
-            ShedPolicy::Random,
-            ShedPolicy::Fifo,
-            ShedPolicy::Priority,
-            ShedPolicy::BalanceSicLowestFirst,
-            ShedPolicy::BalanceSicFifoOrder,
-        ] {
-            let s = p.build(1);
-            assert!(!s.name().is_empty());
-            assert!(!p.name().is_empty());
-        }
-    }
-
-    #[test]
     fn defaults() {
         let c = SimConfig::default();
-        assert_eq!(c.policy, ShedPolicy::BalanceSic);
+        assert_eq!(c.policy, PolicyKind::BalanceSic);
         assert!(c.coordinator);
         assert!(!c.record_results);
-        let c2 = SimConfig::with_policy(ShedPolicy::Random);
-        assert_eq!(c2.policy, ShedPolicy::Random);
+        let c2 = SimConfig::with_policy(PolicyKind::Random);
+        assert_eq!(c2.policy, PolicyKind::Random);
     }
 }

@@ -50,8 +50,9 @@ pub mod sim;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::config::{ShedPolicy, SimConfig};
+    pub use crate::config::SimConfig;
     pub use crate::node::{NodeOutput, RoutedBatch, SimNode};
     pub use crate::report::{NodeStats, QueryStats, SimReport};
     pub use crate::sim::{run_scenario, Simulation};
+    pub use themis_core::shedder::PolicyKind;
 }

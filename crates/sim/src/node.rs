@@ -79,7 +79,8 @@ impl SimNode {
         config: &SimConfig,
         seed: u64,
     ) -> Self {
-        let per_tuple_cost = TimeDelta::from_micros((1_000_000 / capacity_tps.max(1) as u64).max(1));
+        let per_tuple_cost =
+            TimeDelta::from_micros((1_000_000 / capacity_tps.max(1) as u64).max(1));
         let initial_capacity =
             (interval.as_micros() / per_tuple_cost.as_micros().max(1)).max(1) as usize;
         SimNode {
@@ -282,9 +283,8 @@ impl std::fmt::Debug for SimNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ShedPolicy;
 
-    fn node(capacity_tps: u32, policy: ShedPolicy) -> SimNode {
+    fn node(capacity_tps: u32, policy: PolicyKind) -> SimNode {
         let cfg = SimConfig::with_policy(policy);
         SimNode::new(
             NodeId(0),
@@ -321,7 +321,7 @@ mod tests {
 
     #[test]
     fn threshold_matches_capacity() {
-        let n = node(4000, ShedPolicy::BalanceSic);
+        let n = node(4000, PolicyKind::BalanceSic);
         // 4000 t/s over 250 ms = 1000 tuples.
         assert_eq!(n.threshold(), 1000);
     }
@@ -329,7 +329,7 @@ mod tests {
     #[test]
     fn arrival_stamps_source_sic() {
         let q = avg_query(0);
-        let mut n = node(4000, ShedPolicy::BalanceSic);
+        let mut n = node(4000, PolicyKind::BalanceSic);
         n.deploy(&q, 0);
         n.on_arrival(Timestamp::from_millis(10), source_batch(&q, 10, 100));
         assert_eq!(n.buffered_tuples(), 100);
@@ -341,7 +341,7 @@ mod tests {
     #[test]
     fn underload_processes_everything() {
         let q = avg_query(0);
-        let mut n = node(4000, ShedPolicy::BalanceSic);
+        let mut n = node(4000, PolicyKind::BalanceSic);
         n.deploy(&q, 0);
         n.on_arrival(Timestamp::from_millis(10), source_batch(&q, 10, 100));
         n.tick(Timestamp::from_millis(250));
@@ -353,7 +353,7 @@ mod tests {
     #[test]
     fn overload_sheds_down_to_threshold() {
         let q = avg_query(0);
-        let mut n = node(400, ShedPolicy::BalanceSic); // c = 100
+        let mut n = node(400, PolicyKind::BalanceSic); // c = 100
         n.deploy(&q, 0);
         for k in 0..5 {
             n.on_arrival(Timestamp::from_millis(10 + k), source_batch(&q, 10, 50));
@@ -368,7 +368,7 @@ mod tests {
     #[test]
     fn windowed_results_emerge_after_grace() {
         let q = avg_query(0);
-        let mut n = node(40_000, ShedPolicy::BalanceSic);
+        let mut n = node(40_000, PolicyKind::BalanceSic);
         n.deploy(&q, 0);
         n.on_arrival(Timestamp::from_millis(10), source_batch(&q, 10, 100));
         let mut outputs = Vec::new();
@@ -383,7 +383,7 @@ mod tests {
 
     #[test]
     fn sic_update_feeds_table() {
-        let mut n = node(400, ShedPolicy::BalanceSic);
+        let mut n = node(400, PolicyKind::BalanceSic);
         n.on_sic_update(&SicUpdate {
             query: QueryId(3),
             node: NodeId(0),
@@ -406,7 +406,7 @@ mod tests {
         // for only part of the buffer: the starved query's batches win.
         let q0 = avg_query(0);
         let q1 = avg_query(1);
-        let mut n = node(400, ShedPolicy::BalanceSic); // c = 100
+        let mut n = node(400, PolicyKind::BalanceSic); // c = 100
         n.deploy(&q0, 0);
         n.deploy(&q1, 0);
         n.on_sic_update(&SicUpdate {

@@ -288,8 +288,7 @@ impl Simulation {
                             // Mean statistics only cover a query's active,
                             // converged life: from one STW after arrival to
                             // its departure.
-                            let settled =
-                                self.scenario.arrival_of(*q) + self.scenario.stw.window;
+                            let settled = self.scenario.arrival_of(*q) + self.scenario.stw.window;
                             let active = now >= settled
                                 && self
                                     .scenario
@@ -396,7 +395,6 @@ pub fn run_scenario(scenario: Scenario, config: SimConfig) -> SimReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ShedPolicy;
 
     fn tiny_scenario(capacity_tps: u32, seed: u64) -> Scenario {
         ScenarioBuilder::new("tiny", seed)
@@ -442,7 +440,11 @@ mod tests {
         // Demand per node: 6 queries x 2 sources x 40 t/s / 2 nodes
         // = 240 t/s; capacity 120 t/s -> 2x overload.
         let report = run_scenario(tiny_scenario(120, 2), SimConfig::default());
-        assert!(report.shed_fraction() > 0.2, "shed {}", report.shed_fraction());
+        assert!(
+            report.shed_fraction() > 0.2,
+            "shed {}",
+            report.shed_fraction()
+        );
         let mean = report.mean_sic();
         assert!(
             mean > 0.2 && mean < 0.95,
@@ -476,7 +478,7 @@ mod tests {
         let balance = run_scenario(tiny_scenario(120, 6), SimConfig::default());
         let random = run_scenario(
             tiny_scenario(120, 6),
-            SimConfig::with_policy(ShedPolicy::Random),
+            SimConfig::with_policy(PolicyKind::Random),
         );
         assert!(
             balance.jain() >= random.jain() - 0.02,
@@ -503,10 +505,7 @@ mod tests {
     #[test]
     fn coordinator_traffic_accounted() {
         let report = run_scenario(tiny_scenario(120, 8), SimConfig::default());
-        assert_eq!(
-            report.coordinator_bytes(),
-            report.coordinator_messages * 30
-        );
+        assert_eq!(report.coordinator_bytes(), report.coordinator_messages * 30);
         // 6 queries x 2 hosts each, one update per interval.
         assert!(report.coordinator_messages > 100);
     }

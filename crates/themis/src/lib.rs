@@ -60,7 +60,7 @@ pub mod prelude {
     pub use themis_baselines::prelude::*;
     pub use themis_core::prelude::*;
     pub use themis_engine::prelude::{
-        run_engine, EngineConfig, EngineMsg, EnginePolicy, EngineReport, NodeReport, ResultEvent,
+        run_engine, EngineConfig, EngineMsg, EngineReport, NodeReport, ResultEvent,
         RoutedBatch as EngineRoutedBatch,
     };
     pub use themis_operators::prelude::*;

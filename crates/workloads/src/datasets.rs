@@ -176,7 +176,12 @@ mod tests {
 
     #[test]
     fn synthetic_means_near_50() {
-        for d in [Dataset::Gaussian, Dataset::Uniform, Dataset::Exponential, Dataset::Mixed] {
+        for d in [
+            Dataset::Gaussian,
+            Dataset::Uniform,
+            Dataset::Exponential,
+            Dataset::Mixed,
+        ] {
             let m = sample_mean(d, 20_000);
             assert!((m - 50.0).abs() < 3.0, "{}: mean {m}", d.name());
         }

@@ -247,10 +247,7 @@ impl ScenarioBuilder {
             }
             self.lifetimes.insert(
                 id,
-                (
-                    Timestamp::ZERO + start,
-                    end.map(|e| Timestamp::ZERO + e),
-                ),
+                (Timestamp::ZERO + start, end.map(|e| Timestamp::ZERO + e)),
             );
             self.queries.push(q);
         }

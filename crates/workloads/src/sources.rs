@@ -102,7 +102,8 @@ impl SourceDriver {
     /// different sources do not all arrive at the same instant.
     pub fn new(query: QueryId, spec: &SourceSpec, profile: SourceProfile, seed: u64) -> Self {
         let mut phase_rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-        let phase = TimeDelta::from_micros(phase_rng.gen_range(0..profile.interval().as_micros().max(1)));
+        let phase =
+            TimeDelta::from_micros(phase_rng.gen_range(0..profile.interval().as_micros().max(1)));
         SourceDriver {
             source: spec.id,
             query,

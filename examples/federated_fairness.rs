@@ -32,7 +32,7 @@ fn build(seed: u64) -> Scenario {
 fn main() {
     println!("running the threaded prototype for ~9 s per policy...\n");
     let mut rows = Vec::new();
-    for policy in [EnginePolicy::BalanceSic, EnginePolicy::Random] {
+    for policy in [PolicyKind::BalanceSic, PolicyKind::Random] {
         let cfg = EngineConfig {
             policy,
             // 400 us per tuple: ~625 tuples per 250 ms interval, while

@@ -53,7 +53,7 @@ fn main() {
         scenario.node_capacity_tps,
     );
 
-    for policy in [ShedPolicy::BalanceSic, ShedPolicy::Random] {
+    for policy in [PolicyKind::BalanceSic, PolicyKind::Random] {
         let report = run_scenario(build(7), SimConfig::with_policy(policy));
         println!(
             "\n{:>12}: mean SIC {:.3}, Jain {:.3}, std {:.3}, shed {:.0}%",

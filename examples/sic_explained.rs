@@ -27,10 +27,7 @@ fn figure2() {
     println!("operator c: 2 x {slow} -> 2 derived @ {c_out}");
 
     // Operator a consumes all 4 derived tuples, emits 2 results.
-    let result = Sic::derived_tuple(
-        Sic(2.0 * b_out.value() + 2.0 * c_out.value()),
-        2,
-    );
+    let result = Sic::derived_tuple(Sic(2.0 * b_out.value() + 2.0 * c_out.value()), 2);
     let q_sic = 2.0 * result.value();
     println!("operator a: 4 derived -> 2 results @ {result}; qSIC = {q_sic}   (Eq. 4)");
     assert!((q_sic - 1.0).abs() < 1e-12);
@@ -38,10 +35,7 @@ fn figure2() {
 
     // With shedding: b loses two inputs, a loses one of c's deriveds.
     let b_out_shed = Sic::derived_tuple(Sic(2.0 * fast.value()), 2);
-    let result_shed = Sic::derived_tuple(
-        Sic(2.0 * b_out_shed.value() + c_out.value()),
-        2,
-    );
+    let result_shed = Sic::derived_tuple(Sic(2.0 * b_out_shed.value() + c_out.value()), 2);
     let q_shed = 2.0 * result_shed.value();
     println!("with shedding (2 source tuples + 1 derived dropped): qSIC = {q_shed}");
     assert!((q_shed - 0.5).abs() < 1e-12);

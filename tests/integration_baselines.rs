@@ -12,7 +12,11 @@ fn fit_is_unfair_log_utility_is_fair_on_simple_setup() {
     let p = AllocationProblem::uniform(vec![1.0; n], hosts, vec![3.5, 3.5]);
 
     let fit = solve_fit(&p).unwrap();
-    assert_eq!(fit.fully_admitted(&p, 1e-6), 3, "3 of 60 queries get all input");
+    assert_eq!(
+        fit.fully_admitted(&p, 1e-6),
+        3,
+        "3 of 60 queries get all input"
+    );
     assert_eq!(fit.starved(1e-6), n - 4, "one more gets a fraction");
     assert!(fit.jain_rate_fractions(&p) < 0.1);
 

@@ -29,7 +29,11 @@ fn scenario(n_queries: usize, rate: u32, seed: u64) -> Scenario {
 fn engine_processes_everything_without_overload() {
     let report = run_engine(&scenario(4, 200, 1), EngineConfig::default());
     assert_eq!(report.shed_fraction(), 0.0);
-    assert_eq!(report.result_counts.len(), 4, "all queries produced results");
+    assert_eq!(
+        report.result_counts.len(),
+        4,
+        "all queries produced results"
+    );
     let total_results: usize = report.result_counts.values().sum();
     assert!(total_results >= 4, "results {total_results}");
     assert!(report.coordinator_messages > 0);
@@ -41,11 +45,15 @@ fn engine_processes_everything_without_overload() {
 fn engine_sheds_under_synthetic_cost() {
     // Per node: 2 queries x 400 t/s = 800 t/s demand vs 1/(2 ms) = 500 t/s.
     let cfg = EngineConfig {
-        policy: EnginePolicy::BalanceSic,
+        policy: PolicyKind::BalanceSic,
         synthetic_cost: TimeDelta::from_micros(2000),
     };
     let report = run_engine(&scenario(4, 400, 2), cfg);
-    assert!(report.shed_fraction() > 0.1, "shed {}", report.shed_fraction());
+    assert!(
+        report.shed_fraction() > 0.1,
+        "shed {}",
+        report.shed_fraction()
+    );
     assert!(report.mean_shed_time_us() > 0.0);
     // Overload does not stop results entirely.
     assert!(!report.result_counts.is_empty());
@@ -86,7 +94,7 @@ fn engine_routes_multi_fragment_queries() {
 #[test]
 fn engine_random_policy_runs() {
     let cfg = EngineConfig {
-        policy: EnginePolicy::Random,
+        policy: PolicyKind::Random,
         synthetic_cost: TimeDelta::from_micros(2000),
     };
     let report = run_engine(&scenario(4, 400, 4), cfg);

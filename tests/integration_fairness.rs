@@ -3,7 +3,7 @@
 
 use themis::prelude::*;
 
-fn overloaded_mix(seed: u64, policy: ShedPolicy, coordinator: bool) -> SimReport {
+fn overloaded_mix(seed: u64, policy: PolicyKind, coordinator: bool) -> SimReport {
     let profile = SourceProfile {
         tuples_per_sec: 20,
         batches_per_sec: 4,
@@ -33,8 +33,8 @@ fn overloaded_mix(seed: u64, policy: ShedPolicy, coordinator: bool) -> SimReport
 /// workload).
 #[test]
 fn balance_sic_beats_random_fairness() {
-    let balance = overloaded_mix(1, ShedPolicy::BalanceSic, true);
-    let random = overloaded_mix(1, ShedPolicy::Random, true);
+    let balance = overloaded_mix(1, PolicyKind::BalanceSic, true);
+    let random = overloaded_mix(1, PolicyKind::Random, true);
     assert!(balance.shed_fraction() > 0.2, "must be overloaded");
     assert!(
         balance.jain() > random.jain() - 0.02,
@@ -55,8 +55,8 @@ fn balance_sic_beats_random_fairness() {
 /// (Figure 10b).
 #[test]
 fn balance_sic_reduces_spread() {
-    let balance = overloaded_mix(2, ShedPolicy::BalanceSic, true);
-    let random = overloaded_mix(2, ShedPolicy::Random, true);
+    let balance = overloaded_mix(2, PolicyKind::BalanceSic, true);
+    let random = overloaded_mix(2, PolicyKind::Random, true);
     assert!(
         balance.fairness.std <= random.fairness.std + 0.03,
         "balance std {} vs random {}",
@@ -126,7 +126,11 @@ fn single_node_convergence_under_extreme_overload() {
         .build()
         .unwrap();
     let report = run_scenario(scenario, SimConfig::default());
-    assert!(report.mean_sic() < 0.3, "extreme overload: {}", report.mean_sic());
+    assert!(
+        report.mean_sic() < 0.3,
+        "extreme overload: {}",
+        report.mean_sic()
+    );
     assert!(report.mean_sic() > 0.03);
     assert!(report.jain() > 0.9, "jain {}", report.jain());
 }
@@ -178,7 +182,11 @@ fn bursty_wan_deployment_stays_fair() {
         .build()
         .unwrap();
     let report = run_scenario(scenario, SimConfig::default());
-    assert!(report.mean_sic() > 0.1, "results flow: {}", report.mean_sic());
+    assert!(
+        report.mean_sic() > 0.1,
+        "results flow: {}",
+        report.mean_sic()
+    );
     assert!(report.jain() > 0.8, "jain {}", report.jain());
 }
 
@@ -227,15 +235,16 @@ fn churn_converges_to_fairness_after_arrival() {
     let samples = report.sic_series[&QueryId(0)].len();
     assert!(samples >= 12, "enough samples: {samples}");
     let gaps: Vec<f64> = (0..samples)
-        .map(|i| {
-            (series_mean_at(0..n as u32, i) - series_mean_at(n as u32..2 * n as u32, i)).abs()
-        })
+        .map(|i| (series_mean_at(0..n as u32, i) - series_mean_at(n as u32..2 * n as u32, i)).abs())
         .collect();
     // Newcomers get meaningful service at some point.
     let newcomer_peak = (0..samples)
         .map(|i| series_mean_at(n as u32..2 * n as u32, i))
         .fold(0.0f64, f64::max);
-    assert!(newcomer_peak > 0.15, "newcomers served: peak {newcomer_peak}");
+    assert!(
+        newcomer_peak > 0.15,
+        "newcomers served: peak {newcomer_peak}"
+    );
     // The cohort gap shrinks on average after the initial shock.
     let third = samples / 3;
     let early: f64 = gaps[..third].iter().sum::<f64>() / third as f64;

@@ -1,0 +1,107 @@
+//! The unified shedding-policy registry: name round-trips, and sim↔engine
+//! parity — every `PolicyKind` must run in both runtimes.
+
+use themis::prelude::*;
+
+#[test]
+fn registry_round_trips_names() {
+    for p in PolicyKind::ALL {
+        assert_eq!(p.name().parse::<PolicyKind>(), Ok(p));
+        // The built shedder reports the same canonical name.
+        assert_eq!(p.build(1).name(), p.name());
+    }
+}
+
+#[test]
+fn registry_rejects_unknown_names() {
+    let err = "no-such-policy".parse::<PolicyKind>().unwrap_err();
+    assert!(err.to_string().contains("balance-sic"));
+}
+
+/// An overloaded two-node scenario for the simulator (simulated time, so
+/// generous durations are cheap).
+fn sim_scenario(seed: u64) -> Scenario {
+    ScenarioBuilder::new("policy-parity-sim", seed)
+        .nodes(2)
+        .capacity_tps(120)
+        .duration(TimeDelta::from_secs(12))
+        .warmup(TimeDelta::from_secs(6))
+        .stw_window(TimeDelta::from_secs(3))
+        .add_queries(
+            Template::Cov { fragments: 2 },
+            6,
+            SourceProfile {
+                tuples_per_sec: 40,
+                batches_per_sec: 4,
+                burst: Burstiness::Steady,
+                dataset: Dataset::Uniform,
+            },
+        )
+        .build()
+        .unwrap()
+}
+
+/// A short wall-clock scenario for the engine (kept tight: this runs in
+/// real time for each of the six policies). Overload margin matches the
+/// pre-existing engine tests — 2 queries x 400 t/s = 800 t/s demand per
+/// node vs 1/(2 ms) = 500 t/s capacity — so shedding is robust even on a
+/// loaded CI runner.
+fn engine_scenario(seed: u64) -> Scenario {
+    ScenarioBuilder::new("policy-parity-engine", seed)
+        .nodes(2)
+        .capacity_tps(1_000_000)
+        .duration(TimeDelta::from_millis(1500))
+        .warmup(TimeDelta::from_millis(500))
+        .stw_window(TimeDelta::from_secs(1))
+        .add_queries(
+            Template::Avg,
+            4,
+            SourceProfile {
+                tuples_per_sec: 400,
+                batches_per_sec: 5,
+                burst: Burstiness::Steady,
+                dataset: Dataset::Uniform,
+            },
+        )
+        .build()
+        .unwrap()
+}
+
+/// Every registry policy runs to completion in the deterministic
+/// simulator, sheds under overload, and reports its canonical name.
+#[test]
+fn every_policy_runs_in_the_simulator() {
+    for p in PolicyKind::ALL {
+        let report = run_scenario(sim_scenario(11), SimConfig::with_policy(p));
+        assert_eq!(report.policy, p.name());
+        assert_eq!(report.per_query.len(), 6, "{p}: all queries reported");
+        assert!(
+            report.shed_fraction() > 0.1,
+            "{p}: overloaded run must shed (got {})",
+            report.shed_fraction()
+        );
+    }
+}
+
+/// Every registry policy also runs in the multi-threaded engine — the
+/// parity the unified registry exists to guarantee. A synthetic per-tuple
+/// cost forces genuine overload so each shedder actually executes.
+#[test]
+fn every_policy_runs_in_the_engine() {
+    for p in PolicyKind::ALL {
+        let cfg = EngineConfig {
+            policy: p,
+            synthetic_cost: TimeDelta::from_micros(2000),
+        };
+        let report = run_engine(&engine_scenario(13), cfg);
+        assert_eq!(report.policy, p.name());
+        assert!(
+            report.nodes.iter().any(|n| n.arrived_tuples > 0),
+            "{p}: tuples flowed"
+        );
+        assert!(
+            report.shed_fraction() > 0.0,
+            "{p}: synthetic cost must force shedding"
+        );
+    }
+}

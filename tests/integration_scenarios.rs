@@ -117,7 +117,7 @@ fn count_error_tracks_sic() {
                 .build()
                 .unwrap()
         };
-        let mut cfg = SimConfig::with_policy(ShedPolicy::Random);
+        let mut cfg = SimConfig::with_policy(PolicyKind::Random);
         cfg.record_results = true;
         let degraded = run_scenario(build(capacity), cfg);
         let perfect = run_scenario(build(1_000_000), cfg);
@@ -137,7 +137,10 @@ fn count_error_tracks_sic() {
                 sum / n as f64
             }
         };
-        (degraded.mean_sic(), avg_count(&degraded) / avg_count(&perfect))
+        (
+            degraded.mean_sic(),
+            avg_count(&degraded) / avg_count(&perfect),
+        )
     };
     let (sic_hi, frac_hi) = run(120); // ~75% capacity
     let (sic_lo, frac_lo) = run(40); // ~25% capacity

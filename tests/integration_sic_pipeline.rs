@@ -199,10 +199,22 @@ fn sliding_window_query_conserves_sic() {
             OperatorSpec::identity(),
         ],
         edges: vec![
-            LocalEdge { from: 0, to: 1, port: 0 },
-            LocalEdge { from: 1, to: 2, port: 0 },
+            LocalEdge {
+                from: 0,
+                to: 1,
+                port: 0,
+            },
+            LocalEdge {
+                from: 1,
+                to: 2,
+                port: 0,
+            },
         ],
-        sources: vec![SourceBinding { source, op: 0, port: 0 }],
+        sources: vec![SourceBinding {
+            source,
+            op: 0,
+            port: 0,
+        }],
         upstreams: vec![],
         root: 2,
     };
@@ -211,7 +223,11 @@ fn sliding_window_query_conserves_sic() {
         template: "sliding-avg",
         fragments: vec![frag],
         result_fragment: 0,
-        sources: vec![SourceSpec { id: source, key: None, kind: SourceKind::Generic }],
+        sources: vec![SourceSpec {
+            id: source,
+            key: None,
+            kind: SourceKind::Generic,
+        }],
     };
     q.validate().unwrap();
 
