@@ -2,16 +2,23 @@
 //!
 //! ```text
 //! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
-//!              fig13|fig14|related|overhead|ablation|dynamics|policies]
-//!             [--quick] [--policy=<name>]
+//!              fig13|fig14|related|overhead|ablation|dynamics|policies|
+//!              scale]
+//!             [--quick] [--policy=<name>] [--nodes=<n>] [--shards=<k>]
+//!             [--secs=<s>]
 //! ```
 //!
 //! Each experiment prints the series the paper plots and writes a CSV
 //! under `results/`. `--quick` switches to the reduced scale used by the
 //! benches (for smoke runs). `--policy=<name>` restricts the `policies`
 //! parity experiment to one registry policy (any [`PolicyKind`] name,
-//! e.g. `balance-sic`, `fifo`, `balance-sic-lowest-first`). Built to be
-//! run with `--release`.
+//! e.g. `balance-sic`, `fifo`, `balance-sic-lowest-first`).
+//! `--nodes`/`--shards`/`--secs` size the `scale` experiment (default
+//! 1024 nodes on the machine's parallelism); `scale` exits non-zero when
+//! the process's peak thread count exceeds the sharded engine's
+//! `shards + 3` budget, which is what the CI smoke asserts — for that
+//! reason it only runs when named explicitly, never as part of `all`.
+//! Built to be run with `--release`.
 
 use std::time::Instant;
 
@@ -21,6 +28,7 @@ use themis_bench::figures::overhead::{overhead, render as render_overhead};
 use themis_bench::figures::parity::{policy_parity, render as render_parity};
 use themis_bench::figures::related::{related_work, render as render_related};
 use themis_bench::figures::scalability::{fig12, fig13, fig14, render as render_scal};
+use themis_bench::figures::scale as engine_scale;
 use themis_bench::figures::{ablation, dynamics, tables};
 use themis_bench::scenarios::Scale;
 use themis_bench::table::TextTable;
@@ -30,7 +38,7 @@ const SEED: u64 = 20160626; // SIGMOD'16 started June 26.
 const RESULTS_DIR: &str = "results";
 const EXPERIMENTS: &[&str] = &[
     "all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "related", "overhead", "ablation", "policies", "dynamics",
+    "fig14", "related", "overhead", "ablation", "policies", "dynamics", "scale",
 ];
 
 fn emit(name: &str, table: TextTable) {
@@ -48,13 +56,30 @@ fn main() {
     } else {
         Scale::default_scale()
     };
-    if let Some(flag) = args
-        .iter()
-        .find(|a| a.starts_with("--") && *a != "--quick" && !a.starts_with("--policy="))
-    {
-        eprintln!("unknown option `{flag}` (expected --quick or --policy=<name>)");
+    const VALUE_FLAGS: &[&str] = &["--policy=", "--nodes=", "--shards=", "--secs="];
+    if let Some(flag) = args.iter().find(|a| {
+        a.starts_with("--") && *a != "--quick" && !VALUE_FLAGS.iter().any(|p| a.starts_with(p))
+    }) {
+        eprintln!(
+            "unknown option `{flag}` (expected --quick, --policy=<name>, --nodes=<n>, \
+             --shards=<k> or --secs=<s>)"
+        );
         std::process::exit(2);
     }
+    let uint_arg = |prefix: &str| -> Option<u64> {
+        args.iter()
+            .find_map(|a| a.strip_prefix(prefix))
+            .map(|v| match v.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("invalid value `{v}` for {prefix}<n>");
+                    std::process::exit(2);
+                }
+            })
+    };
+    let nodes_arg = uint_arg("--nodes=");
+    let shards_arg = uint_arg("--shards=");
+    let secs_arg = uint_arg("--secs=");
     let policy_arg = args.iter().find_map(|a| a.strip_prefix("--policy="));
     let policies: Vec<PolicyKind> = match policy_arg {
         Some(name) => match name.parse::<PolicyKind>() {
@@ -205,6 +230,24 @@ fn main() {
     if run("dynamics") {
         let (pts, arrive, depart) = dynamics::dynamics(&scale, SEED);
         emit("dynamics", dynamics::render(&pts, arrive, depart));
+    }
+    // Explicit-only (not part of `all`): a CI smoke with a thread-budget
+    // assertion that exits non-zero, not an evaluation figure — it must
+    // not fail a figure-regeneration run on a machine with a stray thread.
+    if what.contains(&"scale") {
+        let nodes = nodes_arg.unwrap_or(1024) as usize;
+        let shards = shards_arg.map(|k| k as usize);
+        let secs = secs_arg.unwrap_or(if quick { 2 } else { 6 });
+        let row = engine_scale::scale(nodes, shards, secs, SEED);
+        emit("scale", engine_scale::render(&row));
+        if !row.within_budget() {
+            eprintln!(
+                "FAIL: peak thread count {} exceeds the shards+3 budget of {}",
+                row.peak_threads.unwrap_or(0),
+                row.thread_budget
+            );
+            std::process::exit(1);
+        }
     }
 
     eprintln!("total time: {:.1}s", t0.elapsed().as_secs_f64());

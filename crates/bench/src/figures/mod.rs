@@ -10,4 +10,5 @@ pub mod overhead;
 pub mod parity;
 pub mod related;
 pub mod scalability;
+pub mod scale;
 pub mod tables;

@@ -58,6 +58,7 @@ pub fn overhead(secs: u64, seed: u64) -> Vec<OverheadRow> {
         let cfg = EngineConfig {
             policy,
             synthetic_cost: TimeDelta::from_micros(300),
+            ..Default::default()
         };
         let report = run_engine(&scn, cfg);
         rows.push(OverheadRow {

@@ -98,6 +98,7 @@ pub fn policy_parity(
                 EngineConfig {
                     policy,
                     synthetic_cost: TimeDelta::from_micros(1500),
+                    ..Default::default()
                 },
             );
             ParityRow {

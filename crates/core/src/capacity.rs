@@ -28,17 +28,51 @@ impl CostModel {
         }
     }
 
+    /// Windows shorter than this fraction of the nominal interval carry no
+    /// usable cost signal and are dropped by [`CostModel::observe_windowed`]
+    /// (a storm of back-to-back ticks would otherwise feed the EWMA samples
+    /// taken over near-empty buffers).
+    pub const MIN_WINDOW_WEIGHT: f64 = 0.05;
+
     /// Records one observation window: `busy` processing time spent on
     /// `tuples` tuples since the last detector invocation. Windows with no
     /// processed tuples carry no cost signal and are skipped.
     pub fn observe(&mut self, busy: TimeDelta, tuples: u64) {
+        self.update(busy, tuples, 1.0);
+    }
+
+    /// Like [`CostModel::observe`], but weights the EWMA update by how much
+    /// of the `nominal` detector period the observation `window` actually
+    /// covered. A tick that fires early (after an overrun, say) contributes
+    /// proportionally less, and windows below
+    /// [`CostModel::MIN_WINDOW_WEIGHT`] of the nominal period are ignored
+    /// outright — their per-tuple samples are dominated by scheduling noise.
+    pub fn observe_windowed(
+        &mut self,
+        busy: TimeDelta,
+        tuples: u64,
+        window: TimeDelta,
+        nominal: TimeDelta,
+    ) {
+        let weight = if nominal.is_zero() {
+            1.0
+        } else {
+            (window.as_micros() as f64 / nominal.as_micros() as f64).clamp(0.0, 1.0)
+        };
+        if weight < Self::MIN_WINDOW_WEIGHT {
+            return;
+        }
+        self.update(busy, tuples, weight);
+    }
+
+    fn update(&mut self, busy: TimeDelta, tuples: u64, weight: f64) {
         if tuples == 0 {
             return;
         }
         let sample = busy.as_micros() as f64 / tuples as f64;
         self.per_tuple_micros = Some(match self.per_tuple_micros {
             None => sample,
-            Some(prev) => prev + self.alpha * (sample - prev),
+            Some(prev) => prev + self.alpha * weight * (sample - prev),
         });
     }
 
@@ -155,6 +189,52 @@ mod tests {
         let det = OverloadDetector::new(TimeDelta::from_millis(250), 100);
         assert!(det.is_overloaded(&m, 101));
         assert!(!det.is_overloaded(&m, 99));
+    }
+
+    #[test]
+    fn near_zero_windows_are_dropped() {
+        let nominal = TimeDelta::from_millis(250);
+        let mut m = CostModel::new(1.0);
+        m.observe_windowed(TimeDelta::from_millis(10), 100, nominal, nominal);
+        assert_eq!(m.per_tuple(), Some(TimeDelta::from_micros(100)));
+        // A 1 ms window after a tick storm: sample would be 1000 us/tuple,
+        // but the window is below MIN_WINDOW_WEIGHT of the period.
+        m.observe_windowed(
+            TimeDelta::from_millis(1),
+            1,
+            TimeDelta::from_millis(1),
+            nominal,
+        );
+        assert_eq!(m.per_tuple(), Some(TimeDelta::from_micros(100)));
+    }
+
+    #[test]
+    fn partial_windows_weigh_proportionally() {
+        let nominal = TimeDelta::from_millis(250);
+        let mut m = CostModel::new(1.0);
+        m.observe_windowed(TimeDelta::from_millis(10), 100, nominal, nominal); // 100 us
+                                                                               // Half a window at 1000 us/tuple: alpha is scaled by 0.5.
+        m.observe_windowed(
+            TimeDelta::from_millis(100),
+            100,
+            TimeDelta::from_millis(125),
+            nominal,
+        );
+        let est = m.per_tuple().unwrap().as_micros() as f64;
+        // 100 + 1.0*0.5*(1000-100) = 550 us
+        assert!((est - 550.0).abs() < 1.0, "est {est}");
+    }
+
+    #[test]
+    fn zero_nominal_falls_back_to_full_weight() {
+        let mut m = CostModel::new(1.0);
+        m.observe_windowed(
+            TimeDelta::from_millis(10),
+            100,
+            TimeDelta::ZERO,
+            TimeDelta::ZERO,
+        );
+        assert_eq!(m.per_tuple(), Some(TimeDelta::from_micros(100)));
     }
 
     #[test]

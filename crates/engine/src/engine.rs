@@ -1,10 +1,17 @@
-//! The multi-threaded THEMIS prototype: one worker thread per FSPS node,
-//! a source pump, and a coordinator loop disseminating result SIC values.
+//! The multi-threaded THEMIS prototype: a bounded pool of shard threads
+//! hosting all FSPS nodes, a source pump, and a coordinator loop
+//! disseminating result SIC values.
 //!
 //! Where the simulator models time, the engine *is* real: ticks fire on the
 //! wall clock, the cost model measures actual processing time, and the
 //! shedder's execution time is measured per invocation (the §7.6 overhead
 //! numbers come from here and from the Criterion benches).
+//!
+//! [`run_engine`] spawns `shards + 1` OS threads regardless of node count
+//! (the shard pool plus the source pump; the coordinator runs on the
+//! calling thread), so 1000+-node scenarios fit one process. The `scale`
+//! experiment budgets `shards + 3` for the whole process: pool + pump +
+//! coordinator/main + its own thread-count sampler.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::thread;
@@ -15,8 +22,9 @@ use crossbeam::channel::{unbounded, Sender};
 use themis_core::prelude::*;
 use themis_workloads::prelude::*;
 
-use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch};
-use crate::worker::{run_worker, WorkerConfig, WorkerRouting};
+use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch, ShardMsg};
+use crate::node_state::NodeConfig;
+use crate::shard::{run_shard, shard_of, ShardNode, ShardRouting};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +36,10 @@ pub struct EngineConfig {
     /// Artificial per-tuple processing cost, so modest source rates create
     /// genuine overload (`ZERO` disables; nodes are then extremely fast).
     pub synthetic_cost: TimeDelta,
+    /// Size of the shard pool hosting the node states. `None` (the
+    /// default) uses the machine's available parallelism; the pool is
+    /// never larger than the scenario's node count.
+    pub shards: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -35,8 +47,16 @@ impl Default for EngineConfig {
         EngineConfig {
             policy: PolicyKind::BalanceSic,
             synthetic_cost: TimeDelta::ZERO,
+            shards: None,
         }
     }
+}
+
+/// The default shard-pool size: the machine's available parallelism.
+pub fn default_shards() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Output of an engine run.
@@ -54,6 +74,8 @@ pub struct EngineReport {
     pub coordinator_messages: u64,
     /// Shedding policy used.
     pub policy: &'static str,
+    /// Shard threads the node states ran on.
+    pub shards: usize,
 }
 
 impl EngineReport {
@@ -104,22 +126,30 @@ impl Ord for Due {
     }
 }
 
-/// Runs the scenario on real threads for `warmup + duration` wall time and
-/// reports per-query SIC fairness plus node counters.
+/// Runs the scenario on a bounded shard pool for `warmup + duration` wall
+/// time and reports per-query SIC fairness plus node counters.
 pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
     let epoch = Instant::now();
     let interval = Duration::from_micros(scenario.shedding_interval.as_micros());
     let deadline = epoch + Duration::from_micros((scenario.warmup + scenario.duration).as_micros());
     let warmup_end = epoch + Duration::from_micros(scenario.warmup.as_micros());
 
-    // Channels.
-    let mut node_txs: Vec<Sender<EngineMsg>> = Vec::with_capacity(scenario.n_nodes);
-    let mut node_rxs = Vec::with_capacity(scenario.n_nodes);
-    for _ in 0..scenario.n_nodes {
+    // Channels: one per shard; each node's sender is a clone of its
+    // owning shard's channel, so senders stay addressable by node index.
+    let n_shards = config
+        .shards
+        .unwrap_or_else(default_shards)
+        .clamp(1, scenario.n_nodes.max(1));
+    let mut shard_txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(n_shards);
+    let mut shard_rxs = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
         let (tx, rx) = unbounded();
-        node_txs.push(tx);
-        node_rxs.push(rx);
+        shard_txs.push(tx);
+        shard_rxs.push(rx);
     }
+    let node_txs: Vec<Sender<ShardMsg>> = (0..scenario.n_nodes)
+        .map(|n| shard_txs[shard_of(n, n_shards)].clone())
+        .collect();
     let (results_tx, results_rx) = unbounded::<ResultEvent>();
 
     // Routing tables.
@@ -152,9 +182,9 @@ pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
         }
     }
 
-    // Spawn workers.
-    let mut handles = Vec::new();
-    for (n, rx) in node_rxs.into_iter().enumerate() {
+    // Partition nodes onto shards (round-robin) and spawn the pool.
+    let mut per_shard: Vec<Vec<ShardNode>> = (0..n_shards).map(|_| Vec::new()).collect();
+    for n in 0..scenario.n_nodes {
         let shedder = config.policy.build(scenario.seed ^ (0xE0_0000 + n as u64));
         let initial_capacity = if config.synthetic_cost.is_zero() {
             usize::MAX / 2
@@ -163,23 +193,29 @@ pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
                 as usize)
                 .max(1)
         };
-        let wc = WorkerConfig {
-            id: NodeId(n as u32),
-            interval: scenario.shedding_interval,
-            stw: scenario.stw,
-            shedder,
-            synthetic_cost: config.synthetic_cost,
-            initial_capacity,
-        };
-        let routing = WorkerRouting {
+        per_shard[shard_of(n, n_shards)].push(ShardNode {
+            node: n,
+            config: NodeConfig {
+                id: NodeId(n as u32),
+                interval: scenario.shedding_interval,
+                stw: scenario.stw,
+                shedder,
+                synthetic_cost: config.synthetic_cost,
+                initial_capacity,
+            },
+            fragments: per_node_fragments[n].clone(),
+        });
+    }
+    let mut handles = Vec::new();
+    for (nodes, rx) in per_shard.into_iter().zip(shard_rxs) {
+        let routing = ShardRouting {
             downstream: downstream.clone(),
             node_txs: node_txs.clone(),
             results_tx: results_tx.clone(),
         };
         let queries = scenario.queries.clone();
-        let fragments = per_node_fragments[n].clone();
         handles.push(thread::spawn(move || {
-            run_worker(wc, queries, fragments, routing, rx, epoch)
+            run_shard(nodes, queries, routing, rx, epoch)
         }));
     }
     drop(results_tx);
@@ -225,12 +261,15 @@ pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
             let batch = d.emit();
             if let (Some(&node), Some(&(q, fi))) = (pump_routes.get(&src), pump_frags.get(&src)) {
                 debug_assert_eq!(q, query);
-                let _ = pump_txs[node].send(EngineMsg::Batch(RoutedBatch {
-                    query,
-                    fragment: fi,
-                    ingress: themis_query::prelude::Ingress::Source(src),
-                    batch,
-                }));
+                let _ = pump_txs[node].send(ShardMsg {
+                    node,
+                    msg: EngineMsg::Batch(RoutedBatch {
+                        query,
+                        fragment: fi,
+                        ingress: themis_query::prelude::Ingress::Source(src),
+                        batch,
+                    }),
+                });
             }
             heap.push(Due {
                 at: d.next_time(),
@@ -279,7 +318,11 @@ pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
                 c.on_result_sic(sic);
                 for update in c.tick(now) {
                     coordinator_messages += 1;
-                    let _ = node_txs[update.node.index()].send(EngineMsg::Sic(update));
+                    let node = update.node.index();
+                    let _ = node_txs[node].send(ShardMsg {
+                        node,
+                        msg: EngineMsg::Sic(update),
+                    });
                 }
             }
             if now_wall >= warmup_end {
@@ -291,15 +334,20 @@ pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
         thread::sleep(Duration::from_millis(5));
     }
 
-    // Shutdown.
-    for tx in &node_txs {
-        let _ = tx.send(EngineMsg::Shutdown);
+    // Shutdown: one message per shard stops all of its nodes.
+    for tx in &shard_txs {
+        let _ = tx.send(ShardMsg {
+            node: 0,
+            msg: EngineMsg::Shutdown,
+        });
     }
     let _ = pump.join();
-    let nodes: Vec<NodeReport> = handles
-        .into_iter()
-        .map(|h| h.join().expect("worker panicked"))
-        .collect();
+    let mut nodes: Vec<NodeReport> = vec![NodeReport::default(); scenario.n_nodes];
+    for h in handles {
+        for (node, report) in h.join().expect("shard panicked") {
+            nodes[node] = report;
+        }
+    }
 
     let mut per_query_sic: Vec<(QueryId, f64)> = samples
         .into_iter()
@@ -321,6 +369,7 @@ pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
         result_counts,
         coordinator_messages,
         policy: config.policy.name(),
+        shards: n_shards,
     }
 }
 
@@ -354,6 +403,8 @@ mod tests {
     fn underloaded_engine_runs_clean() {
         let report = run_engine(&scenario(4, 100, 1), EngineConfig::default());
         assert_eq!(report.per_query_sic.len(), 4);
+        // Every node ticked its detector.
+        assert!(report.nodes.iter().all(|n| n.ticks > 0));
         // No shedding without synthetic cost.
         assert_eq!(report.shed_fraction(), 0.0);
         // Results flowed for every query.
@@ -372,6 +423,7 @@ mod tests {
         let cfg = EngineConfig {
             policy: PolicyKind::BalanceSic,
             synthetic_cost: TimeDelta::from_micros(2000),
+            ..Default::default()
         };
         let report = run_engine(&scenario(4, 400, 2), cfg);
         assert!(
@@ -380,5 +432,50 @@ mod tests {
             report.shed_fraction()
         );
         assert!(report.mean_shed_time_us() > 0.0);
+    }
+
+    #[test]
+    fn bounded_pool_hosts_many_nodes_on_two_shards() {
+        let scn = ScenarioBuilder::new("engine-shards", 5)
+            .nodes(32)
+            .capacity_tps(1_000_000)
+            .duration(TimeDelta::from_millis(1200))
+            .warmup(TimeDelta::from_millis(600))
+            .stw_window(TimeDelta::from_secs(1))
+            .add_queries(
+                Template::Avg,
+                32,
+                SourceProfile {
+                    tuples_per_sec: 50,
+                    batches_per_sec: 5,
+                    burst: Burstiness::Steady,
+                    dataset: Dataset::Uniform,
+                },
+            )
+            .build()
+            .unwrap();
+        let cfg = EngineConfig {
+            shards: Some(2),
+            ..Default::default()
+        };
+        let report = run_engine(&scn, cfg);
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.nodes.len(), 32);
+        // All 32 nodes ran their detectors on two threads.
+        assert!(report.nodes.iter().all(|n| n.ticks > 0));
+        assert!(!report.result_counts.is_empty());
+    }
+
+    #[test]
+    fn shard_pool_never_exceeds_node_count() {
+        let report = run_engine(
+            &scenario(4, 100, 6),
+            EngineConfig {
+                shards: Some(64),
+                ..Default::default()
+            },
+        );
+        // The scenario has 2 nodes; the pool is clamped.
+        assert_eq!(report.shards, 2);
     }
 }

@@ -1,9 +1,18 @@
 //! # themis-engine
 //!
-//! The multi-threaded THEMIS prototype (Figure 5 of the paper): per-node
-//! worker threads with input buffers, a wall-clock overload detector and
-//! cost model, the BALANCE-SIC tuple shedder, a source pump and a
-//! coordinator loop disseminating result SIC values.
+//! The multi-threaded THEMIS prototype (Figure 5 of the paper), sharded:
+//! a bounded pool of shard threads ([`shard`]) hosts every FSPS node's
+//! state ([`node_state`]) — input buffer, wall-clock overload detector,
+//! online cost model, tuple shedder, fragment runtimes — alongside a
+//! source pump and a coordinator loop disseminating result SIC values.
+//!
+//! Each shard multiplexes message draining, per-node shedding deadlines
+//! (a min-heap of `(Instant, node)` entries) and fragment execution on
+//! one OS thread, so 1000+-node scenarios run in a single process with
+//! `shards + 2` threads (pool + source pump + the coordinator on the
+//! calling thread). Ticks fire whenever their deadline has
+//! passed — a message flood cannot starve the overload detector — and an
+//! overrunning tick skips its missed periods instead of storming.
 //!
 //! The engine complements the deterministic simulator: it demonstrates the
 //! system on real threads and channels and provides the measured shedder
@@ -14,11 +23,14 @@
 
 pub mod engine;
 pub mod messages;
-pub mod worker;
+pub mod node_state;
+pub mod shard;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::engine::{run_engine, EngineConfig, EngineReport};
-    pub use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch};
+    pub use crate::engine::{default_shards, run_engine, EngineConfig, EngineReport};
+    pub use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch, ShardMsg};
+    pub use crate::node_state::{NodeConfig, NodeState};
+    pub use crate::shard::{run_shard, shard_assignment, shard_of, ShardNode, ShardRouting};
     pub use themis_core::shedder::PolicyKind;
 }

@@ -16,14 +16,25 @@ pub struct RoutedBatch {
     pub batch: Batch,
 }
 
-/// Messages delivered to node workers.
+/// Messages delivered to engine nodes.
 pub enum EngineMsg {
     /// A data batch.
     Batch(RoutedBatch),
     /// A coordinator SIC update.
     Sic(SicUpdate),
-    /// Stop the worker.
+    /// Stop the receiving shard (all of its nodes).
     Shutdown,
+}
+
+/// Envelope delivered to a shard thread: the destination node plus the
+/// payload. Every sender addressing node `n` holds a clone of the owning
+/// shard's channel, so one shard multiplexes messages for all of its nodes.
+pub struct ShardMsg {
+    /// Global node index the payload is for (ignored for
+    /// [`EngineMsg::Shutdown`], which stops the whole shard).
+    pub node: usize,
+    /// Payload.
+    pub msg: EngineMsg,
 }
 
 /// A query-result emission observed by the coordinator thread.
@@ -58,6 +69,12 @@ pub struct NodeReport {
     pub shed_decisions: u64,
     /// Coordinator updates received.
     pub sic_updates: u64,
+    /// Shedding ticks fired (detector invocations).
+    pub ticks: u64,
+    /// Ticks that fired at least one full interval past their deadline
+    /// (starved by message pressure or delayed by an overrunning
+    /// predecessor); the skipped periods are dropped, not replayed.
+    pub late_ticks: u64,
 }
 
 impl NodeReport {

@@ -1,0 +1,384 @@
+//! Per-node state of the prototype engine: a heap-allocated incarnation of
+//! the THEMIS node of Figure 5 (input buffer, overload detector, online
+//! cost model, tuple shedder, operator execution).
+//!
+//! The seed engine kept all of this on the stack of a dedicated OS thread
+//! per node; extracting it into [`NodeState`] lets one shard thread
+//! interleave thousands of nodes (see [`crate::shard`]).
+//!
+//! The shedding tick carries two correctness fixes over the seed worker:
+//!
+//! 1. **No starvation** — the tick fires whenever its deadline has passed,
+//!    even while messages are still queued. The old drain loop `continue`d
+//!    on every received message, so a sustained input flood kept
+//!    `recv_timeout` returning `Ok` and postponed the detector/shedder
+//!    indefinitely — exactly the overload situation the tick exists for.
+//! 2. **No drift storm** — a tick that overruns its period reschedules to
+//!    the next *future* deadline instead of accumulating a backlog of past
+//!    deadlines. The old `next_tick += interval` produced a burst of
+//!    zero-timeout back-to-back ticks after an overrun, each observing a
+//!    near-empty buffer and corrupting the cost model's per-tuple EWMA
+//!    with tiny windows. Skipped periods are counted in
+//!    [`NodeReport::late_ticks`], and the cost model additionally weighs
+//!    observations by actual window length
+//!    ([`CostModel::observe_windowed`]).
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+use themis_core::prelude::*;
+use themis_query::prelude::*;
+
+use crate::messages::{NodeReport, RoutedBatch};
+use crate::shard::ShardRouting;
+
+/// Per-node static configuration.
+pub struct NodeConfig {
+    /// Node id.
+    pub id: NodeId,
+    /// Shedding interval (wall time).
+    pub interval: TimeDelta,
+    /// STW configuration.
+    pub stw: StwConfig,
+    /// Tuple shedder.
+    pub shedder: Box<dyn Shedder>,
+    /// Artificial per-tuple processing cost (spin), so that modest source
+    /// rates overload the node reproducibly. `TimeDelta::ZERO` disables it.
+    pub synthetic_cost: TimeDelta,
+    /// Initial capacity estimate (tuples per interval) used before the
+    /// cost model has observations.
+    pub initial_capacity: usize,
+}
+
+/// The full mutable state of one engine node, owned by a shard thread.
+pub struct NodeState {
+    /// Global node index (for routing and report scatter).
+    pub node: usize,
+    runtimes: BTreeMap<(QueryId, usize), FragmentRuntime>,
+    assigners: HashMap<QueryId, SourceSicAssigner>,
+    buffer: Vec<RoutedBatch>,
+    sic_table: SicTable,
+    cost_model: CostModel,
+    detector: OverloadDetector,
+    shedder: Box<dyn Shedder>,
+    synthetic_cost: TimeDelta,
+    interval: Duration,
+    interval_delta: TimeDelta,
+    next_tick: Instant,
+    last_tick: Instant,
+    report: NodeReport,
+}
+
+impl NodeState {
+    /// Builds the state for global node `node` hosting `fragments`, with
+    /// its first shedding deadline at `first_tick`.
+    pub fn new(
+        config: NodeConfig,
+        node: usize,
+        queries: &[QuerySpec],
+        fragments: &[(QueryId, usize)],
+        first_tick: Instant,
+    ) -> Self {
+        let mut runtimes: BTreeMap<(QueryId, usize), FragmentRuntime> = BTreeMap::new();
+        let mut assigners: HashMap<QueryId, SourceSicAssigner> = HashMap::new();
+        let by_id: HashMap<QueryId, &QuerySpec> = queries.iter().map(|q| (q.id, q)).collect();
+        for (q, fi) in fragments {
+            let spec = by_id[q];
+            runtimes.insert((*q, *fi), FragmentRuntime::new(&spec.fragments[*fi]));
+            assigners
+                .entry(*q)
+                .or_insert_with(|| SourceSicAssigner::new(config.stw, spec.n_sources()));
+        }
+        // Clamped to 1 us: a zero interval would pin the deadline in the
+        // past forever (`deadline + ZERO * periods == deadline`), keeping
+        // this node the heap minimum and starving its shard-mates' ticks.
+        let interval = Duration::from_micros(config.interval.as_micros().max(1));
+        NodeState {
+            node,
+            runtimes,
+            assigners,
+            buffer: Vec::new(),
+            sic_table: SicTable::new(),
+            cost_model: CostModel::default(),
+            detector: OverloadDetector::new(config.interval, config.initial_capacity),
+            shedder: config.shedder,
+            synthetic_cost: config.synthetic_cost,
+            interval,
+            interval_delta: config.interval,
+            next_tick: first_tick,
+            last_tick: first_tick.checked_sub(interval).unwrap_or(first_tick),
+            report: NodeReport::default(),
+        }
+    }
+
+    /// The node's next shedding deadline.
+    pub fn next_tick(&self) -> Instant {
+        self.next_tick
+    }
+
+    /// True when the shedding deadline has passed and the tick must fire
+    /// before any further message draining.
+    pub fn tick_due(&self, now: Instant) -> bool {
+        now >= self.next_tick
+    }
+
+    /// Counters accumulated so far.
+    pub fn report(&self) -> &NodeReport {
+        &self.report
+    }
+
+    /// Consumes the state, yielding the node's counters.
+    pub fn into_report(self) -> NodeReport {
+        self.report
+    }
+
+    /// Enqueues an incoming data batch, stamping source batches with SIC.
+    pub fn enqueue(&mut self, mut rb: RoutedBatch, now: Timestamp) {
+        self.report.arrived_tuples += rb.batch.len() as u64;
+        if rb.batch.source().is_some() {
+            if let Some(a) = self.assigners.get_mut(&rb.query) {
+                a.stamp(now, &mut rb.batch);
+            }
+        }
+        self.buffer.push(rb);
+    }
+
+    /// Applies a coordinator SIC update.
+    pub fn apply_sic(&mut self, update: &SicUpdate) {
+        self.report.sic_updates += 1;
+        self.sic_table.apply(update);
+    }
+
+    /// Fires one shedding tick at wall time `now`: overload detection,
+    /// shedding when the backlog exceeds capacity, fragment execution, and
+    /// cost-model feedback — then reschedules the deadline past `now`.
+    pub fn tick(&mut self, now: Instant, epoch: Instant, routing: &ShardRouting) {
+        self.report.ticks += 1;
+        let window = TimeDelta::from_micros(
+            now.saturating_duration_since(self.last_tick).as_micros() as u64,
+        );
+        self.last_tick = now;
+        self.reschedule(now);
+
+        let now_ts = Timestamp(epoch.elapsed().as_micros() as u64);
+        let c = self.detector.threshold(&self.cost_model);
+        let buffered: usize = self.buffer.iter().map(|rb| rb.batch.len()).sum();
+
+        let keep: Vec<usize> = if buffered > c {
+            self.report.shed_invocations += 1;
+            let states = snapshot(&self.buffer, &self.sic_table);
+            let shed_start = Instant::now();
+            let decision = self.shedder.select_to_keep(c, &states);
+            self.report.shed_time_ns += shed_start.elapsed().as_nanos() as u64;
+            self.report.shed_decisions += 1;
+            self.report.kept_tuples += decision.kept_tuples as u64;
+            self.report.shed_tuples += decision.shed_tuples as u64;
+            self.report.shed_batches += decision.shed_batches as u64;
+            let mut keep = decision.keep;
+            keep.sort_unstable();
+            keep
+        } else {
+            self.report.kept_tuples += buffered as u64;
+            (0..self.buffer.len()).collect()
+        };
+
+        let busy_start = Instant::now();
+        let mut kept_tuples = 0u64;
+        let drained = std::mem::take(&mut self.buffer);
+        let mut keep_iter = keep.into_iter().peekable();
+        for (idx, rb) in drained.into_iter().enumerate() {
+            if keep_iter.peek() == Some(&idx) {
+                keep_iter.next();
+            } else {
+                continue;
+            }
+            kept_tuples += rb.batch.len() as u64;
+            if !self.synthetic_cost.is_zero() {
+                spin_for(self.synthetic_cost.as_micros() * rb.batch.len() as u64);
+            }
+            if let Some(rt) = self.runtimes.get_mut(&(rb.query, rb.fragment)) {
+                let (q, f) = (rb.query, rb.fragment);
+                let emissions = rt.ingest(rb.ingress, rb.batch.into_tuples(), now_ts);
+                routing.route(q, f, emissions);
+            }
+        }
+        for (&(q, f), rt) in self.runtimes.iter_mut() {
+            let emissions = rt.tick(now_ts);
+            routing.route(q, f, emissions);
+        }
+        let busy = TimeDelta::from_micros(busy_start.elapsed().as_micros() as u64);
+        self.cost_model
+            .observe_windowed(busy, kept_tuples, window, self.interval_delta);
+    }
+
+    /// Advances the deadline one period, skipping any periods `now` has
+    /// already overrun so the next tick is strictly in the future (the
+    /// drift fix — no burst of zero-timeout catch-up ticks).
+    fn reschedule(&mut self, now: Instant) {
+        let deadline = self.next_tick;
+        self.next_tick = deadline + self.interval;
+        if self.next_tick <= now {
+            self.report.late_ticks += 1;
+            let behind = now.duration_since(deadline).as_nanos();
+            let periods = (behind / self.interval.as_nanos().max(1))
+                .saturating_add(1)
+                .min(u32::MAX as u128) as u32;
+            self.next_tick = deadline + self.interval * periods;
+        }
+    }
+}
+
+/// Groups the buffered batches by query and projects each query's base SIC
+/// (coordinator-reported SIC minus what is sitting in this buffer) for the
+/// shedder.
+pub(crate) fn snapshot(buffer: &[RoutedBatch], sic_table: &SicTable) -> Vec<QueryBufferState> {
+    let mut by_query: HashMap<QueryId, Vec<CandidateBatch>> = HashMap::new();
+    for (idx, rb) in buffer.iter().enumerate() {
+        by_query.entry(rb.query).or_default().push(CandidateBatch {
+            buffer_index: idx,
+            sic: rb.batch.sic(),
+            tuples: rb.batch.len(),
+            created: rb.batch.created(),
+        });
+    }
+    let mut states: Vec<QueryBufferState> = by_query
+        .into_iter()
+        .map(|(query, batches)| {
+            let buffered: Sic = batches.iter().map(|b| b.sic).sum();
+            let reported = sic_table.get(query);
+            QueryBufferState {
+                query,
+                base_sic: Sic((reported.value() - buffered.value()).max(0.0)),
+                batches,
+            }
+        })
+        .collect();
+    states.sort_by_key(|s| s.query);
+    states
+}
+
+/// Busy-spins for roughly `micros` microseconds (sleeping is too coarse at
+/// this granularity).
+fn spin_for(micros: u64) {
+    let start = Instant::now();
+    let target = Duration::from_micros(micros);
+    while start.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_query::prelude::Template;
+
+    fn state(interval_ms: u64, first_tick: Instant) -> NodeState {
+        let mut ids = IdGen::new();
+        let query = Template::Avg.build(QueryId(0), &mut ids);
+        let config = NodeConfig {
+            id: NodeId(0),
+            interval: TimeDelta::from_millis(interval_ms),
+            stw: StwConfig::PAPER_DEFAULT,
+            shedder: PolicyKind::BalanceSic.build(7),
+            synthetic_cost: TimeDelta::ZERO,
+            initial_capacity: 100,
+        };
+        NodeState::new(
+            config,
+            0,
+            std::slice::from_ref(&query),
+            &[(query.id, 0)],
+            first_tick,
+        )
+    }
+
+    #[test]
+    fn deadline_advances_one_period_when_on_time() {
+        let base = Instant::now() + Duration::from_secs(60);
+        let mut s = state(50, base);
+        assert!(s.tick_due(base));
+        s.reschedule(base);
+        assert_eq!(s.next_tick(), base + Duration::from_millis(50));
+        assert_eq!(s.report().late_ticks, 0);
+    }
+
+    #[test]
+    fn overrun_skips_missed_periods_to_future_deadline() {
+        let base = Instant::now() + Duration::from_secs(60);
+        let mut s = state(50, base);
+        // The tick fires 5.7 intervals after its deadline (an overrunning
+        // predecessor or a message flood held it up).
+        let now = base + Duration::from_micros(5_700 * 50);
+        s.reschedule(now);
+        // Seed behaviour was `next_tick += interval`, leaving 5 deadlines
+        // in the past — a storm of zero-timeout ticks. Fixed: the next
+        // deadline is the first schedule point strictly after `now`.
+        assert!(s.next_tick() > now, "deadline left in the past");
+        assert_eq!(s.next_tick(), base + Duration::from_millis(6 * 50));
+        assert!(!s.tick_due(now), "immediate re-tick would storm");
+        assert_eq!(s.report().late_ticks, 1);
+    }
+
+    #[test]
+    fn exact_multiple_overrun_still_lands_in_future() {
+        let base = Instant::now() + Duration::from_secs(60);
+        let mut s = state(50, base);
+        let now = base + Duration::from_millis(3 * 50);
+        s.reschedule(now);
+        assert_eq!(s.next_tick(), base + Duration::from_millis(4 * 50));
+        assert_eq!(s.report().late_ticks, 1);
+    }
+
+    #[test]
+    fn lateness_under_one_period_is_not_late() {
+        let base = Instant::now() + Duration::from_secs(60);
+        let mut s = state(50, base);
+        s.reschedule(base + Duration::from_millis(20));
+        assert_eq!(s.next_tick(), base + Duration::from_millis(50));
+        assert_eq!(s.report().late_ticks, 0);
+    }
+
+    #[test]
+    fn enqueue_counts_arrivals() {
+        let base = Instant::now();
+        let mut s = state(50, base);
+        let tuples = vec![
+            Tuple::measurement(Timestamp(0), Sic(0.1), 1.0),
+            Tuple::measurement(Timestamp(0), Sic(0.1), 2.0),
+        ];
+        s.enqueue(
+            RoutedBatch {
+                query: QueryId(0),
+                fragment: 0,
+                ingress: Ingress::Source(SourceId(0)),
+                batch: Batch::new(QueryId(0), Timestamp(0), tuples),
+            },
+            Timestamp(0),
+        );
+        assert_eq!(s.report().arrived_tuples, 2);
+    }
+
+    #[test]
+    fn spin_roughly_waits() {
+        let t0 = Instant::now();
+        spin_for(200);
+        let us = t0.elapsed().as_micros();
+        assert!(us >= 200, "spun only {us}us");
+    }
+
+    #[test]
+    fn snapshot_projects_base_sic() {
+        let tuples = vec![Tuple::measurement(Timestamp(0), Sic(0.2), 1.0)];
+        let rb = RoutedBatch {
+            query: QueryId(1),
+            fragment: 0,
+            ingress: Ingress::Source(SourceId(0)),
+            batch: Batch::new(QueryId(1), Timestamp(0), tuples),
+        };
+        let mut table = SicTable::new();
+        table.set(QueryId(1), Sic(0.5));
+        let states = snapshot(&[rb], &table);
+        assert_eq!(states.len(), 1);
+        assert!((states[0].base_sic.value() - 0.3).abs() < 1e-12);
+    }
+}

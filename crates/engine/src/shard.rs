@@ -1,0 +1,426 @@
+//! Shard threads: a bounded pool of OS threads, each owning a slice of
+//! node states and multiplexing message draining, per-node shedding
+//! deadlines (a `BinaryHeap` of `(Instant, node)` entries) and fragment
+//! execution.
+//!
+//! Where the seed engine spawned one OS thread per FSPS node — capping
+//! experiments at a few dozen nodes — a shard interleaves thousands of
+//! [`NodeState`]s on one thread. The event loop fires every due deadline
+//! *before* each channel drain, so a sustained input flood can never
+//! starve the overload detector (the seed worker's drain loop `continue`d
+//! on every message and postponed the tick indefinitely under exactly the
+//! overload it was meant to detect).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use themis_core::prelude::*;
+use themis_operators::op::Emission;
+use themis_query::prelude::*;
+
+use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch, ShardMsg};
+use crate::node_state::{NodeConfig, NodeState};
+
+/// How long an idle shard (no nodes, or all deadlines far out) sleeps per
+/// loop iteration while waiting for messages.
+const IDLE_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// What a shard needs to route fragment outputs.
+pub struct ShardRouting {
+    /// `(query, fragment)` -> downstream `(node index, fragment)`; absent
+    /// means the fragment emits query results.
+    pub downstream: HashMap<(QueryId, usize), (usize, usize)>,
+    /// Senders addressing every node (index = global node; each entry is a
+    /// clone of the owning shard's channel).
+    pub node_txs: Vec<Sender<ShardMsg>>,
+    /// Sink for query results.
+    pub results_tx: Sender<ResultEvent>,
+}
+
+impl ShardRouting {
+    /// Forwards fragment emissions downstream or to the results sink.
+    pub fn route(&self, query: QueryId, fragment: usize, emissions: Vec<Emission>) {
+        for e in emissions {
+            match self.downstream.get(&(query, fragment)) {
+                Some(&(node, df)) => {
+                    let rb = RoutedBatch {
+                        query,
+                        fragment: df,
+                        ingress: Ingress::Upstream(fragment),
+                        batch: Batch::new(query, e.at, e.tuples),
+                    };
+                    // A closed peer means shutdown is racing; dropping the
+                    // batch is equivalent to shedding it.
+                    let _ = self.node_txs[node].send(ShardMsg {
+                        node,
+                        msg: EngineMsg::Batch(rb),
+                    });
+                }
+                None => {
+                    let _ = self.results_tx.send(ResultEvent {
+                        query,
+                        at: e.at,
+                        sic: e.sic(),
+                        rows: e.tuples.into_iter().map(|t| t.values).collect(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// One node assigned to a shard.
+pub struct ShardNode {
+    /// Global node index.
+    pub node: usize,
+    /// Per-node configuration.
+    pub config: NodeConfig,
+    /// Fragments hosted by the node.
+    pub fragments: Vec<(QueryId, usize)>,
+}
+
+/// The shard of `n_shards` that owns global node `node` (round-robin).
+pub fn shard_of(node: usize, n_shards: usize) -> usize {
+    node % n_shards.max(1)
+}
+
+/// Round-robin node→shard assignment for `n_nodes` nodes.
+pub fn shard_assignment(n_nodes: usize, n_shards: usize) -> Vec<usize> {
+    (0..n_nodes).map(|n| shard_of(n, n_shards)).collect()
+}
+
+/// Entry in a shard's deadline heap (min-heap by `(at, node)`).
+struct Deadline {
+    at: Instant,
+    local: usize,
+}
+impl PartialEq for Deadline {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.local == other.local
+    }
+}
+impl Eq for Deadline {}
+impl PartialOrd for Deadline {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deadline {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.local).cmp(&(self.at, self.local))
+    }
+}
+
+/// Runs a shard's event loop until an [`EngineMsg::Shutdown`] arrives (or
+/// every sender is gone); returns `(global node, counters)` per node.
+///
+/// First deadlines are staggered across the shard's nodes so thousands of
+/// co-located nodes do not all tick at the same instant.
+pub fn run_shard(
+    nodes: Vec<ShardNode>,
+    queries: Vec<QuerySpec>,
+    routing: ShardRouting,
+    rx: Receiver<ShardMsg>,
+    epoch: Instant,
+) -> Vec<(usize, NodeReport)> {
+    let start = Instant::now();
+    let n_local = nodes.len().max(1);
+    let mut local_of: HashMap<usize, usize> = HashMap::with_capacity(nodes.len());
+    let mut states: Vec<NodeState> = Vec::with_capacity(nodes.len());
+    let mut heap: BinaryHeap<Deadline> = BinaryHeap::with_capacity(nodes.len());
+    for (i, sn) in nodes.into_iter().enumerate() {
+        let interval = Duration::from_micros(sn.config.interval.as_micros());
+        // Stagger: node i's first tick lands i/n of an interval into the
+        // schedule, spreading tick work evenly across the period.
+        let first_tick = start + interval + interval.mul_f64(i as f64 / n_local as f64);
+        let state = NodeState::new(sn.config, sn.node, &queries, &sn.fragments, first_tick);
+        local_of.insert(sn.node, i);
+        heap.push(Deadline {
+            at: state.next_tick(),
+            local: i,
+        });
+        states.push(state);
+    }
+
+    loop {
+        // Fire every due tick before draining more messages: the deadline,
+        // not channel pressure, decides when the detector runs. Firings
+        // are capped at the shard's node count per pass so degenerate
+        // intervals (shorter than the tick's own work) cannot livelock
+        // the loop and starve the channel — with due deadlines still
+        // pending, the recv_timeout below is zero and acts as a poll.
+        // Rescheduling always lands strictly after `now` (NodeState clamps
+        // the interval to >= 1 us), so within a pass due nodes fire in
+        // deadline order and no node re-fires ahead of a due shard-mate.
+        let mut now = Instant::now();
+        let mut fired = 0;
+        while let Some(d) = heap.peek() {
+            if d.at > now || fired >= states.len() {
+                break;
+            }
+            let local = heap.pop().expect("peeked").local;
+            states[local].tick(now, epoch, &routing);
+            heap.push(Deadline {
+                at: states[local].next_tick(),
+                local,
+            });
+            fired += 1;
+            now = Instant::now();
+        }
+        let timeout = heap
+            .peek()
+            .map(|d| d.at.saturating_duration_since(now))
+            .unwrap_or(IDLE_TIMEOUT);
+        match rx.recv_timeout(timeout) {
+            Ok(ShardMsg {
+                msg: EngineMsg::Shutdown,
+                ..
+            }) => break,
+            Ok(ShardMsg { node, msg }) => {
+                if let Some(&local) = local_of.get(&node) {
+                    match msg {
+                        EngineMsg::Batch(rb) => {
+                            let ts = Timestamp(epoch.elapsed().as_micros() as u64);
+                            states[local].enqueue(rb, ts);
+                        }
+                        EngineMsg::Sic(update) => states[local].apply_sic(&update),
+                        EngineMsg::Shutdown => unreachable!("matched above"),
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    states
+        .into_iter()
+        .map(|s| (s.node, s.into_report()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_node_lands_on_exactly_one_shard() {
+        for (n_nodes, n_shards) in [(1usize, 1usize), (7, 3), (1024, 8), (5, 16)] {
+            let assignment = shard_assignment(n_nodes, n_shards);
+            assert_eq!(assignment.len(), n_nodes);
+            // Each node has exactly one shard, and it is in range.
+            assert!(assignment.iter().all(|&s| s < n_shards));
+            // Round-robin balance: shard sizes differ by at most one.
+            let mut counts = vec![0usize; n_shards];
+            for &s in &assignment {
+                counts[s] += 1;
+            }
+            let used: Vec<usize> = counts.iter().copied().filter(|&c| c > 0).collect();
+            let max = *used.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            assert!(max - min <= 1, "{n_nodes}x{n_shards}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(shard_of(5, 0), 0);
+    }
+
+    fn flood_harness(
+        interval_ms: u64,
+        synthetic_cost: TimeDelta,
+        initial_capacity: usize,
+        batches: usize,
+        tuples_per_batch: usize,
+        linger_ms: u64,
+    ) -> NodeReport {
+        let mut ids = IdGen::new();
+        let query = Template::Avg.build(QueryId(0), &mut ids);
+        let src = query.sources[0].id;
+        let (tx, rx) = crossbeam::channel::unbounded::<ShardMsg>();
+        let (results_tx, _results_rx) = crossbeam::channel::unbounded();
+        let routing = ShardRouting {
+            downstream: HashMap::new(),
+            node_txs: vec![tx.clone()],
+            results_tx,
+        };
+        let node = ShardNode {
+            node: 0,
+            config: NodeConfig {
+                id: NodeId(0),
+                interval: TimeDelta::from_millis(interval_ms),
+                stw: StwConfig::PAPER_DEFAULT,
+                shedder: PolicyKind::BalanceSic.build(11),
+                synthetic_cost,
+                initial_capacity,
+            },
+            fragments: vec![(query.id, 0)],
+        };
+        // Pre-load the whole flood *and* the shutdown before the shard
+        // starts: the channel is never empty until the shard has drained
+        // every batch, which is exactly the situation that starved the
+        // seed worker's tick (recv_timeout returned Ok on every poll).
+        for i in 0..batches {
+            let tuples: Vec<Tuple> = (0..tuples_per_batch)
+                .map(|j| Tuple::measurement(Timestamp(i as u64), Sic(0.001), j as f64))
+                .collect();
+            tx.send(ShardMsg {
+                node: 0,
+                msg: EngineMsg::Batch(RoutedBatch {
+                    query: query.id,
+                    fragment: 0,
+                    ingress: Ingress::Source(src),
+                    batch: Batch::from_source(query.id, src, Timestamp(i as u64), tuples),
+                }),
+            })
+            .unwrap();
+        }
+        // linger_ms == 0: the shutdown is queued behind the flood, so the
+        // channel never empties while the shard runs. Otherwise the shard
+        // is left running for `linger_ms` past the flood before stopping.
+        if linger_ms == 0 {
+            tx.send(ShardMsg {
+                node: 0,
+                msg: EngineMsg::Shutdown,
+            })
+            .unwrap();
+        }
+        let epoch = Instant::now();
+        let queries = vec![query];
+        let handle = std::thread::spawn(move || run_shard(vec![node], queries, routing, rx, epoch));
+        if linger_ms > 0 {
+            std::thread::sleep(Duration::from_millis(linger_ms));
+            tx.send(ShardMsg {
+                node: 0,
+                msg: EngineMsg::Shutdown,
+            })
+            .unwrap();
+        }
+        let mut reports = handle.join().expect("shard panicked");
+        assert_eq!(reports.len(), 1);
+        reports.pop().unwrap().1
+    }
+
+    /// Regression (tick starvation): the seed worker `continue`d on every
+    /// received message, so a queue that never emptied postponed the
+    /// detector/shedder tick indefinitely — it would drain this entire
+    /// flood, hit `Shutdown`, and exit with zero ticks and zero sheds.
+    /// The shard loop fires the tick whenever its deadline has passed,
+    /// messages pending or not.
+    #[test]
+    fn flooded_shard_still_sheds() {
+        // ~60k batches of 5 tuples take well over one 5 ms interval to
+        // drain, so deadlines pass while the queue is still non-empty.
+        let report = flood_harness(5, TimeDelta::ZERO, 100, 60_000, 5, 0);
+        assert_eq!(report.arrived_tuples, 300_000);
+        assert!(report.ticks >= 1, "starved: no tick fired mid-flood");
+        assert!(
+            report.shed_invocations >= 1,
+            "first due tick saw {} buffered tuples over capacity 100 but never shed",
+            report.arrived_tuples,
+        );
+        assert!(report.shed_tuples > 0);
+    }
+
+    /// Regression (tick drift/storm): a tick that overruns its period must
+    /// not leave a backlog of past deadlines. The seed worker's
+    /// `next_tick += interval` scheduled a burst of zero-timeout ticks
+    /// after the overrun; fixed, the tick count stays bounded by wall
+    /// time / interval and the skipped periods are counted as late.
+    #[test]
+    fn overrunning_tick_does_not_storm() {
+        // 400 batches x 20 tuples; capacity 500 kept x 200 us spin
+        // = a ~100 ms tick against a 20 ms interval: 5 periods overrun.
+        let t0 = Instant::now();
+        let report = flood_harness(20, TimeDelta::from_micros(200), 500, 400, 20, 300);
+        let elapsed_ms = t0.elapsed().as_millis() as u64;
+        assert!(report.late_ticks >= 1, "overrun not recorded: {report:?}");
+        assert!(report.shed_invocations >= 1);
+        let max_ticks = elapsed_ms / 20 + 2;
+        assert!(
+            report.ticks <= max_ticks,
+            "tick storm: {} ticks in {elapsed_ms} ms at a 20 ms interval",
+            report.ticks,
+        );
+    }
+
+    /// A degenerate zero shedding interval must not livelock the shard
+    /// loop: due-tick firings are capped per pass, so the channel still
+    /// drains and `Shutdown` is honored.
+    #[test]
+    fn zero_interval_still_terminates() {
+        let report = flood_harness(0, TimeDelta::ZERO, 100, 100, 1, 0);
+        assert_eq!(report.arrived_tuples, 100);
+        assert!(report.ticks >= 1);
+    }
+
+    /// A zero-interval node sharing a shard must not monopolize the
+    /// deadline heap: its rescheduled deadline lands strictly in the
+    /// future (the interval is clamped to 1 us), so shard-mates with
+    /// ordinary intervals still reach their ticks.
+    #[test]
+    fn zero_interval_node_does_not_starve_shard_mates() {
+        let mut ids = IdGen::new();
+        let q0 = Template::Avg.build(QueryId(0), &mut ids);
+        let q1 = Template::Avg.build(QueryId(1), &mut ids);
+        let (tx, rx) = crossbeam::channel::unbounded::<ShardMsg>();
+        let (results_tx, _results_rx) = crossbeam::channel::unbounded();
+        let routing = ShardRouting {
+            downstream: HashMap::new(),
+            node_txs: vec![tx.clone(), tx.clone()],
+            results_tx,
+        };
+        let node = |n: usize, interval_ms: u64, query: &QuerySpec| ShardNode {
+            node: n,
+            config: NodeConfig {
+                id: NodeId(n as u32),
+                interval: TimeDelta::from_millis(interval_ms),
+                stw: StwConfig::PAPER_DEFAULT,
+                shedder: PolicyKind::BalanceSic.build(13),
+                synthetic_cost: TimeDelta::ZERO,
+                initial_capacity: 100,
+            },
+            fragments: vec![(query.id, 0)],
+        };
+        let nodes = vec![node(0, 0, &q0), node(1, 5, &q1)];
+        let epoch = Instant::now();
+        let queries = vec![q0, q1];
+        let handle = std::thread::spawn(move || run_shard(nodes, queries, routing, rx, epoch));
+        std::thread::sleep(Duration::from_millis(60));
+        tx.send(ShardMsg {
+            node: 0,
+            msg: EngineMsg::Shutdown,
+        })
+        .unwrap();
+        let reports = handle.join().expect("shard panicked");
+        let by_node: HashMap<usize, &NodeReport> = reports.iter().map(|(n, r)| (*n, r)).collect();
+        assert!(by_node[&0].ticks >= 1);
+        assert!(
+            by_node[&1].ticks >= 2,
+            "5 ms node starved by zero-interval shard-mate: {} ticks in 60 ms",
+            by_node[&1].ticks
+        );
+    }
+
+    #[test]
+    fn deadlines_fire_in_order() {
+        let base = Instant::now();
+        let mut heap: BinaryHeap<Deadline> = BinaryHeap::new();
+        // Push out of order, with a tie at 30 ms.
+        for (ms, local) in [(30u64, 2usize), (10, 0), (30, 1), (20, 3)] {
+            heap.push(Deadline {
+                at: base + Duration::from_millis(ms),
+                local,
+            });
+        }
+        let fired: Vec<(u64, usize)> = std::iter::from_fn(|| heap.pop())
+            .map(|d| (d.at.duration_since(base).as_millis() as u64, d.local))
+            .collect();
+        assert_eq!(fired, vec![(10, 0), (20, 3), (30, 1), (30, 2)]);
+    }
+}

@@ -12,7 +12,7 @@
 //! * [`query`] — query graphs, fragments, Table-1 templates, placement;
 //! * [`workloads`] — datasets, source models, scenario builder;
 //! * [`sim`] — deterministic discrete-event FSPS simulator;
-//! * [`engine`] — multi-threaded prototype engine;
+//! * [`engine`] — multi-threaded prototype engine (sharded worker pool);
 //! * [`baselines`] — §7.5 related-work baselines (FIT LP, log utility).
 //!
 //! ```
@@ -60,8 +60,8 @@ pub mod prelude {
     pub use themis_baselines::prelude::*;
     pub use themis_core::prelude::*;
     pub use themis_engine::prelude::{
-        run_engine, EngineConfig, EngineMsg, EngineReport, NodeReport, ResultEvent,
-        RoutedBatch as EngineRoutedBatch,
+        default_shards, run_engine, EngineConfig, EngineMsg, EngineReport, NodeReport, ResultEvent,
+        RoutedBatch as EngineRoutedBatch, ShardMsg,
     };
     pub use themis_operators::prelude::*;
     pub use themis_query::prelude::*;

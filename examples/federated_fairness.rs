@@ -39,6 +39,7 @@ fn main() {
             // sources offer ~ (4*4+2*20) sources * 200 t/s spread over two
             // nodes — heavy overload.
             synthetic_cost: TimeDelta::from_micros(400),
+            ..Default::default()
         };
         let report = run_engine(&build(3), cfg);
         println!(

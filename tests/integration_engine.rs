@@ -47,6 +47,7 @@ fn engine_sheds_under_synthetic_cost() {
     let cfg = EngineConfig {
         policy: PolicyKind::BalanceSic,
         synthetic_cost: TimeDelta::from_micros(2000),
+        ..Default::default()
     };
     let report = run_engine(&scenario(4, 400, 2), cfg);
     assert!(
@@ -89,6 +90,50 @@ fn engine_routes_multi_fragment_queries() {
     );
 }
 
+/// A scenario far beyond the old thread-per-node ceiling runs on a small
+/// bounded shard pool: 128 nodes on 4 shard threads, every node ticking
+/// its detector and every query emitting results.
+#[test]
+fn engine_scales_nodes_onto_bounded_shard_pool() {
+    let scn = ScenarioBuilder::new("engine-scale", 9)
+        .nodes(128)
+        .capacity_tps(1_000_000)
+        .duration(TimeDelta::from_millis(1500))
+        .warmup(TimeDelta::from_millis(600))
+        .stw_window(TimeDelta::from_secs(1))
+        .add_queries(
+            Template::Avg,
+            128,
+            SourceProfile {
+                tuples_per_sec: 20,
+                batches_per_sec: 4,
+                burst: Burstiness::Steady,
+                dataset: Dataset::Uniform,
+            },
+        )
+        .build()
+        .unwrap();
+    let report = run_engine(
+        &scn,
+        EngineConfig {
+            shards: Some(4),
+            ..Default::default()
+        },
+    );
+    assert_eq!(report.shards, 4);
+    assert_eq!(report.nodes.len(), 128);
+    assert!(
+        report.nodes.iter().all(|n| n.ticks > 0),
+        "a node never reached its shedding tick"
+    );
+    assert_eq!(
+        report.result_counts.len(),
+        128,
+        "all queries produced results: got {}",
+        report.result_counts.len()
+    );
+}
+
 /// The random-shedding engine also runs to completion (used by the §7.6
 /// overhead comparison).
 #[test]
@@ -96,6 +141,7 @@ fn engine_random_policy_runs() {
     let cfg = EngineConfig {
         policy: PolicyKind::Random,
         synthetic_cost: TimeDelta::from_micros(2000),
+        ..Default::default()
     };
     let report = run_engine(&scenario(4, 400, 4), cfg);
     assert_eq!(report.policy, "random");

@@ -92,6 +92,7 @@ fn every_policy_runs_in_the_engine() {
         let cfg = EngineConfig {
             policy: p,
             synthetic_cost: TimeDelta::from_micros(2000),
+            ..Default::default()
         };
         let report = run_engine(&engine_scenario(13), cfg);
         assert_eq!(report.policy, p.name());
