@@ -97,7 +97,7 @@ impl Allocation {
     }
 
     /// Jain's index over normalised log-output utilities
-    /// (`log(1+r) / log(1+input)`), the view §7.5 uses for [44].
+    /// (`log(1+r) / log(1+input)`), the view §7.5 uses for \[44\].
     pub fn jain_log_utilities(&self, problem: &AllocationProblem) -> f64 {
         let utils: Vec<f64> = self
             .rates

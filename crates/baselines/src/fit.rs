@@ -1,4 +1,4 @@
-//! The FIT-style baseline of §7.5 (Tatbul et al. [34]): distributed load
+//! The FIT-style baseline of §7.5 (Tatbul et al. \[34\]): distributed load
 //! shedding that maximises the *sum* of weighted query throughputs.
 //!
 //! The paper shows the resulting LP is "clearly not a fair solution": on a

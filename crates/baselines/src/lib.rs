@@ -2,10 +2,10 @@
 //!
 //! The related-work baselines of §7.5:
 //!
-//! * [`fit`] — FIT-style distributed load shedding (Tatbul et al. [34]):
+//! * [`fit`] — FIT-style distributed load shedding (Tatbul et al. \[34\]):
 //!   maximise the sum of weighted query throughputs, solved as an LP with
 //!   the in-repo [`simplex`] solver (the paper used GLPK);
-//! * [`utility`] — Zhao et al. [44]: maximise `Σ log(r_q)` of output rates
+//! * [`utility`] — Zhao et al. \[44\]: maximise `Σ log(r_q)` of output rates
 //!   (proportional fairness), solved by dual gradient (the paper used
 //!   Matlab);
 //! * [`allocation`] — the shared rate-allocation model plus the fairness

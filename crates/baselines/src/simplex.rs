@@ -1,6 +1,6 @@
 //! A small dense-LP simplex solver.
 //!
-//! §7.5 of the paper solves the FIT [34] throughput-maximisation problem
+//! §7.5 of the paper solves the FIT \[34\] throughput-maximisation problem
 //! with GLPK; this module is the in-repo substitute. It solves LPs in the
 //! canonical form
 //!

@@ -1,4 +1,4 @@
-//! The Zhao et al. [44] baseline of §7.5: maximise the *sum of concave
+//! The Zhao et al. \[44\] baseline of §7.5: maximise the *sum of concave
 //! utilities* `Σ log(r_q)` of query output rates under node capacity
 //! constraints (proportional fairness on rates).
 //!

@@ -1,0 +1,58 @@
+//! Criterion bench: the shedder hot loop and a join/aggregate pipeline,
+//! old row representation (`Vec<Tuple>`) vs the live columnar batch path.
+//!
+//! The same iterations back the `experiments batching` CLI run (which
+//! also writes `results/BENCH_batching.json`); this harness exists so the
+//! comparison is measurable via plain `cargo bench` too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use themis_bench::figures::batching::{
+    pipeline_iteration_batch, pipeline_iteration_row, shed_iteration_batch, shed_iteration_row,
+    BatchingScale,
+};
+
+fn bench_batching(c: &mut Criterion) {
+    let scale = BatchingScale::quick();
+    let label = format!(
+        "{}q x {}b x {}t",
+        scale.queries, scale.batches_per_query, scale.tuples_per_batch
+    );
+    let mut group = c.benchmark_group("batching_shedder");
+    group.bench_with_input(BenchmarkId::new("row", &label), &scale, |b, s| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(shed_iteration_row(s, seed))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("batch", &label), &scale, |b, s| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(shed_iteration_batch(s, seed))
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("batching_pipeline");
+    group.bench_with_input(BenchmarkId::new("row", &label), &scale, |b, s| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(pipeline_iteration_row(s, seed))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("batch", &label), &scale, |b, s| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(pipeline_iteration_batch(s, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

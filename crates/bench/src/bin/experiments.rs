@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!              fig13|fig14|related|overhead|ablation|dynamics|policies|
-//!              scale]
+//!              scale|batching]
 //!             [--quick] [--policy=<name>] [--nodes=<n>] [--shards=<k>]
 //!             [--secs=<s>]
 //! ```
@@ -18,10 +18,16 @@
 //! the process's peak thread count exceeds the sharded engine's
 //! `shards + 3` budget, which is what the CI smoke asserts — for that
 //! reason it only runs when named explicitly, never as part of `all`.
+//! `batching` races the pre-columnar row representation against the live
+//! `TupleBatch` path on the shedder hot loop and a join/aggregate
+//! pipeline, writes `results/BENCH_batching.json`, and (when named
+//! explicitly, like `scale`) exits non-zero if the batch path is not at
+//! least 2x faster on the shedder loop.
 //! Built to be run with `--release`.
 
 use std::time::Instant;
 
+use themis_bench::figures::batching::{self, BatchingScale};
 use themis_bench::figures::correlation::{correlation, render as render_corr, CorrelationQuery};
 use themis_bench::figures::fairness::{fig10, fig11, fig8, fig9, render as render_fair};
 use themis_bench::figures::overhead::{overhead, render as render_overhead};
@@ -38,7 +44,7 @@ const SEED: u64 = 20160626; // SIGMOD'16 started June 26.
 const RESULTS_DIR: &str = "results";
 const EXPERIMENTS: &[&str] = &[
     "all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "related", "overhead", "ablation", "policies", "dynamics", "scale",
+    "fig14", "related", "overhead", "ablation", "policies", "dynamics", "scale", "batching",
 ];
 
 fn emit(name: &str, table: TextTable) {
@@ -230,6 +236,44 @@ fn main() {
     if run("dynamics") {
         let (pts, arrive, depart) = dynamics::dynamics(&scale, SEED);
         emit("dynamics", dynamics::render(&pts, arrive, depart));
+    }
+    // Explicit-only (not part of `all`), like `scale`: a speedup smoke
+    // whose micro-benchmark timings (and the BENCH_batching.json
+    // trajectory artifact) would be polluted by a loaded machine mid-way
+    // through a full figure-regeneration run.
+    if what.contains(&"batching") {
+        let bscale = if quick {
+            BatchingScale::quick()
+        } else {
+            BatchingScale::default_scale()
+        };
+        let rows = batching::batching(&bscale);
+        emit("batching", batching::render(&rows));
+        let json = batching::to_json(&rows);
+        let json_path = format!("{RESULTS_DIR}/BENCH_batching.json");
+        if let Err(e) =
+            std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, &json))
+        {
+            eprintln!("(could not write {json_path}: {e})");
+        }
+        let shed = rows.iter().find(|r| r.stage == "shedder");
+        match shed {
+            Some(r) if r.speedup() >= 2.0 => {
+                eprintln!(
+                    "batching: shedder batch path {:.2}x faster (>= 2x)",
+                    r.speedup()
+                );
+            }
+            Some(r) => {
+                eprintln!(
+                    "FAIL: shedder batch path only {:.2}x faster than the row path \
+                     (expected >= 2x)",
+                    r.speedup()
+                );
+                std::process::exit(1);
+            }
+            None => unreachable!("batching always measures the shedder stage"),
+        }
     }
     // Explicit-only (not part of `all`): a CI smoke with a thread-budget
     // assertion that exits non-zero, not an evaluation figure — it must

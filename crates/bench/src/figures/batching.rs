@@ -1,0 +1,510 @@
+//! Row path vs. batch path on the hot loops: the columnar-batch
+//! micro-benchmark behind the `batching` experiment.
+//!
+//! The workspace's hot loops moved `Vec<Tuple>` until the columnar
+//! refactor: every tuple owned a heap-allocated `Vec<Value>` payload, so
+//! source batches cost one allocation per tuple, shedding spliced tuple
+//! vectors and window panes re-grouped owning tuples. This module keeps a
+//! faithful reimplementation of that **row path** and races it against
+//! the live **batch path** ([`TupleBatch`] columns + drop bitmap) on the
+//! two loops that dominate an overloaded node's tick:
+//!
+//! 1. **shedder hot loop** — build a source buffer, stamp Eq.-1 SIC,
+//!    snapshot per-query states, run `selectTuplesToKeep`, and move the
+//!    kept batches into the operator input (the pane append);
+//! 2. **join/aggregate pipeline** — push two keyed streams through a
+//!    tumbling window, equi-join the panes and average the join output.
+//!
+//! Reported numbers are mean ns per *arrived* tuple over the whole loop,
+//! so the ratio is exactly the per-tuple mechanism overhead THEMIS's
+//! shedding must keep negligible (§7.6 measures the same thing for the
+//! policy itself). Results are rendered as a table/CSV and exported as
+//! `results/BENCH_batching.json` so later PRs can track the trajectory.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hint::black_box;
+use std::time::Instant;
+
+use themis_core::prelude::*;
+
+use crate::table::{f2, TextTable};
+
+/// Sizing of one measured iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchingScale {
+    /// Queries competing in the shedder loop.
+    pub queries: usize,
+    /// Buffered batches per query.
+    pub batches_per_query: usize,
+    /// Tuples per batch.
+    pub tuples_per_batch: usize,
+    /// Timed iterations per path.
+    pub iters: usize,
+}
+
+impl BatchingScale {
+    /// The default shape: 16 queries x 8 batches x 64 tuples under 3x
+    /// overload, 60 timed iterations.
+    pub fn default_scale() -> Self {
+        BatchingScale {
+            queries: 16,
+            batches_per_query: 8,
+            tuples_per_batch: 64,
+            iters: 60,
+        }
+    }
+
+    /// Reduced shape for smoke runs (`--quick`).
+    pub fn quick() -> Self {
+        BatchingScale {
+            iters: 15,
+            ..Self::default_scale()
+        }
+    }
+
+    /// Tuples arriving per iteration.
+    pub fn total_tuples(&self) -> usize {
+        self.queries * self.batches_per_query * self.tuples_per_batch
+    }
+}
+
+/// One measured comparison: the same loop on both representations.
+#[derive(Debug, Clone)]
+pub struct BatchingRow {
+    /// Which hot loop was measured (`shedder` or `pipeline`).
+    pub stage: &'static str,
+    /// Mean ns per arrived tuple on the row (`Vec<Tuple>`) path.
+    pub row_ns_per_tuple: f64,
+    /// Mean ns per arrived tuple on the columnar batch path.
+    pub batch_ns_per_tuple: f64,
+}
+
+impl BatchingRow {
+    /// How many times faster the batch path is.
+    pub fn speedup(&self) -> f64 {
+        if self.batch_ns_per_tuple <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.row_ns_per_tuple / self.batch_ns_per_tuple
+        }
+    }
+}
+
+/// Tiny deterministic value generator (the bench must not depend on the
+/// workload RNG shapes).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_key(&mut self, n: i64) -> i64 {
+        (self.next_f64() * n as f64) as i64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shedder hot loop
+// ---------------------------------------------------------------------
+
+/// One row-path iteration: the seed's representation. Source batches are
+/// built as `Vec<Tuple>` (one `Vec<Value>` allocation per tuple), SIC is
+/// stamped through each tuple, the snapshot/decision run, and kept
+/// batches move tuple-by-tuple into a per-query pane.
+pub fn shed_iteration_row(scale: &BatchingScale, seed: u64) -> f64 {
+    let mut rng = Lcg(seed | 1);
+    let sic = Sic(1.0 / scale.total_tuples() as f64);
+    // Arrival: construct the buffer (per-tuple allocation).
+    let mut buffer: Vec<(QueryId, Vec<Tuple>)> = Vec::new();
+    for q in 0..scale.queries {
+        for b in 0..scale.batches_per_query {
+            let ts = Timestamp((q * scale.batches_per_query + b) as u64 * 100);
+            let tuples: Vec<Tuple> = (0..scale.tuples_per_batch)
+                .map(|_| Tuple::measurement(ts, Sic::ZERO, rng.next_f64() * 100.0))
+                .collect();
+            buffer.push((QueryId(q as u32), tuples));
+        }
+    }
+    // Eq.-1 stamping: write every tuple's SIC through its row.
+    for (_, tuples) in &mut buffer {
+        for t in tuples.iter_mut() {
+            t.sic = sic;
+        }
+    }
+    // Snapshot per query.
+    let mut states: Vec<QueryBufferState> = (0..scale.queries)
+        .map(|q| QueryBufferState {
+            query: QueryId(q as u32),
+            base_sic: Sic::ZERO,
+            batches: Vec::new(),
+        })
+        .collect();
+    for (idx, (q, tuples)) in buffer.iter().enumerate() {
+        let batch_sic: Sic = tuples.iter().map(|t| t.sic).sum();
+        states[q.index()].batches.push(CandidateBatch {
+            buffer_index: idx,
+            sic: batch_sic,
+            tuples: tuples.len(),
+            created: tuples.first().map(|t| t.ts).unwrap_or(Timestamp::ZERO),
+        });
+    }
+    // Decide under 3x overload.
+    let mut shedder = BalanceSicShedder::new(seed);
+    let decision = shedder.select_to_keep(scale.total_tuples() / 3, &states);
+    let mut keep = decision.keep;
+    keep.sort_unstable();
+    // Apply: splice the kept tuples into per-query panes.
+    let mut panes: Vec<Vec<Tuple>> = vec![Vec::new(); scale.queries];
+    let mut keep_iter = keep.into_iter().peekable();
+    for (idx, (q, tuples)) in buffer.into_iter().enumerate() {
+        if keep_iter.peek() == Some(&idx) {
+            keep_iter.next();
+            panes[q.index()].extend(tuples);
+        }
+    }
+    // Operator read: one pass over each pane's kept rows.
+    let mut acc = 0.0;
+    for pane in &panes {
+        acc += pane.iter().map(|t| t.values[0].as_f64()).sum::<f64>();
+    }
+    acc
+}
+
+/// One batch-path iteration: identical workload and policy on the
+/// columnar representation. Building appends to column arenas, stamping
+/// fills the SIC column, shedding marks the decision bitmap and kept
+/// batches append as contiguous column copies.
+pub fn shed_iteration_batch(scale: &BatchingScale, seed: u64) -> f64 {
+    let mut rng = Lcg(seed | 1);
+    let sic = Sic(1.0 / scale.total_tuples() as f64);
+    let mut buffer: Vec<(QueryId, TupleBatch)> = Vec::new();
+    for q in 0..scale.queries {
+        for b in 0..scale.batches_per_query {
+            let ts = Timestamp((q * scale.batches_per_query + b) as u64 * 100);
+            let mut batch = TupleBatch::with_capacity(1, scale.tuples_per_batch);
+            for _ in 0..scale.tuples_per_batch {
+                batch.push_row(ts, Sic::ZERO, &[Value::F64(rng.next_f64() * 100.0)]);
+            }
+            buffer.push((QueryId(q as u32), batch));
+        }
+    }
+    for (_, batch) in &mut buffer {
+        batch.set_uniform_sic(sic);
+    }
+    let mut states: Vec<QueryBufferState> = (0..scale.queries)
+        .map(|q| QueryBufferState {
+            query: QueryId(q as u32),
+            base_sic: Sic::ZERO,
+            batches: Vec::new(),
+        })
+        .collect();
+    for (idx, (q, batch)) in buffer.iter().enumerate() {
+        states[q.index()].batches.push(CandidateBatch {
+            buffer_index: idx,
+            sic: batch.sic_total(),
+            tuples: batch.len(),
+            created: if batch.rows() > 0 {
+                batch.row(0).ts
+            } else {
+                Timestamp::ZERO
+            },
+        });
+    }
+    let mut shedder = BalanceSicShedder::new(seed);
+    let decision = shedder.select_to_keep(scale.total_tuples() / 3, &states);
+    let shed = decision.shed_bitmap(buffer.len());
+    let mut panes: Vec<TupleBatch> = vec![TupleBatch::new(); scale.queries];
+    for (idx, (q, batch)) in buffer.into_iter().enumerate() {
+        if !shed.is_dropped(idx) {
+            panes[q.index()].append_batch(&batch);
+        }
+    }
+    let mut acc = 0.0;
+    for pane in &panes {
+        acc += pane.column_f64(0).sum::<f64>();
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// Join/aggregate pipeline
+// ---------------------------------------------------------------------
+
+const PIPELINE_WINDOWS: u64 = 8;
+const PIPELINE_KEYS: i64 = 256;
+
+fn pipeline_ts(i: usize, total: usize) -> Timestamp {
+    // Spread the stream uniformly over the windows.
+    Timestamp(((i as u64) * PIPELINE_WINDOWS * 1_000_000) / total.max(1) as u64)
+}
+
+/// One row-path pipeline iteration, mirroring the seed operators: build
+/// two keyed streams as `Vec<Tuple>`, group them into tumbling panes of
+/// owning tuples, hash-join each pane pair (stamping Eq.-3 output tuples
+/// exactly as the old `WindowedOperator::drain` did), clone the emission
+/// to the downstream operator (the seed runtime cloned per downstream
+/// edge), re-window it there and average each pane.
+pub fn pipeline_iteration_row(scale: &BatchingScale, seed: u64) -> f64 {
+    let mut rng = Lcg(seed | 1);
+    let total = scale.total_tuples() / 2;
+    let sic = Sic(1.0 / total.max(1) as f64);
+    let mk_stream = |rng: &mut Lcg| -> Vec<Tuple> {
+        (0..total)
+            .map(|i| {
+                Tuple::new(
+                    pipeline_ts(i, total),
+                    sic,
+                    vec![
+                        Value::I64(rng.next_key(PIPELINE_KEYS)),
+                        Value::F64(rng.next_f64() * 100.0),
+                    ],
+                )
+            })
+            .collect()
+    };
+    let left = mk_stream(&mut rng);
+    let right = mk_stream(&mut rng);
+    // Join op, tumbling 1 s window: group owning tuples per pane and port.
+    let mut panes: BTreeMap<u64, (Vec<Tuple>, Vec<Tuple>)> = BTreeMap::new();
+    for t in left {
+        panes
+            .entry(t.ts.as_micros() / 1_000_000)
+            .or_default()
+            .0
+            .push(t);
+    }
+    for t in right {
+        panes
+            .entry(t.ts.as_micros() / 1_000_000)
+            .or_default()
+            .1
+            .push(t);
+    }
+    let mut avg_panes: BTreeMap<u64, Vec<Tuple>> = BTreeMap::new();
+    for (idx, (l, r)) in panes {
+        let input_sic: Sic = l.iter().chain(r.iter()).map(|t| t.sic).sum();
+        let at = Timestamp((idx + 1) * 1_000_000 - 1);
+        // Hash equi-join on field 0, concatenating rows.
+        let mut index: HashMap<i64, Vec<&Tuple>> = HashMap::new();
+        for t in &r {
+            index.entry(t.values[0].as_i64()).or_default().push(t);
+        }
+        let mut rows: Vec<Row> = Vec::new();
+        for t in &l {
+            if let Some(matches) = index.get(&t.values[0].as_i64()) {
+                for m in matches {
+                    let mut row = t.values.clone();
+                    row.extend(m.values.iter().copied());
+                    rows.push(row);
+                }
+            }
+        }
+        if rows.is_empty() {
+            continue;
+        }
+        // Eq. 3: spread the pane's mass over the join output tuples.
+        let share = Sic::derived_tuple(input_sic, rows.len());
+        let emission: Vec<Tuple> = rows
+            .into_iter()
+            .map(|row| Tuple::new(at, share, row))
+            .collect();
+        // Downstream hand-off: the seed runtime cloned the emission per
+        // downstream edge (one tuple-vector clone = one allocation per
+        // tuple), then the AVG window re-grouped the clones.
+        for t in emission.clone() {
+            avg_panes
+                .entry(t.ts.as_micros() / 1_000_000)
+                .or_default()
+                .push(t);
+        }
+    }
+    let mut acc = 0.0;
+    for (_, pane) in avg_panes {
+        let sum: f64 = pane.iter().map(|t| t.values[3].as_f64()).sum();
+        acc += sum / pane.len() as f64;
+    }
+    acc
+}
+
+/// One batch-path pipeline iteration: the same streams built as columnar
+/// batches and pushed through the *live* operator stack
+/// ([`WindowedOperator`](themis_operators::op::WindowedOperator) join
+/// feeding an AVG).
+pub fn pipeline_iteration_batch(scale: &BatchingScale, seed: u64) -> f64 {
+    use themis_operators::prelude::*;
+
+    let mut rng = Lcg(seed | 1);
+    let total = scale.total_tuples() / 2;
+    let sic = Sic(1.0 / total.max(1) as f64);
+    let mk_stream = |rng: &mut Lcg| -> TupleBatch {
+        let mut batch = TupleBatch::with_capacity(2, total);
+        for i in 0..total {
+            batch.push_row(
+                pipeline_ts(i, total),
+                sic,
+                &[
+                    Value::I64(rng.next_key(PIPELINE_KEYS)),
+                    Value::F64(rng.next_f64() * 100.0),
+                ],
+            );
+        }
+        batch
+    };
+    let left = mk_stream(&mut rng);
+    let right = mk_stream(&mut rng);
+    let mut join = OperatorSpec::with_grace(
+        WindowSpec::tumbling(TimeDelta::from_secs(1)),
+        LogicSpec::Join {
+            left_key: 0,
+            right_key: 0,
+        },
+        TimeDelta::ZERO,
+    )
+    .build();
+    let mut avg = OperatorSpec::with_grace(
+        WindowSpec::tumbling(TimeDelta::from_secs(1)),
+        LogicSpec::Avg { field: 3 },
+        TimeDelta::ZERO,
+    )
+    .build();
+    let end = Timestamp::from_secs(PIPELINE_WINDOWS + 1);
+    join.feed(0, left, end);
+    join.feed(1, right, end);
+    let mut acc = 0.0;
+    for e in join.tick(end) {
+        // Downstream hand-off mirrors the live fragment runtime: a
+        // columnar clone (three column memcpys, not one allocation per
+        // tuple) feeds the AVG operator's window.
+        for out in avg.push(0, e.batch().clone(), e.at) {
+            acc += out.batch().row(0).f64(0);
+        }
+    }
+    for out in avg.tick(Timestamp::from_secs(PIPELINE_WINDOWS + 10)) {
+        acc += out.batch().row(0).f64(0);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+/// Times `iteration` over `iters` runs (plus warm-up) and returns mean
+/// ns per arrived tuple.
+fn measure(scale: &BatchingScale, tuples: usize, mut iteration: impl FnMut(u64) -> f64) -> f64 {
+    for s in 0..scale.iters.div_ceil(5).max(2) {
+        black_box(iteration(s as u64));
+    }
+    let t0 = Instant::now();
+    for s in 0..scale.iters {
+        black_box(iteration(s as u64));
+    }
+    t0.elapsed().as_nanos() as f64 / (scale.iters.max(1) * tuples.max(1)) as f64
+}
+
+/// Runs both stages on both paths.
+pub fn batching(scale: &BatchingScale) -> Vec<BatchingRow> {
+    let total = scale.total_tuples();
+    let shed = BatchingRow {
+        stage: "shedder",
+        row_ns_per_tuple: measure(scale, total, |s| shed_iteration_row(scale, s)),
+        batch_ns_per_tuple: measure(scale, total, |s| shed_iteration_batch(scale, s)),
+    };
+    let pipeline_tuples = (total / 2) * 2; // both ports arrive
+    let pipeline = BatchingRow {
+        stage: "pipeline",
+        row_ns_per_tuple: measure(scale, pipeline_tuples, |s| pipeline_iteration_row(scale, s)),
+        batch_ns_per_tuple: measure(scale, pipeline_tuples, |s| {
+            pipeline_iteration_batch(scale, s)
+        }),
+    };
+    vec![shed, pipeline]
+}
+
+/// Renders the comparison.
+pub fn render(rows: &[BatchingRow]) -> TextTable {
+    let mut t = TextTable::new(
+        "Columnar batches: row path vs batch path (ns/tuple)",
+        &["stage", "row-ns", "batch-ns", "speedup"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.stage.to_string(),
+            f2(r.row_ns_per_tuple),
+            f2(r.batch_ns_per_tuple),
+            f2(r.speedup()),
+        ]);
+    }
+    t
+}
+
+/// Serialises the rows as the `BENCH_batching.json` artefact.
+pub fn to_json(rows: &[BatchingRow]) -> String {
+    let mut s = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  \"{}\": {{ \"row_ns_per_tuple\": {:.2}, \"batch_ns_per_tuple\": {:.2}, \
+             \"speedup\": {:.2} }}{}\n",
+            r.stage,
+            r.row_ns_per_tuple,
+            r.batch_ns_per_tuple,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BatchingScale {
+        BatchingScale {
+            queries: 3,
+            batches_per_query: 2,
+            tuples_per_batch: 8,
+            iters: 2,
+        }
+    }
+
+    #[test]
+    fn both_shed_paths_read_the_same_kept_mass() {
+        // Same workload, same policy seed: both representations must keep
+        // the same tuples, so the consumed value sums agree exactly.
+        let s = tiny();
+        assert_eq!(shed_iteration_row(&s, 7), shed_iteration_batch(&s, 7));
+    }
+
+    #[test]
+    fn both_pipeline_paths_compute_the_same_aggregates() {
+        let s = tiny();
+        let row = pipeline_iteration_row(&s, 11);
+        let batch = pipeline_iteration_batch(&s, 11);
+        assert!(
+            (row - batch).abs() < 1e-6 * row.abs().max(1.0),
+            "row {row} vs batch {batch}"
+        );
+    }
+
+    #[test]
+    fn measurement_produces_rows() {
+        let rows = batching(&tiny());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.row_ns_per_tuple > 0.0);
+            assert!(r.batch_ns_per_tuple > 0.0);
+        }
+        let json = to_json(&rows);
+        assert!(json.contains("\"shedder\""));
+        assert!(json.contains("\"pipeline\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

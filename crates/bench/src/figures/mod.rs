@@ -3,6 +3,7 @@
 //! Criterion benches and the integration tests share one implementation.
 
 pub mod ablation;
+pub mod batching;
 pub mod correlation;
 pub mod dynamics;
 pub mod fairness;

@@ -1,5 +1,5 @@
-//! §7.5 — comparison against related work: the FIT throughput LP [34] and
-//! the Zhao log-utility allocation [44], against BALANCE-SIC.
+//! §7.5 — comparison against related work: the FIT throughput LP \[34\] and
+//! the Zhao log-utility allocation \[44\], against BALANCE-SIC.
 
 use themis_baselines::prelude::*;
 use themis_core::prelude::*;

@@ -1,0 +1,557 @@
+//! Columnar tuple batches — the allocation-free hot-path representation.
+//!
+//! The seed moved `Vec<Tuple>` through every hot loop: each [`Tuple`]
+//! owns a heap-allocated `Vec<Value>` payload, so building a source
+//! batch costs one allocation per tuple, shedding spliced tuple vectors,
+//! and every window pane re-allocated the tuples it grouped. THEMIS's
+//! premise is that fair shedding only pays off while the *mechanism*
+//! stays negligible, so the enforcement path must not pay a per-tuple
+//! allocator round-trip.
+//!
+//! [`TupleBatch`] stores the same data column-wise:
+//!
+//! * a contiguous **timestamp column** (`τ` of the §3 data model),
+//! * a contiguous **SIC column** shared by the shedder and the Eq.-3
+//!   propagation (the per-tuple SIC tags of §4),
+//! * one contiguous **value arena** holding the fixed-width payload rows
+//!   back to back ([`Value`] is `Copy`, so appends are `memcpy`s),
+//! * a [`DropBitmap`] marking shed rows, so dropping tuples flips bits
+//!   instead of splicing vectors.
+//!
+//! Row views are provided by [`TupleRef`] (a borrowed `(τ, SIC, V)`
+//! triple) and [`TupleBatch::iter`]; the edges of the system — sources
+//! building batches, reports materialising result rows — can still
+//! convert from and to `Vec<Tuple>` via [`TupleBatch::from_tuples`] and
+//! [`TupleBatch::into_tuples`].
+
+use crate::sic::Sic;
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A bitmap over batch rows; a set bit means the row has been dropped
+/// (shed). Bits are allocated lazily: a batch that never sheds carries an
+/// empty bitmap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DropBitmap {
+    words: Vec<u64>,
+    dropped: usize,
+}
+
+impl DropBitmap {
+    /// An empty bitmap: every row is live.
+    pub fn new() -> Self {
+        DropBitmap::default()
+    }
+
+    /// Marks row `i` dropped; returns `true` when the bit was newly set.
+    pub fn drop_row(&mut self, i: usize) -> bool {
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let newly = self.words[word] & bit == 0;
+        if newly {
+            self.words[word] |= bit;
+            self.dropped += 1;
+        }
+        newly
+    }
+
+    /// True when row `i` has been dropped.
+    #[inline]
+    pub fn is_dropped(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .map(|w| w & (1u64 << (i % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Number of dropped rows.
+    #[inline]
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Resets the bitmap: every row is live again.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.dropped = 0;
+    }
+}
+
+/// A borrowed row view: the `(τ, SIC, V)` triple of one tuple without
+/// materialising an owning [`Tuple`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TupleRef<'a> {
+    /// Logical timestamp of the tuple.
+    pub ts: Timestamp,
+    /// SIC mass carried by the tuple.
+    pub sic: Sic,
+    /// Payload fields (a slice into the batch's value arena).
+    pub values: &'a [Value],
+}
+
+impl TupleRef<'_> {
+    /// Numeric view of field `i` (panics if out of range).
+    #[inline]
+    pub fn f64(&self, i: usize) -> f64 {
+        self.values[i].as_f64()
+    }
+
+    /// Integer view of field `i` (panics if out of range).
+    #[inline]
+    pub fn i64(&self, i: usize) -> i64 {
+        self.values[i].as_i64()
+    }
+
+    /// Field `i`, if present.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<Value> {
+        self.values.get(i).copied()
+    }
+
+    /// Materialises an owning [`Tuple`] (edge/report use only — this is
+    /// the per-tuple allocation the batch representation avoids).
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::new(self.ts, self.sic, self.values.to_vec())
+    }
+}
+
+/// A columnar batch of tuples: contiguous timestamp/SIC columns, one
+/// fixed-width value arena, and a [`DropBitmap`] for shed rows.
+///
+/// The first row pushed into an empty batch fixes the payload width;
+/// later rows are padded with `Value::F64(0.0)` or truncated to fit (the
+/// same semantics as the row path's `values.get(i).unwrap_or(0.0)`
+/// reads). All pipelines in this workspace move uniform-schema batches,
+/// so the pad/truncate path is a safety net, not a steady state.
+///
+/// ```
+/// use themis_core::prelude::*;
+///
+/// let mut batch = TupleBatch::with_capacity(1, 3);
+/// for (ms, v) in [(10u64, 1.0), (20, 2.0), (30, 3.0)] {
+///     batch.push_row(Timestamp::from_millis(ms), Sic(0.1), &[Value::F64(v)]);
+/// }
+/// // Shedding marks a bit — no rows move.
+/// batch.drop_row(1);
+/// assert_eq!(batch.rows(), 3);
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.column_f64(0).sum::<f64>(), 4.0);
+/// assert!((batch.sic_total().value() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TupleBatch {
+    width: usize,
+    ts: Vec<Timestamp>,
+    sic: Vec<Sic>,
+    values: Vec<Value>,
+    drops: DropBitmap,
+}
+
+impl TupleBatch {
+    /// An empty batch; the first pushed row decides the payload width.
+    pub fn new() -> Self {
+        TupleBatch::default()
+    }
+
+    /// An empty batch with a fixed payload `width` and room for `rows`.
+    pub fn with_capacity(width: usize, rows: usize) -> Self {
+        TupleBatch {
+            width,
+            ts: Vec::with_capacity(rows),
+            sic: Vec::with_capacity(rows),
+            values: Vec::with_capacity(rows * width),
+            drops: DropBitmap::new(),
+        }
+    }
+
+    /// Builds a batch from owning tuples (the source/report edge).
+    pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
+        let width = tuples.first().map(|t| t.values.len()).unwrap_or(0);
+        let mut b = TupleBatch::with_capacity(width, tuples.len());
+        for t in &tuples {
+            b.push_row(t.ts, t.sic, &t.values);
+        }
+        b
+    }
+
+    /// Payload fields per row (0 until the first row is pushed).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Physical rows, dropped ones included.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Live (not dropped) rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ts.len() - self.drops.dropped()
+    }
+
+    /// True when no live rows remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one row, adopting its width if the batch is empty.
+    #[inline]
+    pub fn push_row(&mut self, ts: Timestamp, sic: Sic, values: &[Value]) {
+        self.ts.push(ts);
+        self.sic.push(sic);
+        if values.len() == self.width {
+            // Fast path: uniform schema, one contiguous copy.
+            self.values.extend_from_slice(values);
+        } else {
+            self.push_values_slow(values);
+        }
+    }
+
+    /// Width adoption / pad / truncate for non-uniform rows (cold).
+    fn push_values_slow(&mut self, values: &[Value]) {
+        if self.ts.len() == 1 && self.width == 0 {
+            self.width = values.len();
+            self.values.extend_from_slice(values);
+            return;
+        }
+        let take = values.len().min(self.width);
+        self.values.extend_from_slice(&values[..take]);
+        for _ in take..self.width {
+            self.values.push(Value::F64(0.0));
+        }
+    }
+
+    /// Appends an owning tuple's row.
+    #[inline]
+    pub fn push_tuple(&mut self, t: &Tuple) {
+        self.push_row(t.ts, t.sic, &t.values);
+    }
+
+    /// Borrowed view of physical row `i` (dropped rows included; check
+    /// [`TupleBatch::is_live`] when iterating manually).
+    #[inline]
+    pub fn row(&self, i: usize) -> TupleRef<'_> {
+        TupleRef {
+            ts: self.ts[i],
+            sic: self.sic[i],
+            values: &self.values[i * self.width..(i + 1) * self.width],
+        }
+    }
+
+    /// True when physical row `i` has not been dropped.
+    #[inline]
+    pub fn is_live(&self, i: usize) -> bool {
+        !self.drops.is_dropped(i)
+    }
+
+    /// Marks physical row `i` dropped (shed); returns `true` when the row
+    /// was live before. This is the shedder's O(1) alternative to
+    /// splicing a `Vec<Tuple>`.
+    #[inline]
+    pub fn drop_row(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.ts.len());
+        self.drops.drop_row(i)
+    }
+
+    /// Marks every row dropped (a whole-batch shed).
+    pub fn drop_all(&mut self) {
+        for i in 0..self.ts.len() {
+            self.drops.drop_row(i);
+        }
+    }
+
+    /// The drop bitmap.
+    #[inline]
+    pub fn drops(&self) -> &DropBitmap {
+        &self.drops
+    }
+
+    /// Iterates the live rows in physical order. Batches without drops
+    /// (the common case) skip the bitmap test entirely.
+    pub fn iter(&self) -> impl Iterator<Item = TupleRef<'_>> + Clone {
+        let all_live = self.drops.dropped() == 0;
+        (0..self.ts.len())
+            .filter(move |&i| all_live || self.is_live(i))
+            .map(move |i| self.row(i))
+    }
+
+    /// Streams the numeric view of one payload column over the live rows
+    /// (missing fields read as 0, matching the row path's
+    /// `values.get(i)` semantics). This is the aggregate read path: a
+    /// strided walk over the contiguous value arena.
+    pub fn column_f64(&self, field: usize) -> impl Iterator<Item = f64> + '_ {
+        let all_live = self.drops.dropped() == 0;
+        let width = self.width;
+        (0..self.ts.len())
+            .filter(move |&i| all_live || self.is_live(i))
+            .map(move |i| {
+                if field < width {
+                    self.values[i * width + field].as_f64()
+                } else {
+                    0.0
+                }
+            })
+    }
+
+    /// Sum of the live rows' SIC column.
+    pub fn sic_total(&self) -> Sic {
+        if self.drops.dropped() == 0 {
+            self.sic.iter().copied().sum()
+        } else {
+            (0..self.sic.len())
+                .filter(|&i| self.is_live(i))
+                .map(|i| self.sic[i])
+                .sum()
+        }
+    }
+
+    /// Overwrites the SIC column of every live row (the STW assigner's
+    /// per-slide re-stamping, §6 "SIC maintenance").
+    pub fn set_uniform_sic(&mut self, sic: Sic) {
+        if self.drops.dropped() == 0 {
+            self.sic.fill(sic);
+        } else {
+            for i in 0..self.sic.len() {
+                if self.is_live(i) {
+                    self.sic[i] = sic;
+                }
+            }
+        }
+    }
+
+    /// Latest live timestamp, or `Timestamp::ZERO` when empty. A plain
+    /// walk of the timestamp column when nothing has been dropped.
+    pub fn max_ts(&self) -> Timestamp {
+        if self.drops.dropped() == 0 {
+            self.ts.iter().copied().max().unwrap_or(Timestamp::ZERO)
+        } else {
+            (0..self.ts.len())
+                .filter(|&i| self.is_live(i))
+                .map(|i| self.ts[i])
+                .max()
+                .unwrap_or(Timestamp::ZERO)
+        }
+    }
+
+    /// Appends `other`'s live rows. When both batches share a width and
+    /// `other` has no drops this is three contiguous column copies — the
+    /// batch path's replacement for per-tuple moves.
+    pub fn append_batch(&mut self, other: &TupleBatch) {
+        if other.ts.is_empty() {
+            return;
+        }
+        if self.ts.is_empty() && self.width == 0 {
+            self.width = other.width;
+        }
+        if self.width == other.width && other.drops.dropped() == 0 {
+            self.ts.extend_from_slice(&other.ts);
+            self.sic.extend_from_slice(&other.sic);
+            self.values.extend_from_slice(&other.values);
+        } else {
+            for r in other.iter() {
+                self.push_row(r.ts, r.sic, r.values);
+            }
+        }
+    }
+
+    /// Splits off and returns the first `n` physical rows, leaving the
+    /// rest in place. Only valid on batches without drops (count-window
+    /// pending buffers never shed).
+    pub fn split_front(&mut self, n: usize) -> TupleBatch {
+        debug_assert_eq!(self.drops.dropped(), 0, "split_front on a shed batch");
+        let n = n.min(self.ts.len());
+        let tail_ts = self.ts.split_off(n);
+        let tail_sic = self.sic.split_off(n);
+        let tail_values = self.values.split_off(n * self.width);
+        TupleBatch {
+            width: self.width,
+            ts: std::mem::replace(&mut self.ts, tail_ts),
+            sic: std::mem::replace(&mut self.sic, tail_sic),
+            values: std::mem::replace(&mut self.values, tail_values),
+            drops: DropBitmap::new(),
+        }
+    }
+
+    /// Materialises the live rows as owning tuples (edge/report use).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.iter().map(|r| r.to_tuple()).collect()
+    }
+
+    /// Consumes the batch, materialising the live rows (edge/report use).
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.to_tuples()
+    }
+
+    /// Materialises the live rows' payloads (result reporting).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        self.iter().map(|r| r.values.to_vec()).collect()
+    }
+}
+
+impl From<Vec<Tuple>> for TupleBatch {
+    fn from(tuples: Vec<Tuple>) -> Self {
+        TupleBatch::from_tuples(tuples)
+    }
+}
+
+impl<'a> IntoIterator for &'a TupleBatch {
+    type Item = TupleRef<'a>;
+    type IntoIter = Box<dyn Iterator<Item = TupleRef<'a>> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl FromIterator<Tuple> for TupleBatch {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        let mut b = TupleBatch::new();
+        for t in iter {
+            b.push_tuple(&t);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ts: u64, sic: f64, v: f64) -> Tuple {
+        Tuple::measurement(Timestamp(ts), Sic(sic), v)
+    }
+
+    #[test]
+    fn columns_round_trip_tuples() {
+        let tuples = vec![t(1, 0.1, 10.0), t(2, 0.2, 20.0), t(3, 0.3, 30.0)];
+        let b = TupleBatch::from_tuples(tuples.clone());
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.width(), 1);
+        assert_eq!(b.to_tuples(), tuples);
+        assert!((b.sic_total().value() - 0.6).abs() < 1e-12);
+        assert_eq!(b.max_ts(), Timestamp(3));
+    }
+
+    #[test]
+    fn drop_marks_bits_without_moving_rows() {
+        let mut b = TupleBatch::from_tuples(vec![t(1, 0.1, 1.0), t(2, 0.2, 2.0), t(3, 0.3, 3.0)]);
+        assert!(b.drop_row(1));
+        assert!(!b.drop_row(1), "double drop is idempotent");
+        assert_eq!(b.rows(), 3, "physical rows untouched");
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_live(1));
+        let live: Vec<f64> = b.iter().map(|r| r.f64(0)).collect();
+        assert_eq!(live, vec![1.0, 3.0]);
+        assert!((b.sic_total().value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_all_empties_the_batch() {
+        let mut b = TupleBatch::from_tuples(vec![t(1, 0.1, 1.0), t(2, 0.1, 2.0)]);
+        b.drop_all();
+        assert!(b.is_empty());
+        assert_eq!(b.iter().count(), 0);
+        assert_eq!(b.sic_total(), Sic::ZERO);
+    }
+
+    #[test]
+    fn uniform_sic_restamps_live_rows_only() {
+        let mut b = TupleBatch::from_tuples(vec![t(1, 0.0, 1.0), t(2, 0.0, 2.0), t(3, 0.0, 3.0)]);
+        b.drop_row(0);
+        b.set_uniform_sic(Sic(0.25));
+        assert!((b.sic_total().value() - 0.5).abs() < 1e-12);
+        assert_eq!(b.row(0).sic, Sic::ZERO, "dropped row untouched");
+    }
+
+    #[test]
+    fn append_batch_is_contiguous_and_skips_drops() {
+        let mut a = TupleBatch::from_tuples(vec![t(1, 0.1, 1.0)]);
+        let mut other = TupleBatch::from_tuples(vec![t(2, 0.2, 2.0), t(3, 0.3, 3.0)]);
+        other.drop_row(0);
+        a.append_batch(&other);
+        assert_eq!(a.len(), 2);
+        let vals: Vec<f64> = a.iter().map(|r| r.f64(0)).collect();
+        assert_eq!(vals, vec![1.0, 3.0]);
+        // Fast path: no drops, same width.
+        let c = TupleBatch::from_tuples(vec![t(4, 0.4, 4.0)]);
+        a.append_batch(&c);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn split_front_keeps_remainder() {
+        let mut b = TupleBatch::from_tuples(vec![t(1, 0.1, 1.0), t(2, 0.1, 2.0), t(3, 0.1, 3.0)]);
+        let front = b.split_front(2);
+        assert_eq!(front.len(), 2);
+        assert_eq!(front.row(1).f64(0), 2.0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.row(0).f64(0), 3.0);
+    }
+
+    #[test]
+    fn ragged_rows_pad_and_truncate() {
+        let mut b = TupleBatch::new();
+        b.push_row(Timestamp(0), Sic(0.1), &[Value::I64(1), Value::F64(2.0)]);
+        b.push_row(Timestamp(1), Sic(0.1), &[Value::I64(9)]);
+        b.push_row(
+            Timestamp(2),
+            Sic(0.1),
+            &[Value::I64(3), Value::F64(4.0), Value::Bool(true)],
+        );
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.row(1).f64(1), 0.0, "short row padded with 0.0");
+        assert_eq!(b.row(2).values.len(), 2, "long row truncated");
+    }
+
+    #[test]
+    fn empty_batch_behaviour() {
+        let b = TupleBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.rows(), 0);
+        assert_eq!(b.sic_total(), Sic::ZERO);
+        assert_eq!(b.max_ts(), Timestamp::ZERO);
+        assert!(b.to_tuples().is_empty());
+    }
+
+    #[test]
+    fn bitmap_grows_lazily() {
+        let mut bm = DropBitmap::new();
+        assert!(!bm.is_dropped(1000));
+        assert!(bm.drop_row(130));
+        assert!(bm.is_dropped(130));
+        assert!(!bm.is_dropped(129));
+        assert_eq!(bm.dropped(), 1);
+        bm.clear();
+        assert!(!bm.is_dropped(130));
+        assert_eq!(bm.dropped(), 0);
+    }
+
+    #[test]
+    fn column_f64_strides_live_rows() {
+        let mut b = TupleBatch::new();
+        b.push_row(Timestamp(0), Sic(0.1), &[Value::I64(1), Value::F64(10.0)]);
+        b.push_row(Timestamp(1), Sic(0.1), &[Value::I64(2), Value::F64(20.0)]);
+        b.push_row(Timestamp(2), Sic(0.1), &[Value::I64(3), Value::F64(30.0)]);
+        assert_eq!(b.column_f64(1).sum::<f64>(), 60.0);
+        b.drop_row(1);
+        assert_eq!(b.column_f64(1).sum::<f64>(), 40.0);
+        // Out-of-range fields read as 0 (row-path `get` semantics).
+        assert_eq!(b.column_f64(9).sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let b: TupleBatch = (0..4).map(|i| t(i, 0.1, i as f64)).collect();
+        assert_eq!(b.len(), 4);
+        let sum: f64 = (&b).into_iter().map(|r| r.f64(0)).sum();
+        assert_eq!(sum, 6.0);
+    }
+}

@@ -11,7 +11,11 @@
 //! * the supporting machinery of the THEMIS prototype: online capacity
 //!   estimation ([`capacity`]), the per-query coordinator disseminating
 //!   result SIC values ([`coordinator`]), and the fairness / result-quality
-//!   metrics used throughout the evaluation ([`fairness`], [`metrics`]).
+//!   metrics used throughout the evaluation ([`fairness`], [`metrics`]);
+//! * the **columnar hot-path representation** ([`batch`]): tuple batches
+//!   stored as contiguous timestamp/SIC/value columns with a drop bitmap,
+//!   so shedding marks bits and window panes copy columns instead of
+//!   re-allocating per tuple.
 //!
 //! Everything in this crate is pure and deterministic: no I/O, no threads,
 //! no wall-clock time. The [`themis-sim`](../themis_sim/index.html) and
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod capacity;
 pub mod coordinator;
 pub mod fairness;
@@ -54,6 +59,7 @@ pub mod value;
 
 /// Convenience re-exports of the most used types.
 pub mod prelude {
+    pub use crate::batch::{DropBitmap, TupleBatch, TupleRef};
     pub use crate::capacity::{CostModel, OverloadDetector};
     pub use crate::coordinator::{QueryCoordinator, SicTable, SicUpdate};
     pub use crate::fairness::{jain_index, jain_index_sic, FairnessSummary};

@@ -27,7 +27,7 @@ pub fn mean_absolute_error(perfect: &[f64], degraded: &[f64]) -> f64 {
     sum / n as f64
 }
 
-/// Normalised Kendall distance between two top-k lists (Fagin et al. [18],
+/// Normalised Kendall distance between two top-k lists (Fagin et al. \[18\],
 /// used for the TOP-5 correlation in §7.1).
 ///
 /// Counts pairwise disagreements over the union of elements — both inverted

@@ -30,6 +30,7 @@ pub use policy::{ParsePolicyError, PolicyKind};
 pub use random::RandomShedder;
 pub use variants::{FifoShedder, PriorityShedder};
 
+use crate::batch::DropBitmap;
 use crate::ids::QueryId;
 use crate::sic::Sic;
 use crate::time::Timestamp;
@@ -108,6 +109,25 @@ impl ShedDecision {
             shed_tuples,
             shed_batches,
         }
+    }
+
+    /// Renders the decision as a [`DropBitmap`] over the `n_batches`
+    /// input-buffer slots: shed batches have their bit set. Node hot loops
+    /// test bits instead of scanning a sorted keep list, and whole-batch
+    /// sheds become bitmap marks rather than `Vec<Tuple>` splices.
+    pub fn shed_bitmap(&self, n_batches: usize) -> DropBitmap {
+        let mut keep = self.keep.clone();
+        keep.sort_unstable();
+        let mut bm = DropBitmap::new();
+        let mut it = keep.into_iter().peekable();
+        for i in 0..n_batches {
+            if it.peek() == Some(&i) {
+                it.next();
+            } else {
+                bm.drop_row(i);
+            }
+        }
+        bm
     }
 }
 
@@ -253,6 +273,22 @@ mod tests {
         assert_eq!(d.kept_tuples, 20);
         assert_eq!(d.shed_tuples, 10);
         assert_eq!(d.shed_batches, 1);
+    }
+
+    #[test]
+    fn shed_bitmap_inverts_keep_set() {
+        let d = ShedDecision {
+            keep: vec![4, 0, 2],
+            ..Default::default()
+        };
+        let bm = d.shed_bitmap(5);
+        assert_eq!(bm.dropped(), 2);
+        for i in [0usize, 2, 4] {
+            assert!(!bm.is_dropped(i), "kept batch {i} marked shed");
+        }
+        for i in [1usize, 3] {
+            assert!(bm.is_dropped(i), "shed batch {i} not marked");
+        }
     }
 
     #[test]

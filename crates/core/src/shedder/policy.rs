@@ -16,6 +16,30 @@ use super::variants::{FifoShedder, PriorityShedder};
 use super::Shedder;
 
 /// Which tuple shedder a node runs (Algorithm 1 or a baseline).
+///
+/// Canonical names round-trip through [`PolicyKind::name`] and
+/// [`FromStr`] for all six registered policies:
+///
+/// ```
+/// use themis_core::shedder::PolicyKind;
+///
+/// for policy in PolicyKind::ALL {
+///     assert_eq!(policy.name().parse::<PolicyKind>(), Ok(policy));
+/// }
+/// // The six canonical names, in registry order:
+/// let names: Vec<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+/// assert_eq!(
+///     names,
+///     [
+///         "balance-sic",
+///         "random",
+///         "fifo",
+///         "priority",
+///         "balance-sic(lowest-first)",
+///         "balance-sic(fifo-order)",
+///     ]
+/// );
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// The paper's BALANCE-SIC fair shedder (Algorithm 1).

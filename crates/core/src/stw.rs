@@ -386,7 +386,7 @@ mod tests {
             assigner.stamp(Timestamp::from_millis(ts), &mut last);
         }
         let expected = Sic::source_tuple(40, 2);
-        let got = last.tuples()[0].sic;
+        let got = last.iter().next().unwrap().sic;
         assert!(
             (got.value() - expected.value()).abs() / expected.value() < 0.15,
             "got {got}, expected {expected}"

@@ -4,13 +4,26 @@
 //! Operators that emit several tuples atomically group them into a *batch*
 //! with a single header carrying the query id, the aggregate SIC value and a
 //! creation timestamp; the tuple shedder admits or discards whole batches.
+//!
+//! Since the columnar refactor, a [`Batch`] is a [`BatchHeader`] plus a
+//! [`TupleBatch`]: the payload lives in
+//! contiguous timestamp/SIC/value columns rather than a `Vec<Tuple>`, so
+//! moving a batch through the shedder and into operator windows never
+//! touches the allocator per tuple. The owning [`Tuple`] struct remains
+//! the edge representation (source construction, result reporting,
+//! tests).
 
+use crate::batch::{TupleBatch, TupleRef};
 use crate::ids::{QueryId, SourceId};
 use crate::sic::Sic;
 use crate::time::Timestamp;
 use crate::value::Row;
 
 /// One stream tuple: `(τ, SIC, V)` per the paper's data model.
+///
+/// This is the *owning* row representation used at the edges; hot paths
+/// move [`TupleBatch`] columns and borrow rows as
+/// [`TupleRef`]s instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tuple {
     /// Logical timestamp of generation (by a source or by an operator).
@@ -63,25 +76,30 @@ pub struct BatchHeader {
     pub source: Option<SourceId>,
 }
 
-/// A sequence of tuples moved and shed as a unit.
+/// A sequence of tuples moved and shed as a unit: a [`BatchHeader`] over a
+/// columnar [`TupleBatch`] payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Batch {
     header: BatchHeader,
-    tuples: Vec<Tuple>,
+    data: TupleBatch,
 }
 
 impl Batch {
     /// Builds a batch, computing the header SIC as the sum of tuple SICs.
     pub fn new(query: QueryId, created: Timestamp, tuples: Vec<Tuple>) -> Self {
-        let sic = tuples.iter().map(|t| t.sic).sum();
+        Batch::from_data(query, created, TupleBatch::from_tuples(tuples))
+    }
+
+    /// Builds a batch directly over columnar data (no per-tuple work).
+    pub fn from_data(query: QueryId, created: Timestamp, data: TupleBatch) -> Self {
         Batch {
             header: BatchHeader {
                 query,
-                sic,
+                sic: data.sic_total(),
                 created,
                 source: None,
             },
-            tuples,
+            data,
         }
     }
 
@@ -127,37 +145,48 @@ impl Batch {
         self.header.source
     }
 
-    /// The tuples in the batch.
+    /// The columnar payload.
     #[inline]
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    pub fn data(&self) -> &TupleBatch {
+        &self.data
     }
 
-    /// Number of tuples in the batch; the shedder counts capacity in tuples.
+    /// Consumes the batch, returning the columnar payload (the hot-path
+    /// hand-off into operator windows — a move, not a copy).
+    #[inline]
+    pub fn into_data(self) -> TupleBatch {
+        self.data
+    }
+
+    /// Iterates the live rows as borrowed `(τ, SIC, V)` views.
+    pub fn iter(&self) -> impl Iterator<Item = TupleRef<'_>> + Clone {
+        self.data.iter()
+    }
+
+    /// Number of live tuples; the shedder counts capacity in tuples.
     #[inline]
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.data.len()
     }
 
-    /// True when the batch carries no tuples.
+    /// True when the batch carries no live tuples.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.data.is_empty()
     }
 
-    /// Consumes the batch, returning its tuples.
+    /// Materialises the live rows as owning tuples (edge/test use).
     pub fn into_tuples(self) -> Vec<Tuple> {
-        self.tuples
+        self.data.into_tuples()
     }
 
     /// Re-stamps the SIC values of all tuples uniformly so the batch carries
     /// `per_tuple` SIC each; used when the STW assigner re-evaluates source
-    /// rates per slide (§6 "SIC maintenance").
+    /// rates per slide (§6 "SIC maintenance"). On the columnar payload this
+    /// is one contiguous fill of the SIC column.
     pub fn assign_uniform_sic(&mut self, per_tuple: Sic) {
-        for t in &mut self.tuples {
-            t.sic = per_tuple;
-        }
-        self.header.sic = Sic(per_tuple.value() * self.tuples.len() as f64);
+        self.data.set_uniform_sic(per_tuple);
+        self.header.sic = Sic(per_tuple.value() * self.data.len() as f64);
     }
 
     /// Size in bytes of the wire header as implemented in the paper's
@@ -204,7 +233,7 @@ mod tests {
         assert_eq!(b.sic(), Sic::ZERO);
         b.assign_uniform_sic(Sic(0.05));
         assert!((b.sic().value() - 0.1).abs() < 1e-12);
-        assert!(b.tuples().iter().all(|t| t.sic == Sic(0.05)));
+        assert!(b.iter().all(|t| t.sic == Sic(0.05)));
     }
 
     #[test]
@@ -219,5 +248,13 @@ mod tests {
         let b = Batch::new(QueryId(0), Timestamp(0), vec![]);
         assert!(b.is_empty());
         assert_eq!(b.sic(), Sic::ZERO);
+    }
+
+    #[test]
+    fn columnar_round_trip_preserves_rows() {
+        let tuples = vec![t(1, 0.1, 1.0), t(2, 0.2, 2.0)];
+        let b = Batch::new(QueryId(0), Timestamp(2), tuples.clone());
+        assert_eq!(b.data().width(), 1);
+        assert_eq!(b.into_tuples(), tuples);
     }
 }

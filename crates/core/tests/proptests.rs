@@ -190,6 +190,106 @@ proptest! {
         prop_assert!((acc.total() - expect).abs() < 1e-9, "{} vs {}", acc.total(), expect);
     }
 
+    /// Shedding through the batch bitmap drops exactly the same tuple set
+    /// as the row path, for every registered policy: snapshots built from
+    /// columnar batches equal snapshots built from tuple rows, two
+    /// same-seeded shedders reach the same decision on them, and applying
+    /// that decision by marking the drop bitmap keeps the same tuples (in
+    /// the same order) as splicing kept `Vec<Tuple>`s.
+    #[test]
+    fn bitmap_shedding_matches_row_path_for_all_policies(
+        batches in prop::collection::vec(
+            (0u32..4, 1usize..12, 1e-6f64..0.05),
+            1..24,
+        ),
+        cap in 0usize..200,
+        seed in 0u64..500,
+    ) {
+        // One workload, two representations.
+        let rows: Vec<(QueryId, Vec<Tuple>)> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, n, sic))| {
+                let tuples: Vec<Tuple> = (0..n)
+                    .map(|k| {
+                        Tuple::measurement(
+                            Timestamp((i * 100 + k) as u64),
+                            Sic(sic),
+                            (i * 1000 + k) as f64,
+                        )
+                    })
+                    .collect();
+                (QueryId(q), tuples)
+            })
+            .collect();
+        let columnar: Vec<Batch> = rows
+            .iter()
+            .map(|(q, tuples)| Batch::new(*q, tuples[0].ts, tuples.clone()))
+            .collect();
+
+        // Row-path snapshot: per-tuple iteration.
+        let mut by_query: std::collections::BTreeMap<QueryId, Vec<CandidateBatch>> =
+            std::collections::BTreeMap::new();
+        for (idx, (q, tuples)) in rows.iter().enumerate() {
+            by_query.entry(*q).or_default().push(CandidateBatch {
+                buffer_index: idx,
+                sic: tuples.iter().map(|t| t.sic).sum(),
+                tuples: tuples.len(),
+                created: tuples[0].ts,
+            });
+        }
+        let row_states: Vec<QueryBufferState> = by_query
+            .into_iter()
+            .map(|(query, batches)| QueryBufferState {
+                query,
+                base_sic: Sic::ZERO,
+                batches,
+            })
+            .collect();
+        // Batch-path snapshot: header reads.
+        let batch_states = build_buffer_states(&columnar, |_| Sic::ZERO);
+
+        for policy in PolicyKind::ALL {
+            let d_row = policy.build(seed).select_to_keep(cap, &row_states);
+            let d_batch = policy.build(seed).select_to_keep(cap, &batch_states);
+            prop_assert_eq!(
+                &d_row.keep, &d_batch.keep,
+                "{}: decisions diverged across representations", policy.name()
+            );
+
+            // Row path: splice the kept tuples out of the buffer.
+            let kept: std::collections::HashSet<usize> = d_row.keep.iter().copied().collect();
+            let row_kept: Vec<Tuple> = rows
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| kept.contains(idx))
+                .flat_map(|(_, (_, tuples))| tuples.clone())
+                .collect();
+
+            // Batch path: mark shed batches in the bitmap, then read what
+            // is still live.
+            let shed = d_batch.shed_bitmap(columnar.len());
+            let mut marked = columnar.clone();
+            for (idx, b) in marked.iter_mut().enumerate() {
+                if shed.is_dropped(idx) {
+                    // Whole-batch shed: flip the rows' bits.
+                    let mut data = b.clone().into_data();
+                    data.drop_all();
+                    *b = Batch::from_data(b.query(), b.created(), data);
+                }
+            }
+            let batch_kept: Vec<Tuple> = marked
+                .iter()
+                .flat_map(|b| b.iter().map(|r| r.to_tuple()))
+                .collect();
+
+            prop_assert_eq!(
+                &row_kept, &batch_kept,
+                "{}: bitmap kept a different tuple set", policy.name()
+            );
+        }
+    }
+
     /// Cost-model capacity estimates are always positive and respond
     /// monotonically to the per-tuple cost.
     #[test]

@@ -164,7 +164,9 @@ impl NodeState {
         let c = self.detector.threshold(&self.cost_model);
         let buffered: usize = self.buffer.iter().map(|rb| rb.batch.len()).sum();
 
-        let keep: Vec<usize> = if buffered > c {
+        // The decision is applied as a bitmap over buffer slots: shed
+        // batches are bit-marked, kept batches move their columns onward.
+        let shed = if buffered > c {
             self.report.shed_invocations += 1;
             let states = snapshot(&self.buffer, &self.sic_table);
             let shed_start = Instant::now();
@@ -174,22 +176,17 @@ impl NodeState {
             self.report.kept_tuples += decision.kept_tuples as u64;
             self.report.shed_tuples += decision.shed_tuples as u64;
             self.report.shed_batches += decision.shed_batches as u64;
-            let mut keep = decision.keep;
-            keep.sort_unstable();
-            keep
+            decision.shed_bitmap(self.buffer.len())
         } else {
             self.report.kept_tuples += buffered as u64;
-            (0..self.buffer.len()).collect()
+            DropBitmap::new()
         };
 
         let busy_start = Instant::now();
         let mut kept_tuples = 0u64;
         let drained = std::mem::take(&mut self.buffer);
-        let mut keep_iter = keep.into_iter().peekable();
         for (idx, rb) in drained.into_iter().enumerate() {
-            if keep_iter.peek() == Some(&idx) {
-                keep_iter.next();
-            } else {
+            if shed.is_dropped(idx) {
                 continue;
             }
             kept_tuples += rb.batch.len() as u64;
@@ -198,7 +195,7 @@ impl NodeState {
             }
             if let Some(rt) = self.runtimes.get_mut(&(rb.query, rb.fragment)) {
                 let (q, f) = (rb.query, rb.fragment);
-                let emissions = rt.ingest(rb.ingress, rb.batch.into_tuples(), now_ts);
+                let emissions = rt.ingest(rb.ingress, rb.batch.into_data(), now_ts);
                 routing.route(q, f, emissions);
             }
         }

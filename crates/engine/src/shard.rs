@@ -46,11 +46,14 @@ impl ShardRouting {
         for e in emissions {
             match self.downstream.get(&(query, fragment)) {
                 Some(&(node, df)) => {
+                    let at = e.at;
                     let rb = RoutedBatch {
                         query,
                         fragment: df,
                         ingress: Ingress::Upstream(fragment),
-                        batch: Batch::new(query, e.at, e.tuples),
+                        // Wrap the emission's columns directly — no
+                        // per-tuple re-materialisation between fragments.
+                        batch: Batch::from_data(query, at, e.into_batch()),
                     };
                     // A closed peer means shutdown is racing; dropping the
                     // batch is equivalent to shedding it.
@@ -64,7 +67,8 @@ impl ShardRouting {
                         query,
                         at: e.at,
                         sic: e.sic(),
-                        rows: e.tuples.into_iter().map(|t| t.values).collect(),
+                        // Result rows materialise at the reporting edge.
+                        rows: e.batch().to_rows(),
                     });
                 }
             }

@@ -11,6 +11,11 @@
 //! * [`op`] — [`op::WindowedOperator`], the executable combination that
 //!   handles SIC propagation.
 //!
+//! Operators move columnar [`TupleBatch`](themis_core::batch::TupleBatch)es:
+//! window panes slice batch columns, logic reads borrowed row views, and
+//! emissions are assembled as fresh column batches — no per-tuple
+//! allocation anywhere on the path.
+//!
 //! ```
 //! use themis_operators::prelude::*;
 //! use themis_core::prelude::*;
@@ -23,8 +28,9 @@
 //! avg.push(0, vec![Tuple::measurement(Timestamp(0), Sic(0.5), 10.0)], Timestamp(0));
 //! // Windows close `grace` after their end (default 500 ms).
 //! let out = avg.tick(Timestamp::from_millis(1500));
-//! assert_eq!(out[0].tuples[0].f64(0), 10.0);
-//! assert_eq!(out[0].tuples[0].sic, Sic(0.5)); // Eq. 3
+//! let result = out[0].batch().row(0);
+//! assert_eq!(result.f64(0), 10.0);
+//! assert_eq!(result.sic, Sic(0.5)); // Eq. 3
 //! ```
 
 #![warn(missing_docs)]

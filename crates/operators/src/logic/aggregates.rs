@@ -2,21 +2,20 @@
 //! the partial/merge pair used by incremental multi-fragment trees
 //! (the AVG-all workload of Table 1). Aggregates collapse the pane, so they
 //! return no per-row timestamps — the operator wrapper stamps outputs with
-//! the pane's window timestamp.
+//! the pane's window timestamp. All aggregates stream over the panes'
+//! contiguous value columns without materialising rows.
 
 use themis_core::prelude::*;
 
 use super::filter::Predicate;
 use super::{OutRow, PaneLogic};
 
-fn values<'a>(panes: &'a [&[Tuple]], field: usize) -> impl Iterator<Item = f64> + 'a {
-    panes
-        .iter()
-        .flat_map(|p| p.iter())
-        .map(move |t| t.values.get(field).map(|v| v.as_f64()).unwrap_or(0.0))
+fn values<'a>(panes: &'a [&TupleBatch], field: usize) -> impl Iterator<Item = f64> + 'a {
+    // Strided column walk over each pane's contiguous value arena.
+    panes.iter().flat_map(move |p| p.column_f64(field))
 }
 
-fn is_empty(panes: &[&[Tuple]]) -> bool {
+fn is_empty(panes: &[&TupleBatch]) -> bool {
     panes.iter().all(|p| p.is_empty())
 }
 
@@ -34,7 +33,7 @@ impl AvgLogic {
 }
 
 impl PaneLogic for AvgLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         if is_empty(panes) {
             return Vec::new();
         }
@@ -66,7 +65,7 @@ impl PartialAvgLogic {
 }
 
 impl PaneLogic for PartialAvgLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         if is_empty(panes) {
             return Vec::new();
         }
@@ -88,11 +87,11 @@ impl PaneLogic for PartialAvgLogic {
 pub struct MergeAvgLogic;
 
 impl PaneLogic for MergeAvgLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         let (mut sum, mut n) = (0.0, 0i64);
         for t in panes.iter().flat_map(|p| p.iter()) {
-            sum += t.values.first().map(|v| v.as_f64()).unwrap_or(0.0);
-            n += t.values.get(1).map(|v| v.as_i64()).unwrap_or(0);
+            sum += t.get(0).map(|v| v.as_f64()).unwrap_or(0.0);
+            n += t.get(1).map(|v| v.as_i64()).unwrap_or(0);
         }
         if n == 0 {
             return Vec::new();
@@ -119,7 +118,7 @@ impl SumLogic {
 }
 
 impl PaneLogic for SumLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         if is_empty(panes) {
             return Vec::new();
         }
@@ -147,14 +146,14 @@ impl CountLogic {
 }
 
 impl PaneLogic for CountLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         if is_empty(panes) {
             return Vec::new();
         }
         let n = panes
             .iter()
             .flat_map(|p| p.iter())
-            .filter(|t| self.predicate.map(|p| p.eval(t)).unwrap_or(true))
+            .filter(|t| self.predicate.map(|p| p.eval(t.values)).unwrap_or(true))
             .count();
         vec![(None, vec![Value::I64(n as i64)])]
     }
@@ -178,7 +177,7 @@ impl MaxLogic {
 }
 
 impl PaneLogic for MaxLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         values(panes, self.field)
             .fold(None, |acc: Option<f64>, v| {
                 Some(acc.map_or(v, |a| a.max(v)))
@@ -206,7 +205,7 @@ impl MinLogic {
 }
 
 impl PaneLogic for MinLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         values(panes, self.field)
             .fold(None, |acc: Option<f64>, v| {
                 Some(acc.map_or(v, |a| a.min(v)))
@@ -225,7 +224,7 @@ mod tests {
     use super::super::filter::CmpOp;
     use super::*;
 
-    fn pane(vals: &[f64]) -> Vec<Tuple> {
+    fn pane(vals: &[f64]) -> TupleBatch {
         vals.iter()
             .map(|&v| Tuple::measurement(Timestamp(0), Sic(0.1), v))
             .collect()
@@ -245,7 +244,7 @@ mod tests {
 
     #[test]
     fn avg_empty_emits_nothing() {
-        assert!(AvgLogic::new(0).apply(&[&[][..]]).is_empty());
+        assert!(AvgLogic::new(0).apply(&[&TupleBatch::new()]).is_empty());
     }
 
     #[test]
@@ -254,11 +253,10 @@ mod tests {
         let p2 = pane(&[40.0]);
         let r1 = PartialAvgLogic::new(0).apply(&[&p1]);
         let r2 = PartialAvgLogic::new(0).apply(&[&p2]);
-        let partials: Vec<Tuple> = [r1, r2]
-            .into_iter()
-            .flatten()
-            .map(|(_, row)| Tuple::new(Timestamp(0), Sic(0.1), row))
-            .collect();
+        let mut partials = TupleBatch::new();
+        for (_, row) in [r1, r2].into_iter().flatten() {
+            partials.push_row(Timestamp(0), Sic(0.1), &row);
+        }
         let merged = MergeAvgLogic.apply(&[&partials]);
         let avg = merged[0].1[0].as_f64();
         assert!((avg - 70.0 / 3.0).abs() < 1e-12);
@@ -266,7 +264,7 @@ mod tests {
 
     #[test]
     fn merge_avg_with_zero_count_emits_nothing() {
-        assert!(MergeAvgLogic.apply(&[&[][..]]).is_empty());
+        assert!(MergeAvgLogic.apply(&[&TupleBatch::new()]).is_empty());
     }
 
     #[test]
@@ -307,7 +305,7 @@ mod tests {
             rows(MinLogic::new(0).apply(&[&p])),
             vec![vec![Value::F64(-1.0)]]
         );
-        assert!(MaxLogic::new(0).apply(&[&[][..]]).is_empty());
+        assert!(MaxLogic::new(0).apply(&[&TupleBatch::new()]).is_empty());
     }
 
     #[test]
@@ -316,5 +314,13 @@ mod tests {
         let p1 = pane(&[3.0]);
         let out = AvgLogic::new(0).apply(&[&p0, &p1]);
         assert_eq!(rows(out), vec![vec![Value::F64(2.0)]]);
+    }
+
+    #[test]
+    fn dropped_rows_are_ignored() {
+        let mut p = pane(&[10.0, 1000.0, 30.0]);
+        p.drop_row(1);
+        let out = AvgLogic::new(0).apply(&[&p]);
+        assert_eq!(rows(out), vec![vec![Value::F64(20.0)]]);
     }
 }

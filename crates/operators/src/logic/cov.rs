@@ -22,19 +22,21 @@ impl CovLogic {
 }
 
 impl PaneLogic for CovLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
-        let xs = panes.first().copied().unwrap_or(&[]);
-        let ys = panes.get(1).copied().unwrap_or(&[]);
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
+        let (Some(&px), Some(&py)) = (panes.first(), panes.get(1)) else {
+            return Vec::new();
+        };
+        let xs: Vec<f64> = px.column_f64(self.field).collect();
+        let ys: Vec<f64> = py.column_f64(self.field).collect();
         let n = xs.len().min(ys.len());
         if n < 2 {
             return Vec::new();
         }
-        let get = |t: &Tuple| t.values.get(self.field).map(|v| v.as_f64()).unwrap_or(0.0);
-        let mx = xs[..n].iter().map(get).sum::<f64>() / n as f64;
-        let my = ys[..n].iter().map(get).sum::<f64>() / n as f64;
+        let mx = xs[..n].iter().sum::<f64>() / n as f64;
+        let my = ys[..n].iter().sum::<f64>() / n as f64;
         let mut acc = 0.0;
         for i in 0..n {
-            acc += (get(&xs[i]) - mx) * (get(&ys[i]) - my);
+            acc += (xs[i] - mx) * (ys[i] - my);
         }
         vec![(None, vec![Value::F64(acc / (n as f64 - 1.0))])]
     }
@@ -48,7 +50,7 @@ impl PaneLogic for CovLogic {
 mod tests {
     use super::*;
 
-    fn pane(vals: &[f64]) -> Vec<Tuple> {
+    fn pane(vals: &[f64]) -> TupleBatch {
         vals.iter()
             .map(|&v| Tuple::measurement(Timestamp(0), Sic(0.1), v))
             .collect()

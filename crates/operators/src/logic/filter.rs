@@ -38,9 +38,10 @@ impl Predicate {
         Predicate { field, op, value }
     }
 
-    /// Evaluates the predicate against a tuple.
-    pub fn eval(&self, t: &Tuple) -> bool {
-        let v = t.values.get(self.field).map(|v| v.as_f64()).unwrap_or(0.0);
+    /// Evaluates the predicate against one payload row (a missing field
+    /// reads as 0).
+    pub fn eval(&self, values: &[Value]) -> bool {
+        let v = values.get(self.field).map(|v| v.as_f64()).unwrap_or(0.0);
         match self.op {
             CmpOp::Gt => v > self.value,
             CmpOp::Ge => v >= self.value,
@@ -57,10 +58,10 @@ impl Predicate {
 pub struct IdentityLogic;
 
 impl PaneLogic for IdentityLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         panes
             .iter()
-            .flat_map(|p| p.iter().map(|t| (Some(t.ts), t.values.clone())))
+            .flat_map(|p| p.iter().map(|t| (Some(t.ts), t.values.to_vec())))
             .collect()
     }
 
@@ -85,12 +86,12 @@ impl FilterLogic {
 }
 
 impl PaneLogic for FilterLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         panes
             .iter()
             .flat_map(|p| p.iter())
-            .filter(|t| self.predicate.eval(t))
-            .map(|t| (Some(t.ts), t.values.clone()))
+            .filter(|t| self.predicate.eval(t.values))
+            .map(|t| (Some(t.ts), t.values.to_vec()))
             .collect()
     }
 
@@ -113,7 +114,7 @@ impl ProjectLogic {
 }
 
 impl PaneLogic for ProjectLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         panes
             .iter()
             .flat_map(|p| p.iter())
@@ -121,7 +122,7 @@ impl PaneLogic for ProjectLogic {
                 let row = self
                     .fields
                     .iter()
-                    .map(|&f| t.values.get(f).copied().unwrap_or(Value::F64(0.0)))
+                    .map(|&f| t.get(f).unwrap_or(Value::F64(0.0)))
                     .collect();
                 (Some(t.ts), row)
             })
@@ -141,21 +142,25 @@ mod tests {
         Tuple::measurement(Timestamp(7), Sic(0.1), v)
     }
 
+    fn batch(vals: &[f64]) -> TupleBatch {
+        vals.iter().map(|&v| t(v)).collect()
+    }
+
     #[test]
     fn predicate_ops() {
         let x = t(50.0);
-        assert!(Predicate::new(0, CmpOp::Ge, 50.0).eval(&x));
-        assert!(!Predicate::new(0, CmpOp::Gt, 50.0).eval(&x));
-        assert!(Predicate::new(0, CmpOp::Le, 50.0).eval(&x));
-        assert!(!Predicate::new(0, CmpOp::Lt, 50.0).eval(&x));
-        assert!(Predicate::new(0, CmpOp::Eq, 50.0).eval(&x));
+        assert!(Predicate::new(0, CmpOp::Ge, 50.0).eval(&x.values));
+        assert!(!Predicate::new(0, CmpOp::Gt, 50.0).eval(&x.values));
+        assert!(Predicate::new(0, CmpOp::Le, 50.0).eval(&x.values));
+        assert!(!Predicate::new(0, CmpOp::Lt, 50.0).eval(&x.values));
+        assert!(Predicate::new(0, CmpOp::Eq, 50.0).eval(&x.values));
         // Missing field reads as 0.
-        assert!(Predicate::new(7, CmpOp::Lt, 1.0).eval(&x));
+        assert!(Predicate::new(7, CmpOp::Lt, 1.0).eval(&x.values));
     }
 
     #[test]
     fn identity_passes_all_preserving_ts() {
-        let tuples = vec![t(1.0), t(2.0)];
+        let tuples = batch(&[1.0, 2.0]);
         let mut id = IdentityLogic;
         let out = id.apply(&[&tuples]);
         assert_eq!(out.len(), 2);
@@ -165,7 +170,7 @@ mod tests {
 
     #[test]
     fn filter_selects_matching() {
-        let tuples = vec![t(10.0), t(60.0), t(55.0)];
+        let tuples = batch(&[10.0, 60.0, 55.0]);
         let mut f = FilterLogic::new(Predicate::new(0, CmpOp::Ge, 50.0));
         let out = f.apply(&[&tuples]);
         assert_eq!(out.len(), 2);
@@ -174,7 +179,7 @@ mod tests {
 
     #[test]
     fn filter_can_drop_everything() {
-        let tuples = vec![t(1.0)];
+        let tuples = batch(&[1.0]);
         let mut f = FilterLogic::new(Predicate::new(0, CmpOp::Gt, 100.0));
         assert!(f.apply(&[&tuples]).is_empty());
     }
@@ -182,8 +187,9 @@ mod tests {
     #[test]
     fn project_reorders_fields() {
         let tuple = Tuple::new(Timestamp(0), Sic(0.1), vec![Value::I64(7), Value::F64(3.5)]);
+        let b = TupleBatch::from_tuples(vec![tuple]);
         let mut p = ProjectLogic::new(vec![1, 0]);
-        let out = p.apply(&[&[tuple][..]]);
+        let out = p.apply(&[&b]);
         assert_eq!(out[0].1, vec![Value::F64(3.5), Value::I64(7)]);
     }
 }

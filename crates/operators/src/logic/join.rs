@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use themis_core::batch::TupleRef;
 use themis_core::prelude::*;
 
 use super::{OutRow, PaneLogic};
@@ -10,7 +11,8 @@ use super::{OutRow, PaneLogic};
 /// Hash equi-join of the two input ports on integer key fields. For every
 /// matching pair the output row is the left row concatenated with the right
 /// row. The pane pair is processed atomically, so Eq. 3 spreads the combined
-/// SIC mass of both panes over the join results.
+/// SIC mass of both panes over the join results. The build/probe sides read
+/// borrowed row views straight out of the pane columns.
 #[derive(Debug)]
 pub struct JoinLogic {
     left_key: usize,
@@ -28,26 +30,24 @@ impl JoinLogic {
 }
 
 impl PaneLogic for JoinLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
-        let left = panes.first().copied().unwrap_or(&[]);
-        let right = panes.get(1).copied().unwrap_or(&[]);
-        // Build side: the smaller pane.
-        let mut index: HashMap<i64, Vec<&Tuple>> = HashMap::new();
-        for t in right {
-            let k = t
-                .values
-                .get(self.right_key)
-                .map(|v| v.as_i64())
-                .unwrap_or(0);
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
+        // A missing port cannot produce matches.
+        let (Some(&left), Some(&right)) = (panes.first(), panes.get(1)) else {
+            return Vec::new();
+        };
+        // Build side: the right pane, indexed by key.
+        let mut index: HashMap<i64, Vec<TupleRef<'_>>> = HashMap::new();
+        for t in right.iter() {
+            let k = t.get(self.right_key).map(|v| v.as_i64()).unwrap_or(0);
             index.entry(k).or_default().push(t);
         }
         let mut out = Vec::new();
-        for l in left {
-            let k = l.values.get(self.left_key).map(|v| v.as_i64()).unwrap_or(0);
+        for l in left.iter() {
+            let k = l.get(self.left_key).map(|v| v.as_i64()).unwrap_or(0);
             if let Some(matches) = index.get(&k) {
                 for r in matches {
-                    let mut row = l.values.clone();
-                    row.extend(r.values.iter().copied());
+                    let mut row = l.values.to_vec();
+                    row.extend_from_slice(r.values);
                     out.push((None, row));
                 }
             }
@@ -68,10 +68,14 @@ mod tests {
         Tuple::new(Timestamp(0), Sic(0.1), vec![Value::I64(id), Value::F64(v)])
     }
 
+    fn batch(rows: &[(i64, f64)]) -> TupleBatch {
+        rows.iter().map(|&(id, v)| row(id, v)).collect()
+    }
+
     #[test]
     fn joins_matching_keys() {
-        let left = vec![row(1, 0.5), row(2, 0.7)];
-        let right = vec![row(2, 100.0), row(3, 200.0)];
+        let left = batch(&[(1, 0.5), (2, 0.7)]);
+        let right = batch(&[(2, 100.0), (3, 200.0)]);
         let out = JoinLogic::new(0, 0).apply(&[&left, &right]);
         assert_eq!(out.len(), 1);
         assert_eq!(
@@ -87,17 +91,18 @@ mod tests {
 
     #[test]
     fn join_produces_cross_product_per_key() {
-        let left = vec![row(1, 0.1), row(1, 0.2)];
-        let right = vec![row(1, 10.0), row(1, 20.0)];
+        let left = batch(&[(1, 0.1), (1, 0.2)]);
+        let right = batch(&[(1, 10.0), (1, 20.0)]);
         let out = JoinLogic::new(0, 0).apply(&[&left, &right]);
         assert_eq!(out.len(), 4);
     }
 
     #[test]
     fn empty_sides_join_to_nothing() {
-        let left = vec![row(1, 0.1)];
-        assert!(JoinLogic::new(0, 0).apply(&[&left, &[][..]]).is_empty());
-        assert!(JoinLogic::new(0, 0).apply(&[&[][..], &left]).is_empty());
+        let left = batch(&[(1, 0.1)]);
+        let empty = TupleBatch::new();
+        assert!(JoinLogic::new(0, 0).apply(&[&left, &empty]).is_empty());
+        assert!(JoinLogic::new(0, 0).apply(&[&empty, &left]).is_empty());
         assert!(JoinLogic::new(0, 0).apply(&[]).is_empty());
     }
 }

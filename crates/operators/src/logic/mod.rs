@@ -31,10 +31,12 @@ use themis_core::prelude::*;
 pub type OutRow = (Option<Timestamp>, Row);
 
 /// Black-box operator logic: maps one pane's atomic input groups to output
-/// rows. `panes[p]` holds the tuples of input port `p`.
+/// rows. `panes[p]` holds the columnar tuple batch of input port `p`;
+/// implementations read rows through borrowed [`TupleRef`] views, never
+/// materialising owning tuples.
 pub trait PaneLogic: Send {
     /// Computes the output rows of one atomic processing step.
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow>;
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow>;
 
     /// Display name for diagnostics.
     fn name(&self) -> &'static str;

@@ -29,15 +29,11 @@ impl TopKLogic {
 }
 
 impl PaneLogic for TopKLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         let mut best: HashMap<i64, f64> = HashMap::new();
         for t in panes.iter().flat_map(|p| p.iter()) {
-            let id = t.values.get(self.id_field).map(|v| v.as_i64()).unwrap_or(0);
-            let v = t
-                .values
-                .get(self.value_field)
-                .map(|v| v.as_f64())
-                .unwrap_or(0.0);
+            let id = t.get(self.id_field).map(|v| v.as_i64()).unwrap_or(0);
+            let v = t.get(self.value_field).map(|v| v.as_f64()).unwrap_or(0.0);
             best.entry(id)
                 .and_modify(|cur| *cur = cur.max(v))
                 .or_insert(v);
@@ -75,19 +71,11 @@ impl GroupMaxLogic {
 }
 
 impl PaneLogic for GroupMaxLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         let mut best: HashMap<i64, f64> = HashMap::new();
         for t in panes.iter().flat_map(|p| p.iter()) {
-            let key = t
-                .values
-                .get(self.key_field)
-                .map(|v| v.as_i64())
-                .unwrap_or(0);
-            let v = t
-                .values
-                .get(self.value_field)
-                .map(|v| v.as_f64())
-                .unwrap_or(0.0);
+            let key = t.get(self.key_field).map(|v| v.as_i64()).unwrap_or(0);
+            let v = t.get(self.value_field).map(|v| v.as_f64()).unwrap_or(0.0);
             best.entry(key)
                 .and_modify(|cur| *cur = cur.max(v))
                 .or_insert(v);
@@ -124,19 +112,11 @@ impl GroupAvgLogic {
 }
 
 impl PaneLogic for GroupAvgLogic {
-    fn apply(&mut self, panes: &[&[Tuple]]) -> Vec<OutRow> {
+    fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         let mut acc: HashMap<i64, (f64, u64)> = HashMap::new();
         for t in panes.iter().flat_map(|p| p.iter()) {
-            let key = t
-                .values
-                .get(self.key_field)
-                .map(|v| v.as_i64())
-                .unwrap_or(0);
-            let v = t
-                .values
-                .get(self.value_field)
-                .map(|v| v.as_f64())
-                .unwrap_or(0.0);
+            let key = t.get(self.key_field).map(|v| v.as_i64()).unwrap_or(0);
+            let v = t.get(self.value_field).map(|v| v.as_f64()).unwrap_or(0.0);
             let e = acc.entry(key).or_insert((0.0, 0));
             e.0 += v;
             e.1 += 1;
@@ -164,20 +144,24 @@ mod tests {
         Tuple::new(Timestamp(0), Sic(0.1), vec![Value::I64(id), Value::F64(v)])
     }
 
+    fn batch(rows: &[(i64, f64)]) -> TupleBatch {
+        rows.iter().map(|&(id, v)| row(id, v)).collect()
+    }
+
     fn ids(out: &[OutRow]) -> Vec<i64> {
         out.iter().map(|(_, r)| r[0].as_i64()).collect()
     }
 
     #[test]
     fn topk_orders_descending() {
-        let pane = vec![row(1, 5.0), row(2, 9.0), row(3, 7.0), row(4, 1.0)];
+        let pane = batch(&[(1, 5.0), (2, 9.0), (3, 7.0), (4, 1.0)]);
         let out = TopKLogic::new(2, 0, 1).apply(&[&pane]);
         assert_eq!(ids(&out), vec![2, 3]);
     }
 
     #[test]
     fn topk_merges_duplicate_ids() {
-        let pane = vec![row(1, 5.0), row(1, 8.0), row(2, 6.0)];
+        let pane = batch(&[(1, 5.0), (1, 8.0), (2, 6.0)]);
         let out = TopKLogic::new(5, 0, 1).apply(&[&pane]);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].1[0].as_i64(), 1);
@@ -186,22 +170,24 @@ mod tests {
 
     #[test]
     fn topk_ties_break_on_id() {
-        let pane = vec![row(9, 5.0), row(3, 5.0)];
+        let pane = batch(&[(9, 5.0), (3, 5.0)]);
         let out = TopKLogic::new(2, 0, 1).apply(&[&pane]);
         assert_eq!(out[0].1[0].as_i64(), 3);
     }
 
     #[test]
     fn topk_handles_short_panes() {
-        let pane = vec![row(1, 5.0)];
+        let pane = batch(&[(1, 5.0)]);
         let out = TopKLogic::new(5, 0, 1).apply(&[&pane]);
         assert_eq!(out.len(), 1);
-        assert!(TopKLogic::new(5, 0, 1).apply(&[&[][..]]).is_empty());
+        assert!(TopKLogic::new(5, 0, 1)
+            .apply(&[&TupleBatch::new()])
+            .is_empty());
     }
 
     #[test]
     fn group_max_groups() {
-        let pane = vec![row(1, 5.0), row(1, 7.0), row(2, 3.0)];
+        let pane = batch(&[(1, 5.0), (1, 7.0), (2, 3.0)]);
         let out = GroupMaxLogic::new(0, 1).apply(&[&pane]);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].1, vec![Value::I64(1), Value::F64(7.0)]);
@@ -210,7 +196,7 @@ mod tests {
 
     #[test]
     fn group_avg_averages_per_key() {
-        let pane = vec![row(1, 4.0), row(1, 8.0), row(2, 3.0)];
+        let pane = batch(&[(1, 4.0), (1, 8.0), (2, 3.0)]);
         let out = GroupAvgLogic::new(0, 1).apply(&[&pane]);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].1, vec![Value::I64(1), Value::F64(6.0)]);

@@ -2,30 +2,69 @@
 //! propagation.
 //!
 //! A [`WindowedOperator`] buffers pushed tuples in its [`WindowBuffer`];
-//! whenever a pane closes, the pane's tuple groups are handed atomically to
-//! the [`PaneLogic`], and every output tuple receives
+//! whenever a pane closes, the pane's columnar tuple groups are handed
+//! atomically to the [`PaneLogic`], and every output tuple receives
 //! `sum(input SIC) / |outputs|` (Eq. 3). Row-preserving logic keeps the
 //! originating tuples' timestamps; aggregate outputs are stamped with the
-//! pane's window timestamp.
+//! pane's window timestamp. Output rows are assembled directly into one
+//! columnar [`Emission`] batch — the hot path never materialises owning
+//! [`Tuple`]s.
 
 use themis_core::prelude::*;
 
 use crate::logic::{LogicSpec, PaneLogic};
 use crate::window::{WindowBuffer, WindowSpec};
 
-/// An atomic output group of one operator (becomes a batch downstream).
+/// An atomic output group of one operator (becomes a batch downstream):
+/// a pane timestamp plus a columnar batch of output tuples, each already
+/// stamped with its Eq.-3 SIC share.
 #[derive(Debug, Clone)]
 pub struct Emission {
     /// Emission stamp (pane timestamp).
     pub at: Timestamp,
-    /// Output tuples, each already stamped with its Eq.-3 SIC share.
-    pub tuples: Vec<Tuple>,
+    batch: TupleBatch,
 }
 
 impl Emission {
+    /// Wraps an output batch.
+    pub fn new(at: Timestamp, batch: TupleBatch) -> Self {
+        Emission { at, batch }
+    }
+
     /// Total SIC mass carried by this emission.
     pub fn sic(&self) -> Sic {
-        self.tuples.iter().map(|t| t.sic).sum()
+        self.batch.sic_total()
+    }
+
+    /// Number of output tuples.
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// True when the emission carries no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// The columnar output batch.
+    pub fn batch(&self) -> &TupleBatch {
+        &self.batch
+    }
+
+    /// Consumes the emission, returning the columnar batch (the zero-copy
+    /// hand-off to the downstream fragment's input buffer).
+    pub fn into_batch(self) -> TupleBatch {
+        self.batch
+    }
+
+    /// Iterates the output rows as borrowed views.
+    pub fn iter(&self) -> impl Iterator<Item = TupleRef<'_>> + Clone {
+        self.batch.iter()
+    }
+
+    /// Materialises the output rows as owning tuples (report/test edge).
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.batch.to_tuples()
     }
 }
 
@@ -112,19 +151,24 @@ impl WindowedOperator {
         self.logic.name()
     }
 
-    /// Feeds tuples into `port` without draining. Callers delivering to
+    /// Feeds a batch into `port` without draining. Callers delivering to
     /// multi-port operators must feed *all* ports before calling
     /// [`WindowedOperator::tick`], otherwise a due pane could close with
     /// only part of its input (e.g. a join seeing one side only).
-    pub fn feed(&mut self, port: usize, tuples: Vec<Tuple>, now: Timestamp) {
-        self.buffer.push(port, tuples, now);
+    pub fn feed(&mut self, port: usize, batch: impl Into<TupleBatch>, now: Timestamp) {
+        self.buffer.push(port, batch, now);
     }
 
-    /// Feeds tuples into `port` and drains immediately; returns emissions
+    /// Feeds a batch into `port` and drains immediately; returns emissions
     /// that become ready (pass-through and filled count windows). Only safe
     /// for single-port operators or when ports are fed in lock-step.
-    pub fn push(&mut self, port: usize, tuples: Vec<Tuple>, now: Timestamp) -> Vec<Emission> {
-        self.buffer.push(port, tuples, now);
+    pub fn push(
+        &mut self,
+        port: usize,
+        batch: impl Into<TupleBatch>,
+        now: Timestamp,
+    ) -> Vec<Emission> {
+        self.buffer.push(port, batch, now);
         self.drain(now)
     }
 
@@ -149,7 +193,7 @@ impl WindowedOperator {
         for pane in panes {
             let input_sic = pane.input_sic();
             self.processed_tuples += pane.input_len() as u64;
-            let groups: Vec<&[Tuple]> = pane.inputs.iter().map(Vec::as_slice).collect();
+            let groups: Vec<&TupleBatch> = pane.inputs.iter().collect();
             let rows = self.logic.apply(&groups);
             if rows.is_empty() {
                 // Mass is lost when an atomic group yields no derived tuples
@@ -157,14 +201,12 @@ impl WindowedOperator {
                 continue;
             }
             let share = Sic::derived_tuple(input_sic, rows.len());
-            let tuples = rows
-                .into_iter()
-                .map(|(ts, values)| Tuple::new(ts.unwrap_or(pane.at), share, values))
-                .collect();
-            out.push(Emission {
-                at: pane.at,
-                tuples,
-            });
+            let width = rows.first().map(|(_, r)| r.len()).unwrap_or(0);
+            let mut batch = TupleBatch::with_capacity(width, rows.len());
+            for (ts, values) in rows {
+                batch.push_row(ts.unwrap_or(pane.at), share, &values);
+            }
+            out.push(Emission::new(pane.at, batch));
         }
         out
     }
@@ -210,12 +252,13 @@ mod tests {
         let out = op.tick(Timestamp::from_secs(1));
         assert_eq!(out.len(), 1);
         let e = &out[0];
-        assert_eq!(e.tuples.len(), 1);
-        assert_eq!(e.tuples[0].f64(0), 20.0);
+        assert_eq!(e.len(), 1);
+        let row = e.tuples().remove(0);
+        assert_eq!(row.f64(0), 20.0);
         // Eq. 3: 0.5 total input SIC over 1 output.
-        assert!((e.tuples[0].sic.value() - 0.5).abs() < 1e-12);
+        assert!((row.sic.value() - 0.5).abs() < 1e-12);
         // Aggregate output is stamped 1 us before the window end.
-        assert_eq!(e.tuples[0].ts, Timestamp(999_999));
+        assert_eq!(row.ts, Timestamp(999_999));
         assert_eq!(op.processed_tuples(), 2);
     }
 
@@ -246,14 +289,14 @@ mod tests {
         );
         let out = op.tick(Timestamp::from_secs(1));
         let e = &out[0];
-        assert_eq!(e.tuples.len(), 2);
+        assert_eq!(e.len(), 2);
         // 0.3 input mass over 2 survivors: 0.15 each.
-        for tu in &e.tuples {
+        for tu in e.iter() {
             assert!((tu.sic.value() - 0.15).abs() < 1e-12);
         }
         assert!((e.sic().value() - 0.3).abs() < 1e-12);
         // Row-preserving: original timestamps kept.
-        assert_eq!(e.tuples[0].ts, Timestamp::from_millis(1));
+        assert_eq!(e.batch().row(0).ts, Timestamp::from_millis(1));
     }
 
     #[test]
@@ -273,10 +316,11 @@ mod tests {
         let mut op = OperatorSpec::identity().build();
         let out = op.push(0, vec![t(5, 0.2, 1.0)], Timestamp::from_millis(9));
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].tuples[0].sic, Sic(0.2));
-        assert_eq!(out[0].tuples[0].f64(0), 1.0);
+        let row = out[0].batch().row(0);
+        assert_eq!(row.sic, Sic(0.2));
+        assert_eq!(row.f64(0), 1.0);
         // Identity keeps the tuple's own timestamp.
-        assert_eq!(out[0].tuples[0].ts, Timestamp::from_millis(5));
+        assert_eq!(row.ts, Timestamp::from_millis(5));
     }
 
     #[test]
@@ -305,9 +349,9 @@ mod tests {
         let out = op.tick(Timestamp::from_secs(1));
         assert_eq!(out.len(), 1);
         let e = &out[0];
-        assert_eq!(e.tuples.len(), 1, "only id 1 matches");
+        assert_eq!(e.len(), 1, "only id 1 matches");
         // Combined input mass 0.7 over one output row.
-        assert!((e.tuples[0].sic.value() - 0.7).abs() < 1e-12);
+        assert!((e.batch().row(0).sic.value() - 0.7).abs() < 1e-12);
     }
 
     #[test]
@@ -335,16 +379,14 @@ mod tests {
         let now = Timestamp::from_millis(10);
         let b_in: Vec<Tuple> = (0..4).map(|i| t(10, 0.125, i as f64)).collect();
         let c_in: Vec<Tuple> = (0..2).map(|i| t(10, 0.25, i as f64)).collect();
-        let b_out: Vec<Tuple> = b
-            .push(0, b_in, now)
-            .into_iter()
-            .flat_map(|e| e.tuples)
-            .collect();
-        let c_out: Vec<Tuple> = c
-            .push(0, c_in, now)
-            .into_iter()
-            .flat_map(|e| e.tuples)
-            .collect();
+        let mut b_out = TupleBatch::new();
+        for e in b.push(0, b_in, now) {
+            b_out.append_batch(e.batch());
+        }
+        let mut c_out = TupleBatch::new();
+        for e in c.push(0, c_in, now) {
+            c_out.append_batch(e.batch());
+        }
         assert_eq!(b_out.len(), 2);
         assert!(b_out.iter().all(|t| (t.sic.value() - 0.25).abs() < 1e-12));
         assert_eq!(c_out.len(), 2);

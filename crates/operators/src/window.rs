@@ -5,6 +5,12 @@
 //! window therefore defines the *atomic input group* (`T_in` of Eq. 3); the
 //! operator distributes the group's SIC mass over its outputs.
 //!
+//! Panes are stored as columnar [`TupleBatch`]es, one per input port:
+//! pushing a batch into a window *slices* its columns into the target
+//! panes (contiguous copies of `Copy` values), instead of re-allocating a
+//! `Vec<Tuple>` — and its per-tuple payload vectors — per pane as the row
+//! path did.
+//!
 //! Two timing details matter for multi-fragment queries:
 //!
 //! * **Grace**: in a distributed deployment tuples reach a window after
@@ -89,28 +95,25 @@ pub struct Pane {
     /// Stamp for derived aggregate outputs: one microsecond before the
     /// window end for time windows, the latest input timestamp otherwise.
     pub at: Timestamp,
-    /// The atomic tuple groups, one per input port.
-    pub inputs: Vec<Vec<Tuple>>,
+    /// The atomic tuple groups, one columnar batch per input port.
+    pub inputs: Vec<TupleBatch>,
 }
 
 impl Pane {
     /// Total SIC mass across all ports (the `Σ SIC(T_in)` of Eq. 3).
     pub fn input_sic(&self) -> Sic {
-        self.inputs
-            .iter()
-            .flat_map(|p| p.iter().map(|t| t.sic))
-            .sum()
+        self.inputs.iter().map(TupleBatch::sic_total).sum()
     }
 
     /// Total tuples across all ports.
     pub fn input_len(&self) -> usize {
-        self.inputs.iter().map(Vec::len).sum()
+        self.inputs.iter().map(TupleBatch::len).sum()
     }
 
     fn max_ts(&self) -> Timestamp {
         self.inputs
             .iter()
-            .flat_map(|p| p.iter().map(|t| t.ts))
+            .map(TupleBatch::max_ts)
             .max()
             .unwrap_or(Timestamp::ZERO)
     }
@@ -122,10 +125,10 @@ pub struct WindowBuffer {
     spec: WindowSpec,
     ports: usize,
     grace: TimeDelta,
-    /// Time windows: pane index -> per-port tuples.
-    panes: BTreeMap<u64, Vec<Vec<Tuple>>>,
-    /// Count windows: per-port pending tuples.
-    pending: Vec<Vec<Tuple>>,
+    /// Time windows: pane index -> per-port columnar batches.
+    panes: BTreeMap<u64, Vec<TupleBatch>>,
+    /// Count windows: per-port pending columns.
+    pending: Vec<TupleBatch>,
     /// Pass-through: panes emitted directly on push.
     ready: Vec<Pane>,
 }
@@ -139,7 +142,7 @@ impl WindowBuffer {
             ports: ports.max(1),
             grace,
             panes: BTreeMap::new(),
-            pending: vec![Vec::new(); ports.max(1)],
+            pending: vec![TupleBatch::new(); ports.max(1)],
             ready: Vec::new(),
         }
     }
@@ -164,20 +167,21 @@ impl WindowBuffer {
         let in_panes: usize = self
             .panes
             .values()
-            .map(|ps| ps.iter().map(Vec::len).sum::<usize>())
+            .map(|ps| ps.iter().map(TupleBatch::len).sum::<usize>())
             .sum();
-        let in_pending: usize = self.pending.iter().map(Vec::len).sum();
+        let in_pending: usize = self.pending.iter().map(TupleBatch::len).sum();
         in_panes + in_pending
     }
 
-    /// Pushes tuples into `port` at logical time `now`.
-    pub fn push(&mut self, port: usize, tuples: Vec<Tuple>, now: Timestamp) {
+    /// Pushes a columnar batch into `port` at logical time `now`.
+    pub fn push(&mut self, port: usize, batch: impl Into<TupleBatch>, now: Timestamp) {
+        let batch = batch.into();
         let port = port.min(self.ports - 1);
         match self.spec {
             WindowSpec::PassThrough => {
-                if !tuples.is_empty() {
-                    let mut inputs = vec![Vec::new(); self.ports];
-                    inputs[port] = tuples;
+                if !batch.is_empty() {
+                    let mut inputs = vec![TupleBatch::new(); self.ports];
+                    inputs[port] = batch;
                     let mut pane = Pane { at: now, inputs };
                     pane.at = pane.max_ts();
                     self.ready.push(pane);
@@ -185,9 +189,10 @@ impl WindowBuffer {
             }
             WindowSpec::Tumbling { size } => {
                 let size_us = size.as_micros().max(1);
-                for t in tuples {
-                    let idx = t.ts.as_micros() / size_us;
-                    self.pane_port(idx, port).push(t);
+                let ports = self.ports;
+                for r in batch.iter() {
+                    let idx = r.ts.as_micros() / size_us;
+                    pane_port(&mut self.panes, ports, idx, port).push_row(r.ts, r.sic, r.values);
                 }
             }
             WindowSpec::Sliding { slide, .. } => {
@@ -196,28 +201,28 @@ impl WindowBuffer {
                 // the overlap to conserve mass (§6).
                 let slide_us = slide.as_micros().max(1);
                 let overlap = self.spec.overlap();
-                for t in tuples {
-                    let last = t.ts.as_micros() / slide_us;
+                let ports = self.ports;
+                for r in batch.iter() {
+                    let last = r.ts.as_micros() / slide_us;
                     let first = last.saturating_sub(overlap - 1);
                     // Divide by the number of panes the tuple actually
                     // joins: near the stream start there are fewer than
                     // `overlap` panes, and dividing by the full overlap
                     // would silently lose SIC mass.
                     let n_panes = last - first + 1;
-                    let mut shared = t.clone();
-                    shared.sic = Sic(t.sic.value() / n_panes as f64);
+                    let shared = Sic(r.sic.value() / n_panes as f64);
                     for idx in first..=last {
-                        self.pane_port(idx, port).push(shared.clone());
+                        pane_port(&mut self.panes, ports, idx, port)
+                            .push_row(r.ts, shared, r.values);
                     }
                 }
             }
             WindowSpec::Count { count } => {
                 let count = count.max(1);
-                self.pending[port].extend(tuples);
+                self.pending[port].append_batch(&batch);
                 while self.pending[port].len() >= count {
-                    let rest = self.pending[port].split_off(count);
-                    let full = std::mem::replace(&mut self.pending[port], rest);
-                    let mut inputs = vec![Vec::new(); self.ports];
+                    let full = self.pending[port].split_front(count);
+                    let mut inputs = vec![TupleBatch::new(); self.ports];
                     inputs[port] = full;
                     let mut pane = Pane { at: now, inputs };
                     pane.at = pane.max_ts();
@@ -225,14 +230,6 @@ impl WindowBuffer {
                 }
             }
         }
-    }
-
-    fn pane_port(&mut self, idx: u64, port: usize) -> &mut Vec<Tuple> {
-        let ports = self.ports;
-        &mut self
-            .panes
-            .entry(idx)
-            .or_insert_with(|| vec![Vec::new(); ports])[port]
     }
 
     fn pane_end(&self, idx: u64) -> u64 {
@@ -262,7 +259,7 @@ impl WindowBuffer {
             .collect();
         for idx in closed {
             let inputs = self.panes.remove(&idx).expect("pane exists");
-            if inputs.iter().all(Vec::is_empty) {
+            if inputs.iter().all(TupleBatch::is_empty) {
                 continue;
             }
             // Stamp 1 us before the end so downstream windows assign the
@@ -272,6 +269,18 @@ impl WindowBuffer {
         }
         out
     }
+}
+
+/// The per-port column store of time pane `idx`, created on demand.
+fn pane_port(
+    panes: &mut BTreeMap<u64, Vec<TupleBatch>>,
+    ports: usize,
+    idx: u64,
+    port: usize,
+) -> &mut TupleBatch {
+    &mut panes
+        .entry(idx)
+        .or_insert_with(|| vec![TupleBatch::new(); ports])[port]
 }
 
 #[cfg(test)]
@@ -316,7 +325,7 @@ mod tests {
         assert_eq!(panes[0].at, Timestamp(1_000_000 - 1));
         let panes = w.close_up_to(Timestamp::from_secs(2));
         assert_eq!(panes.len(), 1);
-        assert_eq!(panes[0].inputs[0][0].f64(0), 3.0);
+        assert_eq!(panes[0].inputs[0].row(0).f64(0), 3.0);
     }
 
     #[test]
@@ -358,7 +367,7 @@ mod tests {
         let total: f64 = panes.iter().map(|p| p.input_sic().value()).sum();
         assert!((total - 0.4).abs() < 1e-12, "mass conserved: {total}");
         for p in &panes {
-            assert!((p.inputs[0][0].sic.value() - 0.1).abs() < 1e-12);
+            assert!((p.inputs[0].row(0).sic.value() - 0.1).abs() < 1e-12);
         }
     }
 
@@ -418,5 +427,17 @@ mod tests {
         assert_eq!(w.buffered(), 2);
         w.close_up_to(Timestamp::from_secs(1));
         assert_eq!(w.buffered(), 0);
+    }
+
+    #[test]
+    fn dropped_rows_never_enter_panes() {
+        let mut batch = TupleBatch::from_tuples(vec![t(100, 0.1, 1.0), t(200, 0.1, 2.0)]);
+        batch.drop_row(0);
+        let mut w = buf(WindowSpec::tumbling(TimeDelta::from_secs(1)), 1);
+        w.push(0, batch, Timestamp::from_millis(200));
+        let panes = w.close_up_to(Timestamp::from_secs(1));
+        assert_eq!(panes.len(), 1);
+        assert_eq!(panes[0].input_len(), 1);
+        assert_eq!(panes[0].inputs[0].row(0).f64(0), 2.0);
     }
 }

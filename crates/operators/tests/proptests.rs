@@ -84,7 +84,7 @@ proptest! {
             prop_assert_eq!(output, 0.0);
         } else {
             prop_assert!((output - input).abs() < 1e-9 * input.max(1.0));
-            let rows: usize = out.iter().map(|e| e.tuples.len()).sum();
+            let rows: usize = out.iter().map(Emission::len).sum();
             prop_assert_eq!(rows, survivors);
         }
     }
@@ -161,7 +161,7 @@ proptest! {
     fn aggregate_outputs_stamped_within_window(tuples in arb_window_tuples()) {
         let out = run_op(LogicSpec::Avg { field: 1 }, tuples);
         for e in &out {
-            for t in &e.tuples {
+            for t in e.iter() {
                 prop_assert!(t.ts.as_micros() < 1_000_000, "stamp {} >= window end", t.ts);
             }
         }

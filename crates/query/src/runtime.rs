@@ -2,8 +2,9 @@
 //! pushes tuples through it in topological order.
 //!
 //! Both the discrete-event simulator and the multi-threaded engine drive
-//! fragments through this runtime: batches accepted by the shedder are
-//! [`FragmentRuntime::ingest`]ed, and logical time advances via
+//! fragments through this runtime: columnar batches accepted by the shedder
+//! are [`FragmentRuntime::ingest`]ed (a move of the batch's columns, not a
+//! per-tuple copy), and logical time advances via
 //! [`FragmentRuntime::tick`]. Emissions of the fragment's root operator are
 //! returned to the caller, which routes them to the downstream fragment (or
 //! to the user as query results).
@@ -68,12 +69,12 @@ impl FragmentRuntime {
         self.root
     }
 
-    /// Injects a batch of tuples arriving through `ingress`; returns root
+    /// Injects a columnar batch arriving through `ingress`; returns root
     /// emissions triggered synchronously (pass-through chains).
     pub fn ingest(
         &mut self,
         ingress: Ingress,
-        tuples: Vec<Tuple>,
+        batch: impl Into<TupleBatch>,
         now: Timestamp,
     ) -> Vec<Emission> {
         let Some(&(op, port)) = self.ingress.get(&ingress) else {
@@ -81,8 +82,9 @@ impl FragmentRuntime {
             // dropped; its SIC mass is lost like any shed tuple.
             return Vec::new();
         };
-        self.processed_since_probe += tuples.len() as u64;
-        self.run(now, vec![(op, port, tuples)])
+        let batch = batch.into();
+        self.processed_since_probe += batch.len() as u64;
+        self.run(now, vec![(op, port, batch)])
     }
 
     /// Advances logical time: closes due windows on every operator, in
@@ -101,18 +103,18 @@ impl FragmentRuntime {
         self.ops.iter().map(WindowedOperator::buffered_tuples).sum()
     }
 
-    fn run(&mut self, now: Timestamp, initial: Vec<(usize, usize, Vec<Tuple>)>) -> Vec<Emission> {
-        let mut inbox: Vec<Vec<(usize, Vec<Tuple>)>> = vec![Vec::new(); self.ops.len()];
-        for (op, port, tuples) in initial {
-            inbox[op].push((port, tuples));
+    fn run(&mut self, now: Timestamp, initial: Vec<(usize, usize, TupleBatch)>) -> Vec<Emission> {
+        let mut inbox: Vec<Vec<(usize, TupleBatch)>> = vec![Vec::new(); self.ops.len()];
+        for (op, port, batch) in initial {
+            inbox[op].push((port, batch));
         }
         let mut results = Vec::new();
         for idx in 0..self.topo.len() {
             let i = self.topo[idx];
             // Feed every pending delivery (all ports!) before draining, so
             // multi-port operators never close a pane with partial input.
-            for (port, tuples) in std::mem::take(&mut inbox[i]) {
-                self.ops[i].feed(port, tuples, now);
+            for (port, batch) in std::mem::take(&mut inbox[i]) {
+                self.ops[i].feed(port, batch, now);
             }
             let emissions = self.ops[i].tick(now);
             if emissions.is_empty() {
@@ -123,7 +125,9 @@ impl FragmentRuntime {
             } else {
                 for e in emissions {
                     for &(to, port) in &self.downstream[i] {
-                        inbox[to].push((port, e.tuples.clone()));
+                        // Columnar clone: a handful of memcpys, not one
+                        // allocation per tuple.
+                        inbox[to].push((port, e.batch().clone()));
                     }
                 }
             }
@@ -179,7 +183,7 @@ mod tests {
         assert!(rt.tick(Timestamp::from_millis(1000)).is_empty());
         let out = rt.tick(Timestamp::from_millis(1500));
         assert_eq!(out.len(), 1);
-        let result = &out[0].tuples[0];
+        let result = out[0].batch().row(0).to_tuple();
         assert_eq!(result.f64(0), 50.0);
         // All source SIC mass arrives at the result: 20 * 0.05 = 1.0.
         assert!((result.sic.value() - 1.0).abs() < 1e-12);
@@ -225,7 +229,7 @@ mod tests {
         // 1s + grace; tick well past it.
         let out = rt.tick(Timestamp::from_millis(2500));
         assert_eq!(out.len(), 1, "one covariance result");
-        assert!(out[0].tuples[0].f64(0) > 0.0, "positive covariance");
+        assert!(out[0].batch().row(0).f64(0) > 0.0, "positive covariance");
         // Mass: 16 tuples * 0.0625 = 1.0.
         assert!((out[0].sic().value() - 1.0).abs() < 1e-9);
     }
@@ -251,10 +255,10 @@ mod tests {
         }
         let out = rt.tick(Timestamp::from_millis(2500));
         assert_eq!(out.len(), 1);
-        let rows = &out[0].tuples;
+        let rows = out[0].batch();
         assert_eq!(rows.len(), 5, "top-5 list");
         // Highest CPU id is 9 (value 19.0).
-        assert_eq!(rows[0].i64(0), 9);
+        assert_eq!(rows.row(0).i64(0), 9);
         // All 80 source tuples contributed: mass 1.
         assert!((out[0].sic().value() - 1.0).abs() < 1e-9);
     }
@@ -286,13 +290,13 @@ mod tests {
         for (fi, e) in partials {
             roots[0].ingest(
                 Ingress::Upstream(fi),
-                e.tuples,
+                e.into_batch(),
                 Timestamp::from_millis(1650),
             );
         }
         let out = roots[0].tick(Timestamp::from_millis(2600));
         assert_eq!(out.len(), 1, "final average");
-        let avg = out[0].tuples[0].f64(0);
+        let avg = out[0].batch().row(0).f64(0);
         // 20 tuples each of 0, 10, 20 -> global average 10.
         assert!((avg - 10.0).abs() < 1e-9, "avg {avg}");
         // Full SIC mass: 60 tuples * 1/60.

@@ -35,8 +35,8 @@ pub enum NodeOutput {
         fragment: usize,
         /// Emission timestamp.
         at: Timestamp,
-        /// The tuples.
-        tuples: Vec<Tuple>,
+        /// The columnar output batch.
+        batch: TupleBatch,
     },
 }
 
@@ -174,7 +174,9 @@ impl SimNode {
 
         let c = self.threshold();
         let buffered = self.buffered_tuples();
-        let keep_order: Vec<usize> = if buffered > c {
+        // Shed decisions become a bitmap over buffer slots: shed batches
+        // get a bit flipped instead of having their tuples spliced out.
+        let shed = if buffered > c {
             // Overloaded: Algorithm 1 (or the configured baseline).
             self.stats.shed_invocations += 1;
             let states = self.snapshot();
@@ -182,22 +184,17 @@ impl SimNode {
             self.stats.kept_tuples += decision.kept_tuples as u64;
             self.stats.shed_tuples += decision.shed_tuples as u64;
             self.stats.shed_batches += decision.shed_batches as u64;
-            let mut keep = decision.keep;
-            keep.sort_unstable(); // process in arrival order
-            keep
+            decision.shed_bitmap(self.buffer.len())
         } else {
             self.stats.kept_tuples += buffered as u64;
-            (0..self.buffer.len()).collect()
+            DropBitmap::new()
         };
 
         let mut kept_tuples = 0u64;
         let mut outputs = Vec::new();
         let buffer = std::mem::take(&mut self.buffer);
-        let mut keep_iter = keep_order.into_iter().peekable();
         for (idx, rb) in buffer.into_iter().enumerate() {
-            if keep_iter.peek() == Some(&idx) {
-                keep_iter.next();
-            } else {
+            if shed.is_dropped(idx) {
                 continue; // shed
             }
             kept_tuples += rb.batch.len() as u64;
@@ -211,12 +208,14 @@ impl SimNode {
             if let Some(rt) = self.fragments.get_mut(&(rb.query, rb.fragment)) {
                 let query = rb.query;
                 let fragment = rb.fragment;
-                for e in rt.ingest(rb.ingress, rb.batch.into_tuples(), now) {
+                // Hand the batch's columns to the fragment: a move, not a
+                // per-tuple materialisation.
+                for e in rt.ingest(rb.ingress, rb.batch.into_data(), now) {
                     outputs.push(NodeOutput::FragmentOutput {
                         query,
                         fragment,
                         at: e.at,
-                        tuples: e.tuples,
+                        batch: e.into_batch(),
                     });
                 }
             }
@@ -229,7 +228,7 @@ impl SimNode {
                     query,
                     fragment,
                     at: e.at,
-                    tuples: e.tuples,
+                    batch: e.into_batch(),
                 });
             }
         }
@@ -376,9 +375,9 @@ mod tests {
             outputs.extend(n.tick(Timestamp::from_millis(t)));
         }
         assert_eq!(outputs.len(), 1, "one AVG result window");
-        let NodeOutput::FragmentOutput { query, tuples, .. } = &outputs[0];
+        let NodeOutput::FragmentOutput { query, batch, .. } = &outputs[0];
         assert_eq!(*query, q.id);
-        assert_eq!(tuples[0].f64(0), 50.0);
+        assert_eq!(batch.row(0).f64(0), 50.0);
     }
 
     #[test]

@@ -321,15 +321,17 @@ impl Simulation {
             query,
             fragment,
             at,
-            tuples,
+            batch,
         } = out;
         match self.frag_route.get(&(query, fragment)) {
             Some(FragRoute::Result) => {
-                let sic: Sic = tuples.iter().map(|t| t.sic).sum();
-                self.tracker.record(now, query, sic);
+                self.tracker.record(now, query, batch.sic_total());
                 if self.config.record_results {
-                    let rows: Vec<Row> = tuples.into_iter().map(|t| t.values).collect();
-                    self.results.entry(query).or_default().push((at, rows));
+                    // Result rows materialise at the edge only.
+                    self.results
+                        .entry(query)
+                        .or_default()
+                        .push((at, batch.to_rows()));
                 }
             }
             Some(&FragRoute::To { node, fragment: df }) => {
@@ -337,7 +339,8 @@ impl Simulation {
                     query,
                     fragment: df,
                     ingress: Ingress::Upstream(fragment),
-                    batch: Batch::new(query, at, tuples),
+                    // Wrap the emission's columns directly — no re-copy.
+                    batch: Batch::from_data(query, at, batch),
                 };
                 self.push(
                     now + self.scenario.link_latency,

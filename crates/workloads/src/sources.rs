@@ -205,8 +205,8 @@ mod tests {
             assert_eq!(b.query(), QueryId(1));
             assert_eq!(b.source(), Some(SourceId(3)));
             assert_eq!(b.created(), t);
-            assert!(b.tuples().iter().all(|tu| tu.sic == Sic::ZERO));
-            assert_eq!(b.tuples()[0].i64(0), 7, "keyed row");
+            assert!(b.iter().all(|tu| tu.sic == Sic::ZERO));
+            assert_eq!(b.data().row(0).i64(0), 7, "keyed row");
             if let Some(prev) = last {
                 assert_eq!((t - prev), TimeDelta::from_millis(200));
             }
@@ -250,7 +250,7 @@ mod tests {
         let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::MemFree), profile, 4);
         let b = d.emit();
         // KB scale, not 0-100.
-        assert!(b.tuples().iter().any(|t| t.f64(1) > 1000.0));
+        assert!(b.iter().any(|t| t.f64(1) > 1000.0));
     }
 
     #[test]

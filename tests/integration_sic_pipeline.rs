@@ -256,6 +256,9 @@ fn sliding_window_query_conserves_sic() {
     // Overlapping windows: roughly one result per slide.
     assert!(out.len() >= 7, "panes emitted: {}", out.len());
     for e in &out {
-        assert!((e.tuples[0].f64(0) - 50.0).abs() < 1e-9, "window average");
+        assert!(
+            (e.batch().row(0).f64(0) - 50.0).abs() < 1e-9,
+            "window average"
+        );
     }
 }
