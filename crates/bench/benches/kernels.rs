@@ -1,0 +1,30 @@
+//! Criterion bench: the typed column kernels vs `Value`-arena iteration
+//! on the aggregate, covariance and filter stages.
+//!
+//! The same passes back the `experiments kernels` CLI run (which also
+//! writes `results/BENCH_kernels.json` and asserts the >= 2x aggregate
+//! speedup on a 1M-row batch); this harness exists so the comparison is
+//! measurable via plain `cargo bench` too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use themis_bench::figures::kernels::{kernels_race, KernelsScale};
+
+fn bench_kernels(c: &mut Criterion) {
+    // One reduced race per harness run: Criterion's shim prints means,
+    // and the race itself already times both paths per stage.
+    let scale = KernelsScale {
+        rows: 100_000,
+        iters: 3,
+    };
+    let label = format!("{}rows", scale.rows);
+    let mut group = c.benchmark_group("typed_kernels");
+    group.bench_with_input(BenchmarkId::new("race", &label), &scale, |b, s| {
+        b.iter(|| black_box(kernels_race(s)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!              fig13|fig14|related|overhead|ablation|dynamics|policies|
-//!              scale|batching]
+//!              scale|batching|kernels]
 //!             [--quick] [--policy=<name>] [--nodes=<n>] [--shards=<k>]
 //!             [--secs=<s>]
 //! ```
@@ -22,7 +22,10 @@
 //! `TupleBatch` path on the shedder hot loop and a join/aggregate
 //! pipeline, writes `results/BENCH_batching.json`, and (when named
 //! explicitly, like `scale`) exits non-zero if the batch path is not at
-//! least 2x faster on the shedder loop.
+//! least 2x faster on the shedder loop. `kernels` races the `Value`-arena
+//! aggregate reads against the typed column kernels on a 1M-row batch,
+//! writes `results/BENCH_kernels.json`, and (when named explicitly)
+//! exits non-zero if the typed aggregate bank is not at least 2x faster.
 //! Built to be run with `--release`.
 
 use std::time::Instant;
@@ -30,6 +33,7 @@ use std::time::Instant;
 use themis_bench::figures::batching::{self, BatchingScale};
 use themis_bench::figures::correlation::{correlation, render as render_corr, CorrelationQuery};
 use themis_bench::figures::fairness::{fig10, fig11, fig8, fig9, render as render_fair};
+use themis_bench::figures::kernels::{self, KernelsScale};
 use themis_bench::figures::overhead::{overhead, render as render_overhead};
 use themis_bench::figures::parity::{policy_parity, render as render_parity};
 use themis_bench::figures::related::{related_work, render as render_related};
@@ -45,6 +49,7 @@ const RESULTS_DIR: &str = "results";
 const EXPERIMENTS: &[&str] = &[
     "all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
     "fig14", "related", "overhead", "ablation", "policies", "dynamics", "scale", "batching",
+    "kernels",
 ];
 
 fn emit(name: &str, table: TextTable) {
@@ -273,6 +278,43 @@ fn main() {
                 std::process::exit(1);
             }
             None => unreachable!("batching always measures the shedder stage"),
+        }
+    }
+    // Explicit-only (not part of `all`), like `batching`: a speedup smoke
+    // over micro-benchmark timings that a loaded machine would pollute.
+    if what.contains(&"kernels") {
+        let kscale = if quick {
+            KernelsScale::quick()
+        } else {
+            KernelsScale::default_scale()
+        };
+        let rows = kernels::kernels_race(&kscale);
+        emit("kernels", kernels::render(&rows));
+        let json = kernels::to_json(&rows);
+        let json_path = format!("{RESULTS_DIR}/BENCH_kernels.json");
+        if let Err(e) =
+            std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, &json))
+        {
+            eprintln!("(could not write {json_path}: {e})");
+        }
+        let agg = rows.iter().find(|r| r.stage == "aggregate");
+        match agg {
+            Some(r) if r.speedup() >= 2.0 => {
+                eprintln!(
+                    "kernels: typed aggregate bank {:.2}x faster (>= 2x) on {} rows",
+                    r.speedup(),
+                    kscale.rows
+                );
+            }
+            Some(r) => {
+                eprintln!(
+                    "FAIL: typed aggregate kernels only {:.2}x faster than the Value-arena \
+                     path (expected >= 2x)",
+                    r.speedup()
+                );
+                std::process::exit(1);
+            }
+            None => unreachable!("kernels always measures the aggregate stage"),
         }
     }
     // Explicit-only (not part of `all`): a CI smoke with a thread-budget

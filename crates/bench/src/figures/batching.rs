@@ -26,6 +26,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use themis_core::prelude::*;
+use themis_query::prelude::{keyed_measurement_schema, measurement_schema};
 
 use crate::table::{f2, TextTable};
 
@@ -176,17 +177,20 @@ pub fn shed_iteration_row(scale: &BatchingScale, seed: u64) -> f64 {
 }
 
 /// One batch-path iteration: identical workload and policy on the
-/// columnar representation. Building appends to column arenas, stamping
-/// fills the SIC column, shedding marks the decision bitmap and kept
-/// batches append as contiguous column copies.
+/// columnar representation as the live system builds it — sources append
+/// typed columns against their declared schema, stamping fills the SIC
+/// column, shedding marks the decision bitmap and kept batches append as
+/// contiguous column copies.
 pub fn shed_iteration_batch(scale: &BatchingScale, seed: u64) -> f64 {
     let mut rng = Lcg(seed | 1);
+    let schema = measurement_schema();
     let sic = Sic(1.0 / scale.total_tuples() as f64);
     let mut buffer: Vec<(QueryId, TupleBatch)> = Vec::new();
     for q in 0..scale.queries {
         for b in 0..scale.batches_per_query {
             let ts = Timestamp((q * scale.batches_per_query + b) as u64 * 100);
-            let mut batch = TupleBatch::with_capacity(1, scale.tuples_per_batch);
+            let mut batch =
+                TupleBatch::with_schema_capacity(schema.clone(), scale.tuples_per_batch);
             for _ in 0..scale.tuples_per_batch {
                 batch.push_row(ts, Sic::ZERO, &[Value::F64(rng.next_f64() * 100.0)]);
             }
@@ -331,8 +335,9 @@ pub fn pipeline_iteration_row(scale: &BatchingScale, seed: u64) -> f64 {
     acc
 }
 
-/// One batch-path pipeline iteration: the same streams built as columnar
-/// batches and pushed through the *live* operator stack
+/// One batch-path pipeline iteration: the same streams built as
+/// schema-typed columnar batches (the live source representation) and
+/// pushed through the *live* operator stack
 /// ([`WindowedOperator`](themis_operators::op::WindowedOperator) join
 /// feeding an AVG).
 pub fn pipeline_iteration_batch(scale: &BatchingScale, seed: u64) -> f64 {
@@ -341,8 +346,9 @@ pub fn pipeline_iteration_batch(scale: &BatchingScale, seed: u64) -> f64 {
     let mut rng = Lcg(seed | 1);
     let total = scale.total_tuples() / 2;
     let sic = Sic(1.0 / total.max(1) as f64);
+    let schema = keyed_measurement_schema();
     let mk_stream = |rng: &mut Lcg| -> TupleBatch {
-        let mut batch = TupleBatch::with_capacity(2, total);
+        let mut batch = TupleBatch::with_schema_capacity(schema.clone(), total);
         for i in 0..total {
             batch.push_row(
                 pipeline_ts(i, total),

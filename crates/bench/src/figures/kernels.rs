@@ -1,0 +1,375 @@
+//! `Value`-arena iteration vs typed column kernels: the micro-benchmark
+//! behind the `kernels` experiment.
+//!
+//! PR 3 made the hot path columnar but left payloads in a
+//! dynamically-typed `Value` arena, so every aggregate read still paid an
+//! enum match and a 16-byte stride per element. With per-query schemas
+//! ([`Schema`]) the same batch stores native `Vec<f64>` / `Vec<i64>`
+//! columns and the aggregate bank runs through the vectorized
+//! [`themis_operators::kernels`]. This module builds the *same* 1M-row
+//! batch in both representations and races four stages:
+//!
+//! 1. **aggregate** — the AVG/MAX/MIN bank (sum+count, max, min passes)
+//!    over one `f64` field;
+//! 2. **aggregate-shed** — the same bank with 25% of rows shed, so the
+//!    kernels' word-at-a-time drop handling is on the measured path;
+//! 3. **cov** — one-pass covariance sums over two paired columns;
+//! 4. **filter** — a `>= rhs` predicate counted via the word-packed mask
+//!    kernel vs a scalar row walk;
+//! 5. **topk** — partial top-k selection vs a full sort of 1M
+//!    `(id, value)` pairs.
+//!
+//! Reported numbers are mean ns per row per stage. When run by name
+//! (`experiments kernels`) the aggregate stage asserts the typed kernels
+//! are ≥ 2× faster than the `Value`-arena path and the rows are exported
+//! as `results/BENCH_kernels.json` so the perf trajectory is tracked per
+//! PR.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use themis_core::prelude::*;
+use themis_operators::kernels;
+use themis_operators::prelude::CmpOp;
+
+use crate::table::{f2, TextTable};
+
+/// Sizing of the measured batch.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelsScale {
+    /// Rows in the measured batch (the ISSUE's 1M-row floor).
+    pub rows: usize,
+    /// Timed iterations per path and stage.
+    pub iters: usize,
+}
+
+impl KernelsScale {
+    /// The default shape: a 1M-row batch, 15 timed iterations.
+    pub fn default_scale() -> Self {
+        KernelsScale {
+            rows: 1_000_000,
+            iters: 15,
+        }
+    }
+
+    /// Reduced iteration count for smoke runs (`--quick`); the batch
+    /// stays at 1M rows so the ≥ 2× assertion keeps its meaning.
+    pub fn quick() -> Self {
+        KernelsScale {
+            iters: 5,
+            ..Self::default_scale()
+        }
+    }
+}
+
+/// One measured comparison: the same computation on both payload layouts.
+#[derive(Debug, Clone)]
+pub struct KernelsRow {
+    /// Which stage was measured.
+    pub stage: &'static str,
+    /// Mean ns per row iterating the `Value` arena.
+    pub value_ns_per_row: f64,
+    /// Mean ns per row through the typed column kernels.
+    pub typed_ns_per_row: f64,
+}
+
+impl KernelsRow {
+    /// How many times faster the typed kernels are.
+    pub fn speedup(&self) -> f64 {
+        if self.typed_ns_per_row <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.value_ns_per_row / self.typed_ns_per_row
+        }
+    }
+}
+
+/// Tiny deterministic value generator (the bench must not depend on the
+/// workload RNG shapes).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_key(&mut self, n: i64) -> i64 {
+        (self.next_f64() * n as f64) as i64
+    }
+}
+
+/// The measured schema: `[x: f64, y: f64, id: i64]`.
+fn bench_schema() -> Schema {
+    Schema::new([
+        ("x", FieldType::F64),
+        ("y", FieldType::F64),
+        ("id", FieldType::I64),
+    ])
+}
+
+/// Builds the same logical batch in both layouts: `.0` is the `Value`
+/// arena, `.1` the schema-typed columns.
+fn build_batches(rows: usize, seed: u64) -> (TupleBatch, TupleBatch) {
+    let mut rng = Lcg(seed | 1);
+    let mut arena = TupleBatch::with_capacity(3, rows);
+    let mut typed = TupleBatch::with_schema_capacity(bench_schema(), rows);
+    for i in 0..rows {
+        let row = [
+            Value::F64(rng.next_f64() * 100.0),
+            Value::F64(rng.next_f64() * 100.0),
+            Value::I64(rng.next_key(1 << 16)),
+        ];
+        let ts = Timestamp(i as u64);
+        arena.push_row(ts, Sic::ZERO, &row);
+        typed.push_row(ts, Sic::ZERO, &row);
+    }
+    (arena, typed)
+}
+
+/// Drops every 4th row on both batches (the aggregate-shed stage).
+fn shed_quarter(b: &mut TupleBatch) {
+    for i in (0..b.rows()).step_by(4) {
+        b.drop_row(i);
+    }
+}
+
+/// The scalar aggregate bank, exactly as the pre-kernel operators read a
+/// pane: three `column_f64` folds (sum+count, max, min).
+fn aggregate_value_path(b: &TupleBatch) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for v in b.column_f64(0) {
+        sum += v;
+        n += 1;
+    }
+    let max = b.column_f64(0).fold(None, |acc: Option<f64>, v| {
+        Some(acc.map_or(v, |a| a.max(v)))
+    });
+    let min = b.column_f64(0).fold(None, |acc: Option<f64>, v| {
+        Some(acc.map_or(v, |a| a.min(v)))
+    });
+    sum / n.max(1) as f64 + max.unwrap_or(0.0) + min.unwrap_or(0.0)
+}
+
+/// The typed aggregate bank: the same three passes through the kernels.
+fn aggregate_typed_path(b: &TupleBatch) -> f64 {
+    let col = b.f64_column(0).expect("typed batch");
+    let (sum, n) = kernels::sum_count_f64(col, b.drops());
+    let max = kernels::max_f64(col, b.drops());
+    let min = kernels::min_f64(col, b.drops());
+    sum / n.max(1) as f64 + max.unwrap_or(0.0) + min.unwrap_or(0.0)
+}
+
+/// Scalar covariance, as the pre-kernel `CovLogic` read panes: collect
+/// both columns, then the two-pass mean-centered fold.
+fn cov_value_path(b: &TupleBatch) -> f64 {
+    let xs: Vec<f64> = b.column_f64(0).collect();
+    let ys: Vec<f64> = b.column_f64(1).collect();
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs[..n].iter().sum::<f64>() / n as f64;
+    let my = ys[..n].iter().sum::<f64>() / n as f64;
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += (xs[i] - mx) * (ys[i] - my);
+    }
+    acc / (n as f64 - 1.0)
+}
+
+/// Typed covariance: zero-copy slices into the one-pass sums kernel.
+fn cov_typed_path(b: &TupleBatch) -> f64 {
+    let xs = kernels::live_f64(b, 0);
+    let ys = kernels::live_f64(b, 1);
+    kernels::cov_sums(&xs, &ys).sample_cov().unwrap_or(0.0)
+}
+
+const FILTER_RHS: f64 = 66.0;
+
+/// Scalar filter count: per-row predicate evaluation through row views.
+fn filter_value_path(b: &TupleBatch) -> f64 {
+    let pred = themis_operators::prelude::Predicate::new(0, CmpOp::Ge, FILTER_RHS);
+    b.iter().filter(|t| pred.eval_row(&t.values)).count() as f64
+}
+
+/// Typed filter count: word-packed predicate mask + popcount.
+fn filter_typed_path(b: &TupleBatch) -> f64 {
+    let col = b.f64_column(0).expect("typed batch");
+    kernels::mask_count(&kernels::predicate_mask(
+        col,
+        CmpOp::Ge,
+        FILTER_RHS,
+        b.drops(),
+    )) as f64
+}
+
+const TOPK_K: usize = 5;
+
+/// Builds the `(id, value)` pair list once per iteration (both paths pay
+/// the same build), then selects the top k by full sort (value path) or
+/// partial selection (typed path).
+fn topk_pairs(b: &TupleBatch) -> Vec<(i64, f64)> {
+    match (b.i64_column(2), b.f64_column(0)) {
+        (Some(ids), Some(vals)) => ids.iter().copied().zip(vals.iter().copied()).collect(),
+        _ => b.iter().map(|t| (t.i64(2), t.f64(0))).collect(),
+    }
+}
+
+fn topk_value_path(b: &TupleBatch) -> f64 {
+    let mut pairs = topk_pairs(b);
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(TOPK_K);
+    pairs.iter().map(|&(_, v)| v).sum()
+}
+
+fn topk_typed_path(b: &TupleBatch) -> f64 {
+    let mut pairs = topk_pairs(b);
+    kernels::partial_top_k(&mut pairs, TOPK_K);
+    pairs.iter().map(|&(_, v)| v).sum()
+}
+
+/// Times `pass` over `iters` runs (plus warm-up) and returns mean ns per
+/// row.
+fn measure(scale: &KernelsScale, mut pass: impl FnMut() -> f64) -> f64 {
+    for _ in 0..scale.iters.div_ceil(5).max(2) {
+        black_box(pass());
+    }
+    let t0 = Instant::now();
+    for _ in 0..scale.iters {
+        black_box(pass());
+    }
+    t0.elapsed().as_nanos() as f64 / (scale.iters.max(1) * scale.rows.max(1)) as f64
+}
+
+/// Runs every stage on both payload layouts.
+pub fn kernels_race(scale: &KernelsScale) -> Vec<KernelsRow> {
+    let (arena, typed) = build_batches(scale.rows, 20160626);
+    let (mut arena_shed, mut typed_shed) = (arena.clone(), typed.clone());
+    shed_quarter(&mut arena_shed);
+    shed_quarter(&mut typed_shed);
+    vec![
+        KernelsRow {
+            stage: "aggregate",
+            value_ns_per_row: measure(scale, || aggregate_value_path(&arena)),
+            typed_ns_per_row: measure(scale, || aggregate_typed_path(&typed)),
+        },
+        KernelsRow {
+            stage: "aggregate-shed",
+            value_ns_per_row: measure(scale, || aggregate_value_path(&arena_shed)),
+            typed_ns_per_row: measure(scale, || aggregate_typed_path(&typed_shed)),
+        },
+        KernelsRow {
+            stage: "cov",
+            value_ns_per_row: measure(scale, || cov_value_path(&arena)),
+            typed_ns_per_row: measure(scale, || cov_typed_path(&typed)),
+        },
+        KernelsRow {
+            stage: "filter",
+            value_ns_per_row: measure(scale, || filter_value_path(&arena)),
+            typed_ns_per_row: measure(scale, || filter_typed_path(&typed)),
+        },
+        KernelsRow {
+            stage: "topk",
+            value_ns_per_row: measure(scale, || topk_value_path(&arena)),
+            typed_ns_per_row: measure(scale, || topk_typed_path(&typed)),
+        },
+    ]
+}
+
+/// Renders the comparison.
+pub fn render(rows: &[KernelsRow]) -> TextTable {
+    let mut t = TextTable::new(
+        "Typed column kernels: Value-arena path vs typed path (ns/row)",
+        &["stage", "value-ns", "typed-ns", "speedup"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.stage.to_string(),
+            f2(r.value_ns_per_row),
+            f2(r.typed_ns_per_row),
+            f2(r.speedup()),
+        ]);
+    }
+    t
+}
+
+/// Serialises the rows as the `BENCH_kernels.json` artefact.
+pub fn to_json(rows: &[KernelsRow]) -> String {
+    let mut s = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  \"{}\": {{ \"value_ns_per_row\": {:.2}, \"typed_ns_per_row\": {:.2}, \
+             \"speedup\": {:.2} }}{}\n",
+            r.stage,
+            r.value_ns_per_row,
+            r.typed_ns_per_row,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_batches() -> (TupleBatch, TupleBatch) {
+        build_batches(500, 7)
+    }
+
+    #[test]
+    fn both_layouts_hold_the_same_rows() {
+        let (arena, typed) = tiny_batches();
+        assert_eq!(arena.rows(), typed.rows());
+        assert!(typed.schema().is_some() && arena.schema().is_none());
+        for i in [0usize, 63, 64, 499] {
+            assert_eq!(arena.row(i).values, typed.row(i).values, "row {i}");
+        }
+    }
+
+    #[test]
+    fn stage_paths_agree() {
+        let (mut arena, mut typed) = tiny_batches();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1.0);
+        assert!(close(
+            aggregate_value_path(&arena),
+            aggregate_typed_path(&typed)
+        ));
+        assert!(close(cov_value_path(&arena), cov_typed_path(&typed)));
+        assert_eq!(filter_value_path(&arena), filter_typed_path(&typed));
+        assert_eq!(topk_value_path(&arena), topk_typed_path(&typed));
+        // And with a quarter of the rows shed.
+        shed_quarter(&mut arena);
+        shed_quarter(&mut typed);
+        assert!(close(
+            aggregate_value_path(&arena),
+            aggregate_typed_path(&typed)
+        ));
+        assert_eq!(filter_value_path(&arena), filter_typed_path(&typed));
+    }
+
+    #[test]
+    fn measurement_produces_rows_and_json() {
+        let scale = KernelsScale {
+            rows: 400,
+            iters: 2,
+        };
+        let rows = kernels_race(&scale);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.value_ns_per_row > 0.0, "{}", r.stage);
+            assert!(r.typed_ns_per_row > 0.0, "{}", r.stage);
+        }
+        let json = to_json(&rows);
+        assert!(json.contains("\"aggregate\""));
+        assert!(json.contains("\"topk\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -7,6 +7,7 @@ pub mod batching;
 pub mod correlation;
 pub mod dynamics;
 pub mod fairness;
+pub mod kernels;
 pub mod overhead;
 pub mod parity;
 pub mod related;

@@ -15,7 +15,11 @@
 //! * the **columnar hot-path representation** ([`batch`]): tuple batches
 //!   stored as contiguous timestamp/SIC/value columns with a drop bitmap,
 //!   so shedding marks bits and window panes copy columns instead of
-//!   re-allocating per tuple.
+//!   re-allocating per tuple. Queries that declare a [`schema::Schema`]
+//!   store each payload field as a contiguous *native* column
+//!   (`Vec<f64>` / `Vec<i64>` / bitset) so aggregate kernels read plain
+//!   slices; schema-less batches keep the dynamically-typed `Value`
+//!   arena as a fallback.
 //!
 //! Everything in this crate is pure and deterministic: no I/O, no threads,
 //! no wall-clock time. The [`themis-sim`](../themis_sim/index.html) and
@@ -50,6 +54,7 @@ pub mod coordinator;
 pub mod fairness;
 pub mod ids;
 pub mod metrics;
+pub mod schema;
 pub mod shedder;
 pub mod sic;
 pub mod stw;
@@ -59,11 +64,12 @@ pub mod value;
 
 /// Convenience re-exports of the most used types.
 pub mod prelude {
-    pub use crate::batch::{DropBitmap, TupleBatch, TupleRef};
+    pub use crate::batch::{DropBitmap, RowValues, TupleBatch, TupleRef};
     pub use crate::capacity::{CostModel, OverloadDetector};
     pub use crate::coordinator::{QueryCoordinator, SicTable, SicUpdate};
     pub use crate::fairness::{jain_index, jain_index_sic, FairnessSummary};
     pub use crate::ids::{FragmentId, IdGen, NodeId, OperatorId, QueryId, SourceId};
+    pub use crate::schema::{BoolColumn, Column, FieldType, Schema};
     pub use crate::shedder::{
         build_buffer_states, BalanceSicShedder, BatchOrder, CandidateBatch, FifoShedder,
         ParsePolicyError, PolicyKind, PriorityShedder, QueryBufferState, RandomShedder,

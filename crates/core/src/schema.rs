@@ -1,0 +1,494 @@
+//! Declared tuple schemas and typed column storage.
+//!
+//! THEMIS treats query logic as a black box (§4), but its *evaluation*
+//! workloads (Table 1) all move rows with a small, fixed shape —
+//! `[value]` or `[key, value]`. When a query declares that shape as a
+//! [`Schema`] up front, the hot path can store each field as a
+//! contiguous **native column** ([`Column`]: `Vec<f64>` / `Vec<i64>` /
+//! a word-packed bitset) instead of the dynamically-typed [`Value`]
+//! arena, removing the per-element enum match from every aggregate read
+//! and letting slice kernels auto-vectorize.
+//!
+//! A [`Schema`] is an ordered list of `field name →` [`FieldType`]
+//! entries, shared cheaply across batches through an [`Arc`]. Query
+//! templates declare one schema per query; sources build typed batches
+//! against it, and every window slice and pane hand-off preserves it.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// The native type of one schema field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// 64-bit float (sensor measurements, aggregates).
+    F64,
+    /// 64-bit signed integer (identifiers, counts).
+    I64,
+    /// Boolean (filter outcomes), stored word-packed.
+    Bool,
+}
+
+impl FieldType {
+    /// Display name of the type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FieldType::F64 => "f64",
+            FieldType::I64 => "i64",
+            FieldType::Bool => "bool",
+        }
+    }
+
+    /// The column default used to pad short rows: `0.0`, `0` or `false`
+    /// (the typed counterpart of the arena's `Value::F64(0.0)` pad).
+    pub fn default_value(&self) -> Value {
+        match self {
+            FieldType::F64 => Value::F64(0.0),
+            FieldType::I64 => Value::I64(0),
+            FieldType::Bool => Value::Bool(false),
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct SchemaInner {
+    fields: Vec<(String, FieldType)>,
+}
+
+/// An ordered `field name → type` declaration for one query's tuples.
+///
+/// Schemas are immutable and cheap to clone (the field list is behind an
+/// [`Arc`]), so every batch, window pane and emission of a query can
+/// carry one. Equality compares the declared fields; two independently
+/// built schemas with the same fields are equal.
+///
+/// ```
+/// use themis_core::prelude::*;
+///
+/// // Declare the TOP-5 workload's keyed rows: `[key: i64, value: f64]`.
+/// let schema = Schema::new([("key", FieldType::I64), ("value", FieldType::F64)]);
+/// assert_eq!(schema.len(), 2);
+/// assert_eq!(schema.index_of("value"), Some(1));
+/// assert_eq!(schema.field_type(0), Some(FieldType::I64));
+///
+/// // Batches built against the schema store native columns, so kernels
+/// // read `&[f64]` slices instead of matching a `Value` enum per field.
+/// let mut batch = TupleBatch::with_schema(schema.clone());
+/// batch.push_row(Timestamp(0), Sic(0.1), &[Value::I64(7), Value::F64(42.0)]);
+/// assert_eq!(batch.schema(), Some(&schema));
+/// assert_eq!(batch.i64_column(0), Some(&[7i64][..]));
+/// assert_eq!(batch.f64_column(1), Some(&[42.0][..]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+impl Schema {
+    /// Declares a schema from `(name, type)` fields, in row order.
+    pub fn new<N: Into<String>>(fields: impl IntoIterator<Item = (N, FieldType)>) -> Self {
+        Schema {
+            inner: Arc::new(SchemaInner {
+                fields: fields.into_iter().map(|(n, t)| (n.into(), t)).collect(),
+            }),
+        }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.inner.fields.len()
+    }
+
+    /// True when the schema declares no fields.
+    pub fn is_empty(&self) -> bool {
+        self.inner.fields.is_empty()
+    }
+
+    /// The type of field `i`, if declared.
+    pub fn field_type(&self, i: usize) -> Option<FieldType> {
+        self.inner.fields.get(i).map(|(_, t)| *t)
+    }
+
+    /// The name of field `i`, if declared.
+    pub fn field_name(&self, i: usize) -> Option<&str> {
+        self.inner.fields.get(i).map(|(n, _)| n.as_str())
+    }
+
+    /// Index of the field named `name`, if declared.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.inner.fields.iter().position(|(n, _)| n == name)
+    }
+
+    /// Iterates `(name, type)` pairs in field order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, FieldType)> {
+        self.inner.fields.iter().map(|(n, t)| (n.as_str(), *t))
+    }
+
+    /// True when both handles share one declaration (O(1)); used as the
+    /// fast path before a field-by-field comparison.
+    pub fn same_as(&self, other: &Schema) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, (n, t)) in self.inner.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{n}: {t}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// A word-packed boolean column.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BoolColumn {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BoolColumn {
+    /// An empty column.
+    pub fn new() -> Self {
+        BoolColumn::default()
+    }
+
+    /// An empty column with room for `rows` bits.
+    pub fn with_capacity(rows: usize) -> Self {
+        BoolColumn {
+            words: Vec::with_capacity(rows.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of stored bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, v: bool) {
+        let (word, bit) = (self.len / 64, self.len % 64);
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        if v {
+            self.words[word] |= 1u64 << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Bit `i` (`false` when out of range).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// The packed words (the last word's bits past `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Splits off and returns the first `n` bits, keeping the rest —
+    /// word-level copies (front) and shift-merges (tail), not a per-bit
+    /// rebuild.
+    pub fn split_front(&mut self, n: usize) -> BoolColumn {
+        let n = n.min(self.len);
+        let mut front_words = self.words[..n.div_ceil(64)].to_vec();
+        if n % 64 != 0 {
+            if let Some(last) = front_words.last_mut() {
+                *last &= (1u64 << (n % 64)) - 1;
+            }
+        }
+        let front = BoolColumn {
+            words: front_words,
+            len: n,
+        };
+        let rest_len = self.len - n;
+        let (word_off, bit_off) = (n / 64, n % 64);
+        let mut rest_words = vec![0u64; rest_len.div_ceil(64)];
+        for (i, w) in rest_words.iter_mut().enumerate() {
+            let lo = self.words.get(word_off + i).copied().unwrap_or(0) >> bit_off;
+            let hi = if bit_off == 0 {
+                0
+            } else {
+                self.words.get(word_off + i + 1).copied().unwrap_or(0) << (64 - bit_off)
+            };
+            *w = lo | hi;
+        }
+        *self = BoolColumn {
+            words: rest_words,
+            len: rest_len,
+        };
+        front
+    }
+}
+
+impl FromIterator<bool> for BoolColumn {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut c = BoolColumn::new();
+        for b in iter {
+            c.push(b);
+        }
+        c
+    }
+}
+
+/// One typed column of a schema-declared batch: the contiguous native
+/// storage that replaces a stride of the [`Value`] arena.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Contiguous 64-bit floats.
+    F64(Vec<f64>),
+    /// Contiguous 64-bit signed integers.
+    I64(Vec<i64>),
+    /// Word-packed booleans.
+    Bool(BoolColumn),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn new(ty: FieldType) -> Self {
+        Column::with_capacity(ty, 0)
+    }
+
+    /// An empty column of the given type with room for `rows` entries.
+    pub fn with_capacity(ty: FieldType, rows: usize) -> Self {
+        match ty {
+            FieldType::F64 => Column::F64(Vec::with_capacity(rows)),
+            FieldType::I64 => Column::I64(Vec::with_capacity(rows)),
+            FieldType::Bool => Column::Bool(BoolColumn::with_capacity(rows)),
+        }
+    }
+
+    /// The column's field type.
+    pub fn field_type(&self) -> FieldType {
+        match self {
+            Column::F64(_) => FieldType::F64,
+            Column::I64(_) => FieldType::I64,
+            Column::Bool(_) => FieldType::Bool,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::F64(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a [`Value`], coercing it to the column type (`as_f64` /
+    /// `as_i64` / `as_bool` — the same numeric views the arena exposes).
+    #[inline]
+    pub fn push_value(&mut self, v: Value) {
+        match self {
+            Column::F64(c) => c.push(v.as_f64()),
+            Column::I64(c) => c.push(v.as_i64()),
+            Column::Bool(c) => c.push(v.as_bool()),
+        }
+    }
+
+    /// Entry `i` as a [`Value`] (panics if out of range).
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Column::F64(c) => Value::F64(c[i]),
+            Column::I64(c) => Value::I64(c[i]),
+            Column::Bool(c) => Value::Bool(c.get(i)),
+        }
+    }
+
+    /// Numeric view of entry `i` (panics if out of range).
+    #[inline]
+    pub fn f64_at(&self, i: usize) -> f64 {
+        match self {
+            Column::F64(c) => c[i],
+            Column::I64(c) => c[i] as f64,
+            Column::Bool(c) => c.get(i) as i64 as f64,
+        }
+    }
+
+    /// Copies entry `i` of `src` onto the end of `self`. The columns must
+    /// share a type (callers check the schema first); mismatches coerce
+    /// through [`Value`].
+    #[inline]
+    pub fn push_from(&mut self, src: &Column, i: usize) {
+        match (self, src) {
+            (Column::F64(d), Column::F64(s)) => d.push(s[i]),
+            (Column::I64(d), Column::I64(s)) => d.push(s[i]),
+            (Column::Bool(d), Column::Bool(s)) => d.push(s.get(i)),
+            (d, s) => d.push_value(s.value(i)),
+        }
+    }
+
+    /// Appends all of `src`'s entries (a contiguous copy when the types
+    /// match).
+    pub fn extend_from(&mut self, src: &Column) {
+        match (self, src) {
+            (Column::F64(d), Column::F64(s)) => d.extend_from_slice(s),
+            (Column::I64(d), Column::I64(s)) => d.extend_from_slice(s),
+            (Column::Bool(d), Column::Bool(s)) => {
+                for i in 0..s.len() {
+                    d.push(s.get(i));
+                }
+            }
+            (d, s) => {
+                for i in 0..s.len() {
+                    d.push_value(s.value(i));
+                }
+            }
+        }
+    }
+
+    /// Splits off and returns the first `n` entries, keeping the rest.
+    pub fn split_front(&mut self, n: usize) -> Column {
+        match self {
+            Column::F64(v) => {
+                let tail = v.split_off(n.min(v.len()));
+                Column::F64(std::mem::replace(v, tail))
+            }
+            Column::I64(v) => {
+                let tail = v.split_off(n.min(v.len()));
+                Column::I64(std::mem::replace(v, tail))
+            }
+            Column::Bool(v) => Column::Bool(v.split_front(n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_declares_fields_in_order() {
+        let s = Schema::new([("key", FieldType::I64), ("value", FieldType::F64)]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.field_name(0), Some("key"));
+        assert_eq!(s.field_type(1), Some(FieldType::F64));
+        assert_eq!(s.index_of("value"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.field_type(9), None);
+        assert_eq!(s.to_string(), "[key: i64, value: f64]");
+    }
+
+    #[test]
+    fn schema_equality_is_structural() {
+        let a = Schema::new([("v", FieldType::F64)]);
+        let b = Schema::new([("v", FieldType::F64)]);
+        let c = Schema::new([("v", FieldType::I64)]);
+        assert_eq!(a, b);
+        assert!(!a.same_as(&b), "distinct allocations");
+        assert!(a.same_as(&a.clone()), "clones share the declaration");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bool_column_packs_words() {
+        let mut c = BoolColumn::new();
+        for i in 0..130 {
+            c.push(i % 3 == 0);
+        }
+        assert_eq!(c.len(), 130);
+        assert!(c.get(0));
+        assert!(!c.get(1));
+        assert!(c.get(129));
+        assert!(!c.get(500), "out of range reads false");
+        let front = c.split_front(65);
+        assert_eq!(front.len(), 65);
+        assert_eq!(c.len(), 65);
+        assert!(front.get(63) == (63 % 3 == 0));
+        assert!(c.get(0) == (65 % 3 == 0));
+        assert!(!front.get(65), "front bits past len read false");
+    }
+
+    #[test]
+    fn bool_column_split_at_any_offset() {
+        // Word-boundary and unaligned splits both preserve every bit.
+        for split in [0usize, 1, 63, 64, 65, 128, 200] {
+            let bits: Vec<bool> = (0..200).map(|i| (i * 7) % 5 < 2).collect();
+            let mut c: BoolColumn = bits.iter().copied().collect();
+            let front = c.split_front(split);
+            assert_eq!(front.len(), split);
+            assert_eq!(c.len(), 200 - split);
+            for (i, &b) in bits.iter().enumerate() {
+                if i < split {
+                    assert_eq!(front.get(i), b, "split {split}, front bit {i}");
+                } else {
+                    assert_eq!(c.get(i - split), b, "split {split}, rest bit {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_coerces_values() {
+        let mut c = Column::new(FieldType::I64);
+        c.push_value(Value::F64(2.9));
+        c.push_value(Value::Bool(true));
+        assert_eq!(c.value(0), Value::I64(2));
+        assert_eq!(c.f64_at(1), 1.0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.field_type(), FieldType::I64);
+    }
+
+    #[test]
+    fn column_copies_and_splits() {
+        let mut a = Column::with_capacity(FieldType::F64, 4);
+        for v in [1.0, 2.0, 3.0] {
+            a.push_value(Value::F64(v));
+        }
+        let mut b = Column::new(FieldType::F64);
+        b.push_from(&a, 1);
+        b.extend_from(&a);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.value(0), Value::F64(2.0));
+        let front = a.split_front(2);
+        assert_eq!(front.len(), 2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.value(0), Value::F64(3.0));
+    }
+
+    #[test]
+    fn mismatched_column_copy_coerces() {
+        let mut f = Column::new(FieldType::F64);
+        f.push_value(Value::F64(1.5));
+        let mut i = Column::new(FieldType::I64);
+        i.push_from(&f, 0);
+        i.extend_from(&f);
+        assert_eq!(i.value(0), Value::I64(1));
+        assert_eq!(i.value(1), Value::I64(1));
+    }
+
+    #[test]
+    fn field_type_defaults() {
+        assert_eq!(FieldType::F64.default_value(), Value::F64(0.0));
+        assert_eq!(FieldType::I64.default_value(), Value::I64(0));
+        assert_eq!(FieldType::Bool.default_value(), Value::Bool(false));
+        assert_eq!(FieldType::Bool.to_string(), "bool");
+    }
+}

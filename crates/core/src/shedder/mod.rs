@@ -114,11 +114,13 @@ impl ShedDecision {
     /// Renders the decision as a [`DropBitmap`] over the `n_batches`
     /// input-buffer slots: shed batches have their bit set. Node hot loops
     /// test bits instead of scanning a sorted keep list, and whole-batch
-    /// sheds become bitmap marks rather than `Vec<Tuple>` splices.
+    /// sheds become bitmap marks rather than `Vec<Tuple>` splices. The
+    /// bitmap is pre-sized to `n_batches` so marking bits never grows the
+    /// word vector one resize at a time.
     pub fn shed_bitmap(&self, n_batches: usize) -> DropBitmap {
         let mut keep = self.keep.clone();
         keep.sort_unstable();
-        let mut bm = DropBitmap::new();
+        let mut bm = DropBitmap::with_rows(n_batches);
         let mut it = keep.into_iter().peekable();
         for i in 0..n_batches {
             if it.peek() == Some(&i) {

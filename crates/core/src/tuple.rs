@@ -110,7 +110,20 @@ impl Batch {
         created: Timestamp,
         tuples: Vec<Tuple>,
     ) -> Self {
-        let mut b = Batch::new(query, created, tuples);
+        Batch::from_source_data(query, source, created, TupleBatch::from_tuples(tuples))
+    }
+
+    /// Builds a source batch directly over columnar data — the typed-column
+    /// construction path used by source drivers, which append native column
+    /// values against the query's declared schema instead of materialising
+    /// owning tuples.
+    pub fn from_source_data(
+        query: QueryId,
+        source: SourceId,
+        created: Timestamp,
+        data: TupleBatch,
+    ) -> Self {
+        let mut b = Batch::from_data(query, created, data);
         b.header.source = Some(source);
         b
     }

@@ -1,0 +1,501 @@
+//! Auto-vectorizable aggregate kernels over typed column slices.
+//!
+//! Schema-typed batches ([`TupleBatch::f64_column`] /
+//! [`TupleBatch::i64_column`]) expose their payload fields as plain
+//! native slices, so the aggregate hot loops can run branch-free over
+//! contiguous memory instead of matching a `Value` enum per element —
+//! exactly the mechanism overhead THEMIS (§6.5) argues must stay
+//! negligible for fair shedding to be worth enforcing.
+//!
+//! Every kernel honors the batch's [`DropBitmap`] **word-at-a-time**: a
+//! zero drop word admits a whole 64-row block to the multi-lane
+//! (SIMD-friendly) path, and only blocks with shed rows fall back to a
+//! per-bit walk. The lane-split accumulators reassociate float sums, so
+//! results can differ from a strict left-to-right fold by a few ulps —
+//! the property tests in `crates/operators/tests/proptests.rs` pin the
+//! scalar parity bound.
+//!
+//! Kernels:
+//!
+//! * [`sum_count_f64`] / [`max_f64`] / [`min_f64`] — the SUM / COUNT /
+//!   AVG / MAX / MIN aggregate bank;
+//! * [`cov_sums`] / [`CovSums::sample_cov`] — one-pass covariance sums
+//!   over two paired columns;
+//! * [`predicate_mask`] / [`mask_count`] — a filter predicate evaluated
+//!   into a word-packed keep bitmap (fed to
+//!   [`TupleBatch::append_gathered`]);
+//! * [`partial_top_k`] — partial selection of the `k` largest entries,
+//!   replacing a full sort.
+
+use themis_core::prelude::*;
+
+use crate::logic::CmpOp;
+
+/// Accumulator lanes of the vectorizable loops: enough independent adds
+/// to fill a 512-bit vector unit (or two 256-bit ones) per iteration.
+/// Must stay a power of two — [`reduce_lanes`] halves the array.
+const LANES: usize = 8;
+const _: () = assert!(LANES.is_power_of_two());
+
+/// Combines the lane accumulators pairwise (deterministic for any
+/// power-of-two `LANES`).
+#[inline]
+fn reduce_lanes(mut lanes: [f64; LANES], f: impl Fn(f64, f64) -> f64) -> f64 {
+    let mut n = LANES;
+    while n > 1 {
+        n /= 2;
+        for i in 0..n {
+            lanes[i] = f(lanes[i], lanes[i + n]);
+        }
+    }
+    lanes[0]
+}
+
+/// Sum of a dense (no drops) slice using `LANES` independent
+/// accumulators, so the additions vectorize; lanes are combined pairwise
+/// and the tail is added last.
+fn sum_dense(vals: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    let mut chunks = vals.chunks_exact(LANES);
+    for c in &mut chunks {
+        for (l, v) in lanes.iter_mut().zip(c) {
+            *l += v;
+        }
+    }
+    let mut sum = reduce_lanes(lanes, |a, b| a + b);
+    for v in chunks.remainder() {
+        sum += v;
+    }
+    sum
+}
+
+fn max_dense(vals: &[f64]) -> f64 {
+    let mut lanes = [f64::NEG_INFINITY; LANES];
+    let mut chunks = vals.chunks_exact(LANES);
+    for c in &mut chunks {
+        for (l, v) in lanes.iter_mut().zip(c) {
+            *l = l.max(*v);
+        }
+    }
+    let mut m = reduce_lanes(lanes, f64::max);
+    for &v in chunks.remainder() {
+        m = m.max(v);
+    }
+    m
+}
+
+fn min_dense(vals: &[f64]) -> f64 {
+    let mut lanes = [f64::INFINITY; LANES];
+    let mut chunks = vals.chunks_exact(LANES);
+    for c in &mut chunks {
+        for (l, v) in lanes.iter_mut().zip(c) {
+            *l = l.min(*v);
+        }
+    }
+    let mut m = reduce_lanes(lanes, f64::min);
+    for &v in chunks.remainder() {
+        m = m.min(v);
+    }
+    m
+}
+
+/// The live mask of the 64-row block starting at `block * 64`: bit `b`
+/// set means row `block * 64 + b` exists and is not dropped.
+#[inline]
+fn live_word(drops: &DropBitmap, block: usize, block_len: usize) -> u64 {
+    let full = if block_len >= 64 {
+        !0u64
+    } else {
+        (1u64 << block_len) - 1
+    };
+    !drops.word(block) & full
+}
+
+/// Runs `dense` over every fully-live 64-row block and `sparse` per live
+/// row of partially-shed blocks — the shared word-at-a-time skeleton.
+/// Accumulator state threads through `state` so both arms mutate it.
+#[inline]
+fn for_each_block<S>(
+    vals: &[f64],
+    drops: &DropBitmap,
+    state: &mut S,
+    dense: impl Fn(&mut S, &[f64]),
+    sparse: impl Fn(&mut S, f64),
+) {
+    for (w, block) in vals.chunks(64).enumerate() {
+        let full = if block.len() >= 64 {
+            !0u64
+        } else {
+            (1u64 << block.len()) - 1
+        };
+        let mut live = live_word(drops, w, block.len());
+        if live == full {
+            dense(state, block);
+        } else {
+            while live != 0 {
+                let b = live.trailing_zeros() as usize;
+                sparse(state, block[b]);
+                live &= live - 1;
+            }
+        }
+    }
+}
+
+/// Sum and live count of one column. Fully-live batches take one
+/// vectorized pass; shed batches skip dropped rows word-at-a-time.
+pub fn sum_count_f64(vals: &[f64], drops: &DropBitmap) -> (f64, u64) {
+    if drops.dropped() == 0 {
+        return (sum_dense(vals), vals.len() as u64);
+    }
+    let mut acc = (0.0f64, 0u64);
+    for_each_block(
+        vals,
+        drops,
+        &mut acc,
+        |(sum, n), block| {
+            *sum += sum_dense(block);
+            *n += block.len() as u64;
+        },
+        |(sum, n), v| {
+            *sum += v;
+            *n += 1;
+        },
+    );
+    acc
+}
+
+/// Maximum over the live rows of one column (`None` when none are live).
+/// NaN entries are ignored (`f64::max` semantics); an all-NaN column
+/// yields the `-∞` fold identity, matching the scalar fallback exactly.
+pub fn max_f64(vals: &[f64], drops: &DropBitmap) -> Option<f64> {
+    if drops.dropped() == 0 {
+        return (!vals.is_empty()).then(|| max_dense(vals));
+    }
+    let mut acc = (f64::NEG_INFINITY, 0u64);
+    for_each_block(
+        vals,
+        drops,
+        &mut acc,
+        |(m, n), block| {
+            *m = m.max(max_dense(block));
+            *n += block.len() as u64;
+        },
+        |(m, n), v| {
+            *m = m.max(v);
+            *n += 1;
+        },
+    );
+    (acc.1 > 0).then_some(acc.0)
+}
+
+/// Minimum over the live rows of one column (`None` when none are live).
+/// NaN entries are ignored (`f64::min` semantics); an all-NaN column
+/// yields the `∞` fold identity, matching the scalar fallback exactly.
+pub fn min_f64(vals: &[f64], drops: &DropBitmap) -> Option<f64> {
+    if drops.dropped() == 0 {
+        return (!vals.is_empty()).then(|| min_dense(vals));
+    }
+    let mut acc = (f64::INFINITY, 0u64);
+    for_each_block(
+        vals,
+        drops,
+        &mut acc,
+        |(m, n), block| {
+            *m = m.min(min_dense(block));
+            *n += block.len() as u64;
+        },
+        |(m, n), v| {
+            *m = m.min(v);
+            *n += 1;
+        },
+    );
+    (acc.1 > 0).then_some(acc.0)
+}
+
+/// One-pass covariance partial sums over two positionally-paired columns
+/// (truncated to the shorter one). Callers compact shed rows first —
+/// covariance pairs *live* rows by position, so a drop mask cannot be
+/// applied to the two columns independently.
+///
+/// The sums are accumulated **relative to the first pair** (the
+/// anchors): covariance is shift-invariant, and anchoring removes the
+/// large common offset that makes the textbook `Σxy − ΣxΣy/n` one-pass
+/// formula catastrophically cancel on data like memory readings
+/// (values ≈ 4·10⁵ with small variance).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CovSums {
+    /// `Σ (x − x₀)` where `x₀` is the first pair's x (the anchor).
+    pub sum_x: f64,
+    /// `Σ (y − y₀)` where `y₀` is the first pair's y (the anchor).
+    pub sum_y: f64,
+    /// `Σ (x − x₀)·(y − y₀)`.
+    pub sum_xy: f64,
+    /// Number of pairs.
+    pub n: u64,
+}
+
+impl CovSums {
+    /// The sample covariance `(Σx'y' − Σx'Σy'/n) / (n−1)` over the
+    /// anchored values (shift-invariance makes it equal the covariance
+    /// of the raw pairs), or `None` with fewer than two pairs.
+    pub fn sample_cov(&self) -> Option<f64> {
+        (self.n >= 2).then(|| {
+            let n = self.n as f64;
+            (self.sum_xy - self.sum_x * self.sum_y / n) / (n - 1.0)
+        })
+    }
+}
+
+/// Accumulates [`CovSums`] over two paired slices with lane-split
+/// accumulators (the three running sums vectorize together). Values are
+/// anchored at the first pair, so the result stays accurate for columns
+/// with a large common offset.
+pub fn cov_sums(xs: &[f64], ys: &[f64]) -> CovSums {
+    let n = xs.len().min(ys.len());
+    let (xs, ys) = (&xs[..n], &ys[..n]);
+    let (ax, ay) = if n > 0 { (xs[0], ys[0]) } else { (0.0, 0.0) };
+    let mut sx = [0.0f64; LANES];
+    let mut sy = [0.0f64; LANES];
+    let mut sxy = [0.0f64; LANES];
+    let mut xc = xs.chunks_exact(LANES);
+    let mut yc = ys.chunks_exact(LANES);
+    for (x, y) in (&mut xc).zip(&mut yc) {
+        for l in 0..LANES {
+            let (dx, dy) = (x[l] - ax, y[l] - ay);
+            sx[l] += dx;
+            sy[l] += dy;
+            sxy[l] += dx * dy;
+        }
+    }
+    let mut out = CovSums {
+        sum_x: reduce_lanes(sx, |a, b| a + b),
+        sum_y: reduce_lanes(sy, |a, b| a + b),
+        sum_xy: reduce_lanes(sxy, |a, b| a + b),
+        n: n as u64,
+    };
+    for (x, y) in xc.remainder().iter().zip(yc.remainder()) {
+        let (dx, dy) = (x - ax, y - ay);
+        out.sum_x += dx;
+        out.sum_y += dy;
+        out.sum_xy += dx * dy;
+    }
+    out
+}
+
+/// Evaluates `vals[i] ⊙ rhs` into a word-packed keep mask (bit `i` set
+/// when row `i` matches **and** is live), ready for
+/// [`TupleBatch::append_gathered`]. The comparison is dispatched once,
+/// so the per-row loop is a branchless compare-and-pack.
+pub fn predicate_mask(vals: &[f64], op: CmpOp, rhs: f64, drops: &DropBitmap) -> Vec<u64> {
+    #[inline]
+    fn pack(vals: &[f64], drops: &DropBitmap, f: impl Fn(f64) -> bool) -> Vec<u64> {
+        let mut words = Vec::with_capacity(vals.len().div_ceil(64));
+        for (w, block) in vals.chunks(64).enumerate() {
+            let mut m = 0u64;
+            for (b, &v) in block.iter().enumerate() {
+                m |= (f(v) as u64) << b;
+            }
+            words.push(m & live_word(drops, w, block.len()));
+        }
+        words
+    }
+    match op {
+        CmpOp::Gt => pack(vals, drops, |v| v > rhs),
+        CmpOp::Ge => pack(vals, drops, |v| v >= rhs),
+        CmpOp::Lt => pack(vals, drops, |v| v < rhs),
+        CmpOp::Le => pack(vals, drops, |v| v <= rhs),
+        CmpOp::Eq => pack(vals, drops, |v| v == rhs),
+    }
+}
+
+/// Number of set bits in a keep mask (the filter/COUNT result).
+pub fn mask_count(mask: &[u64]) -> usize {
+    mask.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Keeps the `k` entries with the largest values (descending, ascending
+/// id as the deterministic tie-break) — a partial selection
+/// (`select_nth_unstable`) followed by a sort of the winners only, so
+/// the cost is `O(n + k log k)` instead of a full `O(n log n)` sort.
+pub fn partial_top_k(entries: &mut Vec<(i64, f64)>, k: usize) {
+    let cmp = |a: &(i64, f64), b: &(i64, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
+    if k == 0 {
+        entries.clear();
+        return;
+    }
+    if entries.len() > k {
+        entries.select_nth_unstable_by(k - 1, cmp);
+        entries.truncate(k);
+    }
+    entries.sort_by(cmp);
+}
+
+/// The live values of one `f64` payload column, compacted: a borrowed
+/// slice when the batch is typed with no shed rows (the zero-copy fast
+/// path), an owned gather otherwise. Kernels that pair columns
+/// positionally ([`cov_sums`]) consume this.
+pub fn live_f64(batch: &TupleBatch, field: usize) -> std::borrow::Cow<'_, [f64]> {
+    match batch.f64_column(field) {
+        Some(col) if batch.drops().dropped() == 0 => std::borrow::Cow::Borrowed(col),
+        _ => std::borrow::Cow::Owned(batch.column_f64(field).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drops_of(n: usize, dropped: &[usize]) -> DropBitmap {
+        let mut bm = DropBitmap::with_rows(n);
+        for &i in dropped {
+            bm.drop_row(i);
+        }
+        bm
+    }
+
+    #[test]
+    fn sum_count_dense_and_masked() {
+        let vals: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let (sum, n) = sum_count_f64(&vals, &DropBitmap::new());
+        assert_eq!(sum, 199.0 * 200.0 / 2.0);
+        assert_eq!(n, 200);
+        // Drop one row in the middle block and one in the tail.
+        let drops = drops_of(200, &[70, 199]);
+        let (sum, n) = sum_count_f64(&vals, &drops);
+        assert_eq!(sum, 19900.0 - 70.0 - 199.0);
+        assert_eq!(n, 198);
+        // Fully dropped.
+        let mut all = DropBitmap::with_rows(3);
+        for i in 0..3 {
+            all.drop_row(i);
+        }
+        assert_eq!(sum_count_f64(&[1.0, 2.0, 3.0], &all), (0.0, 0));
+    }
+
+    #[test]
+    fn sum_matches_sequential_fold_closely() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() * 100.0).collect();
+        let seq: f64 = vals.iter().sum();
+        let (lanes, _) = sum_count_f64(&vals, &DropBitmap::new());
+        assert!((seq - lanes).abs() <= 1e-9 * seq.abs().max(1.0));
+    }
+
+    #[test]
+    fn max_min_match_scalar_folds_exactly() {
+        let vals: Vec<f64> = (0..150).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        assert_eq!(
+            max_f64(&vals, &DropBitmap::new()),
+            vals.iter()
+                .copied()
+                .fold(None::<f64>, |a, v| Some(a.map_or(v, |a| a.max(v))))
+        );
+        assert_eq!(
+            min_f64(&vals, &DropBitmap::new()),
+            vals.iter()
+                .copied()
+                .fold(None::<f64>, |a, v| Some(a.map_or(v, |a| a.min(v))))
+        );
+        assert_eq!(max_f64(&[], &DropBitmap::new()), None);
+        // Masked: the global max is dropped, the runner-up wins.
+        let max_at = vals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let masked = max_f64(&vals, &drops_of(vals.len(), &[max_at])).unwrap();
+        assert!(masked <= vals[max_at]);
+        assert!(vals
+            .iter()
+            .enumerate()
+            .any(|(i, &v)| i != max_at && v == masked));
+    }
+
+    #[test]
+    fn cov_sums_linear_series() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        let s = cov_sums(&xs, &ys);
+        assert_eq!(s.n, 4);
+        assert!((s.sample_cov().unwrap() - 10.0 / 3.0).abs() < 1e-12);
+        // Truncates to the shorter column.
+        assert_eq!(cov_sums(&xs, &ys[..2]).n, 2);
+        assert_eq!(cov_sums(&xs[..1], &ys).sample_cov(), None);
+        assert_eq!(cov_sums(&[], &[]).sample_cov(), None);
+    }
+
+    #[test]
+    fn cov_sums_survives_large_common_offset() {
+        // Memory-reading scale: values around 4e5 KB with tiny variance.
+        // The anchored one-pass sums must not catastrophically cancel —
+        // the covariance of (base + i, base + 2i) is exactly cov(i, 2i).
+        let n = 4000usize;
+        let base = 4.0e5;
+        let xs: Vec<f64> = (0..n).map(|i| base + i as f64 * 0.25).collect();
+        let ys: Vec<f64> = (0..n).map(|i| base + i as f64 * 0.5).collect();
+        let small_xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+        let small_ys: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let expect = cov_sums(&small_xs, &small_ys).sample_cov().unwrap();
+        let got = cov_sums(&xs, &ys).sample_cov().unwrap();
+        assert!(
+            (got - expect).abs() <= 1e-9 * expect.abs(),
+            "offset cancellation: {got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn predicate_mask_packs_and_respects_drops() {
+        let vals: Vec<f64> = (0..70).map(|i| i as f64).collect();
+        let mask = predicate_mask(&vals, CmpOp::Ge, 50.0, &DropBitmap::new());
+        assert_eq!(mask.len(), 2);
+        assert_eq!(mask_count(&mask), 20);
+        assert_eq!(mask[0], !0u64 << 50);
+        assert_eq!(mask[1], (1u64 << 6) - 1);
+        // A dropped matching row is cleared from the mask.
+        let mask = predicate_mask(&vals, CmpOp::Ge, 50.0, &drops_of(70, &[55]));
+        assert_eq!(mask_count(&mask), 19);
+        // Every operator agrees with Predicate's scalar semantics.
+        use crate::logic::Predicate;
+        for op in [CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Le, CmpOp::Eq] {
+            let mask = predicate_mask(&vals, op, 33.0, &DropBitmap::new());
+            let scalar = vals
+                .iter()
+                .filter(|&&v| Predicate::new(0, op, 33.0).matches(v))
+                .count();
+            assert_eq!(mask_count(&mask), scalar, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn partial_top_k_matches_full_sort() {
+        let mut entries: Vec<(i64, f64)> = (0..100)
+            .map(|i| (i as i64, ((i * 17) % 23) as f64))
+            .collect();
+        let mut sorted = entries.clone();
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        sorted.truncate(5);
+        partial_top_k(&mut entries, 5);
+        assert_eq!(entries, sorted);
+        // k >= len keeps (and orders) everything.
+        let mut small = vec![(2i64, 1.0), (1, 9.0)];
+        partial_top_k(&mut small, 10);
+        assert_eq!(small, vec![(1, 9.0), (2, 1.0)]);
+        let mut none = vec![(1i64, 1.0)];
+        partial_top_k(&mut none, 0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn live_f64_borrows_dense_typed_columns() {
+        let schema = Schema::new([("v", FieldType::F64)]);
+        let mut b = TupleBatch::with_schema(schema);
+        for v in [1.0, 2.0, 3.0] {
+            b.push_row(Timestamp(0), Sic(0.1), &[Value::F64(v)]);
+        }
+        assert!(matches!(live_f64(&b, 0), std::borrow::Cow::Borrowed(_)));
+        b.drop_row(1);
+        let compact = live_f64(&b, 0);
+        assert!(matches!(compact, std::borrow::Cow::Owned(_)));
+        assert_eq!(&*compact, &[1.0, 3.0]);
+    }
+}

@@ -8,6 +8,10 @@
 //! * [`window`] — pass-through, tumbling, sliding and count windows;
 //! * [`logic`] — the black-box logic: aggregates, filter/project, top-k,
 //!   group-by, join, covariance;
+//! * [`kernels`] — auto-vectorizable aggregate kernels over the typed
+//!   column slices of schema-declared batches (sum/count/min/max,
+//!   covariance sums, predicate bitmaps, partial top-k), honoring the
+//!   drop bitmap word-at-a-time;
 //! * [`op`] — [`op::WindowedOperator`], the executable combination that
 //!   handles SIC propagation.
 //!
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod kernels;
 pub mod logic;
 pub mod op;
 pub mod window;

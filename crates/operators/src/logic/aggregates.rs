@@ -2,21 +2,80 @@
 //! the partial/merge pair used by incremental multi-fragment trees
 //! (the AVG-all workload of Table 1). Aggregates collapse the pane, so they
 //! return no per-row timestamps — the operator wrapper stamps outputs with
-//! the pane's window timestamp. All aggregates stream over the panes'
-//! contiguous value columns without materialising rows.
+//! the pane's window timestamp.
+//!
+//! Panes whose batches are schema-typed with a native `f64` column at the
+//! aggregated field run the vectorized [`kernels`] (lane-split sums,
+//! word-at-a-time drop handling); arena panes fall back to the scalar
+//! [`TupleBatch::column_f64`] fold with identical semantics.
 
 use themis_core::prelude::*;
 
 use super::filter::Predicate;
 use super::{OutRow, PaneLogic};
-
-fn values<'a>(panes: &'a [&TupleBatch], field: usize) -> impl Iterator<Item = f64> + 'a {
-    // Strided column walk over each pane's contiguous value arena.
-    panes.iter().flat_map(move |p| p.column_f64(field))
-}
+use crate::kernels;
 
 fn is_empty(panes: &[&TupleBatch]) -> bool {
     panes.iter().all(|p| p.is_empty())
+}
+
+/// Sum + live count of `field` over one pane: the typed kernel when the
+/// pane exposes a native `f64` column, the scalar column fold otherwise.
+fn pane_sum_count(pane: &TupleBatch, field: usize) -> (f64, u64) {
+    match pane.f64_column(field) {
+        Some(col) => kernels::sum_count_f64(col, pane.drops()),
+        None => {
+            let (mut sum, mut n) = (0.0, 0u64);
+            for v in pane.column_f64(field) {
+                sum += v;
+                n += 1;
+            }
+            (sum, n)
+        }
+    }
+}
+
+/// Sum + count of `field` across all panes of one atomic step.
+fn sum_count(panes: &[&TupleBatch], field: usize) -> (f64, u64) {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for p in panes {
+        let (s, c) = pane_sum_count(p, field);
+        sum += s;
+        n += c;
+    }
+    (sum, n)
+}
+
+// The scalar max/min fallbacks fold from the ∓∞ identity exactly like
+// the kernels, so both layouts agree bit-for-bit even on NaN entries
+// (`f64::max`/`f64::min` ignore NaN; an all-NaN column yields ∓∞).
+
+fn pane_max(pane: &TupleBatch, field: usize) -> Option<f64> {
+    match pane.f64_column(field) {
+        Some(col) => kernels::max_f64(col, pane.drops()),
+        None => {
+            let (mut m, mut any) = (f64::NEG_INFINITY, false);
+            for v in pane.column_f64(field) {
+                m = m.max(v);
+                any = true;
+            }
+            any.then_some(m)
+        }
+    }
+}
+
+fn pane_min(pane: &TupleBatch, field: usize) -> Option<f64> {
+    match pane.f64_column(field) {
+        Some(col) => kernels::min_f64(col, pane.drops()),
+        None => {
+            let (mut m, mut any) = (f64::INFINITY, false);
+            for v in pane.column_f64(field) {
+                m = m.min(v);
+                any = true;
+            }
+            any.then_some(m)
+        }
+    }
 }
 
 /// `Select Avg(t.v)` over a pane; emits `[avg]`.
@@ -34,13 +93,9 @@ impl AvgLogic {
 
 impl PaneLogic for AvgLogic {
     fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
-        if is_empty(panes) {
+        let (sum, n) = sum_count(panes, self.field);
+        if n == 0 {
             return Vec::new();
-        }
-        let (mut sum, mut n) = (0.0, 0u64);
-        for v in values(panes, self.field) {
-            sum += v;
-            n += 1;
         }
         vec![(None, vec![Value::F64(sum / n as f64)])]
     }
@@ -66,15 +121,11 @@ impl PartialAvgLogic {
 
 impl PaneLogic for PartialAvgLogic {
     fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
-        if is_empty(panes) {
+        let (sum, n) = sum_count(panes, self.field);
+        if n == 0 {
             return Vec::new();
         }
-        let (mut sum, mut n) = (0.0, 0i64);
-        for v in values(panes, self.field) {
-            sum += v;
-            n += 1;
-        }
-        vec![(None, vec![Value::F64(sum), Value::I64(n)])]
+        vec![(None, vec![Value::F64(sum), Value::I64(n as i64)])]
     }
 
     fn name(&self) -> &'static str {
@@ -122,7 +173,8 @@ impl PaneLogic for SumLogic {
         if is_empty(panes) {
             return Vec::new();
         }
-        vec![(None, vec![Value::F64(values(panes, self.field).sum())])]
+        let (sum, _) = sum_count(panes, self.field);
+        vec![(None, vec![Value::F64(sum)])]
     }
 
     fn name(&self) -> &'static str {
@@ -143,6 +195,20 @@ impl CountLogic {
     pub fn new(predicate: Option<Predicate>) -> Self {
         CountLogic { predicate }
     }
+
+    fn pane_count(&self, pane: &TupleBatch) -> usize {
+        match self.predicate {
+            None => pane.len(),
+            Some(p) => match pane.f64_column(p.field) {
+                // Typed column: evaluate the HAVING predicate through the
+                // word-packed mask kernel and popcount the survivors.
+                Some(col) => {
+                    kernels::mask_count(&kernels::predicate_mask(col, p.op, p.value, pane.drops()))
+                }
+                None => pane.iter().filter(|t| p.eval_row(&t.values)).count(),
+            },
+        }
+    }
 }
 
 impl PaneLogic for CountLogic {
@@ -150,11 +216,7 @@ impl PaneLogic for CountLogic {
         if is_empty(panes) {
             return Vec::new();
         }
-        let n = panes
-            .iter()
-            .flat_map(|p| p.iter())
-            .filter(|t| self.predicate.map(|p| p.eval(t.values)).unwrap_or(true))
-            .count();
+        let n: usize = panes.iter().map(|p| self.pane_count(p)).sum();
         vec![(None, vec![Value::I64(n as i64)])]
     }
 
@@ -178,7 +240,9 @@ impl MaxLogic {
 
 impl PaneLogic for MaxLogic {
     fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
-        values(panes, self.field)
+        panes
+            .iter()
+            .filter_map(|p| pane_max(p, self.field))
             .fold(None, |acc: Option<f64>, v| {
                 Some(acc.map_or(v, |a| a.max(v)))
             })
@@ -206,7 +270,9 @@ impl MinLogic {
 
 impl PaneLogic for MinLogic {
     fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
-        values(panes, self.field)
+        panes
+            .iter()
+            .filter_map(|p| pane_min(p, self.field))
             .fold(None, |acc: Option<f64>, v| {
                 Some(acc.map_or(v, |a| a.min(v)))
             })
@@ -230,6 +296,14 @@ mod tests {
             .collect()
     }
 
+    fn typed_pane(vals: &[f64]) -> TupleBatch {
+        let mut b = TupleBatch::with_schema(Schema::new([("value", FieldType::F64)]));
+        for &v in vals {
+            b.push_row(Timestamp(0), Sic(0.1), &[Value::F64(v)]);
+        }
+        b
+    }
+
     fn rows(out: Vec<OutRow>) -> Vec<Row> {
         out.into_iter().map(|(_, r)| r).collect()
     }
@@ -245,6 +319,42 @@ mod tests {
     #[test]
     fn avg_empty_emits_nothing() {
         assert!(AvgLogic::new(0).apply(&[&TupleBatch::new()]).is_empty());
+    }
+
+    #[test]
+    fn typed_panes_agree_with_arena_panes() {
+        let vals: Vec<f64> = (0..130).map(|i| (i as f64) * 0.5 - 20.0).collect();
+        let mut arena = pane(&vals);
+        let mut typed = typed_pane(&vals);
+        // Drop the same rows on both representations.
+        for i in [3usize, 100] {
+            arena.drop_row(i);
+            typed.drop_row(i);
+        }
+        for (mut a, mut b) in [
+            (
+                AvgLogic::new(0).apply(&[&arena]),
+                AvgLogic::new(0).apply(&[&typed]),
+            ),
+            (
+                SumLogic::new(0).apply(&[&arena]),
+                SumLogic::new(0).apply(&[&typed]),
+            ),
+            (
+                MaxLogic::new(0).apply(&[&arena]),
+                MaxLogic::new(0).apply(&[&typed]),
+            ),
+            (
+                MinLogic::new(0).apply(&[&arena]),
+                MinLogic::new(0).apply(&[&typed]),
+            ),
+        ] {
+            let (a, b) = (
+                a.remove(0).1.remove(0).as_f64(),
+                b.remove(0).1.remove(0).as_f64(),
+            );
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
     }
 
     #[test]
@@ -278,11 +388,15 @@ mod tests {
 
     #[test]
     fn count_with_having() {
-        let p = pane(&[10.0, 55.0, 50.0, 99.0]);
-        let out = CountLogic::new(Some(Predicate::new(0, CmpOp::Ge, 50.0))).apply(&[&p]);
-        assert_eq!(rows(out), vec![vec![Value::I64(3)]]);
-        let all = CountLogic::new(None).apply(&[&p]);
-        assert_eq!(rows(all), vec![vec![Value::I64(4)]]);
+        for p in [
+            pane(&[10.0, 55.0, 50.0, 99.0]),
+            typed_pane(&[10.0, 55.0, 50.0, 99.0]),
+        ] {
+            let out = CountLogic::new(Some(Predicate::new(0, CmpOp::Ge, 50.0))).apply(&[&p]);
+            assert_eq!(rows(out), vec![vec![Value::I64(3)]]);
+            let all = CountLogic::new(None).apply(&[&p]);
+            assert_eq!(rows(all), vec![vec![Value::I64(4)]]);
+        }
     }
 
     #[test]
@@ -311,16 +425,20 @@ mod tests {
     #[test]
     fn aggregates_span_ports() {
         let p0 = pane(&[1.0]);
-        let p1 = pane(&[3.0]);
+        let p1 = typed_pane(&[3.0]);
         let out = AvgLogic::new(0).apply(&[&p0, &p1]);
         assert_eq!(rows(out), vec![vec![Value::F64(2.0)]]);
     }
 
     #[test]
     fn dropped_rows_are_ignored() {
-        let mut p = pane(&[10.0, 1000.0, 30.0]);
-        p.drop_row(1);
-        let out = AvgLogic::new(0).apply(&[&p]);
-        assert_eq!(rows(out), vec![vec![Value::F64(20.0)]]);
+        for mut p in [
+            pane(&[10.0, 1000.0, 30.0]),
+            typed_pane(&[10.0, 1000.0, 30.0]),
+        ] {
+            p.drop_row(1);
+            let out = AvgLogic::new(0).apply(&[&p]);
+            assert_eq!(rows(out), vec![vec![Value::F64(20.0)]]);
+        }
     }
 }

@@ -4,11 +4,19 @@
 use themis_core::prelude::*;
 
 use super::{OutRow, PaneLogic};
+use crate::kernels;
 
 /// Computes the sample covariance between the `field` values of port 0 and
 /// port 1 within one pane, pairing tuples positionally (both sources sample
 /// the same clock). Emits `[cov]`, or nothing when fewer than two pairs are
 /// available.
+///
+/// The covariance runs as a single [`kernels::cov_sums`] pass
+/// (`Σx, Σy, Σxy` with lane-split accumulators) over the panes' live
+/// columns: typed panes without drops lend their native `f64` slices
+/// zero-copy; shed or arena panes compact into a scratch vector first,
+/// because positional pairing of *live* rows cannot apply the two drop
+/// masks independently.
 #[derive(Debug)]
 pub struct CovLogic {
     field: usize,
@@ -26,19 +34,12 @@ impl PaneLogic for CovLogic {
         let (Some(&px), Some(&py)) = (panes.first(), panes.get(1)) else {
             return Vec::new();
         };
-        let xs: Vec<f64> = px.column_f64(self.field).collect();
-        let ys: Vec<f64> = py.column_f64(self.field).collect();
-        let n = xs.len().min(ys.len());
-        if n < 2 {
-            return Vec::new();
+        let xs = kernels::live_f64(px, self.field);
+        let ys = kernels::live_f64(py, self.field);
+        match kernels::cov_sums(&xs, &ys).sample_cov() {
+            Some(cov) => vec![(None, vec![Value::F64(cov)])],
+            None => Vec::new(),
         }
-        let mx = xs[..n].iter().sum::<f64>() / n as f64;
-        let my = ys[..n].iter().sum::<f64>() / n as f64;
-        let mut acc = 0.0;
-        for i in 0..n {
-            acc += (xs[i] - mx) * (ys[i] - my);
-        }
-        vec![(None, vec![Value::F64(acc / (n as f64 - 1.0))])]
     }
 
     fn name(&self) -> &'static str {
@@ -56,12 +57,25 @@ mod tests {
             .collect()
     }
 
+    fn typed_pane(vals: &[f64]) -> TupleBatch {
+        let mut b = TupleBatch::with_schema(Schema::new([("value", FieldType::F64)]));
+        for &v in vals {
+            b.push_row(Timestamp(0), Sic(0.1), &[Value::F64(v)]);
+        }
+        b
+    }
+
     #[test]
     fn covariance_of_linear_series() {
         let x = pane(&[1.0, 2.0, 3.0, 4.0]);
         let y = pane(&[2.0, 4.0, 6.0, 8.0]);
         let out = CovLogic::new(0).apply(&[&x, &y]);
         assert!((out[0].1[0].as_f64() - 10.0 / 3.0).abs() < 1e-9);
+        // The typed zero-copy path computes the same value.
+        let tx = typed_pane(&[1.0, 2.0, 3.0, 4.0]);
+        let ty = typed_pane(&[2.0, 4.0, 6.0, 8.0]);
+        let typed = CovLogic::new(0).apply(&[&tx, &ty]);
+        assert_eq!(out[0].1, typed[0].1);
     }
 
     #[test]
@@ -78,6 +92,16 @@ mod tests {
         let y = pane(&[1.0, 2.0]);
         let out = CovLogic::new(0).apply(&[&x, &y]);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn shed_rows_are_compacted_before_pairing() {
+        let mut x = typed_pane(&[1.0, 99.0, 2.0, 3.0, 4.0]);
+        x.drop_row(1);
+        let y = typed_pane(&[2.0, 4.0, 6.0, 8.0]);
+        let shed = CovLogic::new(0).apply(&[&x, &y]);
+        let clean = CovLogic::new(0).apply(&[&typed_pane(&[1.0, 2.0, 3.0, 4.0]), &y]);
+        assert_eq!(shed[0].1, clean[0].1, "live rows pair positionally");
     }
 
     #[test]

@@ -1,10 +1,18 @@
 //! Stateless row logic: identity, filter, project. All three are
 //! row-preserving: output rows inherit the timestamp of the tuple they came
 //! from, so downstream event-time windows keep grouping correctly.
+//!
+//! Identity and filter implement the columnar fast path
+//! ([`PaneLogic::apply_columnar`]): identity concatenates pane columns
+//! (contiguous copies, typed layout preserved) and filter evaluates its
+//! predicate through the [`kernels::predicate_mask`] bitmap kernel,
+//! gathering survivors column-by-column — so a typed batch stays typed
+//! from the source all the way through its receiver chain.
 
 use themis_core::prelude::*;
 
 use super::{OutRow, PaneLogic};
+use crate::kernels;
 
 /// Comparison operator for predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,10 +46,11 @@ impl Predicate {
         Predicate { field, op, value }
     }
 
-    /// Evaluates the predicate against one payload row (a missing field
-    /// reads as 0).
-    pub fn eval(&self, values: &[Value]) -> bool {
-        let v = values.get(self.field).map(|v| v.as_f64()).unwrap_or(0.0);
+    /// Compares one numeric field value against the constant — the
+    /// scalar core shared with the vectorized
+    /// [`kernels::predicate_mask`].
+    #[inline]
+    pub fn matches(&self, v: f64) -> bool {
         match self.op {
             CmpOp::Gt => v > self.value,
             CmpOp::Ge => v >= self.value,
@@ -49,6 +58,19 @@ impl Predicate {
             CmpOp::Le => v <= self.value,
             CmpOp::Eq => v == self.value,
         }
+    }
+
+    /// Evaluates the predicate against one payload row (a missing field
+    /// reads as 0).
+    pub fn eval(&self, values: &[Value]) -> bool {
+        self.matches(values.get(self.field).map(|v| v.as_f64()).unwrap_or(0.0))
+    }
+
+    /// Evaluates the predicate against a borrowed row view (a missing
+    /// field reads as 0).
+    #[inline]
+    pub fn eval_row(&self, row: &RowValues<'_>) -> bool {
+        self.matches(row.get(self.field).map(|v| v.as_f64()).unwrap_or(0.0))
     }
 }
 
@@ -63,6 +85,16 @@ impl PaneLogic for IdentityLogic {
             .iter()
             .flat_map(|p| p.iter().map(|t| (Some(t.ts), t.values.to_vec())))
             .collect()
+    }
+
+    fn apply_columnar(&mut self, panes: &[&TupleBatch]) -> Option<TupleBatch> {
+        // Concatenate pane columns: typed panes append column-to-column,
+        // so a receiver's emission keeps its native layout.
+        let mut out = TupleBatch::new();
+        for p in panes {
+            out.append_batch(p);
+        }
+        Some(out)
     }
 
     fn name(&self) -> &'static str {
@@ -90,9 +122,26 @@ impl PaneLogic for FilterLogic {
         panes
             .iter()
             .flat_map(|p| p.iter())
-            .filter(|t| self.predicate.eval(t.values))
+            .filter(|t| self.predicate.eval_row(&t.values))
             .map(|t| (Some(t.ts), t.values.to_vec()))
             .collect()
+    }
+
+    fn apply_columnar(&mut self, panes: &[&TupleBatch]) -> Option<TupleBatch> {
+        // Typed fast path only when every non-empty pane exposes the
+        // predicate field as a native f64 column; otherwise the scalar
+        // row path handles the pane (missing fields read as 0 there).
+        let mut out = TupleBatch::new();
+        for p in panes {
+            if p.rows() == 0 {
+                continue;
+            }
+            let col = p.f64_column(self.predicate.field)?;
+            let mask =
+                kernels::predicate_mask(col, self.predicate.op, self.predicate.value, p.drops());
+            out.append_gathered(p, &mask);
+        }
+        Some(out)
     }
 
     fn name(&self) -> &'static str {
@@ -146,6 +195,14 @@ mod tests {
         vals.iter().map(|&v| t(v)).collect()
     }
 
+    fn typed(vals: &[f64]) -> TupleBatch {
+        let mut b = TupleBatch::with_schema(Schema::new([("value", FieldType::F64)]));
+        for &v in vals {
+            b.push_row(Timestamp(7), Sic(0.1), &[Value::F64(v)]);
+        }
+        b
+    }
+
     #[test]
     fn predicate_ops() {
         let x = t(50.0);
@@ -156,6 +213,8 @@ mod tests {
         assert!(Predicate::new(0, CmpOp::Eq, 50.0).eval(&x.values));
         // Missing field reads as 0.
         assert!(Predicate::new(7, CmpOp::Lt, 1.0).eval(&x.values));
+        let b = batch(&[50.0]);
+        assert!(Predicate::new(7, CmpOp::Lt, 1.0).eval_row(&b.row(0).values));
     }
 
     #[test]
@@ -169,6 +228,17 @@ mod tests {
     }
 
     #[test]
+    fn identity_columnar_concatenates_typed_panes() {
+        let a = typed(&[1.0, 2.0]);
+        let b = typed(&[3.0]);
+        let out = IdentityLogic.apply_columnar(&[&a, &b]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.schema().is_some(), "typed layout preserved");
+        assert_eq!(out.f64_column(0), Some(&[1.0, 2.0, 3.0][..]));
+        assert_eq!(out.row(0).ts, Timestamp(7), "row timestamps preserved");
+    }
+
+    #[test]
     fn filter_selects_matching() {
         let tuples = batch(&[10.0, 60.0, 55.0]);
         let mut f = FilterLogic::new(Predicate::new(0, CmpOp::Ge, 50.0));
@@ -178,10 +248,38 @@ mod tests {
     }
 
     #[test]
+    fn filter_columnar_matches_row_path() {
+        let vals = [10.0, 60.0, 55.0, 49.9, 50.0];
+        let pred = Predicate::new(0, CmpOp::Ge, 50.0);
+        let rows = FilterLogic::new(pred).apply(&[&typed(&vals)]);
+        let cols = FilterLogic::new(pred)
+            .apply_columnar(&[&typed(&vals)])
+            .unwrap();
+        assert_eq!(cols.len(), rows.len());
+        let col_vals: Vec<f64> = cols.iter().map(|r| r.f64(0)).collect();
+        let row_vals: Vec<f64> = rows.iter().map(|(_, r)| r[0].as_f64()).collect();
+        assert_eq!(col_vals, row_vals);
+        assert!(cols.schema().is_some());
+        // Arena panes decline the columnar path (no typed column).
+        assert!(FilterLogic::new(pred)
+            .apply_columnar(&[&batch(&vals)])
+            .is_none());
+        // Dropped rows never pass the filter.
+        let mut shed = typed(&vals);
+        shed.drop_row(1);
+        let cols = FilterLogic::new(pred).apply_columnar(&[&shed]).unwrap();
+        assert_eq!(cols.len(), 2);
+    }
+
+    #[test]
     fn filter_can_drop_everything() {
         let tuples = batch(&[1.0]);
         let mut f = FilterLogic::new(Predicate::new(0, CmpOp::Gt, 100.0));
         assert!(f.apply(&[&tuples]).is_empty());
+        let cols = FilterLogic::new(Predicate::new(0, CmpOp::Gt, 100.0))
+            .apply_columnar(&[&typed(&[1.0])])
+            .unwrap();
+        assert!(cols.is_empty());
     }
 
     #[test]

@@ -47,7 +47,7 @@ impl PaneLogic for JoinLogic {
             if let Some(matches) = index.get(&k) {
                 for r in matches {
                     let mut row = l.values.to_vec();
-                    row.extend_from_slice(r.values);
+                    row.extend(r.values.iter());
                     out.push((None, row));
                 }
             }

@@ -38,6 +38,19 @@ pub trait PaneLogic: Send {
     /// Computes the output rows of one atomic processing step.
     fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow>;
 
+    /// Columnar fast path for row-preserving logic: computes the whole
+    /// output *batch* of one atomic step (row timestamps already set;
+    /// the operator wrapper overwrites SIC per Eq. 3), so typed input
+    /// columns copy straight into typed output columns without
+    /// materialising per-row `Vec<Value>`s. Returning `None` (the
+    /// default) makes the wrapper fall back to [`PaneLogic::apply`];
+    /// implementations must return `None` whenever they cannot
+    /// reproduce the row path's semantics for the given panes.
+    fn apply_columnar(&mut self, panes: &[&TupleBatch]) -> Option<TupleBatch> {
+        let _ = panes;
+        None
+    }
+
     /// Display name for diagnostics.
     fn name(&self) -> &'static str;
 }

@@ -1,10 +1,44 @@
 //! Top-k and group-by logic used by the TOP-5 workload of Table 1.
+//!
+//! All three logics fold rows into a per-key map; panes whose batches are
+//! schema-typed with native `i64` key and `f64` value columns read the
+//! raw slices (no per-field `Value` match), and the final top-k selection
+//! runs through [`kernels::partial_top_k`] instead of a full sort.
 
 use std::collections::HashMap;
 
 use themis_core::prelude::*;
 
 use super::{OutRow, PaneLogic};
+use crate::kernels;
+
+/// Folds each live `(key, value)` pair of the pane into `each`, reading
+/// native columns when the pane is typed and borrowed row views
+/// otherwise (missing fields read as 0, the row-path `get` semantics).
+fn fold_keyed(
+    pane: &TupleBatch,
+    key_field: usize,
+    value_field: usize,
+    mut each: impl FnMut(i64, f64),
+) {
+    match (pane.i64_column(key_field), pane.f64_column(value_field)) {
+        (Some(keys), Some(vals)) => {
+            let all_live = pane.drops().dropped() == 0;
+            for i in 0..pane.rows() {
+                if all_live || pane.is_live(i) {
+                    each(keys[i], vals[i]);
+                }
+            }
+        }
+        _ => {
+            for t in pane.iter() {
+                let k = t.get(key_field).map(|v| v.as_i64()).unwrap_or(0);
+                let v = t.get(value_field).map(|v| v.as_f64()).unwrap_or(0.0);
+                each(k, v);
+            }
+        }
+    }
+}
 
 /// Emits the `k` rows with the largest `value_field`, as `[id, value]`
 /// pairs in descending value order. Duplicate ids keep their best value, so
@@ -31,17 +65,16 @@ impl TopKLogic {
 impl PaneLogic for TopKLogic {
     fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         let mut best: HashMap<i64, f64> = HashMap::new();
-        for t in panes.iter().flat_map(|p| p.iter()) {
-            let id = t.get(self.id_field).map(|v| v.as_i64()).unwrap_or(0);
-            let v = t.get(self.value_field).map(|v| v.as_f64()).unwrap_or(0.0);
-            best.entry(id)
-                .and_modify(|cur| *cur = cur.max(v))
-                .or_insert(v);
+        for p in panes {
+            fold_keyed(p, self.id_field, self.value_field, |id, v| {
+                best.entry(id)
+                    .and_modify(|cur| *cur = cur.max(v))
+                    .or_insert(v);
+            });
         }
         let mut rows: Vec<(i64, f64)> = best.into_iter().collect();
-        // Descending by value, ascending id as a deterministic tie-break.
-        rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        rows.truncate(self.k);
+        // Partial select: descending by value, ascending id tie-break.
+        kernels::partial_top_k(&mut rows, self.k);
         rows.into_iter()
             .map(|(id, v)| (None, vec![Value::I64(id), Value::F64(v)]))
             .collect()
@@ -73,12 +106,12 @@ impl GroupMaxLogic {
 impl PaneLogic for GroupMaxLogic {
     fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         let mut best: HashMap<i64, f64> = HashMap::new();
-        for t in panes.iter().flat_map(|p| p.iter()) {
-            let key = t.get(self.key_field).map(|v| v.as_i64()).unwrap_or(0);
-            let v = t.get(self.value_field).map(|v| v.as_f64()).unwrap_or(0.0);
-            best.entry(key)
-                .and_modify(|cur| *cur = cur.max(v))
-                .or_insert(v);
+        for p in panes {
+            fold_keyed(p, self.key_field, self.value_field, |key, v| {
+                best.entry(key)
+                    .and_modify(|cur| *cur = cur.max(v))
+                    .or_insert(v);
+            });
         }
         let mut rows: Vec<(i64, f64)> = best.into_iter().collect();
         rows.sort_by_key(|&(k, _)| k);
@@ -114,12 +147,12 @@ impl GroupAvgLogic {
 impl PaneLogic for GroupAvgLogic {
     fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow> {
         let mut acc: HashMap<i64, (f64, u64)> = HashMap::new();
-        for t in panes.iter().flat_map(|p| p.iter()) {
-            let key = t.get(self.key_field).map(|v| v.as_i64()).unwrap_or(0);
-            let v = t.get(self.value_field).map(|v| v.as_f64()).unwrap_or(0.0);
-            let e = acc.entry(key).or_insert((0.0, 0));
-            e.0 += v;
-            e.1 += 1;
+        for p in panes {
+            fold_keyed(p, self.key_field, self.value_field, |key, v| {
+                let e = acc.entry(key).or_insert((0.0, 0));
+                e.0 += v;
+                e.1 += 1;
+            });
         }
         let mut rows: Vec<(i64, f64)> = acc
             .into_iter()
@@ -148,15 +181,26 @@ mod tests {
         rows.iter().map(|&(id, v)| row(id, v)).collect()
     }
 
+    fn typed(rows: &[(i64, f64)]) -> TupleBatch {
+        let schema = Schema::new([("key", FieldType::I64), ("value", FieldType::F64)]);
+        let mut b = TupleBatch::with_schema_capacity(schema, rows.len());
+        for &(id, v) in rows {
+            b.push_row(Timestamp(0), Sic(0.1), &[Value::I64(id), Value::F64(v)]);
+        }
+        b
+    }
+
     fn ids(out: &[OutRow]) -> Vec<i64> {
         out.iter().map(|(_, r)| r[0].as_i64()).collect()
     }
 
     #[test]
     fn topk_orders_descending() {
-        let pane = batch(&[(1, 5.0), (2, 9.0), (3, 7.0), (4, 1.0)]);
-        let out = TopKLogic::new(2, 0, 1).apply(&[&pane]);
-        assert_eq!(ids(&out), vec![2, 3]);
+        let data = [(1, 5.0), (2, 9.0), (3, 7.0), (4, 1.0)];
+        for pane in [batch(&data), typed(&data)] {
+            let out = TopKLogic::new(2, 0, 1).apply(&[&pane]);
+            assert_eq!(ids(&out), vec![2, 3]);
+        }
     }
 
     #[test]
@@ -186,20 +230,32 @@ mod tests {
     }
 
     #[test]
+    fn topk_skips_dropped_typed_rows() {
+        let mut pane = typed(&[(1, 5.0), (2, 9.0), (3, 7.0)]);
+        pane.drop_row(1);
+        let out = TopKLogic::new(2, 0, 1).apply(&[&pane]);
+        assert_eq!(ids(&out), vec![3, 1], "dropped winner excluded");
+    }
+
+    #[test]
     fn group_max_groups() {
-        let pane = batch(&[(1, 5.0), (1, 7.0), (2, 3.0)]);
-        let out = GroupMaxLogic::new(0, 1).apply(&[&pane]);
-        assert_eq!(out.len(), 2);
-        assert_eq!(out[0].1, vec![Value::I64(1), Value::F64(7.0)]);
-        assert_eq!(out[1].1, vec![Value::I64(2), Value::F64(3.0)]);
+        let data = [(1, 5.0), (1, 7.0), (2, 3.0)];
+        for pane in [batch(&data), typed(&data)] {
+            let out = GroupMaxLogic::new(0, 1).apply(&[&pane]);
+            assert_eq!(out.len(), 2);
+            assert_eq!(out[0].1, vec![Value::I64(1), Value::F64(7.0)]);
+            assert_eq!(out[1].1, vec![Value::I64(2), Value::F64(3.0)]);
+        }
     }
 
     #[test]
     fn group_avg_averages_per_key() {
-        let pane = batch(&[(1, 4.0), (1, 8.0), (2, 3.0)]);
-        let out = GroupAvgLogic::new(0, 1).apply(&[&pane]);
-        assert_eq!(out.len(), 2);
-        assert_eq!(out[0].1, vec![Value::I64(1), Value::F64(6.0)]);
-        assert_eq!(out[1].1, vec![Value::I64(2), Value::F64(3.0)]);
+        let data = [(1, 4.0), (1, 8.0), (2, 3.0)];
+        for pane in [batch(&data), typed(&data)] {
+            let out = GroupAvgLogic::new(0, 1).apply(&[&pane]);
+            assert_eq!(out.len(), 2);
+            assert_eq!(out[0].1, vec![Value::I64(1), Value::F64(6.0)]);
+            assert_eq!(out[1].1, vec![Value::I64(2), Value::F64(3.0)]);
+        }
     }
 }

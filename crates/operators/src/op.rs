@@ -194,6 +194,21 @@ impl WindowedOperator {
             let input_sic = pane.input_sic();
             self.processed_tuples += pane.input_len() as u64;
             let groups: Vec<&TupleBatch> = pane.inputs.iter().collect();
+            // Columnar fast path: row-preserving logic (identity, typed
+            // filters) emits a whole batch — typed input columns copy to
+            // typed output columns, and only the Eq.-3 SIC restamping
+            // touches each row.
+            if let Some(mut batch) = self.logic.apply_columnar(&groups) {
+                if batch.is_empty() {
+                    // Mass is lost when an atomic group yields no derived
+                    // tuples — the paper's model.
+                    continue;
+                }
+                let share = Sic::derived_tuple(input_sic, batch.len());
+                batch.set_uniform_sic(share);
+                out.push(Emission::new(pane.at, batch));
+                continue;
+            }
             let rows = self.logic.apply(&groups);
             if rows.is_empty() {
                 // Mass is lost when an atomic group yields no derived tuples

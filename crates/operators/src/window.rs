@@ -192,7 +192,9 @@ impl WindowBuffer {
                 let ports = self.ports;
                 for r in batch.iter() {
                     let idx = r.ts.as_micros() / size_us;
-                    pane_port(&mut self.panes, ports, idx, port).push_row(r.ts, r.sic, r.values);
+                    // push_ref keeps typed batches typed: the pane adopts
+                    // the batch's schema and copies column-to-column.
+                    pane_port(&mut self.panes, ports, idx, port).push_ref(r);
                 }
             }
             WindowSpec::Sliding { slide, .. } => {
@@ -212,8 +214,7 @@ impl WindowBuffer {
                     let n_panes = last - first + 1;
                     let shared = Sic(r.sic.value() / n_panes as f64);
                     for idx in first..=last {
-                        pane_port(&mut self.panes, ports, idx, port)
-                            .push_row(r.ts, shared, r.values);
+                        pane_port(&mut self.panes, ports, idx, port).push_ref_sic(r, shared);
                     }
                 }
             }

@@ -1,9 +1,13 @@
 //! Property-based tests: Eq.-3 SIC propagation invariants over arbitrary
-//! tuple streams and operator configurations.
+//! tuple streams and operator configurations, plus typed-kernel /
+//! scalar-fold parity over random schemas, drop patterns and all six
+//! shedding policies.
 
 use proptest::prelude::*;
 
 use themis_core::prelude::*;
+use themis_operators::kernels;
+use themis_operators::logic::FilterLogic;
 use themis_operators::prelude::*;
 
 /// Strategy: a batch of tuples within one 1-second window, each with a
@@ -163,6 +167,218 @@ proptest! {
         for e in &out {
             for t in e.iter() {
                 prop_assert!(t.ts.as_micros() < 1_000_000, "stamp {} >= window end", t.ts);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed-kernel parity: for random schemas and batches, every typed
+// kernel result matches the scalar `Value`-path fold — bit-for-bit for
+// order-independent kernels (min/max/count/filter/top-k/group-by), and
+// within a tiny reassociation bound for the lane-split float sums
+// (sum/avg/cov) — across drop patterns produced by all six shedding
+// policies plus direct row-level drops.
+// ---------------------------------------------------------------------
+
+/// The row shape of the parity cases: `[id: i64, v: f64, flag: bool]`.
+fn parity_schema() -> Schema {
+    Schema::new([
+        ("id", FieldType::I64),
+        ("v", FieldType::F64),
+        ("flag", FieldType::Bool),
+    ])
+}
+
+type ParityRow = (u64, i64, f64, bool);
+
+fn arb_parity_rows() -> impl Strategy<Value = Vec<ParityRow>> {
+    prop::collection::vec((0u64..999, 0i64..8, -100.0f64..100.0, 0u8..2), 1..150).prop_map(|rows| {
+        rows.into_iter()
+            .map(|(ms, id, v, flag)| (ms, id, v, flag == 1))
+            .collect()
+    })
+}
+
+/// Builds the same logical rows as an arena batch and a typed batch.
+fn parity_batches(rows: &[ParityRow]) -> (TupleBatch, TupleBatch) {
+    let mut arena = TupleBatch::with_capacity(3, rows.len());
+    let mut typed = TupleBatch::with_schema_capacity(parity_schema(), rows.len());
+    for &(ms, id, v, flag) in rows {
+        let row = [Value::I64(id), Value::F64(v), Value::Bool(flag)];
+        let ts = Timestamp::from_millis(ms);
+        arena.push_row(ts, Sic(0.001), &row);
+        typed.push_row(ts, Sic(0.001), &row);
+    }
+    (arena, typed)
+}
+
+/// Runs each policy over the rows chunked into shed-candidate batches and
+/// returns the row-level drop sets the decisions induce (plus a direct
+/// row-level pattern so partially-shed 64-row words are exercised too).
+fn policy_drop_patterns(n_rows: usize, chunk: usize, cap: usize) -> Vec<Vec<usize>> {
+    let chunk = chunk.max(1);
+    let mut patterns = Vec::new();
+    // Candidate snapshot: every `chunk` rows form one batch of one of two
+    // queries, each batch worth its row count in tuples and uniform SIC.
+    let starts: Vec<usize> = (0..n_rows).step_by(chunk).collect();
+    let mut states: Vec<QueryBufferState> = (0..2)
+        .map(|q| QueryBufferState {
+            query: QueryId(q),
+            base_sic: Sic::ZERO,
+            batches: Vec::new(),
+        })
+        .collect();
+    for (bi, &start) in starts.iter().enumerate() {
+        let len = chunk.min(n_rows - start);
+        states[bi % 2].batches.push(CandidateBatch {
+            buffer_index: bi,
+            sic: Sic(0.001 * len as f64),
+            tuples: len,
+            created: Timestamp(bi as u64),
+        });
+    }
+    for policy in PolicyKind::ALL {
+        let decision = policy.build(42).select_to_keep(cap, &states);
+        let shed = decision.shed_bitmap(starts.len());
+        let mut dropped = Vec::new();
+        for (bi, &start) in starts.iter().enumerate() {
+            if shed.is_dropped(bi) {
+                let len = chunk.min(n_rows - start);
+                dropped.extend(start..start + len);
+            }
+        }
+        patterns.push(dropped);
+    }
+    // Direct row-level drops: every 3rd row, leaving partial words live.
+    patterns.push((0..n_rows).step_by(3).collect());
+    patterns
+}
+
+/// `a` and `b` agree up to float reassociation of the lane-split sums.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-8 + 1e-9 * a.abs().max(b.abs())
+}
+
+fn single_f64(out: &[(Option<Timestamp>, Row)]) -> Option<f64> {
+    out.first().map(|(_, r)| r[0].as_f64())
+}
+
+proptest! {
+    /// Every typed kernel agrees with the scalar `Value`-path fold on the
+    /// same rows under the same drops, for all six shedding policies.
+    #[test]
+    fn typed_kernels_match_scalar_value_path(
+        rows in arb_parity_rows(),
+        chunk in 1usize..12,
+        cap_pct in 10usize..100,
+    ) {
+        let (arena_base, typed_base) = parity_batches(&rows);
+        let cap = (rows.len() * cap_pct / 100).max(1);
+        for dropped in policy_drop_patterns(rows.len(), chunk, cap) {
+            let (mut arena, mut typed) = (arena_base.clone(), typed_base.clone());
+            for &i in &dropped {
+                arena.drop_row(i);
+                typed.drop_row(i);
+            }
+            prop_assert_eq!(arena.len(), typed.len());
+
+            // Scalar references, folded sequentially through the arena.
+            let scalar_sum: f64 = arena.column_f64(1).sum();
+            let scalar_n = arena.len() as u64;
+            let scalar_max = arena
+                .column_f64(1)
+                .fold(None, |a: Option<f64>, v| Some(a.map_or(v, |a| a.max(v))));
+            let scalar_min = arena
+                .column_f64(1)
+                .fold(None, |a: Option<f64>, v| Some(a.map_or(v, |a| a.min(v))));
+
+            // Kernels on the typed columns.
+            let col = typed.f64_column(1).expect("typed v column");
+            let (k_sum, k_n) = kernels::sum_count_f64(col, typed.drops());
+            prop_assert_eq!(k_n, scalar_n, "live count");
+            prop_assert!(close(k_sum, scalar_sum), "sum {k_sum} vs {scalar_sum}");
+            prop_assert_eq!(kernels::max_f64(col, typed.drops()), scalar_max, "max");
+            prop_assert_eq!(kernels::min_f64(col, typed.drops()), scalar_min, "min");
+
+            // Aggregate logic: typed pane (kernel path) vs arena pane
+            // (scalar fallback path).
+            for field_logic in [
+                LogicSpec::Avg { field: 1 },
+                LogicSpec::Sum { field: 1 },
+            ] {
+                let a = single_f64(&field_logic.build().apply(&[&arena]));
+                let t = single_f64(&field_logic.build().apply(&[&typed]));
+                match (a, t) {
+                    (Some(a), Some(t)) => prop_assert!(close(a, t), "{field_logic:?}: {a} vs {t}"),
+                    (a, t) => prop_assert_eq!(a, t, "{:?}", field_logic),
+                }
+            }
+            for field_logic in [
+                LogicSpec::Max { field: 1 },
+                LogicSpec::Min { field: 1 },
+            ] {
+                // Order-independent: bit-for-bit.
+                let a = single_f64(&field_logic.build().apply(&[&arena]));
+                let t = single_f64(&field_logic.build().apply(&[&typed]));
+                prop_assert_eq!(a, t, "{:?}", field_logic);
+            }
+
+            // COUNT with HAVING: mask kernel vs row-walk, bit-for-bit.
+            let pred = Predicate::new(1, CmpOp::Ge, 0.0);
+            let count = LogicSpec::Count { predicate: Some(pred) };
+            prop_assert_eq!(
+                count.build().apply(&[&arena]),
+                count.build().apply(&[&typed]),
+                "count(having)"
+            );
+
+            // FILTER: the columnar gather (mask kernel) vs the row path.
+            let mut filter = FilterLogic::new(pred);
+            let row_out = filter.apply(&[&arena]);
+            let col_out = FilterLogic::new(pred)
+                .apply_columnar(&[&typed])
+                .expect("typed filter path");
+            prop_assert_eq!(col_out.len(), row_out.len(), "filter survivors");
+            for (i, (ts, row)) in row_out.iter().enumerate() {
+                let got = col_out.row(i);
+                prop_assert_eq!(Some(got.ts), *ts);
+                prop_assert_eq!(&got.values.to_vec(), row, "filter row {i}");
+            }
+
+            // TOP-K and group-bys: typed column folds vs row views,
+            // bit-for-bit (same fold order on both layouts).
+            for keyed in [
+                LogicSpec::TopK { k: 3, id_field: 0, value_field: 1 },
+                LogicSpec::GroupMax { key_field: 0, value_field: 1 },
+                LogicSpec::GroupAvg { key_field: 0, value_field: 1 },
+            ] {
+                prop_assert_eq!(
+                    keyed.build().apply(&[&arena]),
+                    keyed.build().apply(&[&typed]),
+                    "{:?}",
+                    keyed
+                );
+            }
+
+            // COV across two ports: the kernel's one-pass sums vs a
+            // sequential scalar fold over the arena's live values.
+            let half = arena_base.rows() / 2;
+            if half >= 2 {
+                let xs: Vec<f64> = arena.column_f64(1).take(half).collect();
+                let ys: Vec<f64> = arena.column_f64(2).take(half).collect();
+                let n = xs.len().min(ys.len());
+                if n >= 2 {
+                    let (mut sx, mut sy, mut sxy) = (0.0, 0.0, 0.0);
+                    for i in 0..n {
+                        sx += xs[i];
+                        sy += ys[i];
+                        sxy += xs[i] * ys[i];
+                    }
+                    let scalar_cov = (sxy - sx * sy / n as f64) / (n as f64 - 1.0);
+                    let k = kernels::cov_sums(&xs, &ys).sample_cov().unwrap();
+                    prop_assert!(close(k, scalar_cov), "cov {k} vs {scalar_cov}");
+                }
             }
         }
     }

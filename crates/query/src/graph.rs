@@ -55,6 +55,17 @@ pub enum SourceKind {
     MemFree,
 }
 
+/// The declared row schema of unkeyed measurement sources: `[value: f64]`.
+pub fn measurement_schema() -> Schema {
+    Schema::new([("value", FieldType::F64)])
+}
+
+/// The declared row schema of keyed sources: `[key: i64, value: f64]`
+/// (the TOP-5 workload's node-id-tagged CPU and memory readings).
+pub fn keyed_measurement_schema() -> Schema {
+    Schema::new([("key", FieldType::I64), ("value", FieldType::F64)])
+}
+
 /// Declares one source of a query: its id, schema key and data kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SourceSpec {
@@ -64,6 +75,18 @@ pub struct SourceSpec {
     pub key: Option<i64>,
     /// Data kind.
     pub kind: SourceKind,
+}
+
+impl SourceSpec {
+    /// The declared [`Schema`] of this source's rows. Source drivers build
+    /// typed column batches against it, so every payload field travels as
+    /// a contiguous native column from the source onward.
+    pub fn schema(&self) -> Schema {
+        match self.key {
+            Some(_) => keyed_measurement_schema(),
+            None => measurement_schema(),
+        }
+    }
 }
 
 /// One query fragment: a local operator DAG plus its external bindings.

@@ -35,8 +35,8 @@ pub mod templates;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::graph::{
-        FragmentSpec, LocalEdge, QueryError, QuerySpec, SourceBinding, SourceKind, SourceSpec,
-        UpstreamBinding,
+        keyed_measurement_schema, measurement_schema, FragmentSpec, LocalEdge, QueryError,
+        QuerySpec, SourceBinding, SourceKind, SourceSpec, UpstreamBinding,
     };
     pub use crate::placement::{place, Deployment, PlacementError, PlacementPolicy};
     pub use crate::runtime::{FragmentRuntime, Ingress};

@@ -22,7 +22,8 @@ use themis_core::prelude::*;
 use themis_operators::prelude::*;
 
 use crate::graph::{
-    FragmentSpec, LocalEdge, QuerySpec, SourceBinding, SourceKind, SourceSpec, UpstreamBinding,
+    keyed_measurement_schema, measurement_schema, FragmentSpec, LocalEdge, QuerySpec,
+    SourceBinding, SourceKind, SourceSpec, UpstreamBinding,
 };
 
 /// Base lateness grace for time windows (covers one shedding interval plus
@@ -92,6 +93,19 @@ impl Template {
             Template::AvgAll { .. } => 10,
             Template::Top5 { .. } => 20,
             Template::Cov { .. } => 2,
+        }
+    }
+
+    /// The per-query [`Schema`] its sources emit, declared by the
+    /// template: TOP-5 sources tag each reading with a node id
+    /// (`[key: i64, value: f64]`); every other workload streams plain
+    /// measurements (`[value: f64]`). Sources build typed column batches
+    /// against this declaration, which the window and operator path
+    /// preserves end to end so the aggregate kernels read native slices.
+    pub fn source_schema(&self) -> Schema {
+        match self {
+            Template::Top5 { .. } => keyed_measurement_schema(),
+            _ => measurement_schema(),
         }
     }
 
@@ -622,6 +636,39 @@ mod tests {
         let merge_grace = |f: usize| q.fragments[f].operators[26].grace.as_micros();
         assert!(merge_grace(0) < merge_grace(1));
         assert!(merge_grace(1) < merge_grace(2));
+    }
+
+    #[test]
+    fn templates_declare_source_schemas() {
+        assert_eq!(
+            Template::Top5 { fragments: 2 }.source_schema(),
+            keyed_measurement_schema()
+        );
+        for t in [
+            Template::Avg,
+            Template::Max,
+            Template::Count,
+            Template::AvgAll { fragments: 2 },
+            Template::Cov { fragments: 2 },
+        ] {
+            assert_eq!(t.source_schema(), measurement_schema(), "{}", t.name());
+        }
+        // Every declared source's schema agrees with its template.
+        for t in [
+            Template::Avg,
+            Template::Top5 { fragments: 2 },
+            Template::Cov { fragments: 2 },
+        ] {
+            let q = build(t);
+            for s in &q.sources {
+                assert_eq!(s.schema(), t.source_schema(), "{}", t.name());
+            }
+        }
+        // The declared field layout matches what sources emit.
+        let keyed = keyed_measurement_schema();
+        assert_eq!(keyed.index_of("key"), Some(0));
+        assert_eq!(keyed.field_type(1), Some(FieldType::F64));
+        assert_eq!(measurement_schema().len(), 1);
     }
 
     #[test]

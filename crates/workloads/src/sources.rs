@@ -80,7 +80,9 @@ impl SourceProfile {
 }
 
 /// Drives one source: emits timestamped, zero-SIC batches for its query
-/// (the hosting node assigns Eq.-1 SIC values on arrival).
+/// (the hosting node assigns Eq.-1 SIC values on arrival). Batches are
+/// built as **typed columns** against the source's declared [`Schema`] —
+/// appending native column values, never materialising owning tuples.
 #[derive(Debug)]
 pub struct SourceDriver {
     /// The source.
@@ -89,6 +91,7 @@ pub struct SourceDriver {
     pub query: QueryId,
     key: Option<i64>,
     kind: SourceKind,
+    schema: Schema,
     profile: SourceProfile,
     values: ValueGen,
     burst_rng: SmallRng,
@@ -109,6 +112,7 @@ impl SourceDriver {
             query,
             key: spec.key,
             kind: spec.kind,
+            schema: spec.schema(),
             profile,
             values: ValueGen::new(profile.dataset, seed),
             burst_rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D)),
@@ -153,21 +157,22 @@ impl SourceDriver {
             1
         };
         let n = self.profile.batch_size() * factor;
-        let tuples: Vec<Tuple> = (0..n)
-            .map(|_| {
-                let v = match self.kind {
-                    SourceKind::MemFree => self.values.mem_free_kb(now),
-                    _ => self.values.value(now),
-                };
-                let values = match self.key {
-                    Some(k) => vec![Value::I64(k), Value::F64(v)],
-                    None => vec![Value::F64(v)],
-                };
-                Tuple::new(now, Sic::ZERO, values)
-            })
-            .collect();
+        // Typed column construction: rows append straight into the
+        // schema's native columns — no per-tuple `Vec<Value>` allocation
+        // and no `Value` arena downstream.
+        let mut data = TupleBatch::with_schema_capacity(self.schema.clone(), n);
+        for _ in 0..n {
+            let v = match self.kind {
+                SourceKind::MemFree => self.values.mem_free_kb(now),
+                _ => self.values.value(now),
+            };
+            match self.key {
+                Some(k) => data.push_row(now, Sic::ZERO, &[Value::I64(k), Value::F64(v)]),
+                None => data.push_row(now, Sic::ZERO, &[Value::F64(v)]),
+            }
+        }
         self.next_emission = now + self.profile.interval();
-        Batch::from_source(self.query, self.source, now, tuples)
+        Batch::from_source_data(self.query, self.source, now, data)
     }
 }
 
@@ -207,6 +212,10 @@ mod tests {
             assert_eq!(b.created(), t);
             assert!(b.iter().all(|tu| tu.sic == Sic::ZERO));
             assert_eq!(b.data().row(0).i64(0), 7, "keyed row");
+            // Keyed sources emit typed columns per their declared schema.
+            assert!(b.data().schema().is_some());
+            assert_eq!(b.data().i64_column(0).map(|c| c[0]), Some(7));
+            assert!(b.data().f64_column(1).is_some());
             if let Some(prev) = last {
                 assert_eq!((t - prev), TimeDelta::from_millis(200));
             }
