@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!              fig13|fig14|related|overhead|ablation|dynamics|policies|
-//!              scale|batching|kernels]
+//!              scale|batching|kernels|churn]
 //!             [--quick] [--policy=<name>] [--nodes=<n>] [--shards=<k>]
 //!             [--secs=<s>]
 //! ```
@@ -26,11 +26,16 @@
 //! aggregate reads against the typed column kernels on a 1M-row batch,
 //! writes `results/BENCH_kernels.json`, and (when named explicitly)
 //! exits non-zero if the typed aggregate bank is not at least 2x faster.
-//! Built to be run with `--release`.
+//! `churn` runs a 512+-node engine scenario (sized by `--nodes`/
+//! `--shards`/`--secs`) with a flash-crowd query cohort attaching and
+//! detaching mid-run, writes `results/BENCH_churn.json`, and exits
+//! non-zero if resident Jain fairness fails to recover after the cohort
+//! departs — the CI churn smoke. Built to be run with `--release`.
 
 use std::time::Instant;
 
 use themis_bench::figures::batching::{self, BatchingScale};
+use themis_bench::figures::churn;
 use themis_bench::figures::correlation::{correlation, render as render_corr, CorrelationQuery};
 use themis_bench::figures::fairness::{fig10, fig11, fig8, fig9, render as render_fair};
 use themis_bench::figures::kernels::{self, KernelsScale};
@@ -49,7 +54,7 @@ const RESULTS_DIR: &str = "results";
 const EXPERIMENTS: &[&str] = &[
     "all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
     "fig14", "related", "overhead", "ablation", "policies", "dynamics", "scale", "batching",
-    "kernels",
+    "kernels", "churn",
 ];
 
 fn emit(name: &str, table: TextTable) {
@@ -315,6 +320,40 @@ fn main() {
                 std::process::exit(1);
             }
             None => unreachable!("kernels always measures the aggregate stage"),
+        }
+    }
+    // Explicit-only (not part of `all`), like `scale`: a CI smoke whose
+    // fairness-recovery gate exits non-zero. Runs a 512+-node engine
+    // scenario wall-clock with a flash-crowd cohort attaching and
+    // detaching mid-run, and asserts resident Jain fairness recovers.
+    if what.contains(&"churn") {
+        let nodes = nodes_arg.unwrap_or(512) as usize;
+        let shards = shards_arg.map(|k| k as usize);
+        let secs = secs_arg.unwrap_or(if quick { 2 } else { 4 });
+        let outcome = churn::churn(nodes, shards, secs, SEED);
+        emit("churn", churn::render(&outcome));
+        let json = churn::to_json(&outcome);
+        let json_path = format!("{RESULTS_DIR}/BENCH_churn.json");
+        if let Err(e) =
+            std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, &json))
+        {
+            eprintln!("(could not write {json_path}: {e})");
+        }
+        let baseline = outcome.phase("baseline").resident_jain;
+        let recovery = outcome.phase("recovery").resident_jain;
+        if outcome.fairness_recovered() {
+            eprintln!(
+                "churn: resident Jain recovered to {recovery:.4} \
+                 (baseline {baseline:.4}, shed {:.1}%)",
+                outcome.shed_fraction * 100.0
+            );
+        } else {
+            eprintln!(
+                "FAIL: resident Jain did not recover after the cohort departed \
+                 (baseline {baseline:.4}, recovery {recovery:.4}, shed {:.3}) ",
+                outcome.shed_fraction
+            );
+            std::process::exit(1);
         }
     }
     // Explicit-only (not part of `all`): a CI smoke with a thread-budget

@@ -90,16 +90,7 @@ fn build_scenario(
         .capacity_tps(capacity)
         .duration(scale.duration)
         .warmup(scale.warmup)
-        .add_queries(
-            q.template(),
-            count,
-            SourceProfile {
-                tuples_per_sec: 40,
-                batches_per_sec: 4,
-                burst: Burstiness::Steady,
-                dataset,
-            },
-        )
+        .add_queries(q.template(), count, SourceProfile::steady(40, 4, dataset))
         .build()
         .expect("single-node placement always succeeds")
 }

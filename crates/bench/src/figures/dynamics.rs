@@ -2,6 +2,9 @@
 //! depend on "often time-changing factors such as queries' arrivals and
 //! departures"; this experiment shows BALANCE-SIC re-converging when a
 //! cohort of queries joins mid-run and again when it leaves.
+//!
+//! This is the *simulator* (model-time) churn run; the wall-clock engine
+//! analogue at 512+ nodes is [`crate::figures::churn`].
 
 use themis_core::prelude::*;
 use themis_query::prelude::*;
@@ -31,12 +34,7 @@ pub fn dynamics(scale: &Scale, seed: u64) -> (Vec<DynamicsPoint>, Timestamp, Tim
     let total = scale.warmup + scale.duration;
     let arrive = TimeDelta::from_micros(total.as_micros() / 3);
     let depart = TimeDelta::from_micros(2 * total.as_micros() / 3);
-    let profile = SourceProfile {
-        tuples_per_sec: scale.tuples_per_sec.max(20),
-        batches_per_sec: 4,
-        burst: Burstiness::Steady,
-        dataset: Dataset::Uniform,
-    };
+    let profile = SourceProfile::steady(scale.tuples_per_sec.max(20), 4, Dataset::Uniform);
     // Capacity sized so residents alone are at ~1.5x overload and the
     // arrival pushes the system to ~3x.
     let demand_resident = n_resident as f64 * 4.0 * profile.tuples_per_sec as f64;

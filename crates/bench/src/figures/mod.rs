@@ -4,6 +4,7 @@
 
 pub mod ablation;
 pub mod batching;
+pub mod churn;
 pub mod correlation;
 pub mod dynamics;
 pub mod fairness;

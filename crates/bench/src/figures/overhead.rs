@@ -37,12 +37,7 @@ fn overhead_scenario(secs: u64, seed: u64) -> Scenario {
         b = b.add_queries(
             complex_mix(2, i),
             1,
-            SourceProfile {
-                tuples_per_sec: 200,
-                batches_per_sec: 5,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Uniform,
-            },
+            SourceProfile::steady(200, 5, Dataset::Uniform),
         );
     }
     b.build().expect("placement")

@@ -65,12 +65,7 @@ fn engine_scenario(name: &str, secs: u64, seed: u64) -> Scenario {
         .add_queries(
             Template::Avg,
             4,
-            SourceProfile {
-                tuples_per_sec: 300,
-                batches_per_sec: 5,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Uniform,
-            },
+            SourceProfile::steady(300, 5, Dataset::Uniform),
         )
         .build()
         .expect("placement")

@@ -85,30 +85,27 @@ pub fn fig13(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
 /// Figure 14: mean SIC under {LAN, WAN} x {steady, bursty} deployments for
 /// 20 and 40 queries of the two-fragment complex workload.
 pub fn fig14(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
-    let deployments: [(&str, TimeDelta, Burstiness); 4] = [
-        ("LAN", TimeDelta::from_millis(5), Burstiness::Steady),
-        ("FSPS", TimeDelta::from_millis(50), Burstiness::Steady),
+    let deployments: [(&str, TimeDelta, RatePattern); 4] = [
+        ("LAN", TimeDelta::from_millis(5), RatePattern::Steady),
+        ("FSPS", TimeDelta::from_millis(50), RatePattern::Steady),
         (
             "LAN-bursty",
             TimeDelta::from_millis(5),
-            Burstiness::PAPER_BURSTY,
+            RatePattern::PAPER_BURSTY,
         ),
         (
             "FSPS-bursty",
             TimeDelta::from_millis(50),
-            Burstiness::PAPER_BURSTY,
+            RatePattern::PAPER_BURSTY,
         ),
     ];
     let mut out = Vec::new();
-    for &(name, latency, burst) in &deployments {
+    for &(name, latency, pattern) in &deployments {
         for &count in &[20usize, 40] {
             let n = scale.n(count);
             let demand = n as f64 * 2.0 * mix_sources_per_fragment() * scale.tuples_per_sec as f64;
             let capacity = capacity_for_overload(demand / 4.0, 2.0);
-            let profile = SourceProfile {
-                burst,
-                ..scale.profile(Dataset::Uniform)
-            };
+            let profile = scale.profile(Dataset::Uniform).with_pattern(pattern);
             let mut b = ScenarioBuilder::new(format!("fig14-{name}-{count}"), seed)
                 .nodes(4)
                 .placement(PlacementPolicy::UniformRandom)

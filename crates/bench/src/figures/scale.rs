@@ -80,12 +80,7 @@ pub fn scale(n_nodes: usize, shards: Option<usize>, secs: u64, seed: u64) -> Sca
         .add_queries(
             Template::Avg,
             n_nodes,
-            SourceProfile {
-                tuples_per_sec: 10,
-                batches_per_sec: 2,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Uniform,
-            },
+            SourceProfile::steady(10, 2, Dataset::Uniform),
         )
         .build()
         .expect("placement");
@@ -108,8 +103,8 @@ pub fn scale(n_nodes: usize, shards: Option<usize>, secs: u64, seed: u64) -> Sca
         &scenario,
         EngineConfig {
             policy: PolicyKind::BalanceSic,
-            synthetic_cost: TimeDelta::ZERO,
             shards,
+            ..Default::default()
         },
     );
     let wall_secs = t0.elapsed().as_secs_f64();

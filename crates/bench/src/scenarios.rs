@@ -56,12 +56,7 @@ impl Scale {
 
     /// The source profile at this scale.
     pub fn profile(&self, dataset: Dataset) -> SourceProfile {
-        SourceProfile {
-            tuples_per_sec: self.tuples_per_sec,
-            batches_per_sec: self.batches_per_sec,
-            burst: Burstiness::Steady,
-            dataset,
-        }
+        SourceProfile::steady(self.tuples_per_sec, self.batches_per_sec, dataset)
     }
 }
 

@@ -32,6 +32,7 @@
 //! and to `Vec<Tuple>` via [`TupleBatch::from_tuples`] and
 //! [`TupleBatch::into_tuples`].
 
+use crate::bits::BitVec;
 use crate::schema::{BoolColumn, Column, Schema};
 use crate::sic::Sic;
 use crate::time::Timestamp;
@@ -47,10 +48,12 @@ use crate::value::Value;
 ///
 /// Equality is semantic: trailing zero words do not distinguish bitmaps,
 /// so a pre-sized empty bitmap equals a lazy one.
+///
+/// The word storage is a [`BitVec`] (the workspace's one shared bitset);
+/// this wrapper only pins the drop-bitmap vocabulary and semantics.
 #[derive(Debug, Clone, Default)]
 pub struct DropBitmap {
-    words: Vec<u64>,
-    dropped: usize,
+    bits: BitVec,
 }
 
 impl DropBitmap {
@@ -63,47 +66,31 @@ impl DropBitmap {
     /// on any row below `rows` never grows the word vector.
     pub fn with_rows(rows: usize) -> Self {
         DropBitmap {
-            words: vec![0; rows.div_ceil(64)],
-            dropped: 0,
+            bits: BitVec::with_bits(rows),
         }
     }
 
     /// Grows the word vector (if needed) to cover `rows` rows in one
     /// resize, instead of one word at a time per [`DropBitmap::drop_row`].
     pub fn ensure_rows(&mut self, rows: usize) {
-        let need = rows.div_ceil(64);
-        if self.words.len() < need {
-            self.words.resize(need, 0);
-        }
+        self.bits.ensure_bits(rows);
     }
 
     /// Marks row `i` dropped; returns `true` when the bit was newly set.
     pub fn drop_row(&mut self, i: usize) -> bool {
-        let (word, bit) = (i / 64, 1u64 << (i % 64));
-        if word >= self.words.len() {
-            self.words.resize(word + 1, 0);
-        }
-        let newly = self.words[word] & bit == 0;
-        if newly {
-            self.words[word] |= bit;
-            self.dropped += 1;
-        }
-        newly
+        self.bits.set(i)
     }
 
     /// True when row `i` has been dropped.
     #[inline]
     pub fn is_dropped(&self, i: usize) -> bool {
-        self.words
-            .get(i / 64)
-            .map(|w| w & (1u64 << (i % 64)) != 0)
-            .unwrap_or(false)
+        self.bits.get(i)
     }
 
     /// Number of dropped rows.
     #[inline]
     pub fn dropped(&self) -> usize {
-        self.dropped
+        self.bits.count_ones()
     }
 
     /// The `w`-th 64-row word of drop bits (0 beyond the allocated words,
@@ -111,27 +98,26 @@ impl DropBitmap {
     /// word admits a whole 64-row block to the vectorized path.
     #[inline]
     pub fn word(&self, w: usize) -> u64 {
-        self.words.get(w).copied().unwrap_or(0)
+        self.bits.word(w)
     }
 
     /// The allocated drop words (rows past the end are live).
     pub fn words(&self) -> &[u64] {
-        &self.words
+        self.bits.words()
     }
 
     /// Resets the bitmap: every row is live again.
     pub fn clear(&mut self) {
-        self.words.clear();
-        self.dropped = 0;
+        self.bits.clear();
     }
 }
 
 impl PartialEq for DropBitmap {
     fn eq(&self, other: &Self) -> bool {
-        if self.dropped != other.dropped {
+        if self.dropped() != other.dropped() {
             return false;
         }
-        let n = self.words.len().max(other.words.len());
+        let n = self.bits.words().len().max(other.bits.words().len());
         (0..n).all(|i| self.word(i) == other.word(i))
     }
 }

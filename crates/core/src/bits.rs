@@ -1,0 +1,365 @@
+//! Word-packed bit vectors — the one bitset implementation shared by the
+//! hot path.
+//!
+//! Three word-packed bitsets grew independently on the batch hot path:
+//! the drop bitmap marking shed rows
+//! ([`DropBitmap`](crate::batch::DropBitmap)), the boolean payload column
+//! ([`BoolColumn`](crate::schema::BoolColumn)), and the filter kernel's
+//! predicate-mask packing loop. All three now delegate their word storage
+//! to [`BitVec`], so the word math (lazy growth, split-at-any-offset,
+//! whole-word appends) lives — and is edge-tested — in exactly one place.
+//!
+//! [`BitVec`] tracks both a logical length (`len`, the number of bits
+//! pushed) and the number of set bits (`count_ones`, maintained
+//! incrementally so it is O(1) to read). Reads beyond the allocated words
+//! return `false`, which is what every consumer wants: a drop bitmap
+//! treats unallocated rows as live, a predicate mask treats them as
+//! non-matching.
+
+/// A growable, word-packed bit vector.
+///
+/// Two usage styles share this type:
+///
+/// * **Column style** ([`BitVec::push`] / [`BitVec::push_word`]): bits are
+///   appended in order and `len()` is the number of bits stored — the
+///   boolean payload column and the predicate-mask kernels.
+/// * **Bitmap style** ([`BitVec::set`]): bits are flipped at arbitrary
+///   indices with lazy word growth and no meaningful length — the drop
+///   bitmap over batch rows.
+///
+/// ```
+/// use themis_core::bits::BitVec;
+///
+/// let mut bits = BitVec::new();
+/// bits.push(true);
+/// bits.push(false);
+/// assert!(bits.set(130), "newly set");
+/// assert!(bits.get(0) && !bits.get(1) && bits.get(130));
+/// assert_eq!(bits.count_ones(), 2);
+/// assert!(!bits.get(9999), "beyond the words reads false");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl BitVec {
+    /// An empty bit vector.
+    pub fn new() -> Self {
+        BitVec::default()
+    }
+
+    /// An empty bit vector whose words are pre-sized for `bits` bits, so
+    /// [`BitVec::set`] below that bound never reallocates. The logical
+    /// length stays 0: pre-sizing never changes semantics.
+    pub fn with_bits(bits: usize) -> Self {
+        BitVec {
+            words: vec![0; bits.div_ceil(64)],
+            len: 0,
+            ones: 0,
+        }
+    }
+
+    /// Grows the word storage (if needed) to cover `bits` bits in one
+    /// resize instead of one word at a time per [`BitVec::set`].
+    pub fn ensure_bits(&mut self, bits: usize) {
+        let need = bits.div_ceil(64);
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Number of bits pushed (column style; [`BitVec::set`] also extends
+    /// it past the highest set index).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits have been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits (maintained incrementally, O(1)).
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Bit `i` (`false` beyond the allocated words).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .map(|w| w & (1u64 << (i % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Sets bit `i` (bitmap style, growing the words lazily); returns
+    /// `true` when the bit was newly set.
+    pub fn set(&mut self, i: usize) -> bool {
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let newly = self.words[word] & bit == 0;
+        if newly {
+            self.words[word] |= bit;
+            self.ones += 1;
+        }
+        self.len = self.len.max(i + 1);
+        newly
+    }
+
+    /// Appends one bit (column style).
+    pub fn push(&mut self, v: bool) {
+        let (word, bit) = (self.len / 64, self.len % 64);
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        if v {
+            self.words[word] |= 1u64 << bit;
+            self.ones += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Appends the low `n` bits of `word` (1 ..= 64) in one or two word
+    /// operations — the packing kernels build a 64-bit block in a register
+    /// and append it whole instead of bit by bit.
+    pub fn push_word(&mut self, word: u64, n: usize) {
+        debug_assert!(n <= 64, "push_word appends at most one word");
+        if n == 0 {
+            return;
+        }
+        let word = if n >= 64 {
+            word
+        } else {
+            word & ((1u64 << n) - 1)
+        };
+        let (idx, off) = (self.len / 64, self.len % 64);
+        let last = if off + n > 64 { idx + 1 } else { idx };
+        if last >= self.words.len() {
+            self.words.resize(last + 1, 0);
+        }
+        self.words[idx] |= word << off;
+        if off + n > 64 {
+            // off > 0 here (n <= 64), so the shift below stays in range.
+            self.words[idx + 1] |= word >> (64 - off);
+        }
+        self.ones += word.count_ones() as usize;
+        self.len += n;
+    }
+
+    /// The `w`-th 64-bit word (0 beyond the allocated words).
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words.get(w).copied().unwrap_or(0)
+    }
+
+    /// The allocated words (bits past the end read as zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Clears every bit and the logical length.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+        self.ones = 0;
+    }
+
+    /// Splits off and returns the first `n` bits, keeping the rest —
+    /// word-level copies for the front and shift-merges for the tail, not
+    /// a per-bit rebuild.
+    pub fn split_front(&mut self, n: usize) -> BitVec {
+        let n = n.min(self.len);
+        let mut front_words = self.words[..n.div_ceil(64)].to_vec();
+        if n % 64 != 0 {
+            if let Some(last) = front_words.last_mut() {
+                *last &= (1u64 << (n % 64)) - 1;
+            }
+        }
+        let front_ones: usize = front_words.iter().map(|w| w.count_ones() as usize).sum();
+        let front = BitVec {
+            words: front_words,
+            len: n,
+            ones: front_ones,
+        };
+        let rest_len = self.len - n;
+        let (word_off, bit_off) = (n / 64, n % 64);
+        let mut rest_words = vec![0u64; rest_len.div_ceil(64)];
+        for (i, w) in rest_words.iter_mut().enumerate() {
+            let lo = self.words.get(word_off + i).copied().unwrap_or(0) >> bit_off;
+            let hi = if bit_off == 0 {
+                0
+            } else {
+                self.words.get(word_off + i + 1).copied().unwrap_or(0) << (64 - bit_off)
+            };
+            *w = lo | hi;
+        }
+        // Mask the tail's bits past its new length (they were front bits).
+        if rest_len % 64 != 0 {
+            if let Some(last) = rest_words.last_mut() {
+                *last &= (1u64 << (rest_len % 64)) - 1;
+            }
+        }
+        *self = BitVec {
+            ones: rest_words.iter().map(|w| w.count_ones() as usize).sum(),
+            words: rest_words,
+            len: rest_len,
+        };
+        front
+    }
+}
+
+/// Semantic equality: trailing zero words do not distinguish bit vectors
+/// (a pre-sized empty vector equals a lazy one), but the logical length
+/// does when either side pushed bits column-style.
+impl PartialEq for BitVec {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len || self.ones != other.ones {
+            return false;
+        }
+        let n = self.words.len().max(other.words.len());
+        (0..n).all(|i| self.word(i) == other.word(i))
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bits = BitVec::new();
+        for b in iter {
+            bits.push(b);
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_grows_lazily_and_counts() {
+        let mut b = BitVec::new();
+        assert!(!b.get(1000));
+        assert!(b.set(130));
+        assert!(!b.set(130), "double set is idempotent");
+        assert!(b.get(130));
+        assert!(!b.get(129));
+        assert_eq!(b.count_ones(), 1);
+        assert_eq!(b.len(), 131);
+        b.clear();
+        assert!(!b.get(130));
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn presizing_never_changes_semantics() {
+        let mut pre = BitVec::with_bits(130);
+        assert_eq!(pre.words().len(), 3, "130 bits need 3 words");
+        assert_eq!(pre, BitVec::new(), "trailing zero words are invisible");
+        pre.set(5);
+        let mut lazy = BitVec::new();
+        lazy.set(5);
+        assert_eq!(pre, lazy);
+        pre.ensure_bits(1000);
+        assert_eq!(pre.words().len(), 16);
+        assert_eq!(pre, lazy);
+    }
+
+    #[test]
+    fn push_packs_words_in_order() {
+        let mut b = BitVec::new();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), (0..130).filter(|i| i % 3 == 0).count());
+        assert!(b.get(0) && !b.get(1) && b.get(129));
+        assert!(!b.get(500), "out of range reads false");
+    }
+
+    /// Word-boundary edges: appending block-built words at every offset
+    /// must agree with bit-by-bit pushes.
+    #[test]
+    fn push_word_at_all_offsets_matches_per_bit() {
+        for lead in [0usize, 1, 7, 63, 64, 65, 127] {
+            for n in [1usize, 2, 63, 64] {
+                let word = 0xDEAD_BEEF_F00D_5EEDu64;
+                let mut whole = BitVec::new();
+                let mut per_bit = BitVec::new();
+                for i in 0..lead {
+                    whole.push(i % 2 == 0);
+                    per_bit.push(i % 2 == 0);
+                }
+                whole.push_word(word, n);
+                for i in 0..n {
+                    per_bit.push(word & (1u64 << i) != 0);
+                }
+                assert_eq!(whole, per_bit, "lead {lead}, n {n}");
+                assert_eq!(whole.len(), lead + n);
+            }
+        }
+    }
+
+    #[test]
+    fn push_word_masks_high_bits() {
+        let mut b = BitVec::new();
+        b.push_word(!0u64, 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.count_ones(), 3);
+        assert_eq!(b.word(0), 0b111);
+        b.push_word(0, 0);
+        assert_eq!(b.len(), 3, "zero-width append is a no-op");
+    }
+
+    /// Splits at and around word boundaries preserve every bit on both
+    /// sides, including the set-bit counts.
+    #[test]
+    fn split_front_at_any_offset() {
+        for split in [0usize, 1, 63, 64, 65, 128, 200] {
+            let bits: Vec<bool> = (0..200).map(|i| (i * 7) % 5 < 2).collect();
+            let mut b: BitVec = bits.iter().copied().collect();
+            let front = b.split_front(split);
+            assert_eq!(front.len(), split);
+            assert_eq!(b.len(), 200 - split);
+            assert_eq!(
+                front.count_ones(),
+                bits[..split].iter().filter(|&&x| x).count()
+            );
+            assert_eq!(b.count_ones(), bits[split..].iter().filter(|&&x| x).count());
+            for (i, &bit) in bits.iter().enumerate() {
+                if i < split {
+                    assert_eq!(front.get(i), bit, "split {split}, front bit {i}");
+                } else {
+                    assert_eq!(b.get(i - split), bit, "split {split}, rest bit {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_past_len_takes_everything() {
+        let mut b: BitVec = [true, false, true].into_iter().collect();
+        let front = b.split_front(99);
+        assert_eq!(front.len(), 3);
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn equality_is_length_aware() {
+        let mut a = BitVec::new();
+        a.push(false);
+        assert_ne!(a, BitVec::new(), "a pushed zero bit still counts");
+        let b: BitVec = [false].into_iter().collect();
+        assert_eq!(a, b);
+    }
+}

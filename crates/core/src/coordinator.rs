@@ -146,6 +146,12 @@ impl SicTable {
         self.values.get(&query).copied().unwrap_or(Sic::ZERO)
     }
 
+    /// Forgets `query` (its coordinator departed — runtime query churn);
+    /// returns the last known value, if any.
+    pub fn remove(&mut self, query: QueryId) -> Option<Sic> {
+        self.values.remove(&query)
+    }
+
     /// Number of tracked queries.
     pub fn len(&self) -> usize {
         self.values.len()

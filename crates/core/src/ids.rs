@@ -74,6 +74,13 @@ impl IdGen {
         Self::default()
     }
 
+    /// Creates a generator whose first id is `next` — used to keep
+    /// allocating fresh ids after an existing population (e.g. queries
+    /// attached to a running engine after a scenario's).
+    pub fn starting_at(next: u32) -> Self {
+        IdGen { next }
+    }
+
     /// Returns the next id, converted into the requested id type.
     /// (Not an `Iterator`: the target id type varies per call site.)
     #[allow(clippy::should_implement_trait)]

@@ -49,6 +49,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod bits;
 pub mod capacity;
 pub mod coordinator;
 pub mod fairness;
@@ -65,6 +66,7 @@ pub mod value;
 /// Convenience re-exports of the most used types.
 pub mod prelude {
     pub use crate::batch::{DropBitmap, RowValues, TupleBatch, TupleRef};
+    pub use crate::bits::BitVec;
     pub use crate::capacity::{CostModel, OverloadDetector};
     pub use crate::coordinator::{QueryCoordinator, SicTable, SicUpdate};
     pub use crate::fairness::{jain_index, jain_index_sic, FairnessSummary};

@@ -17,6 +17,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::bits::BitVec;
 use crate::value::Value;
 
 /// The native type of one schema field.
@@ -151,11 +152,12 @@ impl fmt::Display for Schema {
     }
 }
 
-/// A word-packed boolean column.
+/// A word-packed boolean column (a length-tracked [`BitVec`] underneath —
+/// the same shared bitset the drop bitmap and the predicate-mask kernels
+/// use).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BoolColumn {
-    words: Vec<u64>,
-    len: usize,
+    bits: BitVec,
 }
 
 impl BoolColumn {
@@ -166,77 +168,46 @@ impl BoolColumn {
 
     /// An empty column with room for `rows` bits.
     pub fn with_capacity(rows: usize) -> Self {
+        // Pre-sizing words is free for equality (BitVec compares
+        // semantically), and push never reallocates below `rows`.
         BoolColumn {
-            words: Vec::with_capacity(rows.div_ceil(64)),
-            len: 0,
+            bits: BitVec::with_bits(rows),
         }
     }
 
     /// Number of stored bits.
     pub fn len(&self) -> usize {
-        self.len
+        self.bits.len()
     }
 
     /// True when no bits are stored.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.bits.is_empty()
     }
 
     /// Appends one bit.
     pub fn push(&mut self, v: bool) {
-        let (word, bit) = (self.len / 64, self.len % 64);
-        if word >= self.words.len() {
-            self.words.push(0);
-        }
-        if v {
-            self.words[word] |= 1u64 << bit;
-        }
-        self.len += 1;
+        self.bits.push(v);
     }
 
     /// Bit `i` (`false` when out of range).
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+        i < self.bits.len() && self.bits.get(i)
     }
 
     /// The packed words (the last word's bits past `len` are zero).
     pub fn words(&self) -> &[u64] {
-        &self.words
+        self.bits.words()
     }
 
     /// Splits off and returns the first `n` bits, keeping the rest —
     /// word-level copies (front) and shift-merges (tail), not a per-bit
     /// rebuild.
     pub fn split_front(&mut self, n: usize) -> BoolColumn {
-        let n = n.min(self.len);
-        let mut front_words = self.words[..n.div_ceil(64)].to_vec();
-        if n % 64 != 0 {
-            if let Some(last) = front_words.last_mut() {
-                *last &= (1u64 << (n % 64)) - 1;
-            }
+        BoolColumn {
+            bits: self.bits.split_front(n),
         }
-        let front = BoolColumn {
-            words: front_words,
-            len: n,
-        };
-        let rest_len = self.len - n;
-        let (word_off, bit_off) = (n / 64, n % 64);
-        let mut rest_words = vec![0u64; rest_len.div_ceil(64)];
-        for (i, w) in rest_words.iter_mut().enumerate() {
-            let lo = self.words.get(word_off + i).copied().unwrap_or(0) >> bit_off;
-            let hi = if bit_off == 0 {
-                0
-            } else {
-                self.words.get(word_off + i + 1).copied().unwrap_or(0) << (64 - bit_off)
-            };
-            *w = lo | hi;
-        }
-        *self = BoolColumn {
-            words: rest_words,
-            len: rest_len,
-        };
-        front
     }
 }
 

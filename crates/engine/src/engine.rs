@@ -7,24 +7,35 @@
 //! shedder's execution time is measured per invocation (the §7.6 overhead
 //! numbers come from here and from the Criterion benches).
 //!
-//! [`run_engine`] spawns `shards + 1` OS threads regardless of node count
-//! (the shard pool plus the source pump; the coordinator runs on the
-//! calling thread), so 1000+-node scenarios fit one process. The `scale`
-//! experiment budgets `shards + 3` for the whole process: pool + pump +
-//! coordinator/main + its own thread-count sampler.
+//! The engine is a long-lived [`Engine`] value with **runtime query
+//! churn**: [`Engine::attach_query`] places a new query's fragments onto
+//! the least-loaded nodes and installs them on the running shards (an
+//! [`EngineMsg::Attach`] per fragment plus live source drivers in the
+//! pump), and [`Engine::detach_query`] reverses it — sources stop, shard
+//! buffers purge, and nodes left hosting nothing are torn down so their
+//! shedding deadlines never fire again. [`run_engine`] is the one-shot
+//! wrapper: start, run for `warmup + duration`, finish.
+//!
+//! [`Engine::start`] spawns `shards + 1` OS threads regardless of node
+//! count (the shard pool plus the source pump; the coordinator runs on the
+//! calling thread via [`Engine::run_for`]), so 1000+-node scenarios fit
+//! one process. The `scale` experiment budgets `shards + 3` for the whole
+//! process: pool + pump + coordinator/main + its own thread-count sampler.
 
-use std::collections::{BinaryHeap, HashMap};
-use std::thread;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use themis_core::prelude::*;
+use themis_query::prelude::{QuerySpec, Template};
 use themis_workloads::prelude::*;
 
-use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch, ShardMsg};
+use crate::messages::{AttachFragment, EngineMsg, NodeReport, ResultEvent, RoutedBatch, ShardMsg};
 use crate::node_state::NodeConfig;
-use crate::shard::{run_shard, shard_of, ShardNode, ShardRouting};
+use crate::shard::{run_shard, shard_of, ShardRouting};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +51,18 @@ pub struct EngineConfig {
     /// default) uses the machine's available parallelism; the pool is
     /// never larger than the scenario's node count.
     pub shards: Option<usize>,
+    /// Pin each node's shedding threshold to the scenario's declared
+    /// `node_capacity_tps` (converted to tuples per interval) instead of
+    /// the online cost-model estimate. This is the simulator's capacity
+    /// semantics on real threads: overload — and therefore shedding —
+    /// happens at declared rates without burning wall time in the
+    /// synthetic-cost spin, which is what lets churn/fairness experiments
+    /// run genuinely overloaded 512+-node scenarios on a small machine.
+    pub enforce_capacity: bool,
+    /// Record a per-query SIC time series (sampled every shedding
+    /// interval after warm-up) into [`EngineReport::sic_series`] — the
+    /// engine analogue of the simulator's `record_series`.
+    pub record_series: bool,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +71,8 @@ impl Default for EngineConfig {
             policy: PolicyKind::BalanceSic,
             synthetic_cost: TimeDelta::ZERO,
             shards: None,
+            enforce_capacity: false,
+            record_series: false,
         }
     }
 }
@@ -62,9 +87,11 @@ pub fn default_shards() -> usize {
 /// Output of an engine run.
 #[derive(Debug)]
 pub struct EngineReport {
-    /// Per-node counters.
+    /// Per-node counters (index = global node; nodes that never hosted a
+    /// fragment report zeros).
     pub nodes: Vec<NodeReport>,
-    /// Mean sampled result SIC per query.
+    /// Mean sampled result SIC per query (over the query's active,
+    /// settled life).
     pub per_query_sic: Vec<(QueryId, f64)>,
     /// Fairness over the per-query SIC values.
     pub fairness: FairnessSummary,
@@ -76,6 +103,11 @@ pub struct EngineReport {
     pub policy: &'static str,
     /// Shard threads the node states ran on.
     pub shards: usize,
+    /// Per-query SIC time series (empty unless
+    /// [`EngineConfig::record_series`]): `(logical time, SIC)` samples,
+    /// one per coordinator tick after warm-up, covering each query's
+    /// attached lifetime.
+    pub sic_series: HashMap<QueryId, Vec<(Timestamp, f64)>>,
 }
 
 impl EngineReport {
@@ -103,14 +135,39 @@ impl EngineReport {
     }
 }
 
-/// Entry in the source pump's schedule heap.
+/// Installs one live source driver in the pump.
+struct SourceInstall {
+    query: QueryId,
+    spec: themis_query::prelude::SourceSpec,
+    profile: SourceProfile,
+    seed: u64,
+    /// Node hosting the fragment this source feeds.
+    node: usize,
+    /// That fragment's index.
+    fragment: usize,
+}
+
+/// Control messages for the source pump thread.
+enum PumpMsg {
+    /// Start driving these sources (a query attached).
+    Add(Vec<SourceInstall>),
+    /// Stop every driver of this query (it detached).
+    Remove(QueryId),
+    /// Shut the pump down.
+    Stop,
+}
+
+/// Entry in the source pump's schedule heap, tagged with the slot's
+/// install generation so entries of removed drivers are discarded on pop
+/// (and the slot can be reused by a later attach).
 struct Due {
     at: Timestamp,
-    driver: usize,
+    slot: usize,
+    generation: u64,
 }
 impl PartialEq for Due {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.driver == other.driver
+        self.at == other.at && self.slot == other.slot && self.generation == other.generation
     }
 }
 impl Eq for Due {}
@@ -122,255 +179,578 @@ impl PartialOrd for Due {
 impl Ord for Due {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.at, other.driver).cmp(&(self.at, self.driver))
+        (other.at, other.slot, other.generation).cmp(&(self.at, self.slot, self.generation))
     }
 }
 
-/// Runs the scenario on a bounded shard pool for `warmup + duration` wall
-/// time and reports per-query SIC fairness plus node counters.
-pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
-    let epoch = Instant::now();
-    let interval = Duration::from_micros(scenario.shedding_interval.as_micros());
-    let deadline = epoch + Duration::from_micros((scenario.warmup + scenario.duration).as_micros());
-    let warmup_end = epoch + Duration::from_micros(scenario.warmup.as_micros());
+/// One running driver in the pump, plus its routing.
+struct PumpDriver {
+    driver: SourceDriver,
+    node: usize,
+    query: QueryId,
+    fragment: usize,
+}
 
-    // Channels: one per shard; each node's sender is a clone of its
-    // owning shard's channel, so senders stay addressable by node index.
-    let n_shards = config
-        .shards
-        .unwrap_or_else(default_shards)
-        .clamp(1, scenario.n_nodes.max(1));
-    let mut shard_txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(n_shards);
-    let mut shard_rxs = Vec::with_capacity(n_shards);
-    for _ in 0..n_shards {
-        let (tx, rx) = unbounded();
-        shard_txs.push(tx);
-        shard_rxs.push(rx);
-    }
-    let node_txs: Vec<Sender<ShardMsg>> = (0..scenario.n_nodes)
-        .map(|n| shard_txs[shard_of(n, n_shards)].clone())
-        .collect();
-    let (results_tx, results_rx) = unbounded::<ResultEvent>();
+/// A pump slot: a reusable home for one driver. Removing a query frees
+/// its slots (and bumps their generation, invalidating the pending
+/// schedule entries), so sustained attach/detach churn does not grow the
+/// slot vector without bound.
+struct PumpSlot {
+    driver: Option<PumpDriver>,
+    generation: u64,
+}
 
-    // Routing tables.
-    let mut downstream: HashMap<(QueryId, usize), (usize, usize)> = HashMap::new();
-    let mut source_route: HashMap<SourceId, usize> = HashMap::new();
-    let mut source_frag: HashMap<SourceId, (QueryId, usize)> = HashMap::new();
-    let mut per_node_fragments: Vec<Vec<(QueryId, usize)>> = vec![Vec::new(); scenario.n_nodes];
-    for q in &scenario.queries {
-        for (fi, frag) in q.fragments.iter().enumerate() {
-            let node = scenario
-                .deployment
-                .node_of(q.id, fi)
-                .expect("validated deployment")
-                .index();
-            per_node_fragments[node].push((q.id, fi));
-            for b in &frag.sources {
-                source_route.insert(b.source, node);
-                source_frag.insert(b.source, (q.id, fi));
-            }
-            if fi != q.result_fragment {
-                if let Some(down) = q.downstream_of(fi) {
-                    let dnode = scenario
-                        .deployment
-                        .node_of(q.id, down)
-                        .expect("validated deployment")
-                        .index();
-                    downstream.insert((q.id, fi), (dnode, down));
-                }
-            }
-        }
-    }
-
-    // Partition nodes onto shards (round-robin) and spawn the pool.
-    let mut per_shard: Vec<Vec<ShardNode>> = (0..n_shards).map(|_| Vec::new()).collect();
-    for n in 0..scenario.n_nodes {
-        let shedder = config.policy.build(scenario.seed ^ (0xE0_0000 + n as u64));
-        let initial_capacity = if config.synthetic_cost.is_zero() {
-            usize::MAX / 2
-        } else {
-            ((scenario.shedding_interval.as_micros() / config.synthetic_cost.as_micros().max(1))
-                as usize)
-                .max(1)
-        };
-        per_shard[shard_of(n, n_shards)].push(ShardNode {
-            node: n,
-            config: NodeConfig {
-                id: NodeId(n as u32),
-                interval: scenario.shedding_interval,
-                stw: scenario.stw,
-                shedder,
-                synthetic_cost: config.synthetic_cost,
-                initial_capacity,
-            },
-            fragments: per_node_fragments[n].clone(),
-        });
-    }
-    let mut handles = Vec::new();
-    for (nodes, rx) in per_shard.into_iter().zip(shard_rxs) {
-        let routing = ShardRouting {
-            downstream: downstream.clone(),
-            node_txs: node_txs.clone(),
-            results_tx: results_tx.clone(),
-        };
-        let queries = scenario.queries.clone();
-        handles.push(thread::spawn(move || {
-            run_shard(nodes, queries, routing, rx, epoch)
-        }));
-    }
-    drop(results_tx);
-
-    // Source pump thread.
-    let pump_txs = node_txs.clone();
-    let pump_scenario = scenario.clone();
-    let pump_routes = source_route.clone();
-    let pump_frags = source_frag.clone();
-    let pump_deadline = deadline;
-    let pump = thread::spawn(move || {
-        let mut drivers: Vec<SourceDriver> = Vec::new();
-        for q in &pump_scenario.queries {
-            for s in &q.sources {
-                let profile = pump_scenario.profiles[&s.id];
-                drivers.push(SourceDriver::new(
-                    q.id,
-                    s,
-                    profile,
-                    pump_scenario.seed ^ (s.id.0 as u64).wrapping_mul(0x9E37_79B9),
-                ));
-            }
-        }
-        let mut heap: BinaryHeap<Due> = drivers
-            .iter()
-            .enumerate()
-            .map(|(i, d)| Due {
-                at: d.next_time(),
-                driver: i,
-            })
-            .collect();
-        while let Some(due) = heap.pop() {
-            let fire_at = epoch + Duration::from_micros(due.at.as_micros());
-            if fire_at > pump_deadline {
+/// The source pump: drives every live source's emission schedule on one
+/// thread, with runtime add/remove for query churn.
+fn run_pump(rx: Receiver<PumpMsg>, node_txs: Vec<Sender<ShardMsg>>, epoch: Instant) {
+    const IDLE: Duration = Duration::from_millis(50);
+    let mut slots: Vec<PumpSlot> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut heap: BinaryHeap<Due> = BinaryHeap::new();
+    loop {
+        // Emit everything due.
+        while let Some(d) = heap.peek() {
+            let fire_at = epoch + Duration::from_micros(d.at.as_micros());
+            if fire_at
+                .checked_duration_since(Instant::now())
+                .is_some_and(|w| !w.is_zero())
+            {
                 break;
             }
-            if let Some(wait) = fire_at.checked_duration_since(Instant::now()) {
-                thread::sleep(wait);
+            let due = heap.pop().expect("peeked");
+            let slot = &mut slots[due.slot];
+            if slot.generation != due.generation {
+                continue; // removed (or reused): abandon the stale entry
             }
-            let d = &mut drivers[due.driver];
-            let src = d.source;
-            let query = d.query;
-            let batch = d.emit();
-            if let (Some(&node), Some(&(q, fi))) = (pump_routes.get(&src), pump_frags.get(&src)) {
-                debug_assert_eq!(q, query);
-                let _ = pump_txs[node].send(ShardMsg {
-                    node,
+            let pd = slot.driver.as_mut().expect("live generation has a driver");
+            let batch = pd.driver.emit();
+            // Quiet-pattern batches can be empty; nothing to send then.
+            if !batch.is_empty() {
+                let _ = node_txs[pd.node].send(ShardMsg {
+                    node: pd.node,
                     msg: EngineMsg::Batch(RoutedBatch {
-                        query,
-                        fragment: fi,
-                        ingress: themis_query::prelude::Ingress::Source(src),
+                        query: pd.query,
+                        fragment: pd.fragment,
+                        ingress: themis_query::prelude::Ingress::Source(pd.driver.source),
                         batch,
                     }),
                 });
             }
             heap.push(Due {
-                at: d.next_time(),
-                driver: due.driver,
+                at: pd.driver.next_time(),
+                slot: due.slot,
+                generation: due.generation,
             });
         }
-    });
-
-    // Coordinator loop on this thread.
-    let mut tracker = ResultSicTracker::new(scenario.stw);
-    let mut coordinators: Vec<QueryCoordinator> = scenario
-        .queries
-        .iter()
-        .map(|q| {
-            QueryCoordinator::new(
-                q.id,
-                scenario.deployment.hosts_of(q.id),
-                scenario.shedding_interval,
-            )
-        })
-        .collect();
-    let mut samples: HashMap<QueryId, Vec<f64>> = scenario
-        .queries
-        .iter()
-        .map(|q| (q.id, Vec::new()))
-        .collect();
-    let mut result_counts: HashMap<QueryId, usize> = HashMap::new();
-    let mut coordinator_messages = 0u64;
-    let mut next_tick = Instant::now() + interval;
-    loop {
-        let now_wall = Instant::now();
-        if now_wall >= deadline {
-            break;
-        }
-        // Drain pending results.
-        while let Ok(ev) = results_rx.try_recv() {
-            let now = Timestamp(epoch.elapsed().as_micros() as u64);
-            tracker.record(now, ev.query, ev.sic);
-            *result_counts.entry(ev.query).or_insert(0) += 1;
-        }
-        if now_wall >= next_tick {
-            next_tick += interval;
-            let now = Timestamp(epoch.elapsed().as_micros() as u64);
-            for c in coordinators.iter_mut() {
-                let sic = tracker.query_sic(now, c.query());
-                c.on_result_sic(sic);
-                for update in c.tick(now) {
-                    coordinator_messages += 1;
-                    let node = update.node.index();
-                    let _ = node_txs[node].send(ShardMsg {
-                        node,
-                        msg: EngineMsg::Sic(update),
+        let timeout = heap
+            .peek()
+            .map(|d| {
+                (epoch + Duration::from_micros(d.at.as_micros()))
+                    .saturating_duration_since(Instant::now())
+            })
+            .unwrap_or(IDLE);
+        match rx.recv_timeout(timeout) {
+            Ok(PumpMsg::Add(installs)) => {
+                let now_ts = Timestamp(epoch.elapsed().as_micros() as u64);
+                for ins in installs {
+                    let mut driver = SourceDriver::new(ins.query, &ins.spec, ins.profile, ins.seed);
+                    // Sources of queries attached mid-run start emitting
+                    // now (plus their de-phasing offset), not at t=0.
+                    driver.start_at(now_ts);
+                    let at = driver.next_time();
+                    let pd = PumpDriver {
+                        driver,
+                        node: ins.node,
+                        query: ins.query,
+                        fragment: ins.fragment,
+                    };
+                    let idx = match free.pop() {
+                        Some(idx) => {
+                            slots[idx].driver = Some(pd);
+                            idx
+                        }
+                        None => {
+                            slots.push(PumpSlot {
+                                driver: Some(pd),
+                                generation: 0,
+                            });
+                            slots.len() - 1
+                        }
+                    };
+                    heap.push(Due {
+                        at,
+                        slot: idx,
+                        generation: slots[idx].generation,
                     });
                 }
             }
-            if now_wall >= warmup_end {
-                for (q, series) in samples.iter_mut() {
-                    series.push(tracker.query_sic(now, *q).value());
+            Ok(PumpMsg::Remove(query)) => {
+                for (idx, slot) in slots.iter_mut().enumerate() {
+                    if slot.driver.as_ref().is_some_and(|pd| pd.query == query) {
+                        slot.driver = None;
+                        slot.generation += 1;
+                        free.push(idx);
+                    }
                 }
             }
-        }
-        thread::sleep(Duration::from_millis(5));
-    }
-
-    // Shutdown: one message per shard stops all of its nodes.
-    for tx in &shard_txs {
-        let _ = tx.send(ShardMsg {
-            node: 0,
-            msg: EngineMsg::Shutdown,
-        });
-    }
-    let _ = pump.join();
-    let mut nodes: Vec<NodeReport> = vec![NodeReport::default(); scenario.n_nodes];
-    for h in handles {
-        for (node, report) in h.join().expect("shard panicked") {
-            nodes[node] = report;
+            Ok(PumpMsg::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
         }
     }
+}
 
-    let mut per_query_sic: Vec<(QueryId, f64)> = samples
-        .into_iter()
-        .map(|(q, series)| {
-            let mean = if series.is_empty() {
-                0.0
-            } else {
-                series.iter().sum::<f64>() / series.len() as f64
+/// Per-query sampling state on the coordinator side.
+struct QueryTracking {
+    /// Collected SIC samples (means come from these).
+    samples: Vec<f64>,
+    /// Sampling starts here: end of warm-up for initial queries, one STW
+    /// after arrival for runtime-attached ones — matching the simulator's
+    /// "active, settled life" accounting.
+    settle_at: Instant,
+}
+
+/// A live THEMIS engine: shard pool + source pump running, coordinator
+/// driven by [`Engine::run_for`] on the calling thread, queries arriving
+/// and departing at runtime.
+///
+/// ```no_run
+/// use std::time::Duration;
+/// use themis_engine::prelude::*;
+/// use themis_query::prelude::Template;
+/// use themis_workloads::prelude::*;
+///
+/// let scenario = ScenarioBuilder::new("churn", 1)
+///     .nodes(4)
+///     .add_queries(Template::Avg, 4, SourceProfile::emulab(Dataset::Uniform))
+///     .build()
+///     .unwrap();
+/// let mut engine = Engine::start(&scenario, EngineConfig::default());
+/// engine.run_for(Duration::from_secs(1));
+/// let id = engine.attach_query(Template::Avg, SourceProfile::emulab(Dataset::Uniform));
+/// engine.run_for(Duration::from_secs(1));
+/// engine.detach_query(id);
+/// engine.run_for(Duration::from_secs(1));
+/// let report = engine.finish();
+/// assert!(report.result_counts.len() >= 4);
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+    epoch: Instant,
+    n_shards: usize,
+    n_nodes: usize,
+    seed: u64,
+    stw: StwConfig,
+    shedding_interval: TimeDelta,
+    interval: Duration,
+    warmup_end: Instant,
+    node_capacity_tps: Vec<u32>,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    node_txs: Vec<Sender<ShardMsg>>,
+    results_rx: Receiver<ResultEvent>,
+    shard_handles: Vec<JoinHandle<Vec<(usize, NodeReport)>>>,
+    pump_tx: Sender<PumpMsg>,
+    pump_handle: JoinHandle<()>,
+    // Coordinator state (driven by run_for on the calling thread).
+    tracker: ResultSicTracker,
+    coordinators: Vec<QueryCoordinator>,
+    tracking: HashMap<QueryId, QueryTracking>,
+    sic_series: HashMap<QueryId, Vec<(Timestamp, f64)>>,
+    result_counts: HashMap<QueryId, usize>,
+    coordinator_messages: u64,
+    next_tick: Instant,
+    // Placement state for runtime attaches.
+    active: HashSet<QueryId>,
+    placements: HashMap<QueryId, Vec<usize>>,
+    node_load: Vec<usize>,
+    query_ids: IdGen,
+    source_ids: IdGen,
+}
+
+impl Engine {
+    /// Spawns the shard pool and source pump and installs the scenario's
+    /// queries (every deployment takes the same attach path runtime churn
+    /// uses). Scenario `lifetimes` are ignored here — drive arrivals and
+    /// departures explicitly with [`Engine::attach_query`] /
+    /// [`Engine::detach_query`] between [`Engine::run_for`] slices.
+    pub fn start(scenario: &Scenario, config: EngineConfig) -> Engine {
+        let epoch = Instant::now();
+        let n_shards = config
+            .shards
+            .unwrap_or_else(default_shards)
+            .clamp(1, scenario.n_nodes.max(1));
+
+        // Channels: one per shard; each node's sender is a clone of its
+        // owning shard's channel, so senders stay addressable by node index.
+        let mut shard_txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(n_shards);
+        let mut shard_rxs = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (tx, rx) = unbounded();
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
+        let node_txs: Vec<Sender<ShardMsg>> = (0..scenario.n_nodes)
+            .map(|n| shard_txs[shard_of(n, n_shards)].clone())
+            .collect();
+        let (results_tx, results_rx) = unbounded::<ResultEvent>();
+
+        let mut shard_handles = Vec::new();
+        for rx in shard_rxs {
+            let routing = ShardRouting {
+                node_txs: node_txs.clone(),
+                results_tx: results_tx.clone(),
             };
-            (q, mean)
-        })
-        .collect();
-    per_query_sic.sort_by_key(|&(q, _)| q);
-    let sics: Vec<Sic> = per_query_sic.iter().map(|&(_, s)| Sic(s)).collect();
-    EngineReport {
-        nodes,
-        fairness: FairnessSummary::from_sics(&sics),
-        per_query_sic,
-        result_counts,
-        coordinator_messages,
-        policy: config.policy.name(),
-        shards: n_shards,
+            shard_handles.push(thread::spawn(move || run_shard(routing, rx, epoch)));
+        }
+        drop(results_tx);
+
+        let (pump_tx, pump_rx) = unbounded::<PumpMsg>();
+        let pump_txs = node_txs.clone();
+        let pump_handle = thread::spawn(move || run_pump(pump_rx, pump_txs, epoch));
+
+        let interval = Duration::from_micros(scenario.shedding_interval.as_micros());
+        let max_query = scenario
+            .queries
+            .iter()
+            .map(|q| q.id.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let max_source = scenario
+            .queries
+            .iter()
+            .flat_map(|q| q.sources.iter().map(|s| s.id.0 + 1))
+            .max()
+            .unwrap_or(0);
+        let mut engine = Engine {
+            config,
+            epoch,
+            n_shards,
+            n_nodes: scenario.n_nodes,
+            seed: scenario.seed,
+            stw: scenario.stw,
+            shedding_interval: scenario.shedding_interval,
+            interval,
+            warmup_end: epoch + Duration::from_micros(scenario.warmup.as_micros()),
+            node_capacity_tps: scenario.node_capacity_tps.clone(),
+            shard_txs,
+            node_txs,
+            results_rx,
+            shard_handles,
+            pump_tx,
+            pump_handle,
+            tracker: ResultSicTracker::new(scenario.stw),
+            coordinators: Vec::new(),
+            tracking: HashMap::new(),
+            sic_series: HashMap::new(),
+            result_counts: HashMap::new(),
+            coordinator_messages: 0,
+            next_tick: Instant::now() + interval,
+            active: HashSet::new(),
+            placements: HashMap::new(),
+            node_load: vec![0; scenario.n_nodes],
+            query_ids: IdGen::starting_at(max_query),
+            source_ids: IdGen::starting_at(max_source),
+        };
+
+        // Install the scenario's queries at their validated placement;
+        // their sampling settles at the end of warm-up.
+        let warmup_end = engine.warmup_end;
+        for q in &scenario.queries {
+            let nodes: Vec<usize> = (0..q.n_fragments())
+                .map(|fi| {
+                    scenario
+                        .deployment
+                        .node_of(q.id, fi)
+                        .expect("validated deployment")
+                        .index()
+                })
+                .collect();
+            let profiles: Vec<SourceProfile> =
+                q.sources.iter().map(|s| scenario.profiles[&s.id]).collect();
+            engine.install(Arc::new(q.clone()), nodes, &profiles, warmup_end);
+        }
+        engine
     }
+
+    /// The logical clock: microseconds since the engine epoch.
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Queries currently attached.
+    pub fn active_queries(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Shard threads in the pool.
+    pub fn shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Installs `query` with fragment `fi` on `nodes[fi]`, wires its
+    /// sources into the pump and registers its coordinator. `profiles`
+    /// lists one profile per query source, in declaration order.
+    fn install(
+        &mut self,
+        query: Arc<QuerySpec>,
+        nodes: Vec<usize>,
+        profiles: &[SourceProfile],
+        settle_at: Instant,
+    ) {
+        for (fi, &node) in nodes.iter().enumerate() {
+            let downstream = if fi == query.result_fragment {
+                None
+            } else {
+                query.downstream_of(fi).map(|d| (nodes[d], d))
+            };
+            let initial_capacity = if self.config.synthetic_cost.is_zero() {
+                usize::MAX / 2
+            } else {
+                ((self.shedding_interval.as_micros()
+                    / self.config.synthetic_cost.as_micros().max(1)) as usize)
+                    .max(1)
+            };
+            let fixed_capacity = self.config.enforce_capacity.then(|| {
+                ((self.node_capacity_tps[node] as u64 * self.shedding_interval.as_micros()
+                    / 1_000_000) as usize)
+                    .max(1)
+            });
+            let config = NodeConfig {
+                id: NodeId(node as u32),
+                interval: self.shedding_interval,
+                stw: self.stw,
+                shedder: self
+                    .config
+                    .policy
+                    .build(self.seed ^ (0xE0_0000 + node as u64)),
+                synthetic_cost: self.config.synthetic_cost,
+                initial_capacity,
+                fixed_capacity,
+            };
+            let _ = self.node_txs[node].send(ShardMsg {
+                node,
+                msg: EngineMsg::Attach(Box::new(AttachFragment {
+                    node,
+                    config,
+                    query: query.clone(),
+                    fragment: fi,
+                    downstream,
+                })),
+            });
+            self.node_load[node] += 1;
+        }
+        // Sources: each fragment's bindings say which node its sources
+        // feed; the pump drives them on their emission schedule.
+        let mut installs = Vec::new();
+        for (fi, &node) in nodes.iter().enumerate() {
+            for b in &query.fragments[fi].sources {
+                let si = query
+                    .sources
+                    .iter()
+                    .position(|s| s.id == b.source)
+                    .expect("bound source declared");
+                installs.push(SourceInstall {
+                    query: query.id,
+                    spec: query.sources[si],
+                    // One profile per declared source — a mismatch is a
+                    // caller bug and should fail loudly, not silently
+                    // reuse another source's profile.
+                    profile: profiles[si],
+                    seed: self.seed ^ (b.source.0 as u64).wrapping_mul(0x9E37_79B9),
+                    node,
+                    fragment: fi,
+                });
+            }
+        }
+        let _ = self.pump_tx.send(PumpMsg::Add(installs));
+        self.coordinators.push(QueryCoordinator::new(
+            query.id,
+            nodes.iter().map(|&n| NodeId(n as u32)).collect(),
+            self.shedding_interval,
+        ));
+        self.tracking.insert(
+            query.id,
+            QueryTracking {
+                samples: Vec::new(),
+                settle_at,
+            },
+        );
+        self.active.insert(query.id);
+        self.placements.insert(query.id, nodes);
+    }
+
+    /// Attaches a fresh query built from `template` at runtime: fragments
+    /// go to the least-loaded distinct nodes, all of its sources emit
+    /// with `profile`. Returns the new query's id. Its SIC samples start
+    /// one STW after arrival (the settle period), like the simulator's
+    /// churn accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the template needs more fragments than the engine has
+    /// nodes (fragments of one query must land on distinct nodes).
+    pub fn attach_query(&mut self, template: Template, profile: SourceProfile) -> QueryId {
+        let id: QueryId = self.query_ids.next();
+        let query = template.build(id, &mut self.source_ids);
+        assert!(
+            query.n_fragments() <= self.n_nodes,
+            "query needs {} distinct nodes, engine has {}",
+            query.n_fragments(),
+            self.n_nodes
+        );
+        let mut order: Vec<usize> = (0..self.n_nodes).collect();
+        order.sort_by_key(|&n| (self.node_load[n], n));
+        let nodes: Vec<usize> = order[..query.n_fragments()].to_vec();
+        let profiles = vec![profile; query.sources.len()];
+        let settle_at = Instant::now() + Duration::from_micros(self.stw.window.as_micros());
+        self.install(Arc::new(query), nodes, &profiles, settle_at);
+        id
+    }
+
+    /// Attaches `count` queries from `template` (see
+    /// [`Engine::attach_query`]).
+    pub fn attach_queries(
+        &mut self,
+        template: Template,
+        count: usize,
+        profile: SourceProfile,
+    ) -> Vec<QueryId> {
+        (0..count)
+            .map(|_| self.attach_query(template, profile))
+            .collect()
+    }
+
+    /// Detaches `query` at runtime: its sources stop emitting, every
+    /// hosting node purges its fragments and buffered batches, nodes left
+    /// empty are torn down (their shedding deadlines are abandoned), and
+    /// its coordinator stops disseminating. Samples collected so far are
+    /// kept for the final report. Returns `false` when the query is not
+    /// attached.
+    pub fn detach_query(&mut self, query: QueryId) -> bool {
+        if !self.active.remove(&query) {
+            return false;
+        }
+        let _ = self.pump_tx.send(PumpMsg::Remove(query));
+        for node in self.placements.remove(&query).unwrap_or_default() {
+            let _ = self.node_txs[node].send(ShardMsg {
+                node,
+                msg: EngineMsg::Detach { query },
+            });
+            self.node_load[node] = self.node_load[node].saturating_sub(1);
+        }
+        self.coordinators.retain(|c| c.query() != query);
+        true
+    }
+
+    /// Drives the coordinator loop on the calling thread for `wall` time:
+    /// drains result emissions into the SIC tracker, fires coordinator
+    /// dissemination every shedding interval, and samples per-query SIC
+    /// values (after warm-up and per-query settling).
+    pub fn run_for(&mut self, wall: Duration) {
+        let deadline = Instant::now() + wall;
+        loop {
+            let now_wall = Instant::now();
+            if now_wall >= deadline {
+                break;
+            }
+            // Drain pending results.
+            while let Ok(ev) = self.results_rx.try_recv() {
+                let now = self.now();
+                self.tracker.record(now, ev.query, ev.sic);
+                *self.result_counts.entry(ev.query).or_insert(0) += 1;
+            }
+            if now_wall >= self.next_tick {
+                self.next_tick += self.interval;
+                if self.next_tick <= now_wall {
+                    // A long gap between run_for slices: skip to the next
+                    // future tick instead of storming catch-up ticks.
+                    self.next_tick = now_wall + self.interval;
+                }
+                let now = self.now();
+                for c in self.coordinators.iter_mut() {
+                    let sic = self.tracker.query_sic(now, c.query());
+                    c.on_result_sic(sic);
+                    for update in c.tick(now) {
+                        self.coordinator_messages += 1;
+                        let node = update.node.index();
+                        let _ = self.node_txs[node].send(ShardMsg {
+                            node,
+                            msg: EngineMsg::Sic(update),
+                        });
+                    }
+                }
+                if now_wall >= self.warmup_end {
+                    for (&q, t) in self.tracking.iter_mut() {
+                        if !self.active.contains(&q) {
+                            continue;
+                        }
+                        let sic = self.tracker.query_sic(now, q).value();
+                        if now_wall >= t.settle_at {
+                            t.samples.push(sic);
+                        }
+                        if self.config.record_series {
+                            self.sic_series.entry(q).or_default().push((now, sic));
+                        }
+                    }
+                }
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Shuts the pump and shard pool down and assembles the report.
+    pub fn finish(self) -> EngineReport {
+        let _ = self.pump_tx.send(PumpMsg::Stop);
+        // Shutdown: one message per shard stops all of its nodes.
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardMsg {
+                node: 0,
+                msg: EngineMsg::Shutdown,
+            });
+        }
+        let _ = self.pump_handle.join();
+        let mut nodes: Vec<NodeReport> = vec![NodeReport::default(); self.n_nodes];
+        for h in self.shard_handles {
+            for (node, report) in h.join().expect("shard panicked") {
+                nodes[node].absorb(&report);
+            }
+        }
+
+        let mut per_query_sic: Vec<(QueryId, f64)> = self
+            .tracking
+            .into_iter()
+            .map(|(q, t)| {
+                let mean = if t.samples.is_empty() {
+                    0.0
+                } else {
+                    t.samples.iter().sum::<f64>() / t.samples.len() as f64
+                };
+                (q, mean)
+            })
+            .collect();
+        per_query_sic.sort_by_key(|&(q, _)| q);
+        let sics: Vec<Sic> = per_query_sic.iter().map(|&(_, s)| Sic(s)).collect();
+        EngineReport {
+            nodes,
+            fairness: FairnessSummary::from_sics(&sics),
+            per_query_sic,
+            result_counts: self.result_counts,
+            coordinator_messages: self.coordinator_messages,
+            policy: self.config.policy.name(),
+            shards: self.n_shards,
+            sic_series: self.sic_series,
+        }
+    }
+}
+
+/// Runs the scenario on a bounded shard pool for `warmup + duration` wall
+/// time and reports per-query SIC fairness plus node counters — the
+/// one-shot wrapper over [`Engine`].
+pub fn run_engine(scenario: &Scenario, config: EngineConfig) -> EngineReport {
+    let mut engine = Engine::start(scenario, config);
+    engine.run_for(Duration::from_micros(
+        (scenario.warmup + scenario.duration).as_micros(),
+    ));
+    engine.finish()
 }
 
 #[cfg(test)]
@@ -388,12 +768,7 @@ mod tests {
             .add_queries(
                 Template::Avg,
                 n_queries,
-                SourceProfile {
-                    tuples_per_sec: rate,
-                    batches_per_sec: 5,
-                    burst: Burstiness::Steady,
-                    dataset: Dataset::Uniform,
-                },
+                SourceProfile::steady(rate, 5, Dataset::Uniform),
             )
             .build()
             .unwrap()
@@ -435,6 +810,37 @@ mod tests {
     }
 
     #[test]
+    fn enforced_capacity_sheds_without_spin() {
+        // 2 nodes x 2 queries x 400 t/s demand against a declared
+        // 300 t/s node capacity: ~2.7x overload, no synthetic cost.
+        let scn = ScenarioBuilder::new("enforce", 9)
+            .nodes(2)
+            .capacity_tps(300)
+            .duration(TimeDelta::from_millis(2500))
+            .warmup(TimeDelta::from_millis(1500))
+            .stw_window(TimeDelta::from_secs(2))
+            .add_queries(
+                Template::Avg,
+                4,
+                SourceProfile::steady(400, 5, Dataset::Uniform),
+            )
+            .build()
+            .unwrap();
+        let report = run_engine(
+            &scn,
+            EngineConfig {
+                enforce_capacity: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.shed_fraction() > 0.3,
+            "declared capacity ignored: shed {}",
+            report.shed_fraction()
+        );
+    }
+
+    #[test]
     fn bounded_pool_hosts_many_nodes_on_two_shards() {
         let scn = ScenarioBuilder::new("engine-shards", 5)
             .nodes(32)
@@ -445,12 +851,7 @@ mod tests {
             .add_queries(
                 Template::Avg,
                 32,
-                SourceProfile {
-                    tuples_per_sec: 50,
-                    batches_per_sec: 5,
-                    burst: Burstiness::Steady,
-                    dataset: Dataset::Uniform,
-                },
+                SourceProfile::steady(50, 5, Dataset::Uniform),
             )
             .build()
             .unwrap();
@@ -477,5 +878,67 @@ mod tests {
         );
         // The scenario has 2 nodes; the pool is clamped.
         assert_eq!(report.shards, 2);
+    }
+
+    #[test]
+    fn attach_and_detach_churn_queries_at_runtime() {
+        let scn = ScenarioBuilder::new("engine-churn", 7)
+            .nodes(4)
+            .capacity_tps(1_000_000)
+            .duration(TimeDelta::from_millis(2000))
+            .warmup(TimeDelta::from_millis(500))
+            .stw_window(TimeDelta::from_secs(1))
+            .add_queries(
+                Template::Avg,
+                2,
+                SourceProfile::steady(100, 5, Dataset::Uniform),
+            )
+            .build()
+            .unwrap();
+        let mut engine = Engine::start(
+            &scn,
+            EngineConfig {
+                record_series: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(engine.active_queries(), 2);
+        engine.run_for(Duration::from_millis(800));
+        // Two arrivals: fresh ids, placed on the two empty nodes.
+        let ids = engine.attach_queries(
+            Template::Avg,
+            2,
+            SourceProfile::steady(100, 5, Dataset::Uniform),
+        );
+        assert_eq!(ids, vec![QueryId(2), QueryId(3)]);
+        assert_eq!(engine.active_queries(), 4);
+        engine.run_for(Duration::from_millis(1800));
+        // One departure.
+        assert!(engine.detach_query(ids[0]));
+        assert!(!engine.detach_query(ids[0]), "double detach is a no-op");
+        assert_eq!(engine.active_queries(), 3);
+        engine.run_for(Duration::from_millis(700));
+        let report = engine.finish();
+        // The attached queries produced results and samples.
+        assert!(report.result_counts.contains_key(&ids[0]));
+        assert!(report.result_counts.contains_key(&ids[1]));
+        let sic_attached = report
+            .per_query_sic
+            .iter()
+            .find(|&&(q, _)| q == ids[1])
+            .map(|&(_, s)| s)
+            .unwrap();
+        assert!(sic_attached > 0.2, "attached query starved: {sic_attached}");
+        // Series cover residents and the churn cohort.
+        assert!(report.sic_series.len() >= 3);
+        // The detached query's node hosted nothing else, so it was torn
+        // down mid-run: its tick count sits well below a full-run node's.
+        let resident_ticks = report.nodes[0].ticks.max(report.nodes[1].ticks);
+        let churn_ticks = report.nodes[2].ticks.min(report.nodes[3].ticks);
+        assert!(churn_ticks > 0, "churn nodes ticked while attached");
+        assert!(
+            churn_ticks < resident_ticks,
+            "detached node kept ticking: {churn_ticks} vs {resident_ticks}"
+        );
     }
 }

@@ -14,6 +14,14 @@
 //! passed — a message flood cannot starve the overload detector — and an
 //! overrunning tick skips its missed periods instead of storming.
 //!
+//! Queries **churn at runtime**: [`engine::Engine::attach_query`] installs
+//! a fresh query's fragments on the least-loaded running nodes (shards
+//! install node states on demand) and
+//! [`engine::Engine::detach_query`] removes them again, tearing down
+//! nodes left hosting nothing so their shedding deadlines never fire
+//! again — the engine analogue of the simulator's query
+//! arrival/departure dynamics.
+//!
 //! The engine complements the deterministic simulator: it demonstrates the
 //! system on real threads and channels and provides the measured shedder
 //! execution times reported in the §7.6 overhead experiment.
@@ -28,9 +36,11 @@ pub mod shard;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::engine::{default_shards, run_engine, EngineConfig, EngineReport};
-    pub use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch, ShardMsg};
+    pub use crate::engine::{default_shards, run_engine, Engine, EngineConfig, EngineReport};
+    pub use crate::messages::{
+        AttachFragment, EngineMsg, NodeReport, ResultEvent, RoutedBatch, ShardMsg,
+    };
     pub use crate::node_state::{NodeConfig, NodeState};
-    pub use crate::shard::{run_shard, shard_assignment, shard_of, ShardNode, ShardRouting};
+    pub use crate::shard::{run_shard, shard_assignment, shard_of, ShardRouting};
     pub use themis_core::shedder::PolicyKind;
 }

@@ -1,7 +1,11 @@
 //! Messages and reports exchanged inside the prototype engine.
 
+use std::sync::Arc;
+
 use themis_core::prelude::*;
-use themis_query::prelude::Ingress;
+use themis_query::prelude::{Ingress, QuerySpec};
+
+use crate::node_state::NodeConfig;
 
 /// A batch plus routing info (same shape as the simulator's).
 #[derive(Debug, Clone)]
@@ -16,12 +20,41 @@ pub struct RoutedBatch {
     pub batch: Batch,
 }
 
+/// Installs one fragment of a query on a node — the unit of runtime query
+/// churn. The first attach addressed to a node *installs* the node's state
+/// on its shard (using `config`); later attaches only add fragments.
+pub struct AttachFragment {
+    /// Global node index hosting the fragment.
+    pub node: usize,
+    /// Node configuration, consumed only when the node is not yet
+    /// installed on its shard (the shedder instance inside is per-node).
+    pub config: NodeConfig,
+    /// The owning query (shared, immutable across shards).
+    pub query: Arc<QuerySpec>,
+    /// Fragment index within the query.
+    pub fragment: usize,
+    /// Where this fragment's emissions go: a downstream `(node, fragment)`
+    /// of the same query, or `None` for the query-result sink.
+    pub downstream: Option<(usize, usize)>,
+}
+
 /// Messages delivered to engine nodes.
 pub enum EngineMsg {
     /// A data batch.
     Batch(RoutedBatch),
     /// A coordinator SIC update.
     Sic(SicUpdate),
+    /// Install a query fragment on the addressed node (runtime query
+    /// arrival; installs the node itself if absent).
+    Attach(Box<AttachFragment>),
+    /// Remove every fragment of `query` from the addressed node (runtime
+    /// query departure). A node left hosting nothing is torn down: its
+    /// counters freeze and its shedding deadline is abandoned, so it
+    /// never ticks again.
+    Detach {
+        /// The departing query.
+        query: QueryId,
+    },
     /// Stop the receiving shard (all of its nodes).
     Shutdown,
 }
@@ -86,6 +119,22 @@ impl NodeReport {
         } else {
             self.shed_time_ns as f64 / self.shed_decisions as f64 / 1_000.0
         }
+    }
+
+    /// Adds another report's counters onto this one — used when a node is
+    /// torn down and later re-installed on its shard (churn), so the final
+    /// per-node report covers every incarnation.
+    pub fn absorb(&mut self, other: &NodeReport) {
+        self.arrived_tuples += other.arrived_tuples;
+        self.kept_tuples += other.kept_tuples;
+        self.shed_tuples += other.shed_tuples;
+        self.shed_batches += other.shed_batches;
+        self.shed_invocations += other.shed_invocations;
+        self.shed_time_ns += other.shed_time_ns;
+        self.shed_decisions += other.shed_decisions;
+        self.sic_updates += other.sic_updates;
+        self.ticks += other.ticks;
+        self.late_ticks += other.late_ticks;
     }
 }
 

@@ -4,7 +4,11 @@
 //!
 //! The seed engine kept all of this on the stack of a dedicated OS thread
 //! per node; extracting it into [`NodeState`] lets one shard thread
-//! interleave thousands of nodes (see [`crate::shard`]).
+//! interleave thousands of nodes (see [`crate::shard`]). Since the churn
+//! refactor, nodes are *dynamic*: fragments install via
+//! [`NodeState::attach_fragment`] and depart via
+//! [`NodeState::detach_query`] (which also purges the departing query's
+//! buffered batches), so queries arrive and leave a running engine.
 //!
 //! The shedding tick carries two correctness fixes over the seed worker:
 //!
@@ -48,13 +52,27 @@ pub struct NodeConfig {
     /// Initial capacity estimate (tuples per interval) used before the
     /// cost model has observations.
     pub initial_capacity: usize,
+    /// Fixed shedding threshold (tuples per interval). `Some` pins the
+    /// detector to a declared node capacity — the engine analogue of the
+    /// simulator's `node_capacity_tps` — instead of the online cost-model
+    /// estimate; experiments at 1000+-node scale use it to create genuine
+    /// overload without burning wall time in the synthetic-cost spin.
+    pub fixed_capacity: Option<usize>,
+}
+
+/// One query fragment hosted by a node, plus where its emissions go.
+struct HostedFragment {
+    runtime: FragmentRuntime,
+    /// Downstream `(node, fragment)` of the same query; `None` emits
+    /// query results.
+    downstream: Option<(usize, usize)>,
 }
 
 /// The full mutable state of one engine node, owned by a shard thread.
 pub struct NodeState {
     /// Global node index (for routing and report scatter).
     pub node: usize,
-    runtimes: BTreeMap<(QueryId, usize), FragmentRuntime>,
+    runtimes: BTreeMap<(QueryId, usize), HostedFragment>,
     assigners: HashMap<QueryId, SourceSicAssigner>,
     buffer: Vec<RoutedBatch>,
     sic_table: SicTable,
@@ -62,6 +80,8 @@ pub struct NodeState {
     detector: OverloadDetector,
     shedder: Box<dyn Shedder>,
     synthetic_cost: TimeDelta,
+    fixed_capacity: Option<usize>,
+    stw: StwConfig,
     interval: Duration,
     interval_delta: TimeDelta,
     next_tick: Instant,
@@ -70,45 +90,72 @@ pub struct NodeState {
 }
 
 impl NodeState {
-    /// Builds the state for global node `node` hosting `fragments`, with
-    /// its first shedding deadline at `first_tick`.
-    pub fn new(
-        config: NodeConfig,
-        node: usize,
-        queries: &[QuerySpec],
-        fragments: &[(QueryId, usize)],
-        first_tick: Instant,
-    ) -> Self {
-        let mut runtimes: BTreeMap<(QueryId, usize), FragmentRuntime> = BTreeMap::new();
-        let mut assigners: HashMap<QueryId, SourceSicAssigner> = HashMap::new();
-        let by_id: HashMap<QueryId, &QuerySpec> = queries.iter().map(|q| (q.id, q)).collect();
-        for (q, fi) in fragments {
-            let spec = by_id[q];
-            runtimes.insert((*q, *fi), FragmentRuntime::new(&spec.fragments[*fi]));
-            assigners
-                .entry(*q)
-                .or_insert_with(|| SourceSicAssigner::new(config.stw, spec.n_sources()));
-        }
+    /// Builds the (fragment-less) state for global node `node`, with its
+    /// first shedding deadline at `first_tick`. Fragments install through
+    /// [`NodeState::attach_fragment`].
+    pub fn new(config: NodeConfig, node: usize, first_tick: Instant) -> Self {
         // Clamped to 1 us: a zero interval would pin the deadline in the
         // past forever (`deadline + ZERO * periods == deadline`), keeping
         // this node the heap minimum and starving its shard-mates' ticks.
         let interval = Duration::from_micros(config.interval.as_micros().max(1));
         NodeState {
             node,
-            runtimes,
-            assigners,
+            runtimes: BTreeMap::new(),
+            assigners: HashMap::new(),
             buffer: Vec::new(),
             sic_table: SicTable::new(),
             cost_model: CostModel::default(),
             detector: OverloadDetector::new(config.interval, config.initial_capacity),
             shedder: config.shedder,
             synthetic_cost: config.synthetic_cost,
+            fixed_capacity: config.fixed_capacity,
+            stw: config.stw,
             interval,
             interval_delta: config.interval,
             next_tick: first_tick,
             last_tick: first_tick.checked_sub(interval).unwrap_or(first_tick),
             report: NodeReport::default(),
         }
+    }
+
+    /// Installs one fragment of `query` on this node, routing its
+    /// emissions to `downstream` (`None` = the query-result sink).
+    /// Re-attaching an already-hosted fragment resets its runtime.
+    pub fn attach_fragment(
+        &mut self,
+        query: &QuerySpec,
+        fragment: usize,
+        downstream: Option<(usize, usize)>,
+    ) {
+        self.runtimes.insert(
+            (query.id, fragment),
+            HostedFragment {
+                runtime: FragmentRuntime::new(&query.fragments[fragment]),
+                downstream,
+            },
+        );
+        let stw = self.stw;
+        let n_sources = query.n_sources();
+        self.assigners
+            .entry(query.id)
+            .or_insert_with(|| SourceSicAssigner::new(stw, n_sources));
+    }
+
+    /// Removes every fragment of `query` from this node, purging its
+    /// buffered batches, SIC assigner and coordinator-table entry.
+    /// Returns the number of fragments still hosted afterwards (0 means
+    /// the shard should tear the node down).
+    pub fn detach_query(&mut self, query: QueryId) -> usize {
+        self.runtimes.retain(|&(q, _), _| q != query);
+        self.assigners.remove(&query);
+        self.sic_table.remove(query);
+        self.buffer.retain(|rb| rb.query != query);
+        self.runtimes.len()
+    }
+
+    /// Number of fragments hosted.
+    pub fn n_fragments(&self) -> usize {
+        self.runtimes.len()
     }
 
     /// The node's next shedding deadline.
@@ -161,7 +208,9 @@ impl NodeState {
         self.reschedule(now);
 
         let now_ts = Timestamp(epoch.elapsed().as_micros() as u64);
-        let c = self.detector.threshold(&self.cost_model);
+        let c = self
+            .fixed_capacity
+            .unwrap_or_else(|| self.detector.threshold(&self.cost_model));
         let buffered: usize = self.buffer.iter().map(|rb| rb.batch.len()).sum();
 
         // The decision is applied as a bitmap over buffer slots: shed
@@ -193,15 +242,15 @@ impl NodeState {
             if !self.synthetic_cost.is_zero() {
                 spin_for(self.synthetic_cost.as_micros() * rb.batch.len() as u64);
             }
-            if let Some(rt) = self.runtimes.get_mut(&(rb.query, rb.fragment)) {
+            if let Some(hf) = self.runtimes.get_mut(&(rb.query, rb.fragment)) {
                 let (q, f) = (rb.query, rb.fragment);
-                let emissions = rt.ingest(rb.ingress, rb.batch.into_data(), now_ts);
-                routing.route(q, f, emissions);
+                let emissions = hf.runtime.ingest(rb.ingress, rb.batch.into_data(), now_ts);
+                routing.route(q, f, hf.downstream, emissions);
             }
         }
-        for (&(q, f), rt) in self.runtimes.iter_mut() {
-            let emissions = rt.tick(now_ts);
-            routing.route(q, f, emissions);
+        for (&(q, f), hf) in self.runtimes.iter_mut() {
+            let emissions = hf.runtime.tick(now_ts);
+            routing.route(q, f, hf.downstream, emissions);
         }
         let busy = TimeDelta::from_micros(busy_start.elapsed().as_micros() as u64);
         self.cost_model
@@ -269,24 +318,24 @@ mod tests {
     use super::*;
     use themis_query::prelude::Template;
 
-    fn state(interval_ms: u64, first_tick: Instant) -> NodeState {
-        let mut ids = IdGen::new();
-        let query = Template::Avg.build(QueryId(0), &mut ids);
-        let config = NodeConfig {
+    fn config(interval_ms: u64) -> NodeConfig {
+        NodeConfig {
             id: NodeId(0),
             interval: TimeDelta::from_millis(interval_ms),
             stw: StwConfig::PAPER_DEFAULT,
             shedder: PolicyKind::BalanceSic.build(7),
             synthetic_cost: TimeDelta::ZERO,
             initial_capacity: 100,
-        };
-        NodeState::new(
-            config,
-            0,
-            std::slice::from_ref(&query),
-            &[(query.id, 0)],
-            first_tick,
-        )
+            fixed_capacity: None,
+        }
+    }
+
+    fn state(interval_ms: u64, first_tick: Instant) -> NodeState {
+        let mut ids = IdGen::new();
+        let query = Template::Avg.build(QueryId(0), &mut ids);
+        let mut s = NodeState::new(config(interval_ms), 0, first_tick);
+        s.attach_fragment(&query, 0, None);
+        s
     }
 
     #[test]
@@ -353,6 +402,77 @@ mod tests {
             Timestamp(0),
         );
         assert_eq!(s.report().arrived_tuples, 2);
+    }
+
+    #[test]
+    fn detach_purges_fragments_buffer_and_assigner() {
+        let mut ids = IdGen::new();
+        let q0 = Template::Avg.build(QueryId(0), &mut ids);
+        let q1 = Template::Avg.build(QueryId(1), &mut ids);
+        let base = Instant::now();
+        let mut s = NodeState::new(config(50), 0, base);
+        s.attach_fragment(&q0, 0, None);
+        s.attach_fragment(&q1, 0, None);
+        assert_eq!(s.n_fragments(), 2);
+        for (q, src) in [(&q0, q0.sources[0].id), (&q1, q1.sources[0].id)] {
+            s.enqueue(
+                RoutedBatch {
+                    query: q.id,
+                    fragment: 0,
+                    ingress: Ingress::Source(src),
+                    batch: Batch::new(
+                        q.id,
+                        Timestamp(0),
+                        vec![Tuple::measurement(Timestamp(0), Sic(0.1), 1.0)],
+                    ),
+                },
+                Timestamp(0),
+            );
+        }
+        assert_eq!(s.buffer.len(), 2);
+        let remaining = s.detach_query(q0.id);
+        assert_eq!(remaining, 1);
+        assert_eq!(s.n_fragments(), 1);
+        assert_eq!(s.buffer.len(), 1, "q0's buffered batch purged");
+        assert_eq!(s.buffer[0].query, q1.id);
+        assert!(!s.assigners.contains_key(&q0.id));
+        // Detaching the last query empties the node.
+        assert_eq!(s.detach_query(q1.id), 0);
+    }
+
+    #[test]
+    fn fixed_capacity_pins_the_threshold() {
+        let mut ids = IdGen::new();
+        let query = Template::Avg.build(QueryId(0), &mut ids);
+        let base = Instant::now();
+        let mut cfg = config(50);
+        cfg.fixed_capacity = Some(3);
+        let mut s = NodeState::new(cfg, 0, base);
+        s.attach_fragment(&query, 0, None);
+        let src = query.sources[0].id;
+        let tuples: Vec<Tuple> = (0..10)
+            .map(|i| Tuple::measurement(Timestamp(0), Sic(0.01), i as f64))
+            .collect();
+        s.enqueue(
+            RoutedBatch {
+                query: query.id,
+                fragment: 0,
+                ingress: Ingress::Source(src),
+                batch: Batch::from_source(query.id, src, Timestamp(0), tuples),
+            },
+            Timestamp(0),
+        );
+        let (tx, _rx) = crossbeam::channel::unbounded();
+        let (results_tx, _results_rx) = crossbeam::channel::unbounded();
+        let routing = ShardRouting {
+            node_txs: vec![tx],
+            results_tx,
+        };
+        s.tick(base, base, &routing);
+        // 10 buffered > 3 fixed capacity, despite the cost model having
+        // no reason to shed (zero synthetic cost).
+        assert_eq!(s.report().shed_invocations, 1);
+        assert!(s.report().shed_tuples >= 7);
     }
 
     #[test]

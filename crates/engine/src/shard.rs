@@ -10,6 +10,14 @@
 //! starve the overload detector (the seed worker's drain loop `continue`d
 //! on every message and postponed the tick indefinitely under exactly the
 //! overload it was meant to detect).
+//!
+//! Shards start **empty**: nodes install on first
+//! [`EngineMsg::Attach`] and tear down when an [`EngineMsg::Detach`]
+//! removes their last fragment — the runtime query-churn path. Teardown
+//! freezes the node's counters and abandons its deadline-heap entry
+//! (entries are generation-tagged, so a stale deadline popped after a
+//! teardown or re-install is discarded instead of ticking — no heap
+//! leak: a detached node never ticks again).
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -21,18 +29,23 @@ use themis_core::prelude::*;
 use themis_operators::op::Emission;
 use themis_query::prelude::*;
 
-use crate::messages::{EngineMsg, NodeReport, ResultEvent, RoutedBatch, ShardMsg};
-use crate::node_state::{NodeConfig, NodeState};
+use crate::messages::{AttachFragment, EngineMsg, NodeReport, ResultEvent, RoutedBatch, ShardMsg};
+use crate::node_state::NodeState;
 
 /// How long an idle shard (no nodes, or all deadlines far out) sleeps per
 /// loop iteration while waiting for messages.
 const IDLE_TIMEOUT: Duration = Duration::from_millis(50);
 
-/// What a shard needs to route fragment outputs.
+/// First-tick stagger slots: the `i`-th node installed on a shard fires
+/// its first tick `(i % SLOTS) / SLOTS` of an interval into the schedule,
+/// so thousands of co-located nodes do not all tick at the same instant.
+const STAGGER_SLOTS: u64 = 32;
+
+/// What a shard needs to route fragment outputs. Fragment-level routing
+/// (which downstream node a fragment feeds) travels with the fragment
+/// itself (installed by [`EngineMsg::Attach`]), so attaching a query at
+/// runtime needs no shard-wide routing updates.
 pub struct ShardRouting {
-    /// `(query, fragment)` -> downstream `(node index, fragment)`; absent
-    /// means the fragment emits query results.
-    pub downstream: HashMap<(QueryId, usize), (usize, usize)>,
     /// Senders addressing every node (index = global node; each entry is a
     /// clone of the owning shard's channel).
     pub node_txs: Vec<Sender<ShardMsg>>,
@@ -41,11 +54,18 @@ pub struct ShardRouting {
 }
 
 impl ShardRouting {
-    /// Forwards fragment emissions downstream or to the results sink.
-    pub fn route(&self, query: QueryId, fragment: usize, emissions: Vec<Emission>) {
+    /// Forwards fragment emissions to `downstream` (or to the results
+    /// sink when `None`).
+    pub fn route(
+        &self,
+        query: QueryId,
+        fragment: usize,
+        downstream: Option<(usize, usize)>,
+        emissions: Vec<Emission>,
+    ) {
         for e in emissions {
-            match self.downstream.get(&(query, fragment)) {
-                Some(&(node, df)) => {
+            match downstream {
+                Some((node, df)) => {
                     let at = e.at;
                     let rb = RoutedBatch {
                         query,
@@ -76,16 +96,6 @@ impl ShardRouting {
     }
 }
 
-/// One node assigned to a shard.
-pub struct ShardNode {
-    /// Global node index.
-    pub node: usize,
-    /// Per-node configuration.
-    pub config: NodeConfig,
-    /// Fragments hosted by the node.
-    pub fragments: Vec<(QueryId, usize)>,
-}
-
 /// The shard of `n_shards` that owns global node `node` (round-robin).
 pub fn shard_of(node: usize, n_shards: usize) -> usize {
     node % n_shards.max(1)
@@ -96,14 +106,17 @@ pub fn shard_assignment(n_nodes: usize, n_shards: usize) -> Vec<usize> {
     (0..n_nodes).map(|n| shard_of(n, n_shards)).collect()
 }
 
-/// Entry in a shard's deadline heap (min-heap by `(at, node)`).
+/// Entry in a shard's deadline heap (min-heap by `(at, node)`), tagged
+/// with the node's install generation so entries of torn-down or
+/// re-installed nodes are discarded on pop.
 struct Deadline {
     at: Instant,
-    local: usize,
+    node: usize,
+    generation: u64,
 }
 impl PartialEq for Deadline {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.local == other.local
+        self.at == other.at && self.node == other.node && self.generation == other.generation
     }
 }
 impl Eq for Deadline {}
@@ -114,41 +127,31 @@ impl PartialOrd for Deadline {
 }
 impl Ord for Deadline {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.at, other.local).cmp(&(self.at, self.local))
+        // Reversed: BinaryHeap is a max-heap, we want earliest first. The
+        // generation is a final tiebreak so Ord agrees with PartialEq
+        // (a stale entry and its re-install successor can share an
+        // instant).
+        (other.at, other.node, other.generation).cmp(&(self.at, self.node, self.generation))
     }
 }
 
 /// Runs a shard's event loop until an [`EngineMsg::Shutdown`] arrives (or
-/// every sender is gone); returns `(global node, counters)` per node.
+/// every sender is gone); returns `(global node, counters)` per node that
+/// was ever installed (one merged report per node across re-installs).
 ///
-/// First deadlines are staggered across the shard's nodes so thousands of
-/// co-located nodes do not all tick at the same instant.
+/// The shard starts with no nodes; [`EngineMsg::Attach`] installs them
+/// (the engine pre-loads the initial scenario's attaches before spawning
+/// the thread, so "static" deployments take this same path).
 pub fn run_shard(
-    nodes: Vec<ShardNode>,
-    queries: Vec<QuerySpec>,
     routing: ShardRouting,
     rx: Receiver<ShardMsg>,
     epoch: Instant,
 ) -> Vec<(usize, NodeReport)> {
-    let start = Instant::now();
-    let n_local = nodes.len().max(1);
-    let mut local_of: HashMap<usize, usize> = HashMap::with_capacity(nodes.len());
-    let mut states: Vec<NodeState> = Vec::with_capacity(nodes.len());
-    let mut heap: BinaryHeap<Deadline> = BinaryHeap::with_capacity(nodes.len());
-    for (i, sn) in nodes.into_iter().enumerate() {
-        let interval = Duration::from_micros(sn.config.interval.as_micros());
-        // Stagger: node i's first tick lands i/n of an interval into the
-        // schedule, spreading tick work evenly across the period.
-        let first_tick = start + interval + interval.mul_f64(i as f64 / n_local as f64);
-        let state = NodeState::new(sn.config, sn.node, &queries, &sn.fragments, first_tick);
-        local_of.insert(sn.node, i);
-        heap.push(Deadline {
-            at: state.next_tick(),
-            local: i,
-        });
-        states.push(state);
-    }
+    let mut states: HashMap<usize, NodeState> = HashMap::new();
+    let mut generations: HashMap<usize, u64> = HashMap::new();
+    let mut heap: BinaryHeap<Deadline> = BinaryHeap::new();
+    let mut finished: HashMap<usize, NodeReport> = HashMap::new();
+    let mut installed_seq: u64 = 0;
 
     loop {
         // Fire every due tick before draining more messages: the deadline,
@@ -162,15 +165,23 @@ pub fn run_shard(
         // deadline order and no node re-fires ahead of a due shard-mate.
         let mut now = Instant::now();
         let mut fired = 0;
+        let cap = states.len().max(1);
         while let Some(d) = heap.peek() {
-            if d.at > now || fired >= states.len() {
+            if d.at > now || fired >= cap {
                 break;
             }
-            let local = heap.pop().expect("peeked").local;
-            states[local].tick(now, epoch, &routing);
+            let d = heap.pop().expect("peeked");
+            // Stale entry (node torn down or re-installed): discard — the
+            // lazy-deletion arm of the churn path.
+            let live = generations.get(&d.node) == Some(&d.generation);
+            let Some(state) = (live).then(|| states.get_mut(&d.node)).flatten() else {
+                continue;
+            };
+            state.tick(now, epoch, &routing);
             heap.push(Deadline {
-                at: states[local].next_tick(),
-                local,
+                at: state.next_tick(),
+                node: d.node,
+                generation: d.generation,
             });
             fired += 1;
             now = Instant::now();
@@ -184,15 +195,68 @@ pub fn run_shard(
                 msg: EngineMsg::Shutdown,
                 ..
             }) => break,
+            Ok(ShardMsg {
+                msg: EngineMsg::Attach(attach),
+                node,
+            }) => {
+                debug_assert_eq!(node, attach.node, "attach addressed to its node");
+                let AttachFragment {
+                    node,
+                    config,
+                    query,
+                    fragment,
+                    downstream,
+                } = *attach;
+                let state = states.entry(node).or_insert_with(|| {
+                    let interval = Duration::from_micros(config.interval.as_micros().max(1));
+                    let slot = installed_seq % STAGGER_SLOTS;
+                    installed_seq += 1;
+                    let first_tick = Instant::now()
+                        + interval
+                        + interval.mul_f64(slot as f64 / STAGGER_SLOTS as f64);
+                    let state = NodeState::new(config, node, first_tick);
+                    let generation = generations.get(&node).copied().unwrap_or(0) + 1;
+                    generations.insert(node, generation);
+                    heap.push(Deadline {
+                        at: state.next_tick(),
+                        node,
+                        generation,
+                    });
+                    state
+                });
+                state.attach_fragment(&query, fragment, downstream);
+            }
+            Ok(ShardMsg {
+                msg: EngineMsg::Detach { query },
+                node,
+            }) => {
+                let empty = states
+                    .get_mut(&node)
+                    .map(|s| s.detach_query(query) == 0)
+                    .unwrap_or(false);
+                if empty {
+                    // Teardown: freeze the counters, forget the state; the
+                    // generation bump invalidates the pending deadline.
+                    if let Some(state) = states.remove(&node) {
+                        finished
+                            .entry(node)
+                            .or_default()
+                            .absorb(&state.into_report());
+                    }
+                    *generations.entry(node).or_insert(0) += 1;
+                }
+            }
             Ok(ShardMsg { node, msg }) => {
-                if let Some(&local) = local_of.get(&node) {
+                if let Some(state) = states.get_mut(&node) {
                     match msg {
                         EngineMsg::Batch(rb) => {
                             let ts = Timestamp(epoch.elapsed().as_micros() as u64);
-                            states[local].enqueue(rb, ts);
+                            state.enqueue(rb, ts);
                         }
-                        EngineMsg::Sic(update) => states[local].apply_sic(&update),
-                        EngineMsg::Shutdown => unreachable!("matched above"),
+                        EngineMsg::Sic(update) => state.apply_sic(&update),
+                        EngineMsg::Attach(_) | EngineMsg::Detach { .. } | EngineMsg::Shutdown => {
+                            unreachable!("matched above")
+                        }
                     }
                 }
             }
@@ -201,15 +265,20 @@ pub fn run_shard(
         }
     }
 
-    states
-        .into_iter()
-        .map(|s| (s.node, s.into_report()))
-        .collect()
+    for (node, state) in states {
+        finished
+            .entry(node)
+            .or_default()
+            .absorb(&state.into_report());
+    }
+    finished.into_iter().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node_state::NodeConfig;
+    use std::sync::Arc;
 
     #[test]
     fn every_node_lands_on_exactly_one_shard() {
@@ -235,6 +304,35 @@ mod tests {
         assert_eq!(shard_of(5, 0), 0);
     }
 
+    fn node_config(
+        interval_ms: u64,
+        synthetic_cost: TimeDelta,
+        initial_capacity: usize,
+    ) -> NodeConfig {
+        NodeConfig {
+            id: NodeId(0),
+            interval: TimeDelta::from_millis(interval_ms),
+            stw: StwConfig::PAPER_DEFAULT,
+            shedder: PolicyKind::BalanceSic.build(11),
+            synthetic_cost,
+            initial_capacity,
+            fixed_capacity: None,
+        }
+    }
+
+    fn attach_msg(node: usize, config: NodeConfig, query: &Arc<QuerySpec>) -> ShardMsg {
+        ShardMsg {
+            node,
+            msg: EngineMsg::Attach(Box::new(AttachFragment {
+                node,
+                config,
+                query: query.clone(),
+                fragment: 0,
+                downstream: None,
+            })),
+        }
+    }
+
     fn flood_harness(
         interval_ms: u64,
         synthetic_cost: TimeDelta,
@@ -244,27 +342,22 @@ mod tests {
         linger_ms: u64,
     ) -> NodeReport {
         let mut ids = IdGen::new();
-        let query = Template::Avg.build(QueryId(0), &mut ids);
+        let query = Arc::new(Template::Avg.build(QueryId(0), &mut ids));
         let src = query.sources[0].id;
         let (tx, rx) = crossbeam::channel::unbounded::<ShardMsg>();
         let (results_tx, _results_rx) = crossbeam::channel::unbounded();
         let routing = ShardRouting {
-            downstream: HashMap::new(),
             node_txs: vec![tx.clone()],
             results_tx,
         };
-        let node = ShardNode {
-            node: 0,
-            config: NodeConfig {
-                id: NodeId(0),
-                interval: TimeDelta::from_millis(interval_ms),
-                stw: StwConfig::PAPER_DEFAULT,
-                shedder: PolicyKind::BalanceSic.build(11),
-                synthetic_cost,
-                initial_capacity,
-            },
-            fragments: vec![(query.id, 0)],
-        };
+        // The node installs through the same Attach path the engine uses,
+        // pre-loaded ahead of the flood.
+        tx.send(attach_msg(
+            0,
+            node_config(interval_ms, synthetic_cost, initial_capacity),
+            &query,
+        ))
+        .unwrap();
         // Pre-load the whole flood *and* the shutdown before the shard
         // starts: the channel is never empty until the shard has drained
         // every batch, which is exactly the situation that starved the
@@ -295,8 +388,7 @@ mod tests {
             .unwrap();
         }
         let epoch = Instant::now();
-        let queries = vec![query];
-        let handle = std::thread::spawn(move || run_shard(vec![node], queries, routing, rx, epoch));
+        let handle = std::thread::spawn(move || run_shard(routing, rx, epoch));
         if linger_ms > 0 {
             std::thread::sleep(Duration::from_millis(linger_ms));
             tx.send(ShardMsg {
@@ -370,31 +462,20 @@ mod tests {
     #[test]
     fn zero_interval_node_does_not_starve_shard_mates() {
         let mut ids = IdGen::new();
-        let q0 = Template::Avg.build(QueryId(0), &mut ids);
-        let q1 = Template::Avg.build(QueryId(1), &mut ids);
+        let q0 = Arc::new(Template::Avg.build(QueryId(0), &mut ids));
+        let q1 = Arc::new(Template::Avg.build(QueryId(1), &mut ids));
         let (tx, rx) = crossbeam::channel::unbounded::<ShardMsg>();
         let (results_tx, _results_rx) = crossbeam::channel::unbounded();
         let routing = ShardRouting {
-            downstream: HashMap::new(),
             node_txs: vec![tx.clone(), tx.clone()],
             results_tx,
         };
-        let node = |n: usize, interval_ms: u64, query: &QuerySpec| ShardNode {
-            node: n,
-            config: NodeConfig {
-                id: NodeId(n as u32),
-                interval: TimeDelta::from_millis(interval_ms),
-                stw: StwConfig::PAPER_DEFAULT,
-                shedder: PolicyKind::BalanceSic.build(13),
-                synthetic_cost: TimeDelta::ZERO,
-                initial_capacity: 100,
-            },
-            fragments: vec![(query.id, 0)],
-        };
-        let nodes = vec![node(0, 0, &q0), node(1, 5, &q1)];
+        tx.send(attach_msg(0, node_config(0, TimeDelta::ZERO, 100), &q0))
+            .unwrap();
+        tx.send(attach_msg(1, node_config(5, TimeDelta::ZERO, 100), &q1))
+            .unwrap();
         let epoch = Instant::now();
-        let queries = vec![q0, q1];
-        let handle = std::thread::spawn(move || run_shard(nodes, queries, routing, rx, epoch));
+        let handle = std::thread::spawn(move || run_shard(routing, rx, epoch));
         std::thread::sleep(Duration::from_millis(60));
         tx.send(ShardMsg {
             node: 0,
@@ -411,19 +492,76 @@ mod tests {
         );
     }
 
+    /// Churn on one shard: a detached node's state is torn down, its
+    /// report freezes, and its abandoned deadline never ticks it again;
+    /// a later re-attach starts a fresh incarnation whose counters merge
+    /// into the same per-node report.
+    #[test]
+    fn detach_tears_down_and_reattach_merges() {
+        let mut ids = IdGen::new();
+        let q0 = Arc::new(Template::Avg.build(QueryId(0), &mut ids));
+        let q1 = Arc::new(Template::Avg.build(QueryId(1), &mut ids));
+        let (tx, rx) = crossbeam::channel::unbounded::<ShardMsg>();
+        let (results_tx, _results_rx) = crossbeam::channel::unbounded();
+        let routing = ShardRouting {
+            node_txs: vec![tx.clone(), tx.clone()],
+            results_tx,
+        };
+        // Node 0 hosts the resident query; node 1 hosts the churn query.
+        tx.send(attach_msg(0, node_config(5, TimeDelta::ZERO, 100), &q0))
+            .unwrap();
+        tx.send(attach_msg(1, node_config(5, TimeDelta::ZERO, 100), &q1))
+            .unwrap();
+        let epoch = Instant::now();
+        let handle = std::thread::spawn(move || run_shard(routing, rx, epoch));
+        std::thread::sleep(Duration::from_millis(40));
+        // The churn query departs; node 1 empties and is torn down.
+        tx.send(ShardMsg {
+            node: 1,
+            msg: EngineMsg::Detach { query: q1.id },
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        // Re-attach on the same node index: a fresh incarnation.
+        tx.send(attach_msg(1, node_config(5, TimeDelta::ZERO, 100), &q1))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        tx.send(ShardMsg {
+            node: 0,
+            msg: EngineMsg::Shutdown,
+        })
+        .unwrap();
+        let reports = handle.join().expect("shard panicked");
+        let by_node: HashMap<usize, NodeReport> = reports.into_iter().collect();
+        let resident = &by_node[&0];
+        let churned = &by_node[&1];
+        assert!(resident.ticks >= 20, "resident ticked throughout");
+        // Node 1 was live for ~80 of ~160 ms; had its deadline leaked it
+        // would have kept ticking through the 80 ms gap too. Allow slack
+        // for scheduling, but the gap must be visible.
+        assert!(
+            churned.ticks <= resident.ticks * 3 / 4,
+            "torn-down node kept ticking: {} vs resident {}",
+            churned.ticks,
+            resident.ticks
+        );
+        assert!(churned.ticks >= 2, "both incarnations ticked");
+    }
+
     #[test]
     fn deadlines_fire_in_order() {
         let base = Instant::now();
         let mut heap: BinaryHeap<Deadline> = BinaryHeap::new();
         // Push out of order, with a tie at 30 ms.
-        for (ms, local) in [(30u64, 2usize), (10, 0), (30, 1), (20, 3)] {
+        for (ms, node) in [(30u64, 2usize), (10, 0), (30, 1), (20, 3)] {
             heap.push(Deadline {
                 at: base + Duration::from_millis(ms),
-                local,
+                node,
+                generation: 1,
             });
         }
         let fired: Vec<(u64, usize)> = std::iter::from_fn(|| heap.pop())
-            .map(|d| (d.at.duration_since(base).as_millis() as u64, d.local))
+            .map(|d| (d.at.duration_since(base).as_millis() as u64, d.node))
             .collect();
         assert_eq!(fired, vec![(10, 0), (20, 3), (30, 1), (30, 2)]);
     }

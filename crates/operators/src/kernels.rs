@@ -284,20 +284,31 @@ pub fn cov_sums(xs: &[f64], ys: &[f64]) -> CovSums {
 
 /// Evaluates `vals[i] ⊙ rhs` into a word-packed keep mask (bit `i` set
 /// when row `i` matches **and** is live), ready for
-/// [`TupleBatch::append_gathered`]. The comparison is dispatched once,
-/// so the per-row loop is a branchless compare-and-pack.
-pub fn predicate_mask(vals: &[f64], op: CmpOp, rhs: f64, drops: &DropBitmap) -> Vec<u64> {
+/// [`TupleBatch::append_gathered`]. The comparison is dispatched once, so
+/// the per-row loop is a branchless compare-and-pack; each 64-row block
+/// is built in a register and appended whole onto the shared
+/// [`BitVec`] bitset.
+pub fn predicate_mask(
+    vals: &[f64],
+    op: CmpOp,
+    rhs: f64,
+    drops: &DropBitmap,
+) -> themis_core::bits::BitVec {
     #[inline]
-    fn pack(vals: &[f64], drops: &DropBitmap, f: impl Fn(f64) -> bool) -> Vec<u64> {
-        let mut words = Vec::with_capacity(vals.len().div_ceil(64));
+    fn pack(
+        vals: &[f64],
+        drops: &DropBitmap,
+        f: impl Fn(f64) -> bool,
+    ) -> themis_core::bits::BitVec {
+        let mut mask = themis_core::bits::BitVec::with_bits(vals.len());
         for (w, block) in vals.chunks(64).enumerate() {
             let mut m = 0u64;
             for (b, &v) in block.iter().enumerate() {
                 m |= (f(v) as u64) << b;
             }
-            words.push(m & live_word(drops, w, block.len()));
+            mask.push_word(m & live_word(drops, w, block.len()), block.len());
         }
-        words
+        mask
     }
     match op {
         CmpOp::Gt => pack(vals, drops, |v| v > rhs),
@@ -309,8 +320,8 @@ pub fn predicate_mask(vals: &[f64], op: CmpOp, rhs: f64, drops: &DropBitmap) -> 
 }
 
 /// Number of set bits in a keep mask (the filter/COUNT result).
-pub fn mask_count(mask: &[u64]) -> usize {
-    mask.iter().map(|w| w.count_ones() as usize).sum()
+pub fn mask_count(mask: &themis_core::bits::BitVec) -> usize {
+    mask.count_ones()
 }
 
 /// Keeps the `k` entries with the largest values (descending, ascending
@@ -447,10 +458,10 @@ mod tests {
     fn predicate_mask_packs_and_respects_drops() {
         let vals: Vec<f64> = (0..70).map(|i| i as f64).collect();
         let mask = predicate_mask(&vals, CmpOp::Ge, 50.0, &DropBitmap::new());
-        assert_eq!(mask.len(), 2);
+        assert_eq!(mask.len(), 70, "one mask bit per row");
         assert_eq!(mask_count(&mask), 20);
-        assert_eq!(mask[0], !0u64 << 50);
-        assert_eq!(mask[1], (1u64 << 6) - 1);
+        assert_eq!(mask.word(0), !0u64 << 50);
+        assert_eq!(mask.word(1), (1u64 << 6) - 1);
         // A dropped matching row is cleared from the mask.
         let mask = predicate_mask(&vals, CmpOp::Ge, 50.0, &drops_of(70, &[55]));
         assert_eq!(mask_count(&mask), 19);

@@ -139,7 +139,7 @@ impl PaneLogic for FilterLogic {
             let col = p.f64_column(self.predicate.field)?;
             let mask =
                 kernels::predicate_mask(col, self.predicate.op, self.predicate.value, p.drops());
-            out.append_gathered(p, &mask);
+            out.append_gathered(p, mask.words());
         }
         Some(out)
     }

@@ -27,12 +27,7 @@
 //!     .add_queries(
 //!         Template::Cov { fragments: 2 },
 //!         4,
-//!         SourceProfile {
-//!             tuples_per_sec: 40,
-//!             batches_per_sec: 4,
-//!             burst: Burstiness::Steady,
-//!             dataset: Dataset::Uniform,
-//!         },
+//!         SourceProfile::steady(40, 4, Dataset::Uniform),
 //!     )
 //!     .build()
 //!     .unwrap();

@@ -227,7 +227,11 @@ impl Simulation {
                 Event::SourceEmit { driver } => {
                     let batch = self.drivers[driver].emit();
                     let src = self.drivers[driver].source;
-                    if let Some(&(node, query, fragment)) = self.source_route.get(&src) {
+                    // Quiet rate-pattern batches can be empty: nothing to
+                    // route (the engine's pump skips these too).
+                    if batch.is_empty() {
+                        // fall through to reschedule below
+                    } else if let Some(&(node, query, fragment)) = self.source_route.get(&src) {
                         let rb = RoutedBatch {
                             query,
                             fragment,
@@ -409,12 +413,7 @@ mod tests {
             .add_queries(
                 Template::Cov { fragments: 2 },
                 6,
-                SourceProfile {
-                    tuples_per_sec: 40,
-                    batches_per_sec: 4,
-                    burst: Burstiness::Steady,
-                    dataset: Dataset::Uniform,
-                },
+                SourceProfile::steady(40, 4, Dataset::Uniform),
             )
             .build()
             .unwrap()

@@ -28,12 +28,7 @@
 //!     .add_queries(
 //!         Template::Cov { fragments: 2 },
 //!         6,
-//!         SourceProfile {
-//!             tuples_per_sec: 40,
-//!             batches_per_sec: 4,
-//!             burst: Burstiness::Steady,
-//!             dataset: Dataset::Uniform,
-//!         },
+//!         SourceProfile::steady(40, 4, Dataset::Uniform),
 //!     )
 //!     .build()
 //!     .unwrap();
@@ -60,8 +55,8 @@ pub mod prelude {
     pub use themis_baselines::prelude::*;
     pub use themis_core::prelude::*;
     pub use themis_engine::prelude::{
-        default_shards, run_engine, EngineConfig, EngineMsg, EngineReport, NodeReport, ResultEvent,
-        RoutedBatch as EngineRoutedBatch, ShardMsg,
+        default_shards, run_engine, Engine, EngineConfig, EngineMsg, EngineReport, NodeReport,
+        ResultEvent, RoutedBatch as EngineRoutedBatch, ShardMsg,
     };
     pub use themis_operators::prelude::*;
     pub use themis_query::prelude::*;

@@ -1,9 +1,11 @@
 //! # themis-workloads
 //!
 //! Workload generation for the THEMIS evaluation (§7): the five dataset
-//! distributions of Figures 6/7 ([`datasets`]), Table-2 source models with
-//! optional burstiness ([`sources`], [`testbed`]), and the scenario builder
-//! that assembles queries, placement and capacities into a simulator-ready
+//! distributions of Figures 6/7 ([`datasets`]), Table-2 source models
+//! under programmable rate patterns — steady, paper-bursty, diurnal
+//! cycles, flash-crowd replays, heterogeneous per-source multipliers
+//! ([`sources`], [`testbed`]) — and the scenario builder that assembles
+//! queries, placement and capacities into a simulator-ready
 //! [`scenario::Scenario`].
 //!
 //! ```
@@ -36,6 +38,6 @@ pub mod testbed;
 pub mod prelude {
     pub use crate::datasets::{Dataset, ValueGen};
     pub use crate::scenario::{Scenario, ScenarioBuilder};
-    pub use crate::sources::{Burstiness, SourceDriver, SourceProfile};
+    pub use crate::sources::{CycleShape, RatePattern, SourceDriver, SourceProfile};
     pub use crate::testbed::{Testbed, EMULAB, LOCAL, WAN};
 }

@@ -1,6 +1,25 @@
-//! Source models: constant-rate batched emission, with optional burstiness
-//! (§7.4: "10% of the time they generate tuples at 10× their normal
-//! rate").
+//! Source models: batched emission under programmable **rate patterns**.
+//!
+//! The paper's evaluation only exercises two arrival processes — constant
+//! rate and §7.4's bursty sources ("10% of the time they generate tuples
+//! at 10× their normal rate"). Real federated deployments see much richer
+//! workload dynamics, and load-shedding evaluations traditionally stress
+//! exactly those: diurnal cycles, flash crowds, heterogeneous per-source
+//! rates. [`RatePattern`] makes the arrival process a first-class,
+//! composable model:
+//!
+//! * every pattern declares its **long-run mean rate factor**
+//!   ([`RatePattern::mean_factor`]), so demand accounting
+//!   ([`crate::scenario::Scenario::total_demand_tps`]) stays correct under
+//!   any dynamics;
+//! * patterns compose with a per-source **multiplier**
+//!   ([`SourceProfile::multiplier`]), so one query can feed from
+//!   heterogeneous-rate sources
+//!   ([`crate::scenario::ScenarioBuilder::add_queries_with_multipliers`]);
+//! * every pattern is **deterministic for a fixed seed**: replaying a
+//!   driver with the same seed reproduces the exact batch-size sequence
+//!   (the property tests in `crates/workloads/tests/proptests.rs` pin
+//!   both guarantees).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -10,72 +29,215 @@ use themis_query::prelude::{SourceKind, SourceSpec};
 
 use crate::datasets::{Dataset, ValueGen};
 
-/// Burstiness model for a source.
+/// Waveform of a [`RatePattern::Diurnal`] cycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Burstiness {
-    /// Constant rate.
+pub enum CycleShape {
+    /// Smooth sinusoid from trough to peak and back over one period
+    /// (starts at the trough).
+    Sine,
+    /// Two-level square wave: the first `duty` fraction of each period
+    /// runs at the peak factor, the rest at the trough.
+    Square {
+        /// Fraction of the period spent at the peak, in `[0, 1]`.
+        duty: f64,
+    },
+}
+
+/// The emission-rate pattern of a source: a time-varying multiplier over
+/// the profile's base rate.
+///
+/// All patterns are deterministic functions of `(elapsed time, seed)`;
+/// the stochastic ones ([`RatePattern::Bursty`], the spike placement of
+/// [`RatePattern::FlashCrowd`]) draw from seeded generators, so a run
+/// replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RatePattern {
+    /// Constant rate (factor 1).
     Steady,
     /// For a fraction of 1-second periods, the emission rate is multiplied
     /// by `factor` (the paper's bursty sources: `fraction = 0.1`,
-    /// `factor = 10`).
+    /// `factor = 10`). Periods burst independently, decided by the
+    /// driver's seeded generator.
     Bursty {
         /// Fraction of periods that burst.
         fraction: f64,
         /// Rate multiplier while bursting.
         factor: u32,
     },
+    /// Day/night cycle: the rate factor oscillates between `trough` and
+    /// `peak` with the given `period` and waveform.
+    Diurnal {
+        /// Cycle length.
+        period: TimeDelta,
+        /// Low rate factor (`0.0` = fully quiet).
+        trough: f64,
+        /// High rate factor.
+        peak: f64,
+        /// Waveform of the cycle.
+        shape: CycleShape,
+    },
+    /// Flash crowds replayed from a seeded spike trace: each epoch of
+    /// length `every` contains one spike of length `width`, placed at a
+    /// seeded offset within the epoch, during which the rate factor is
+    /// `magnitude` (and 1 otherwise). [`RatePattern::flash_trace`]
+    /// materialises the spike intervals for a given seed.
+    FlashCrowd {
+        /// Epoch length (one spike per epoch).
+        every: TimeDelta,
+        /// Spike length (clamped to the epoch).
+        width: TimeDelta,
+        /// Rate factor during a spike.
+        magnitude: f64,
+    },
 }
 
-impl Burstiness {
+impl RatePattern {
     /// The paper's §7.4 configuration: 10% of the time at 10× rate.
-    pub const PAPER_BURSTY: Burstiness = Burstiness::Bursty {
+    pub const PAPER_BURSTY: RatePattern = RatePattern::Bursty {
         fraction: 0.1,
         factor: 10,
     };
+
+    /// The declared long-run mean of the pattern's rate factor; a source
+    /// with base rate `r` emits `r * multiplier * mean_factor()` tuples
+    /// per second on average.
+    pub fn mean_factor(&self) -> f64 {
+        match *self {
+            RatePattern::Steady => 1.0,
+            RatePattern::Bursty { fraction, factor } => {
+                let f = fraction.clamp(0.0, 1.0);
+                (1.0 - f) + f * factor as f64
+            }
+            RatePattern::Diurnal {
+                trough,
+                peak,
+                shape,
+                ..
+            } => match shape {
+                CycleShape::Sine => (trough + peak) / 2.0,
+                CycleShape::Square { duty } => {
+                    let d = duty.clamp(0.0, 1.0);
+                    d * peak + (1.0 - d) * trough
+                }
+            },
+            RatePattern::FlashCrowd {
+                every,
+                width,
+                magnitude,
+            } => {
+                let every_us = every.as_micros().max(1) as f64;
+                let width_us = (width.as_micros() as f64).min(every_us);
+                1.0 + (magnitude - 1.0) * width_us / every_us
+            }
+        }
+    }
+
+    /// The spike intervals a [`RatePattern::FlashCrowd`] pattern replays
+    /// for `seed` within `[0, horizon)` — the seeded trace itself, one
+    /// `(start, end)` pair per epoch. Empty for every other pattern.
+    pub fn flash_trace(&self, seed: u64, horizon: TimeDelta) -> Vec<(Timestamp, Timestamp)> {
+        let RatePattern::FlashCrowd { every, width, .. } = *self else {
+            return Vec::new();
+        };
+        let every_us = every.as_micros().max(1);
+        let width_us = width.as_micros().min(every_us);
+        let mut spikes = Vec::new();
+        let mut epoch = 0u64;
+        while epoch * every_us < horizon.as_micros() {
+            let offset = spike_offset(seed, epoch, every_us, width_us);
+            let start = epoch * every_us + offset;
+            spikes.push((Timestamp(start), Timestamp(start + width_us)));
+            epoch += 1;
+        }
+        spikes
+    }
 }
 
-/// Rate/batching profile of a source (per Table 2).
+/// The seeded in-epoch offset of a flash-crowd spike (splitmix64 over
+/// `seed ^ epoch`, so any epoch's spike can be recomputed independently —
+/// a replayable trace without storing one).
+fn spike_offset(seed: u64, epoch: u64, every_us: u64, width_us: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(epoch.wrapping_mul(0xD134_2543_DE82_EF95));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let room = every_us.saturating_sub(width_us);
+    if room == 0 {
+        0
+    } else {
+        z % (room + 1)
+    }
+}
+
+/// Rate/batching profile of a source (per Table 2), plus its rate pattern
+/// and heterogeneity multiplier.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SourceProfile {
-    /// Tuples per second under the steady regime.
+    /// Tuples per second under the steady regime (before pattern and
+    /// multiplier).
     pub tuples_per_sec: u32,
-    /// Batches per second (batch size = rate / batches).
+    /// Batches per second (steady batch size = rate / batches).
     pub batches_per_sec: u32,
-    /// Burstiness model.
-    pub burst: Burstiness,
+    /// Rate pattern modulating the base rate over time.
+    pub pattern: RatePattern,
+    /// Per-source rate multiplier (heterogeneous rates inside one query);
+    /// `1.0` leaves the base rate unchanged.
+    pub multiplier: f64,
     /// Value distribution.
     pub dataset: Dataset,
 }
 
 impl SourceProfile {
-    /// The local test-bed profile of Table 2: 400 t/s in 5 batches of 80.
-    pub fn local(dataset: Dataset) -> Self {
+    /// A steady profile at `tuples_per_sec` in `batches_per_sec` batches.
+    pub fn steady(tuples_per_sec: u32, batches_per_sec: u32, dataset: Dataset) -> Self {
         SourceProfile {
-            tuples_per_sec: 400,
-            batches_per_sec: 5,
-            burst: Burstiness::Steady,
+            tuples_per_sec,
+            batches_per_sec,
+            pattern: RatePattern::Steady,
+            multiplier: 1.0,
             dataset,
         }
+    }
+
+    /// The local test-bed profile of Table 2: 400 t/s in 5 batches of 80.
+    pub fn local(dataset: Dataset) -> Self {
+        SourceProfile::steady(400, 5, dataset)
     }
 
     /// The Emulab profile of Table 2: 150 t/s in 3 batches of 50.
     pub fn emulab(dataset: Dataset) -> Self {
-        SourceProfile {
-            tuples_per_sec: 150,
-            batches_per_sec: 3,
-            burst: Burstiness::Steady,
-            dataset,
-        }
+        SourceProfile::steady(150, 3, dataset)
     }
 
-    /// Steady batch size.
+    /// This profile under a different rate pattern.
+    pub fn with_pattern(mut self, pattern: RatePattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// This profile with a per-source rate multiplier.
+    pub fn with_multiplier(mut self, multiplier: f64) -> Self {
+        self.multiplier = multiplier.max(0.0);
+        self
+    }
+
+    /// Steady batch size (before pattern and multiplier).
     pub fn batch_size(&self) -> usize {
         (self.tuples_per_sec / self.batches_per_sec.max(1)).max(1) as usize
     }
 
-    /// Interval between batch emissions.
+    /// Interval between batch emissions (patterns modulate batch *sizes*,
+    /// never the cadence).
     pub fn interval(&self) -> TimeDelta {
         TimeDelta(1_000_000 / self.batches_per_sec.max(1) as u64)
+    }
+
+    /// The declared long-run mean emission rate in tuples/second:
+    /// base rate × multiplier × the pattern's mean factor.
+    pub fn mean_rate_tps(&self) -> f64 {
+        self.tuples_per_sec as f64 * self.multiplier * self.pattern.mean_factor()
     }
 }
 
@@ -83,6 +245,11 @@ impl SourceProfile {
 /// (the hosting node assigns Eq.-1 SIC values on arrival). Batches are
 /// built as **typed columns** against the source's declared [`Schema`] —
 /// appending native column values, never materialising owning tuples.
+///
+/// The batch cadence is fixed ([`SourceProfile::interval`]); the rate
+/// pattern scales each batch's *size*. Fractional tuples carry over to
+/// the next emission, so the realised long-run rate matches
+/// [`SourceProfile::mean_rate_tps`] without rounding bias.
 #[derive(Debug)]
 pub struct SourceDriver {
     /// The source.
@@ -94,9 +261,12 @@ pub struct SourceDriver {
     schema: Schema,
     profile: SourceProfile,
     values: ValueGen,
+    seed: u64,
     burst_rng: SmallRng,
     /// Periods (seconds) currently decided: (period index, bursting?).
     current_period: (u64, bool),
+    /// Fractional tuples owed from previous emissions.
+    carry: f64,
     next_emission: Timestamp,
 }
 
@@ -115,10 +285,17 @@ impl SourceDriver {
             schema: spec.schema(),
             profile,
             values: ValueGen::new(profile.dataset, seed),
+            seed,
             burst_rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D)),
             current_period: (u64::MAX, false),
+            carry: 0.0,
             next_emission: Timestamp::ZERO + phase,
         }
+    }
+
+    /// The driver's profile.
+    pub fn profile(&self) -> &SourceProfile {
+        &self.profile
     }
 
     /// When the next batch is due.
@@ -134,29 +311,79 @@ impl SourceDriver {
         }
     }
 
-    fn bursting(&mut self, now: Timestamp) -> bool {
-        let Burstiness::Bursty { fraction, .. } = self.profile.burst else {
-            return false;
-        };
-        let period = now.as_micros() / 1_000_000;
-        if self.current_period.0 != period {
-            self.current_period = (period, self.burst_rng.gen::<f64>() < fraction);
+    /// The pattern's rate factor at `now` (mutates the seeded per-period
+    /// state of stochastic patterns).
+    fn factor_at(&mut self, now: Timestamp) -> f64 {
+        match self.profile.pattern {
+            RatePattern::Steady => 1.0,
+            RatePattern::Bursty { fraction, factor } => {
+                let period = now.as_micros() / 1_000_000;
+                if self.current_period.0 != period {
+                    self.current_period = (period, self.burst_rng.gen::<f64>() < fraction);
+                }
+                if self.current_period.1 {
+                    factor as f64
+                } else {
+                    1.0
+                }
+            }
+            RatePattern::Diurnal {
+                period,
+                trough,
+                peak,
+                shape,
+            } => {
+                let period_us = period.as_micros().max(1);
+                let phase = (now.as_micros() % period_us) as f64 / period_us as f64;
+                match shape {
+                    CycleShape::Sine => {
+                        trough
+                            + (peak - trough)
+                                * 0.5
+                                * (1.0 - (2.0 * std::f64::consts::PI * phase).cos())
+                    }
+                    CycleShape::Square { duty } => {
+                        if phase < duty.clamp(0.0, 1.0) {
+                            peak
+                        } else {
+                            trough
+                        }
+                    }
+                }
+            }
+            RatePattern::FlashCrowd {
+                every,
+                width,
+                magnitude,
+            } => {
+                let every_us = every.as_micros().max(1);
+                let width_us = width.as_micros().min(every_us);
+                let epoch = now.as_micros() / every_us;
+                let offset = spike_offset(self.seed, epoch, every_us, width_us);
+                let t_in = now.as_micros() % every_us;
+                if t_in >= offset && t_in < offset + width_us {
+                    magnitude
+                } else {
+                    1.0
+                }
+            }
         }
-        self.current_period.1
     }
 
     /// Emits the batch due at `next_time()` and schedules the next one.
+    /// The batch size is the base size scaled by the pattern factor and
+    /// the source multiplier, with fractional tuples carried forward (a
+    /// quiet diurnal trough can yield empty batches).
     pub fn emit(&mut self) -> Batch {
         let now = self.next_emission;
-        let factor = if self.bursting(now) {
-            match self.profile.burst {
-                Burstiness::Bursty { factor, .. } => factor as usize,
-                Burstiness::Steady => 1,
-            }
-        } else {
-            1
-        };
-        let n = self.profile.batch_size() * factor;
+        let factor = self.factor_at(now).max(0.0);
+        // No minimum per batch: bases below one tuple (rate < batch
+        // cadence) accumulate through the carry, so the realised rate
+        // always matches `mean_rate_tps()`.
+        let base = self.profile.tuples_per_sec as f64 / self.profile.batches_per_sec.max(1) as f64;
+        let exact = base * self.profile.multiplier * factor + self.carry;
+        let n = exact.floor().max(0.0) as usize;
+        self.carry = exact - n as f64;
         // Typed column construction: rows append straight into the
         // schema's native columns — no per-tuple `Vec<Value>` allocation
         // and no `Value` arena downstream.
@@ -193,6 +420,7 @@ mod tests {
         let local = SourceProfile::local(Dataset::Uniform);
         assert_eq!(local.batch_size(), 80);
         assert_eq!(local.interval(), TimeDelta::from_millis(200));
+        assert_eq!(local.mean_rate_tps(), 400.0);
         let emulab = SourceProfile::emulab(Dataset::Uniform);
         assert_eq!(emulab.batch_size(), 50);
         assert_eq!(emulab.interval(), TimeDelta::from_micros(333_333));
@@ -233,10 +461,8 @@ mod tests {
 
     #[test]
     fn bursty_driver_bursts_roughly_ten_percent() {
-        let profile = SourceProfile {
-            burst: Burstiness::PAPER_BURSTY,
-            ..SourceProfile::emulab(Dataset::Uniform)
-        };
+        let profile =
+            SourceProfile::emulab(Dataset::Uniform).with_pattern(RatePattern::PAPER_BURSTY);
         let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 9);
         let mut burst_batches = 0;
         let mut total = 0;
@@ -254,6 +480,134 @@ mod tests {
     }
 
     #[test]
+    fn diurnal_sine_cycles_between_trough_and_peak() {
+        let pattern = RatePattern::Diurnal {
+            period: TimeDelta::from_secs(10),
+            trough: 0.0,
+            peak: 2.0,
+            shape: CycleShape::Sine,
+        };
+        assert_eq!(pattern.mean_factor(), 1.0);
+        let profile = SourceProfile::steady(100, 5, Dataset::Uniform).with_pattern(pattern);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 11);
+        let mut sizes: Vec<(f64, usize)> = Vec::new();
+        while d.next_time() < Timestamp::from_secs(10) {
+            let t = d.next_time().as_secs_f64();
+            sizes.push((t, d.emit().len()));
+        }
+        // Quiet near the trough (cycle start), maximal near mid-period.
+        let near = |t0: f64| {
+            sizes
+                .iter()
+                .filter(|&&(t, _)| (t - t0).abs() < 1.0)
+                .map(|&(_, n)| n)
+                .sum::<usize>()
+        };
+        assert!(
+            near(0.5) < near(5.0),
+            "trough {} peak {}",
+            near(0.5),
+            near(5.0)
+        );
+        // The peak reaches ~2x the steady batch size.
+        assert!(sizes.iter().any(|&(_, n)| n >= 38), "peak batches missing");
+        // Long-run mean ≈ declared mean rate (100 t/s).
+        let total: usize = sizes.iter().map(|&(_, n)| n).sum();
+        let rate = total as f64 / 10.0;
+        assert!((rate - 100.0).abs() < 10.0, "mean rate {rate}");
+    }
+
+    #[test]
+    fn diurnal_square_holds_two_levels() {
+        let pattern = RatePattern::Diurnal {
+            period: TimeDelta::from_secs(4),
+            trough: 0.5,
+            peak: 1.5,
+            shape: CycleShape::Square { duty: 0.25 },
+        };
+        assert!((pattern.mean_factor() - 0.75).abs() < 1e-12);
+        let profile = SourceProfile::steady(400, 4, Dataset::Uniform).with_pattern(pattern);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 3);
+        let mut high = 0;
+        let mut low = 0;
+        while d.next_time() < Timestamp::from_secs(8) {
+            let in_duty = (d.next_time().as_micros() % 4_000_000) < 1_000_000;
+            let n = d.emit().len();
+            if in_duty {
+                assert!(n >= 149, "peak batch {n}");
+                high += 1;
+            } else {
+                assert!(n <= 51, "trough batch {n}");
+                low += 1;
+            }
+        }
+        assert!(high >= 4 && low >= 12, "high {high} low {low}");
+    }
+
+    #[test]
+    fn flash_crowd_replays_its_seeded_trace() {
+        let pattern = RatePattern::FlashCrowd {
+            every: TimeDelta::from_secs(5),
+            width: TimeDelta::from_secs(1),
+            magnitude: 8.0,
+        };
+        assert!((pattern.mean_factor() - 2.4).abs() < 1e-12);
+        let profile = SourceProfile::steady(100, 10, Dataset::Uniform).with_pattern(pattern);
+        let seed = 21;
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, seed);
+        let trace = pattern.flash_trace(seed, TimeDelta::from_secs(30));
+        assert_eq!(trace.len(), 6, "one spike per 5 s epoch");
+        let mut spiked = 0;
+        while d.next_time() < Timestamp::from_secs(30) {
+            let t = d.next_time();
+            let in_spike = trace.iter().any(|&(s, e)| t >= s && t < e);
+            let n = d.emit().len();
+            if in_spike {
+                assert!(n >= 79, "spike batch only {n} tuples at {t}");
+                spiked += 1;
+            } else {
+                assert!(n <= 11, "off-spike batch {n} tuples at {t}");
+            }
+        }
+        assert!(spiked >= 30, "spiked batches {spiked}");
+    }
+
+    #[test]
+    fn multiplier_scales_rate_and_composes_with_patterns() {
+        let profile = SourceProfile::emulab(Dataset::Uniform).with_multiplier(3.0);
+        assert_eq!(profile.mean_rate_tps(), 450.0);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 5);
+        assert_eq!(d.emit().len(), 150, "3x the 50-tuple Emulab batch");
+        // Composed with the paper's bursty pattern the mean multiplies.
+        let bursty = profile.with_pattern(RatePattern::PAPER_BURSTY);
+        assert!((bursty.mean_rate_tps() - 450.0 * 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_rates_carry_over() {
+        // 10 t/s in 4 batches/s: 2.5 tuples per batch alternates 2 and 3.
+        let profile = SourceProfile::steady(10, 4, Dataset::Uniform);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 8);
+        let sizes: Vec<usize> = (0..8).map(|_| d.emit().len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 20, "mean rate preserved");
+        assert!(sizes.iter().all(|&n| n == 2 || n == 3), "{sizes:?}");
+    }
+
+    #[test]
+    fn sub_batch_rates_are_not_inflated() {
+        // 1 t/s in 5 batches/s: 0.2 tuples per batch — most batches are
+        // empty, and the long-run rate stays 1 t/s (no per-batch minimum).
+        let profile = SourceProfile::steady(1, 5, Dataset::Uniform);
+        assert_eq!(profile.mean_rate_tps(), 1.0);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 6);
+        let mut total = 0;
+        while d.next_time() < Timestamp::from_secs(10) {
+            total += d.emit().len();
+        }
+        assert_eq!(total, 10, "realised 10 s volume at 1 t/s");
+    }
+
+    #[test]
     fn mem_sources_emit_memory_values() {
         let profile = SourceProfile::emulab(Dataset::Uniform);
         let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::MemFree), profile, 4);
@@ -264,10 +618,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let profile = SourceProfile::local(Dataset::Mixed);
+        let profile = SourceProfile::local(Dataset::Mixed).with_pattern(RatePattern::FlashCrowd {
+            every: TimeDelta::from_secs(2),
+            width: TimeDelta::from_millis(400),
+            magnitude: 5.0,
+        });
         let mut a = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 77);
         let mut b = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 77);
-        for _ in 0..5 {
+        for _ in 0..25 {
             assert_eq!(a.emit(), b.emit());
         }
     }

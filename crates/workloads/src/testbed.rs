@@ -50,14 +50,9 @@ pub const WAN: Testbed = Testbed {
 };
 
 impl Testbed {
-    /// The test-bed's source profile over the given dataset.
+    /// The test-bed's (steady) source profile over the given dataset.
     pub fn source_profile(&self, dataset: Dataset) -> SourceProfile {
-        SourceProfile {
-            tuples_per_sec: self.source_rate,
-            batches_per_sec: self.batches_per_sec,
-            burst: crate::sources::Burstiness::Steady,
-            dataset,
-        }
+        SourceProfile::steady(self.source_rate, self.batches_per_sec, dataset)
     }
 }
 

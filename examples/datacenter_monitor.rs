@@ -14,12 +14,7 @@ use std::collections::BTreeMap;
 use themis::prelude::*;
 
 fn build(capacity: u32, seed: u64) -> Scenario {
-    let telemetry = SourceProfile {
-        tuples_per_sec: 10,
-        batches_per_sec: 2,
-        burst: Burstiness::Steady,
-        dataset: Dataset::PlanetLab,
-    };
+    let telemetry = SourceProfile::steady(10, 2, Dataset::PlanetLab);
     ScenarioBuilder::new("datacenter", seed)
         .nodes(6)
         .capacity_tps(capacity)

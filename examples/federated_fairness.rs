@@ -11,12 +11,7 @@
 use themis::prelude::*;
 
 fn build(seed: u64) -> Scenario {
-    let profile = SourceProfile {
-        tuples_per_sec: 200,
-        batches_per_sec: 5,
-        burst: Burstiness::Steady,
-        dataset: Dataset::Uniform,
-    };
+    let profile = SourceProfile::steady(200, 5, Dataset::Uniform);
     ScenarioBuilder::new("federated-fairness", seed)
         .nodes(2)
         .capacity_tps(1_000_000) // capacity is enforced by synthetic cost

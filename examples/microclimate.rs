@@ -15,12 +15,8 @@ use themis::prelude::*;
 
 fn build(seed: u64) -> Scenario {
     // Sensors report once per 50 ms; bursty, as weather stations are.
-    let sensors = SourceProfile {
-        tuples_per_sec: 20,
-        batches_per_sec: 4,
-        burst: Burstiness::PAPER_BURSTY,
-        dataset: Dataset::PlanetLab, // non-stationary, real-world-like
-    };
+    let sensors = SourceProfile::steady(20, 4, Dataset::PlanetLab) // non-stationary, real-world-like
+        .with_pattern(RatePattern::PAPER_BURSTY);
     ScenarioBuilder::new("microclimate", seed)
         .nodes(3) // Rome, Paris, Mexico
         // Rome's data centre is the smallest (heterogeneous capacities).

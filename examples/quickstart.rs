@@ -19,12 +19,7 @@ fn main() {
         .add_queries(
             Template::Cov { fragments: 2 },
             6,
-            SourceProfile {
-                tuples_per_sec: 40,
-                batches_per_sec: 4,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Gaussian,
-            },
+            SourceProfile::steady(40, 4, Dataset::Gaussian),
         )
         .build()
         .expect("valid scenario");

@@ -60,12 +60,7 @@ fn log_utility_less_fair_than_balance_sic_on_complex_deployment() {
     assert!(log_jain < 0.99, "not perfectly fair: {log_jain}");
 
     // THEMIS on an equivalent (small) simulated deployment.
-    let profile = SourceProfile {
-        tuples_per_sec: 20,
-        batches_per_sec: 4,
-        burst: Burstiness::Steady,
-        dataset: Dataset::Uniform,
-    };
+    let profile = SourceProfile::steady(20, 4, Dataset::Uniform);
     let scenario = ScenarioBuilder::new("baseline-complex", 1)
         .nodes(4)
         .capacity_tps(450)

@@ -13,12 +13,7 @@ fn scenario(n_queries: usize, rate: u32, seed: u64) -> Scenario {
         .add_queries(
             Template::Avg,
             n_queries,
-            SourceProfile {
-                tuples_per_sec: rate,
-                batches_per_sec: 5,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Uniform,
-            },
+            SourceProfile::steady(rate, 5, Dataset::Uniform),
         )
         .build()
         .unwrap()
@@ -72,12 +67,7 @@ fn engine_routes_multi_fragment_queries() {
         .add_queries(
             Template::Cov { fragments: 2 },
             3,
-            SourceProfile {
-                tuples_per_sec: 100,
-                batches_per_sec: 5,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Gaussian,
-            },
+            SourceProfile::steady(100, 5, Dataset::Gaussian),
         )
         .build()
         .unwrap();
@@ -104,12 +94,7 @@ fn engine_scales_nodes_onto_bounded_shard_pool() {
         .add_queries(
             Template::Avg,
             128,
-            SourceProfile {
-                tuples_per_sec: 20,
-                batches_per_sec: 4,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Uniform,
-            },
+            SourceProfile::steady(20, 4, Dataset::Uniform),
         )
         .build()
         .unwrap();

@@ -4,12 +4,7 @@
 use themis::prelude::*;
 
 fn overloaded_mix(seed: u64, policy: PolicyKind, coordinator: bool) -> SimReport {
-    let profile = SourceProfile {
-        tuples_per_sec: 20,
-        batches_per_sec: 4,
-        burst: Burstiness::Steady,
-        dataset: Dataset::Uniform,
-    };
+    let profile = SourceProfile::steady(20, 4, Dataset::Uniform);
     let scenario = ScenarioBuilder::new("fairness-mix", seed)
         .nodes(4)
         .capacity_tps(220)
@@ -71,12 +66,7 @@ fn balance_sic_reduces_spread() {
 #[test]
 fn update_sic_dissemination_matters() {
     let run = |coordinator: bool| -> SimReport {
-        let profile = SourceProfile {
-            tuples_per_sec: 20,
-            batches_per_sec: 4,
-            burst: Burstiness::Steady,
-            dataset: Dataset::Uniform,
-        };
+        let profile = SourceProfile::steady(20, 4, Dataset::Uniform);
         let scenario = ScenarioBuilder::new("fig4", 3)
             .nodes(3)
             .capacity_tps(70) // ~3x overload
@@ -109,12 +99,7 @@ fn update_sic_dissemination_matters() {
 /// converge to near-equal SIC values even under extreme overload.
 #[test]
 fn single_node_convergence_under_extreme_overload() {
-    let profile = SourceProfile {
-        tuples_per_sec: 40,
-        batches_per_sec: 4,
-        burst: Burstiness::Steady,
-        dataset: Dataset::Exponential,
-    };
+    let profile = SourceProfile::steady(40, 4, Dataset::Exponential);
     let scenario = ScenarioBuilder::new("single-node", 4)
         .nodes(1)
         .capacity_tps(60) // 12 queries x 40 t/s = 480 t/s demand: 8x
@@ -139,12 +124,7 @@ fn single_node_convergence_under_extreme_overload() {
 /// but fairness across queries survives (site autonomy, C3).
 #[test]
 fn heterogeneous_capacities_stay_fair() {
-    let profile = SourceProfile {
-        tuples_per_sec: 20,
-        batches_per_sec: 4,
-        burst: Burstiness::Steady,
-        dataset: Dataset::Uniform,
-    };
+    let profile = SourceProfile::steady(20, 4, Dataset::Uniform);
     let scenario = ScenarioBuilder::new("hetero", 5)
         .nodes(3)
         .node_capacities(vec![80, 160, 320])
@@ -165,12 +145,8 @@ fn heterogeneous_capacities_stay_fair() {
 /// Bursty sources and WAN latency do not break fairness (§7.4).
 #[test]
 fn bursty_wan_deployment_stays_fair() {
-    let profile = SourceProfile {
-        tuples_per_sec: 20,
-        batches_per_sec: 4,
-        burst: Burstiness::PAPER_BURSTY,
-        dataset: Dataset::Uniform,
-    };
+    let profile =
+        SourceProfile::steady(20, 4, Dataset::Uniform).with_pattern(RatePattern::PAPER_BURSTY);
     let scenario = ScenarioBuilder::new("bursty-wan", 6)
         .nodes(4)
         .capacity_tps(150)
@@ -195,12 +171,7 @@ fn bursty_wan_deployment_stays_fair() {
 /// newcomers until the active queries are balanced again.
 #[test]
 fn churn_converges_to_fairness_after_arrival() {
-    let profile = SourceProfile {
-        tuples_per_sec: 20,
-        batches_per_sec: 4,
-        burst: Burstiness::Steady,
-        dataset: Dataset::Uniform,
-    };
+    let profile = SourceProfile::steady(20, 4, Dataset::Uniform);
     let n = 4usize;
     let scenario = ScenarioBuilder::new("churn", 9)
         .nodes(2)

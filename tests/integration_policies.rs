@@ -30,12 +30,7 @@ fn sim_scenario(seed: u64) -> Scenario {
         .add_queries(
             Template::Cov { fragments: 2 },
             6,
-            SourceProfile {
-                tuples_per_sec: 40,
-                batches_per_sec: 4,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Uniform,
-            },
+            SourceProfile::steady(40, 4, Dataset::Uniform),
         )
         .build()
         .unwrap()
@@ -56,12 +51,7 @@ fn engine_scenario(seed: u64) -> Scenario {
         .add_queries(
             Template::Avg,
             4,
-            SourceProfile {
-                tuples_per_sec: 400,
-                batches_per_sec: 5,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Uniform,
-            },
+            SourceProfile::steady(400, 5, Dataset::Uniform),
         )
         .build()
         .unwrap()

@@ -4,12 +4,7 @@
 use themis::prelude::*;
 
 fn profile(rate: u32) -> SourceProfile {
-    SourceProfile {
-        tuples_per_sec: rate,
-        batches_per_sec: 4,
-        burst: Burstiness::Steady,
-        dataset: Dataset::Uniform,
-    }
+    SourceProfile::steady(rate, 4, Dataset::Uniform)
 }
 
 /// Figure 8's shape: with more queries on a fixed node, mean SIC falls

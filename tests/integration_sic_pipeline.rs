@@ -10,16 +10,7 @@ fn underloaded(template: Template, n: usize, nodes: usize, seed: u64) -> SimRepo
         .duration(TimeDelta::from_secs(16))
         .warmup(TimeDelta::from_secs(8))
         .stw_window(TimeDelta::from_secs(5))
-        .add_queries(
-            template,
-            n,
-            SourceProfile {
-                tuples_per_sec: 40,
-                batches_per_sec: 4,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Uniform,
-            },
-        )
+        .add_queries(template, n, SourceProfile::steady(40, 4, Dataset::Uniform))
         .build()
         .unwrap();
     run_scenario(scenario, SimConfig::default())
@@ -84,12 +75,7 @@ fn avg_all_tree_value_correctness() {
         .add_queries(
             Template::AvgAll { fragments: 3 },
             1,
-            SourceProfile {
-                tuples_per_sec: 40,
-                batches_per_sec: 4,
-                burst: Burstiness::Steady,
-                dataset: Dataset::Uniform,
-            },
+            SourceProfile::steady(40, 4, Dataset::Uniform),
         )
         .build()
         .unwrap();
@@ -122,12 +108,7 @@ fn sic_tracks_capacity_fraction() {
             .add_queries(
                 Template::Avg,
                 4,
-                SourceProfile {
-                    tuples_per_sec: 40,
-                    batches_per_sec: 4,
-                    burst: Burstiness::Steady,
-                    dataset: Dataset::Gaussian,
-                },
+                SourceProfile::steady(40, 4, Dataset::Gaussian),
             )
             .build()
             .unwrap();
@@ -157,12 +138,7 @@ fn sic_is_rate_normalised() {
             .add_queries(
                 Template::Avg,
                 2,
-                SourceProfile {
-                    tuples_per_sec: rate,
-                    batches_per_sec: 4,
-                    burst: Burstiness::Steady,
-                    dataset: Dataset::Uniform,
-                },
+                SourceProfile::steady(rate, 4, Dataset::Uniform),
             )
             .build()
             .unwrap();
