@@ -3,9 +3,9 @@
 //! ```text
 //! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!              fig13|fig14|related|overhead|ablation|dynamics|policies|
-//!              scale|batching|kernels|churn]
+//!              scale|scale-e2e|batching|kernels|churn]
 //!             [--quick] [--policy=<name>] [--nodes=<n>] [--shards=<k>]
-//!             [--secs=<s>]
+//!             [--secs=<s>] [--sources=<n>] [--profile]
 //! ```
 //!
 //! Each experiment prints the series the paper plots and writes a CSV
@@ -30,7 +30,13 @@
 //! `--shards`/`--secs`) with a flash-crowd query cohort attaching and
 //! detaching mid-run, writes `results/BENCH_churn.json`, and exits
 //! non-zero if resident Jain fairness fails to recover after the cohort
-//! departs — the CI churn smoke. Built to be run with `--release`.
+//! departs — the CI churn smoke. `scale-e2e` drives `--sources=<n>`
+//! (default 100000) single-source AVG queries through the full engine,
+//! writes `results/BENCH_scale.json` with end-to-end wall/CPU ns per
+//! tuple, peak RSS and batch-pool traffic, and exits non-zero when the
+//! CPU-per-tuple ceiling or the RSS budget is breached — the CI scale
+//! smoke runs it at `--sources=10000`. `--profile` adds a per-thread
+//! CPU table sampled from `/proc`. Built to be run with `--release`.
 
 use std::time::Instant;
 
@@ -44,7 +50,7 @@ use themis_bench::figures::parity::{policy_parity, render as render_parity};
 use themis_bench::figures::related::{related_work, render as render_related};
 use themis_bench::figures::scalability::{fig12, fig13, fig14, render as render_scal};
 use themis_bench::figures::scale as engine_scale;
-use themis_bench::figures::{ablation, dynamics, tables};
+use themis_bench::figures::{ablation, dynamics, scale_e2e, tables};
 use themis_bench::scenarios::Scale;
 use themis_bench::table::TextTable;
 use themis_core::shedder::PolicyKind;
@@ -52,9 +58,28 @@ use themis_core::shedder::PolicyKind;
 const SEED: u64 = 20160626; // SIGMOD'16 started June 26.
 const RESULTS_DIR: &str = "results";
 const EXPERIMENTS: &[&str] = &[
-    "all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "related", "overhead", "ablation", "policies", "dynamics", "scale", "batching",
-    "kernels", "churn",
+    "all",
+    "table1",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "related",
+    "overhead",
+    "ablation",
+    "policies",
+    "dynamics",
+    "scale",
+    "scale-e2e",
+    "batching",
+    "kernels",
+    "churn",
 ];
 
 fn emit(name: &str, table: TextTable) {
@@ -67,18 +92,28 @@ fn emit(name: &str, table: TextTable) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile = args.iter().any(|a| a == "--profile");
     let scale = if quick {
         Scale::quick()
     } else {
         Scale::default_scale()
     };
-    const VALUE_FLAGS: &[&str] = &["--policy=", "--nodes=", "--shards=", "--secs="];
+    const VALUE_FLAGS: &[&str] = &[
+        "--policy=",
+        "--nodes=",
+        "--shards=",
+        "--secs=",
+        "--sources=",
+    ];
     if let Some(flag) = args.iter().find(|a| {
-        a.starts_with("--") && *a != "--quick" && !VALUE_FLAGS.iter().any(|p| a.starts_with(p))
+        a.starts_with("--")
+            && *a != "--quick"
+            && *a != "--profile"
+            && !VALUE_FLAGS.iter().any(|p| a.starts_with(p))
     }) {
         eprintln!(
-            "unknown option `{flag}` (expected --quick, --policy=<name>, --nodes=<n>, \
-             --shards=<k> or --secs=<s>)"
+            "unknown option `{flag}` (expected --quick, --profile, --policy=<name>, \
+             --nodes=<n>, --shards=<k>, --secs=<s> or --sources=<n>)"
         );
         std::process::exit(2);
     }
@@ -96,6 +131,7 @@ fn main() {
     let nodes_arg = uint_arg("--nodes=");
     let shards_arg = uint_arg("--shards=");
     let secs_arg = uint_arg("--secs=");
+    let sources_arg = uint_arg("--sources=");
     let policy_arg = args.iter().find_map(|a| a.strip_prefix("--policy="));
     let policies: Vec<PolicyKind> = match policy_arg {
         Some(name) => match name.parse::<PolicyKind>() {
@@ -124,6 +160,9 @@ fn main() {
     let run = |name: &str| all || what.contains(&name);
     if policy_arg.is_some() && !run("policies") {
         eprintln!("note: --policy only affects the `policies` experiment, which is not selected");
+    }
+    if profile && !what.contains(&"scale-e2e") {
+        eprintln!("note: --profile only affects the `scale-e2e` experiment, which is not selected");
     }
     let t0 = Instant::now();
 
@@ -321,6 +360,25 @@ fn main() {
             }
             None => unreachable!("kernels always measures the aggregate stage"),
         }
+        let group = rows.iter().find(|r| r.stage == "group");
+        match group {
+            Some(r) if r.speedup() >= 2.0 => {
+                eprintln!(
+                    "kernels: dictionary group-by kernel {:.2}x faster (>= 2x) on {} rows",
+                    r.speedup(),
+                    kscale.rows
+                );
+            }
+            Some(r) => {
+                eprintln!(
+                    "FAIL: dictionary group-by kernel only {:.2}x faster than the Value-arena \
+                     HashMap path (expected >= 2x)",
+                    r.speedup()
+                );
+                std::process::exit(1);
+            }
+            None => unreachable!("kernels always measures the group stage"),
+        }
     }
     // Explicit-only (not part of `all`), like `scale`: a CI smoke whose
     // fairness-recovery gate exits non-zero. Runs a 512+-node engine
@@ -373,6 +431,57 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+    // Explicit-only (not part of `all`), like `scale`: a CI smoke with
+    // CPU-per-tuple and RSS gates that exit non-zero, measured wall-clock
+    // on the full engine — a loaded machine mid-figure-regeneration would
+    // pollute it.
+    if what.contains(&"scale-e2e") {
+        let sources = sources_arg.unwrap_or(100_000) as usize;
+        let shards = shards_arg.map(|k| k as usize);
+        let secs = secs_arg.unwrap_or(if quick { 2 } else { 6 });
+        let row = scale_e2e::scale_e2e(sources, shards, secs, profile, SEED);
+        emit("scale_e2e", scale_e2e::render(&row));
+        if !row.profile.is_empty() {
+            println!("{}", scale_e2e::render_profile(&row.profile).render());
+        }
+        let json = scale_e2e::to_json(&row);
+        let json_path = format!("{RESULTS_DIR}/BENCH_scale.json");
+        if let Err(e) =
+            std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, &json))
+        {
+            eprintln!("(could not write {json_path}: {e})");
+        }
+        let mut failed = false;
+        if !row.within_cpu_budget() {
+            eprintln!(
+                "FAIL: {:.0} CPU ns/tuple exceeds the {:.0} ns ceiling",
+                row.cpu_ns_per_tuple(),
+                scale_e2e::CPU_NS_PER_TUPLE_CEILING
+            );
+            failed = true;
+        }
+        if !row.within_rss_budget() {
+            eprintln!(
+                "FAIL: peak RSS {} kB exceeds the {} kB budget for {} sources",
+                row.peak_rss_kb.unwrap_or(0),
+                row.rss_budget_kb(),
+                row.sources
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "scale-e2e: {} sources end-to-end at {:.0} CPU ns/tuple \
+             (wall {:.0} ns/tuple), peak RSS {} kB, pool reuse {:.0}%",
+            row.sources,
+            row.cpu_ns_per_tuple(),
+            row.wall_ns_per_tuple(),
+            row.peak_rss_kb.unwrap_or(0),
+            row.pool_reuse_fraction() * 100.0
+        );
     }
 
     eprintln!("total time: {:.1}s", t0.elapsed().as_secs_f64());

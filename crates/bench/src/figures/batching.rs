@@ -18,7 +18,9 @@
 //! Reported numbers are mean ns per *arrived* tuple over the whole loop,
 //! so the ratio is exactly the per-tuple mechanism overhead THEMIS's
 //! shedding must keep negligible (§7.6 measures the same thing for the
-//! policy itself). Results are rendered as a table/CSV and exported as
+//! policy itself), alongside the [`batch_allocs`] delta per iteration so
+//! batch-construction regressions show up next to the throughput.
+//! Results are rendered as a table/CSV and exported as
 //! `results/BENCH_batching.json` so later PRs can track the trajectory.
 
 use std::collections::{BTreeMap, HashMap};
@@ -78,6 +80,13 @@ pub struct BatchingRow {
     pub row_ns_per_tuple: f64,
     /// Mean ns per arrived tuple on the columnar batch path.
     pub batch_ns_per_tuple: f64,
+    /// [`TupleBatch`] constructions per iteration on the row path
+    /// (always 0 — the row path predates `TupleBatch`; kept so the JSON
+    /// shape is symmetric).
+    pub row_allocs_per_iter: u64,
+    /// [`TupleBatch`] constructions per iteration on the batch path —
+    /// the count the batch pool exists to push down.
+    pub batch_allocs_per_iter: u64,
 }
 
 impl BatchingRow {
@@ -413,21 +422,44 @@ fn measure(scale: &BatchingScale, tuples: usize, mut iteration: impl FnMut(u64) 
     t0.elapsed().as_nanos() as f64 / (scale.iters.max(1) * tuples.max(1)) as f64
 }
 
+/// [`measure`] plus the [`batch_allocs`] delta per iteration (warm-up
+/// included in the averaging window).
+fn measure_with_allocs(
+    scale: &BatchingScale,
+    tuples: usize,
+    iteration: impl FnMut(u64) -> f64,
+) -> (f64, u64) {
+    let a0 = batch_allocs();
+    let ns = measure(scale, tuples, iteration);
+    let iters = (scale.iters.div_ceil(5).max(2) + scale.iters) as u64;
+    (ns, batch_allocs().saturating_sub(a0) / iters.max(1))
+}
+
 /// Runs both stages on both paths.
 pub fn batching(scale: &BatchingScale) -> Vec<BatchingRow> {
     let total = scale.total_tuples();
+    let (row_ns, row_allocs) = measure_with_allocs(scale, total, |s| shed_iteration_row(scale, s));
+    let (batch_ns, batch_alloc_count) =
+        measure_with_allocs(scale, total, |s| shed_iteration_batch(scale, s));
     let shed = BatchingRow {
         stage: "shedder",
-        row_ns_per_tuple: measure(scale, total, |s| shed_iteration_row(scale, s)),
-        batch_ns_per_tuple: measure(scale, total, |s| shed_iteration_batch(scale, s)),
+        row_ns_per_tuple: row_ns,
+        batch_ns_per_tuple: batch_ns,
+        row_allocs_per_iter: row_allocs,
+        batch_allocs_per_iter: batch_alloc_count,
     };
     let pipeline_tuples = (total / 2) * 2; // both ports arrive
+    let (row_ns, row_allocs) =
+        measure_with_allocs(scale, pipeline_tuples, |s| pipeline_iteration_row(scale, s));
+    let (batch_ns, batch_alloc_count) = measure_with_allocs(scale, pipeline_tuples, |s| {
+        pipeline_iteration_batch(scale, s)
+    });
     let pipeline = BatchingRow {
         stage: "pipeline",
-        row_ns_per_tuple: measure(scale, pipeline_tuples, |s| pipeline_iteration_row(scale, s)),
-        batch_ns_per_tuple: measure(scale, pipeline_tuples, |s| {
-            pipeline_iteration_batch(scale, s)
-        }),
+        row_ns_per_tuple: row_ns,
+        batch_ns_per_tuple: batch_ns,
+        row_allocs_per_iter: row_allocs,
+        batch_allocs_per_iter: batch_alloc_count,
     };
     vec![shed, pipeline]
 }
@@ -436,7 +468,14 @@ pub fn batching(scale: &BatchingScale) -> Vec<BatchingRow> {
 pub fn render(rows: &[BatchingRow]) -> TextTable {
     let mut t = TextTable::new(
         "Columnar batches: row path vs batch path (ns/tuple)",
-        &["stage", "row-ns", "batch-ns", "speedup"],
+        &[
+            "stage",
+            "row-ns",
+            "batch-ns",
+            "speedup",
+            "row-allocs",
+            "batch-allocs",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -444,6 +483,8 @@ pub fn render(rows: &[BatchingRow]) -> TextTable {
             f2(r.row_ns_per_tuple),
             f2(r.batch_ns_per_tuple),
             f2(r.speedup()),
+            r.row_allocs_per_iter.to_string(),
+            r.batch_allocs_per_iter.to_string(),
         ]);
     }
     t
@@ -455,11 +496,14 @@ pub fn to_json(rows: &[BatchingRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "  \"{}\": {{ \"row_ns_per_tuple\": {:.2}, \"batch_ns_per_tuple\": {:.2}, \
-             \"speedup\": {:.2} }}{}\n",
+             \"speedup\": {:.2}, \"row_allocs_per_iter\": {}, \
+             \"batch_allocs_per_iter\": {} }}{}\n",
             r.stage,
             r.row_ns_per_tuple,
             r.batch_ns_per_tuple,
             r.speedup(),
+            r.row_allocs_per_iter,
+            r.batch_allocs_per_iter,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -511,6 +555,7 @@ mod tests {
         let json = to_json(&rows);
         assert!(json.contains("\"shedder\""));
         assert!(json.contains("\"pipeline\""));
+        assert!(json.contains("\"batch_allocs_per_iter\""));
         assert!(json.trim_end().ends_with('}'));
     }
 }

@@ -17,14 +17,21 @@
 //! 4. **filter** — a `>= rhs` predicate counted via the word-packed mask
 //!    kernel vs a scalar row walk;
 //! 5. **topk** — partial top-k selection vs a full sort of 1M
-//!    `(id, value)` pairs.
+//!    `(id, value)` pairs;
+//! 6. **group** — per-tag `(sum, count)` over a dictionary-encoded key
+//!    column: the scalar `HashMap` per-key fold (what
+//!    `GroupAggregateLogic` runs on arena panes) vs
+//!    [`kernels::group_sum_count_f64`] hashing on raw dictionary codes.
 //!
-//! Reported numbers are mean ns per row per stage. When run by name
-//! (`experiments kernels`) the aggregate stage asserts the typed kernels
-//! are ≥ 2× faster than the `Value`-arena path and the rows are exported
-//! as `results/BENCH_kernels.json` so the perf trajectory is tracked per
-//! PR.
+//! Reported numbers are mean ns per row per stage, alongside the
+//! [`batch_allocs`] delta per iteration so allocation regressions on the
+//! measured paths are visible next to the throughput. When run by name
+//! (`experiments kernels`) the aggregate and group stages each assert
+//! the typed kernels are ≥ 2× faster than the `Value`-arena path and the
+//! rows are exported as `results/BENCH_kernels.json` so the perf
+//! trajectory is tracked per PR.
 
+use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -71,6 +78,10 @@ pub struct KernelsRow {
     pub value_ns_per_row: f64,
     /// Mean ns per row through the typed column kernels.
     pub typed_ns_per_row: f64,
+    /// [`TupleBatch`] constructions per iteration on the arena path.
+    pub value_allocs_per_iter: u64,
+    /// [`TupleBatch`] constructions per iteration on the typed path.
+    pub typed_allocs_per_iter: u64,
 }
 
 impl KernelsRow {
@@ -232,6 +243,66 @@ fn topk_typed_path(b: &TupleBatch) -> f64 {
     pairs.iter().map(|&(_, v)| v).sum()
 }
 
+// ---------------------------------------------------------------------
+// Group-by on dictionary codes
+// ---------------------------------------------------------------------
+
+/// Distinct tags in the group stage: a mid-size source population, well
+/// inside the kernel's dense accumulator range.
+const GROUP_TAGS: usize = 4096;
+
+/// The group-stage schema: `[tag: Tag, x: f64]`.
+fn group_schema() -> Schema {
+    Schema::new([("tag", FieldType::Tag), ("x", FieldType::F64)])
+}
+
+/// Builds the same tagged batch in both layouts (the arena stores the
+/// dictionary codes as `Value::Tag` rows).
+fn build_group_batches(rows: usize, seed: u64) -> (TupleBatch, TupleBatch) {
+    let mut rng = Lcg(seed | 1);
+    let schema = group_schema();
+    let dict = schema.interner().expect("tag schema").clone();
+    let codes: Vec<u32> = (0..GROUP_TAGS)
+        .map(|i| dict.intern(&format!("src-{i:05}")))
+        .collect();
+    let mut arena = TupleBatch::with_capacity(2, rows);
+    let mut typed = TupleBatch::with_schema_capacity(schema, rows);
+    for i in 0..rows {
+        let code = codes[rng.next_key(GROUP_TAGS as i64) as usize];
+        let row = [Value::Tag(code), Value::F64(rng.next_f64() * 100.0)];
+        let ts = Timestamp(i as u64);
+        arena.push_row(ts, Sic::ZERO, &row);
+        typed.push_row(ts, Sic::ZERO, &row);
+    }
+    (arena, typed)
+}
+
+/// The scalar per-key reference: the `HashMap` fold the group-aggregate
+/// logic runs on arena panes.
+fn group_value_path(b: &TupleBatch) -> f64 {
+    let mut acc: HashMap<u32, (f64, u64)> = HashMap::new();
+    for t in b.iter() {
+        let code = t.get(0).map(|v| v.as_i64()).unwrap_or(0).max(0) as u32;
+        let v = t.get(1).map(|v| v.as_f64()).unwrap_or(0.0);
+        let e = acc.entry(code).or_insert((0.0, 0));
+        e.0 += v;
+        e.1 += 1;
+    }
+    acc.iter()
+        .map(|(&c, &(s, n))| c as f64 + s + n as f64)
+        .sum()
+}
+
+/// The typed path: the kernel hashing on the raw code slice.
+fn group_typed_path(b: &TupleBatch) -> f64 {
+    let keys = b.tag_column(0).expect("tag column");
+    let vals = b.f64_column(1).expect("typed batch");
+    kernels::group_sum_count_f64(keys.codes(), vals, b.drops())
+        .into_iter()
+        .map(|(c, s, n)| c as f64 + s + n as f64)
+        .sum()
+}
+
 /// Times `pass` over `iters` runs (plus warm-up) and returns mean ns per
 /// row.
 fn measure(scale: &KernelsScale, mut pass: impl FnMut() -> f64) -> f64 {
@@ -245,38 +316,77 @@ fn measure(scale: &KernelsScale, mut pass: impl FnMut() -> f64) -> f64 {
     t0.elapsed().as_nanos() as f64 / (scale.iters.max(1) * scale.rows.max(1)) as f64
 }
 
+/// [`measure`] plus the [`batch_allocs`] delta per iteration (warm-up
+/// included in the averaging window).
+fn measure_with_allocs(scale: &KernelsScale, pass: impl FnMut() -> f64) -> (f64, u64) {
+    let a0 = batch_allocs();
+    let ns = measure(scale, pass);
+    let iters = (scale.iters.div_ceil(5).max(2) + scale.iters) as u64;
+    (ns, batch_allocs().saturating_sub(a0) / iters.max(1))
+}
+
+/// Measures one stage on both layouts.
+fn race_stage(
+    scale: &KernelsScale,
+    stage: &'static str,
+    value_pass: impl FnMut() -> f64,
+    typed_pass: impl FnMut() -> f64,
+) -> KernelsRow {
+    let (value_ns_per_row, value_allocs_per_iter) = measure_with_allocs(scale, value_pass);
+    let (typed_ns_per_row, typed_allocs_per_iter) = measure_with_allocs(scale, typed_pass);
+    KernelsRow {
+        stage,
+        value_ns_per_row,
+        typed_ns_per_row,
+        value_allocs_per_iter,
+        typed_allocs_per_iter,
+    }
+}
+
 /// Runs every stage on both payload layouts.
 pub fn kernels_race(scale: &KernelsScale) -> Vec<KernelsRow> {
     let (arena, typed) = build_batches(scale.rows, 20160626);
     let (mut arena_shed, mut typed_shed) = (arena.clone(), typed.clone());
     shed_quarter(&mut arena_shed);
     shed_quarter(&mut typed_shed);
+    let (garena, gtyped) = build_group_batches(scale.rows, 20160626);
     vec![
-        KernelsRow {
-            stage: "aggregate",
-            value_ns_per_row: measure(scale, || aggregate_value_path(&arena)),
-            typed_ns_per_row: measure(scale, || aggregate_typed_path(&typed)),
-        },
-        KernelsRow {
-            stage: "aggregate-shed",
-            value_ns_per_row: measure(scale, || aggregate_value_path(&arena_shed)),
-            typed_ns_per_row: measure(scale, || aggregate_typed_path(&typed_shed)),
-        },
-        KernelsRow {
-            stage: "cov",
-            value_ns_per_row: measure(scale, || cov_value_path(&arena)),
-            typed_ns_per_row: measure(scale, || cov_typed_path(&typed)),
-        },
-        KernelsRow {
-            stage: "filter",
-            value_ns_per_row: measure(scale, || filter_value_path(&arena)),
-            typed_ns_per_row: measure(scale, || filter_typed_path(&typed)),
-        },
-        KernelsRow {
-            stage: "topk",
-            value_ns_per_row: measure(scale, || topk_value_path(&arena)),
-            typed_ns_per_row: measure(scale, || topk_typed_path(&typed)),
-        },
+        race_stage(
+            scale,
+            "aggregate",
+            || aggregate_value_path(&arena),
+            || aggregate_typed_path(&typed),
+        ),
+        race_stage(
+            scale,
+            "aggregate-shed",
+            || aggregate_value_path(&arena_shed),
+            || aggregate_typed_path(&typed_shed),
+        ),
+        race_stage(
+            scale,
+            "cov",
+            || cov_value_path(&arena),
+            || cov_typed_path(&typed),
+        ),
+        race_stage(
+            scale,
+            "filter",
+            || filter_value_path(&arena),
+            || filter_typed_path(&typed),
+        ),
+        race_stage(
+            scale,
+            "topk",
+            || topk_value_path(&arena),
+            || topk_typed_path(&typed),
+        ),
+        race_stage(
+            scale,
+            "group",
+            || group_value_path(&garena),
+            || group_typed_path(&gtyped),
+        ),
     ]
 }
 
@@ -284,7 +394,14 @@ pub fn kernels_race(scale: &KernelsScale) -> Vec<KernelsRow> {
 pub fn render(rows: &[KernelsRow]) -> TextTable {
     let mut t = TextTable::new(
         "Typed column kernels: Value-arena path vs typed path (ns/row)",
-        &["stage", "value-ns", "typed-ns", "speedup"],
+        &[
+            "stage",
+            "value-ns",
+            "typed-ns",
+            "speedup",
+            "value-allocs",
+            "typed-allocs",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -292,6 +409,8 @@ pub fn render(rows: &[KernelsRow]) -> TextTable {
             f2(r.value_ns_per_row),
             f2(r.typed_ns_per_row),
             f2(r.speedup()),
+            r.value_allocs_per_iter.to_string(),
+            r.typed_allocs_per_iter.to_string(),
         ]);
     }
     t
@@ -303,11 +422,14 @@ pub fn to_json(rows: &[KernelsRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "  \"{}\": {{ \"value_ns_per_row\": {:.2}, \"typed_ns_per_row\": {:.2}, \
-             \"speedup\": {:.2} }}{}\n",
+             \"speedup\": {:.2}, \"value_allocs_per_iter\": {}, \
+             \"typed_allocs_per_iter\": {} }}{}\n",
             r.stage,
             r.value_ns_per_row,
             r.typed_ns_per_row,
             r.speedup(),
+            r.value_allocs_per_iter,
+            r.typed_allocs_per_iter,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -356,13 +478,24 @@ mod tests {
     }
 
     #[test]
+    fn group_paths_agree() {
+        let (mut arena, mut typed) = build_group_batches(700, 13);
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1.0);
+        assert!(close(group_value_path(&arena), group_typed_path(&typed)));
+        // And with a quarter of the rows shed.
+        shed_quarter(&mut arena);
+        shed_quarter(&mut typed);
+        assert!(close(group_value_path(&arena), group_typed_path(&typed)));
+    }
+
+    #[test]
     fn measurement_produces_rows_and_json() {
         let scale = KernelsScale {
             rows: 400,
             iters: 2,
         };
         let rows = kernels_race(&scale);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
         for r in &rows {
             assert!(r.value_ns_per_row > 0.0, "{}", r.stage);
             assert!(r.typed_ns_per_row > 0.0, "{}", r.stage);
@@ -370,6 +503,8 @@ mod tests {
         let json = to_json(&rows);
         assert!(json.contains("\"aggregate\""));
         assert!(json.contains("\"topk\""));
+        assert!(json.contains("\"group\""));
+        assert!(json.contains("\"typed_allocs_per_iter\""));
         assert!(json.trim_end().ends_with('}'));
     }
 }

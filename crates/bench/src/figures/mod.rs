@@ -14,4 +14,5 @@ pub mod parity;
 pub mod related;
 pub mod scalability;
 pub mod scale;
+pub mod scale_e2e;
 pub mod tables;

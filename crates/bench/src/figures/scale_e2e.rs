@@ -1,0 +1,499 @@
+//! End-to-end source scale: constant factors at 10⁵ sources.
+//!
+//! `scale` (the sibling experiment) proves the sharded engine holds its
+//! thread budget as *nodes* grow; this experiment measures what each
+//! arriving tuple actually *costs* once the source count gets large. It
+//! drives `--sources=100000` independent AVG queries (one steady source
+//! each) through the full engine — pump, shard ingest, shedder, window
+//! panes, aggregate kernels, coordinator — and reports the cost per
+//! arrived tuple. The aggregate offered load is capped
+//! (`AGG_TPS_CAP`) so the scaled variable is the source *count*: at
+//! 10⁵ sources every source streams single-tuple batches, putting the
+//! per-source bookkeeping (pump slots, dictionary columns, pool
+//! recycling, per-node detector state) on the measured path rather than
+//! raw throughput saturation. Reported:
+//!
+//! * **wall ns/tuple** — wall time of the run plus the shutdown drain
+//!   over arrived tuples, i.e. the inverse of end-to-end throughput
+//!   (query installation is one-time work, reported separately as
+//!   `setup_secs`);
+//! * **CPU ns/tuple** — process CPU time (`utime + stime` from
+//!   `/proc/self/stat`) over arrived tuples: the constant factor the
+//!   dictionary columns, group kernel and batch pool exist to shrink;
+//! * **peak RSS** — `VmHWM` from `/proc/self/status`, against a budget
+//!   linear in the source count;
+//! * **pool traffic** — reuse/fresh/recycle counters from the engine's
+//!   [`BatchPool`] plus the process-wide batch-allocation delta.
+//!
+//! `--profile` adds a 25 ms sampling profiler over
+//! `/proc/self/task/*/stat` that attributes cumulative CPU and runnable
+//! samples per engine thread (the shard pool and source pump are named).
+//! CI runs a reduced `--sources=10000` smoke that exits non-zero when
+//! the CPU-per-tuple or RSS budget is breached; the row is exported as
+//! `results/BENCH_scale.json` so the trajectory is tracked per PR.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use themis_core::prelude::*;
+use themis_engine::prelude::*;
+use themis_query::prelude::Template;
+use themis_workloads::prelude::*;
+
+use crate::table::{f, f2, TextTable};
+
+/// Sources hosted per node: each node runs ~64 single-source AVG
+/// fragments, so 10⁵ sources land on ~1.6k nodes multiplexed over the
+/// shard pool.
+const SOURCES_PER_NODE: usize = 64;
+
+/// Aggregate offered load cap in tuples/second. Per-source rate is
+/// `clamp(cap / sources, 1, 10)`: at 10⁴ sources every source streams
+/// 10 t/s, at 10⁵ every source streams 1 t/s in single-tuple batches.
+/// Without the cap the experiment saturates the host and measures queue
+/// backlog (unbounded channels absorbing an offered load the shard pool
+/// cannot drain) instead of per-source constant factors — the source
+/// *count*, not the aggregate rate, is the scaled variable here.
+const AGG_TPS_CAP: u64 = 100_000;
+
+/// CPU budget per arrived tuple. The full pipeline (pump batch build,
+/// shard routing, buffer admission, Eq.-1 stamping, window panes, kernel
+/// aggregation, result routing) costs ~20 µs per *batch* on CI-class
+/// hardware, so the per-tuple cost depends on batch size: ~4 µs at 10⁴
+/// sources (5-tuple batches), ~21 µs at 10⁵ (single-tuple batches). On
+/// a host too small to drain 10⁵ single-tuple batches per second the
+/// run saturates and the ratio degenerates to 1/throughput (the pump
+/// sheds skipped beats instead of backlogging), adding scheduling
+/// noise on top; the ceiling leaves room for that regime. The 10⁴ CI
+/// smoke — the regression gate that matters — trips it only on a ~10×
+/// regression.
+pub const CPU_NS_PER_TUPLE_CEILING: f64 = 45_000.0;
+
+/// Fixed part of the RSS budget (binary, channels, shard pool).
+pub const RSS_BASE_KB: u64 = 256 * 1024;
+
+/// Per-source part of the RSS budget: driver + fragment runtime +
+/// detector state + in-flight batches must stay under this.
+pub const RSS_PER_SOURCE_KB: u64 = 24;
+
+/// Per-thread CPU attribution from the `--profile` sampler.
+#[derive(Debug, Clone)]
+pub struct ProfileLine {
+    /// Thread name (`shard-N`, `source-pump`, or the process name for
+    /// the coordinator/main thread).
+    pub name: String,
+    /// Cumulative CPU seconds (`utime + stime`) over threads with this
+    /// name, as of the last sample.
+    pub cpu_secs: f64,
+    /// Samples in which at least one thread with this name was runnable.
+    pub run_samples: u64,
+    /// Total samples taken of threads with this name.
+    pub samples: u64,
+}
+
+/// Outcome of one end-to-end scale run.
+#[derive(Debug, Clone)]
+pub struct ScaleE2eRow {
+    /// Independent sources driven (= AVG queries; one source each).
+    pub sources: usize,
+    /// Nodes hosting the fragments.
+    pub nodes: usize,
+    /// Shard threads used.
+    pub shards: usize,
+    /// Aggregate offered load (sources × per-source t/s, capped by
+    /// `AGG_TPS_CAP`).
+    pub offered_tps: u64,
+    /// Wall seconds spent in `Engine::start` (installing every query,
+    /// wiring sources into the pump): one-time cost, excluded from the
+    /// per-tuple numbers.
+    pub setup_secs: f64,
+    /// Wall seconds from the end of start-up through shutdown (the
+    /// measured run plus the drain, so a backlogged engine shows up
+    /// here).
+    pub wall_secs: f64,
+    /// Process CPU seconds consumed over the same span (0 off Linux).
+    pub cpu_secs: f64,
+    /// Tuples arriving across all nodes.
+    pub arrived: u64,
+    /// Fraction of arrived tuples shed.
+    pub shed: f64,
+    /// Result emissions across all queries.
+    pub results: usize,
+    /// Peak resident set (`VmHWM`, kB; `None` off Linux).
+    pub peak_rss_kb: Option<u64>,
+    /// Engine pool acquisitions served from a recycled slot.
+    pub pool_reused: u64,
+    /// Engine pool acquisitions that allocated fresh.
+    pub pool_fresh: u64,
+    /// Batches returned to the engine pool.
+    pub pool_recycled: u64,
+    /// Process-wide batch constructions during the run (includes fresh
+    /// pool acquisitions; excludes reuses — that's the point).
+    pub batch_allocs: u64,
+    /// Per-thread CPU attribution (empty unless `--profile`).
+    pub profile: Vec<ProfileLine>,
+}
+
+impl ScaleE2eRow {
+    /// Wall nanoseconds per arrived tuple (inverse throughput).
+    pub fn wall_ns_per_tuple(&self) -> f64 {
+        self.wall_secs * 1e9 / self.arrived.max(1) as f64
+    }
+
+    /// CPU nanoseconds per arrived tuple (the constant factor).
+    pub fn cpu_ns_per_tuple(&self) -> f64 {
+        self.cpu_secs * 1e9 / self.arrived.max(1) as f64
+    }
+
+    /// Fraction of pool acquisitions served without allocating.
+    pub fn pool_reuse_fraction(&self) -> f64 {
+        let total = self.pool_reused + self.pool_fresh;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_reused as f64 / total as f64
+        }
+    }
+
+    /// RSS budget for this source count.
+    pub fn rss_budget_kb(&self) -> u64 {
+        RSS_BASE_KB + self.sources as u64 * RSS_PER_SOURCE_KB
+    }
+
+    /// True when peak RSS stayed within budget (vacuously off Linux).
+    pub fn within_rss_budget(&self) -> bool {
+        self.peak_rss_kb.map_or(true, |p| p <= self.rss_budget_kb())
+    }
+
+    /// True when CPU per tuple stayed under the ceiling (vacuously when
+    /// CPU accounting is unavailable).
+    pub fn within_cpu_budget(&self) -> bool {
+        self.cpu_secs == 0.0 || self.cpu_ns_per_tuple() <= CPU_NS_PER_TUPLE_CEILING
+    }
+}
+
+/// `/proc` CPU fields are exported in fixed 100 Hz ticks (`USER_HZ`).
+const CLK_TCK: f64 = 100.0;
+
+/// Cumulative process CPU seconds (`utime + stime` from
+/// `/proc/self/stat`; Linux only).
+pub fn cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    let (_, _, ticks) = parse_stat_line(&stat)?;
+    Some(ticks as f64 / CLK_TCK)
+}
+
+/// Peak resident set in kB (`VmHWM` from `/proc/self/status`; Linux
+/// only).
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+}
+
+/// Parses a `/proc/.../stat` line into `(comm, state, utime + stime)`.
+/// The comm field may itself contain spaces, so fields are taken after
+/// the *last* closing paren.
+fn parse_stat_line(stat: &str) -> Option<(String, char, u64)> {
+    let open = stat.find('(')?;
+    let close = stat.rfind(')')?;
+    let name = stat.get(open + 1..close)?.to_string();
+    let rest: Vec<&str> = stat.get(close + 1..)?.split_whitespace().collect();
+    let state = rest.first()?.chars().next()?;
+    // Overall stat fields 14/15 (1-indexed); `rest` starts at field 3.
+    let utime: u64 = rest.get(11)?.parse().ok()?;
+    let stime: u64 = rest.get(12)?.parse().ok()?;
+    Some((name, state, utime + stime))
+}
+
+/// Last-seen cumulative ticks and runnable-sample counts for one thread.
+struct TaskSample {
+    name: String,
+    ticks: u64,
+    run: u64,
+    seen: u64,
+}
+
+/// One sweep over `/proc/self/task/*/stat`.
+fn sample_tasks(acc: &mut HashMap<u32, TaskSample>) {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return;
+    };
+    for entry in tasks.flatten() {
+        let Ok(tid) = entry.file_name().to_string_lossy().parse::<u32>() else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(entry.path().join("stat")) else {
+            continue;
+        };
+        if let Some((name, state, ticks)) = parse_stat_line(&stat) {
+            let t = acc.entry(tid).or_insert(TaskSample {
+                name,
+                ticks: 0,
+                run: 0,
+                seen: 0,
+            });
+            t.ticks = ticks;
+            t.seen += 1;
+            if state == 'R' {
+                t.run += 1;
+            }
+        }
+    }
+}
+
+/// Collapses per-tid samples into per-name lines, sorted by CPU
+/// descending.
+fn profile_lines(acc: HashMap<u32, TaskSample>) -> Vec<ProfileLine> {
+    let mut by_name: BTreeMap<String, ProfileLine> = BTreeMap::new();
+    for t in acc.into_values() {
+        let line = by_name.entry(t.name.clone()).or_insert(ProfileLine {
+            name: t.name,
+            cpu_secs: 0.0,
+            run_samples: 0,
+            samples: 0,
+        });
+        line.cpu_secs += t.ticks as f64 / CLK_TCK;
+        line.run_samples += t.run;
+        line.samples += t.seen;
+    }
+    let mut lines: Vec<ProfileLine> = by_name.into_values().collect();
+    lines.sort_by(|a, b| b.cpu_secs.total_cmp(&a.cpu_secs));
+    lines
+}
+
+/// Runs `sources` single-source AVG queries end to end for `secs` wall
+/// seconds (plus a 500 ms warm-up) on a pool of `shards` threads
+/// (`None`: available parallelism), optionally sampling per-thread CPU.
+pub fn scale_e2e(
+    sources: usize,
+    shards: Option<usize>,
+    secs: u64,
+    profile: bool,
+    seed: u64,
+) -> ScaleE2eRow {
+    let sources = sources.max(1);
+    let nodes = sources.div_ceil(SOURCES_PER_NODE);
+    let per_source_tps = (AGG_TPS_CAP / sources as u64).clamp(1, 10) as u32;
+    let batches_per_sec = per_source_tps.min(2);
+    let scenario = ScenarioBuilder::new("scale-e2e", seed)
+        .nodes(nodes)
+        .capacity_tps(1_000_000)
+        .duration(TimeDelta::from_millis(secs.max(1) * 1000))
+        .warmup(TimeDelta::from_millis(500))
+        .stw_window(TimeDelta::from_secs(1))
+        .add_queries(
+            Template::Avg,
+            sources,
+            SourceProfile::steady(per_source_tps, batches_per_sec, Dataset::Uniform),
+        )
+        .build()
+        .expect("placement");
+
+    let allocs0 = batch_allocs();
+    let t_setup = Instant::now();
+    let mut engine = Engine::start(
+        &scenario,
+        EngineConfig {
+            policy: PolicyKind::BalanceSic,
+            shards,
+            ..Default::default()
+        },
+    );
+    let setup_secs = t_setup.elapsed().as_secs_f64();
+    let pool = engine.batch_pool().clone();
+    let cpu0 = cpu_seconds().unwrap_or(0.0);
+    let t0 = Instant::now();
+
+    let sampler = profile.then(|| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler_stop = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut acc = HashMap::new();
+            sample_tasks(&mut acc);
+            while !sampler_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(25));
+                sample_tasks(&mut acc);
+            }
+            profile_lines(acc)
+        });
+        (stop, handle)
+    });
+
+    engine.run_for(Duration::from_micros(
+        (scenario.warmup + scenario.duration).as_micros(),
+    ));
+    // Stop the sampler before shutdown so the engine threads' cumulative
+    // CPU is still readable from /proc.
+    let profile = match sampler {
+        Some((stop, handle)) => {
+            stop.store(true, Ordering::Relaxed);
+            handle.join().expect("sampler panicked")
+        }
+        None => Vec::new(),
+    };
+    let report = engine.finish();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let cpu_secs = (cpu_seconds().unwrap_or(cpu0) - cpu0).max(0.0);
+    let stats = pool.stats();
+
+    ScaleE2eRow {
+        sources,
+        nodes,
+        shards: report.shards,
+        offered_tps: sources as u64 * per_source_tps as u64,
+        setup_secs,
+        wall_secs,
+        cpu_secs,
+        arrived: report.nodes.iter().map(|n| n.arrived_tuples).sum(),
+        shed: report.shed_fraction(),
+        results: report.result_counts.values().sum(),
+        peak_rss_kb: peak_rss_kb(),
+        pool_reused: stats.reused,
+        pool_fresh: stats.fresh,
+        pool_recycled: stats.recycled,
+        batch_allocs: batch_allocs().saturating_sub(allocs0),
+        profile,
+    }
+}
+
+/// Renders the scale row.
+pub fn render(row: &ScaleE2eRow) -> TextTable {
+    let mut t = TextTable::new(
+        "End-to-end source scale: cost per arrived tuple",
+        &[
+            "sources",
+            "nodes",
+            "shards",
+            "offered-tps",
+            "setup-s",
+            "wall-s",
+            "cpu-s",
+            "arrived",
+            "shed",
+            "wall-ns/t",
+            "cpu-ns/t",
+            "rss-kb",
+            "rss-budget",
+            "pool-reuse",
+            "allocs",
+        ],
+    );
+    t.row(vec![
+        row.sources.to_string(),
+        row.nodes.to_string(),
+        row.shards.to_string(),
+        row.offered_tps.to_string(),
+        f(row.setup_secs),
+        f(row.wall_secs),
+        f(row.cpu_secs),
+        row.arrived.to_string(),
+        f(row.shed),
+        f2(row.wall_ns_per_tuple()),
+        f2(row.cpu_ns_per_tuple()),
+        row.peak_rss_kb
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "n/a".into()),
+        row.rss_budget_kb().to_string(),
+        f(row.pool_reuse_fraction()),
+        row.batch_allocs.to_string(),
+    ]);
+    t
+}
+
+/// Renders the `--profile` sampler output.
+pub fn render_profile(lines: &[ProfileLine]) -> TextTable {
+    let mut t = TextTable::new(
+        "Per-thread CPU (sampled from /proc/self/task)",
+        &["thread", "cpu-s", "runnable", "samples"],
+    );
+    for l in lines {
+        t.row(vec![
+            l.name.clone(),
+            f(l.cpu_secs),
+            l.run_samples.to_string(),
+            l.samples.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Serialises the row as the `BENCH_scale.json` artefact.
+pub fn to_json(row: &ScaleE2eRow) -> String {
+    format!(
+        "{{\n  \"sources\": {},\n  \"nodes\": {},\n  \"shards\": {},\n  \
+         \"offered_tps\": {},\n  \"setup_secs\": {:.3},\n  \
+         \"wall_secs\": {:.3},\n  \"cpu_secs\": {:.3},\n  \"arrived\": {},\n  \
+         \"shed_fraction\": {:.4},\n  \"results\": {},\n  \
+         \"wall_ns_per_tuple\": {:.2},\n  \"cpu_ns_per_tuple\": {:.2},\n  \
+         \"peak_rss_kb\": {},\n  \"rss_budget_kb\": {},\n  \
+         \"pool\": {{ \"reused\": {}, \"fresh\": {}, \"recycled\": {}, \
+         \"reuse_fraction\": {:.4} }},\n  \"batch_allocs\": {}\n}}\n",
+        row.sources,
+        row.nodes,
+        row.shards,
+        row.offered_tps,
+        row.setup_secs,
+        row.wall_secs,
+        row.cpu_secs,
+        row.arrived,
+        row.shed,
+        row.results,
+        row.wall_ns_per_tuple(),
+        row.cpu_ns_per_tuple(),
+        row.peak_rss_kb
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "null".into()),
+        row.rss_budget_kb(),
+        row.pool_reused,
+        row.pool_fresh,
+        row.pool_recycled,
+        row.pool_reuse_fraction(),
+        row.batch_allocs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_parsers_read_this_process() {
+        // The workspace builds and tests on Linux, where both files exist.
+        let cpu = cpu_seconds().expect("/proc/self/stat");
+        assert!(cpu >= 0.0);
+        let rss = peak_rss_kb().expect("VmHWM in /proc/self/status");
+        assert!(rss > 0);
+    }
+
+    #[test]
+    fn stat_line_parses_spaced_comm_names() {
+        let line = "42 (tokio runtime (x)) R 1 1 1 0 -1 0 0 0 0 0 7 3 0 0 20 0 1 0 100 0 0";
+        let (name, state, ticks) = parse_stat_line(line).expect("parse");
+        assert_eq!(name, "tokio runtime (x)");
+        assert_eq!(state, 'R');
+        assert_eq!(ticks, 10);
+    }
+
+    #[test]
+    fn tiny_run_produces_a_consistent_row() {
+        let row = scale_e2e(8, Some(2), 1, true, 11);
+        assert_eq!(row.sources, 8);
+        assert_eq!(row.nodes, 1);
+        assert!(row.arrived > 0, "sources must deliver tuples");
+        assert!(row.wall_secs > 0.0 && row.wall_ns_per_tuple() > 0.0);
+        // Named engine threads show up in the profile on Linux.
+        assert!(row.profile.iter().any(|l| l.name.starts_with("shard-")));
+        assert!(row.profile.iter().any(|l| l.name == "source-pump"));
+        let json = to_json(&row);
+        assert!(json.contains("\"cpu_ns_per_tuple\""));
+        assert!(json.contains("\"pool\""));
+        assert!(json.trim_end().ends_with('}'));
+        render(&row);
+        render_profile(&row.profile);
+    }
+}

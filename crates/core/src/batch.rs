@@ -32,12 +32,28 @@
 //! and to `Vec<Tuple>` via [`TupleBatch::from_tuples`] and
 //! [`TupleBatch::into_tuples`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
 use crate::bits::BitVec;
-use crate::schema::{BoolColumn, Column, Schema};
+use crate::schema::{BoolColumn, Column, Schema, TagColumn};
 use crate::sic::Sic;
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
 use crate::value::Value;
+
+/// Count of capacity-carrying batch constructions
+/// ([`TupleBatch::with_capacity`] / [`TupleBatch::with_schema_capacity`])
+/// since process start. [`BatchPool`] reuse skips these constructors, so
+/// benches assert on deltas of this counter to make pooling's effect
+/// visible next to throughput.
+static BATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the process-wide batch-allocation counter (monotonic; compare
+/// deltas around a measured region).
+pub fn batch_allocs() -> u64 {
+    BATCH_ALLOCS.load(Ordering::Relaxed)
+}
 
 /// A bitmap over batch rows; a set bit means the row has been dropped
 /// (shed). Bits are allocated lazily: a batch that never sheds carries an
@@ -276,14 +292,13 @@ impl Default for Payload {
 
 impl Payload {
     /// An empty typed payload with the given schema and column types —
-    /// the single construction both layout-adoption paths share.
+    /// the single construction both layout-adoption paths share. Tag
+    /// columns keep the source columns' dictionary ([`Column::empty_like`]),
+    /// so adopted panes stay code-compatible with their input.
     fn empty_typed_like(schema: &Schema, columns: &[Column]) -> Payload {
         Payload::Typed {
             schema: schema.clone(),
-            columns: columns
-                .iter()
-                .map(|c| Column::new(c.field_type()))
-                .collect(),
+            columns: columns.iter().map(|c| c.empty_like(0)).collect(),
         }
     }
 }
@@ -300,6 +315,7 @@ enum ColumnSource<'a> {
     F64(&'a [f64]),
     I64(&'a [i64]),
     Bool(&'a BoolColumn),
+    Tag(&'a [u32]),
     Missing,
 }
 
@@ -321,6 +337,7 @@ impl<'a> ColumnSource<'a> {
                 Some(Column::F64(v)) => ColumnSource::F64(v),
                 Some(Column::I64(v)) => ColumnSource::I64(v),
                 Some(Column::Bool(v)) => ColumnSource::Bool(v),
+                Some(Column::Tag(v)) => ColumnSource::Tag(v.codes()),
                 None => ColumnSource::Missing,
             },
         }
@@ -337,6 +354,7 @@ impl<'a> ColumnSource<'a> {
             ColumnSource::F64(v) => v[i],
             ColumnSource::I64(v) => v[i] as f64,
             ColumnSource::Bool(v) => v.get(i) as i64 as f64,
+            ColumnSource::Tag(v) => v[i] as f64,
             ColumnSource::Missing => 0.0,
         }
     }
@@ -394,6 +412,7 @@ impl TupleBatch {
     /// An empty arena batch with a fixed payload `width` and room for
     /// `rows`.
     pub fn with_capacity(width: usize, rows: usize) -> Self {
+        BATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
         TupleBatch {
             ts: Vec::with_capacity(rows),
             sic: Vec::with_capacity(rows),
@@ -410,11 +429,12 @@ impl TupleBatch {
         TupleBatch::with_schema_capacity(schema, 0)
     }
 
-    /// An empty schema-typed batch with room for `rows`.
+    /// An empty schema-typed batch with room for `rows`. Tag fields get
+    /// columns sharing the schema's dictionary ([`Schema::column_for`]).
     pub fn with_schema_capacity(schema: Schema, rows: usize) -> Self {
-        let columns = schema
-            .fields()
-            .map(|(_, ty)| Column::with_capacity(ty, rows))
+        BATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let columns = (0..schema.len())
+            .map(|i| schema.column_for(i, rows).expect("field in range"))
             .collect();
         TupleBatch {
             ts: Vec::with_capacity(rows),
@@ -737,6 +757,17 @@ impl TupleBatch {
         }
     }
 
+    /// The dictionary-encoded column of a typed `Tag` field (dropped rows
+    /// included — pair with [`TupleBatch::drops`] for masked kernels).
+    /// `None` for arena batches or non-`Tag` fields.
+    #[inline]
+    pub fn tag_column(&self, field: usize) -> Option<&TagColumn> {
+        match self.column(field) {
+            Some(Column::Tag(v)) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Sum of the live rows' SIC column.
     pub fn sic_total(&self) -> Sic {
         if self.drops.dropped() == 0 {
@@ -922,6 +953,128 @@ impl TupleBatch {
     /// Materialises the live rows' payloads (result reporting).
     pub fn to_rows(&self) -> Vec<Vec<Value>> {
         self.iter().map(|r| r.values.to_vec()).collect()
+    }
+
+    /// Clears every row while keeping the payload layout, the column
+    /// allocations and (for tag columns) the shared dictionary — the
+    /// [`BatchPool`] recycle path.
+    pub fn clear_rows(&mut self) {
+        self.ts.clear();
+        self.sic.clear();
+        self.drops.clear();
+        match &mut self.payload {
+            Payload::Arena { values, .. } => values.clear(),
+            Payload::Typed { columns, .. } => {
+                for c in columns {
+                    c.clear();
+                }
+            }
+        }
+    }
+}
+
+/// Counters describing a [`BatchPool`]'s traffic since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions served from a recycled slot (no fresh allocation).
+    pub reused: u64,
+    /// Acquisitions that fell through to a fresh construction.
+    pub fresh: u64,
+    /// Batches returned to the pool (capped drops not included).
+    pub recycled: u64,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    slots: Mutex<Vec<TupleBatch>>,
+    reused: AtomicU64,
+    fresh: AtomicU64,
+    recycled: AtomicU64,
+}
+
+/// A shared recycling pool of [`TupleBatch`]es, keyed by schema.
+///
+/// The hot path allocates one batch per source tick and drops it again a
+/// window later; at 10⁵+ sources that is hundreds of thousands of
+/// allocator round-trips per second for identically-shaped buffers. The
+/// pool keeps cleared batches (rows gone, column capacity and tag
+/// dictionaries kept) and hands them back to any producer of the same
+/// schema. Clones share the pool, so the source pump, shard ingest and
+/// window eviction can recycle into one pool across threads.
+///
+/// ```
+/// use themis_core::prelude::*;
+///
+/// let pool = BatchPool::new();
+/// let schema = Schema::new([("v", FieldType::F64)]);
+/// let mut b = pool.acquire(&schema, 64);
+/// b.push_row(Timestamp(0), Sic(0.1), &[Value::F64(1.0)]);
+/// pool.recycle(b);
+/// let b = pool.acquire(&schema, 64);
+/// assert_eq!(b.rows(), 0, "recycled batches come back empty");
+/// assert_eq!(pool.stats().reused, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchPool {
+    inner: Arc<PoolInner>,
+}
+
+/// Pool slots kept per pool; beyond this, recycled batches are dropped
+/// (the cap bounds idle memory after a load spike).
+const POOL_CAP: usize = 256;
+
+impl BatchPool {
+    /// A fresh, empty pool.
+    pub fn new() -> Self {
+        BatchPool::default()
+    }
+
+    /// A batch for `schema` with room for `rows`: a recycled slot of the
+    /// same schema when one is pooled, else a fresh
+    /// [`TupleBatch::with_schema_capacity`].
+    pub fn acquire(&self, schema: &Schema, rows: usize) -> TupleBatch {
+        let mut slots = self.inner.slots.lock().unwrap();
+        if let Some(pos) = slots
+            .iter()
+            .position(|b| b.schema().is_some_and(|s| s.same_as(schema) || s == schema))
+        {
+            let batch = slots.swap_remove(pos);
+            drop(slots);
+            self.inner.reused.fetch_add(1, Ordering::Relaxed);
+            return batch;
+        }
+        drop(slots);
+        self.inner.fresh.fetch_add(1, Ordering::Relaxed);
+        TupleBatch::with_schema_capacity(schema.clone(), rows)
+    }
+
+    /// Returns a batch to the pool: rows are cleared, allocations kept.
+    /// Arena batches and overflow beyond the pool cap are simply dropped
+    /// (the pool is schema-keyed).
+    pub fn recycle(&self, mut batch: TupleBatch) {
+        if batch.schema().is_none() {
+            return;
+        }
+        batch.clear_rows();
+        let mut slots = self.inner.slots.lock().unwrap();
+        if slots.len() < POOL_CAP {
+            slots.push(batch);
+            self.inner.recycled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of idle batches currently pooled.
+    pub fn idle(&self) -> usize {
+        self.inner.slots.lock().unwrap().len()
+    }
+
+    /// Traffic counters since construction.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            reused: self.inner.reused.load(Ordering::Relaxed),
+            fresh: self.inner.fresh.load(Ordering::Relaxed),
+            recycled: self.inner.recycled.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -1254,6 +1407,127 @@ mod tests {
         assert_eq!(live, vec![1, 3]);
         b.set_uniform_sic(Sic(0.2));
         assert!((b.sic_total().value() - 0.4).abs() < 1e-12);
+    }
+
+    fn tagged_schema() -> Schema {
+        Schema::new([("tag", FieldType::Tag), ("value", FieldType::F64)])
+    }
+
+    fn tagged_batch(schema: &Schema, rows: &[(&str, f64)]) -> TupleBatch {
+        let dict = schema.interner().unwrap().clone();
+        let mut b = TupleBatch::with_schema_capacity(schema.clone(), rows.len());
+        for (i, &(tag, v)) in rows.iter().enumerate() {
+            let code = dict.intern(tag);
+            b.push_row(
+                Timestamp(i as u64),
+                Sic(0.1),
+                &[Value::Tag(code), Value::F64(v)],
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn tag_columns_thread_through_batch_ops() {
+        let schema = tagged_schema();
+        let mut b = tagged_batch(&schema, &[("a", 1.0), ("b", 2.0), ("a", 3.0)]);
+        let tags = b.tag_column(0).expect("tag column");
+        assert_eq!(tags.len(), 3);
+        assert_eq!(tags.resolve(0).as_deref(), Some("a"));
+        assert_eq!(tags.resolve(1).as_deref(), Some("b"));
+        assert_eq!(tags.codes()[0], tags.codes()[2], "same tag, same code");
+        assert_eq!(b.tag_column(1), None, "type mismatch");
+        // column_f64 reads codes numerically.
+        assert!(b.column_f64(0).sum::<f64>() > 0.0);
+        // Append keeps the dictionary (same schema fast path).
+        let more = tagged_batch(&schema, &[("c", 4.0)]);
+        b.append_batch(&more);
+        assert_eq!(b.tag_column(0).unwrap().resolve(3).as_deref(), Some("c"));
+        // Split keeps both halves resolvable.
+        let front = b.split_front(2);
+        assert_eq!(
+            front.tag_column(0).unwrap().resolve(1).as_deref(),
+            Some("b")
+        );
+        assert_eq!(b.tag_column(0).unwrap().resolve(0).as_deref(), Some("a"));
+        // Gather preserves codes.
+        let out = b.gather(&[0b10]);
+        assert_eq!(out.tag_column(0).unwrap().resolve(0).as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn tag_panes_stay_dictionary_typed_through_push_ref() {
+        let schema = tagged_schema();
+        let src = tagged_batch(&schema, &[("x", 1.0), ("y", 2.0)]);
+        let mut pane = TupleBatch::new();
+        for r in src.iter() {
+            pane.push_ref(r);
+        }
+        assert_eq!(pane.schema(), src.schema());
+        let tags = pane.tag_column(0).expect("adopted pane keeps tag layout");
+        assert!(
+            Arc::ptr_eq(tags.dict(), schema.interner().unwrap()),
+            "adopted pane shares the source dictionary"
+        );
+        assert_eq!(tags.resolve(1).as_deref(), Some("y"));
+        // Round trip to tuples keeps the codes.
+        let tuples = pane.to_tuples();
+        assert_eq!(tuples[0].values[0], Value::Tag(src.row(0).i64(0) as u32));
+    }
+
+    #[test]
+    fn short_tag_rows_pad_with_the_empty_string() {
+        let schema = tagged_schema();
+        let mut b = TupleBatch::with_schema(schema.clone());
+        b.push_row(Timestamp(0), Sic(0.1), &[]);
+        let tags = b.tag_column(0).unwrap();
+        assert_eq!(tags.resolve(0).as_deref(), Some(""));
+    }
+
+    #[test]
+    fn pool_recycles_by_schema() {
+        let pool = BatchPool::new();
+        let tagged = tagged_schema();
+        let plain = keyed_schema();
+        let before = batch_allocs();
+        let mut a = pool.acquire(&tagged, 8);
+        let code = tagged.interner().unwrap().intern("host");
+        a.push_row(Timestamp(0), Sic(0.1), &[Value::Tag(code), Value::F64(1.0)]);
+        a.drop_row(0);
+        pool.recycle(a);
+        assert_eq!(pool.idle(), 1);
+        // Wrong schema misses the slot; right schema reuses it.
+        let b = pool.acquire(&plain, 8);
+        assert!(b.schema().unwrap().same_as(&plain));
+        let c = pool.acquire(&tagged, 8);
+        assert_eq!(c.rows(), 0, "recycled batch is empty");
+        assert_eq!(c.drops().dropped(), 0, "drop bitmap cleared");
+        assert!(
+            Arc::ptr_eq(c.tag_column(0).unwrap().dict(), tagged.interner().unwrap()),
+            "recycled batch keeps the dictionary"
+        );
+        let stats = pool.stats();
+        assert_eq!((stats.reused, stats.fresh, stats.recycled), (1, 2, 1));
+        assert_eq!(
+            batch_allocs() - before,
+            2,
+            "only the fresh acquisitions constructed batches"
+        );
+        // Arena batches are not pooled.
+        pool.recycle(TupleBatch::with_capacity(1, 4));
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_clones_share_slots() {
+        let pool = BatchPool::new();
+        let schema = keyed_schema();
+        pool.recycle(TupleBatch::with_schema(schema.clone()));
+        let other = pool.clone();
+        assert_eq!(other.idle(), 1);
+        let _ = other.acquire(&schema, 0);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.stats().reused, 1);
     }
 
     #[test]

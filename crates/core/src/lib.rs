@@ -65,13 +65,15 @@ pub mod value;
 
 /// Convenience re-exports of the most used types.
 pub mod prelude {
-    pub use crate::batch::{DropBitmap, RowValues, TupleBatch, TupleRef};
+    pub use crate::batch::{
+        batch_allocs, BatchPool, DropBitmap, PoolStats, RowValues, TupleBatch, TupleRef,
+    };
     pub use crate::bits::BitVec;
     pub use crate::capacity::{CostModel, OverloadDetector};
     pub use crate::coordinator::{QueryCoordinator, SicTable, SicUpdate};
     pub use crate::fairness::{jain_index, jain_index_sic, FairnessSummary};
     pub use crate::ids::{FragmentId, IdGen, NodeId, OperatorId, QueryId, SourceId};
-    pub use crate::schema::{BoolColumn, Column, FieldType, Schema};
+    pub use crate::schema::{BoolColumn, Column, FieldType, Schema, TagColumn, TagInterner};
     pub use crate::shedder::{
         build_buffer_states, BalanceSicShedder, BatchOrder, CandidateBatch, FifoShedder,
         ParsePolicyError, PolicyKind, PriorityShedder, QueryBufferState, RandomShedder,

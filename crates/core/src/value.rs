@@ -17,33 +17,44 @@ pub enum Value {
     F64(f64),
     /// Boolean (filter outcomes).
     Bool(bool),
+    /// Dictionary code of a tag string. The code is meaningful relative
+    /// to the interner of the schema (or column) the value came from —
+    /// `Value` stays `Copy`, so the string itself lives only in the
+    /// [`TagInterner`](crate::schema::TagInterner).
+    Tag(u32),
 }
 
 impl Value {
-    /// Numeric view of the value; booleans map to 0/1.
+    /// Numeric view of the value; booleans map to 0/1, tags to their
+    /// dictionary code.
     pub fn as_f64(self) -> f64 {
         match self {
             Value::I64(v) => v as f64,
             Value::F64(v) => v,
             Value::Bool(b) => b as i64 as f64,
+            Value::Tag(c) => c as f64,
         }
     }
 
-    /// Integer view of the value; floats are truncated.
+    /// Integer view of the value; floats are truncated, tags read as
+    /// their dictionary code.
     pub fn as_i64(self) -> i64 {
         match self {
             Value::I64(v) => v,
             Value::F64(v) => v as i64,
             Value::Bool(b) => b as i64,
+            Value::Tag(c) => c as i64,
         }
     }
 
-    /// Boolean view; numbers are true when non-zero.
+    /// Boolean view; numbers are true when non-zero, tags when their
+    /// code is non-zero (code 0 is the interner's empty-string pad).
     pub fn as_bool(self) -> bool {
         match self {
             Value::Bool(b) => b,
             Value::I64(v) => v != 0,
             Value::F64(v) => v != 0.0,
+            Value::Tag(c) => c != 0,
         }
     }
 
@@ -78,6 +89,7 @@ impl fmt::Display for Value {
             Value::I64(v) => write!(f, "{v}"),
             Value::F64(v) => write!(f, "{v:.4}"),
             Value::Bool(v) => write!(f, "{v}"),
+            Value::Tag(c) => write!(f, "tag#{c}"),
         }
     }
 }
@@ -131,5 +143,14 @@ mod tests {
         assert_eq!(Value::I64(7).to_string(), "7");
         assert_eq!(Value::F64(0.25).to_string(), "0.2500");
         assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Tag(3).to_string(), "tag#3");
+    }
+
+    #[test]
+    fn tag_codes_read_numerically() {
+        assert_eq!(Value::Tag(5).as_f64(), 5.0);
+        assert_eq!(Value::Tag(5).as_i64(), 5);
+        assert!(Value::Tag(5).as_bool());
+        assert!(!Value::Tag(0).as_bool(), "code 0 is the empty-string pad");
     }
 }

@@ -290,6 +290,96 @@ proptest! {
         }
     }
 
+    /// Dictionary-encoded tag columns survive the batch plumbing: the
+    /// same rows pushed through an arena batch (`from_tuples`) and a
+    /// typed batch (schema with a `Tag` field) stay identical through
+    /// split_front → append_batch → random drops → gather, and every
+    /// surviving code still resolves to the string it was interned from.
+    #[test]
+    fn dictionary_round_trip_preserves_tags(
+        rows in prop::collection::vec((0usize..6, 0u32..2, 0u32..2), 1..48),
+        split_at in 0usize..48,
+    ) {
+        let schema = Schema::new([("tag", FieldType::Tag), ("x", FieldType::F64)]);
+        let dict = schema.interner().expect("tag schema has an interner").clone();
+        let pool: Vec<String> = (0..6).map(|k| format!("tag-{k}")).collect();
+        let codes: Vec<u32> = pool.iter().map(|s| dict.intern(s)).collect();
+
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, _, _))| {
+                Tuple::new(
+                    Timestamp(i as u64),
+                    Sic(1e-3),
+                    vec![Value::Tag(codes[k]), Value::F64(i as f64)],
+                )
+            })
+            .collect();
+
+        let mut arena = TupleBatch::from_tuples(tuples.clone());
+        let mut typed = TupleBatch::with_schema_capacity(schema.clone(), tuples.len());
+        for t in &tuples {
+            typed.push_tuple(t);
+        }
+        prop_assert!(typed.tag_column(0).is_some());
+
+        // split_front + append_batch is an identity on the row sequence.
+        let n = split_at % (tuples.len() + 1);
+        let mut arena_front = arena.split_front(n);
+        arena_front.append_batch(&arena);
+        let mut typed_front = typed.split_front(n);
+        typed_front.append_batch(&typed);
+        let (mut arena, mut typed) = (arena_front, typed_front);
+
+        // Random drop bitmap, applied identically to both layouts.
+        for (i, &(_, dropped, _)) in rows.iter().enumerate() {
+            if dropped == 1 {
+                arena.drop_row(i);
+                typed.drop_row(i);
+            }
+        }
+
+        // Gather the rows whose mask bit is set; dropped rows' bits are
+        // cleared up front, as the filter kernel's predicate mask does.
+        let mut mask = vec![0u64; rows.len().div_ceil(64)];
+        for (i, &(_, dropped, keep)) in rows.iter().enumerate() {
+            if keep == 1 && dropped == 0 {
+                mask[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let arena_out = arena.gather(&mask);
+        let typed_out = typed.gather(&mask);
+
+        // Gathered typed batches keep the dictionary column and share the
+        // original interner — no re-encoding on the hot path.
+        if !typed_out.is_empty() {
+            let col = typed_out.tag_column(0).expect("gather keeps the tag column");
+            prop_assert!(std::sync::Arc::ptr_eq(col.dict(), &dict));
+        }
+
+        // Reference model: the rows that survive both drop and mask.
+        let expect: Vec<Tuple> = rows
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(_, dropped, keep))| dropped == 0 && keep == 1)
+            .map(|(i, _)| tuples[i].clone())
+            .collect();
+        let arena_tuples = arena_out.into_tuples();
+        let typed_tuples = typed_out.into_tuples();
+        prop_assert_eq!(&arena_tuples, &expect);
+        prop_assert_eq!(&typed_tuples, &expect);
+        for t in &typed_tuples {
+            match t.values[0] {
+                Value::Tag(c) => {
+                    let k = codes.iter().position(|&cc| cc == c).expect("known code");
+                    prop_assert_eq!(dict.resolve(c).as_deref(), Some(pool[k].as_str()));
+                }
+                ref v => prop_assert!(false, "tag field materialised as {v:?}"),
+            }
+        }
+    }
+
     /// Cost-model capacity estimates are always positive and respond
     /// monotonically to the per-tuple cost.
     #[test]

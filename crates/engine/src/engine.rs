@@ -200,16 +200,40 @@ struct PumpSlot {
     generation: u64,
 }
 
+/// Carry-stash entries kept across remove/re-add cycles; beyond this the
+/// stash is cleared wholesale (each entry is one `f64`, so the cap only
+/// matters under unbounded churn of never-returning sources).
+const CARRY_STASH_CAP: usize = 1 << 16;
+
 /// The source pump: drives every live source's emission schedule on one
-/// thread, with runtime add/remove for query churn.
-fn run_pump(rx: Receiver<PumpMsg>, node_txs: Vec<Sender<ShardMsg>>, epoch: Instant) {
+/// thread, with runtime add/remove for query churn. Emitted batches are
+/// acquired from `pool` (the engine-wide recycle loop: nodes return
+/// spent columns, the pump reuses them for the next emission).
+fn run_pump(
+    rx: Receiver<PumpMsg>,
+    node_txs: Vec<Sender<ShardMsg>>,
+    epoch: Instant,
+    pool: BatchPool,
+) {
     const IDLE: Duration = Duration::from_millis(50);
     let mut slots: Vec<PumpSlot> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
     let mut heap: BinaryHeap<Due> = BinaryHeap::new();
+    // Fractional-tuple balances of removed drivers, keyed by source id: a
+    // re-added source resumes its carry instead of restarting at zero, so
+    // remove/re-add churn does not bias its realised long-run rate.
+    let mut carry_stash: HashMap<SourceId, f64> = HashMap::new();
+    // Per-loop emission cap: a saturated pump (every heap entry
+    // perpetually due) must still poll the control channel, or Stop and
+    // Remove starve while catch-up emission storms the shard queues.
+    const MAX_SWEEP: usize = 4096;
     loop {
-        // Emit everything due.
+        // Emit everything due, up to the sweep cap.
+        let mut swept = 0;
         while let Some(d) = heap.peek() {
+            if swept >= MAX_SWEEP {
+                break;
+            }
             let fire_at = epoch + Duration::from_micros(d.at.as_micros());
             if fire_at
                 .checked_duration_since(Instant::now())
@@ -222,7 +246,12 @@ fn run_pump(rx: Receiver<PumpMsg>, node_txs: Vec<Sender<ShardMsg>>, epoch: Insta
             if slot.generation != due.generation {
                 continue; // removed (or reused): abandon the stale entry
             }
+            swept += 1;
             let pd = slot.driver.as_mut().expect("live generation has a driver");
+            // Re-anchor drivers that fell a whole beat behind instead of
+            // emitting their backlog at maximum rate.
+            pd.driver
+                .fast_forward(Timestamp(epoch.elapsed().as_micros() as u64));
             let batch = pd.driver.emit();
             // Quiet-pattern batches can be empty; nothing to send then.
             if !batch.is_empty() {
@@ -242,18 +271,27 @@ fn run_pump(rx: Receiver<PumpMsg>, node_txs: Vec<Sender<ShardMsg>>, epoch: Insta
                 generation: due.generation,
             });
         }
-        let timeout = heap
-            .peek()
-            .map(|d| {
-                (epoch + Duration::from_micros(d.at.as_micros()))
-                    .saturating_duration_since(Instant::now())
-            })
-            .unwrap_or(IDLE);
+        let timeout = if swept >= MAX_SWEEP {
+            // The sweep was truncated: drain any pending control
+            // messages immediately before resuming emission.
+            Duration::ZERO
+        } else {
+            heap.peek()
+                .map(|d| {
+                    (epoch + Duration::from_micros(d.at.as_micros()))
+                        .saturating_duration_since(Instant::now())
+                })
+                .unwrap_or(IDLE)
+        };
         match rx.recv_timeout(timeout) {
             Ok(PumpMsg::Add(installs)) => {
                 let now_ts = Timestamp(epoch.elapsed().as_micros() as u64);
                 for ins in installs {
                     let mut driver = SourceDriver::new(ins.query, &ins.spec, ins.profile, ins.seed);
+                    driver.set_pool(pool.clone());
+                    if let Some(carry) = carry_stash.remove(&driver.source) {
+                        driver.set_carry(carry);
+                    }
                     // Sources of queries attached mid-run start emitting
                     // now (plus their de-phasing offset), not at t=0.
                     driver.start_at(now_ts);
@@ -287,7 +325,12 @@ fn run_pump(rx: Receiver<PumpMsg>, node_txs: Vec<Sender<ShardMsg>>, epoch: Insta
             Ok(PumpMsg::Remove(query)) => {
                 for (idx, slot) in slots.iter_mut().enumerate() {
                     if slot.driver.as_ref().is_some_and(|pd| pd.query == query) {
-                        slot.driver = None;
+                        if let Some(pd) = slot.driver.take() {
+                            if carry_stash.len() >= CARRY_STASH_CAP {
+                                carry_stash.clear();
+                            }
+                            carry_stash.insert(pd.driver.source, pd.driver.carry());
+                        }
                         slot.generation += 1;
                         free.push(idx);
                     }
@@ -364,6 +407,9 @@ pub struct Engine {
     node_load: Vec<usize>,
     query_ids: IdGen,
     source_ids: IdGen,
+    /// Engine-wide batch pool: the pump acquires emission batches from
+    /// it, nodes recycle spent columns back (windows, shed batches).
+    pool: BatchPool,
 }
 
 impl Engine {
@@ -393,19 +439,30 @@ impl Engine {
             .collect();
         let (results_tx, results_rx) = unbounded::<ResultEvent>();
 
+        // Threads carry names so `/proc/self/task/*/stat` sampling (the
+        // scale-e2e profiler) can attribute CPU per role.
         let mut shard_handles = Vec::new();
-        for rx in shard_rxs {
+        for (i, rx) in shard_rxs.into_iter().enumerate() {
             let routing = ShardRouting {
                 node_txs: node_txs.clone(),
                 results_tx: results_tx.clone(),
             };
-            shard_handles.push(thread::spawn(move || run_shard(routing, rx, epoch)));
+            let handle = thread::Builder::new()
+                .name(format!("shard-{i}"))
+                .spawn(move || run_shard(routing, rx, epoch))
+                .expect("spawn shard thread");
+            shard_handles.push(handle);
         }
         drop(results_tx);
 
+        let pool = BatchPool::new();
         let (pump_tx, pump_rx) = unbounded::<PumpMsg>();
         let pump_txs = node_txs.clone();
-        let pump_handle = thread::spawn(move || run_pump(pump_rx, pump_txs, epoch));
+        let pump_pool = pool.clone();
+        let pump_handle = thread::Builder::new()
+            .name("source-pump".into())
+            .spawn(move || run_pump(pump_rx, pump_txs, epoch, pump_pool))
+            .expect("spawn pump thread");
 
         let interval = Duration::from_micros(scenario.shedding_interval.as_micros());
         let max_query = scenario
@@ -449,6 +506,7 @@ impl Engine {
             node_load: vec![0; scenario.n_nodes],
             query_ids: IdGen::starting_at(max_query),
             source_ids: IdGen::starting_at(max_source),
+            pool,
         };
 
         // Install the scenario's queries at their validated placement;
@@ -484,6 +542,12 @@ impl Engine {
     /// Shard threads in the pool.
     pub fn shards(&self) -> usize {
         self.n_shards
+    }
+
+    /// The engine-wide batch pool (its [`BatchPool::stats`] show how much
+    /// of the batch traffic recycled instead of allocating).
+    pub fn batch_pool(&self) -> &BatchPool {
+        &self.pool
     }
 
     /// Installs `query` with fragment `fi` on `nodes[fi]`, wires its
@@ -525,6 +589,7 @@ impl Engine {
                 synthetic_cost: self.config.synthetic_cost,
                 initial_capacity,
                 fixed_capacity,
+                pool: Some(self.pool.clone()),
             };
             let _ = self.node_txs[node].send(ShardMsg {
                 node,
@@ -878,6 +943,67 @@ mod tests {
         );
         // The scenario has 2 nodes; the pool is clamped.
         assert_eq!(report.shards, 2);
+    }
+
+    /// Receives the next non-empty data batch routed by the pump.
+    fn recv_batch_len(rx: &Receiver<ShardMsg>) -> usize {
+        loop {
+            let msg = rx.recv_timeout(Duration::from_secs(5)).expect("pump batch");
+            if let EngineMsg::Batch(rb) = msg.msg {
+                if !rb.batch.is_empty() {
+                    return rb.batch.len();
+                }
+            }
+        }
+    }
+
+    /// Regression: removing a pump slot used to discard the driver's
+    /// fractional-tuple carry, so every remove/re-add cycle of a source
+    /// whose rate does not divide its cadence rounded the lost fraction
+    /// down — a systematic under-delivery under churn. The pump now
+    /// stashes the carry by source id and restores it on re-add.
+    #[test]
+    fn pump_preserves_fractional_carry_across_remove_and_readd() {
+        let (pump_tx, pump_rx) = unbounded::<PumpMsg>();
+        let (tx, rx) = unbounded::<ShardMsg>();
+        let epoch = Instant::now();
+        let pool = BatchPool::new();
+        let handle = thread::spawn(move || run_pump(pump_rx, vec![tx], epoch, pool));
+        let install = || SourceInstall {
+            query: QueryId(0),
+            spec: themis_query::prelude::SourceSpec {
+                id: SourceId(0),
+                key: None,
+                kind: themis_query::prelude::SourceKind::Cpu,
+            },
+            // 5 t/s in 2 batches/s: 2.5 tuples per batch — emission
+            // sizes alternate 2, 3 deterministically via the carry.
+            profile: SourceProfile::steady(5, 2, Dataset::Uniform),
+            seed: 8,
+            node: 0,
+            fragment: 0,
+        };
+        pump_tx.send(PumpMsg::Add(vec![install()])).unwrap();
+        assert_eq!(recv_batch_len(&rx), 2, "first emission floors 2.5");
+        // Remove the query and immediately re-add the same source; the
+        // 0.5-tuple balance must survive the slot teardown.
+        pump_tx.send(PumpMsg::Remove(QueryId(0))).unwrap();
+        pump_tx.send(PumpMsg::Add(vec![install()])).unwrap();
+        assert_eq!(recv_batch_len(&rx), 3, "restored carry rounds up");
+        pump_tx.send(PumpMsg::Stop).unwrap();
+        handle.join().unwrap();
+    }
+
+    /// The engine-wide recycle loop closes: sources acquire from the pool
+    /// the same batches nodes return after processing them.
+    #[test]
+    fn engine_batches_recycle_through_the_pool() {
+        let mut engine = Engine::start(&scenario(2, 100, 3), EngineConfig::default());
+        engine.run_for(Duration::from_millis(1500));
+        let stats = engine.batch_pool().stats();
+        assert!(stats.recycled > 0, "nothing recycled: {stats:?}");
+        assert!(stats.reused > 0, "nothing reused: {stats:?}");
+        engine.finish();
     }
 
     #[test]

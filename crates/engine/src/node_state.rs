@@ -58,6 +58,11 @@ pub struct NodeConfig {
     /// estimate; experiments at 1000+-node scale use it to create genuine
     /// overload without burning wall time in the synthetic-cost spin.
     pub fixed_capacity: Option<usize>,
+    /// Shared batch pool: shed batches and the node's operator windows
+    /// recycle their spent columns into it (and the source pump acquires
+    /// from it), so steady-state ingest stops round-tripping the
+    /// allocator. `None` disables recycling.
+    pub pool: Option<BatchPool>,
 }
 
 /// One query fragment hosted by a node, plus where its emissions go.
@@ -87,6 +92,7 @@ pub struct NodeState {
     next_tick: Instant,
     last_tick: Instant,
     report: NodeReport,
+    pool: Option<BatchPool>,
 }
 
 impl NodeState {
@@ -115,6 +121,7 @@ impl NodeState {
             next_tick: first_tick,
             last_tick: first_tick.checked_sub(interval).unwrap_or(first_tick),
             report: NodeReport::default(),
+            pool: config.pool,
         }
     }
 
@@ -127,10 +134,14 @@ impl NodeState {
         fragment: usize,
         downstream: Option<(usize, usize)>,
     ) {
+        let mut runtime = FragmentRuntime::new(&query.fragments[fragment]);
+        if let Some(pool) = &self.pool {
+            runtime.set_pool(pool);
+        }
         self.runtimes.insert(
             (query.id, fragment),
             HostedFragment {
-                runtime: FragmentRuntime::new(&query.fragments[fragment]),
+                runtime,
                 downstream,
             },
         );
@@ -236,6 +247,12 @@ impl NodeState {
         let drained = std::mem::take(&mut self.buffer);
         for (idx, rb) in drained.into_iter().enumerate() {
             if shed.is_dropped(idx) {
+                // A shed batch's columns are as reusable as processed
+                // ones — under sustained overload this is the busiest
+                // recycle point of all.
+                if let Some(pool) = &self.pool {
+                    pool.recycle(rb.batch.into_data());
+                }
                 continue;
             }
             kept_tuples += rb.batch.len() as u64;
@@ -327,6 +344,7 @@ mod tests {
             synthetic_cost: TimeDelta::ZERO,
             initial_capacity: 100,
             fixed_capacity: None,
+            pool: None,
         }
     }
 

@@ -317,6 +317,7 @@ mod tests {
             synthetic_cost,
             initial_capacity,
             fixed_capacity: None,
+            pool: None,
         }
     }
 

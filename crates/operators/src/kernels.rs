@@ -18,7 +18,10 @@
 //! Kernels:
 //!
 //! * [`sum_count_f64`] / [`max_f64`] / [`min_f64`] — the SUM / COUNT /
-//!   AVG / MAX / MIN aggregate bank;
+//!   AVG / MIN / MAX aggregate bank;
+//! * [`group_sum_count_f64`] / [`GroupSums`] — per-key sum/count over a
+//!   dictionary-coded tag column, with flat `Vec`-indexed accumulators
+//!   while the code space stays dense and a hash-map spill above it;
 //! * [`cov_sums`] / [`CovSums::sample_cov`] — one-pass covariance sums
 //!   over two paired columns;
 //! * [`predicate_mask`] / [`mask_count`] — a filter predicate evaluated
@@ -26,6 +29,8 @@
 //!   [`TupleBatch::append_gathered`]);
 //! * [`partial_top_k`] — partial selection of the `k` largest entries,
 //!   replacing a full sort.
+
+use std::collections::HashMap;
 
 use themis_core::prelude::*;
 
@@ -282,6 +287,121 @@ pub fn cov_sums(xs: &[f64], ys: &[f64]) -> CovSums {
     out
 }
 
+/// Dictionary codes below this bound index a flat accumulator `Vec`
+/// directly (one bounds check + one add per row); larger codes spill
+/// into a hash map. Interners hand out codes densely from 0, so real
+/// workloads stay entirely on the flat side — the spill only guards
+/// against adversarial code spaces blowing up memory.
+const GROUP_DENSE_CAP: usize = 1 << 16;
+
+/// Per-key `(sum, count)` accumulator over dictionary-coded keys.
+/// Feed one or more `(codes, vals, drops)` column pairs through
+/// [`GroupSums::accumulate`] (panes of one window, for instance), then
+/// drain with [`GroupSums::into_sorted`].
+#[derive(Debug, Default)]
+pub struct GroupSums {
+    /// Flat accumulators indexed by code, grown lazily up to
+    /// [`GROUP_DENSE_CAP`]; untouched entries keep `n == 0`.
+    dense: Vec<(f64, u64)>,
+    /// Spill for codes at or above the dense cap.
+    sparse: HashMap<u32, (f64, u64)>,
+}
+
+impl GroupSums {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        GroupSums::default()
+    }
+
+    #[inline]
+    fn touch(&mut self, code: u32, v: f64) {
+        let idx = code as usize;
+        if idx < GROUP_DENSE_CAP {
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, (0.0, 0));
+            }
+            let e = &mut self.dense[idx];
+            e.0 += v;
+            e.1 += 1;
+        } else {
+            let e = self.sparse.entry(code).or_insert((0.0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+    }
+
+    /// Folds one positionally-paired `(codes, vals)` column pair into the
+    /// accumulator, honoring the drop bitmap word-at-a-time: a zero drop
+    /// word admits a whole 64-row block to the unconditional inner loop,
+    /// and only partially-shed blocks walk their live bits.
+    pub fn accumulate(&mut self, codes: &[u32], vals: &[f64], drops: &DropBitmap) {
+        let n = codes.len().min(vals.len());
+        let (codes, vals) = (&codes[..n], &vals[..n]);
+        for (w, block) in vals.chunks(64).enumerate() {
+            let full = if block.len() >= 64 {
+                !0u64
+            } else {
+                (1u64 << block.len()) - 1
+            };
+            let base = w * 64;
+            let mut live = live_word(drops, w, block.len());
+            if live == full {
+                for (b, &v) in block.iter().enumerate() {
+                    self.touch(codes[base + b], v);
+                }
+            } else {
+                while live != 0 {
+                    let b = live.trailing_zeros() as usize;
+                    self.touch(codes[base + b], block[b]);
+                    live &= live - 1;
+                }
+            }
+        }
+    }
+
+    /// Number of distinct keys touched so far.
+    pub fn keys(&self) -> usize {
+        self.dense.iter().filter(|e| e.1 > 0).count() + self.sparse.len()
+    }
+
+    /// Drains the accumulator into `(code, sum, count)` triples in
+    /// ascending code order (deterministic regardless of which side —
+    /// flat or spill — a key landed on).
+    pub fn into_sorted(self) -> Vec<(u32, f64, u64)> {
+        let mut out: Vec<(u32, f64, u64)> = self
+            .dense
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (_, n))| *n > 0)
+            .map(|(c, (s, n))| (c as u32, s, n))
+            .collect();
+        // Spilled codes all sit at or above the dense cap, so sorting the
+        // spill and appending keeps the whole list ascending.
+        let mut spill: Vec<(u32, f64, u64)> = self
+            .sparse
+            .into_iter()
+            .map(|(c, (s, n))| (c, s, n))
+            .collect();
+        spill.sort_unstable_by_key(|&(c, _, _)| c);
+        out.extend(spill);
+        out
+    }
+}
+
+/// Per-key sum and live count of one dictionary-coded column pair:
+/// `(code, sum, count)` triples in ascending code order. The group-by
+/// aggregate bank — one [`GroupSums`] pass with flat `Vec`-indexed
+/// accumulators while codes stay below the dense cap.
+pub fn group_sum_count_f64(
+    codes: &[u32],
+    vals: &[f64],
+    drops: &DropBitmap,
+) -> Vec<(u32, f64, u64)> {
+    let mut acc = GroupSums::new();
+    acc.accumulate(codes, vals, drops);
+    acc.into_sorted()
+}
+
 /// Evaluates `vals[i] ⊙ rhs` into a word-packed keep mask (bit `i` set
 /// when row `i` matches **and** is live), ready for
 /// [`TupleBatch::append_gathered`]. The comparison is dispatched once, so
@@ -420,6 +540,62 @@ mod tests {
             .iter()
             .enumerate()
             .any(|(i, &v)| i != max_at && v == masked));
+    }
+
+    #[test]
+    fn group_sum_count_matches_scalar_reference() {
+        let n = 500usize;
+        let codes: Vec<u32> = (0..n).map(|i| ((i * 7) % 13) as u32).collect();
+        let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let drops = drops_of(n, &[0, 63, 64, 130, 499]);
+        let mut want: std::collections::HashMap<u32, (f64, u64)> = Default::default();
+        for i in 0..n {
+            if !drops.is_dropped(i) {
+                let e = want.entry(codes[i]).or_insert((0.0, 0));
+                e.0 += vals[i];
+                e.1 += 1;
+            }
+        }
+        let got = group_sum_count_f64(&codes, &vals, &drops);
+        assert_eq!(got.len(), want.len());
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "ascending codes");
+        for (c, s, cnt) in got {
+            let &(ws, wn) = want.get(&c).unwrap();
+            assert_eq!(cnt, wn);
+            assert!((s - ws).abs() <= 1e-9 * ws.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn group_sum_count_spills_large_codes() {
+        let codes = [1u32, 70_000, 1, u32::MAX, 70_000];
+        let vals = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let got = group_sum_count_f64(&codes, &vals, &DropBitmap::new());
+        assert_eq!(got, vec![(1, 4.0, 2), (70_000, 7.0, 2), (u32::MAX, 4.0, 1)]);
+    }
+
+    #[test]
+    fn group_sums_accumulates_across_panes() {
+        let mut acc = GroupSums::new();
+        acc.accumulate(&[0, 1], &[1.0, 2.0], &DropBitmap::new());
+        acc.accumulate(&[1, 2], &[3.0, 4.0], &DropBitmap::new());
+        assert_eq!(acc.keys(), 3);
+        assert_eq!(
+            acc.into_sorted(),
+            vec![(0, 1.0, 1), (1, 5.0, 2), (2, 4.0, 1)]
+        );
+        // Fully dropped input contributes nothing; mismatched lengths
+        // truncate to the shorter side.
+        let mut all = DropBitmap::with_rows(2);
+        all.drop_row(0);
+        all.drop_row(1);
+        let mut acc = GroupSums::new();
+        acc.accumulate(&[0, 1], &[1.0, 2.0], &all);
+        assert!(acc.into_sorted().is_empty());
+        assert_eq!(
+            group_sum_count_f64(&[5, 6, 7], &[1.0], &DropBitmap::new()),
+            vec![(5, 1.0, 1)]
+        );
     }
 
     #[test]

@@ -87,7 +87,7 @@ impl PaneLogic for IdentityLogic {
             .collect()
     }
 
-    fn apply_columnar(&mut self, panes: &[&TupleBatch]) -> Option<TupleBatch> {
+    fn apply_columnar(&mut self, panes: &[&TupleBatch], _at: Timestamp) -> Option<TupleBatch> {
         // Concatenate pane columns: typed panes append column-to-column,
         // so a receiver's emission keeps its native layout.
         let mut out = TupleBatch::new();
@@ -127,7 +127,7 @@ impl PaneLogic for FilterLogic {
             .collect()
     }
 
-    fn apply_columnar(&mut self, panes: &[&TupleBatch]) -> Option<TupleBatch> {
+    fn apply_columnar(&mut self, panes: &[&TupleBatch], _at: Timestamp) -> Option<TupleBatch> {
         // Typed fast path only when every non-empty pane exposes the
         // predicate field as a native f64 column; otherwise the scalar
         // row path handles the pane (missing fields read as 0 there).
@@ -231,7 +231,9 @@ mod tests {
     fn identity_columnar_concatenates_typed_panes() {
         let a = typed(&[1.0, 2.0]);
         let b = typed(&[3.0]);
-        let out = IdentityLogic.apply_columnar(&[&a, &b]).unwrap();
+        let out = IdentityLogic
+            .apply_columnar(&[&a, &b], Timestamp(0))
+            .unwrap();
         assert_eq!(out.len(), 3);
         assert!(out.schema().is_some(), "typed layout preserved");
         assert_eq!(out.f64_column(0), Some(&[1.0, 2.0, 3.0][..]));
@@ -253,7 +255,7 @@ mod tests {
         let pred = Predicate::new(0, CmpOp::Ge, 50.0);
         let rows = FilterLogic::new(pred).apply(&[&typed(&vals)]);
         let cols = FilterLogic::new(pred)
-            .apply_columnar(&[&typed(&vals)])
+            .apply_columnar(&[&typed(&vals)], Timestamp(0))
             .unwrap();
         assert_eq!(cols.len(), rows.len());
         let col_vals: Vec<f64> = cols.iter().map(|r| r.f64(0)).collect();
@@ -262,12 +264,14 @@ mod tests {
         assert!(cols.schema().is_some());
         // Arena panes decline the columnar path (no typed column).
         assert!(FilterLogic::new(pred)
-            .apply_columnar(&[&batch(&vals)])
+            .apply_columnar(&[&batch(&vals)], Timestamp(0))
             .is_none());
         // Dropped rows never pass the filter.
         let mut shed = typed(&vals);
         shed.drop_row(1);
-        let cols = FilterLogic::new(pred).apply_columnar(&[&shed]).unwrap();
+        let cols = FilterLogic::new(pred)
+            .apply_columnar(&[&shed], Timestamp(0))
+            .unwrap();
         assert_eq!(cols.len(), 2);
     }
 
@@ -277,7 +281,7 @@ mod tests {
         let mut f = FilterLogic::new(Predicate::new(0, CmpOp::Gt, 100.0));
         assert!(f.apply(&[&tuples]).is_empty());
         let cols = FilterLogic::new(Predicate::new(0, CmpOp::Gt, 100.0))
-            .apply_columnar(&[&typed(&[1.0])])
+            .apply_columnar(&[&typed(&[1.0])], Timestamp(0))
             .unwrap();
         assert!(cols.is_empty());
     }

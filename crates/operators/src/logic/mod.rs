@@ -11,6 +11,7 @@
 mod aggregates;
 mod cov;
 mod filter;
+mod group;
 mod join;
 mod topk;
 
@@ -19,6 +20,7 @@ pub use aggregates::{
 };
 pub use cov::CovLogic;
 pub use filter::{CmpOp, FilterLogic, IdentityLogic, Predicate, ProjectLogic};
+pub use group::GroupAggregateLogic;
 pub use join::JoinLogic;
 pub use topk::{GroupAvgLogic, GroupMaxLogic, TopKLogic};
 
@@ -38,16 +40,19 @@ pub trait PaneLogic: Send {
     /// Computes the output rows of one atomic processing step.
     fn apply(&mut self, panes: &[&TupleBatch]) -> Vec<OutRow>;
 
-    /// Columnar fast path for row-preserving logic: computes the whole
-    /// output *batch* of one atomic step (row timestamps already set;
-    /// the operator wrapper overwrites SIC per Eq. 3), so typed input
-    /// columns copy straight into typed output columns without
-    /// materialising per-row `Vec<Value>`s. Returning `None` (the
-    /// default) makes the wrapper fall back to [`PaneLogic::apply`];
-    /// implementations must return `None` whenever they cannot
-    /// reproduce the row path's semantics for the given panes.
-    fn apply_columnar(&mut self, panes: &[&TupleBatch]) -> Option<TupleBatch> {
-        let _ = panes;
+    /// Columnar fast path: computes the whole output *batch* of one
+    /// atomic step (row timestamps already set; the operator wrapper
+    /// overwrites SIC per Eq. 3), so typed input columns copy straight
+    /// into typed output columns without materialising per-row
+    /// `Vec<Value>`s. Row-preserving logic keeps input timestamps and
+    /// ignores `at`; aggregate logic stamps `at` (the pane timestamp)
+    /// onto its output rows — matching what the wrapper stamps on the
+    /// row path. Returning `None` (the default) makes the wrapper fall
+    /// back to [`PaneLogic::apply`]; implementations must return `None`
+    /// whenever they cannot reproduce the row path's semantics for the
+    /// given panes.
+    fn apply_columnar(&mut self, panes: &[&TupleBatch], at: Timestamp) -> Option<TupleBatch> {
+        let _ = (panes, at);
         None
     }
 
@@ -120,6 +125,16 @@ pub enum LogicSpec {
         /// Field holding the value.
         value_field: usize,
     },
+    /// Per-tag sum/count over a dictionary-coded key column (emits
+    /// `[tag, sum, count]` rows in ascending code order). The columnar
+    /// path runs the [`crate::kernels::group_sum_count_f64`] kernel on
+    /// the raw code slice.
+    GroupAggregate {
+        /// Field holding the dictionary-coded grouping tag.
+        key_field: usize,
+        /// Field holding the value.
+        value_field: usize,
+    },
     /// Sample covariance between port-0 and port-1 values
     /// (emits `[cov]`).
     Cov {
@@ -163,6 +178,10 @@ impl LogicSpec {
                 key_field,
                 value_field,
             } => Box::new(GroupAvgLogic::new(*key_field, *value_field)),
+            LogicSpec::GroupAggregate {
+                key_field,
+                value_field,
+            } => Box::new(GroupAggregateLogic::new(*key_field, *value_field)),
             LogicSpec::Cov { field } => Box::new(CovLogic::new(*field)),
             LogicSpec::Join {
                 left_key,

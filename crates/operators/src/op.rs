@@ -151,6 +151,13 @@ impl WindowedOperator {
         self.logic.name()
     }
 
+    /// Attaches a [`BatchPool`]: spent input batches (after their rows
+    /// slice into panes) and processed pane batches (after the logic
+    /// runs) recycle into it instead of round-tripping the allocator.
+    pub fn set_pool(&mut self, pool: BatchPool) {
+        self.buffer.set_pool(pool);
+    }
+
     /// Feeds a batch into `port` without draining. Callers delivering to
     /// multi-port operators must feed *all* ports before calling
     /// [`WindowedOperator::tick`], otherwise a due pane could close with
@@ -190,40 +197,58 @@ impl WindowedOperator {
     fn drain(&mut self, now: Timestamp) -> Vec<Emission> {
         let panes = self.buffer.close_up_to(now);
         let mut out = Vec::with_capacity(panes.len());
-        for pane in panes {
+        for mut pane in panes {
             let input_sic = pane.input_sic();
             self.processed_tuples += pane.input_len() as u64;
-            let groups: Vec<&TupleBatch> = pane.inputs.iter().collect();
-            // Columnar fast path: row-preserving logic (identity, typed
-            // filters) emits a whole batch — typed input columns copy to
-            // typed output columns, and only the Eq.-3 SIC restamping
-            // touches each row.
-            if let Some(mut batch) = self.logic.apply_columnar(&groups) {
-                if batch.is_empty() {
-                    // Mass is lost when an atomic group yields no derived
-                    // tuples — the paper's model.
-                    continue;
+            let emission = {
+                let groups: Vec<&TupleBatch> = pane.inputs.iter().collect();
+                self.process_pane(&groups, pane.at, input_sic)
+            };
+            // The pane's columns are spent; with a pool attached they go
+            // back for the next emission/pane of the same schema.
+            if let Some(pool) = self.buffer.pool() {
+                for b in pane.inputs.drain(..) {
+                    pool.recycle(b);
                 }
-                let share = Sic::derived_tuple(input_sic, batch.len());
-                batch.set_uniform_sic(share);
-                out.push(Emission::new(pane.at, batch));
-                continue;
             }
-            let rows = self.logic.apply(&groups);
-            if rows.is_empty() {
-                // Mass is lost when an atomic group yields no derived tuples
-                // (e.g. a join window with no matches) — the paper's model.
-                continue;
-            }
-            let share = Sic::derived_tuple(input_sic, rows.len());
-            let width = rows.first().map(|(_, r)| r.len()).unwrap_or(0);
-            let mut batch = TupleBatch::with_capacity(width, rows.len());
-            for (ts, values) in rows {
-                batch.push_row(ts.unwrap_or(pane.at), share, &values);
-            }
-            out.push(Emission::new(pane.at, batch));
+            out.extend(emission);
         }
         out
+    }
+
+    /// Runs the logic over one closed pane's atomic groups; `None` when
+    /// the pane yields no derived tuples (its mass is lost — the paper's
+    /// model).
+    fn process_pane(
+        &mut self,
+        groups: &[&TupleBatch],
+        at: Timestamp,
+        input_sic: Sic,
+    ) -> Option<Emission> {
+        // Columnar fast path: row-preserving logic (identity, typed
+        // filters) and kernel-backed aggregates (group-by) emit a
+        // whole batch — typed input columns copy to typed output
+        // columns, and only the Eq.-3 SIC restamping touches each
+        // row. Aggregates stamp the pane timestamp themselves.
+        if let Some(mut batch) = self.logic.apply_columnar(groups, at) {
+            if batch.is_empty() {
+                return None;
+            }
+            let share = Sic::derived_tuple(input_sic, batch.len());
+            batch.set_uniform_sic(share);
+            return Some(Emission::new(at, batch));
+        }
+        let rows = self.logic.apply(groups);
+        if rows.is_empty() {
+            return None;
+        }
+        let share = Sic::derived_tuple(input_sic, rows.len());
+        let width = rows.first().map(|(_, r)| r.len()).unwrap_or(0);
+        let mut batch = TupleBatch::with_capacity(width, rows.len());
+        for (ts, values) in rows {
+            batch.push_row(ts.unwrap_or(at), share, &values);
+        }
+        Some(Emission::new(at, batch))
     }
 }
 
@@ -336,6 +361,30 @@ mod tests {
         assert_eq!(row.f64(0), 1.0);
         // Identity keeps the tuple's own timestamp.
         assert_eq!(row.ts, Timestamp::from_millis(5));
+    }
+
+    #[test]
+    fn pooled_operator_recycles_input_and_pane_batches() {
+        let spec = spec_no_grace(
+            WindowSpec::tumbling(TimeDelta::from_secs(1)),
+            LogicSpec::Avg { field: 0 },
+        );
+        let mut op = spec.build();
+        let pool = BatchPool::new();
+        op.set_pool(pool.clone());
+        let schema = Schema::new([("v", FieldType::F64)]);
+        let mut batch = TupleBatch::with_schema_capacity(schema, 2);
+        batch.push_row(Timestamp::from_millis(100), Sic(0.25), &[Value::F64(10.0)]);
+        batch.push_row(Timestamp::from_millis(600), Sic(0.25), &[Value::F64(30.0)]);
+        op.push(0, batch, Timestamp::from_millis(600));
+        // The spent input batch pooled at push time.
+        assert_eq!(pool.idle(), 1);
+        let out = op.tick(Timestamp::from_secs(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tuples()[0].f64(0), 20.0);
+        // The processed pane's typed column batch joined it at drain.
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.stats().recycled, 2);
     }
 
     #[test]

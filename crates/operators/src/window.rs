@@ -131,6 +131,10 @@ pub struct WindowBuffer {
     pending: Vec<TupleBatch>,
     /// Pass-through: panes emitted directly on push.
     ready: Vec<Pane>,
+    /// Recycles spent input batches after their rows are sliced into
+    /// panes (time windows) or appended to pending columns (count
+    /// windows); `None` drops them as before.
+    pool: Option<BatchPool>,
 }
 
 impl WindowBuffer {
@@ -144,7 +148,19 @@ impl WindowBuffer {
             panes: BTreeMap::new(),
             pending: vec![TupleBatch::new(); ports.max(1)],
             ready: Vec::new(),
+            pool: None,
         }
+    }
+
+    /// Attaches a [`BatchPool`]; spent input batches recycle into it
+    /// instead of hitting the allocator.
+    pub fn set_pool(&mut self, pool: BatchPool) {
+        self.pool = Some(pool);
+    }
+
+    /// The attached pool, if any.
+    pub fn pool(&self) -> Option<&BatchPool> {
+        self.pool.as_ref()
     }
 
     /// The configured window.
@@ -196,6 +212,7 @@ impl WindowBuffer {
                     // the batch's schema and copies column-to-column.
                     pane_port(&mut self.panes, ports, idx, port).push_ref(r);
                 }
+                self.recycle_spent(batch);
             }
             WindowSpec::Sliding { slide, .. } => {
                 // A tuple at time τ belongs to panes whose span covers τ.
@@ -217,10 +234,12 @@ impl WindowBuffer {
                         pane_port(&mut self.panes, ports, idx, port).push_ref_sic(r, shared);
                     }
                 }
+                self.recycle_spent(batch);
             }
             WindowSpec::Count { count } => {
                 let count = count.max(1);
                 self.pending[port].append_batch(&batch);
+                self.recycle_spent(batch);
                 while self.pending[port].len() >= count {
                     let full = self.pending[port].split_front(count);
                     let mut inputs = vec![TupleBatch::new(); self.ports];
@@ -230,6 +249,14 @@ impl WindowBuffer {
                     self.ready.push(pane);
                 }
             }
+        }
+    }
+
+    /// Returns a spent input batch to the pool (no-op without one; the
+    /// pool itself ignores schema-less arena batches).
+    fn recycle_spent(&self, batch: TupleBatch) {
+        if let Some(pool) = &self.pool {
+            pool.recycle(batch);
         }
     }
 
@@ -428,6 +455,24 @@ mod tests {
         assert_eq!(w.buffered(), 2);
         w.close_up_to(Timestamp::from_secs(1));
         assert_eq!(w.buffered(), 0);
+    }
+
+    #[test]
+    fn pooled_buffer_recycles_spent_typed_batches() {
+        let schema = Schema::new([("v", FieldType::F64)]);
+        let mut batch = TupleBatch::with_schema_capacity(schema.clone(), 2);
+        batch.push_row(Timestamp::from_millis(100), Sic(0.1), &[Value::F64(1.0)]);
+        let pool = BatchPool::new();
+        let mut w = buf(WindowSpec::tumbling(TimeDelta::from_secs(1)), 1);
+        w.set_pool(pool.clone());
+        w.push(0, batch, Timestamp::from_millis(100));
+        assert_eq!(pool.idle(), 1, "spent input batch pooled");
+        // The pane itself keeps the copied row.
+        let panes = w.close_up_to(Timestamp::from_secs(1));
+        assert_eq!(panes[0].input_len(), 1);
+        // Arena batches pass through the recycle point without pooling.
+        w.push(0, vec![t(1100, 0.1, 2.0)], Timestamp::from_millis(1100));
+        assert_eq!(pool.idle(), 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use themis_core::prelude::*;
 use themis_operators::kernels;
-use themis_operators::logic::FilterLogic;
+use themis_operators::logic::{FilterLogic, GroupAggregateLogic};
 use themis_operators::prelude::*;
 
 /// Strategy: a batch of tuples within one 1-second window, each with a
@@ -337,7 +337,7 @@ proptest! {
             let mut filter = FilterLogic::new(pred);
             let row_out = filter.apply(&[&arena]);
             let col_out = FilterLogic::new(pred)
-                .apply_columnar(&[&typed])
+                .apply_columnar(&[&typed], Timestamp(0))
                 .expect("typed filter path");
             prop_assert_eq!(col_out.len(), row_out.len(), "filter survivors");
             for (i, (ts, row)) in row_out.iter().enumerate() {
@@ -379,6 +379,122 @@ proptest! {
                     let k = kernels::cov_sums(&xs, &ys).sample_cov().unwrap();
                     prop_assert!(close(k, scalar_cov), "cov {k} vs {scalar_cov}");
                 }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group-by kernel parity: `group_sum_count_f64` against a scalar
+// per-key reference, over random schemas (tag field position varies),
+// key cardinalities, and the same six-policy drop patterns.
+// ---------------------------------------------------------------------
+
+type GroupRow = (u64, usize, f64);
+
+fn arb_group_rows() -> impl Strategy<Value = (Vec<GroupRow>, usize, bool)> {
+    (
+        prop::collection::vec((0u64..999, 0usize..1000, -100.0f64..100.0), 1..150),
+        1usize..40,
+        0u8..2,
+    )
+        .prop_map(|(rows, card, lead)| (rows, card, lead == 1))
+}
+
+/// Builds the same logical tagged rows as an arena batch and a typed
+/// batch. `lead` prepends an extra i64 field, so the tag/value fields sit
+/// at different indices across runs (the "random schemas" axis).
+fn group_parity_batches(
+    rows: &[GroupRow],
+    card: usize,
+    lead: bool,
+) -> (TupleBatch, TupleBatch, usize, usize) {
+    let (key_field, value_field) = if lead { (1, 2) } else { (0, 1) };
+    let fields: Vec<(&str, FieldType)> = if lead {
+        vec![
+            ("id", FieldType::I64),
+            ("tag", FieldType::Tag),
+            ("v", FieldType::F64),
+        ]
+    } else {
+        vec![("tag", FieldType::Tag), ("v", FieldType::F64)]
+    };
+    let schema = Schema::new(fields);
+    let dict = schema.interner().expect("tag schema").clone();
+    let codes: Vec<u32> = (0..card)
+        .map(|k| dict.intern(&format!("key-{k}")))
+        .collect();
+    let mut arena = TupleBatch::with_capacity(schema.len(), rows.len());
+    let mut typed = TupleBatch::with_schema_capacity(schema, rows.len());
+    for &(ms, key, v) in rows {
+        let code = codes[key % card];
+        let mut row = Vec::with_capacity(3);
+        if lead {
+            row.push(Value::I64(key as i64));
+        }
+        row.push(Value::Tag(code));
+        row.push(Value::F64(v));
+        let ts = Timestamp::from_millis(ms);
+        arena.push_row(ts, Sic(0.001), &row);
+        typed.push_row(ts, Sic(0.001), &row);
+    }
+    (arena, typed, key_field, value_field)
+}
+
+proptest! {
+    /// The group-by kernel agrees with a scalar per-key fold on the same
+    /// rows under the same drops, for all six shedding policies — and the
+    /// `GroupAggregate` logic's columnar path matches its row path.
+    #[test]
+    fn group_kernel_matches_scalar_reference(
+        input in arb_group_rows(),
+        chunk in 1usize..12,
+        cap_pct in 10usize..100,
+    ) {
+        let (rows, card, lead) = input;
+        let (arena_base, typed_base, key_field, value_field) =
+            group_parity_batches(&rows, card, lead);
+        let cap = (rows.len() * cap_pct / 100).max(1);
+        for dropped in policy_drop_patterns(rows.len(), chunk, cap) {
+            let (mut arena, mut typed) = (arena_base.clone(), typed_base.clone());
+            for &i in &dropped {
+                arena.drop_row(i);
+                typed.drop_row(i);
+            }
+
+            // Kernel on the raw code/value slices vs a sequential scalar
+            // per-key fold over the live arena rows. Both add per key in
+            // row order, so the float sums match bit-for-bit.
+            let codes = typed.tag_column(key_field).expect("tag column").codes();
+            let vals = typed.f64_column(value_field).expect("value column");
+            let got = kernels::group_sum_count_f64(codes, vals, typed.drops());
+            let mut want: std::collections::HashMap<u32, (f64, u64)> = Default::default();
+            for t in arena.iter() {
+                let code = t.get(key_field).map(|v| v.as_i64()).unwrap_or(0).max(0) as u32;
+                let v = t.get(value_field).map(|v| v.as_f64()).unwrap_or(0.0);
+                let e = want.entry(code).or_insert((0.0, 0));
+                e.0 += v;
+                e.1 += 1;
+            }
+            prop_assert_eq!(got.len(), want.len(), "distinct keys");
+            prop_assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "ascending codes");
+            for &(c, s, n) in &got {
+                let &(ws, wn) = want.get(&c).expect("key in reference");
+                prop_assert_eq!(n, wn, "count for code {}", c);
+                prop_assert_eq!(s, ws, "sum for code {}", c);
+            }
+
+            // Logic parity: arena row path vs typed row path vs typed
+            // columnar (kernel) path.
+            let mut logic = GroupAggregateLogic::new(key_field, value_field);
+            let row_out = logic.apply(&[&arena]);
+            prop_assert_eq!(&row_out, &logic.apply(&[&typed]), "row-path layouts");
+            let col_out = logic
+                .apply_columnar(&[&typed], Timestamp(0))
+                .expect("typed group path");
+            prop_assert_eq!(col_out.len(), row_out.len(), "group rows");
+            for (i, (_, row)) in row_out.iter().enumerate() {
+                prop_assert_eq!(&col_out.row(i).values.to_vec(), row, "group row {}", i);
             }
         }
     }

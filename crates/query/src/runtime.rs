@@ -69,6 +69,15 @@ impl FragmentRuntime {
         self.root
     }
 
+    /// Attaches a [`BatchPool`] to every operator: spent input and pane
+    /// batches recycle instead of round-tripping the allocator (see
+    /// [`WindowedOperator::set_pool`]).
+    pub fn set_pool(&mut self, pool: &BatchPool) {
+        for op in &mut self.ops {
+            op.set_pool(pool.clone());
+        }
+    }
+
     /// Injects a columnar batch arriving through `ingress`; returns root
     /// emissions triggered synchronously (pass-through chains).
     pub fn ingest(
@@ -301,6 +310,30 @@ mod tests {
         assert!((avg - 10.0).abs() < 1e-9, "avg {avg}");
         // Full SIC mass: 60 tuples * 1/60.
         assert!((out[0].sic().value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pooled_runtime_recycles_spent_batches() {
+        let mut gen = IdGen::new();
+        let q = Template::Avg.build(QueryId(0), &mut gen);
+        let mut rt = FragmentRuntime::new(&q.fragments[0]);
+        let pool = BatchPool::new();
+        rt.set_pool(&pool);
+        let src = q.sources[0];
+        let mut b = pool.acquire(&src.schema(), 2);
+        for v in [40.0, 60.0] {
+            b.push_row(Timestamp::from_millis(100), Sic(0.05), &[Value::F64(v)]);
+        }
+        rt.ingest(Ingress::Source(src.id), b, Timestamp::from_millis(100));
+        let out = rt.tick(Timestamp::from_millis(1500));
+        assert_eq!(out.len(), 1);
+        // The ingested batch and the closed pane's columns came back.
+        let stats = pool.stats();
+        assert!(stats.recycled >= 2, "{stats:?}");
+        assert!(pool.idle() >= 1);
+        // A later acquisition of the same schema reuses a pooled slot.
+        let _ = pool.acquire(&src.schema(), 2);
+        assert!(pool.stats().reused >= 1);
     }
 
     #[test]

@@ -268,6 +268,10 @@ pub struct SourceDriver {
     /// Fractional tuples owed from previous emissions.
     carry: f64,
     next_emission: Timestamp,
+    /// Optional batch pool: when set, emitted batches are acquired from
+    /// (and, downstream, recycled back into) the pool instead of being
+    /// freshly allocated per emission.
+    pool: Option<BatchPool>,
 }
 
 impl SourceDriver {
@@ -290,12 +294,31 @@ impl SourceDriver {
             current_period: (u64::MAX, false),
             carry: 0.0,
             next_emission: Timestamp::ZERO + phase,
+            pool: None,
         }
     }
 
     /// The driver's profile.
     pub fn profile(&self) -> &SourceProfile {
         &self.profile
+    }
+
+    /// Attaches a [`BatchPool`]; subsequent [`SourceDriver::emit`] calls
+    /// acquire their output batches from it instead of allocating.
+    pub fn set_pool(&mut self, pool: BatchPool) {
+        self.pool = Some(pool);
+    }
+
+    /// The fractional tuples currently owed to the next emission.
+    pub fn carry(&self) -> f64 {
+        self.carry
+    }
+
+    /// Restores a fractional-tuple balance, e.g. one stashed across a
+    /// pump-slot remove/re-add of the same source, so the realised
+    /// long-run rate stays unbiased over the source's whole lifetime.
+    pub fn set_carry(&mut self, carry: f64) {
+        self.carry = carry.clamp(0.0, 1.0);
     }
 
     /// When the next batch is due.
@@ -309,6 +332,22 @@ impl SourceDriver {
         if self.next_emission < start {
             self.next_emission = start + (self.next_emission - Timestamp::ZERO);
         }
+    }
+
+    /// Skips whole missed beats when the schedule has fallen more than
+    /// one full interval behind `now` — an overloaded pump re-anchors
+    /// the driver onto the current beat (phase preserved) instead of
+    /// storming catch-up batches at maximum rate. Skipped beats emit
+    /// nothing, so the realised rate degrades under overload rather
+    /// than backlogging unboundedly.
+    pub fn fast_forward(&mut self, now: Timestamp) {
+        let iv = self.profile.interval().as_micros();
+        if iv == 0 || self.next_emission + self.profile.interval() >= now {
+            return;
+        }
+        let behind = (now - self.next_emission).as_micros();
+        let beats = behind / iv;
+        self.next_emission += TimeDelta::from_micros(beats * iv);
     }
 
     /// The pattern's rate factor at `now` (mutates the seeded per-period
@@ -386,8 +425,12 @@ impl SourceDriver {
         self.carry = exact - n as f64;
         // Typed column construction: rows append straight into the
         // schema's native columns — no per-tuple `Vec<Value>` allocation
-        // and no `Value` arena downstream.
-        let mut data = TupleBatch::with_schema_capacity(self.schema.clone(), n);
+        // and no `Value` arena downstream. With a pool attached the
+        // backing columns come from recycled batches.
+        let mut data = match &self.pool {
+            Some(pool) => pool.acquire(&self.schema, n),
+            None => TupleBatch::with_schema_capacity(self.schema.clone(), n),
+        };
         for _ in 0..n {
             let v = match self.kind {
                 SourceKind::MemFree => self.values.mem_free_kb(now),
@@ -449,6 +492,25 @@ mod tests {
             }
             last = Some(t);
         }
+    }
+
+    #[test]
+    fn fast_forward_skips_whole_missed_beats() {
+        let profile = SourceProfile::local(Dataset::Uniform); // 200 ms interval
+        let iv = profile.interval();
+        let mut d = SourceDriver::new(QueryId(1), &spec(SourceKind::Cpu), profile, 5);
+        let first = d.next_time();
+
+        // Not behind, or behind by at most one interval: untouched.
+        d.fast_forward(first);
+        assert_eq!(d.next_time(), first);
+        d.fast_forward(first + TimeDelta::from_millis(150));
+        assert_eq!(d.next_time(), first);
+
+        // Behind by 2.5 intervals: skip exactly two beats, keep phase.
+        d.fast_forward(first + TimeDelta::from_millis(500));
+        assert_eq!(d.next_time(), first + TimeDelta::from_millis(400));
+        assert_eq!((d.next_time() - first).as_micros() % iv.as_micros(), 0);
     }
 
     #[test]
@@ -591,6 +653,40 @@ mod tests {
         let sizes: Vec<usize> = (0..8).map(|_| d.emit().len()).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 20, "mean rate preserved");
         assert!(sizes.iter().all(|&n| n == 2 || n == 3), "{sizes:?}");
+    }
+
+    #[test]
+    fn carry_survives_a_stash_and_restore() {
+        // 10 t/s in 4 batches/s: 2.5 per batch — sizes alternate 2, 3.
+        let profile = SourceProfile::steady(10, 4, Dataset::Uniform);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 8);
+        assert_eq!(d.emit().len(), 2);
+        let owed = d.carry();
+        assert!((owed - 0.5).abs() < 1e-12, "carry {owed}");
+        // A rebuilt driver (pump slot removed and re-added) starts at
+        // carry 0; restoring the stash resumes the 2/3 alternation.
+        let mut d2 = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 8);
+        assert_eq!(d2.carry(), 0.0);
+        d2.set_carry(owed);
+        assert_eq!(d2.emit().len(), 3, "restored carry rounds up");
+        // Restores are clamped to a legal fractional balance.
+        d2.set_carry(7.5);
+        assert_eq!(d2.carry(), 1.0);
+    }
+
+    #[test]
+    fn pooled_emissions_reuse_recycled_batches() {
+        let profile = SourceProfile::emulab(Dataset::Uniform);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 4);
+        let pool = BatchPool::new();
+        d.set_pool(pool.clone());
+        let b = d.emit();
+        assert_eq!(b.len(), 50);
+        pool.recycle(b.into_data());
+        let b2 = d.emit();
+        assert_eq!(b2.len(), 50, "recycled batch refills to full size");
+        let stats = pool.stats();
+        assert_eq!((stats.fresh, stats.recycled, stats.reused), (1, 1, 1));
     }
 
     #[test]
