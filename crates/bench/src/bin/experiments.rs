@@ -3,16 +3,17 @@
 //! ```text
 //! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!              fig13|fig14|related|overhead|ablation|dynamics|policies|
-//!              scale|scale-e2e|batching|kernels|churn]
-//!             [--quick] [--policy=<name>] [--nodes=<n>] [--shards=<k>]
-//!             [--secs=<s>] [--sources=<n>] [--profile]
+//!              scale|scale-e2e|batching|kernels|churn|queries]
+//!             [--quick] [--policy=<name>] [--query='<text>'] [--nodes=<n>]
+//!             [--shards=<k>] [--secs=<s>] [--sources=<n>] [--profile]
 //! ```
 //!
 //! Each experiment prints the series the paper plots and writes a CSV
 //! under `results/`. `--quick` switches to the reduced scale used by the
 //! benches (for smoke runs). `--policy=<name>` restricts the `policies`
-//! parity experiment to one registry policy (any [`PolicyKind`] name,
-//! e.g. `balance-sic`, `fifo`, `balance-sic-lowest-first`).
+//! parity experiment to one policy looked up in the shedding registry
+//! (e.g. `balance-sic`, `fifo`, or any name registered at startup); an
+//! unknown name exits 2 listing the registered policies.
 //! `--nodes`/`--shards`/`--secs` size the `scale` experiment (default
 //! 1024 nodes on the machine's parallelism); `scale` exits non-zero when
 //! the process's peak thread count exceeds the sharded engine's
@@ -35,8 +36,17 @@
 //! writes `results/BENCH_scale.json` with end-to-end wall/CPU ns per
 //! tuple, peak RSS and batch-pool traffic, and exits non-zero when the
 //! CPU-per-tuple ceiling or the RSS budget is breached — the CI scale
-//! smoke runs it at `--sources=10000`. `--profile` adds a per-thread
-//! CPU table sampled from `/proc`. Built to be run with `--release`.
+//! smoke runs it at `--sources=10000`. `queries` runs the declarative
+//! frontend parity gate: every Table-1 template's canonical query text
+//! must compile to the same graph and simulate to bitwise-identical
+//! SIC/Jain numbers as the preset path under every registry policy, and
+//! a declarative `GROUP BY` attached to the live engine must dispatch
+//! the dictionary group-by kernel; it writes
+//! `results/BENCH_queries.json` and exits non-zero on any mismatch —
+//! the CI queries smoke. `--query='<text>'` additionally runs one
+//! ad-hoc declarative query end-to-end on the engine (parse errors exit
+//! 2 with the frontend's message). `--profile` adds a per-thread CPU
+//! table sampled from `/proc`. Built to be run with `--release`.
 
 use std::time::Instant;
 
@@ -47,13 +57,14 @@ use themis_bench::figures::fairness::{fig10, fig11, fig8, fig9, render as render
 use themis_bench::figures::kernels::{self, KernelsScale};
 use themis_bench::figures::overhead::{overhead, render as render_overhead};
 use themis_bench::figures::parity::{policy_parity, render as render_parity};
+use themis_bench::figures::queries;
 use themis_bench::figures::related::{related_work, render as render_related};
 use themis_bench::figures::scalability::{fig12, fig13, fig14, render as render_scal};
 use themis_bench::figures::scale as engine_scale;
 use themis_bench::figures::{ablation, dynamics, scale_e2e, tables};
 use themis_bench::scenarios::Scale;
 use themis_bench::table::TextTable;
-use themis_core::shedder::PolicyKind;
+use themis_core::shedder::{lookup_policy, registered_policies, Policy};
 
 const SEED: u64 = 20160626; // SIGMOD'16 started June 26.
 const RESULTS_DIR: &str = "results";
@@ -80,6 +91,7 @@ const EXPERIMENTS: &[&str] = &[
     "batching",
     "kernels",
     "churn",
+    "queries",
 ];
 
 fn emit(name: &str, table: TextTable) {
@@ -100,6 +112,7 @@ fn main() {
     };
     const VALUE_FLAGS: &[&str] = &[
         "--policy=",
+        "--query=",
         "--nodes=",
         "--shards=",
         "--secs=",
@@ -113,7 +126,7 @@ fn main() {
     }) {
         eprintln!(
             "unknown option `{flag}` (expected --quick, --profile, --policy=<name>, \
-             --nodes=<n>, --shards=<k>, --secs=<s> or --sources=<n>)"
+             --query='<text>', --nodes=<n>, --shards=<k>, --secs=<s> or --sources=<n>)"
         );
         std::process::exit(2);
     }
@@ -133,15 +146,16 @@ fn main() {
     let secs_arg = uint_arg("--secs=");
     let sources_arg = uint_arg("--sources=");
     let policy_arg = args.iter().find_map(|a| a.strip_prefix("--policy="));
-    let policies: Vec<PolicyKind> = match policy_arg {
-        Some(name) => match name.parse::<PolicyKind>() {
+    let query_arg = args.iter().find_map(|a| a.strip_prefix("--query="));
+    let policies: Vec<Policy> = match policy_arg {
+        Some(name) => match lookup_policy(name) {
             Ok(p) => vec![p],
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
         },
-        None => PolicyKind::ALL.to_vec(),
+        None => registered_policies(),
     };
     let what: Vec<&str> = args
         .iter()
@@ -160,6 +174,9 @@ fn main() {
     let run = |name: &str| all || what.contains(&name);
     if policy_arg.is_some() && !run("policies") {
         eprintln!("note: --policy only affects the `policies` experiment, which is not selected");
+    }
+    if query_arg.is_some() && !what.contains(&"queries") {
+        eprintln!("note: --query only affects the `queries` experiment, which is not selected");
     }
     if profile && !what.contains(&"scale-e2e") {
         eprintln!("note: --profile only affects the `scale-e2e` experiment, which is not selected");
@@ -410,6 +427,55 @@ fn main() {
                 "FAIL: resident Jain did not recover after the cohort departed \
                  (baseline {baseline:.4}, recovery {recovery:.4}, shed {:.3}) ",
                 outcome.shed_fraction
+            );
+            std::process::exit(1);
+        }
+    }
+    // Explicit-only (not part of `all`), like `churn`: a CI smoke whose
+    // parity gate exits non-zero — the declarative frontend must match
+    // the Table-1 presets structurally and behaviourally, and a
+    // declarative GROUP BY must reach the dictionary kernel on the live
+    // engine.
+    if what.contains(&"queries") {
+        let secs = secs_arg.unwrap_or(if quick { 2 } else { 4 });
+        let outcome = queries::queries(secs, SEED);
+        emit("queries", queries::render(&outcome));
+        let json = queries::to_json(&outcome);
+        let json_path = format!("{RESULTS_DIR}/BENCH_queries.json");
+        if let Err(e) =
+            std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, &json))
+        {
+            eprintln!("(could not write {json_path}: {e})");
+        }
+        if let Some(text) = query_arg {
+            match queries::run_declarative(text, secs, SEED) {
+                Ok(run) => emit("query_adhoc", queries::render_declarative(&run)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if outcome.all_match() {
+            eprintln!(
+                "queries: all {} templates match under {} policies; GROUP BY \
+                 dispatched {} kernel calls",
+                outcome.parity.len(),
+                outcome.parity.first().map_or(0, |r| r.policies.len()),
+                outcome.group_by.kernel_calls
+            );
+        } else {
+            let bad: Vec<&str> = outcome
+                .parity
+                .iter()
+                .filter(|r| !r.matches())
+                .map(|r| r.template.as_str())
+                .collect();
+            eprintln!(
+                "FAIL: declarative parity gate (mismatched templates: [{}], group-by \
+                 dispatched: {})",
+                bad.join(", "),
+                outcome.group_by.dispatched()
             );
             std::process::exit(1);
         }

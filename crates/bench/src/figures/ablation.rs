@@ -46,7 +46,7 @@ pub fn update_sic_ablation(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
         let report = run_scenario(base_scenario(label, scale, seed), cfg);
         out.push(FairnessPoint {
             x: label.into(),
-            policy: report.policy,
+            policy: report.policy.clone(),
             mean_sic: report.fairness.mean,
             jain: report.fairness.jain,
             std: report.fairness.std,
@@ -72,7 +72,7 @@ pub fn batch_order_ablation(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
         );
         out.push(FairnessPoint {
             x: label.into(),
-            policy: report.policy,
+            policy: report.policy.clone(),
             mean_sic: report.fairness.mean,
             jain: report.fairness.jain,
             std: report.fairness.std,
@@ -99,7 +99,7 @@ pub fn policy_comparison(scale: &Scale, seed: u64) -> Vec<FairnessPoint> {
         );
         out.push(FairnessPoint {
             x: policy.name().into(),
-            policy: report.policy,
+            policy: report.policy.clone(),
             mean_sic: report.fairness.mean,
             jain: report.fairness.jain,
             std: report.fairness.std,

@@ -191,9 +191,9 @@ pub fn correlation(q: CorrelationQuery, scale: &Scale, seed: u64) -> Vec<Correla
         for &count in &counts {
             let scn = build_scenario(q, dataset, count, capacity, scale, seed);
             let queries: Vec<QueryId> = scn.queries.iter().map(|x| x.id).collect();
-            let degraded = run_scenario(scn, cfg);
+            let degraded = run_scenario(scn, cfg.clone());
             let perfect_scn = build_scenario(q, dataset, count, 1_000_000, scale, seed);
-            let perfect = run_scenario(perfect_scn, cfg);
+            let perfect = run_scenario(perfect_scn, cfg.clone());
             let error = error_between(q, &perfect, &degraded, &queries);
             points.push(CorrelationPoint {
                 dataset: dataset.name(),

@@ -18,7 +18,7 @@ pub struct FairnessPoint {
     /// X-axis label (query count, interval, fragment count, ratio...).
     pub x: String,
     /// Policy used.
-    pub policy: &'static str,
+    pub policy: String,
     /// Mean SIC over queries.
     pub mean_sic: f64,
     /// Jain's fairness index.
@@ -30,7 +30,7 @@ pub struct FairnessPoint {
 fn point(x: String, report: &SimReport) -> FairnessPoint {
     FairnessPoint {
         x,
-        policy: report.policy,
+        policy: report.policy.clone(),
         mean_sic: report.fairness.mean,
         jain: report.fairness.jain,
         std: report.fairness.std,

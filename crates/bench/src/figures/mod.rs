@@ -11,6 +11,7 @@ pub mod fairness;
 pub mod kernels;
 pub mod overhead;
 pub mod parity;
+pub mod queries;
 pub mod related;
 pub mod scalability;
 pub mod scale;

@@ -13,7 +13,7 @@ use crate::table::{f, TextTable};
 #[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// Shedding policy.
-    pub policy: &'static str,
+    pub policy: String,
     /// Mean shedder execution time per invocation (µs).
     pub mean_shed_us: f64,
     /// Fraction of tuples shed.
@@ -51,13 +51,13 @@ pub fn overhead(secs: u64, seed: u64) -> Vec<OverheadRow> {
     for policy in [PolicyKind::BalanceSic, PolicyKind::Random] {
         let scn = overhead_scenario(secs, seed);
         let cfg = EngineConfig {
-            policy,
+            policy: policy.into(),
             synthetic_cost: TimeDelta::from_micros(300),
             ..Default::default()
         };
         let report = run_engine(&scn, cfg);
         rows.push(OverheadRow {
-            policy: report.policy,
+            policy: report.policy.clone(),
             mean_shed_us: report.mean_shed_time_us(),
             shed_fraction: report.shed_fraction(),
             coordinator_messages: report.coordinator_messages,

@@ -1,5 +1,5 @@
 //! Sim↔engine parity over the unified shedding-policy registry: every
-//! [`PolicyKind`] runs on the same overloaded workload in the
+//! registered [`Policy`] runs on the same overloaded workload in the
 //! deterministic simulator *and* the multi-threaded prototype engine.
 //!
 //! This is the measurement the single-registry refactor exists to enable:
@@ -19,7 +19,7 @@ use crate::table::{f, TextTable};
 #[derive(Debug, Clone)]
 pub struct ParityRow {
     /// The registry policy.
-    pub policy: PolicyKind,
+    pub policy: Policy,
     /// Simulator: mean per-query SIC.
     pub sim_mean_sic: f64,
     /// Simulator: Jain's index over per-query SIC values.
@@ -76,22 +76,23 @@ fn engine_scenario(name: &str, secs: u64, seed: u64) -> Scenario {
 /// `engine_secs` is the measured wall-clock duration per engine run (the
 /// simulator side uses `scale`'s simulated durations and is cheap).
 pub fn policy_parity(
-    policies: &[PolicyKind],
+    policies: &[Policy],
     scale: &Scale,
     engine_secs: u64,
     seed: u64,
 ) -> Vec<ParityRow> {
     policies
         .iter()
-        .map(|&policy| {
+        .map(|policy| {
+            let policy = policy.clone();
             let sim = run_scenario(
                 sim_scenario(policy.name(), scale, seed),
-                SimConfig::with_policy(policy),
+                SimConfig::with_policy(policy.clone()),
             );
             let engine = run_engine(
                 &engine_scenario(policy.name(), engine_secs, seed),
                 EngineConfig {
-                    policy,
+                    policy: policy.clone(),
                     synthetic_cost: TimeDelta::from_micros(1500),
                     ..Default::default()
                 },

@@ -15,7 +15,7 @@ use crate::table::{f, TextTable};
 fn point(x: String, report: &SimReport) -> FairnessPoint {
     FairnessPoint {
         x,
-        policy: report.policy,
+        policy: report.policy.clone(),
         mean_sic: report.fairness.mean,
         jain: report.fairness.jain,
         std: report.fairness.std,

@@ -299,7 +299,7 @@ pub fn scale_e2e(
     let mut engine = Engine::start(
         &scenario,
         EngineConfig {
-            policy: PolicyKind::BalanceSic,
+            policy: PolicyKind::BalanceSic.into(),
             shards,
             ..Default::default()
         },

@@ -142,7 +142,7 @@ mod tests {
         assert_eq!(s.queries.len(), 6);
         assert!(s.queries.iter().all(|q| q.n_fragments() == 3));
         // 2 x AVG-all, 2 x TOP-5, 2 x COV.
-        let names: Vec<&str> = s.queries.iter().map(|q| q.template).collect();
+        let names: Vec<&str> = s.queries.iter().map(|q| q.template.as_str()).collect();
         assert_eq!(names.iter().filter(|n| **n == "TOP-5").count(), 2);
     }
 

@@ -14,20 +14,27 @@
 //! * batch-order ablations of line 16's `max(xSIC)` rule via
 //!   [`BatchOrder`].
 //!
-//! Every policy is registered in [`PolicyKind`] — the single,
-//! workspace-wide enumeration through which the simulator, the prototype
-//! engine, the benches and the `experiments` CLI all build their
-//! shedders ([`PolicyKind::build`], with [`PolicyKind::name`] /
-//! `FromStr` round-tripping the canonical names).
+//! Every policy lives in the open [`ShedderRegistry`] — a name → factory
+//! table through which the simulator, the prototype engine, the benches
+//! and the `experiments` CLI all build their shedders. The six paper
+//! policies are registered by default; external crates add their own
+//! with [`register_shedder`] and every runtime picks them up by name
+//! ([`lookup_policy`]). The closed [`PolicyKind`] enum remains as a
+//! deprecated shim over the registry's builtin table.
 
 mod balance_sic;
 mod policy;
 mod random;
+mod registry;
 mod variants;
 
 pub use balance_sic::{BalanceSicShedder, BatchOrder};
 pub use policy::{ParsePolicyError, PolicyKind};
 pub use random::RandomShedder;
+pub use registry::{
+    lookup_policy, register_shedder, registered_policies, registered_policy_names,
+    DuplicatePolicyError, Policy, ShedderFactory, ShedderRegistry, UnknownPolicyError,
+};
 pub use variants::{FifoShedder, PriorityShedder};
 
 use crate::batch::DropBitmap;

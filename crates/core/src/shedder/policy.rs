@@ -1,24 +1,26 @@
-//! The canonical shedding-policy registry.
+//! The legacy closed policy enumeration, now a shim over the registry.
 //!
-//! Exactly one enumeration of shedding policies exists in the workspace:
-//! [`PolicyKind`]. Every runtime that sheds tuples — the discrete-event
-//! simulator, the multi-threaded prototype engine, the benchmark figures
-//! and the `experiments` CLI — instantiates its [`Shedder`] through
-//! [`PolicyKind::build`], so all variants behave identically everywhere
-//! and a policy added here is immediately runnable in every runtime.
+//! **Deprecated surface**: [`PolicyKind`] predates the open
+//! [`ShedderRegistry`](super::ShedderRegistry) and survives only as a
+//! convenience for the six builtin policies. Its names and constructors
+//! are read from the registry's builtin table, so the registry keys stay
+//! the single source of truth; new code should hold a
+//! [`Policy`](super::Policy) handle (every `PolicyKind` converts via
+//! `Into<Policy>`), and policies added with
+//! [`register_shedder`](super::register_shedder) are *not* representable
+//! here — parse user input with [`lookup_policy`](super::lookup_policy)
+//! instead of `FromStr` on this enum.
 
 use std::fmt;
 use std::str::FromStr;
 
-use super::balance_sic::{BalanceSicShedder, BatchOrder};
-use super::random::RandomShedder;
-use super::variants::{FifoShedder, PriorityShedder};
+use super::registry::{name_matches, BuiltinPolicy, BUILTINS};
 use super::Shedder;
 
-/// Which tuple shedder a node runs (Algorithm 1 or a baseline).
+/// Which builtin tuple shedder a node runs (Algorithm 1 or a baseline).
 ///
 /// Canonical names round-trip through [`PolicyKind::name`] and
-/// [`FromStr`] for all six registered policies:
+/// [`FromStr`] for all six builtin policies:
 ///
 /// ```
 /// use themis_core::shedder::PolicyKind;
@@ -60,7 +62,7 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Every policy, in registry order.
+    /// Every builtin policy, in registry order.
     pub const ALL: [PolicyKind; 6] = [
         PolicyKind::BalanceSic,
         PolicyKind::Random,
@@ -70,33 +72,23 @@ impl PolicyKind {
         PolicyKind::BalanceSicFifoOrder,
     ];
 
-    /// Instantiates the shedder with a node-specific seed.
-    pub fn build(&self, seed: u64) -> Box<dyn Shedder> {
-        match self {
-            PolicyKind::BalanceSic => Box::new(BalanceSicShedder::new(seed)),
-            PolicyKind::Random => Box::new(RandomShedder::new(seed)),
-            PolicyKind::Fifo => Box::new(FifoShedder::new()),
-            PolicyKind::Priority => Box::new(PriorityShedder::new()),
-            PolicyKind::BalanceSicLowestFirst => Box::new(BalanceSicShedder::with_order(
-                seed,
-                BatchOrder::LowestSicFirst,
-            )),
-            PolicyKind::BalanceSicFifoOrder => {
-                Box::new(BalanceSicShedder::with_order(seed, BatchOrder::Fifo))
-            }
-        }
+    /// This kind's row in the registry's builtin table.
+    fn builtin(&self) -> &'static BuiltinPolicy {
+        BUILTINS
+            .iter()
+            .find(|b| b.kind == *self)
+            .expect("every PolicyKind has a builtin row")
     }
 
-    /// Canonical display name; [`FromStr`] round-trips it.
+    /// Instantiates the shedder with a node-specific seed.
+    pub fn build(&self, seed: u64) -> Box<dyn Shedder> {
+        (self.builtin().build)(seed)
+    }
+
+    /// Canonical display name — the registry key; [`FromStr`] round-trips
+    /// it.
     pub fn name(&self) -> &'static str {
-        match self {
-            PolicyKind::BalanceSic => "balance-sic",
-            PolicyKind::Random => "random",
-            PolicyKind::Fifo => "fifo",
-            PolicyKind::Priority => "priority",
-            PolicyKind::BalanceSicLowestFirst => "balance-sic(lowest-first)",
-            PolicyKind::BalanceSicFifoOrder => "balance-sic(fifo-order)",
-        }
+        self.builtin().name
     }
 }
 
@@ -106,7 +98,7 @@ impl fmt::Display for PolicyKind {
     }
 }
 
-/// Error returned when parsing an unknown policy name.
+/// Error returned when parsing an unknown builtin policy name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsePolicyError {
     input: String,
@@ -136,7 +128,9 @@ impl FromStr for PolicyKind {
 
     /// Accepts the canonical [`PolicyKind::name`] plus a CLI-friendly
     /// spelling that replaces parentheses with dashes (e.g.
-    /// `balance-sic-lowest-first`), case-insensitively.
+    /// `balance-sic-lowest-first`), case-insensitively. Only resolves the
+    /// six builtins — registered external policies need
+    /// [`lookup_policy`](super::lookup_policy).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let norm: String = s
             .trim()
@@ -146,15 +140,7 @@ impl FromStr for PolicyKind {
             .collect();
         PolicyKind::ALL
             .iter()
-            .find(|p| {
-                let name = p.name();
-                if norm == name {
-                    return true;
-                }
-                // Parenthesised names also accept a dashed CLI spelling:
-                // `balance-sic(lowest-first)` ⇔ `balance-sic-lowest-first`.
-                name.contains('(') && norm == name.replace('(', "-").replace(')', "")
-            })
+            .find(|p| name_matches(p.name(), &norm))
             .copied()
             .ok_or_else(|| ParsePolicyError {
                 input: s.trim().to_string(),
@@ -229,5 +215,14 @@ mod tests {
         assert!("balance-sic-".parse::<PolicyKind>().is_err());
         assert!("balance-sic-lowest".parse::<PolicyKind>().is_err());
         assert!("balance-siclowest-first".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn shim_agrees_with_builtin_shedders() {
+        // The shim constructs the same shedders the registry does: the
+        // built shedder's self-reported name equals the canonical name.
+        for p in PolicyKind::ALL {
+            assert_eq!(p.build(1).name(), p.name());
+        }
     }
 }

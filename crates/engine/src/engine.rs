@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use themis_core::prelude::*;
-use themis_query::prelude::{QuerySpec, Template};
+use themis_query::prelude::{QuerySpec, Template, ValidatedQuery};
 use themis_workloads::prelude::*;
 
 use crate::messages::{AttachFragment, EngineMsg, NodeReport, ResultEvent, RoutedBatch, ShardMsg};
@@ -38,12 +38,14 @@ use crate::node_state::NodeConfig;
 use crate::shard::{run_shard, shard_of, ShardRouting};
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Shedding policy — the workspace-wide registry
-    /// ([`themis_core::shedder::PolicyKind`]) shared with the simulator,
-    /// so every variant the simulator knows also runs on real threads.
-    pub policy: PolicyKind,
+    /// Shedding policy — a handle from the workspace-wide
+    /// `ShedderRegistry` shared with the simulator, so every registered
+    /// policy (builtin or external) also runs on real threads. Builtins
+    /// convert from [`PolicyKind`] via `Into`; registered names resolve
+    /// through [`themis_core::shedder::lookup_policy`].
+    pub policy: Policy,
     /// Artificial per-tuple processing cost, so modest source rates create
     /// genuine overload (`ZERO` disables; nodes are then extremely fast).
     pub synthetic_cost: TimeDelta,
@@ -68,7 +70,7 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            policy: PolicyKind::BalanceSic,
+            policy: Policy::default(),
             synthetic_cost: TimeDelta::ZERO,
             shards: None,
             enforce_capacity: false,
@@ -100,7 +102,7 @@ pub struct EngineReport {
     /// Coordinator updates sent.
     pub coordinator_messages: u64,
     /// Shedding policy used.
-    pub policy: &'static str,
+    pub policy: String,
     /// Shard threads the node states ran on.
     pub shards: usize,
     /// Per-query SIC time series (empty unless
@@ -615,7 +617,7 @@ impl Engine {
                     .expect("bound source declared");
                 installs.push(SourceInstall {
                     query: query.id,
-                    spec: query.sources[si],
+                    spec: query.sources[si].clone(),
                     // One profile per declared source — a mismatch is a
                     // caller bug and should fail loudly, not silently
                     // reuse another source's profile.
@@ -656,6 +658,29 @@ impl Engine {
     pub fn attach_query(&mut self, template: Template, profile: SourceProfile) -> QueryId {
         let id: QueryId = self.query_ids.next();
         let query = template.build(id, &mut self.source_ids);
+        self.attach_built(query, profile)
+    }
+
+    /// Attaches a compiled declarative query at runtime (the spec-layer
+    /// analogue of [`Engine::attach_query`]): the [`ValidatedQuery`] is
+    /// compiled against this engine's id generators, its fragments go to
+    /// the least-loaded distinct nodes, and all of its sources emit with
+    /// `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query needs more fragments than the engine has
+    /// nodes (fragments of one query must land on distinct nodes).
+    pub fn attach_spec(&mut self, spec: &ValidatedQuery, profile: SourceProfile) -> QueryId {
+        let id: QueryId = self.query_ids.next();
+        let query = spec.compile(id, &mut self.source_ids).into_spec();
+        self.attach_built(query, profile)
+    }
+
+    /// Shared attach path: places an already-built query graph onto the
+    /// least-loaded distinct nodes and installs it.
+    fn attach_built(&mut self, query: QuerySpec, profile: SourceProfile) -> QueryId {
+        let id = query.id;
         assert!(
             query.n_fragments() <= self.n_nodes,
             "query needs {} distinct nodes, engine has {}",
@@ -800,7 +825,7 @@ impl Engine {
             per_query_sic,
             result_counts: self.result_counts,
             coordinator_messages: self.coordinator_messages,
-            policy: self.config.policy.name(),
+            policy: self.config.policy.name().to_string(),
             shards: self.n_shards,
             sic_series: self.sic_series,
         }
@@ -861,7 +886,7 @@ mod tests {
         // Per node: 2 queries x 400 t/s = 800 t/s demand vs 1/(2 ms) =
         // 500 t/s capacity.
         let cfg = EngineConfig {
-            policy: PolicyKind::BalanceSic,
+            policy: PolicyKind::BalanceSic.into(),
             synthetic_cost: TimeDelta::from_micros(2000),
             ..Default::default()
         };
@@ -971,11 +996,11 @@ mod tests {
         let handle = thread::spawn(move || run_pump(pump_rx, vec![tx], epoch, pool));
         let install = || SourceInstall {
             query: QueryId(0),
-            spec: themis_query::prelude::SourceSpec {
-                id: SourceId(0),
-                key: None,
-                kind: themis_query::prelude::SourceKind::Cpu,
-            },
+            spec: themis_query::prelude::SourceSpec::plain(
+                SourceId(0),
+                None,
+                themis_query::prelude::SourceKind::Cpu,
+            ),
             // 5 t/s in 2 batches/s: 2.5 tuples per batch — emission
             // sizes alternate 2, 3 deterministically via the carry.
             profile: SourceProfile::steady(5, 2, Dataset::Uniform),

@@ -294,6 +294,18 @@ pub fn cov_sums(xs: &[f64], ys: &[f64]) -> CovSums {
 /// against adversarial code spaces blowing up memory.
 const GROUP_DENSE_CAP: usize = 1 << 16;
 
+/// Process-wide count of [`GroupSums::accumulate`] calls. Purely
+/// observational: integration tests and the `experiments queries` gate
+/// use the delta across a run to prove a `GROUP BY` query actually
+/// dispatched to the columnar grouped kernel at runtime.
+static GROUP_KERNEL_INVOCATIONS: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(0);
+
+/// Number of grouped sum/count kernel invocations since process start.
+pub fn group_kernel_invocations() -> u64 {
+    GROUP_KERNEL_INVOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Per-key `(sum, count)` accumulator over dictionary-coded keys.
 /// Feed one or more `(codes, vals, drops)` column pairs through
 /// [`GroupSums::accumulate`] (panes of one window, for instance), then
@@ -335,6 +347,7 @@ impl GroupSums {
     /// word admits a whole 64-row block to the unconditional inner loop,
     /// and only partially-shed blocks walk their live bits.
     pub fn accumulate(&mut self, codes: &[u32], vals: &[f64], drops: &DropBitmap) {
+        GROUP_KERNEL_INVOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let n = codes.len().min(vals.len());
         let (codes, vals) = (&codes[..n], &vals[..n]);
         for (w, block) in vals.chunks(64).enumerate() {

@@ -66,8 +66,24 @@ pub fn keyed_measurement_schema() -> Schema {
     Schema::new([("key", FieldType::I64), ("value", FieldType::F64)])
 }
 
+/// Dictionary-tag identity of a group-by source: the source stamps every
+/// row with `label` (pre-interned as `code` in the query's shared
+/// dictionary) so a downstream `GROUP BY` aggregates per source tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagSource {
+    /// The tag string stamped on this source's rows.
+    pub label: String,
+    /// `label`'s code in `schema`'s shared [`TagInterner`].
+    pub code: u32,
+    /// The query-wide tag schema (`[<group column>: Tag, value: F64]`).
+    /// Every source of the query holds a clone of the *same* schema, so
+    /// all of their batches share one dictionary and the group-by kernel
+    /// reads codes without re-interning.
+    pub schema: Schema,
+}
+
 /// Declares one source of a query: its id, schema key and data kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SourceSpec {
     /// Globally unique source id.
     pub id: SourceId,
@@ -75,13 +91,32 @@ pub struct SourceSpec {
     pub key: Option<i64>,
     /// Data kind.
     pub kind: SourceKind,
+    /// Dictionary tag for group-by queries: when set, rows carry
+    /// `[tag, value]` against the query's shared tag schema instead of a
+    /// key layout. Mutually exclusive with `key`.
+    pub tag: Option<TagSource>,
 }
 
 impl SourceSpec {
+    /// An untagged source: `[key, value]` rows when `key` is set,
+    /// `[value]` rows otherwise.
+    pub fn plain(id: SourceId, key: Option<i64>, kind: SourceKind) -> Self {
+        SourceSpec {
+            id,
+            key,
+            kind,
+            tag: None,
+        }
+    }
+
     /// The declared [`Schema`] of this source's rows. Source drivers build
     /// typed column batches against it, so every payload field travels as
-    /// a contiguous native column from the source onward.
+    /// a contiguous native column from the source onward. Tagged sources
+    /// return the query's shared tag schema (one dictionary per query).
     pub fn schema(&self) -> Schema {
+        if let Some(tag) = &self.tag {
+            return tag.schema.clone();
+        }
         match self.key {
             Some(_) => keyed_measurement_schema(),
             None => measurement_schema(),
@@ -90,7 +125,7 @@ impl SourceSpec {
 }
 
 /// One query fragment: a local operator DAG plus its external bindings.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FragmentSpec {
     /// Operators of the fragment; the local index is the operator id.
     pub operators: Vec<OperatorSpec>,
@@ -137,12 +172,13 @@ impl FragmentSpec {
 }
 
 /// A complete query: fragments, source declarations and the result fragment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// The query id.
     pub id: QueryId,
-    /// Template name (Table 1 row), for reports.
-    pub template: &'static str,
+    /// Query name (a Table-1 row for template presets, the declared name
+    /// for spec-compiled queries), for reports.
+    pub template: String,
     /// Fragments; index is the fragment's position within the query.
     pub fragments: Vec<FragmentSpec>,
     /// Fragment whose root operator emits the query result.
@@ -318,14 +354,10 @@ mod tests {
     fn simple_query() -> QuerySpec {
         QuerySpec {
             id: QueryId(0),
-            template: "test",
+            template: "test".to_string(),
             fragments: vec![identity_frag(3, 2)],
             result_fragment: 0,
-            sources: vec![SourceSpec {
-                id: SourceId(0),
-                key: None,
-                kind: SourceKind::Generic,
-            }],
+            sources: vec![SourceSpec::plain(SourceId(0), None, SourceKind::Generic)],
         }
     }
 

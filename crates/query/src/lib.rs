@@ -6,8 +6,12 @@
 //!
 //! * [`graph`] — [`graph::QuerySpec`] / [`graph::FragmentSpec`]: operator
 //!   DAGs partitioned into fragments, with validation;
+//! * [`spec`] — the declarative frontend: a SQL-ish text parser and a
+//!   typed builder, staged `Draft → Validated → Compiled` into
+//!   [`graph::QuerySpec`];
 //! * [`templates`] — the aggregate (`AVG`, `MAX`, `COUNT`) and complex
-//!   (`AVG-all`, `TOP-5`, `COV`) workloads of Table 1;
+//!   (`AVG-all`, `TOP-5`, `COV`) workloads of Table 1, as presets over
+//!   [`spec`];
 //! * [`placement`] — round-robin and Zipf fragment placement under the
 //!   "one node per fragment of a query" constraint;
 //! * [`runtime`] — [`runtime::FragmentRuntime`], which executes a
@@ -30,15 +34,19 @@
 pub mod graph;
 pub mod placement;
 pub mod runtime;
+pub mod spec;
 pub mod templates;
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::graph::{
         keyed_measurement_schema, measurement_schema, FragmentSpec, LocalEdge, QueryError,
-        QuerySpec, SourceBinding, SourceKind, SourceSpec, UpstreamBinding,
+        QuerySpec, SourceBinding, SourceKind, SourceSpec, TagSource, UpstreamBinding,
     };
     pub use crate::placement::{place, Deployment, PlacementError, PlacementPolicy};
     pub use crate::runtime::{FragmentRuntime, Ingress};
+    pub use crate::spec::{
+        AggFunc, CompiledQuery, MergeShape, QueryDef, Select, SpecError, StreamDef, ValidatedQuery,
+    };
     pub use crate::templates::Template;
 }

@@ -319,7 +319,7 @@ mod tests {
         let mut rt = FragmentRuntime::new(&q.fragments[0]);
         let pool = BatchPool::new();
         rt.set_pool(&pool);
-        let src = q.sources[0];
+        let src = q.sources[0].clone();
         let mut b = pool.acquire(&src.schema(), 2);
         for v in [40.0, 60.0] {
             b.push_row(Timestamp::from_millis(100), Sic(0.05), &[Value::F64(v)]);

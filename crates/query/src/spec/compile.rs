@@ -1,0 +1,664 @@
+//! The *Compiled* stage: infallible lowering of a [`ValidatedQuery`]
+//! into the [`QuerySpec`] operator graph the runtimes execute.
+//!
+//! The lowerings generalise the hand-built Table-1 graphs (the
+//! pre-refactor `templates.rs` constructors) over the draft's window,
+//! stream counts and fragment count — at the Table-1 parameter values
+//! they reproduce those graphs *exactly*, operator for operator and
+//! grace for grace, which the template parity tests pin. The `GROUP BY`
+//! lowering is new: it compiles a shared tag dictionary into every
+//! source so the window panes dispatch to the columnar grouped sum/count
+//! kernel at runtime.
+
+use themis_core::prelude::*;
+use themis_operators::prelude::*;
+
+use super::def::QueryDef;
+use super::validate::{Plan, ValidatedQuery};
+use crate::graph::{
+    FragmentSpec, LocalEdge, QuerySpec, SourceBinding, SourceSpec, TagSource, UpstreamBinding,
+};
+
+/// Base lateness grace for time windows (covers one shedding interval
+/// plus LAN latency).
+pub const GRACE_BASE: TimeDelta = TimeDelta(500_000);
+/// Additional grace per upstream fragment hop, so merge windows wait
+/// for partials that crossed the network and a shedding queue.
+pub const GRACE_STEP: TimeDelta = TimeDelta(500_000);
+
+pub(crate) fn chain_grace(pos: usize) -> TimeDelta {
+    TimeDelta(GRACE_BASE.as_micros() + GRACE_STEP.as_micros() * pos as u64)
+}
+
+/// A compiled query — the final stage. Wraps the lowered
+/// [`QuerySpec`]; construction is private to the spec module, so every
+/// `CompiledQuery` went through parsing/building *and* validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledQuery {
+    spec: QuerySpec,
+}
+
+impl CompiledQuery {
+    /// The lowered operator graph.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Unwraps into the operator graph for deployment.
+    pub fn into_spec(self) -> QuerySpec {
+        self.spec
+    }
+}
+
+pub(super) fn compile(vq: &ValidatedQuery, id: QueryId, sources: &mut IdGen) -> CompiledQuery {
+    let def = vq.def();
+    let spec = match vq.plan() {
+        Plan::Simple { func, predicate } => lower_simple(def, *func, *predicate, id, sources),
+        Plan::Tree => lower_tree(def, id, sources),
+        Plan::TopK { k, threshold } => lower_top_k(def, *k, *threshold, id, sources),
+        Plan::CovChain => lower_cov(def, id, sources),
+        Plan::GroupBy { group } => lower_group_by(def, group, id, sources),
+    };
+    debug_assert_eq!(spec.validate(), Ok(()));
+    CompiledQuery { spec }
+}
+
+fn window_op(def: &QueryDef, logic: LogicSpec, grace: TimeDelta) -> OperatorSpec {
+    OperatorSpec::with_grace(WindowSpec::tumbling(def.window), logic, grace)
+}
+
+/// `AVG`/`MAX`/`MIN`/`SUM`/`COUNT`: receivers -> optional filter ->
+/// windowed aggregate -> output, in one fragment.
+fn lower_simple(
+    def: &QueryDef,
+    func: super::AggFunc,
+    predicate: Option<Predicate>,
+    id: QueryId,
+    sources: &mut IdGen,
+) -> QuerySpec {
+    use super::AggFunc;
+    let stream = &def.streams[0];
+    let n = stream.count;
+    // COUNT absorbs the predicate as its HAVING clause (Table 1's
+    // `Count ... Having t.v >= 50`); other aggregates get a filter op.
+    let (logic, filter) = match func {
+        AggFunc::Avg => (LogicSpec::Avg { field: 0 }, predicate),
+        AggFunc::Max => (LogicSpec::Max { field: 0 }, predicate),
+        AggFunc::Min => (LogicSpec::Min { field: 0 }, predicate),
+        AggFunc::Sum => (LogicSpec::Sum { field: 0 }, predicate),
+        AggFunc::Count => (LogicSpec::Count { predicate }, None),
+        AggFunc::Cov => unreachable!("COV lowers via Plan::CovChain"),
+    };
+
+    let mut operators: Vec<OperatorSpec> = (0..n).map(|_| OperatorSpec::identity()).collect();
+    let mut edges = Vec::new();
+    let mut next = n;
+    if let Some(p) = filter {
+        operators.push(OperatorSpec::new(
+            WindowSpec::PassThrough,
+            LogicSpec::Filter(p),
+        ));
+        for i in 0..n {
+            edges.push(LocalEdge {
+                from: i,
+                to: next,
+                port: 0,
+            });
+        }
+        let win = next + 1;
+        edges.push(LocalEdge {
+            from: next,
+            to: win,
+            port: 0,
+        });
+        next = win;
+    } else {
+        for i in 0..n {
+            edges.push(LocalEdge {
+                from: i,
+                to: next,
+                port: 0,
+            });
+        }
+    }
+    operators.push(window_op(def, logic, GRACE_BASE));
+    let out = next + 1;
+    operators.push(OperatorSpec::identity());
+    edges.push(LocalEdge {
+        from: next,
+        to: out,
+        port: 0,
+    });
+
+    let mut declared = Vec::with_capacity(n);
+    let mut bindings = Vec::with_capacity(n);
+    for i in 0..n {
+        let sid: SourceId = sources.next();
+        declared.push(SourceSpec::plain(sid, None, stream.kind));
+        bindings.push(SourceBinding {
+            source: sid,
+            op: i,
+            port: 0,
+        });
+    }
+    QuerySpec {
+        id,
+        template: def.name.clone(),
+        fragments: vec![FragmentSpec {
+            operators,
+            edges,
+            sources: bindings,
+            upstreams: vec![],
+            root: out,
+        }],
+        result_fragment: 0,
+        sources: declared,
+    }
+}
+
+/// `MERGE TREE` average (`AVG-all`): every fragment computes a
+/// `[sum, count]` partial over its receivers; fragment 0 merges.
+fn lower_tree(def: &QueryDef, id: QueryId, sources: &mut IdGen) -> QuerySpec {
+    let stream = &def.streams[0];
+    let n = stream.count;
+    let fragments = def.fragments;
+    let mut specs = Vec::with_capacity(fragments);
+    let mut declared = Vec::new();
+    for f in 0..fragments {
+        let mut operators: Vec<OperatorSpec> = (0..n).map(|_| OperatorSpec::identity()).collect();
+        // Window grouping all local sources.
+        operators.push(window_op(def, LogicSpec::Identity, GRACE_BASE));
+        // Partial [sum, count] over the grouped pane.
+        operators.push(OperatorSpec::new(
+            WindowSpec::PassThrough,
+            LogicSpec::PartialAvg { field: 0 },
+        ));
+        // Leaf output (identity) or root merge (tree depth 1).
+        if f == 0 {
+            operators.push(window_op(def, LogicSpec::MergeAvg, chain_grace(1)));
+        } else {
+            operators.push(OperatorSpec::identity());
+        }
+        let mut edges: Vec<LocalEdge> = (0..n)
+            .map(|i| LocalEdge {
+                from: i,
+                to: n,
+                port: 0,
+            })
+            .collect();
+        edges.push(LocalEdge {
+            from: n,
+            to: n + 1,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: n + 1,
+            to: n + 2,
+            port: 0,
+        });
+        let mut bindings = Vec::with_capacity(n);
+        for i in 0..n {
+            let sid: SourceId = sources.next();
+            declared.push(SourceSpec::plain(sid, None, stream.kind));
+            bindings.push(SourceBinding {
+                source: sid,
+                op: i,
+                port: 0,
+            });
+        }
+        specs.push(FragmentSpec {
+            operators,
+            edges,
+            sources: bindings,
+            upstreams: Vec::new(),
+            root: n + 2,
+        });
+    }
+    for f in 1..fragments {
+        specs[0].upstreams.push(UpstreamBinding {
+            fragment: f,
+            op: n + 2,
+            port: 0,
+        });
+    }
+    QuerySpec {
+        id,
+        template: def.name.clone(),
+        fragments: specs,
+        result_fragment: 0,
+        sources: declared,
+    }
+}
+
+/// `TOP k .. BY` over a keyed two-stream join (`TOP-5`): chained
+/// fragments each merge their local candidates with the upstream
+/// partial list.
+fn lower_top_k(
+    def: &QueryDef,
+    k: usize,
+    threshold: Option<Predicate>,
+    id: QueryId,
+    sources: &mut IdGen,
+) -> QuerySpec {
+    let (left, right) = (&def.streams[0], &def.streams[1]);
+    let c = left.count;
+    let fragments = def.fragments;
+    let mut specs = Vec::with_capacity(fragments);
+    let mut declared = Vec::new();
+    for f in 0..fragments {
+        // Receivers: left stream at 0..c, right stream at c..2c.
+        let mut operators: Vec<OperatorSpec> =
+            (0..2 * c).map(|_| OperatorSpec::identity()).collect();
+        // Optional per-batch filter on the joined stream.
+        let filter = threshold.map(|p| {
+            operators.push(OperatorSpec::new(
+                WindowSpec::PassThrough,
+                LogicSpec::Filter(p),
+            ));
+            operators.len() - 1
+        });
+        let left_win = operators.len();
+        operators.push(window_op(def, LogicSpec::Identity, GRACE_BASE));
+        let right_win = operators.len();
+        operators.push(window_op(def, LogicSpec::Identity, GRACE_BASE));
+        // Per-key averages over the window panes.
+        let left_avg = operators.len();
+        operators.push(OperatorSpec::new(
+            WindowSpec::PassThrough,
+            LogicSpec::GroupAvg {
+                key_field: 0,
+                value_field: 1,
+            },
+        ));
+        let right_avg = operators.len();
+        operators.push(OperatorSpec::new(
+            WindowSpec::PassThrough,
+            LogicSpec::GroupAvg {
+                key_field: 0,
+                value_field: 1,
+            },
+        ));
+        // Join both streams on the key.
+        let join = operators.len();
+        operators.push(window_op(
+            def,
+            LogicSpec::Join {
+                left_key: 0,
+                right_key: 0,
+            },
+            GRACE_BASE,
+        ));
+        // Merge window combining local candidates and the upstream list.
+        let merge = operators.len();
+        operators.push(window_op(def, LogicSpec::Identity, chain_grace(f)));
+        let top = operators.len();
+        operators.push(OperatorSpec::new(
+            WindowSpec::PassThrough,
+            LogicSpec::TopK {
+                k,
+                id_field: 0,
+                value_field: 1,
+            },
+        ));
+        let out = operators.len();
+        operators.push(OperatorSpec::identity());
+
+        let mut edges: Vec<LocalEdge> = Vec::new();
+        for i in 0..c {
+            edges.push(LocalEdge {
+                from: i,
+                to: left_win,
+                port: 0,
+            });
+        }
+        let right_sink = filter.unwrap_or(right_win);
+        for i in c..2 * c {
+            edges.push(LocalEdge {
+                from: i,
+                to: right_sink,
+                port: 0,
+            });
+        }
+        if let Some(fi) = filter {
+            edges.push(LocalEdge {
+                from: fi,
+                to: right_win,
+                port: 0,
+            });
+        }
+        edges.push(LocalEdge {
+            from: left_win,
+            to: left_avg,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: right_win,
+            to: right_avg,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: left_avg,
+            to: join,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: right_avg,
+            to: join,
+            port: 1,
+        });
+        edges.push(LocalEdge {
+            from: join,
+            to: merge,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: merge,
+            to: top,
+            port: 0,
+        });
+        edges.push(LocalEdge {
+            from: top,
+            to: out,
+            port: 0,
+        });
+
+        let mut bindings = Vec::with_capacity(2 * c);
+        for i in 0..c {
+            let node_key = (f * c + i) as i64;
+            let l: SourceId = sources.next();
+            declared.push(SourceSpec::plain(l, Some(node_key), left.kind));
+            bindings.push(SourceBinding {
+                source: l,
+                op: i,
+                port: 0,
+            });
+            let r: SourceId = sources.next();
+            declared.push(SourceSpec::plain(r, Some(node_key), right.kind));
+            bindings.push(SourceBinding {
+                source: r,
+                op: c + i,
+                port: 0,
+            });
+        }
+        let upstreams = if f > 0 {
+            vec![UpstreamBinding {
+                fragment: f - 1,
+                op: merge,
+                port: 0,
+            }]
+        } else {
+            Vec::new()
+        };
+        specs.push(FragmentSpec {
+            operators,
+            edges,
+            sources: bindings,
+            upstreams,
+            root: out,
+        });
+    }
+    QuerySpec {
+        id,
+        template: def.name.clone(),
+        fragments: specs,
+        result_fragment: fragments - 1,
+        sources: declared,
+    }
+}
+
+/// `COV`: chained fragments, each windowing the covariance of its two
+/// sources and averaging in the upstream partial.
+fn lower_cov(def: &QueryDef, id: QueryId, sources: &mut IdGen) -> QuerySpec {
+    let stream = &def.streams[0];
+    let fragments = def.fragments;
+    let mut specs = Vec::with_capacity(fragments);
+    let mut declared = Vec::new();
+    for f in 0..fragments {
+        let operators = vec![
+            OperatorSpec::identity(),
+            OperatorSpec::identity(),
+            window_op(def, LogicSpec::Cov { field: 0 }, GRACE_BASE),
+            window_op(def, LogicSpec::Identity, chain_grace(f)),
+            OperatorSpec::new(WindowSpec::PassThrough, LogicSpec::Avg { field: 0 }),
+        ];
+        let edges = vec![
+            LocalEdge {
+                from: 0,
+                to: 2,
+                port: 0,
+            },
+            LocalEdge {
+                from: 1,
+                to: 2,
+                port: 1,
+            },
+            LocalEdge {
+                from: 2,
+                to: 3,
+                port: 0,
+            },
+            LocalEdge {
+                from: 3,
+                to: 4,
+                port: 0,
+            },
+        ];
+        let mut bindings = Vec::with_capacity(2);
+        for i in 0..2 {
+            let sid: SourceId = sources.next();
+            declared.push(SourceSpec::plain(sid, None, stream.kind));
+            bindings.push(SourceBinding {
+                source: sid,
+                op: i,
+                port: 0,
+            });
+        }
+        let upstreams = if f > 0 {
+            vec![UpstreamBinding {
+                fragment: f - 1,
+                op: 3,
+                port: 0,
+            }]
+        } else {
+            Vec::new()
+        };
+        specs.push(FragmentSpec {
+            operators,
+            edges,
+            sources: bindings,
+            upstreams,
+            root: 4,
+        });
+    }
+    QuerySpec {
+        id,
+        template: def.name.clone(),
+        fragments: specs,
+        result_fragment: fragments - 1,
+        sources: declared,
+    }
+}
+
+/// `GROUP BY` on a tag column: receivers -> window -> grouped
+/// sum/count -> output, with every source sharing one tag dictionary
+/// so the window panes hit `kernels::group_sum_count_f64`.
+fn lower_group_by(def: &QueryDef, group: &str, id: QueryId, sources: &mut IdGen) -> QuerySpec {
+    let stream = &def.streams[0];
+    let n = stream.count;
+    // One schema (and thus one interner) for the whole query: panes can
+    // only take the columnar group path when all their tag columns
+    // resolve against the same dictionary.
+    let schema = Schema::new([
+        (group.to_string(), FieldType::Tag),
+        ("value".to_string(), FieldType::F64),
+    ]);
+    let dict = schema
+        .interner()
+        .expect("tag field implies an interner")
+        .clone();
+
+    let mut operators: Vec<OperatorSpec> = (0..n).map(|_| OperatorSpec::identity()).collect();
+    operators.push(window_op(def, LogicSpec::Identity, GRACE_BASE));
+    operators.push(OperatorSpec::new(
+        WindowSpec::PassThrough,
+        LogicSpec::GroupAggregate {
+            key_field: 0,
+            value_field: 1,
+        },
+    ));
+    operators.push(OperatorSpec::identity());
+    let mut edges: Vec<LocalEdge> = (0..n)
+        .map(|i| LocalEdge {
+            from: i,
+            to: n,
+            port: 0,
+        })
+        .collect();
+    edges.push(LocalEdge {
+        from: n,
+        to: n + 1,
+        port: 0,
+    });
+    edges.push(LocalEdge {
+        from: n + 1,
+        to: n + 2,
+        port: 0,
+    });
+
+    let mut declared = Vec::with_capacity(n);
+    let mut bindings = Vec::with_capacity(n);
+    for i in 0..n {
+        let sid: SourceId = sources.next();
+        let label = format!("{}-{i}", stream.name);
+        let code = dict.intern(&label);
+        declared.push(SourceSpec {
+            id: sid,
+            key: None,
+            kind: stream.kind,
+            tag: Some(TagSource {
+                label,
+                code,
+                schema: schema.clone(),
+            }),
+        });
+        bindings.push(SourceBinding {
+            source: sid,
+            op: i,
+            port: 0,
+        });
+    }
+    QuerySpec {
+        id,
+        template: def.name.clone(),
+        fragments: vec![FragmentSpec {
+            operators,
+            edges,
+            sources: bindings,
+            upstreams: vec![],
+            root: n + 2,
+        }],
+        result_fragment: 0,
+        sources: declared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::QueryDef;
+
+    fn compile_text(text: &str) -> QuerySpec {
+        let mut gen = IdGen::new();
+        QueryDef::parse(text)
+            .unwrap()
+            .validate()
+            .unwrap()
+            .compile(QueryId(0), &mut gen)
+            .into_spec()
+    }
+
+    #[test]
+    fn compiled_specs_validate() {
+        for text in [
+            "SELECT AVG(value) FROM src WINDOW 1s",
+            "SELECT SUM(value) FROM src[4] WHERE value >= 10 WINDOW 250ms",
+            "SELECT AVG(value) FROM cpu[3] WINDOW 1s FRAGMENTS 4 MERGE TREE",
+            "SELECT TOP 3 key BY AVG(value) FROM cpu[4] JOIN mem[4] ON key \
+             WINDOW 1s FRAGMENTS 2",
+            "SELECT COV(value) FROM cpu[2] WINDOW 1s FRAGMENTS 3",
+            "SELECT host, SUM(value) FROM sensors[8] GROUP BY host WINDOW 1s",
+        ] {
+            let q = compile_text(text);
+            assert_eq!(q.validate(), Ok(()), "{text}");
+        }
+    }
+
+    #[test]
+    fn where_inserts_a_filter_stage() {
+        let plain = compile_text("SELECT SUM(value) FROM src[4] WINDOW 1s");
+        let filtered = compile_text("SELECT SUM(value) FROM src[4] WHERE value >= 10 WINDOW 1s");
+        assert_eq!(plain.fragments[0].n_operators(), 6);
+        assert_eq!(filtered.fragments[0].n_operators(), 7);
+        assert_eq!(
+            filtered.fragments[0].operators[4].logic,
+            LogicSpec::Filter(Predicate::new(0, CmpOp::Ge, 10.0))
+        );
+        // COUNT keeps the predicate inside the aggregate instead.
+        let count = compile_text("SELECT COUNT(value) FROM src WHERE value >= 50 WINDOW 1s");
+        assert_eq!(count.fragments[0].n_operators(), 3);
+        assert_eq!(
+            count.fragments[0].operators[1].logic,
+            LogicSpec::Count {
+                predicate: Some(Predicate::new(0, CmpOp::Ge, 50.0))
+            }
+        );
+    }
+
+    #[test]
+    fn top_k_without_where_drops_the_filter_op() {
+        let filtered = compile_text(
+            "SELECT TOP 3 key BY AVG(value) FROM cpu[4] JOIN mem[4] ON key \
+             WHERE mem.value >= 1 WINDOW 1s",
+        );
+        let open =
+            compile_text("SELECT TOP 3 key BY AVG(value) FROM cpu[4] JOIN mem[4] ON key WINDOW 1s");
+        assert_eq!(filtered.fragments[0].n_operators(), 17);
+        assert_eq!(open.fragments[0].n_operators(), 16);
+        open.validate().unwrap();
+    }
+
+    #[test]
+    fn custom_windows_reach_every_windowed_operator() {
+        let q = compile_text("SELECT AVG(value) FROM cpu[3] WINDOW 250ms FRAGMENTS 2 MERGE TREE");
+        for f in &q.fragments {
+            for op in &f.operators {
+                if let WindowSpec::Tumbling { size } = op.window {
+                    assert_eq!(size, TimeDelta::from_millis(250));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_shares_one_dictionary_across_sources() {
+        let q = compile_text("SELECT host, SUM(value) FROM sensors[8] GROUP BY host WINDOW 1s");
+        assert_eq!(q.sources.len(), 8);
+        let first = q.sources[0].tag.as_ref().unwrap();
+        let dict = first.schema.interner().unwrap();
+        for (i, s) in q.sources.iter().enumerate() {
+            let tag = s.tag.as_ref().unwrap();
+            assert_eq!(tag.label, format!("sensors-{i}"));
+            assert!(std::sync::Arc::ptr_eq(dict, tag.schema.interner().unwrap()));
+            assert_eq!(tag.schema.field_name(0), Some("host"));
+            assert_eq!(dict.resolve(tag.code).as_deref(), Some(tag.label.as_str()));
+        }
+        // The aggregate dispatches to the grouped kernel logic.
+        assert_eq!(
+            q.fragments[0].operators[9].logic,
+            LogicSpec::GroupAggregate {
+                key_field: 0,
+                value_field: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! The *Draft* stage: [`QueryDef`], an untyped-but-structured query
+//! definition produced by the text parser or the builder API.
+//!
+//! A draft makes no semantic promises — columns may not exist, aggregates
+//! may target tag columns, fragment shapes may be inconsistent. All of
+//! that is checked exactly once by [`QueryDef::validate`], which is the
+//! only way to obtain a [`ValidatedQuery`](super::ValidatedQuery); the
+//! later stages are therefore correct by construction.
+
+use std::fmt;
+
+use themis_core::prelude::TimeDelta;
+use themis_operators::prelude::CmpOp;
+
+use super::validate::{SpecError, ValidatedQuery};
+use crate::graph::SourceKind;
+
+/// Aggregate functions of the declarative query language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Arithmetic mean of the aggregated column.
+    Avg,
+    /// Maximum of the aggregated column.
+    Max,
+    /// Minimum of the aggregated column.
+    Min,
+    /// Sum of the aggregated column.
+    Sum,
+    /// Row count (an optional `WHERE` acts as the paper's `Having`).
+    Count,
+    /// Covariance of two source streams (Table 1's `COV`).
+    Cov,
+}
+
+impl AggFunc {
+    /// Every aggregate function, in surface-syntax order.
+    pub const ALL: [AggFunc; 6] = [
+        AggFunc::Avg,
+        AggFunc::Max,
+        AggFunc::Min,
+        AggFunc::Sum,
+        AggFunc::Count,
+        AggFunc::Cov,
+    ];
+
+    /// Canonical (upper-case) surface spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Avg => "AVG",
+            AggFunc::Max => "MAX",
+            AggFunc::Min => "MIN",
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Cov => "COV",
+        }
+    }
+
+    /// Parses a function name, case-insensitively.
+    pub fn parse(s: &str) -> Option<AggFunc> {
+        let up = s.to_ascii_uppercase();
+        AggFunc::ALL.into_iter().find(|f| f.name() == up)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One input stream declaration — `cpu[10]` in the surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamDef {
+    /// Stream name (used for `WHERE` qualification and tag labels).
+    pub name: String,
+    /// Number of physical sources feeding each fragment.
+    pub count: usize,
+    /// What the sources measure; drives the workload generators.
+    pub kind: SourceKind,
+}
+
+impl StreamDef {
+    /// Declares a stream of `count` sources per fragment. The source kind
+    /// is inferred from the name: `cpu*` streams report CPU usage, `mem*`
+    /// streams report free memory, anything else is a generic measurement.
+    pub fn new(name: impl Into<String>, count: usize) -> StreamDef {
+        let name = name.into();
+        let kind = infer_kind(&name);
+        StreamDef { name, count, kind }
+    }
+
+    /// Overrides the inferred source kind.
+    pub fn with_kind(mut self, kind: SourceKind) -> StreamDef {
+        self.kind = kind;
+        self
+    }
+}
+
+fn infer_kind(name: &str) -> SourceKind {
+    let lower = name.to_ascii_lowercase();
+    if lower.starts_with("cpu") {
+        SourceKind::Cpu
+    } else if lower.starts_with("mem") {
+        SourceKind::MemFree
+    } else {
+        SourceKind::Generic
+    }
+}
+
+/// A `WHERE` predicate: `[stream.]column <cmp> value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterDef {
+    /// Qualifying stream name (`mem` in `mem.value`), if any. Required
+    /// when the query joins two streams.
+    pub stream: Option<String>,
+    /// Column the predicate reads.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand constant.
+    pub value: f64,
+}
+
+/// The `SELECT` clause of a draft query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Select {
+    /// A plain aggregate: `AGG(column)`.
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Column to aggregate.
+        column: String,
+    },
+    /// A ranking query: `TOP k key BY AGG(column)`.
+    TopK {
+        /// How many keys to keep.
+        k: usize,
+        /// Key column identifying ranked entities.
+        key: String,
+        /// Ranking aggregate.
+        func: AggFunc,
+        /// Column the ranking aggregate reads.
+        column: String,
+    },
+}
+
+/// How a multi-fragment query combines per-fragment partials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeShape {
+    /// Fragments form a chain; each merges the upstream fragment's
+    /// partial into its local result (Table 1's `TOP-5` / `COV`).
+    #[default]
+    Chain,
+    /// Fragments form a depth-1 tree: every fragment sends its partial to
+    /// fragment 0, which merges them (Table 1's `AVG-all`).
+    Tree,
+}
+
+/// A draft query definition — the entry stage of the
+/// `Draft → Validated → Compiled` pipeline.
+///
+/// Construct one with the builder API ([`QueryDef::aggregate`],
+/// [`QueryDef::top_k`] plus the chainable setters) or from text with
+/// [`QueryDef::parse`]; both produce the same structure, so every query
+/// expressible in the surface language is expressible in code and vice
+/// versa. Fields are public: a draft is plain data and carries no
+/// invariants — those are established by [`QueryDef::validate`].
+///
+/// ```
+/// use themis_query::spec::{AggFunc, QueryDef, StreamDef};
+///
+/// let built = QueryDef::aggregate(AggFunc::Avg, "value")
+///     .from_stream(StreamDef::new("src", 1));
+/// let parsed = QueryDef::parse("SELECT AVG(value) FROM src WINDOW 1s").unwrap();
+/// assert_eq!(built, parsed);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryDef {
+    /// Query name used in reports (defaults to `AGG(column)`).
+    pub name: String,
+    /// The `SELECT` clause.
+    pub select: Select,
+    /// Input streams (one, or two when joining).
+    pub streams: Vec<StreamDef>,
+    /// Join key column, when two streams are joined.
+    pub join_on: Option<String>,
+    /// Optional `WHERE` predicate.
+    pub filter: Option<FilterDef>,
+    /// Optional `GROUP BY` tag column.
+    pub group_by: Option<String>,
+    /// Window length (Table 1 reports once per second).
+    pub window: TimeDelta,
+    /// Number of fragments.
+    pub fragments: usize,
+    /// Partial-merge shape for multi-fragment queries.
+    pub merge: MergeShape,
+}
+
+/// One-second default window, matching the Table-1 evaluation.
+const DEFAULT_WINDOW: TimeDelta = TimeDelta(1_000_000);
+
+impl QueryDef {
+    /// Starts a plain aggregate draft: `SELECT func(column) FROM src`.
+    pub fn aggregate(func: AggFunc, column: impl Into<String>) -> QueryDef {
+        let column = column.into();
+        QueryDef {
+            name: format!("{}({})", func.name(), column),
+            select: Select::Agg { func, column },
+            streams: vec![StreamDef::new("src", 1)],
+            join_on: None,
+            filter: None,
+            group_by: None,
+            window: DEFAULT_WINDOW,
+            fragments: 1,
+            merge: MergeShape::Chain,
+        }
+    }
+
+    /// Starts a ranking draft: `SELECT TOP k key BY func(column)`.
+    pub fn top_k(
+        k: usize,
+        key: impl Into<String>,
+        func: AggFunc,
+        column: impl Into<String>,
+    ) -> QueryDef {
+        QueryDef {
+            name: format!("TOP-{k}"),
+            select: Select::TopK {
+                k,
+                key: key.into(),
+                func,
+                column: column.into(),
+            },
+            streams: vec![StreamDef::new("src", 1)],
+            join_on: None,
+            filter: None,
+            group_by: None,
+            window: DEFAULT_WINDOW,
+            fragments: 1,
+            merge: MergeShape::Chain,
+        }
+    }
+
+    /// Sets the report name.
+    pub fn named(mut self, name: impl Into<String>) -> QueryDef {
+        self.name = name.into();
+        self
+    }
+
+    /// Replaces the primary input stream.
+    pub fn from_stream(mut self, stream: StreamDef) -> QueryDef {
+        if self.streams.is_empty() {
+            self.streams.push(stream);
+        } else {
+            self.streams[0] = stream;
+        }
+        self
+    }
+
+    /// Joins a second stream on the given key column.
+    pub fn join(mut self, stream: StreamDef, on: impl Into<String>) -> QueryDef {
+        self.streams.truncate(1);
+        self.streams.push(stream);
+        self.join_on = Some(on.into());
+        self
+    }
+
+    /// Adds a `WHERE` predicate. The column may be qualified with a
+    /// stream name (`"mem.value"`), which is required when joining.
+    pub fn filter(mut self, column: &str, op: CmpOp, value: f64) -> QueryDef {
+        let (stream, column) = match column.split_once('.') {
+            Some((s, c)) => (Some(s.to_string()), c.to_string()),
+            None => (None, column.to_string()),
+        };
+        self.filter = Some(FilterDef {
+            stream,
+            column,
+            op,
+            value,
+        });
+        self
+    }
+
+    /// Groups the aggregate by a tag column.
+    pub fn group_by(mut self, column: impl Into<String>) -> QueryDef {
+        self.group_by = Some(column.into());
+        self
+    }
+
+    /// Sets the window length.
+    pub fn window(mut self, window: TimeDelta) -> QueryDef {
+        self.window = window;
+        self
+    }
+
+    /// Sets the fragment count.
+    pub fn fragments(mut self, fragments: usize) -> QueryDef {
+        self.fragments = fragments;
+        self
+    }
+
+    /// Sets the partial-merge shape.
+    pub fn merge(mut self, merge: MergeShape) -> QueryDef {
+        self.merge = merge;
+        self
+    }
+
+    /// Parses the surface syntax into a draft. See the [module
+    /// docs](super) for the grammar.
+    pub fn parse(text: &str) -> Result<QueryDef, SpecError> {
+        super::parse::parse(text)
+    }
+
+    /// Checks the draft's semantics, promoting it to a
+    /// [`ValidatedQuery`] or explaining what is wrong.
+    pub fn validate(self) -> Result<ValidatedQuery, SpecError> {
+        super::validate::validate(self)
+    }
+
+    /// Renders the draft back into canonical surface syntax, such that
+    /// `QueryDef::parse(def.text())` reproduces the draft (up to the
+    /// report name, which the text form does not carry).
+    pub fn text(&self) -> String {
+        let mut out = String::from("SELECT ");
+        match &self.select {
+            Select::Agg { func, column } => {
+                if let Some(g) = &self.group_by {
+                    out.push_str(g);
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{func}({column})"));
+            }
+            Select::TopK {
+                k,
+                key,
+                func,
+                column,
+            } => out.push_str(&format!("TOP {k} {key} BY {func}({column})")),
+        }
+        for (i, s) in self.streams.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&format!(" FROM {}[{}]", s.name, s.count));
+            } else {
+                out.push_str(&format!(" JOIN {}[{}]", s.name, s.count));
+                if let Some(on) = &self.join_on {
+                    out.push_str(&format!(" ON {on}"));
+                }
+            }
+        }
+        if let Some(f) = &self.filter {
+            out.push_str(" WHERE ");
+            if let Some(s) = &f.stream {
+                out.push_str(&format!("{s}."));
+            }
+            let cmp = match f.op {
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Eq => "==",
+            };
+            out.push_str(&format!("{} {cmp} {}", f.column, f.value));
+        }
+        if let Some(g) = &self.group_by {
+            out.push_str(&format!(" GROUP BY {g}"));
+        }
+        out.push_str(&format!(" WINDOW {}", fmt_duration(self.window)));
+        if self.fragments != 1 {
+            out.push_str(&format!(" FRAGMENTS {}", self.fragments));
+        }
+        if self.merge == MergeShape::Tree {
+            out.push_str(" MERGE TREE");
+        }
+        out
+    }
+}
+
+fn fmt_duration(d: TimeDelta) -> String {
+    let us = d.as_micros();
+    if us % 1_000_000 == 0 {
+        format!("{}s", us / 1_000_000)
+    } else if us % 1_000 == 0 {
+        format!("{}ms", us / 1_000)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_func_names_round_trip() {
+        for f in AggFunc::ALL {
+            assert_eq!(AggFunc::parse(f.name()), Some(f));
+            assert_eq!(AggFunc::parse(&f.name().to_lowercase()), Some(f));
+        }
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+
+    #[test]
+    fn stream_kind_inference() {
+        assert_eq!(StreamDef::new("cpu", 10).kind, SourceKind::Cpu);
+        assert_eq!(StreamDef::new("mem", 10).kind, SourceKind::MemFree);
+        assert_eq!(StreamDef::new("sensors", 4).kind, SourceKind::Generic);
+        assert_eq!(
+            StreamDef::new("sensors", 4).with_kind(SourceKind::Cpu).kind,
+            SourceKind::Cpu
+        );
+    }
+
+    #[test]
+    fn builder_defaults_match_table1() {
+        let d = QueryDef::aggregate(AggFunc::Avg, "value");
+        assert_eq!(d.window, TimeDelta::from_secs(1));
+        assert_eq!(d.fragments, 1);
+        assert_eq!(d.merge, MergeShape::Chain);
+        assert_eq!(d.name, "AVG(value)");
+    }
+
+    #[test]
+    fn text_renders_every_clause() {
+        let d = QueryDef::top_k(5, "key", AggFunc::Avg, "value")
+            .from_stream(StreamDef::new("cpu", 10))
+            .join(StreamDef::new("mem", 10), "key")
+            .filter("mem.value", CmpOp::Ge, 100_000.0)
+            .fragments(3);
+        assert_eq!(
+            d.text(),
+            "SELECT TOP 5 key BY AVG(value) FROM cpu[10] JOIN mem[10] ON key \
+             WHERE mem.value >= 100000 WINDOW 1s FRAGMENTS 3"
+        );
+    }
+
+    #[test]
+    fn duration_formatting_picks_the_coarsest_unit() {
+        assert_eq!(fmt_duration(TimeDelta::from_secs(2)), "2s");
+        assert_eq!(fmt_duration(TimeDelta::from_millis(250)), "250ms");
+        assert_eq!(fmt_duration(TimeDelta::from_micros(1500)), "1500us");
+    }
+}

@@ -1,0 +1,533 @@
+//! The text front-end: a hand-rolled lexer and recursive-descent parser
+//! for the surface syntax described in the [module docs](super). Parsing
+//! only builds a [`QueryDef`] draft — semantic checks live in
+//! [`validate`](super::validate).
+
+use themis_core::prelude::TimeDelta;
+use themis_operators::prelude::CmpOp;
+
+use super::def::{AggFunc, FilterDef, MergeShape, QueryDef, Select, StreamDef};
+use super::validate::SpecError;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Cmp(CmpOp),
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Number(n) => format!("number `{n}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Cmp(_) => "comparison operator".into(),
+        }
+    }
+}
+
+fn err(pos: usize, message: impl Into<String>) -> SpecError {
+    SpecError::Parse {
+        pos,
+        message: message.into(),
+    }
+}
+
+fn lex(text: &str) -> Result<Vec<(usize, Tok)>, SpecError> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            '[' => {
+                toks.push((i, Tok::LBracket));
+                i += 1;
+            }
+            ']' => {
+                toks.push((i, Tok::RBracket));
+                i += 1;
+            }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            '.' => {
+                toks.push((i, Tok::Dot));
+                i += 1;
+            }
+            '<' | '>' | '=' | '!' => {
+                let two = &text[i..(i + 2).min(text.len())];
+                let (op, len) = match two {
+                    "<=" => (Some(CmpOp::Le), 2),
+                    ">=" => (Some(CmpOp::Ge), 2),
+                    "==" => (Some(CmpOp::Eq), 2),
+                    "!=" => (None, 2),
+                    _ if c == '<' => (Some(CmpOp::Lt), 1),
+                    _ if c == '>' => (Some(CmpOp::Gt), 1),
+                    _ if c == '=' => (Some(CmpOp::Eq), 1),
+                    _ => (None, 1),
+                };
+                match op {
+                    Some(op) => toks.push((i, Tok::Cmp(op))),
+                    None => {
+                        return Err(err(
+                            i,
+                            format!(
+                                "unsupported comparison `{}` (use <, <=, >, >= or ==)",
+                                &two[..len]
+                            ),
+                        ))
+                    }
+                }
+                i += len;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut seen_dot = false;
+                let mut digits = String::new();
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        digits.push(d);
+                        i += 1;
+                    } else if d == '_' {
+                        i += 1;
+                    } else if d == '.'
+                        && !seen_dot
+                        && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                    {
+                        seen_dot = true;
+                        digits.push('.');
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = digits
+                    .parse()
+                    .map_err(|_| err(start, format!("bad number `{digits}`")))?;
+                toks.push((start, Tok::Number(n)));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((start, Tok::Ident(text[start..i].to_string())));
+            }
+            other => return Err(err(i, format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map(|(p, _)| *p).unwrap_or(self.end)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// True when the next token is the given keyword (case-insensitive);
+    /// consumes it if so.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SpecError> {
+        let pos = self.here();
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(t) => Err(err(pos, format!("expected `{kw}`, found {}", t.describe()))),
+                None => Err(err(pos, format!("expected `{kw}`, found end of query"))),
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, SpecError> {
+        let pos = self.here();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(err(pos, format!("expected {what}, found {}", t.describe()))),
+            None => Err(err(pos, format!("expected {what}, found end of query"))),
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<f64, SpecError> {
+        let pos = self.here();
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(n),
+            Some(t) => Err(err(pos, format!("expected {what}, found {}", t.describe()))),
+            None => Err(err(pos, format!("expected {what}, found end of query"))),
+        }
+    }
+
+    fn expect_uint(&mut self, what: &str) -> Result<usize, SpecError> {
+        let pos = self.here();
+        let n = self.expect_number(what)?;
+        if n.fract() != 0.0 || n < 0.0 || n > usize::MAX as f64 {
+            return Err(err(pos, format!("expected {what}, found `{n}`")));
+        }
+        Ok(n as usize)
+    }
+
+    fn expect_tok(&mut self, tok: Tok, what: &str) -> Result<(), SpecError> {
+        let pos = self.here();
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            Some(t) => Err(err(pos, format!("expected {what}, found {}", t.describe()))),
+            None => Err(err(pos, format!("expected {what}, found end of query"))),
+        }
+    }
+
+    /// `FUNC ( column )`, with the function name already consumed.
+    fn agg_tail(
+        &mut self,
+        func_name: &str,
+        func_pos: usize,
+    ) -> Result<(AggFunc, String), SpecError> {
+        let func = AggFunc::parse(func_name).ok_or_else(|| {
+            err(
+                func_pos,
+                format!(
+                    "unknown aggregate `{func_name}` (expected AVG, MAX, MIN, SUM, COUNT or COV)"
+                ),
+            )
+        })?;
+        self.expect_tok(Tok::LParen, "`(`")?;
+        let column = self.expect_ident("a column name")?;
+        self.expect_tok(Tok::RParen, "`)`")?;
+        Ok((func, column))
+    }
+
+    /// `name[count]` (count defaults to 1).
+    fn stream(&mut self) -> Result<StreamDef, SpecError> {
+        let name = self.expect_ident("a stream name")?;
+        let mut count = 1;
+        if self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            count = self.expect_uint("a source count")?;
+            self.expect_tok(Tok::RBracket, "`]`")?;
+        }
+        Ok(StreamDef::new(name, count))
+    }
+
+    /// `number unit` where unit is `s`, `ms` or `us`.
+    fn duration(&mut self) -> Result<TimeDelta, SpecError> {
+        let n = self.expect_number("a window length like `1s`")?;
+        let pos = self.here();
+        let unit = self.expect_ident("a time unit (`s`, `ms` or `us`)")?;
+        let per = match unit.to_ascii_lowercase().as_str() {
+            "s" | "sec" | "secs" => 1_000_000.0,
+            "ms" => 1_000.0,
+            "us" => 1.0,
+            other => {
+                return Err(err(
+                    pos,
+                    format!("unknown time unit `{other}` (use s, ms or us)"),
+                ))
+            }
+        };
+        Ok(TimeDelta::from_micros((n * per).round() as u64))
+    }
+}
+
+pub(super) fn parse(text: &str) -> Result<QueryDef, SpecError> {
+    let toks = lex(text)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        end: text.len(),
+    };
+
+    p.expect_kw("SELECT")?;
+
+    // SELECT clause: `TOP k key BY AGG(col)`, `group, AGG(col)` or
+    // `AGG(col)`.
+    let mut selected_group: Option<(usize, String)> = None;
+    let select = if p.eat_kw("TOP") {
+        let k = p.expect_uint("a rank count after TOP")?;
+        let key = p.expect_ident("a key column after TOP k")?;
+        p.expect_kw("BY")?;
+        let func_pos = p.here();
+        let func_name = p.expect_ident("an aggregate function")?;
+        let (func, column) = p.agg_tail(&func_name, func_pos)?;
+        Select::TopK {
+            k,
+            key,
+            func,
+            column,
+        }
+    } else {
+        let first_pos = p.here();
+        let first = p.expect_ident("an aggregate function or group column")?;
+        if p.peek() == Some(&Tok::Comma) {
+            p.pos += 1;
+            let func_pos = p.here();
+            let func_name = p.expect_ident("an aggregate function")?;
+            let (func, column) = p.agg_tail(&func_name, func_pos)?;
+            selected_group = Some((first_pos, first));
+            Select::Agg { func, column }
+        } else {
+            let (func, column) = p.agg_tail(&first, first_pos)?;
+            Select::Agg { func, column }
+        }
+    };
+
+    p.expect_kw("FROM")?;
+    let primary = p.stream()?;
+    let mut def = match &select {
+        Select::Agg { func, column } => QueryDef::aggregate(*func, column.clone()),
+        Select::TopK {
+            k,
+            key,
+            func,
+            column,
+        } => QueryDef::top_k(*k, key.clone(), *func, column.clone()),
+    };
+    def = def.from_stream(primary);
+
+    if p.eat_kw("JOIN") {
+        let joined = p.stream()?;
+        p.expect_kw("ON")?;
+        let on = p.expect_ident("a join key column")?;
+        def = def.join(joined, on);
+    }
+
+    if p.eat_kw("WHERE") {
+        let first = p.expect_ident("a column in WHERE")?;
+        let (stream, column) = if p.peek() == Some(&Tok::Dot) {
+            p.pos += 1;
+            (Some(first), p.expect_ident("a column after `.`")?)
+        } else {
+            (None, first)
+        };
+        let pos = p.here();
+        let op = match p.next() {
+            Some(Tok::Cmp(op)) => op,
+            Some(t) => {
+                return Err(err(
+                    pos,
+                    format!("expected a comparison operator, found {}", t.describe()),
+                ))
+            }
+            None => {
+                return Err(err(
+                    pos,
+                    "expected a comparison operator, found end of query",
+                ))
+            }
+        };
+        let value = p.expect_number("a constant in WHERE")?;
+        def.filter = Some(FilterDef {
+            stream,
+            column,
+            op,
+            value,
+        });
+    }
+
+    if p.eat_kw("GROUP") {
+        p.expect_kw("BY")?;
+        let col = p.expect_ident("a column after GROUP BY")?;
+        def = def.group_by(col);
+    }
+
+    if p.eat_kw("WINDOW") {
+        def.window = p.duration()?;
+    }
+
+    if p.eat_kw("FRAGMENTS") {
+        def.fragments = p.expect_uint("a fragment count")?;
+    }
+
+    if p.eat_kw("MERGE") {
+        let pos = p.here();
+        if p.eat_kw("CHAIN") {
+            def.merge = MergeShape::Chain;
+        } else if p.eat_kw("TREE") {
+            def.merge = MergeShape::Tree;
+        } else {
+            return Err(err(pos, "expected `CHAIN` or `TREE` after MERGE"));
+        }
+    }
+
+    if let Some(t) = p.peek() {
+        return Err(err(
+            p.here(),
+            format!(
+                "unexpected {} — clauses must appear in the order \
+                 JOIN, WHERE, GROUP BY, WINDOW, FRAGMENTS, MERGE",
+                t.describe()
+            ),
+        ));
+    }
+
+    // `SELECT g, AGG(v) ... GROUP BY g`: the selected group column and the
+    // GROUP BY clause must agree; selecting one implies grouping by it.
+    if let Some((pos, g)) = selected_group {
+        match &def.group_by {
+            None => def.group_by = Some(g),
+            Some(existing) if *existing == g => {}
+            Some(existing) => {
+                return Err(err(
+                    pos,
+                    format!("selected group column `{g}` does not match GROUP BY `{existing}`"),
+                ))
+            }
+        }
+    }
+
+    Ok(def)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_simple_aggregate() {
+        let d = parse("SELECT AVG(value) FROM src WINDOW 1s").unwrap();
+        assert_eq!(
+            d.select,
+            Select::Agg {
+                func: AggFunc::Avg,
+                column: "value".into()
+            }
+        );
+        assert_eq!(d.streams, vec![StreamDef::new("src", 1)]);
+        assert_eq!(d.window, TimeDelta::from_secs(1));
+        assert_eq!(d.fragments, 1);
+    }
+
+    #[test]
+    fn parses_every_clause() {
+        let d = parse(
+            "select top 5 key by avg(value) from cpu[10] join mem[10] on key \
+             where mem.value >= 100_000 window 1s fragments 4 merge chain",
+        )
+        .unwrap();
+        assert_eq!(
+            d.select,
+            Select::TopK {
+                k: 5,
+                key: "key".into(),
+                func: AggFunc::Avg,
+                column: "value".into()
+            }
+        );
+        assert_eq!(d.streams.len(), 2);
+        assert_eq!(d.streams[1].name, "mem");
+        assert_eq!(d.join_on.as_deref(), Some("key"));
+        let f = d.filter.unwrap();
+        assert_eq!(f.stream.as_deref(), Some("mem"));
+        assert_eq!(f.op, CmpOp::Ge);
+        assert_eq!(f.value, 100_000.0);
+        assert_eq!(d.fragments, 4);
+    }
+
+    #[test]
+    fn parses_group_select_and_reconciles_group_by() {
+        let d = parse("SELECT host, SUM(value) FROM sensors[8] GROUP BY host WINDOW 1s").unwrap();
+        assert_eq!(d.group_by.as_deref(), Some("host"));
+        // Selecting the group column alone implies GROUP BY.
+        let d2 = parse("SELECT host, SUM(value) FROM sensors[8] WINDOW 1s").unwrap();
+        assert_eq!(d2.group_by.as_deref(), Some("host"));
+        let e = parse("SELECT host, SUM(value) FROM s GROUP BY rack").unwrap_err();
+        assert!(e.to_string().contains("does not match GROUP BY"));
+    }
+
+    #[test]
+    fn parses_durations() {
+        for (text, us) in [("2s", 2_000_000), ("250ms", 250_000), ("1500us", 1_500)] {
+            let d = parse(&format!("SELECT AVG(value) FROM s WINDOW {text}")).unwrap();
+            assert_eq!(d.window.as_micros(), us, "{text}");
+        }
+    }
+
+    #[test]
+    fn errors_name_the_offender() {
+        let e = parse("SELECT MEDIAN(value) FROM s").unwrap_err();
+        assert!(e.to_string().contains("unknown aggregate `MEDIAN`"), "{e}");
+
+        let e = parse("SELECT AVG(value) FROM s WHERE value != 3").unwrap_err();
+        assert!(e.to_string().contains("unsupported comparison"), "{e}");
+
+        let e = parse("SELECT AVG(value)").unwrap_err();
+        assert!(e.to_string().contains("expected `FROM`"), "{e}");
+
+        let e = parse("SELECT AVG(value) FROM s WINDOW 1 fortnights").unwrap_err();
+        assert!(e.to_string().contains("unknown time unit"), "{e}");
+
+        let e = parse("SELECT AVG(value) FROM s LIMIT 3").unwrap_err();
+        assert!(e.to_string().contains("unexpected"), "{e}");
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        for text in [
+            "SELECT AVG(value) FROM src[1] WINDOW 1s",
+            "SELECT COUNT(value) FROM src[1] WHERE value >= 50 WINDOW 1s",
+            "SELECT AVG(value) FROM cpu[10] WINDOW 1s FRAGMENTS 4 MERGE TREE",
+            "SELECT TOP 5 key BY AVG(value) FROM cpu[10] JOIN mem[10] ON key \
+             WHERE mem.value >= 100000 WINDOW 1s FRAGMENTS 2",
+            "SELECT COV(value) FROM cpu[2] WINDOW 1s FRAGMENTS 3",
+            "SELECT host, SUM(value) FROM sensors[8] GROUP BY host WINDOW 1s",
+        ] {
+            let d = parse(text).unwrap();
+            assert_eq!(d.text(), text, "canonical form differs");
+            assert_eq!(parse(&d.text()).unwrap(), d, "re-parse differs");
+        }
+    }
+}

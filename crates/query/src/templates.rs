@@ -1,4 +1,5 @@
-//! The query workloads of Table 1.
+//! The query workloads of Table 1, as presets over the declarative
+//! [`spec`](crate::spec) layer.
 //!
 //! **Aggregate workload** (single source, 1 s windows): `AVG`, `MAX`,
 //! `COUNT` (`Having t.v >= 50`).
@@ -17,21 +18,18 @@
 //!   chain; the final value is the mean of the per-fragment covariances
 //!   (incremental-equivalent processing, see DESIGN.md). 5 operators per
 //!   fragment.
+//!
+//! Each template is a [`QueryDef`] draft ([`Template::def`]) pushed
+//! through the staged `validate → compile` pipeline, so templates and
+//! hand-written declarative queries share a single graph-construction
+//! path; [`Template::text`] shows the equivalent surface syntax.
 
 use themis_core::prelude::*;
-use themis_operators::prelude::*;
 
-use crate::graph::{
-    keyed_measurement_schema, measurement_schema, FragmentSpec, LocalEdge, QuerySpec,
-    SourceBinding, SourceKind, SourceSpec, UpstreamBinding,
-};
+use crate::graph::{keyed_measurement_schema, measurement_schema, QuerySpec};
+use crate::spec::{AggFunc, CmpOp, MergeShape, QueryDef, StreamDef};
 
-/// Base lateness grace for time windows (covers one shedding interval plus
-/// LAN latency).
-pub const GRACE_BASE: TimeDelta = TimeDelta(500_000);
-/// Additional grace per upstream fragment hop, so merge windows wait for
-/// partials that crossed the network and a shedding queue.
-pub const GRACE_STEP: TimeDelta = TimeDelta(500_000);
+pub use crate::spec::{GRACE_BASE, GRACE_STEP};
 
 /// The evaluation's window length: every Table-1 query reports once per
 /// second.
@@ -119,438 +117,56 @@ impl Template {
         }
     }
 
+    /// The template as a declarative [`QueryDef`] draft — the single
+    /// source of truth for what each Table-1 query *is*. [`Template::build`]
+    /// pushes this draft through `validate → compile`.
+    pub fn def(&self) -> QueryDef {
+        let def = match self {
+            Template::Avg => {
+                QueryDef::aggregate(AggFunc::Avg, "value").from_stream(StreamDef::new("src", 1))
+            }
+            Template::Max => {
+                QueryDef::aggregate(AggFunc::Max, "value").from_stream(StreamDef::new("src", 1))
+            }
+            Template::Count => QueryDef::aggregate(AggFunc::Count, "value")
+                .from_stream(StreamDef::new("src", 1))
+                .filter("value", CmpOp::Ge, 50.0),
+            Template::AvgAll { .. } => QueryDef::aggregate(AggFunc::Avg, "value")
+                .from_stream(StreamDef::new("cpu", 10))
+                .fragments(self.fragments())
+                .merge(MergeShape::Tree),
+            Template::Top5 { .. } => QueryDef::top_k(5, "key", AggFunc::Avg, "value")
+                .from_stream(StreamDef::new("cpu", 10))
+                .join(StreamDef::new("mem", 10), "key")
+                .filter("mem.value", CmpOp::Ge, 100_000.0)
+                .fragments(self.fragments()),
+            Template::Cov { .. } => QueryDef::aggregate(AggFunc::Cov, "value")
+                .from_stream(StreamDef::new("cpu", 2))
+                .fragments(self.fragments()),
+        };
+        def.named(self.name()).window(WINDOW)
+    }
+
+    /// The template in the declarative surface syntax
+    /// (`QueryDef::parse(t.text())` reproduces [`Template::def`]).
+    pub fn text(&self) -> String {
+        self.def().text()
+    }
+
     /// Builds the query, drawing fresh source ids from `sources`.
     pub fn build(&self, id: QueryId, sources: &mut IdGen) -> QuerySpec {
-        let spec = match self {
-            Template::Avg => build_simple(id, self.name(), sources, LogicSpec::Avg { field: 0 }),
-            Template::Max => build_simple(id, self.name(), sources, LogicSpec::Max { field: 0 }),
-            Template::Count => build_simple(
-                id,
-                self.name(),
-                sources,
-                LogicSpec::Count {
-                    predicate: Some(Predicate::new(0, CmpOp::Ge, 50.0)),
-                },
-            ),
-            Template::AvgAll { .. } => build_avg_all(id, self.fragments(), sources),
-            Template::Top5 { .. } => build_top5(id, self.fragments(), sources),
-            Template::Cov { .. } => build_cov(id, self.fragments(), sources),
-        };
-        debug_assert_eq!(spec.validate(), Ok(()));
-        spec
-    }
-}
-
-fn chain_grace(pos: usize) -> TimeDelta {
-    TimeDelta(GRACE_BASE.as_micros() + GRACE_STEP.as_micros() * pos as u64)
-}
-
-/// AVG / MAX / COUNT: receiver -> 1 s windowed aggregate -> output.
-fn build_simple(
-    id: QueryId,
-    template: &'static str,
-    sources: &mut IdGen,
-    logic: LogicSpec,
-) -> QuerySpec {
-    let src: SourceId = sources.next();
-    let frag = FragmentSpec {
-        operators: vec![
-            OperatorSpec::identity(),
-            OperatorSpec::with_grace(WindowSpec::tumbling(WINDOW), logic, GRACE_BASE),
-            OperatorSpec::identity(),
-        ],
-        edges: vec![
-            LocalEdge {
-                from: 0,
-                to: 1,
-                port: 0,
-            },
-            LocalEdge {
-                from: 1,
-                to: 2,
-                port: 0,
-            },
-        ],
-        sources: vec![SourceBinding {
-            source: src,
-            op: 0,
-            port: 0,
-        }],
-        upstreams: vec![],
-        root: 2,
-    };
-    QuerySpec {
-        id,
-        template,
-        fragments: vec![frag],
-        result_fragment: 0,
-        sources: vec![SourceSpec {
-            id: src,
-            key: None,
-            kind: SourceKind::Generic,
-        }],
-    }
-}
-
-/// AVG-all: `fragments` fragments of 13 operators, tree-merged at
-/// fragment 0.
-///
-/// Per fragment: 10 receivers (0-9), 1 time window (10), 1 partial average
-/// (11), 1 output (12). The root fragment's op 12 is the merge window that
-/// combines local and upstream `[sum, count]` partials into the final
-/// average.
-fn build_avg_all(id: QueryId, fragments: usize, sources: &mut IdGen) -> QuerySpec {
-    let mut specs = Vec::with_capacity(fragments);
-    let mut declared = Vec::new();
-    for f in 0..fragments {
-        let mut operators: Vec<OperatorSpec> = (0..10).map(|_| OperatorSpec::identity()).collect();
-        // Op 10: the 1 s time window grouping all local sources.
-        operators.push(OperatorSpec::with_grace(
-            WindowSpec::tumbling(WINDOW),
-            LogicSpec::Identity,
-            GRACE_BASE,
-        ));
-        // Op 11: partial [sum, count] over the grouped pane.
-        operators.push(OperatorSpec::new(
-            WindowSpec::PassThrough,
-            LogicSpec::PartialAvg { field: 0 },
-        ));
-        // Op 12: leaf output (identity) or root merge (tree depth 1).
-        if f == 0 {
-            operators.push(OperatorSpec::with_grace(
-                WindowSpec::tumbling(WINDOW),
-                LogicSpec::MergeAvg,
-                chain_grace(1),
-            ));
-        } else {
-            operators.push(OperatorSpec::identity());
-        }
-        let mut edges: Vec<LocalEdge> = (0..10)
-            .map(|i| LocalEdge {
-                from: i,
-                to: 10,
-                port: 0,
-            })
-            .collect();
-        edges.push(LocalEdge {
-            from: 10,
-            to: 11,
-            port: 0,
-        });
-        edges.push(LocalEdge {
-            from: 11,
-            to: 12,
-            port: 0,
-        });
-        let mut bindings = Vec::with_capacity(10);
-        for i in 0..10 {
-            let sid: SourceId = sources.next();
-            // Unkeyed rows ([value]): the tree aggregates a single field
-            // and never joins, so no node id is carried.
-            declared.push(SourceSpec {
-                id: sid,
-                key: None,
-                kind: SourceKind::Cpu,
-            });
-            bindings.push(SourceBinding {
-                source: sid,
-                op: i,
-                port: 0,
-            });
-        }
-        // Leaves feed the root fragment's merge operator.
-        let upstreams = Vec::new();
-        specs.push(FragmentSpec {
-            operators,
-            edges,
-            sources: bindings,
-            upstreams,
-            root: 12,
-        });
-    }
-    for f in 1..fragments {
-        specs[0].upstreams.push(UpstreamBinding {
-            fragment: f,
-            op: 12,
-            port: 0,
-        });
-    }
-    QuerySpec {
-        id,
-        template: "AVG-all",
-        fragments: specs,
-        result_fragment: 0,
-        sources: declared,
-    }
-}
-
-/// TOP-5: `fragments` fragments of 29 operators, chained; the last fragment
-/// emits the query result.
-///
-/// Per fragment: 10 CPU receivers (0-9), 10 memory receivers (10-19),
-/// memory filter (20), CPU window (21), memory window (22), 2 group
-/// averages (23, 24), join (25), merge window (26), top-k (27), output
-/// (28). Upstream partial lists join at the merge window.
-fn build_top5(id: QueryId, fragments: usize, sources: &mut IdGen) -> QuerySpec {
-    let mut specs = Vec::with_capacity(fragments);
-    let mut declared = Vec::new();
-    for f in 0..fragments {
-        let mut operators: Vec<OperatorSpec> = (0..20).map(|_| OperatorSpec::identity()).collect();
-        // 20: free-memory filter (>= 100 000 KB), per-batch atomic.
-        operators.push(OperatorSpec::new(
-            WindowSpec::PassThrough,
-            LogicSpec::Filter(Predicate::new(1, CmpOp::Ge, 100_000.0)),
-        ));
-        // 21/22: CPU and memory 1 s windows.
-        operators.push(OperatorSpec::with_grace(
-            WindowSpec::tumbling(WINDOW),
-            LogicSpec::Identity,
-            GRACE_BASE,
-        ));
-        operators.push(OperatorSpec::with_grace(
-            WindowSpec::tumbling(WINDOW),
-            LogicSpec::Identity,
-            GRACE_BASE,
-        ));
-        // 23/24: per-node averages over the window panes.
-        operators.push(OperatorSpec::new(
-            WindowSpec::PassThrough,
-            LogicSpec::GroupAvg {
-                key_field: 0,
-                value_field: 1,
-            },
-        ));
-        operators.push(OperatorSpec::new(
-            WindowSpec::PassThrough,
-            LogicSpec::GroupAvg {
-                key_field: 0,
-                value_field: 1,
-            },
-        ));
-        // 25: join CPU with filtered memory on node id.
-        operators.push(OperatorSpec::with_grace(
-            WindowSpec::tumbling(WINDOW),
-            LogicSpec::Join {
-                left_key: 0,
-                right_key: 0,
-            },
-            GRACE_BASE,
-        ));
-        // 26: merge window combining local candidates and upstream top-5.
-        operators.push(OperatorSpec::with_grace(
-            WindowSpec::tumbling(WINDOW),
-            LogicSpec::Identity,
-            chain_grace(f),
-        ));
-        // 27: top-5 by CPU ([id, cpu] after the join row projection below).
-        operators.push(OperatorSpec::new(
-            WindowSpec::PassThrough,
-            LogicSpec::TopK {
-                k: 5,
-                id_field: 0,
-                value_field: 1,
-            },
-        ));
-        // 28: output.
-        operators.push(OperatorSpec::identity());
-
-        let mut edges: Vec<LocalEdge> = Vec::new();
-        for i in 0..10 {
-            edges.push(LocalEdge {
-                from: i,
-                to: 21,
-                port: 0,
-            });
-        }
-        for i in 10..20 {
-            edges.push(LocalEdge {
-                from: i,
-                to: 20,
-                port: 0,
-            });
-        }
-        edges.push(LocalEdge {
-            from: 20,
-            to: 22,
-            port: 0,
-        });
-        edges.push(LocalEdge {
-            from: 21,
-            to: 23,
-            port: 0,
-        });
-        edges.push(LocalEdge {
-            from: 22,
-            to: 24,
-            port: 0,
-        });
-        edges.push(LocalEdge {
-            from: 23,
-            to: 25,
-            port: 0,
-        });
-        edges.push(LocalEdge {
-            from: 24,
-            to: 25,
-            port: 1,
-        });
-        edges.push(LocalEdge {
-            from: 25,
-            to: 26,
-            port: 0,
-        });
-        edges.push(LocalEdge {
-            from: 26,
-            to: 27,
-            port: 0,
-        });
-        edges.push(LocalEdge {
-            from: 27,
-            to: 28,
-            port: 0,
-        });
-
-        let mut bindings = Vec::with_capacity(20);
-        for i in 0..10 {
-            let node_key = (f * 10 + i) as i64;
-            let cpu: SourceId = sources.next();
-            declared.push(SourceSpec {
-                id: cpu,
-                key: Some(node_key),
-                kind: SourceKind::Cpu,
-            });
-            bindings.push(SourceBinding {
-                source: cpu,
-                op: i,
-                port: 0,
-            });
-            let mem: SourceId = sources.next();
-            declared.push(SourceSpec {
-                id: mem,
-                key: Some(node_key),
-                kind: SourceKind::MemFree,
-            });
-            bindings.push(SourceBinding {
-                source: mem,
-                op: 10 + i,
-                port: 0,
-            });
-        }
-        let upstreams = if f > 0 {
-            vec![UpstreamBinding {
-                fragment: f - 1,
-                op: 26,
-                port: 0,
-            }]
-        } else {
-            Vec::new()
-        };
-        specs.push(FragmentSpec {
-            operators,
-            edges,
-            sources: bindings,
-            upstreams,
-            root: 28,
-        });
-    }
-    QuerySpec {
-        id,
-        template: "TOP-5",
-        fragments: specs,
-        result_fragment: fragments - 1,
-        sources: declared,
-    }
-}
-
-/// COV: `fragments` fragments of 5 operators, chained.
-///
-/// Per fragment: 2 receivers (0, 1), a windowed covariance (2), a merge
-/// window combining local and upstream partial covariances (3), and an
-/// averaging output (4).
-fn build_cov(id: QueryId, fragments: usize, sources: &mut IdGen) -> QuerySpec {
-    let mut specs = Vec::with_capacity(fragments);
-    let mut declared = Vec::new();
-    for f in 0..fragments {
-        let operators = vec![
-            OperatorSpec::identity(),
-            OperatorSpec::identity(),
-            OperatorSpec::with_grace(
-                WindowSpec::tumbling(WINDOW),
-                LogicSpec::Cov { field: 0 },
-                GRACE_BASE,
-            ),
-            OperatorSpec::with_grace(
-                WindowSpec::tumbling(WINDOW),
-                LogicSpec::Identity,
-                chain_grace(f),
-            ),
-            OperatorSpec::new(WindowSpec::PassThrough, LogicSpec::Avg { field: 0 }),
-        ];
-        let edges = vec![
-            LocalEdge {
-                from: 0,
-                to: 2,
-                port: 0,
-            },
-            LocalEdge {
-                from: 1,
-                to: 2,
-                port: 1,
-            },
-            LocalEdge {
-                from: 2,
-                to: 3,
-                port: 0,
-            },
-            LocalEdge {
-                from: 3,
-                to: 4,
-                port: 0,
-            },
-        ];
-        let mut bindings = Vec::with_capacity(2);
-        for i in 0..2 {
-            let sid: SourceId = sources.next();
-            declared.push(SourceSpec {
-                id: sid,
-                key: None,
-                kind: SourceKind::Cpu,
-            });
-            bindings.push(SourceBinding {
-                source: sid,
-                op: i,
-                port: 0,
-            });
-        }
-        let upstreams = if f > 0 {
-            vec![UpstreamBinding {
-                fragment: f - 1,
-                op: 3,
-                port: 0,
-            }]
-        } else {
-            Vec::new()
-        };
-        specs.push(FragmentSpec {
-            operators,
-            edges,
-            sources: bindings,
-            upstreams,
-            root: 4,
-        });
-    }
-    QuerySpec {
-        id,
-        template: "COV",
-        fragments: specs,
-        result_fragment: fragments - 1,
-        sources: declared,
+        self.def()
+            .validate()
+            .expect("Table-1 templates are valid by construction")
+            .compile(id, sources)
+            .into_spec()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::SourceKind;
 
     fn build(t: Template) -> QuerySpec {
         let mut gen = IdGen::new();
@@ -704,5 +320,42 @@ mod tests {
         }
         assert_eq!(by_key.len(), 20);
         assert!(by_key.values().all(|&(c, m)| c == 1 && m == 1));
+    }
+
+    #[test]
+    fn template_text_round_trips_through_the_parser() {
+        for t in [
+            Template::Avg,
+            Template::Max,
+            Template::Count,
+            Template::AvgAll { fragments: 4 },
+            Template::Top5 { fragments: 3 },
+            Template::Cov { fragments: 2 },
+        ] {
+            let reparsed = QueryDef::parse(&t.text())
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name()))
+                .named(t.name());
+            assert_eq!(reparsed, t.def(), "{}", t.name());
+            let mut a = IdGen::new();
+            let mut b = IdGen::new();
+            let via_text = reparsed
+                .validate()
+                .unwrap()
+                .compile(QueryId(0), &mut a)
+                .into_spec();
+            assert_eq!(via_text, t.build(QueryId(0), &mut b), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn template_streams_declare_their_kinds() {
+        let d = Template::Top5 { fragments: 2 }.def();
+        assert_eq!(d.streams[0].kind, SourceKind::Cpu);
+        assert_eq!(d.streams[1].kind, SourceKind::MemFree);
+        assert_eq!(Template::Avg.def().streams[0].kind, SourceKind::Generic);
+        assert_eq!(
+            Template::Cov { fragments: 2 }.def().streams[0].kind,
+            SourceKind::Cpu
+        );
     }
 }

@@ -1,17 +1,20 @@
 //! Simulator configuration: shedding policy and the updateSIC ablation.
 //!
-//! The shedding policy itself is the workspace-wide registry
-//! [`themis_core::shedder::PolicyKind`]; this module only holds the
-//! simulator-specific switches around it.
+//! The shedding policy is a [`Policy`] handle from the workspace-wide
+//! [`themis_core::shedder::ShedderRegistry`] (shared with the prototype
+//! engine, so externally registered policies simulate too); this module
+//! only holds the simulator-specific switches around it.
 
 use themis_core::prelude::*;
 
 /// Simulator switches.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Shedding policy run by every node (the unified registry shared
-    /// with the prototype engine).
-    pub policy: PolicyKind,
+    /// with the prototype engine). Builtins convert from [`PolicyKind`]
+    /// via `Into`; registered names resolve through
+    /// [`themis_core::shedder::lookup_policy`].
+    pub policy: Policy,
     /// Whether the query coordinators disseminate result SIC values
     /// (`updateSIC`). Disabling reproduces the Figure-4 "without
     /// updateSIC" pathology: nodes fall back to their local accepted-SIC
@@ -30,7 +33,7 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
-            policy: PolicyKind::BalanceSic,
+            policy: Policy::default(),
             coordinator: true,
             record_results: false,
             sample_interval: TimeDelta::from_secs(1),
@@ -40,10 +43,11 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// Default config with the given policy.
-    pub fn with_policy(policy: PolicyKind) -> Self {
+    /// Default config with the given policy (a [`Policy`] handle or any
+    /// [`PolicyKind`] builtin).
+    pub fn with_policy(policy: impl Into<Policy>) -> Self {
         SimConfig {
-            policy,
+            policy: policy.into(),
             ..Default::default()
         }
     }
@@ -56,10 +60,17 @@ mod tests {
     #[test]
     fn defaults() {
         let c = SimConfig::default();
-        assert_eq!(c.policy, PolicyKind::BalanceSic);
+        assert_eq!(c.policy, PolicyKind::BalanceSic.into());
         assert!(c.coordinator);
         assert!(!c.record_results);
         let c2 = SimConfig::with_policy(PolicyKind::Random);
-        assert_eq!(c2.policy, PolicyKind::Random);
+        assert_eq!(c2.policy.name(), "random");
+    }
+
+    #[test]
+    fn accepts_registered_policy_handles() {
+        let p = lookup_policy("fifo").unwrap();
+        let c = SimConfig::with_policy(p);
+        assert_eq!(c.policy.name(), "fifo");
     }
 }

@@ -10,8 +10,8 @@ use themis_core::prelude::*;
 pub struct QueryStats {
     /// The query.
     pub query: QueryId,
-    /// Template name (Table 1 row).
-    pub template: &'static str,
+    /// Template name (Table 1 row) or declarative query name.
+    pub template: String,
     /// Number of fragments.
     pub fragments: usize,
     /// Mean result SIC over all post-warm-up samples.
@@ -45,8 +45,8 @@ pub type ResultRecord = (Timestamp, Vec<Row>);
 pub struct SimReport {
     /// Scenario label.
     pub scenario: String,
-    /// Shedding policy used.
-    pub policy: &'static str,
+    /// Shedding policy used (registry name).
+    pub policy: String,
     /// Per-query statistics, ordered by query id.
     pub per_query: Vec<QueryStats>,
     /// Fairness summary over the per-query mean SIC values — the Jain's
@@ -106,10 +106,10 @@ mod tests {
     fn report_helpers() {
         let report = SimReport {
             scenario: "t".into(),
-            policy: "balance-sic",
+            policy: "balance-sic".to_string(),
             per_query: vec![QueryStats {
                 query: QueryId(0),
-                template: "AVG",
+                template: "AVG".to_string(),
                 fragments: 1,
                 mean_sic: 0.5,
                 samples: 10,

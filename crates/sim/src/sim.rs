@@ -369,7 +369,7 @@ impl Simulation {
                 };
                 QueryStats {
                     query: q.id,
-                    template: q.template,
+                    template: q.template.clone(),
                     fragments: q.n_fragments(),
                     mean_sic: mean,
                     samples: samples.len(),
@@ -383,7 +383,7 @@ impl Simulation {
         let coordinator_messages = self.coordinators.iter().map(|c| c.messages_sent()).sum();
         SimReport {
             scenario: self.scenario.name.clone(),
-            policy: self.config.policy.name(),
+            policy: self.config.policy.name().to_string(),
             per_query,
             fairness,
             nodes,

@@ -226,6 +226,27 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Adds `count` instances of a validated declarative query (the
+    /// spec-layer analogue of [`ScenarioBuilder::add_queries`]): each
+    /// instance is compiled against this builder's id generators, so
+    /// declarative and template workloads mix freely in one scenario.
+    pub fn add_query_defs(
+        mut self,
+        query: &ValidatedQuery,
+        count: usize,
+        profile: SourceProfile,
+    ) -> Self {
+        for _ in 0..count {
+            let id: QueryId = self.query_ids.next();
+            let q = query.compile(id, &mut self.sources).into_spec();
+            for s in &q.sources {
+                self.profiles.insert(s.id, profile);
+            }
+            self.queries.push(q);
+        }
+        self
+    }
+
     /// Adds `count` queries whose sources emit at heterogeneous rates
     /// *inside each query*: source `j` of every query uses
     /// `profile.with_multiplier(multipliers[j % multipliers.len()])`.

@@ -257,6 +257,9 @@ pub struct SourceDriver {
     /// The query it feeds.
     pub query: QueryId,
     key: Option<i64>,
+    /// Dictionary code of the source's tag label, for spec-compiled
+    /// `GROUP BY` queries whose rows lead with a tag column.
+    tag_code: Option<u32>,
     kind: SourceKind,
     schema: Schema,
     profile: SourceProfile,
@@ -285,6 +288,7 @@ impl SourceDriver {
             source: spec.id,
             query,
             key: spec.key,
+            tag_code: spec.tag.as_ref().map(|t| t.code),
             kind: spec.kind,
             schema: spec.schema(),
             profile,
@@ -436,9 +440,12 @@ impl SourceDriver {
                 SourceKind::MemFree => self.values.mem_free_kb(now),
                 _ => self.values.value(now),
             };
-            match self.key {
-                Some(k) => data.push_row(now, Sic::ZERO, &[Value::I64(k), Value::F64(v)]),
-                None => data.push_row(now, Sic::ZERO, &[Value::F64(v)]),
+            match (self.tag_code, self.key) {
+                (Some(code), _) => {
+                    data.push_row(now, Sic::ZERO, &[Value::Tag(code), Value::F64(v)])
+                }
+                (None, Some(k)) => data.push_row(now, Sic::ZERO, &[Value::I64(k), Value::F64(v)]),
+                (None, None) => data.push_row(now, Sic::ZERO, &[Value::F64(v)]),
             }
         }
         self.next_emission = now + self.profile.interval();
@@ -451,11 +458,7 @@ mod tests {
     use super::*;
 
     fn spec(kind: SourceKind) -> SourceSpec {
-        SourceSpec {
-            id: SourceId(3),
-            key: Some(7),
-            kind,
-        }
+        SourceSpec::plain(SourceId(3), Some(7), kind)
     }
 
     #[test]
@@ -491,6 +494,33 @@ mod tests {
                 assert_eq!((t - prev), TimeDelta::from_millis(200));
             }
             last = Some(t);
+        }
+    }
+
+    #[test]
+    fn tagged_sources_emit_dictionary_codes() {
+        use themis_query::prelude::QueryDef;
+        let spec = QueryDef::parse("SELECT host, SUM(value) FROM sensors[3] GROUP BY host")
+            .unwrap()
+            .validate()
+            .unwrap()
+            .compile(QueryId(1), &mut IdGen::new())
+            .into_spec();
+        let profile = SourceProfile::local(Dataset::Uniform);
+        for (i, s) in spec.sources.iter().enumerate() {
+            let mut d = SourceDriver::new(QueryId(1), s, profile, 9 + i as u64);
+            let b = d.emit();
+            assert!(!b.is_empty());
+            let tag = s.tag.as_ref().unwrap();
+            // Rows lead with the source's dictionary code, in a typed
+            // tag column resolvable against the shared interner.
+            let codes = b.data().tag_column(0).unwrap();
+            assert!(codes.codes().iter().all(|&c| c == tag.code));
+            assert_eq!(
+                codes.dict().resolve(tag.code).as_deref(),
+                Some(format!("sensors-{i}").as_str())
+            );
+            assert!(b.data().f64_column(1).is_some());
         }
     }
 

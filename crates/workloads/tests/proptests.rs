@@ -10,11 +10,7 @@ use themis_query::prelude::{SourceKind, SourceSpec};
 use themis_workloads::prelude::*;
 
 fn spec() -> SourceSpec {
-    SourceSpec {
-        id: SourceId(1),
-        key: None,
-        kind: SourceKind::Generic,
-    }
+    SourceSpec::plain(SourceId(1), None, SourceKind::Generic)
 }
 
 /// Strategy: any rate pattern with parameters in sane evaluation ranges.

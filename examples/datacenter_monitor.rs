@@ -40,7 +40,10 @@ fn main() {
         // Mean SIC per template.
         let mut by_template: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
         for q in &report.per_query {
-            by_template.entry(q.template).or_default().push(q.mean_sic);
+            by_template
+                .entry(q.template.as_str())
+                .or_default()
+                .push(q.mean_sic);
         }
         let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
         println!(

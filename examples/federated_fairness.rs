@@ -29,7 +29,7 @@ fn main() {
     let mut rows = Vec::new();
     for policy in [PolicyKind::BalanceSic, PolicyKind::Random] {
         let cfg = EngineConfig {
-            policy,
+            policy: policy.into(),
             // 400 us per tuple: ~625 tuples per 250 ms interval, while
             // sources offer ~ (4*4+2*20) sources * 200 t/s spread over two
             // nodes — heavy overload.

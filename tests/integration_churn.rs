@@ -35,7 +35,7 @@ fn scenario(policy_tag: u64) -> Scenario {
 
 fn config(policy: PolicyKind) -> EngineConfig {
     EngineConfig {
-        policy,
+        policy: policy.into(),
         enforce_capacity: true,
         ..Default::default()
     }

@@ -5,15 +5,30 @@ use themis::prelude::*;
 
 #[test]
 fn registry_round_trips_names() {
-    for p in PolicyKind::ALL {
-        assert_eq!(p.name().parse::<PolicyKind>(), Ok(p));
-        // The built shedder reports the same canonical name.
+    // Registry keys are the single source of truth: every registered
+    // policy looks itself up by its own name, and the built shedder
+    // reports the same canonical spelling.
+    for p in registered_policies() {
+        let looked_up = lookup_policy(p.name()).unwrap();
+        assert_eq!(looked_up.name(), p.name());
         assert_eq!(p.build(1).name(), p.name());
+    }
+    // The deprecated PolicyKind shim reads from the same table.
+    for k in PolicyKind::ALL {
+        assert_eq!(k.name().parse::<PolicyKind>(), Ok(k));
+        assert_eq!(Policy::from(k).name(), k.name());
+        assert!(registered_policy_names().contains(&k.name().to_string()));
     }
 }
 
 #[test]
 fn registry_rejects_unknown_names() {
+    // The registry error lists every registered policy by name...
+    let err = lookup_policy("no-such-policy").unwrap_err().to_string();
+    for name in registered_policy_names() {
+        assert!(err.contains(&name), "{err} should list {name}");
+    }
+    // ...and the legacy FromStr shim stays actionable too.
     let err = "no-such-policy".parse::<PolicyKind>().unwrap_err();
     assert!(err.to_string().contains("balance-sic"));
 }
@@ -80,7 +95,7 @@ fn every_policy_runs_in_the_simulator() {
 fn every_policy_runs_in_the_engine() {
     for p in PolicyKind::ALL {
         let cfg = EngineConfig {
-            policy: p,
+            policy: p.into(),
             synthetic_cost: TimeDelta::from_micros(2000),
             ..Default::default()
         };

@@ -114,7 +114,7 @@ fn count_error_tracks_sic() {
         };
         let mut cfg = SimConfig::with_policy(PolicyKind::Random);
         cfg.record_results = true;
-        let degraded = run_scenario(build(capacity), cfg);
+        let degraded = run_scenario(build(capacity), cfg.clone());
         let perfect = run_scenario(build(1_000_000), cfg);
         // Average counts across queries/windows.
         let avg_count = |r: &SimReport| -> f64 {

@@ -196,14 +196,10 @@ fn sliding_window_query_conserves_sic() {
     };
     let q = QuerySpec {
         id: QueryId(0),
-        template: "sliding-avg",
+        template: "sliding-avg".to_string(),
         fragments: vec![frag],
         result_fragment: 0,
-        sources: vec![SourceSpec {
-            id: source,
-            key: None,
-            kind: SourceKind::Generic,
-        }],
+        sources: vec![SourceSpec::plain(source, None, SourceKind::Generic)],
     };
     q.validate().unwrap();
 
