@@ -3,17 +3,22 @@
 //! ```text
 //! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!              fig13|fig14|related|overhead|ablation|dynamics|policies|
-//!              scale|scale-e2e|batching|kernels|churn|queries]
+//!              scale|scale-e2e|batching|kernels|churn|queries|trace|
+//!              correlated|adversarial]
 //!             [--quick] [--policy=<name>] [--query='<text>'] [--nodes=<n>]
 //!             [--shards=<k>] [--secs=<s>] [--sources=<n>] [--profile]
+//!             [--file=<path>] [--beat-ms=<ms>]
 //! ```
 //!
 //! Each experiment prints the series the paper plots and writes a CSV
-//! under `results/`. `--quick` switches to the reduced scale used by the
-//! benches (for smoke runs). `--policy=<name>` restricts the `policies`
-//! parity experiment to one policy looked up in the shedding registry
-//! (e.g. `balance-sic`, `fifo`, or any name registered at startup); an
-//! unknown name exits 2 listing the registered policies.
+//! under `results/`. Flags are validated against the selected
+//! experiments (`themis_bench::cli`): an unknown flag, or one that none
+//! of the selected experiments accepts, exits 2 listing the valid flags
+//! for the selection. `--quick` switches to the reduced scale used by
+//! the benches (for smoke runs). `--policy=<name>` restricts the
+//! `policies` parity experiment to one policy looked up in the shedding
+//! registry (e.g. `balance-sic`, `fifo`, or any name registered at
+//! startup); an unknown name exits 2 listing the registered policies.
 //! `--nodes`/`--shards`/`--secs` size the `scale` experiment (default
 //! 1024 nodes on the machine's parallelism); `scale` exits non-zero when
 //! the process's peak thread count exceeds the sharded engine's
@@ -46,12 +51,26 @@
 //! the CI queries smoke. `--query='<text>'` additionally runs one
 //! ad-hoc declarative query end-to-end on the engine (parse errors exit
 //! 2 with the frontend's message). `--profile` adds a per-thread CPU
-//! table sampled from `/proc`. Built to be run with `--release`.
+//! table sampled from `/proc`. `trace` replays an arrival-trace file
+//! (`--file=<path>`, default `traces/worldcup98-diurnal.csv`; `.csv` or
+//! `.json`, validated with actionable errors; `--beat-ms` rescales the
+//! replay beat) through the engine and gates on replay accuracy against
+//! the trace-declared mean plus Jain under `balance-sic`, writing
+//! `results/BENCH_trace.json`. `correlated` races one shared
+//! (simultaneous) burst process against the independent-burst control at
+//! identical declared demand and gates the correlated run's Jain within
+//! a slack of the control, writing `results/BENCH_correlated.json`.
+//! `adversarial` runs a strategic tick-phase-locked source against
+//! honest peers under every registered policy and gates the strategic
+//! SIC advantage ≤ epsilon under the `balance-sic` family (non-SIC
+//! baselines are documented, not asserted), writing
+//! `results/BENCH_adversarial.json`. All three are explicit-only CI
+//! smokes, like `churn`. Built to be run with `--release`.
 
 use std::time::Instant;
 
+use themis_bench::cli;
 use themis_bench::figures::batching::{self, BatchingScale};
-use themis_bench::figures::churn;
 use themis_bench::figures::correlation::{correlation, render as render_corr, CorrelationQuery};
 use themis_bench::figures::fairness::{fig10, fig11, fig8, fig9, render as render_fair};
 use themis_bench::figures::kernels::{self, KernelsScale};
@@ -62,37 +81,13 @@ use themis_bench::figures::related::{related_work, render as render_related};
 use themis_bench::figures::scalability::{fig12, fig13, fig14, render as render_scal};
 use themis_bench::figures::scale as engine_scale;
 use themis_bench::figures::{ablation, dynamics, scale_e2e, tables};
+use themis_bench::figures::{adversarial, churn, correlated, trace as trace_fig};
 use themis_bench::scenarios::Scale;
 use themis_bench::table::TextTable;
 use themis_core::shedder::{lookup_policy, registered_policies, Policy};
 
 const SEED: u64 = 20160626; // SIGMOD'16 started June 26.
 const RESULTS_DIR: &str = "results";
-const EXPERIMENTS: &[&str] = &[
-    "all",
-    "table1",
-    "table2",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "related",
-    "overhead",
-    "ablation",
-    "policies",
-    "dynamics",
-    "scale",
-    "scale-e2e",
-    "batching",
-    "kernels",
-    "churn",
-    "queries",
-];
 
 fn emit(name: &str, table: TextTable) {
     println!("{}", table.render());
@@ -101,53 +96,34 @@ fn emit(name: &str, table: TextTable) {
     }
 }
 
+fn write_bench_json(name: &str, json: &str) {
+    let json_path = format!("{RESULTS_DIR}/BENCH_{name}.json");
+    if let Err(e) =
+        std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, json))
+    {
+        eprintln!("(could not write {json_path}: {e})");
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let profile = args.iter().any(|a| a == "--profile");
+    let opts = match cli::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let quick = opts.quick;
+    let profile = opts.profile;
     let scale = if quick {
         Scale::quick()
     } else {
         Scale::default_scale()
     };
-    const VALUE_FLAGS: &[&str] = &[
-        "--policy=",
-        "--query=",
-        "--nodes=",
-        "--shards=",
-        "--secs=",
-        "--sources=",
-    ];
-    if let Some(flag) = args.iter().find(|a| {
-        a.starts_with("--")
-            && *a != "--quick"
-            && *a != "--profile"
-            && !VALUE_FLAGS.iter().any(|p| a.starts_with(p))
-    }) {
-        eprintln!(
-            "unknown option `{flag}` (expected --quick, --profile, --policy=<name>, \
-             --query='<text>', --nodes=<n>, --shards=<k>, --secs=<s> or --sources=<n>)"
-        );
-        std::process::exit(2);
-    }
-    let uint_arg = |prefix: &str| -> Option<u64> {
-        args.iter()
-            .find_map(|a| a.strip_prefix(prefix))
-            .map(|v| match v.parse() {
-                Ok(n) => n,
-                Err(_) => {
-                    eprintln!("invalid value `{v}` for {prefix}<n>");
-                    std::process::exit(2);
-                }
-            })
-    };
-    let nodes_arg = uint_arg("--nodes=");
-    let shards_arg = uint_arg("--shards=");
-    let secs_arg = uint_arg("--secs=");
-    let sources_arg = uint_arg("--sources=");
-    let policy_arg = args.iter().find_map(|a| a.strip_prefix("--policy="));
-    let query_arg = args.iter().find_map(|a| a.strip_prefix("--query="));
-    let policies: Vec<Policy> = match policy_arg {
+    let (nodes_arg, shards_arg) = (opts.nodes, opts.shards);
+    let (secs_arg, sources_arg) = (opts.secs, opts.sources);
+    let query_arg = opts.query.as_deref();
+    let policies: Vec<Policy> = match opts.policy.as_deref() {
         Some(name) => match lookup_policy(name) {
             Ok(p) => vec![p],
             Err(e) => {
@@ -157,30 +133,7 @@ fn main() {
         },
         None => registered_policies(),
     };
-    let what: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let what = if what.is_empty() { vec!["all"] } else { what };
-    if let Some(unknown) = what.iter().find(|w| !EXPERIMENTS.contains(w)) {
-        eprintln!(
-            "unknown experiment `{unknown}` (expected one of: {})",
-            EXPERIMENTS.join(", ")
-        );
-        std::process::exit(2);
-    }
-    let all = what.contains(&"all");
-    let run = |name: &str| all || what.contains(&name);
-    if policy_arg.is_some() && !run("policies") {
-        eprintln!("note: --policy only affects the `policies` experiment, which is not selected");
-    }
-    if query_arg.is_some() && !what.contains(&"queries") {
-        eprintln!("note: --query only affects the `queries` experiment, which is not selected");
-    }
-    if profile && !what.contains(&"scale-e2e") {
-        eprintln!("note: --profile only affects the `scale-e2e` experiment, which is not selected");
-    }
+    let run = |name: &str| opts.selected(name);
     let t0 = Instant::now();
 
     if run("table1") {
@@ -307,7 +260,7 @@ fn main() {
     // whose micro-benchmark timings (and the BENCH_batching.json
     // trajectory artifact) would be polluted by a loaded machine mid-way
     // through a full figure-regeneration run.
-    if what.contains(&"batching") {
+    if opts.named("batching") {
         let bscale = if quick {
             BatchingScale::quick()
         } else {
@@ -343,7 +296,7 @@ fn main() {
     }
     // Explicit-only (not part of `all`), like `batching`: a speedup smoke
     // over micro-benchmark timings that a loaded machine would pollute.
-    if what.contains(&"kernels") {
+    if opts.named("kernels") {
         let kscale = if quick {
             KernelsScale::quick()
         } else {
@@ -401,7 +354,7 @@ fn main() {
     // fairness-recovery gate exits non-zero. Runs a 512+-node engine
     // scenario wall-clock with a flash-crowd cohort attaching and
     // detaching mid-run, and asserts resident Jain fairness recovers.
-    if what.contains(&"churn") {
+    if opts.named("churn") {
         let nodes = nodes_arg.unwrap_or(512) as usize;
         let shards = shards_arg.map(|k| k as usize);
         let secs = secs_arg.unwrap_or(if quick { 2 } else { 4 });
@@ -436,7 +389,7 @@ fn main() {
     // the Table-1 presets structurally and behaviourally, and a
     // declarative GROUP BY must reach the dictionary kernel on the live
     // engine.
-    if what.contains(&"queries") {
+    if opts.named("queries") {
         let secs = secs_arg.unwrap_or(if quick { 2 } else { 4 });
         let outcome = queries::queries(secs, SEED);
         emit("queries", queries::render(&outcome));
@@ -483,7 +436,7 @@ fn main() {
     // Explicit-only (not part of `all`): a CI smoke with a thread-budget
     // assertion that exits non-zero, not an evaluation figure — it must
     // not fail a figure-regeneration run on a machine with a stray thread.
-    if what.contains(&"scale") {
+    if opts.named("scale") {
         let nodes = nodes_arg.unwrap_or(1024) as usize;
         let shards = shards_arg.map(|k| k as usize);
         let secs = secs_arg.unwrap_or(if quick { 2 } else { 6 });
@@ -502,7 +455,7 @@ fn main() {
     // CPU-per-tuple and RSS gates that exit non-zero, measured wall-clock
     // on the full engine — a loaded machine mid-figure-regeneration would
     // pollute it.
-    if what.contains(&"scale-e2e") {
+    if opts.named("scale-e2e") {
         let sources = sources_arg.unwrap_or(100_000) as usize;
         let shards = shards_arg.map(|k| k as usize);
         let secs = secs_arg.unwrap_or(if quick { 2 } else { 6 });
@@ -548,6 +501,137 @@ fn main() {
             row.peak_rss_kb.unwrap_or(0),
             row.pool_reuse_fraction() * 100.0
         );
+    }
+
+    // Explicit-only (not part of `all`), like `churn`: a CI smoke whose
+    // replay-accuracy and fairness gates exit non-zero. Replays a
+    // validated arrival-trace file through the engine under balance-sic.
+    if opts.named("trace") {
+        let file = opts
+            .file
+            .clone()
+            .unwrap_or_else(|| "traces/worldcup98-diurnal.csv".to_string());
+        let secs = secs_arg.unwrap_or(if quick { 3 } else { 8 });
+        let data = match themis_workloads::traces::TraceData::load(&file) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        let data = match opts.beat_ms {
+            Some(0) => {
+                eprintln!("invalid value `0` for --beat-ms=<ms> — the beat must be positive");
+                std::process::exit(2);
+            }
+            Some(ms) => data.with_beat(themis_core::prelude::TimeDelta::from_millis(ms)),
+            None => data,
+        };
+        let mut outcome = trace_fig::trace_replay(std::sync::Arc::new(data), secs, SEED);
+        outcome.file = file;
+        emit("trace", trace_fig::render(&outcome));
+        write_bench_json("trace", &trace_fig::to_json(&outcome));
+        let mut failed = false;
+        if !outcome.accurate() {
+            eprintln!(
+                "FAIL: replayed volume off by {:.1}% from the trace-declared expectation \
+                 (expected {:.0}, arrived {}, tolerance {:.0}%)",
+                outcome.accuracy_error() * 100.0,
+                outcome.expected_tuples,
+                outcome.arrived_tuples,
+                trace_fig::TRACE_ACCURACY_TOLERANCE * 100.0
+            );
+            failed = true;
+        }
+        if !outcome.fair() {
+            eprintln!(
+                "FAIL: Jain {:.4} under the trace shape (floor {}, shed {:.1}%)",
+                outcome.jain,
+                trace_fig::TRACE_JAIN_FLOOR,
+                outcome.shed_fraction * 100.0
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace: `{}` replayed within {:.1}% of declared volume, Jain {:.4}, shed {:.1}%",
+            outcome.trace_name,
+            outcome.accuracy_error() * 100.0,
+            outcome.jain,
+            outcome.shed_fraction * 100.0
+        );
+    }
+    // Explicit-only (not part of `all`), like `trace`: a CI smoke whose
+    // correlated-fairness gate exits non-zero. Races one shared burst
+    // process against the independent-burst control at identical
+    // declared demand.
+    if opts.named("correlated") {
+        let secs = secs_arg.unwrap_or(if quick { 3 } else { 8 });
+        let outcome = correlated::correlated(secs, SEED);
+        emit("correlated", correlated::render(&outcome));
+        write_bench_json("correlated", &correlated::to_json(&outcome));
+        let corr = outcome.arm("correlated");
+        let indep = outcome.arm("independent");
+        if outcome.fair_under_correlation() {
+            eprintln!(
+                "correlated: Jain {:.4} under simultaneous bursts vs {:.4} independent \
+                 (shed {:.1}% vs {:.1}%)",
+                corr.jain,
+                indep.jain,
+                corr.shed_fraction * 100.0,
+                indep.shed_fraction * 100.0
+            );
+        } else {
+            eprintln!(
+                "FAIL: correlated-burst Jain {:.4} fell more than {} below the \
+                 independent control {:.4} (correlated shed {:.1}%)",
+                corr.jain,
+                correlated::CORRELATED_JAIN_SLACK,
+                indep.jain,
+                corr.shed_fraction * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+    // Explicit-only (not part of `all`), like `trace`: a CI smoke whose
+    // strategic-advantage gate exits non-zero. Runs the tick-phase-locked
+    // attacker under every registered policy; only the balance-sic family
+    // is asserted, the baselines' leak is documented.
+    if opts.named("adversarial") {
+        let secs = secs_arg.unwrap_or(if quick { 2 } else { 4 });
+        let outcome = adversarial::adversarial(secs, SEED);
+        emit("adversarial", adversarial::render(&outcome));
+        write_bench_json("adversarial", &adversarial::to_json(&outcome));
+        if outcome.sic_policies_hold() {
+            for r in outcome.rows.iter().filter(|r| r.sic_aware) {
+                eprintln!(
+                    "adversarial: {} holds the strategic source to {:+.1}% \
+                     (epsilon {:.0}%, shed {:.1}%)",
+                    r.policy,
+                    r.advantage() * 100.0,
+                    adversarial::ADVERSARIAL_EPSILON * 100.0,
+                    r.shed_fraction * 100.0
+                );
+            }
+        } else {
+            for r in outcome
+                .rows
+                .iter()
+                .filter(|r| r.sic_aware && !r.within_epsilon())
+            {
+                eprintln!(
+                    "FAIL: {} let the strategic source take {:+.1}% over its honest peers \
+                     (epsilon {:.0}%, shed {:.1}%)",
+                    r.policy,
+                    r.advantage() * 100.0,
+                    adversarial::ADVERSARIAL_EPSILON * 100.0,
+                    r.shed_fraction * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
     }
 
     eprintln!("total time: {:.1}s", t0.elapsed().as_secs_f64());

@@ -1,0 +1,349 @@
+//! Table-driven CLI parsing for the `experiments` binary.
+//!
+//! Every flag declares which experiments it applies to; a flag passed
+//! alongside experiments none of which accept it is an error (exit 2 in
+//! the binary), **listing the valid flags** for the selection — the PR 7
+//! `--policy=<unknown>` convention extended to the whole command line.
+//! Previously `experiments churn --sources=5` parsed, silently ignored
+//! `--sources` and ran with the default; now it is rejected.
+
+/// Every experiment the binary knows, in help order.
+pub const EXPERIMENTS: &[&str] = &[
+    "all",
+    "table1",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "related",
+    "overhead",
+    "ablation",
+    "policies",
+    "dynamics",
+    "scale",
+    "scale-e2e",
+    "batching",
+    "kernels",
+    "churn",
+    "queries",
+    "trace",
+    "correlated",
+    "adversarial",
+];
+
+/// The experiments `all` expands to. The rest are explicit-only CI
+/// smokes/gates: their exit codes or machine-sensitive timings must not
+/// fail (or be polluted by) a full figure-regeneration run.
+const ALL_MEMBERS: &[&str] = &[
+    "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "related", "overhead", "ablation", "policies", "dynamics",
+];
+
+/// Which experiments accept a flag.
+enum Applies {
+    /// Any selection.
+    Global,
+    /// Only these experiments.
+    To(&'static [&'static str]),
+}
+
+struct FlagSpec {
+    /// Flag name; a trailing `=` marks a value flag matched by prefix.
+    name: &'static str,
+    /// Value placeholder for usage strings (`<n>`, `<path>`, …).
+    placeholder: &'static str,
+    applies: Applies,
+}
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--quick",
+        placeholder: "",
+        applies: Applies::Global,
+    },
+    FlagSpec {
+        name: "--profile",
+        placeholder: "",
+        applies: Applies::To(&["scale-e2e"]),
+    },
+    FlagSpec {
+        name: "--policy=",
+        placeholder: "<name>",
+        applies: Applies::To(&["policies"]),
+    },
+    FlagSpec {
+        name: "--query=",
+        placeholder: "'<text>'",
+        applies: Applies::To(&["queries"]),
+    },
+    FlagSpec {
+        name: "--nodes=",
+        placeholder: "<n>",
+        applies: Applies::To(&["churn", "scale"]),
+    },
+    FlagSpec {
+        name: "--shards=",
+        placeholder: "<k>",
+        applies: Applies::To(&["churn", "scale", "scale-e2e"]),
+    },
+    FlagSpec {
+        name: "--secs=",
+        placeholder: "<s>",
+        applies: Applies::To(&[
+            "churn",
+            "queries",
+            "scale",
+            "scale-e2e",
+            "trace",
+            "correlated",
+            "adversarial",
+        ]),
+    },
+    FlagSpec {
+        name: "--sources=",
+        placeholder: "<n>",
+        applies: Applies::To(&["scale-e2e"]),
+    },
+    FlagSpec {
+        name: "--file=",
+        placeholder: "<path>",
+        applies: Applies::To(&["trace"]),
+    },
+    FlagSpec {
+        name: "--beat-ms=",
+        placeholder: "<ms>",
+        applies: Applies::To(&["trace"]),
+    },
+];
+
+/// Parsed command line of the `experiments` binary.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Options {
+    /// The selected experiments (defaults to `["all"]`).
+    pub what: Vec<String>,
+    /// `--quick`: reduced bench scale for smoke runs.
+    pub quick: bool,
+    /// `--profile`: per-thread CPU table (scale-e2e).
+    pub profile: bool,
+    /// `--policy=<name>` for the policies parity experiment.
+    pub policy: Option<String>,
+    /// `--query='<text>'` ad-hoc declarative query (queries).
+    pub query: Option<String>,
+    /// `--nodes=<n>` for churn/scale.
+    pub nodes: Option<u64>,
+    /// `--shards=<k>` for churn/scale/scale-e2e.
+    pub shards: Option<u64>,
+    /// `--secs=<s>` run length for the engine experiments.
+    pub secs: Option<u64>,
+    /// `--sources=<n>` for scale-e2e.
+    pub sources: Option<u64>,
+    /// `--file=<path>` trace file for the trace experiment.
+    pub file: Option<String>,
+    /// `--beat-ms=<ms>` trace replay-beat rescale for the trace experiment.
+    pub beat_ms: Option<u64>,
+}
+
+impl Options {
+    /// True when `name` should run: named explicitly, or a member of an
+    /// explicit (or defaulted) `all`.
+    pub fn selected(&self, name: &str) -> bool {
+        self.what.iter().any(|w| w == name)
+            || (self.what.iter().any(|w| w == "all") && ALL_MEMBERS.contains(&name))
+    }
+
+    /// True when `name` was named explicitly on the command line (how
+    /// the explicit-only gates are requested).
+    pub fn named(&self, name: &str) -> bool {
+        self.what.iter().any(|w| w == name)
+    }
+}
+
+fn usage_of(spec: &FlagSpec) -> String {
+    format!("{}{}", spec.name, spec.placeholder)
+}
+
+/// The flags valid for a selection, as a usage string for error messages.
+fn valid_flags_for(what: &[String]) -> String {
+    FLAGS
+        .iter()
+        .filter(|s| applies(s, what))
+        .map(usage_of)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn applies(spec: &FlagSpec, what: &[String]) -> bool {
+    match spec.applies {
+        Applies::Global => true,
+        Applies::To(experiments) => what.iter().any(|w| {
+            experiments.contains(&w.as_str())
+                || (w == "all" && experiments.iter().any(|e| ALL_MEMBERS.contains(e)))
+        }),
+    }
+}
+
+/// Parses the argument list (without the program name). Errors are
+/// ready-to-print messages; the binary exits 2 on them.
+pub fn parse<I, S>(args: I) -> Result<Options, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let args: Vec<String> = args.into_iter().map(|a| a.as_ref().to_string()).collect();
+    let mut what: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if let Some(unknown) = what.iter().find(|w| !EXPERIMENTS.contains(&w.as_str())) {
+        return Err(format!(
+            "unknown experiment `{unknown}` (expected one of: {})",
+            EXPERIMENTS.join(", ")
+        ));
+    }
+    if what.is_empty() {
+        what.push("all".to_string());
+    }
+    let mut opts = Options {
+        what: what.clone(),
+        ..Options::default()
+    };
+    for arg in args.iter().filter(|a| a.starts_with("--")) {
+        let spec = FLAGS.iter().find(|s| {
+            if s.name.ends_with('=') {
+                arg.starts_with(s.name)
+            } else {
+                arg == s.name
+            }
+        });
+        let Some(spec) = spec else {
+            return Err(format!(
+                "unknown option `{arg}` (valid flags for [{}]: {})",
+                what.join(", "),
+                valid_flags_for(&what)
+            ));
+        };
+        if !applies(spec, &what) {
+            let Applies::To(experiments) = spec.applies else {
+                unreachable!("global flags always apply");
+            };
+            return Err(format!(
+                "`{}` only applies to [{}], none of which is selected by [{}] \
+                 (valid flags for this selection: {})",
+                usage_of(spec),
+                experiments.join(", "),
+                what.join(", "),
+                valid_flags_for(&what)
+            ));
+        }
+        let value = || arg[spec.name.len()..].to_string();
+        let uint = || -> Result<u64, String> {
+            value()
+                .parse()
+                .map_err(|_| format!("invalid value `{}` for {}", value(), usage_of(spec)))
+        };
+        match spec.name {
+            "--quick" => opts.quick = true,
+            "--profile" => opts.profile = true,
+            "--policy=" => opts.policy = Some(value()),
+            "--query=" => opts.query = Some(value()),
+            "--nodes=" => opts.nodes = Some(uint()?),
+            "--shards=" => opts.shards = Some(uint()?),
+            "--secs=" => opts.secs = Some(uint()?),
+            "--sources=" => opts.sources = Some(uint()?),
+            "--file=" => opts.file = Some(value()),
+            "--beat-ms=" => opts.beat_ms = Some(uint()?),
+            other => unreachable!("flag {other} missing from the assignment match"),
+        }
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(args: &[&str]) -> Result<Options, String> {
+        parse(args.iter().copied())
+    }
+
+    #[test]
+    fn defaults_to_all() {
+        let o = parse_strs(&[]).unwrap();
+        assert_eq!(o.what, vec!["all"]);
+        assert!(o.selected("fig8") && o.selected("policies"));
+        assert!(!o.selected("churn"), "explicit-only gates stay out of all");
+    }
+
+    #[test]
+    fn churn_rejects_inapplicable_sources_flag() {
+        let err = parse_strs(&["churn", "--sources=5"]).unwrap_err();
+        assert!(err.contains("--sources=<n>"), "{err}");
+        assert!(err.contains("only applies to [scale-e2e]"), "{err}");
+        // The message lists churn's actual flags.
+        assert!(err.contains("--nodes=<n>"), "{err}");
+        assert!(err.contains("--secs=<s>"), "{err}");
+        assert!(!err.contains("--file"), "{err}");
+    }
+
+    #[test]
+    fn scale_e2e_rejects_unknown_and_inapplicable_flags() {
+        let err = parse_strs(&["scale-e2e", "--bogus"]).unwrap_err();
+        assert!(err.contains("unknown option `--bogus`"), "{err}");
+        assert!(err.contains("--sources=<n>"), "valid flags listed: {err}");
+        let err = parse_strs(&["scale-e2e", "--nodes=4"]).unwrap_err();
+        assert!(err.contains("--nodes=<n>"), "{err}");
+        assert!(err.contains("churn, scale"), "{err}");
+    }
+
+    #[test]
+    fn trace_takes_file_beat_and_secs() {
+        let o = parse_strs(&["trace", "--file=traces/x.csv", "--beat-ms=100", "--secs=3"]).unwrap();
+        assert_eq!(o.file.as_deref(), Some("traces/x.csv"));
+        assert_eq!(o.beat_ms, Some(100));
+        assert_eq!(o.secs, Some(3));
+        // But file/beat are trace-only.
+        assert!(parse_strs(&["correlated", "--file=x.csv"]).is_err());
+        assert!(parse_strs(&["adversarial", "--beat-ms=5"]).is_err());
+        assert!(parse_strs(&["correlated", "--secs=2"]).is_ok());
+        assert!(parse_strs(&["adversarial", "--secs=2"]).is_ok());
+    }
+
+    #[test]
+    fn policy_applies_to_policies_and_through_all() {
+        assert!(parse_strs(&["policies", "--policy=fifo"]).is_ok());
+        assert!(
+            parse_strs(&["--policy=fifo"]).is_ok(),
+            "all includes policies"
+        );
+        let err = parse_strs(&["churn", "--policy=fifo"]).unwrap_err();
+        assert!(err.contains("only applies to [policies]"), "{err}");
+    }
+
+    #[test]
+    fn bad_numbers_are_rejected() {
+        let err = parse_strs(&["churn", "--secs=abc"]).unwrap_err();
+        assert!(err.contains("invalid value `abc` for --secs=<s>"), "{err}");
+    }
+
+    #[test]
+    fn unknown_experiment_lists_the_menu() {
+        let err = parse_strs(&["chrun"]).unwrap_err();
+        assert!(err.contains("unknown experiment `chrun`"), "{err}");
+        assert!(err.contains("adversarial"), "{err}");
+    }
+
+    #[test]
+    fn multiple_experiments_union_their_flags() {
+        let o = parse_strs(&["churn", "scale-e2e", "--sources=9", "--nodes=8"]).unwrap();
+        assert_eq!((o.sources, o.nodes), (Some(9), Some(8)));
+        assert!(o.named("churn") && o.named("scale-e2e"));
+        assert!(!o.named("scale"));
+    }
+}

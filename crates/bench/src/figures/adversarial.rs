@@ -1,0 +1,249 @@
+//! Adversarial tick-gaming: can a strategic source inflate its SIC share
+//! by phase-locking its bursts against the shedding tick?
+//!
+//! The strategic source ([`RatePattern::Adversarial`]) emits its entire
+//! per-tick volume in the first beat after each tick boundary and stays
+//! silent for the rest — identical long-run demand to an honest steady
+//! source, but by the time the next shedding tick fires, its batches are
+//! the **oldest** in the buffer. Age-ordered policies (`fifo`) keep
+//! exactly those; id-ordered ones (`priority`) favour it because it
+//! registered first. A SIC-balancing shedder should not care *when* the
+//! tuples arrived — only what information survives per source — so under
+//! the `balance-sic` family the strategic source's advantage over its
+//! honest peers must stay within [`ADVERSARIAL_EPSILON`].
+//!
+//! The experiment runs one overloaded node (strategic query attached
+//! first, 7 honest peers at the same mean rate, capacity at half the
+//! demand) under **every registered policy**: the SIC-aware rows are the
+//! gate, the rest are documentation of how much a timing attack extracts
+//! from timing-sensitive baselines. Run by name (and by the CI smoke) it
+//! exits non-zero if any `balance-sic*` row leaks more than epsilon;
+//! the full table is written to `results/BENCH_adversarial.json`.
+
+use std::time::Duration;
+
+use themis_core::prelude::*;
+use themis_core::shedder::{registered_policies, Policy};
+use themis_engine::prelude::*;
+use themis_query::prelude::Template;
+use themis_workloads::prelude::*;
+
+use crate::table::{f, TextTable};
+
+/// Maximum tolerated SIC advantage of the strategic source over the mean
+/// of its honest peers, under the SIC-aware (`balance-sic*`) policies.
+pub const ADVERSARIAL_EPSILON: f64 = 0.15;
+
+/// One policy's outcome under the attack.
+#[derive(Debug)]
+pub struct AdversarialRow {
+    /// Policy name (registry key).
+    pub policy: String,
+    /// Whether the policy sheds on SIC (the `balance-sic` family) — the
+    /// rows the gate asserts on.
+    pub sic_aware: bool,
+    /// Mean sampled SIC of the strategic query.
+    pub strategic_sic: f64,
+    /// Mean of the honest queries' mean SICs.
+    pub honest_mean_sic: f64,
+    /// Jain's index over the honest peers.
+    pub honest_jain: f64,
+    /// Fraction of arrived tuples shed.
+    pub shed_fraction: f64,
+}
+
+impl AdversarialRow {
+    /// The strategic source's relative SIC advantage over its peers
+    /// (0 = perfectly fair, 1 = double the honest share).
+    pub fn advantage(&self) -> f64 {
+        if self.honest_mean_sic <= 0.0 {
+            return if self.strategic_sic > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+        }
+        (self.strategic_sic - self.honest_mean_sic) / self.honest_mean_sic
+    }
+
+    /// Gate for SIC-aware rows: advantage within epsilon, with the node
+    /// genuinely overloaded.
+    pub fn within_epsilon(&self) -> bool {
+        self.advantage() <= ADVERSARIAL_EPSILON && self.shed_fraction > 0.1
+    }
+}
+
+/// Outcome across all registered policies.
+#[derive(Debug)]
+pub struct AdversarialOutcome {
+    /// Honest peers per run.
+    pub honest: usize,
+    /// Per-source mean rate (strategic and honest alike), t/s.
+    pub rate_tps: u32,
+    /// Enforced node capacity, t/s (half the demand).
+    pub capacity_tps: u32,
+    /// The shedding tick the strategic source phase-locks against.
+    pub tick_ms: u64,
+    /// One row per policy.
+    pub rows: Vec<AdversarialRow>,
+}
+
+impl AdversarialOutcome {
+    /// The gate: every SIC-aware policy holds the strategic source
+    /// within epsilon.
+    pub fn sic_policies_hold(&self) -> bool {
+        self.rows
+            .iter()
+            .filter(|r| r.sic_aware)
+            .all(AdversarialRow::within_epsilon)
+    }
+}
+
+/// Runs the attack under one policy and measures the strategic share.
+fn run_policy(policy: Policy, secs: u64, seed: u64) -> AdversarialRow {
+    let honest = 7usize;
+    let rate = 200u32;
+    let tick = TimeDelta::from_millis(250);
+    // 20 batches/s: the 50 ms emission interval divides the 250 ms tick,
+    // so the adversarial mean factor is exactly 1 (honest-looking).
+    let strategic_profile = SourceProfile::steady(rate, 20, Dataset::Uniform)
+        .with_pattern(RatePattern::Adversarial { tick });
+    let honest_profile = SourceProfile::steady(rate, 20, Dataset::Uniform);
+    let stw = TimeDelta::from_secs(2);
+    let warmup = TimeDelta::from_micros(stw.as_micros() + 500_000);
+    // Capacity at half the declared demand: every tick must shed ~50%.
+    let capacity = (honest + 1) as u32 * rate / 2;
+
+    let scenario = ScenarioBuilder::new("adversarial", seed)
+        .nodes(1)
+        .capacity_tps(capacity)
+        .shedding_interval(tick)
+        .stw_window(stw)
+        .warmup(warmup)
+        // Attached first: QueryId 0, the most favourable spot an
+        // id-ordered baseline can hand the attacker.
+        .add_queries(Template::Avg, 1, strategic_profile)
+        .add_queries(Template::Avg, honest, honest_profile)
+        .build()
+        .expect("placement");
+    let strategic = scenario.queries[0].id;
+
+    let policy_name = policy.name().to_string();
+    let mut engine = Engine::start(
+        &scenario,
+        EngineConfig {
+            policy,
+            enforce_capacity: true,
+            record_series: true,
+            ..Default::default()
+        },
+    );
+    engine.run_for(Duration::from_micros(warmup.as_micros()));
+    engine.run_for(Duration::from_secs(secs.max(2)));
+    let report = engine.finish();
+
+    let strategic_sic = report
+        .per_query_sic
+        .iter()
+        .find(|&&(q, _)| q == strategic)
+        .map(|&(_, s)| s)
+        .unwrap_or(0.0);
+    let honest_sics: Vec<f64> = report
+        .per_query_sic
+        .iter()
+        .filter(|&&(q, _)| q != strategic)
+        .map(|&(_, s)| s)
+        .collect();
+    let honest_mean = if honest_sics.is_empty() {
+        0.0
+    } else {
+        honest_sics.iter().sum::<f64>() / honest_sics.len() as f64
+    };
+
+    AdversarialRow {
+        sic_aware: policy_name.starts_with("balance-sic"),
+        policy: policy_name,
+        strategic_sic,
+        honest_mean_sic: honest_mean,
+        honest_jain: jain_index(&honest_sics),
+        shed_fraction: report.shed_fraction(),
+    }
+}
+
+/// Runs the attack under every registered policy.
+pub fn adversarial(secs: u64, seed: u64) -> AdversarialOutcome {
+    let rows = registered_policies()
+        .into_iter()
+        .map(|p| run_policy(p, secs, seed))
+        .collect();
+    AdversarialOutcome {
+        honest: 7,
+        rate_tps: 200,
+        capacity_tps: 8 * 200 / 2,
+        tick_ms: 250,
+        rows,
+    }
+}
+
+/// Renders the per-policy attack table.
+pub fn render(out: &AdversarialOutcome) -> TextTable {
+    let mut t = TextTable::new(
+        format!(
+            "Adversarial tick-gaming: 1 strategic + {} honest at {} t/s, capacity {} t/s, tick {} ms",
+            out.honest, out.rate_tps, out.capacity_tps, out.tick_ms
+        ),
+        &[
+            "policy",
+            "strategic-sic",
+            "honest-mean-sic",
+            "advantage",
+            "honest-jain",
+            "shed",
+            "gate",
+        ],
+    );
+    for r in &out.rows {
+        t.row(vec![
+            r.policy.clone(),
+            f(r.strategic_sic),
+            f(r.honest_mean_sic),
+            format!("{:+.1}%", r.advantage() * 100.0),
+            f(r.honest_jain),
+            format!("{:.1}%", r.shed_fraction * 100.0),
+            if r.sic_aware {
+                if r.within_epsilon() { "pass" } else { "FAIL" }.to_string()
+            } else {
+                "(documented)".to_string()
+            },
+        ]);
+    }
+    t
+}
+
+/// Serialises the outcome for `results/BENCH_adversarial.json`.
+pub fn to_json(out: &AdversarialOutcome) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"honest\": {},\n  \"rate_tps\": {},\n  \"capacity_tps\": {},\n  \"tick_ms\": {},\n",
+        out.honest, out.rate_tps, out.capacity_tps, out.tick_ms
+    ));
+    s.push_str(&format!(
+        "  \"epsilon\": {ADVERSARIAL_EPSILON},\n  \"sic_policies_hold\": {},\n  \"rows\": [\n",
+        out.sic_policies_hold()
+    ));
+    for (i, r) in out.rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"sic_aware\": {}, \"strategic_sic\": {:.6}, \"honest_mean_sic\": {:.6}, \"advantage\": {:.6}, \"honest_jain\": {:.6}, \"shed_fraction\": {:.6}}}{}\n",
+            r.policy,
+            r.sic_aware,
+            r.strategic_sic,
+            r.honest_mean_sic,
+            r.advantage(),
+            r.honest_jain,
+            r.shed_fraction,
+            if i + 1 < out.rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -3,8 +3,10 @@
 //! Criterion benches and the integration tests share one implementation.
 
 pub mod ablation;
+pub mod adversarial;
 pub mod batching;
 pub mod churn;
+pub mod correlated;
 pub mod correlation;
 pub mod dynamics;
 pub mod fairness;
@@ -17,3 +19,4 @@ pub mod scalability;
 pub mod scale;
 pub mod scale_e2e;
 pub mod tables;
+pub mod trace;

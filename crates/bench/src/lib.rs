@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
 pub mod figures;
 pub mod scenarios;
 pub mod table;

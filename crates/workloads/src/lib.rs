@@ -3,10 +3,11 @@
 //! Workload generation for the THEMIS evaluation (§7): the five dataset
 //! distributions of Figures 6/7 ([`datasets`]), Table-2 source models
 //! under programmable rate patterns — steady, paper-bursty, diurnal
-//! cycles, flash-crowd replays, heterogeneous per-source multipliers
-//! ([`sources`], [`testbed`]) — and the scenario builder that assembles
-//! queries, placement and capacities into a simulator-ready
-//! [`scenario::Scenario`].
+//! cycles, flash-crowd replays, arrival-trace replay ([`traces`]),
+//! correlated shared loads, a tick-gaming adversarial source,
+//! heterogeneous per-source multipliers ([`sources`], [`testbed`]) — and
+//! the scenario builder that assembles queries, placement and capacities
+//! into a simulator-ready [`scenario::Scenario`].
 //!
 //! ```
 //! use themis_core::prelude::*;
@@ -33,11 +34,13 @@ pub mod datasets;
 pub mod scenario;
 pub mod sources;
 pub mod testbed;
+pub mod traces;
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::datasets::{Dataset, ValueGen};
     pub use crate::scenario::{Scenario, ScenarioBuilder};
-    pub use crate::sources::{CycleShape, RatePattern, SourceDriver, SourceProfile};
+    pub use crate::sources::{CycleShape, RatePattern, SharedLoad, SourceDriver, SourceProfile};
     pub use crate::testbed::{Testbed, EMULAB, LOCAL, WAN};
+    pub use crate::traces::{load_trace, TraceData, TraceError, TraceId};
 }

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use themis_core::prelude::*;
 use themis_query::prelude::*;
 
-use crate::sources::SourceProfile;
+use crate::sources::{RatePattern, SourceProfile};
 
 /// A complete experiment configuration consumed by `themis-sim`.
 #[derive(Debug, Clone)]
@@ -128,6 +128,7 @@ pub struct ScenarioBuilder {
     queries: Vec<QuerySpec>,
     profiles: HashMap<SourceId, SourceProfile>,
     lifetimes: HashMap<QueryId, (Timestamp, Option<Timestamp>)>,
+    correlated: Option<(RatePattern, u64)>,
     sources: IdGen,
     query_ids: IdGen,
 }
@@ -151,6 +152,7 @@ impl ScenarioBuilder {
             queries: Vec::new(),
             profiles: HashMap::new(),
             lifetimes: HashMap::new(),
+            correlated: None,
             sources: IdGen::new(),
             query_ids: IdGen::new(),
         }
@@ -297,6 +299,17 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Modulates **every** source in the scenario (including ones added
+    /// after this call) by one hidden shared load process: the seeded
+    /// `pattern` is evaluated statelessly per emission instant, so its
+    /// bursts hit all sources simultaneously — correlated overload, the
+    /// regime where per-source independence would otherwise let bursts
+    /// average out across a node ([`SourceProfile::with_shared_load`]).
+    pub fn with_correlated_load(mut self, pattern: RatePattern, seed: u64) -> Self {
+        self.correlated = Some((pattern, seed));
+        self
+    }
+
     /// Finalises the scenario, computing the placement.
     pub fn build(self) -> Result<Scenario, PlacementError> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9_1ace);
@@ -310,12 +323,18 @@ impl ScenarioBuilder {
                 c
             }
         };
+        let mut profiles = self.profiles;
+        if let Some((pattern, seed)) = self.correlated {
+            for p in profiles.values_mut() {
+                *p = p.with_shared_load(pattern, seed);
+            }
+        }
         Ok(Scenario {
             name: self.name,
             queries: self.queries,
             n_nodes: self.n_nodes,
             deployment,
-            profiles: self.profiles,
+            profiles,
             link_latency: self.link_latency,
             node_capacity_tps: capacities,
             shedding_interval: self.shedding_interval,
@@ -417,6 +436,30 @@ mod tests {
         }
         // Demand accounting uses the multiplied mean rates.
         assert_eq!(s.total_demand_tps(), 2.0 * (150.0 + 600.0));
+    }
+
+    #[test]
+    fn correlated_load_modulates_every_profile() {
+        let pattern = RatePattern::FlashCrowd {
+            every: TimeDelta::from_secs(5),
+            width: TimeDelta::from_secs(1),
+            magnitude: 6.0,
+        };
+        let s = ScenarioBuilder::new("corr", 7)
+            .nodes(2)
+            .add_queries(Template::Avg, 2, profile())
+            .with_correlated_load(pattern, 99)
+            .add_queries(Template::Avg, 1, profile())
+            .build()
+            .unwrap();
+        for p in s.profiles.values() {
+            let shared = p.shared.expect("every source carries the shared load");
+            assert_eq!(shared.seed, 99);
+            assert_eq!(shared.pattern, pattern);
+        }
+        // Demand accounting includes the shared mean (factor 2.0 here).
+        let expected = s.profiles.len() as f64 * 150.0 * 2.0;
+        assert!((s.total_demand_tps() - expected).abs() < 1e-9);
     }
 
     #[test]

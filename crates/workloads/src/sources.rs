@@ -21,6 +21,8 @@
 //!   (the property tests in `crates/workloads/tests/proptests.rs` pin
 //!   both guarantees).
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,6 +30,7 @@ use themis_core::prelude::*;
 use themis_query::prelude::{SourceKind, SourceSpec};
 
 use crate::datasets::{Dataset, ValueGen};
+use crate::traces::{TraceData, TraceId};
 
 /// Waveform of a [`RatePattern::Diurnal`] cycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +92,28 @@ pub enum RatePattern {
         /// Rate factor during a spike.
         magnitude: f64,
     },
+    /// Replays the per-beat rate factors of a registered arrival trace
+    /// (cyclically). Traces are loaded and validated by
+    /// [`crate::traces::TraceData`] and interned in a process-global
+    /// registry, so the pattern stays a `Copy` handle; the trace's
+    /// declared mean feeds demand accounting exactly.
+    Trace {
+        /// Handle to the registered trace.
+        trace: TraceId,
+    },
+    /// A strategic source that phase-locks its emissions against the
+    /// shedder's tick: the entire volume of each `tick`-long window is
+    /// dumped into the window's *first* emission beat (rate factor
+    /// `tick / interval` for one beat just after the tick boundary, `0`
+    /// for the rest). The long-run mean factor is exactly 1 when the
+    /// emission interval divides `tick` — the source looks honest in
+    /// demand accounting while probing whether just-after-tick bursts
+    /// can inflate its SIC share (by the next tick those batches are the
+    /// *oldest* in the buffer, exactly what a FIFO shedder keeps).
+    Adversarial {
+        /// The shedding-tick period the source games.
+        tick: TimeDelta,
+    },
 }
 
 impl RatePattern {
@@ -129,6 +154,8 @@ impl RatePattern {
                 let width_us = (width.as_micros() as f64).min(every_us);
                 1.0 + (magnitude - 1.0) * width_us / every_us
             }
+            RatePattern::Trace { trace } => trace.data().mean_factor(),
+            RatePattern::Adversarial { .. } => 1.0,
         }
     }
 
@@ -153,22 +180,128 @@ impl RatePattern {
     }
 }
 
-/// The seeded in-epoch offset of a flash-crowd spike (splitmix64 over
-/// `seed ^ epoch`, so any epoch's spike can be recomputed independently —
-/// a replayable trace without storing one).
-fn spike_offset(seed: u64, epoch: u64, every_us: u64, width_us: u64) -> u64 {
+/// Splitmix64 finaliser over a `(seed, period)` pair: any period's draw
+/// can be recomputed independently — a replayable stochastic trace
+/// without storing one.
+fn period_mix(seed: u64, period: u64) -> u64 {
     let mut z = seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(epoch.wrapping_mul(0xD134_2543_DE82_EF95));
+        .wrapping_add(period.wrapping_mul(0xD134_2543_DE82_EF95));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
+    z ^ (z >> 31)
+}
+
+/// The seeded in-epoch offset of a flash-crowd spike.
+fn spike_offset(seed: u64, epoch: u64, every_us: u64, width_us: u64) -> u64 {
+    let z = period_mix(seed, epoch);
     let room = every_us.saturating_sub(width_us);
     if room == 0 {
         0
     } else {
         z % (room + 1)
     }
+}
+
+/// A uniform draw in `[0, 1)` for `(seed, period)` — the hash coin the
+/// stateless bursty evaluation flips per one-second period.
+fn period_unit(seed: u64, period: u64) -> f64 {
+    (period_mix(seed, period) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Stateless evaluation of `pattern`'s rate factor at `now`: a pure
+/// function of `(pattern, seed, now)`, so every driver sharing the pair
+/// computes the *same* factor at the same instant — the property that
+/// lets one hidden load process modulate many sources coherently
+/// ([`SourceProfile::with_shared_load`]). Stochastic decisions come from
+/// splitmix hashes of `(seed, period)` rather than an RNG stream, so any
+/// instant is evaluable independently. `interval` is the evaluating
+/// source's emission interval ([`RatePattern::Adversarial`] needs it);
+/// `trace` is the pre-resolved registry entry for
+/// [`RatePattern::Trace`].
+fn stateless_factor(
+    pattern: RatePattern,
+    seed: u64,
+    now: Timestamp,
+    interval: TimeDelta,
+    trace: Option<&Arc<TraceData>>,
+) -> f64 {
+    match pattern {
+        RatePattern::Steady => 1.0,
+        RatePattern::Bursty { fraction, factor } => {
+            let period = now.as_micros() / 1_000_000;
+            if period_unit(seed, period) < fraction {
+                factor as f64
+            } else {
+                1.0
+            }
+        }
+        RatePattern::Diurnal {
+            period,
+            trough,
+            peak,
+            shape,
+        } => {
+            let period_us = period.as_micros().max(1);
+            let phase = (now.as_micros() % period_us) as f64 / period_us as f64;
+            match shape {
+                CycleShape::Sine => {
+                    trough
+                        + (peak - trough) * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos())
+                }
+                CycleShape::Square { duty } => {
+                    if phase < duty.clamp(0.0, 1.0) {
+                        peak
+                    } else {
+                        trough
+                    }
+                }
+            }
+        }
+        RatePattern::FlashCrowd {
+            every,
+            width,
+            magnitude,
+        } => {
+            let every_us = every.as_micros().max(1);
+            let width_us = width.as_micros().min(every_us);
+            let epoch = now.as_micros() / every_us;
+            let offset = spike_offset(seed, epoch, every_us, width_us);
+            let t_in = now.as_micros() % every_us;
+            if t_in >= offset && t_in < offset + width_us {
+                magnitude
+            } else {
+                1.0
+            }
+        }
+        RatePattern::Trace { trace: id } => match trace {
+            Some(data) => data.factor_at(now),
+            None => id.data().factor_at(now),
+        },
+        RatePattern::Adversarial { tick } => {
+            let iv = interval.as_micros().max(1);
+            let tick_us = tick.as_micros().max(iv);
+            if now.as_micros() % tick_us < iv {
+                tick_us as f64 / iv as f64
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// One hidden load process shared across sources: every profile carrying
+/// the same `SharedLoad` evaluates the same seeded pattern at the same
+/// instant, so its bursts hit all of those sources **simultaneously** —
+/// correlated overload, where independent per-source patterns would
+/// de-phase and average each other out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedLoad {
+    /// The shared pattern (evaluated statelessly; see
+    /// [`SourceProfile::with_shared_load`]).
+    pub pattern: RatePattern,
+    /// The load process's seed — sources sharing it see the same bursts.
+    pub seed: u64,
 }
 
 /// Rate/batching profile of a source (per Table 2), plus its rate pattern
@@ -187,6 +320,9 @@ pub struct SourceProfile {
     pub multiplier: f64,
     /// Value distribution.
     pub dataset: Dataset,
+    /// Optional shared (correlated) load process multiplying the
+    /// source's own pattern; `None` keeps sources independent.
+    pub shared: Option<SharedLoad>,
 }
 
 impl SourceProfile {
@@ -198,6 +334,7 @@ impl SourceProfile {
             pattern: RatePattern::Steady,
             multiplier: 1.0,
             dataset,
+            shared: None,
         }
     }
 
@@ -223,6 +360,20 @@ impl SourceProfile {
         self
     }
 
+    /// This profile modulated by a **shared** load process: the seeded
+    /// `pattern` is evaluated statelessly at each emission instant and
+    /// multiplied into the source's own factor, so every source given the
+    /// same `(pattern, seed)` pair bursts at the same moment
+    /// ([`crate::scenario::ScenarioBuilder::with_correlated_load`]
+    /// applies one pair across a whole scenario). The shared pattern's
+    /// mean multiplies into [`SourceProfile::mean_rate_tps`]; the product
+    /// of means is the exact long-run mean because the shared process is
+    /// evaluated independently of the source's own seeded pattern.
+    pub fn with_shared_load(mut self, pattern: RatePattern, seed: u64) -> Self {
+        self.shared = Some(SharedLoad { pattern, seed });
+        self
+    }
+
     /// Steady batch size (before pattern and multiplier).
     pub fn batch_size(&self) -> usize {
         (self.tuples_per_sec / self.batches_per_sec.max(1)).max(1) as usize
@@ -235,9 +386,11 @@ impl SourceProfile {
     }
 
     /// The declared long-run mean emission rate in tuples/second:
-    /// base rate × multiplier × the pattern's mean factor.
+    /// base rate × multiplier × the pattern's mean factor × the shared
+    /// load's mean factor (if any).
     pub fn mean_rate_tps(&self) -> f64 {
-        self.tuples_per_sec as f64 * self.multiplier * self.pattern.mean_factor()
+        let shared = self.shared.map_or(1.0, |s| s.pattern.mean_factor());
+        self.tuples_per_sec as f64 * self.multiplier * self.pattern.mean_factor() * shared
     }
 }
 
@@ -268,6 +421,12 @@ pub struct SourceDriver {
     burst_rng: SmallRng,
     /// Periods (seconds) currently decided: (period index, bursting?).
     current_period: (u64, bool),
+    /// Registry entries resolved once at construction, so the emit path
+    /// never takes the trace-registry lock: the source's own pattern's
+    /// trace and the shared load's trace (when either is
+    /// [`RatePattern::Trace`]).
+    own_trace: Option<Arc<TraceData>>,
+    shared_trace: Option<Arc<TraceData>>,
     /// Fractional tuples owed from previous emissions.
     carry: f64,
     next_emission: Timestamp,
@@ -284,6 +443,10 @@ impl SourceDriver {
         let mut phase_rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let phase =
             TimeDelta::from_micros(phase_rng.gen_range(0..profile.interval().as_micros().max(1)));
+        let resolve = |p: RatePattern| match p {
+            RatePattern::Trace { trace } => Some(trace.data()),
+            _ => None,
+        };
         SourceDriver {
             source: spec.id,
             query,
@@ -296,6 +459,8 @@ impl SourceDriver {
             seed,
             burst_rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D)),
             current_period: (u64::MAX, false),
+            own_trace: resolve(profile.pattern),
+            shared_trace: profile.shared.and_then(|s| resolve(s.pattern)),
             carry: 0.0,
             next_emission: Timestamp::ZERO + phase,
             pool: None,
@@ -354,11 +519,13 @@ impl SourceDriver {
         self.next_emission += TimeDelta::from_micros(beats * iv);
     }
 
-    /// The pattern's rate factor at `now` (mutates the seeded per-period
-    /// state of stochastic patterns).
+    /// The source's own pattern's rate factor at `now`. Bursty keeps its
+    /// historical seeded RNG *stream* (mutating per-period state) so
+    /// pre-existing replays stay bit-identical; every other pattern is a
+    /// pure function of `(pattern, seed, now)` and delegates to the
+    /// stateless evaluator shared with correlated loads.
     fn factor_at(&mut self, now: Timestamp) -> f64 {
         match self.profile.pattern {
-            RatePattern::Steady => 1.0,
             RatePattern::Bursty { fraction, factor } => {
                 let period = now.as_micros() / 1_000_000;
                 if self.current_period.0 != period {
@@ -370,46 +537,13 @@ impl SourceDriver {
                     1.0
                 }
             }
-            RatePattern::Diurnal {
-                period,
-                trough,
-                peak,
-                shape,
-            } => {
-                let period_us = period.as_micros().max(1);
-                let phase = (now.as_micros() % period_us) as f64 / period_us as f64;
-                match shape {
-                    CycleShape::Sine => {
-                        trough
-                            + (peak - trough)
-                                * 0.5
-                                * (1.0 - (2.0 * std::f64::consts::PI * phase).cos())
-                    }
-                    CycleShape::Square { duty } => {
-                        if phase < duty.clamp(0.0, 1.0) {
-                            peak
-                        } else {
-                            trough
-                        }
-                    }
-                }
-            }
-            RatePattern::FlashCrowd {
-                every,
-                width,
-                magnitude,
-            } => {
-                let every_us = every.as_micros().max(1);
-                let width_us = width.as_micros().min(every_us);
-                let epoch = now.as_micros() / every_us;
-                let offset = spike_offset(self.seed, epoch, every_us, width_us);
-                let t_in = now.as_micros() % every_us;
-                if t_in >= offset && t_in < offset + width_us {
-                    magnitude
-                } else {
-                    1.0
-                }
-            }
+            pattern => stateless_factor(
+                pattern,
+                self.seed,
+                now,
+                self.profile.interval(),
+                self.own_trace.as_ref(),
+            ),
         }
     }
 
@@ -419,7 +553,17 @@ impl SourceDriver {
     /// quiet diurnal trough can yield empty batches).
     pub fn emit(&mut self) -> Batch {
         let now = self.next_emission;
-        let factor = self.factor_at(now).max(0.0);
+        let mut factor = self.factor_at(now).max(0.0);
+        if let Some(shared) = self.profile.shared {
+            factor *= stateless_factor(
+                shared.pattern,
+                shared.seed,
+                now,
+                self.profile.interval(),
+                self.shared_trace.as_ref(),
+            )
+            .max(0.0);
+        }
         // No minimum per batch: bases below one tuple (rate < batch
         // cadence) accumulate through the carry, so the realised rate
         // always matches `mean_rate_tps()`.
@@ -740,6 +884,126 @@ mod tests {
         let b = d.emit();
         // KB scale, not 0-100.
         assert!(b.iter().any(|t| t.f64(1) > 1000.0));
+    }
+
+    #[test]
+    fn trace_pattern_replays_registered_factors() {
+        let trace = TraceData::from_factors(
+            "unit-replay",
+            TimeDelta::from_secs(1),
+            vec![0.5, 2.0, 0.5, 1.0],
+        )
+        .unwrap()
+        .register();
+        let pattern = RatePattern::Trace { trace };
+        assert!((pattern.mean_factor() - 1.0).abs() < 1e-12);
+        // 100 t/s in 10 batches/s: base batch 10 tuples, scaled per beat.
+        let profile = SourceProfile::steady(100, 10, Dataset::Uniform).with_pattern(pattern);
+        assert_eq!(profile.mean_rate_tps(), 100.0);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 13);
+        let mut per_beat = [0usize; 4];
+        while d.next_time() < Timestamp::from_secs(8) {
+            let beat = (d.next_time().as_micros() / 1_000_000) as usize % 4;
+            per_beat[beat] += d.emit().len();
+        }
+        // Two cycles: beat volumes follow the factors (10 batches/beat).
+        assert!((95..=105).contains(&per_beat[0]), "{per_beat:?}");
+        assert!((395..=405).contains(&per_beat[1]), "{per_beat:?}");
+        assert!((195..=205).contains(&per_beat[3]), "{per_beat:?}");
+    }
+
+    #[test]
+    fn adversarial_dumps_each_ticks_volume_just_after_the_boundary() {
+        let tick = TimeDelta::from_millis(250);
+        let pattern = RatePattern::Adversarial { tick };
+        assert_eq!(
+            pattern.mean_factor(),
+            1.0,
+            "looks honest in demand accounting"
+        );
+        // 400 t/s in 20 batches/s: interval 50 ms divides the 250 ms tick.
+        let profile = SourceProfile::steady(400, 20, Dataset::Uniform).with_pattern(pattern);
+        assert_eq!(profile.mean_rate_tps(), 400.0);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 17);
+        let mut total = 0usize;
+        let mut bursts = 0usize;
+        while d.next_time() < Timestamp::from_secs(10) {
+            let in_window = d.next_time().as_micros() % tick.as_micros() < 50_000;
+            let n = d.emit().len();
+            total += n;
+            if in_window {
+                assert_eq!(n, 100, "the whole tick's volume lands in one beat");
+                bursts += 1;
+            } else {
+                assert_eq!(n, 0, "silent for the rest of the tick");
+            }
+        }
+        assert_eq!(bursts, 40, "one burst per 250 ms tick over 10 s");
+        assert_eq!(
+            total, 4000,
+            "long-run volume matches an honest 400 t/s source"
+        );
+    }
+
+    #[test]
+    fn shared_load_bursts_hit_differently_seeded_sources_simultaneously() {
+        let shared = RatePattern::FlashCrowd {
+            every: TimeDelta::from_secs(5),
+            width: TimeDelta::from_secs(1),
+            magnitude: 8.0,
+        };
+        let shared_seed = 4242;
+        let profile =
+            SourceProfile::steady(100, 10, Dataset::Uniform).with_shared_load(shared, shared_seed);
+        // The shared mean multiplies into demand accounting.
+        assert!((profile.mean_rate_tps() - 240.0).abs() < 1e-9);
+        // The spike schedule is the *shared* seed's flash trace — not
+        // either driver's own seed.
+        let trace = shared.flash_trace(shared_seed, TimeDelta::from_secs(30));
+        for own_seed in [1u64, 2] {
+            let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, own_seed);
+            while d.next_time() < Timestamp::from_secs(30) {
+                let t = d.next_time();
+                let in_spike = trace.iter().any(|&(s, e)| t >= s && t < e);
+                let n = d.emit().len();
+                if in_spike {
+                    assert!(n >= 79, "seed {own_seed}: spike batch only {n} at {t}");
+                } else {
+                    assert!(n <= 11, "seed {own_seed}: off-spike batch {n} at {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_load_composes_with_own_pattern() {
+        let diurnal = RatePattern::Diurnal {
+            period: TimeDelta::from_secs(10),
+            trough: 0.5,
+            peak: 1.5,
+            shape: CycleShape::Sine,
+        };
+        let profile = SourceProfile::steady(200, 10, Dataset::Uniform)
+            .with_pattern(diurnal)
+            .with_shared_load(
+                RatePattern::Bursty {
+                    fraction: 0.5,
+                    factor: 4,
+                },
+                77,
+            );
+        // 200 × 1.0 (diurnal mean) × 2.5 (bursty mean) = 500 t/s.
+        assert!((profile.mean_rate_tps() - 500.0).abs() < 1e-9);
+        let mut d = SourceDriver::new(QueryId(0), &spec(SourceKind::Cpu), profile, 3);
+        let mut total = 0usize;
+        while d.next_time() < Timestamp::from_secs(120) {
+            total += d.emit().len();
+        }
+        let rate = total as f64 / 120.0;
+        assert!(
+            (rate - 500.0).abs() < 50.0,
+            "realised composed rate {rate} vs declared 500"
+        );
     }
 
     #[test]

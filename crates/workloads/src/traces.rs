@@ -1,0 +1,731 @@
+//! Arrival-trace replay: per-beat rate multipliers loaded from CSV/JSON
+//! files, validated into [`TraceData`] and interned in a process-global
+//! registry so [`crate::sources::RatePattern::Trace`] stays a `Copy`
+//! handle like every other pattern.
+//!
+//! The pipeline is **parse → validate → register**:
+//!
+//! 1. [`TraceData::load`] dispatches on the file extension (`.csv` or
+//!    `.json`; anything else is rejected with the expected extensions),
+//! 2. every malformed input produces a [`TraceError`] naming the
+//!    offending line/field *and* the fix — never a panic (the PR 7
+//!    rejection convention),
+//! 3. [`TraceData::register`] interns the validated trace and returns a
+//!    [`TraceId`], the `Copy` handle sources replay through.
+//!
+//! A trace is a cyclic sequence of non-negative **rate factors**, one per
+//! fixed-length *beat*: a source replaying the trace multiplies its base
+//! rate by `factors[(t / beat) % len]`. The declared long-run mean
+//! ([`TraceData::mean_factor`]) is the exact arithmetic mean of the
+//! factors, so demand/overload accounting
+//! ([`crate::scenario::Scenario::total_demand_tps`]) stays exact under
+//! replay; [`TraceData::mean_factor_over`] gives the exact expectation
+//! over a *finite* horizon, which is what a wall-clock experiment that
+//! stops mid-cycle must compare its realised volume against.
+//!
+//! ## CSV format
+//!
+//! ```text
+//! # comments and blank lines are ignored; an optional header row
+//! # ("time_s,factor") is recognised and skipped.
+//! time_s,factor
+//! 0.0,0.4
+//! 1.0,1.0
+//! 2.0,2.6
+//! ```
+//!
+//! Rules: two comma-separated columns per row; timestamps are seconds,
+//! strictly increasing and uniformly spaced (the spacing *is* the beat);
+//! factors are finite and non-negative; at least two rows.
+//!
+//! ## JSON format
+//!
+//! ```text
+//! {"beat_s": 1.0, "factors": [0.4, 1.0, 2.6]}
+//! ```
+//!
+//! `beat_s` is the beat length in seconds (finite, positive); `factors`
+//! is a non-empty array of finite, non-negative numbers. The parser is a
+//! purpose-built scanner for exactly this shape (the workspace is
+//! offline — no serde), and rejects unknown keys.
+
+use std::fmt;
+use std::path::Path;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use themis_core::prelude::*;
+
+/// An actionable trace-loading failure: every variant names the offender
+/// (file, line or field) and the fix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The file could not be read.
+    Io {
+        /// Offending path.
+        file: String,
+        /// The underlying error.
+        error: String,
+    },
+    /// The extension is neither `.csv` nor `.json`.
+    UnsupportedExtension {
+        /// Offending path.
+        file: String,
+        /// The extension found (empty when the path has none).
+        ext: String,
+    },
+    /// A line (CSV) or field (JSON) failed to parse or validate.
+    Malformed {
+        /// Offending file (or trace name for in-memory parses).
+        file: String,
+        /// 1-based line for CSV inputs; `None` for JSON/field errors.
+        line: Option<usize>,
+        /// What is wrong, quoting the offending token.
+        problem: String,
+        /// How to repair the input.
+        fix: String,
+    },
+}
+
+impl TraceError {
+    fn malformed(
+        file: &str,
+        line: Option<usize>,
+        problem: impl Into<String>,
+        fix: impl Into<String>,
+    ) -> Self {
+        TraceError::Malformed {
+            file: file.to_string(),
+            line,
+            problem: problem.into(),
+            fix: fix.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { file, error } => {
+                write!(f, "trace file `{file}`: {error}")
+            }
+            TraceError::UnsupportedExtension { file, ext } => write!(
+                f,
+                "trace file `{file}`: unsupported extension `{ext}` — use `.csv` \
+                 (time_s,factor rows) or `.json` ({{\"beat_s\": …, \"factors\": […]}})"
+            ),
+            TraceError::Malformed {
+                file,
+                line,
+                problem,
+                fix,
+            } => match line {
+                Some(n) => write!(f, "trace file `{file}`, line {n}: {problem} — {fix}"),
+                None => write!(f, "trace file `{file}`: {problem} — {fix}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A validated, replay-ready arrival trace: a cyclic sequence of
+/// non-negative rate factors at a fixed beat.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceData {
+    name: String,
+    beat: TimeDelta,
+    factors: Arc<[f64]>,
+    mean: f64,
+}
+
+impl TraceData {
+    /// Builds a trace directly from per-beat factors (the in-memory
+    /// entry point; file loaders funnel into this after parsing).
+    pub fn from_factors(
+        name: impl Into<String>,
+        beat: TimeDelta,
+        factors: Vec<f64>,
+    ) -> Result<TraceData, TraceError> {
+        let name = name.into();
+        if beat.is_zero() {
+            return Err(TraceError::malformed(
+                &name,
+                None,
+                "beat length is zero".to_string(),
+                "declare a positive beat (e.g. `\"beat_s\": 1.0`, or CSV timestamps \
+                 spaced more than 0 s apart)",
+            ));
+        }
+        if factors.is_empty() {
+            return Err(TraceError::malformed(
+                &name,
+                None,
+                "the trace has no rate factors".to_string(),
+                "provide at least one beat (CSV needs two rows to declare the beat spacing)",
+            ));
+        }
+        for (i, &v) in factors.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(TraceError::malformed(
+                    &name,
+                    None,
+                    format!("factor #{} is `{v}`", i + 1),
+                    "rate factors must be finite and >= 0",
+                ));
+            }
+        }
+        let mean = factors.iter().sum::<f64>() / factors.len() as f64;
+        if mean == 0.0 {
+            return Err(TraceError::malformed(
+                &name,
+                None,
+                "every rate factor is zero".to_string(),
+                "a trace must carry some volume, or demand accounting degenerates; \
+                 raise at least one factor above 0",
+            ));
+        }
+        Ok(TraceData {
+            name,
+            beat,
+            factors: factors.into(),
+            mean,
+        })
+    }
+
+    /// Loads and validates a trace file, dispatching on its extension
+    /// (`.csv` or `.json`).
+    pub fn load(path: impl AsRef<Path>) -> Result<TraceData, TraceError> {
+        let path = path.as_ref();
+        let file = path.display().to_string();
+        let ext = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .unwrap_or("")
+            .to_ascii_lowercase();
+        if ext != "csv" && ext != "json" {
+            return Err(TraceError::UnsupportedExtension { file, ext });
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| TraceError::Io {
+            file: file.clone(),
+            error: e.to_string(),
+        })?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace")
+            .to_string();
+        let mut data = if ext == "csv" {
+            Self::parse_csv(&name, &text)
+        } else {
+            Self::parse_json(&name, &text)
+        }
+        .map_err(|e| match e {
+            // Surface the full path, not just the stem, in file errors.
+            TraceError::Malformed {
+                line, problem, fix, ..
+            } => TraceError::Malformed {
+                file: file.clone(),
+                line,
+                problem,
+                fix,
+            },
+            other => other,
+        })?;
+        data.name = name;
+        Ok(data)
+    }
+
+    /// Parses the CSV trace format (see the module docs for the spec).
+    pub fn parse_csv(name: &str, text: &str) -> Result<TraceData, TraceError> {
+        let mut rows: Vec<(f64, f64, usize)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() != 2 {
+                return Err(TraceError::malformed(
+                    name,
+                    Some(lineno),
+                    format!("expected 2 comma-separated columns, found {}", fields.len()),
+                    "each data row is `time_s,factor`",
+                ));
+            }
+            // A single header row is allowed (and skipped) before data.
+            if rows.is_empty() && fields[0].parse::<f64>().is_err() {
+                continue;
+            }
+            let t: f64 = fields[0].parse().map_err(|_| {
+                TraceError::malformed(
+                    name,
+                    Some(lineno),
+                    format!("timestamp `{}` is not a number", fields[0]),
+                    "timestamps are seconds, e.g. `12.5`",
+                )
+            })?;
+            let v: f64 = fields[1].parse().map_err(|_| {
+                TraceError::malformed(
+                    name,
+                    Some(lineno),
+                    format!("rate factor `{}` is not a number", fields[1]),
+                    "factors are non-negative multipliers over the base rate, e.g. `1.8`",
+                )
+            })?;
+            if !t.is_finite() {
+                return Err(TraceError::malformed(
+                    name,
+                    Some(lineno),
+                    format!("timestamp `{t}` is not finite"),
+                    "timestamps are finite seconds",
+                ));
+            }
+            if !v.is_finite() || v < 0.0 {
+                return Err(TraceError::malformed(
+                    name,
+                    Some(lineno),
+                    format!("rate factor `{v}` is negative or not finite"),
+                    "a source cannot emit at a negative rate; factors must be >= 0",
+                ));
+            }
+            if let Some(&(prev_t, _, prev_line)) = rows.last() {
+                if t <= prev_t {
+                    return Err(TraceError::malformed(
+                        name,
+                        Some(lineno),
+                        format!(
+                            "timestamp {t} is not after the previous row's {prev_t} \
+                             (line {prev_line})"
+                        ),
+                        "timestamps must be strictly increasing",
+                    ));
+                }
+            }
+            rows.push((t, v, lineno));
+        }
+        if rows.is_empty() {
+            return Err(TraceError::malformed(
+                name,
+                None,
+                "the file contains no data rows".to_string(),
+                "add `time_s,factor` rows (comments `#` and a header row are ignored)",
+            ));
+        }
+        if rows.len() < 2 {
+            return Err(TraceError::malformed(
+                name,
+                Some(rows[0].2),
+                "only one data row — the beat length cannot be inferred".to_string(),
+                "a CSV trace needs at least two rows; their spacing declares the beat",
+            ));
+        }
+        let beat_s = rows[1].0 - rows[0].0;
+        for w in rows.windows(2) {
+            let dt = w[1].0 - w[0].0;
+            if (dt - beat_s).abs() > 1e-6 * beat_s.max(1.0) {
+                return Err(TraceError::malformed(
+                    name,
+                    Some(w[1].2),
+                    format!(
+                        "row spacing {dt} s differs from the trace beat {beat_s} s \
+                         declared by the first two rows"
+                    ),
+                    "rows must be uniformly spaced; resample the trace onto a fixed beat",
+                ));
+            }
+        }
+        let beat = TimeDelta::from_micros((beat_s * 1_000_000.0).round() as u64);
+        let factors: Vec<f64> = rows.iter().map(|&(_, v, _)| v).collect();
+        TraceData::from_factors(name, beat, factors)
+    }
+
+    /// Parses the JSON trace format (see the module docs for the spec).
+    pub fn parse_json(name: &str, text: &str) -> Result<TraceData, TraceError> {
+        let mut beat_s: Option<f64> = None;
+        let mut factors: Option<Vec<f64>> = None;
+        let body = text.trim();
+        let inner = body
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| {
+                TraceError::malformed(
+                    name,
+                    None,
+                    "the file is not a JSON object".to_string(),
+                    "the expected shape is {\"beat_s\": 1.0, \"factors\": [1.0, 2.5]}",
+                )
+            })?;
+        // Split on top-level commas (the only nesting is the factors
+        // array, so one bracket-depth counter suffices).
+        let mut depth = 0i32;
+        let mut start = 0usize;
+        let mut parts: Vec<&str> = Vec::new();
+        for (i, c) in inner.char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                ',' if depth == 0 => {
+                    parts.push(&inner[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        parts.push(&inner[start..]);
+        for part in parts {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part.split_once(':').ok_or_else(|| {
+                TraceError::malformed(
+                    name,
+                    None,
+                    format!("`{part}` is not a `\"key\": value` pair"),
+                    "the expected shape is {\"beat_s\": 1.0, \"factors\": [1.0, 2.5]}",
+                )
+            })?;
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            match key {
+                "beat_s" => {
+                    let v: f64 = value.parse().map_err(|_| {
+                        TraceError::malformed(
+                            name,
+                            None,
+                            format!("`beat_s` value `{value}` is not a number"),
+                            "declare the beat length in seconds, e.g. `\"beat_s\": 0.5`",
+                        )
+                    })?;
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(TraceError::malformed(
+                            name,
+                            None,
+                            format!("`beat_s` is `{v}`"),
+                            "the beat length must be finite and positive",
+                        ));
+                    }
+                    beat_s = Some(v);
+                }
+                "factors" => {
+                    let list = value
+                        .strip_prefix('[')
+                        .and_then(|s| s.strip_suffix(']'))
+                        .ok_or_else(|| {
+                            TraceError::malformed(
+                                name,
+                                None,
+                                format!("`factors` value `{value}` is not an array"),
+                                "declare the per-beat factors as `\"factors\": [1.0, 2.5]`",
+                            )
+                        })?;
+                    let mut out = Vec::new();
+                    for (i, item) in list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .enumerate()
+                    {
+                        let v: f64 = item.parse().map_err(|_| {
+                            TraceError::malformed(
+                                name,
+                                None,
+                                format!("factor #{} `{item}` is not a number", i + 1),
+                                "factors are non-negative multipliers over the base rate",
+                            )
+                        })?;
+                        out.push(v);
+                    }
+                    factors = Some(out);
+                }
+                other => {
+                    return Err(TraceError::malformed(
+                        name,
+                        None,
+                        format!("unknown key `{other}`"),
+                        "the only keys are `beat_s` and `factors`",
+                    ));
+                }
+            }
+        }
+        let beat_s = beat_s.ok_or_else(|| {
+            TraceError::malformed(
+                name,
+                None,
+                "missing `beat_s`".to_string(),
+                "declare the beat length in seconds, e.g. `\"beat_s\": 1.0`",
+            )
+        })?;
+        let factors = factors.ok_or_else(|| {
+            TraceError::malformed(
+                name,
+                None,
+                "missing `factors`".to_string(),
+                "declare the per-beat factors as `\"factors\": [1.0, 2.5]`",
+            )
+        })?;
+        let beat = TimeDelta::from_micros((beat_s * 1_000_000.0).round() as u64);
+        TraceData::from_factors(name, beat, factors)
+    }
+
+    /// The trace's name (file stem, or the name given at construction).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The beat length.
+    pub fn beat(&self) -> TimeDelta {
+        self.beat
+    }
+
+    /// The per-beat rate factors.
+    pub fn factors(&self) -> &[f64] {
+        &self.factors
+    }
+
+    /// One full cycle: `beat * factors.len()`.
+    pub fn cycle(&self) -> TimeDelta {
+        TimeDelta(self.beat.as_micros() * self.factors.len() as u64)
+    }
+
+    /// The exact arithmetic mean of the factors — the declared long-run
+    /// mean a replaying source realises over whole cycles.
+    pub fn mean_factor(&self) -> f64 {
+        self.mean
+    }
+
+    /// The rate factor at `now` (cyclic replay).
+    pub fn factor_at(&self, now: Timestamp) -> f64 {
+        let beat_us = self.beat.as_micros().max(1);
+        let idx = (now.as_micros() / beat_us) as usize % self.factors.len();
+        self.factors[idx]
+    }
+
+    /// The exact expected mean factor over `[0, horizon)` — what a run
+    /// that stops mid-cycle should compare its realised volume against
+    /// (the plain [`TraceData::mean_factor`] is only exact over whole
+    /// cycles).
+    pub fn mean_factor_over(&self, horizon: TimeDelta) -> f64 {
+        let beat_us = self.beat.as_micros().max(1);
+        let h = horizon.as_micros();
+        if h == 0 {
+            return self.mean;
+        }
+        let mut sum_us = 0.0;
+        let whole_beats = h / beat_us;
+        let cycles = whole_beats / self.factors.len() as u64;
+        sum_us += cycles as f64 * self.mean * self.cycle().as_micros() as f64;
+        for i in (cycles * self.factors.len() as u64)..whole_beats {
+            sum_us += self.factors[i as usize % self.factors.len()] * beat_us as f64;
+        }
+        let partial = h % beat_us;
+        if partial > 0 {
+            sum_us +=
+                self.factors[(whole_beats % self.factors.len() as u64) as usize] * partial as f64;
+        }
+        sum_us / h as f64
+    }
+
+    /// This trace replayed at a different beat length (time-rescaling a
+    /// shape, e.g. compressing an hourly diurnal profile into seconds for
+    /// a smoke run). Factors and mean are unchanged.
+    pub fn with_beat(mut self, beat: TimeDelta) -> TraceData {
+        self.beat = TimeDelta(beat.as_micros().max(1));
+        self
+    }
+
+    /// Interns this trace in the process-global registry, returning the
+    /// `Copy` handle [`RatePattern::Trace`] replays through. Registering
+    /// identical content again returns the existing id.
+    ///
+    /// [`RatePattern::Trace`]: crate::sources::RatePattern::Trace
+    pub fn register(self) -> TraceId {
+        let reg = registry();
+        {
+            let traces = reg.read().expect("trace registry poisoned");
+            if let Some(i) = traces.iter().position(|t| **t == self) {
+                return TraceId(i as u32);
+            }
+        }
+        let mut traces = reg.write().expect("trace registry poisoned");
+        // Re-check under the write lock (another thread may have won).
+        if let Some(i) = traces.iter().position(|t| **t == self) {
+            return TraceId(i as u32);
+        }
+        traces.push(Arc::new(self));
+        TraceId((traces.len() - 1) as u32)
+    }
+}
+
+/// A `Copy` handle to a registered [`TraceData`] — the payload of
+/// [`RatePattern::Trace`](crate::sources::RatePattern::Trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u32);
+
+impl TraceId {
+    /// The registered trace behind this handle.
+    pub fn data(self) -> Arc<TraceData> {
+        registry()
+            .read()
+            .expect("trace registry poisoned")
+            .get(self.0 as usize)
+            .cloned()
+            .expect("TraceId not in registry: ids are only minted by TraceData::register")
+    }
+}
+
+fn registry() -> &'static RwLock<Vec<Arc<TraceData>>> {
+    static REGISTRY: OnceLock<RwLock<Vec<Arc<TraceData>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Loads, validates and registers a trace file in one step, returning
+/// the handle and the registered data.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<(TraceId, Arc<TraceData>), TraceError> {
+    let data = TraceData::load(path)?;
+    let id = data.register();
+    Ok((id, id.data()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("themis-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-{name}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = TraceData::parse_csv("t", "# shape\ntime_s,factor\n0.0,0.5\n0.5,1.5\n1.0,2.5\n")
+            .unwrap();
+        assert_eq!(t.beat(), TimeDelta::from_millis(500));
+        assert_eq!(t.factors(), &[0.5, 1.5, 2.5]);
+        assert!((t.mean_factor() - 1.5).abs() < 1e-12);
+        assert_eq!(t.cycle(), TimeDelta::from_millis(1500));
+        // Cyclic replay.
+        assert_eq!(t.factor_at(Timestamp::ZERO), 0.5);
+        assert_eq!(t.factor_at(Timestamp(600_000)), 1.5);
+        assert_eq!(t.factor_at(Timestamp(1_500_000)), 0.5);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = TraceData::parse_json("t", "{\"beat_s\": 0.25, \"factors\": [1.0, 3.0]}").unwrap();
+        assert_eq!(t.beat(), TimeDelta::from_millis(250));
+        assert_eq!(t.factors(), &[1.0, 3.0]);
+        assert!((t.mean_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_mean_is_exact() {
+        let t = TraceData::from_factors("w", TimeDelta::from_secs(1), vec![1.0, 3.0]).unwrap();
+        assert!((t.mean_factor_over(TimeDelta::from_secs(4)) - 2.0).abs() < 1e-12);
+        assert!((t.mean_factor_over(TimeDelta::from_secs(1)) - 1.0).abs() < 1e-12);
+        // 1.5 s: one full beat at 1.0 plus half a beat at 3.0.
+        let m = t.mean_factor_over(TimeDelta::from_millis(1500));
+        assert!((m - (1.0 + 1.5) / 1.5).abs() < 1e-12, "{m}");
+    }
+
+    #[test]
+    fn empty_file_is_actionable() {
+        let err = TraceData::parse_csv("empty", "").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no data rows"), "{msg}");
+        assert!(msg.contains("time_s,factor"), "fix missing: {msg}");
+    }
+
+    #[test]
+    fn negative_rate_names_the_line() {
+        let err = TraceData::parse_csv("neg", "0,1.0\n1,-2.0\n2,1.0\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("-2"), "{msg}");
+        assert!(msg.contains(">= 0"), "fix missing: {msg}");
+    }
+
+    #[test]
+    fn non_monotonic_timestamps_name_both_rows() {
+        let err = TraceData::parse_csv("mono", "0,1\n2,1\n1,1\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("strictly increasing"), "{msg}");
+    }
+
+    #[test]
+    fn non_uniform_spacing_is_rejected() {
+        let err = TraceData::parse_csv("gap", "0,1\n1,1\n3,1\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("uniformly spaced"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_extension_is_rejected_with_expected_ones() {
+        let path = write_temp("trace.txt", "0,1\n1,1\n");
+        let err = TraceData::load(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported extension `txt`"), "{msg}");
+        assert!(msg.contains(".csv") && msg.contains(".json"), "{msg}");
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = TraceData::load("/definitely/not/here.csv").unwrap_err();
+        assert!(matches!(err, TraceError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn json_rejections_are_actionable() {
+        for (text, needle) in [
+            ("[1,2,3]", "not a JSON object"),
+            ("{\"factors\": [1.0]}", "missing `beat_s`"),
+            ("{\"beat_s\": 1.0}", "missing `factors`"),
+            ("{\"beat_s\": 0.0, \"factors\": [1.0]}", "`beat_s` is `0`"),
+            (
+                "{\"beat_s\": 1.0, \"factors\": [1.0], \"x\": 1}",
+                "unknown key `x`",
+            ),
+            (
+                "{\"beat_s\": 1.0, \"factors\": [1.0, oops]}",
+                "not a number",
+            ),
+        ] {
+            let msg = TraceData::parse_json("j", text).unwrap_err().to_string();
+            assert!(msg.contains(needle), "`{text}` → {msg}");
+        }
+    }
+
+    #[test]
+    fn all_zero_trace_is_rejected() {
+        let err =
+            TraceData::from_factors("z", TimeDelta::from_secs(1), vec![0.0, 0.0]).unwrap_err();
+        assert!(err.to_string().contains("every rate factor is zero"));
+    }
+
+    #[test]
+    fn registry_dedups_identical_content() {
+        let mk = || {
+            TraceData::from_factors("dedup-test", TimeDelta::from_secs(1), vec![1.0, 2.0, 9.0])
+                .unwrap()
+        };
+        let a = mk().register();
+        let b = mk().register();
+        assert_eq!(a, b);
+        assert_eq!(a.data().factors(), &[1.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn load_registers_through_the_same_path() {
+        let path = write_temp("load.csv", "0,1.0\n2,3.0\n");
+        let (id, data) = load_trace(&path).unwrap();
+        assert_eq!(data.beat(), TimeDelta::from_secs(2));
+        let (id2, _) = load_trace(&path).unwrap();
+        assert_eq!(id, id2, "same file, same registered trace");
+    }
+}

@@ -15,10 +15,12 @@ fn spec() -> SourceSpec {
 
 /// Strategy: any rate pattern with parameters in sane evaluation ranges.
 /// Periods divide the 60 s measurement horizon so periodic patterns are
-/// measured over whole cycles.
+/// measured over whole cycles. Trace patterns register their (deduped)
+/// factor sequence in the process-global registry; adversarial ticks are
+/// multiples of 250 ms, so every driver interval used below divides them.
 fn arb_pattern() -> impl Strategy<Value = RatePattern> {
     (
-        0usize..4,
+        0usize..6,
         (0.1f64..0.3, 2u32..8),
         prop::sample::select(vec![1u64, 2, 3, 4, 5, 6]),
         (0.0f64..1.2, 1.5f64..4.0),
@@ -38,10 +40,26 @@ fn arb_pattern() -> impl Strategy<Value = RatePattern> {
                         CycleShape::Square { duty }
                     },
                 },
-                _ => RatePattern::FlashCrowd {
+                3 => RatePattern::FlashCrowd {
                     every: TimeDelta::from_secs(period_s.max(2)),
                     width: TimeDelta::from_millis(500),
                     magnitude: peak,
+                },
+                4 => {
+                    // A short 1 s-beat trace whose cycle (2-6 beats)
+                    // divides the 60 s horizon.
+                    let len = (period_s as usize).clamp(2, 6);
+                    let factors: Vec<f64> = (0..len)
+                        .map(|i| trough + (peak - trough) * i as f64 / (len - 1) as f64)
+                        .collect();
+                    let trace =
+                        TraceData::from_factors("proptest", TimeDelta::from_secs(1), factors)
+                            .unwrap()
+                            .register();
+                    RatePattern::Trace { trace }
+                }
+                _ => RatePattern::Adversarial {
+                    tick: TimeDelta::from_millis(250 * period_s),
                 },
             },
         )
@@ -78,6 +96,8 @@ proptest! {
             RatePattern::Bursty { .. } => (600, 0.20),
             RatePattern::Diurnal { .. } => (60, 0.10),
             RatePattern::FlashCrowd { .. } => (60, 0.10),
+            RatePattern::Trace { .. } => (60, 0.05),
+            RatePattern::Adversarial { .. } => (60, 0.02),
         };
         let measured = measured_rate(profile, seed, horizon);
         prop_assert!(
@@ -142,5 +162,60 @@ proptest! {
             prop_assert_eq!(end - start, width, "spike {} width", i);
         }
         prop_assert_eq!(trace, pattern.flash_trace(seed, horizon), "same seed, same trace");
+    }
+
+    /// Trace replay realises the trace's declared `mean_factor()` over
+    /// whole cycles, for arbitrary factor sequences.
+    #[test]
+    fn trace_replay_realises_the_declared_mean(
+        factors in prop::collection::vec(0.1f64..4.0, 2..8),
+        beat_ms in prop::sample::select(vec![250u64, 500, 1000]),
+        seed in 1u64..5000,
+    ) {
+        let data = TraceData::from_factors(
+            "proptest-mean", TimeDelta::from_millis(beat_ms), factors,
+        ).unwrap();
+        let declared_factor = data.mean_factor();
+        let cycle = data.cycle();
+        let trace = data.register();
+        let pattern = RatePattern::Trace { trace };
+        prop_assert!((pattern.mean_factor() - declared_factor).abs() < 1e-12);
+        let profile = SourceProfile::steady(40, 20, Dataset::Uniform).with_pattern(pattern);
+        // Measure over a whole number of cycles (≥ 30 s worth).
+        let cycles = 30_000_000_u64.div_ceil(cycle.as_micros());
+        let horizon_secs = cycles * cycle.as_micros() / 1_000_000;
+        let measured = measured_rate(profile, seed, horizon_secs.max(1));
+        let declared = profile.mean_rate_tps();
+        prop_assert!(
+            (measured - declared).abs() <= 0.05 * declared.max(1.0),
+            "trace factors {:?}: measured {measured:.2} t/s vs declared {declared:.2} t/s",
+            trace.data().factors()
+        );
+    }
+
+    /// Same file + same seed → bit-identical replay: parsing the same
+    /// CSV text twice yields the same registered trace, and two drivers
+    /// over it emit identical batch sequences.
+    #[test]
+    fn same_file_same_seed_replays_bit_identically(
+        factors in prop::collection::vec(0.1f64..4.0, 2..8),
+        seed in 1u64..5000,
+    ) {
+        let csv: String = std::iter::once("time_s,factor".to_string())
+            .chain(factors.iter().enumerate().map(|(i, f)| format!("{i}.0,{f}")))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let ta = TraceData::parse_csv("replay", &csv).unwrap().register();
+        let tb = TraceData::parse_csv("replay", &csv).unwrap().register();
+        prop_assert_eq!(ta, tb, "identical content interns to one registry entry");
+        let profile = SourceProfile::steady(40, 4, Dataset::Mixed)
+            .with_pattern(RatePattern::Trace { trace: ta });
+        let mut a = SourceDriver::new(QueryId(0), &spec(), profile, seed);
+        let mut b = SourceDriver::new(QueryId(0), &spec(), profile, seed);
+        for i in 0..120 {
+            let (ba, bb) = (a.emit(), b.emit());
+            prop_assert_eq!(ba.len(), bb.len(), "batch {} size diverged", i);
+            prop_assert_eq!(ba, bb, "batch {} payload diverged", i);
+        }
     }
 }
