@@ -1,0 +1,109 @@
+//! Criterion bench: WAL append (framed encode) and replay (checksummed
+//! decode) throughput.
+//!
+//! The durability layer sits on the shard hot loop — every coordinator
+//! SIC update appends one framed delta, and each checkpoint encodes the
+//! hosted nodes' SIC tables plus their open window panes — so the codec
+//! must stay cheap relative to the work it journals. This harness times
+//! the pure codec (no filesystem): a 10k-delta tail append and its
+//! tolerant replay, plus a node-snapshot round-trip carrying columnar
+//! pane batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use themis_core::prelude::*;
+use themis_core::wal::{decode_records_tolerant, encode_record};
+
+const DELTAS: usize = 10_000;
+const PANES: usize = 8;
+const ROWS_PER_PANE: usize = 1024;
+
+fn delta_records() -> Vec<WalRecord> {
+    (0..DELTAS)
+        .map(|i| {
+            WalRecord::SicDelta(SicDelta {
+                node: i % 64,
+                query: QueryId((i % 128) as u32),
+                sic: Sic((i % 100) as f64 / 100.0),
+            })
+        })
+        .collect()
+}
+
+fn snapshot_record() -> WalRecord {
+    let panes = (0..PANES)
+        .map(|p| {
+            let mut batch = TupleBatch::with_capacity(1, ROWS_PER_PANE);
+            for r in 0..ROWS_PER_PANE {
+                batch.push_row(
+                    Timestamp((p * ROWS_PER_PANE + r) as u64),
+                    Sic(0.01),
+                    &[Value::F64(r as f64)],
+                );
+            }
+            PaneRecord {
+                query: QueryId(p as u32),
+                fragment: 0,
+                op: 0,
+                port: 0,
+                key: PaneKey::Time(p as u64),
+                batch,
+            }
+        })
+        .collect();
+    WalRecord::Snapshot(NodeSnapshot {
+        node: 0,
+        sic: (0..PANES).map(|p| (QueryId(p as u32), Sic(0.5))).collect(),
+        panes,
+    })
+}
+
+fn encode_all(records: &[WalRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for r in records {
+        encode_record(r, &mut buf);
+    }
+    buf
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let deltas = delta_records();
+    let delta_stream = encode_all(&deltas);
+    let snapshot = vec![snapshot_record()];
+    let snapshot_stream = encode_all(&snapshot);
+
+    let mut group = c.benchmark_group("wal");
+    group.bench_with_input(
+        BenchmarkId::new("append", format!("{DELTAS}deltas")),
+        &deltas,
+        |b, recs| {
+            b.iter(|| black_box(encode_all(recs)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("replay", format!("{DELTAS}deltas")),
+        &delta_stream,
+        |b, buf| {
+            b.iter(|| black_box(decode_records_tolerant(buf).expect("valid stream")));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("checkpoint", format!("{PANES}panes_x{ROWS_PER_PANE}rows")),
+        &snapshot,
+        |b, recs| {
+            b.iter(|| black_box(encode_all(recs)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("restore", format!("{PANES}panes_x{ROWS_PER_PANE}rows")),
+        &snapshot_stream,
+        |b, buf| {
+            b.iter(|| black_box(decode_records_tolerant(buf).expect("valid stream")));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal);
+criterion_main!(benches);

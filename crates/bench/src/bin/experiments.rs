@@ -4,7 +4,7 @@
 //! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!              fig13|fig14|related|overhead|ablation|dynamics|policies|
 //!              scale|scale-e2e|batching|kernels|churn|queries|trace|
-//!              correlated|adversarial]
+//!              correlated|adversarial|recovery]
 //!             [--quick] [--policy=<name>] [--query='<text>'] [--nodes=<n>]
 //!             [--shards=<k>] [--secs=<s>] [--sources=<n>] [--profile]
 //!             [--file=<path>] [--beat-ms=<ms>]
@@ -64,8 +64,12 @@
 //! honest peers under every registered policy and gates the strategic
 //! SIC advantage ≤ epsilon under the `balance-sic` family (non-SIC
 //! baselines are documented, not asserted), writing
-//! `results/BENCH_adversarial.json`. All three are explicit-only CI
-//! smokes, like `churn`. Built to be run with `--release`.
+//! `results/BENCH_adversarial.json`. `recovery` kills a shard
+//! mid-overload under balance-sic, restores it from checkpoint + WAL
+//! tail, and gates the post-recovery SIC error and Jain difference
+//! against an uninterrupted same-seed control, writing
+//! `results/BENCH_recovery.json`. All four are explicit-only CI smokes,
+//! like `churn`. Built to be run with `--release`.
 
 use std::time::Instant;
 
@@ -77,6 +81,7 @@ use themis_bench::figures::kernels::{self, KernelsScale};
 use themis_bench::figures::overhead::{overhead, render as render_overhead};
 use themis_bench::figures::parity::{policy_parity, render as render_parity};
 use themis_bench::figures::queries;
+use themis_bench::figures::recovery;
 use themis_bench::figures::related::{related_work, render as render_related};
 use themis_bench::figures::scalability::{fig12, fig13, fig14, render as render_scal};
 use themis_bench::figures::scale as engine_scale;
@@ -96,10 +101,16 @@ fn emit(name: &str, table: TextTable) {
     }
 }
 
+/// Writes `results/BENCH_<name>.json` atomically: the payload lands in a
+/// temp file first and is renamed into place, so a reader (CI collecting
+/// artifacts, a dashboard tailing results) never observes a half-written
+/// JSON document even if the process dies mid-write.
 fn write_bench_json(name: &str, json: &str) {
     let json_path = format!("{RESULTS_DIR}/BENCH_{name}.json");
-    if let Err(e) =
-        std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, json))
+    let tmp_path = format!("{json_path}.tmp");
+    if let Err(e) = std::fs::create_dir_all(RESULTS_DIR)
+        .and_then(|()| std::fs::write(&tmp_path, json))
+        .and_then(|()| std::fs::rename(&tmp_path, &json_path))
     {
         eprintln!("(could not write {json_path}: {e})");
     }
@@ -268,13 +279,7 @@ fn main() {
         };
         let rows = batching::batching(&bscale);
         emit("batching", batching::render(&rows));
-        let json = batching::to_json(&rows);
-        let json_path = format!("{RESULTS_DIR}/BENCH_batching.json");
-        if let Err(e) =
-            std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, &json))
-        {
-            eprintln!("(could not write {json_path}: {e})");
-        }
+        write_bench_json("batching", &batching::to_json(&rows));
         let shed = rows.iter().find(|r| r.stage == "shedder");
         match shed {
             Some(r) if r.speedup() >= 2.0 => {
@@ -304,13 +309,7 @@ fn main() {
         };
         let rows = kernels::kernels_race(&kscale);
         emit("kernels", kernels::render(&rows));
-        let json = kernels::to_json(&rows);
-        let json_path = format!("{RESULTS_DIR}/BENCH_kernels.json");
-        if let Err(e) =
-            std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, &json))
-        {
-            eprintln!("(could not write {json_path}: {e})");
-        }
+        write_bench_json("kernels", &kernels::to_json(&rows));
         let agg = rows.iter().find(|r| r.stage == "aggregate");
         match agg {
             Some(r) if r.speedup() >= 2.0 => {
@@ -360,13 +359,7 @@ fn main() {
         let secs = secs_arg.unwrap_or(if quick { 2 } else { 4 });
         let outcome = churn::churn(nodes, shards, secs, SEED);
         emit("churn", churn::render(&outcome));
-        let json = churn::to_json(&outcome);
-        let json_path = format!("{RESULTS_DIR}/BENCH_churn.json");
-        if let Err(e) =
-            std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, &json))
-        {
-            eprintln!("(could not write {json_path}: {e})");
-        }
+        write_bench_json("churn", &churn::to_json(&outcome));
         let baseline = outcome.phase("baseline").resident_jain;
         let recovery = outcome.phase("recovery").resident_jain;
         if outcome.fairness_recovered() {
@@ -393,13 +386,7 @@ fn main() {
         let secs = secs_arg.unwrap_or(if quick { 2 } else { 4 });
         let outcome = queries::queries(secs, SEED);
         emit("queries", queries::render(&outcome));
-        let json = queries::to_json(&outcome);
-        let json_path = format!("{RESULTS_DIR}/BENCH_queries.json");
-        if let Err(e) =
-            std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, &json))
-        {
-            eprintln!("(could not write {json_path}: {e})");
-        }
+        write_bench_json("queries", &queries::to_json(&outcome));
         if let Some(text) = query_arg {
             match queries::run_declarative(text, secs, SEED) {
                 Ok(run) => emit("query_adhoc", queries::render_declarative(&run)),
@@ -464,13 +451,7 @@ fn main() {
         if !row.profile.is_empty() {
             println!("{}", scale_e2e::render_profile(&row.profile).render());
         }
-        let json = scale_e2e::to_json(&row);
-        let json_path = format!("{RESULTS_DIR}/BENCH_scale.json");
-        if let Err(e) =
-            std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&json_path, &json))
-        {
-            eprintln!("(could not write {json_path}: {e})");
-        }
+        write_bench_json("scale", &scale_e2e::to_json(&row));
         let mut failed = false;
         if !row.within_cpu_budget() {
             eprintln!(
@@ -591,6 +572,46 @@ fn main() {
                 correlated::CORRELATED_JAIN_SLACK,
                 indep.jain,
                 corr.shed_fraction * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+    // Explicit-only (not part of `all`), like `churn`: a CI smoke whose
+    // durability gate exits non-zero. Kills a shard mid-overload,
+    // restores it from checkpoint + WAL tail, and asserts the
+    // post-recovery SIC/Jain numbers stay within bounds of an
+    // uninterrupted control run with the same seed.
+    if opts.named("recovery") {
+        let secs = secs_arg.unwrap_or(if quick { 5 } else { 8 });
+        let outcome = recovery::recovery(secs, SEED);
+        emit("recovery", recovery::render(&outcome));
+        write_bench_json("recovery", &recovery::to_json(&outcome));
+        if outcome.recovered() {
+            eprintln!(
+                "recovery: shard {} restored from {} snapshots + {} WAL deltas; \
+                 post-recovery SIC error {:.4} (bound {}), Jain diff {:.4} (bound {}), \
+                 shed {:.1}%",
+                outcome.killed_shard,
+                outcome.checkpoint_snapshots,
+                outcome.wal_deltas,
+                outcome.mean_abs_error,
+                recovery::SIC_ERROR_BOUND,
+                outcome.jain_diff(),
+                recovery::JAIN_DIFF_BOUND,
+                outcome.arm("faulted").shed_fraction * 100.0
+            );
+        } else {
+            eprintln!(
+                "FAIL: recovery gate (SIC error {:.4} vs bound {}, Jain diff {:.4} vs \
+                 bound {}, snapshots {}, deltas {}, shed {:.3}, engine errors {})",
+                outcome.mean_abs_error,
+                recovery::SIC_ERROR_BOUND,
+                outcome.jain_diff(),
+                recovery::JAIN_DIFF_BOUND,
+                outcome.checkpoint_snapshots,
+                outcome.wal_deltas,
+                outcome.arm("faulted").shed_fraction,
+                outcome.arms.iter().map(|a| a.engine_errors).sum::<usize>()
             );
             std::process::exit(1);
         }

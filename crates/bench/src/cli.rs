@@ -35,6 +35,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "trace",
     "correlated",
     "adversarial",
+    "recovery",
 ];
 
 /// The experiments `all` expands to. The rest are explicit-only CI
@@ -103,6 +104,7 @@ const FLAGS: &[FlagSpec] = &[
             "trace",
             "correlated",
             "adversarial",
+            "recovery",
         ]),
     },
     FlagSpec {
@@ -337,6 +339,21 @@ mod tests {
         let err = parse_strs(&["chrun"]).unwrap_err();
         assert!(err.contains("unknown experiment `chrun`"), "{err}");
         assert!(err.contains("adversarial"), "{err}");
+    }
+
+    #[test]
+    fn recovery_is_an_explicit_only_gate_taking_secs() {
+        let o = parse_strs(&["recovery", "--secs=5", "--quick"]).unwrap();
+        assert!(o.named("recovery"));
+        assert_eq!(o.secs, Some(5));
+        assert!(o.quick);
+        // Explicit-only: `all` must not pull the kill/restore gate in.
+        let all = parse_strs(&[]).unwrap();
+        assert!(!all.selected("recovery"));
+        // The strict flag table still applies.
+        let err = parse_strs(&["recovery", "--sources=5"]).unwrap_err();
+        assert!(err.contains("only applies to [scale-e2e]"), "{err}");
+        assert!(err.contains("--secs=<s>"), "{err}");
     }
 
     #[test]

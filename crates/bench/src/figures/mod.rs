@@ -14,6 +14,7 @@ pub mod kernels;
 pub mod overhead;
 pub mod parity;
 pub mod queries;
+pub mod recovery;
 pub mod related;
 pub mod scalability;
 pub mod scale;

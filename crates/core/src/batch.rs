@@ -303,6 +303,27 @@ impl Payload {
     }
 }
 
+/// A borrowed view of the payload storage for the checkpoint codec
+/// ([`crate::wal`]): the codec serialises whichever representation the
+/// batch already holds, so restore rebuilds a bit-identical layout.
+#[derive(Clone, Copy)]
+pub(crate) enum PayloadView<'a> {
+    /// Schema-less fixed-width value arena.
+    Arena {
+        /// Payload fields per row.
+        width: usize,
+        /// Row-major `rows * width` value arena.
+        values: &'a [Value],
+    },
+    /// Schema-typed native columns.
+    Typed {
+        /// The declaring schema.
+        schema: &'a Schema,
+        /// One column per declared field.
+        columns: &'a [Column],
+    },
+}
+
 /// Per-element access into one payload field, resolved once per column
 /// walk so the per-row loop carries no payload-layout dispatch.
 #[derive(Clone, Copy)]
@@ -683,6 +704,71 @@ impl TupleBatch {
     #[inline]
     pub fn drops(&self) -> &DropBitmap {
         &self.drops
+    }
+
+    /// The raw timestamp column, dropped rows included (checkpoint codec
+    /// read path).
+    #[inline]
+    pub(crate) fn ts_column(&self) -> &[Timestamp] {
+        &self.ts
+    }
+
+    /// The raw SIC column, dropped rows included (checkpoint codec read
+    /// path).
+    #[inline]
+    pub(crate) fn sic_column(&self) -> &[Sic] {
+        &self.sic
+    }
+
+    /// Borrows the payload storage for the checkpoint codec.
+    #[inline]
+    pub(crate) fn payload_view(&self) -> PayloadView<'_> {
+        match &self.payload {
+            Payload::Arena { width, values } => PayloadView::Arena {
+                width: *width,
+                values,
+            },
+            Payload::Typed { schema, columns } => PayloadView::Typed { schema, columns },
+        }
+    }
+
+    /// Rebuilds an arena batch from decoded checkpoint parts.
+    pub(crate) fn from_arena_parts(
+        width: usize,
+        ts: Vec<Timestamp>,
+        sic: Vec<Sic>,
+        values: Vec<Value>,
+        drops: DropBitmap,
+    ) -> Self {
+        debug_assert_eq!(ts.len(), sic.len());
+        debug_assert_eq!(values.len(), ts.len() * width);
+        BATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        TupleBatch {
+            ts,
+            sic,
+            payload: Payload::Arena { width, values },
+            drops,
+        }
+    }
+
+    /// Rebuilds a schema-typed batch from decoded checkpoint parts.
+    pub(crate) fn from_typed_parts(
+        schema: Schema,
+        ts: Vec<Timestamp>,
+        sic: Vec<Sic>,
+        columns: Vec<Column>,
+        drops: DropBitmap,
+    ) -> Self {
+        debug_assert_eq!(ts.len(), sic.len());
+        debug_assert_eq!(columns.len(), schema.len());
+        debug_assert!(columns.iter().all(|c| c.len() == ts.len()));
+        BATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        TupleBatch {
+            ts,
+            sic,
+            payload: Payload::Typed { schema, columns },
+            drops,
+        }
     }
 
     /// Iterates the live rows in physical order. Batches without drops

@@ -161,6 +161,12 @@ impl SicTable {
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
+
+    /// Iterates over all `(query, sic)` entries (checkpointing reads the
+    /// whole table; iteration order is unspecified).
+    pub fn entries(&self) -> impl Iterator<Item = (QueryId, Sic)> + '_ {
+        self.values.iter().map(|(&q, &s)| (q, s))
+    }
 }
 
 #[cfg(test)]

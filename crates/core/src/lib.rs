@@ -62,6 +62,7 @@ pub mod stw;
 pub mod time;
 pub mod tuple;
 pub mod value;
+pub mod wal;
 
 /// Convenience re-exports of the most used types.
 pub mod prelude {
@@ -86,4 +87,7 @@ pub mod prelude {
     pub use crate::time::{TimeDelta, Timestamp};
     pub use crate::tuple::{Batch, BatchHeader, Tuple};
     pub use crate::value::{Row, Value};
+    pub use crate::wal::{
+        NodeSnapshot, PaneKey, PaneRecord, ShardLog, ShardRestore, SicDelta, WalError, WalRecord,
+    };
 }

@@ -93,6 +93,9 @@ pub struct NodeState {
     last_tick: Instant,
     report: NodeReport,
     pool: Option<BatchPool>,
+    /// Sum of absolute SIC-table movement since the last checkpoint — the
+    /// AF-Stream divergence measure that triggers early checkpoints.
+    sic_drift: f64,
 }
 
 impl NodeState {
@@ -122,6 +125,7 @@ impl NodeState {
             last_tick: first_tick.checked_sub(interval).unwrap_or(first_tick),
             report: NodeReport::default(),
             pool: config.pool,
+            sic_drift: 0.0,
         }
     }
 
@@ -201,10 +205,68 @@ impl NodeState {
         self.buffer.push(rb);
     }
 
-    /// Applies a coordinator SIC update.
+    /// Applies a coordinator SIC update, accumulating the absolute table
+    /// movement into the divergence measure ([`NodeState::sic_drift`]).
     pub fn apply_sic(&mut self, update: &SicUpdate) {
         self.report.sic_updates += 1;
+        let old = self.sic_table.get(update.query);
         self.sic_table.apply(update);
+        self.sic_drift += (update.sic.value() - old.value()).abs();
+    }
+
+    /// Absolute SIC-table movement since the last checkpoint. A shard
+    /// checkpoints early when any node's drift exceeds the configured
+    /// divergence bound (AF-Stream-style bounded divergence).
+    pub fn sic_drift(&self) -> f64 {
+        self.sic_drift
+    }
+
+    /// Directly overwrites one SIC-table entry (WAL-tail replay during
+    /// restore — the delta carries the absolute value).
+    pub fn set_sic(&mut self, query: QueryId, sic: Sic) {
+        self.sic_table.set(query, sic);
+    }
+
+    /// Captures the node's recoverable state — SIC table plus every
+    /// buffered window pane — and resets the divergence accumulator.
+    pub fn checkpoint(&mut self) -> NodeSnapshot {
+        self.sic_drift = 0.0;
+        let mut sic: Vec<(QueryId, Sic)> = self.sic_table.entries().collect();
+        sic.sort_by_key(|&(q, _)| q);
+        let mut panes = Vec::new();
+        for (&(query, fragment), hf) in self.runtimes.iter() {
+            for (op, key, port, batch) in hf.runtime.snapshot_windows() {
+                panes.push(PaneRecord {
+                    query,
+                    fragment,
+                    op,
+                    port,
+                    key,
+                    batch,
+                });
+            }
+        }
+        NodeSnapshot {
+            node: self.node,
+            sic,
+            panes,
+        }
+    }
+
+    /// Overlays a checkpointed snapshot onto this node: SIC entries
+    /// overwrite the table, panes land in their operators' window buffers.
+    /// Panes of fragments no longer hosted here are skipped — the bounded
+    /// divergence a reconfigured restore accepts.
+    pub fn restore(&mut self, snap: &NodeSnapshot) {
+        for &(query, sic) in &snap.sic {
+            self.sic_table.set(query, sic);
+        }
+        for pane in &snap.panes {
+            if let Some(hf) = self.runtimes.get_mut(&(pane.query, pane.fragment)) {
+                hf.runtime
+                    .restore_window(pane.op, pane.key, pane.port, pane.batch.clone());
+            }
+        }
     }
 
     /// Fires one shedding tick at wall time `now`: overload detection,

@@ -21,11 +21,13 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use themis_core::prelude::*;
+use themis_core::wal;
 use themis_operators::op::Emission;
 use themis_query::prelude::*;
 
@@ -96,6 +98,22 @@ impl ShardRouting {
     }
 }
 
+/// Durability configuration handed to a shard thread: where to log, how
+/// often to checkpoint, and the AF-Stream-style divergence bound that
+/// forces an early checkpoint.
+#[derive(Debug, Clone)]
+pub struct ShardDurability {
+    /// Durability root; this shard writes under `dir/shard-<i>/`.
+    pub dir: PathBuf,
+    /// This shard's index under `dir`.
+    pub shard: usize,
+    /// Periodic checkpoint cadence.
+    pub every: Duration,
+    /// Checkpoint early when any node's uncheckpointed absolute SIC
+    /// movement exceeds this bound (`<= 0` disables the early trigger).
+    pub sic_bound: f64,
+}
+
 /// The shard of `n_shards` that owns global node `node` (round-robin).
 pub fn shard_of(node: usize, n_shards: usize) -> usize {
     node % n_shards.max(1)
@@ -146,12 +164,20 @@ pub fn run_shard(
     routing: ShardRouting,
     rx: Receiver<ShardMsg>,
     epoch: Instant,
+    durability: Option<ShardDurability>,
 ) -> Vec<(usize, NodeReport)> {
     let mut states: HashMap<usize, NodeState> = HashMap::new();
     let mut generations: HashMap<usize, u64> = HashMap::new();
     let mut heap: BinaryHeap<Deadline> = BinaryHeap::new();
     let mut finished: HashMap<usize, NodeReport> = HashMap::new();
     let mut installed_seq: u64 = 0;
+    let mut log: Option<wal::ShardLog> = None;
+    let mut next_checkpoint = durability.as_ref().map(|d| Instant::now() + d.every);
+    // Set by EngineMsg::Crash: a dead process writes nothing, so both
+    // checkpointing and delta appends stop until Recover — otherwise the
+    // post-crash empty shard would immediately write an empty checkpoint
+    // and truncate the very tail recovery needs.
+    let mut crashed = false;
 
     loop {
         // Fire every due tick before draining more messages: the deadline,
@@ -185,6 +211,29 @@ pub fn run_shard(
             });
             fired += 1;
             now = Instant::now();
+        }
+        // Checkpoint on cadence, or early when any node's uncheckpointed
+        // SIC drift exceeds the divergence bound (AF-Stream: bound the
+        // deviation instead of logging everything).
+        if let Some(d) = &durability {
+            if !crashed && !states.is_empty() {
+                let due = next_checkpoint.is_some_and(|t| now >= t);
+                let diverged =
+                    d.sic_bound > 0.0 && states.values().any(|s| s.sic_drift() > d.sic_bound);
+                if due || diverged {
+                    let snapshots: Vec<wal::NodeSnapshot> =
+                        states.values_mut().map(NodeState::checkpoint).collect();
+                    if log.is_none() {
+                        log = open_log(d);
+                    }
+                    if let Some(l) = &mut log {
+                        if let Err(e) = l.checkpoint(&snapshots) {
+                            eprintln!("shard {}: checkpoint failed: {e}", d.shard);
+                        }
+                    }
+                    next_checkpoint = Some(now + d.every);
+                }
+            }
         }
         let timeout = heap
             .peek()
@@ -227,6 +276,56 @@ pub fn run_shard(
                 state.attach_fragment(&query, fragment, downstream);
             }
             Ok(ShardMsg {
+                msg: EngineMsg::Crash,
+                ..
+            }) => {
+                // Simulated process death: every node's live state is
+                // gone (counters survive for final accounting, as for a
+                // torn-down node) and no durability write happens again
+                // until Recover. Pending deadlines are invalidated by the
+                // generation bump; in-flight traffic to the dead nodes is
+                // silently discarded by the states guard below.
+                crashed = true;
+                log = None;
+                heap.clear();
+                for (node, state) in states.drain() {
+                    finished
+                        .entry(node)
+                        .or_default()
+                        .absorb(&state.into_report());
+                    *generations.entry(node).or_insert(0) += 1;
+                }
+            }
+            Ok(ShardMsg {
+                msg: EngineMsg::Recover { dir, shard },
+                ..
+            }) => {
+                // Arrives after the engine re-attached the dead nodes'
+                // fragments: overlay the checkpointed state, replay the
+                // delta tail (absolute values; last write wins), and
+                // resume durability writes.
+                crashed = false;
+                match wal::restore_shard(&dir, shard) {
+                    Ok(Some(restore)) => {
+                        for snap in &restore.snapshots {
+                            if let Some(state) = states.get_mut(&snap.node) {
+                                state.restore(snap);
+                            }
+                        }
+                        for delta in &restore.deltas {
+                            if let Some(state) = states.get_mut(&delta.node) {
+                                state.set_sic(delta.query, delta.sic);
+                            }
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => eprintln!("shard {shard}: restore failed: {e}"),
+                }
+                if let Some(d) = &durability {
+                    next_checkpoint = Some(Instant::now() + d.every);
+                }
+            }
+            Ok(ShardMsg {
                 msg: EngineMsg::Detach { query },
                 node,
             }) => {
@@ -253,8 +352,30 @@ pub fn run_shard(
                             let ts = Timestamp(epoch.elapsed().as_micros() as u64);
                             state.enqueue(rb, ts);
                         }
-                        EngineMsg::Sic(update) => state.apply_sic(&update),
-                        EngineMsg::Attach(_) | EngineMsg::Detach { .. } | EngineMsg::Shutdown => {
+                        EngineMsg::Sic(update) => {
+                            state.apply_sic(&update);
+                            if !crashed {
+                                if let Some(d) = &durability {
+                                    if log.is_none() {
+                                        log = open_log(d);
+                                    }
+                                    if let Some(l) = &mut log {
+                                        if let Err(e) = l.append(&wal::SicDelta {
+                                            node,
+                                            query: update.query,
+                                            sic: update.sic,
+                                        }) {
+                                            eprintln!("shard {}: wal append failed: {e}", d.shard);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        EngineMsg::Attach(_)
+                        | EngineMsg::Detach { .. }
+                        | EngineMsg::Crash
+                        | EngineMsg::Recover { .. }
+                        | EngineMsg::Shutdown => {
                             unreachable!("matched above")
                         }
                     }
@@ -272,6 +393,18 @@ pub fn run_shard(
             .absorb(&state.into_report());
     }
     finished.into_iter().collect()
+}
+
+/// Opens a shard's durable log, demoting failures to a warning — an
+/// undurable engine keeps serving traffic.
+fn open_log(d: &ShardDurability) -> Option<wal::ShardLog> {
+    match wal::ShardLog::create(&d.dir, d.shard) {
+        Ok(log) => Some(log),
+        Err(e) => {
+            eprintln!("shard {}: cannot open wal: {e}", d.shard);
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -389,7 +522,7 @@ mod tests {
             .unwrap();
         }
         let epoch = Instant::now();
-        let handle = std::thread::spawn(move || run_shard(routing, rx, epoch));
+        let handle = std::thread::spawn(move || run_shard(routing, rx, epoch, None));
         if linger_ms > 0 {
             std::thread::sleep(Duration::from_millis(linger_ms));
             tx.send(ShardMsg {
@@ -476,7 +609,7 @@ mod tests {
         tx.send(attach_msg(1, node_config(5, TimeDelta::ZERO, 100), &q1))
             .unwrap();
         let epoch = Instant::now();
-        let handle = std::thread::spawn(move || run_shard(routing, rx, epoch));
+        let handle = std::thread::spawn(move || run_shard(routing, rx, epoch, None));
         std::thread::sleep(Duration::from_millis(60));
         tx.send(ShardMsg {
             node: 0,
@@ -514,7 +647,7 @@ mod tests {
         tx.send(attach_msg(1, node_config(5, TimeDelta::ZERO, 100), &q1))
             .unwrap();
         let epoch = Instant::now();
-        let handle = std::thread::spawn(move || run_shard(routing, rx, epoch));
+        let handle = std::thread::spawn(move || run_shard(routing, rx, epoch, None));
         std::thread::sleep(Duration::from_millis(40));
         // The churn query departs; node 1 empties and is torn down.
         tx.send(ShardMsg {

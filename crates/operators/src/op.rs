@@ -194,6 +194,18 @@ impl WindowedOperator {
         self.buffer.buffered()
     }
 
+    /// Exports the window buffer's panes for checkpointing
+    /// ([`WindowBuffer::export_state`]).
+    pub fn export_window(&self) -> Vec<(PaneKey, usize, TupleBatch)> {
+        self.buffer.export_state()
+    }
+
+    /// Restores one checkpointed pane into the window buffer
+    /// ([`WindowBuffer::import_state`]).
+    pub fn import_window(&mut self, key: PaneKey, port: usize, batch: TupleBatch) {
+        self.buffer.import_state(key, port, batch);
+    }
+
     fn drain(&mut self, now: Timestamp) -> Vec<Emission> {
         let panes = self.buffer.close_up_to(now);
         let mut out = Vec::with_capacity(panes.len());

@@ -270,6 +270,38 @@ impl WindowBuffer {
         }
     }
 
+    /// Exports every buffered pane for checkpointing: one
+    /// `(key, port, batch)` entry per non-empty per-port column store.
+    /// The transient `ready` queue is not exported — pass-through and
+    /// just-closed panes are consumed within the same tick, which is the
+    /// bounded divergence the checkpoint accepts (AF-Stream style).
+    pub fn export_state(&self) -> Vec<(PaneKey, usize, TupleBatch)> {
+        let mut out = Vec::new();
+        for (&idx, ports) in &self.panes {
+            for (port, batch) in ports.iter().enumerate() {
+                if !batch.is_empty() {
+                    out.push((PaneKey::Time(idx), port, batch.clone()));
+                }
+            }
+        }
+        for (port, batch) in self.pending.iter().enumerate() {
+            if !batch.is_empty() {
+                out.push((PaneKey::Pending, port, batch.clone()));
+            }
+        }
+        out
+    }
+
+    /// Restores one checkpointed pane, replacing whatever the buffer holds
+    /// under the same key/port (restore targets a freshly-built buffer).
+    pub fn import_state(&mut self, key: PaneKey, port: usize, batch: TupleBatch) {
+        let port = port.min(self.ports - 1);
+        match key {
+            PaneKey::Time(idx) => *pane_port(&mut self.panes, self.ports, idx, port) = batch,
+            PaneKey::Pending => self.pending[port] = batch,
+        }
+    }
+
     /// Closes every time pane whose end (plus grace) has passed `now` and
     /// returns them in order, together with any pass-through/count panes
     /// accumulated since the last call.

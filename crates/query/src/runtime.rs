@@ -112,6 +112,28 @@ impl FragmentRuntime {
         self.ops.iter().map(WindowedOperator::buffered_tuples).sum()
     }
 
+    /// Exports every operator's buffered window panes for checkpointing:
+    /// `(op index, pane key, port, batch)` entries, ops addressed by their
+    /// position (stable for a given spec).
+    pub fn snapshot_windows(&self) -> Vec<(usize, PaneKey, usize, TupleBatch)> {
+        let mut out = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            for (key, port, batch) in op.export_window() {
+                out.push((i, key, port, batch));
+            }
+        }
+        out
+    }
+
+    /// Restores one checkpointed pane into operator `op` (by position);
+    /// entries for vanished operator indices are ignored — the bounded
+    /// divergence a reconfigured restore accepts.
+    pub fn restore_window(&mut self, op: usize, key: PaneKey, port: usize, batch: TupleBatch) {
+        if let Some(op) = self.ops.get_mut(op) {
+            op.import_window(key, port, batch);
+        }
+    }
+
     fn run(&mut self, now: Timestamp, initial: Vec<(usize, usize, TupleBatch)>) -> Vec<Emission> {
         let mut inbox: Vec<Vec<(usize, TupleBatch)>> = vec![Vec::new(); self.ops.len()];
         for (op, port, batch) in initial {
