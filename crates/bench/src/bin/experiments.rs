@@ -4,10 +4,11 @@
 //! experiments [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!              fig13|fig14|related|overhead|ablation|dynamics|policies|
 //!              scale|scale-e2e|batching|kernels|churn|queries|trace|
-//!              correlated|adversarial|recovery]
+//!              correlated|adversarial|recovery|federated]
 //!             [--quick] [--policy=<name>] [--query='<text>'] [--nodes=<n>]
-//!             [--shards=<k>] [--secs=<s>] [--sources=<n>] [--profile]
-//!             [--file=<path>] [--beat-ms=<ms>]
+//!             [--shards=<k>] [--secs=<s>] [--sources=<n>]
+//!             [--sources-procs=<n>] [--profile] [--file=<path>]
+//!             [--beat-ms=<ms>]
 //! ```
 //!
 //! Each experiment prints the series the paper plots and writes a CSV
@@ -68,8 +69,14 @@
 //! mid-overload under balance-sic, restores it from checkpoint + WAL
 //! tail, and gates the post-recovery SIC error and Jain difference
 //! against an uninterrupted same-seed control, writing
-//! `results/BENCH_recovery.json`. All four are explicit-only CI smokes,
-//! like `churn`. Built to be run with `--release`.
+//! `results/BENCH_recovery.json`. `federated` forks
+//! `--sources-procs=<n>` source subprocesses (this same binary,
+//! re-executed in a hidden child mode) that ship their batches to the
+//! engine's TCP ingest listener over loopback, and gates every
+//! registered policy's federated SIC/Jain within 2% of the in-process
+//! control, writing `results/BENCH_federated.json`. All five are
+//! explicit-only CI smokes, like `churn`. Built to be run with
+//! `--release`.
 
 use std::time::Instant;
 
@@ -77,6 +84,7 @@ use themis_bench::cli;
 use themis_bench::figures::batching::{self, BatchingScale};
 use themis_bench::figures::correlation::{correlation, render as render_corr, CorrelationQuery};
 use themis_bench::figures::fairness::{fig10, fig11, fig8, fig9, render as render_fair};
+use themis_bench::figures::federated as federated_fig;
 use themis_bench::figures::kernels::{self, KernelsScale};
 use themis_bench::figures::overhead::{overhead, render as render_overhead};
 use themis_bench::figures::parity::{policy_parity, render as render_parity};
@@ -117,7 +125,28 @@ fn write_bench_json(name: &str, json: &str) {
 }
 
 fn main() {
-    let opts = match cli::parse(std::env::args().skip(1)) {
+    // Hidden child mode: `experiments --source-pump-child --addr=... ...`
+    // runs this binary as a remote source pump and exits. The `federated`
+    // experiment forks itself this way (via `current_exe`) because
+    // `cargo run -p themis-bench` does not build sibling packages'
+    // binaries, so the standalone `source-pump` may not exist yet.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("--source-pump-child") {
+        match themis_workloads::remote::pump_main(&raw[1..]) {
+            Ok(stats) => {
+                eprintln!(
+                    "source-pump-child: emitted {} batches, wrote {}, shed {}",
+                    stats.emitted_batches, stats.sent_batches, stats.shed_batches
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("source-pump-child: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let opts = match cli::parse(raw) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
@@ -649,6 +678,53 @@ fn main() {
                     r.advantage() * 100.0,
                     adversarial::ADVERSARIAL_EPSILON * 100.0,
                     r.shed_fraction * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+
+    // Explicit-only (not part of `all`), like `recovery`: a CI smoke
+    // whose multi-process parity gate exits non-zero. Forks
+    // `--sources-procs` source subprocesses feeding the engine's TCP
+    // ingest listener over loopback and asserts every policy's federated
+    // SIC/Jain lands within 2% of the in-process control.
+    if opts.named("federated") {
+        let procs = opts.sources_procs.unwrap_or(4) as usize;
+        let secs = secs_arg.unwrap_or(if quick { 3 } else { 5 });
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("federated: cannot locate own binary to fork pumps: {e}");
+                std::process::exit(1);
+            }
+        };
+        let outcome = federated_fig::federated(&policies, procs.max(1), secs, SEED, &exe);
+        emit("federated", federated_fig::render(&outcome));
+        write_bench_json("federated", &federated_fig::to_json(&outcome));
+        if outcome.passed() {
+            eprintln!(
+                "federated: {} policies within {:.0}% SIC / {:.2} Jain of in-process \
+                 parity across {} source processes",
+                outcome.arms.len(),
+                federated_fig::SIC_REL_BOUND * 100.0,
+                federated_fig::JAIN_ABS_BOUND,
+                outcome.sources_procs
+            );
+        } else {
+            for a in outcome.arms.iter().filter(|a| !a.within_bounds()) {
+                eprintln!(
+                    "FAIL: {}: sic {:.4} vs {:.4} (rel {:.2}%), jain {:.4} vs {:.4} \
+                     (diff {:.4}), wire batches {}, engine errors {}",
+                    a.policy,
+                    a.federated_sic,
+                    a.control_sic,
+                    a.sic_rel_diff() * 100.0,
+                    a.federated_jain,
+                    a.control_jain,
+                    a.jain_diff(),
+                    a.remote_batches,
+                    a.engine_errors
                 );
             }
             std::process::exit(1);

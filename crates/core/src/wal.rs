@@ -467,7 +467,38 @@ fn encode_batch(out: &mut Vec<u8>, batch: &TupleBatch) {
 /// Interned decode state shared across the panes of one restore pass:
 /// all panes of a query that declared the same fields share one
 /// [`Schema`] (hence one tag dictionary), exactly as they did live.
-type SchemaCache = HashMap<(QueryId, Vec<(String, FieldType)>), Schema>;
+///
+/// Public because the wire codec (`themis_net`) shares the WAL's batch
+/// layout and keeps one cache per ingest connection, so every batch a
+/// remote source ships for the same query resolves into one shared
+/// schema and tag dictionary.
+pub type SchemaCache = HashMap<(QueryId, Vec<(String, FieldType)>), Schema>;
+
+/// Encodes one [`TupleBatch`] in the WAL's columnar batch layout
+/// (timestamps, bit-exact SIC values, drop-bitmap words, then the arena
+/// or typed payload with its code-ordered tag-dictionary snapshot).
+/// Exposed so the wire codec frames the exact same bytes the durability
+/// layer does; see [`decode_batch_bytes`] for the inverse.
+pub fn encode_batch_bytes(out: &mut Vec<u8>, batch: &TupleBatch) {
+    encode_batch(out, batch);
+}
+
+/// Decodes one batch that occupies *exactly* `buf` (trailing bytes are a
+/// [`WalError::Corrupt`]). `base` is `buf`'s absolute offset within the
+/// enclosing stream, so errors name real positions; `schemas` plays the
+/// same role as in a restore pass — batches of the same query re-intern
+/// their dictionary snapshots into one shared [`Schema`].
+pub fn decode_batch_bytes(
+    buf: &[u8],
+    base: u64,
+    query: QueryId,
+    schemas: &mut SchemaCache,
+) -> Result<TupleBatch, WalError> {
+    let mut r = Reader::new(buf, base);
+    let batch = decode_batch(&mut r, query, schemas)?;
+    r.done("batch")?;
+    Ok(batch)
+}
 
 fn read_drops(r: &mut Reader<'_>, rows: usize) -> Result<DropBitmap, WalError> {
     let words_len = r.count(8, "drop words")?;

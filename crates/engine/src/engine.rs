@@ -25,11 +25,12 @@
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use themis_net::listener::{IngestEvent, IngestServer};
 
 use themis_core::prelude::*;
 use themis_query::prelude::{QuerySpec, Template, ValidatedQuery};
@@ -88,6 +89,18 @@ pub struct EngineConfig {
     /// exercising the crash/restore path under live load (the `recovery`
     /// experiment gate). `None` (the default) injects nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// Bind address of the TCP ingest listener (e.g. `127.0.0.1:0` for
+    /// an ephemeral port — read the real one back with
+    /// [`Engine::ingest_addr`]). `None` (the default) opens no socket.
+    /// With a listener bound, remote source processes feed the engine
+    /// wire batches that enter the exact same shard channels the
+    /// in-process pump uses.
+    pub ingest_listen: Option<String>,
+    /// Run without the in-process source pump: installed queries attach
+    /// their fragments as usual but no local source drivers are
+    /// registered — every batch is expected over the ingest listener.
+    /// The federated experiments set this in the engine process.
+    pub remote_sources: bool,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +115,8 @@ impl Default for EngineConfig {
             durability_dir: None,
             sic_divergence_bound: 0.0,
             fault_plan: None,
+            ingest_listen: None,
+            remote_sources: false,
         }
     }
 }
@@ -124,31 +139,59 @@ pub struct FaultPlan {
     pub restart_after: Duration,
 }
 
-/// A non-fatal engine failure surfaced in [`EngineReport::errors`] —
-/// today always a shard worker thread lost to a panic, named so callers
-/// can see which shard (and under which shedding policy) went down while
-/// the surviving shards drained and reported cleanly.
+/// A non-fatal engine failure surfaced in [`EngineReport::errors`]: a
+/// shard worker thread lost to a panic, or an ingest connection from a
+/// remote source process that failed mid-run. Either way the engine
+/// keeps serving what survives — an error degrades the run, it does not
+/// poison it.
 #[derive(Debug, Clone)]
-pub struct EngineError {
-    /// The shard whose worker thread failed.
-    pub shard: usize,
-    /// The shedding policy the engine was running.
-    pub policy: String,
-    /// What happened (the panic payload, when it was a string).
-    pub detail: String,
+pub enum EngineError {
+    /// A shard worker thread died to a panic.
+    Shard {
+        /// The shard whose worker thread failed.
+        shard: usize,
+        /// The shedding policy the engine was running.
+        policy: String,
+        /// What happened (the panic payload, when it was a string).
+        detail: String,
+    },
+    /// An ingest connection failed: socket drop without a bye (the peer
+    /// process died), corrupt bytes on the wire, or a protocol
+    /// violation.
+    Ingest {
+        /// The peer, by its handshake name or socket address.
+        peer: String,
+        /// What went wrong, actionable.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "shard {} failed under policy {}: {}",
-            self.shard, self.policy, self.detail
-        )
+        match self {
+            EngineError::Shard {
+                shard,
+                policy,
+                detail,
+            } => write!(f, "shard {shard} failed under policy {policy}: {detail}"),
+            EngineError::Ingest { peer, detail } => {
+                write!(f, "ingest connection from {peer} failed: {detail}")
+            }
+        }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// What the ingest listener's handler accumulates for the final report:
+/// remote peers' bye accounting plus every connection failure.
+#[derive(Default)]
+struct IngestStats {
+    remote_sent_batches: u64,
+    remote_shed_batches: u64,
+    /// `(peer, detail)` per failed connection.
+    errors: Vec<(String, String)>,
+}
 
 /// Coordinator-side progress of the configured [`FaultPlan`].
 struct FaultState {
@@ -190,11 +233,21 @@ pub struct EngineReport {
     /// one per coordinator tick after warm-up, covering each query's
     /// attached lifetime.
     pub sic_series: HashMap<QueryId, Vec<(Timestamp, f64)>>,
-    /// Non-fatal failures observed during the run: one entry per shard
-    /// thread lost to a panic. Empty on a clean run. The report's node
-    /// counters still cover every surviving shard — a lost shard degrades
-    /// the run, it does not poison it.
+    /// Non-fatal failures observed during the run: shard threads lost to
+    /// panics and failed ingest connections. Empty on a clean run. The
+    /// report's node counters still cover every surviving shard — a lost
+    /// shard (or source process) degrades the run, it does not poison it.
     pub errors: Vec<EngineError>,
+    /// Batches decoded from remote source processes by the ingest
+    /// listener (zero without [`EngineConfig::ingest_listen`]).
+    pub remote_batches: u64,
+    /// Batches remote peers reported *writing* in their byes — what the
+    /// sources actually put on the wire.
+    pub remote_sent_batches: u64,
+    /// Batches remote peers reported shedding oldest-first from their
+    /// full send queues — the link-level loss the transport chose over
+    /// blocking the source pump.
+    pub remote_shed_batches: u64,
 }
 
 impl EngineReport {
@@ -466,6 +519,7 @@ struct QueryTracking {
 pub struct Engine {
     config: EngineConfig,
     epoch: Instant,
+    epoch_sys: std::time::SystemTime,
     n_shards: usize,
     n_nodes: usize,
     seed: u64,
@@ -502,6 +556,14 @@ pub struct Engine {
     /// Engine-wide batch pool: the pump acquires emission batches from
     /// it, nodes recycle spent columns back (windows, shed batches).
     pool: BatchPool,
+    /// The TCP ingest listener plus its accounting, when
+    /// [`EngineConfig::ingest_listen`] bound one.
+    ingest: Option<(IngestServer, Arc<Mutex<IngestStats>>)>,
+    /// Whether `run_for` pushes per-query SIC samples. Normally true for
+    /// the engine's whole life; a federated bench pauses it for the
+    /// drain tail after remote pumps finish, so the windowed SIC decay
+    /// of an intentionally idle wire does not dilute the measured mean.
+    sampling: bool,
 }
 
 impl Engine {
@@ -512,6 +574,7 @@ impl Engine {
     /// [`Engine::detach_query`] between [`Engine::run_for`] slices.
     pub fn start(scenario: &Scenario, config: EngineConfig) -> Engine {
         let epoch = Instant::now();
+        let epoch_sys = std::time::SystemTime::now();
         let n_shards = config
             .shards
             .unwrap_or_else(default_shards)
@@ -565,6 +628,58 @@ impl Engine {
             .spawn(move || run_pump(pump_rx, pump_txs, epoch, pump_pool))
             .expect("spawn pump thread");
 
+        // Ingest listener: remote source processes feed the exact same
+        // shard channels the in-process pump does — a wire batch and a
+        // pump batch are indistinguishable past this point.
+        let ingest = config.ingest_listen.as_ref().map(|listen| {
+            let stats = Arc::new(Mutex::new(IngestStats::default()));
+            let txs = node_txs.clone();
+            let handler_stats = stats.clone();
+            let server = IngestServer::bind(
+                listen,
+                Arc::new(move |ev| match ev {
+                    IngestEvent::Batch(wb) => {
+                        let node = wb.node as usize;
+                        if node >= txs.len() {
+                            handler_stats.lock().unwrap().errors.push((
+                                wb.source.to_string(),
+                                format!(
+                                    "batch routed to unknown node {node} (engine hosts {})",
+                                    txs.len()
+                                ),
+                            ));
+                            return;
+                        }
+                        let batch =
+                            Batch::from_source_data(wb.query, wb.source, wb.created, wb.batch);
+                        let _ = txs[node].send(ShardMsg {
+                            node,
+                            msg: EngineMsg::Batch(RoutedBatch {
+                                query: wb.query,
+                                fragment: wb.fragment as usize,
+                                ingress: themis_query::prelude::Ingress::Source(wb.source),
+                                batch,
+                            }),
+                        });
+                    }
+                    IngestEvent::Closed {
+                        sent_batches,
+                        shed_batches,
+                        ..
+                    } => {
+                        let mut s = handler_stats.lock().unwrap();
+                        s.remote_sent_batches += sent_batches;
+                        s.remote_shed_batches += shed_batches;
+                    }
+                    IngestEvent::Error { peer, detail } => {
+                        handler_stats.lock().unwrap().errors.push((peer, detail));
+                    }
+                }),
+            )
+            .unwrap_or_else(|e| panic!("bind ingest listener on {listen}: {e}"));
+            (server, stats)
+        });
+
         let interval = Duration::from_micros(scenario.shedding_interval.as_micros());
         let max_query = scenario
             .queries
@@ -591,6 +706,7 @@ impl Engine {
         let mut engine = Engine {
             config,
             epoch,
+            epoch_sys,
             n_shards,
             n_nodes: scenario.n_nodes,
             seed: scenario.seed,
@@ -620,6 +736,8 @@ impl Engine {
             query_ids: IdGen::starting_at(max_query),
             source_ids: IdGen::starting_at(max_source),
             pool,
+            ingest,
+            sampling: true,
         };
 
         // Install the scenario's queries at their validated placement;
@@ -645,6 +763,26 @@ impl Engine {
     /// The logical clock: microseconds since the engine epoch.
     pub fn now(&self) -> Timestamp {
         Timestamp(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// The engine epoch as a wall-clock instant (microseconds since the
+    /// Unix epoch). Remote source pumps anchor their emission timeline
+    /// to this value so their schedules share the engine's slide-aligned
+    /// clock — the STW rate estimators that stamp per-tuple SIC are
+    /// sensitive to arrival phase relative to slide boundaries, so a
+    /// federation that started its timeline even tens of milliseconds
+    /// off the engine epoch would bias every SIC estimate.
+    pub fn epoch_unix_us(&self) -> u64 {
+        self.epoch_sys
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    /// The bound address of the ingest listener (real port even when
+    /// configured with port 0), or `None` without one.
+    pub fn ingest_addr(&self) -> Option<std::net::SocketAddr> {
+        self.ingest.as_ref().map(|(server, _)| server.local_addr())
     }
 
     /// Queries currently attached.
@@ -747,7 +885,11 @@ impl Engine {
                 });
             }
         }
-        let _ = self.pump_tx.send(PumpMsg::Add(installs));
+        // With remote sources the drivers live in other processes; the
+        // fragments above still attach, only the local pump stays idle.
+        if !self.config.remote_sources {
+            let _ = self.pump_tx.send(PumpMsg::Add(installs));
+        }
         self.coordinators.push(QueryCoordinator::new(
             query.id,
             nodes.iter().map(|&n| NodeId(n as u32)).collect(),
@@ -938,6 +1080,16 @@ impl Engine {
         }
     }
 
+    /// Stops pushing per-query SIC samples for the rest of the engine's
+    /// life; the coordinator loop, shards and ingest keep running. A
+    /// federated bench calls this before its drain tail — the wall-clock
+    /// slack it grants remote pumps to finish and say bye — so the
+    /// windowed SIC decay of an intentionally idle wire does not dilute
+    /// the measured mean the parity gate compares.
+    pub fn pause_sampling(&mut self) {
+        self.sampling = false;
+    }
+
     /// Drives the coordinator loop on the calling thread for `wall` time:
     /// drains result emissions into the SIC tracker, fires coordinator
     /// dissemination every shedding interval, and samples per-query SIC
@@ -976,7 +1128,7 @@ impl Engine {
                         });
                     }
                 }
-                if now_wall >= self.warmup_end {
+                if self.sampling && now_wall >= self.warmup_end {
                     for (&q, t) in self.tracking.iter_mut() {
                         if !self.active.contains(&q) {
                             continue;
@@ -997,6 +1149,23 @@ impl Engine {
 
     /// Shuts the pump and shard pool down and assembles the report.
     pub fn finish(self) -> EngineReport {
+        // Ingest first: stop reading sockets before the shards shut
+        // down, and fold the listener's accounting into the report.
+        let (remote_batches, remote_sent_batches, remote_shed_batches, ingest_errors) =
+            match self.ingest {
+                Some((server, stats)) => {
+                    let received = server.batches_received();
+                    server.shutdown();
+                    let stats = std::mem::take(&mut *stats.lock().unwrap());
+                    (
+                        received,
+                        stats.remote_sent_batches,
+                        stats.remote_shed_batches,
+                        stats.errors,
+                    )
+                }
+                None => (0, 0, 0, Vec::new()),
+            };
         let _ = self.pump_tx.send(PumpMsg::Stop);
         // Shutdown: one message per shard stops all of its nodes.
         for tx in &self.shard_txs {
@@ -1025,7 +1194,7 @@ impl Engine {
                         .map(|s| (*s).to_string())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "shard thread panicked".to_string());
-                    errors.push(EngineError {
+                    errors.push(EngineError::Shard {
                         shard,
                         policy: policy_name.clone(),
                         detail,
@@ -1046,6 +1215,11 @@ impl Engine {
                 (q, mean)
             })
             .collect();
+        errors.extend(
+            ingest_errors
+                .into_iter()
+                .map(|(peer, detail)| EngineError::Ingest { peer, detail }),
+        );
         per_query_sic.sort_by_key(|&(q, _)| q);
         let sics: Vec<Sic> = per_query_sic.iter().map(|&(_, s)| Sic(s)).collect();
         EngineReport {
@@ -1058,6 +1232,9 @@ impl Engine {
             shards: self.n_shards,
             sic_series: self.sic_series,
             errors,
+            remote_batches,
+            remote_sent_batches,
+            remote_shed_batches,
         }
     }
 }
@@ -1391,9 +1568,18 @@ mod tests {
             },
         );
         assert_eq!(report.errors.len(), 1, "errors: {:?}", report.errors);
-        assert_eq!(report.errors[0].shard, 0);
-        assert_eq!(report.errors[0].policy, "panic-on-node0");
-        assert!(report.errors[0].detail.contains("injected shedder fault"));
+        match &report.errors[0] {
+            EngineError::Shard {
+                shard,
+                policy,
+                detail,
+            } => {
+                assert_eq!(*shard, 0);
+                assert_eq!(policy, "panic-on-node0");
+                assert!(detail.contains("injected shedder fault"));
+            }
+            other => panic!("expected a shard error, got {other}"),
+        }
         // The surviving shard's node kept ticking and reported.
         assert!(report.nodes[1].ticks > 0, "survivor did not drain");
     }

@@ -1,0 +1,31 @@
+//! Standalone remote source pump: one process driving a partition of
+//! the canonical federated scenario's sources against an engine's TCP
+//! ingest listener.
+//!
+//! ```text
+//! source-pump --addr=127.0.0.1:7700 --part=0 --parts=4 --run-ms=6000
+//! ```
+//!
+//! Every scenario parameter (`--seed= --nodes= --queries= --rate=
+//! --batches= --capacity= --stw-ms= --warmup-ms= --duration-ms=`) must
+//! match the engine process; see `themis_workloads::remote::pump_main`.
+
+use std::process::exit;
+
+use themis_workloads::remote::pump_main;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pump_main(&args) {
+        Ok(stats) => {
+            eprintln!(
+                "source-pump: emitted {} batches, wrote {}, shed {}",
+                stats.emitted_batches, stats.sent_batches, stats.shed_batches
+            );
+        }
+        Err(e) => {
+            eprintln!("source-pump: {e}");
+            exit(1);
+        }
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod datasets;
+pub mod remote;
 pub mod scenario;
 pub mod sources;
 pub mod testbed;
@@ -39,6 +40,7 @@ pub mod traces;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::datasets::{Dataset, ValueGen};
+    pub use crate::remote::{run_remote_sources, RemotePumpStats};
     pub use crate::scenario::{Scenario, ScenarioBuilder};
     pub use crate::sources::{CycleShape, RatePattern, SharedLoad, SourceDriver, SourceProfile};
     pub use crate::testbed::{Testbed, EMULAB, LOCAL, WAN};

@@ -1,0 +1,392 @@
+//! Remote source pump: drives a partition of a scenario's sources from a
+//! *separate process* and ships their batches to an engine's ingest
+//! listener over TCP.
+//!
+//! Determinism is the whole point: the partition enumerates sources in
+//! the exact order the engine's own installer does (queries in scenario
+//! order, fragments in order, bindings in order) and seeds each driver
+//! with the same formula, so N source processes collectively emit the
+//! very tuple streams the in-process pump would have — the federated
+//! parity gate compares like with like. Both sides rebuild the scenario
+//! from the same parameters; nothing about placement or seeding crosses
+//! the wire.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use themis_core::prelude::Timestamp;
+use themis_net::codec::{NetError, WireBatch};
+use themis_net::transport::FragmentRouter;
+
+use crate::datasets::Dataset;
+use crate::scenario::{Scenario, ScenarioBuilder};
+use crate::sources::{SourceDriver, SourceProfile};
+
+pub use themis_net::codec::NetError as RemoteError;
+pub use themis_net::transport::NetConfig;
+
+/// Parameters of the canonical federated scenario. The engine process,
+/// every source-pump process and the in-process control arm all call
+/// [`build_federated_scenario`] with the *same* values, which is what
+/// guarantees identical query ids, placements and source seeds across
+/// process boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FederatedParams {
+    /// Scenario seed (drives placement and every source RNG).
+    pub seed: u64,
+    /// FSPS nodes.
+    pub nodes: usize,
+    /// Single-fragment `Avg` queries, placed round-robin.
+    pub queries: usize,
+    /// Per-source steady rate, tuples/second.
+    pub rate_tps: u32,
+    /// Emissions per second per source.
+    pub batches_per_sec: u32,
+    /// Declared per-node capacity, tuples/second (enforced in the
+    /// engine, so overload is deterministic).
+    pub capacity_tps: u32,
+    /// SIC tracker window, milliseconds.
+    pub stw_ms: u64,
+    /// Warm-up before sampling, milliseconds.
+    pub warmup_ms: u64,
+    /// Measured duration, milliseconds.
+    pub duration_ms: u64,
+}
+
+impl Default for FederatedParams {
+    fn default() -> Self {
+        FederatedParams {
+            seed: 20160626,
+            nodes: 4,
+            queries: 12,
+            rate_tps: 300,
+            batches_per_sec: 30,
+            capacity_tps: 600,
+            stw_ms: 1500,
+            warmup_ms: 2000,
+            duration_ms: 4000,
+        }
+    }
+}
+
+/// Aggregation window of the federated scenario's queries. Much shorter
+/// than the Table-1 second so each query lands several result records
+/// per STW: the parity gate compares windowed result-SIC sums, and with
+/// only one record per window a millisecond of transport skew could
+/// swing a sample by a whole record. At 250 ms the comparison averages
+/// over ~6 records per window and transport phase noise stays well
+/// inside the gate's 2% tolerance.
+pub const FEDERATED_WINDOW_MS: u64 = 250;
+
+/// Builds the canonical federated scenario: `queries` steady short-window
+/// `AVG` queries over `nodes` nodes at 1.5× default overload, uniform
+/// data.
+pub fn build_federated_scenario(p: &FederatedParams) -> Scenario {
+    use themis_core::prelude::TimeDelta;
+    use themis_query::prelude::{AggFunc, QueryDef, StreamDef};
+    let query = QueryDef::aggregate(AggFunc::Avg, "value")
+        .from_stream(StreamDef::new("src", 1))
+        .named("AVG-fed")
+        .window(TimeDelta::from_millis(FEDERATED_WINDOW_MS))
+        .validate()
+        .expect("federated query is valid by construction");
+    ScenarioBuilder::new("federated", p.seed)
+        .nodes(p.nodes)
+        .capacity_tps(p.capacity_tps)
+        .stw_window(TimeDelta::from_millis(p.stw_ms))
+        .warmup(TimeDelta::from_millis(p.warmup_ms))
+        .duration(TimeDelta::from_millis(p.duration_ms))
+        .add_query_defs(
+            &query,
+            p.queries,
+            SourceProfile::steady(p.rate_tps, p.batches_per_sec, Dataset::Uniform),
+        )
+        .build()
+        .expect("valid federated scenario")
+}
+
+/// Parses the `--key=value` flags of a source-pump process and runs the
+/// remote pump to completion. Shared by the standalone `source-pump`
+/// binary and the hidden child mode of the bench `experiments` binary,
+/// so a forked child behaves identically whichever binary hosts it.
+///
+/// Required: `--addr=HOST:PORT`, `--run-ms=N`. Optional: `--part=`,
+/// `--parts=`, `--peer=`, `--start-unix-us=` (a shared wall-clock
+/// timeline anchor, microseconds since the Unix epoch — see
+/// [`run_remote_sources`]'s `start_at`), and every [`FederatedParams`]
+/// field as `--seed= --nodes= --queries= --rate= --batches=
+/// --capacity= --stw-ms= --warmup-ms= --duration-ms=`.
+pub fn pump_main(args: &[String]) -> Result<RemotePumpStats, String> {
+    let mut addr: Option<String> = None;
+    let mut run_ms: Option<u64> = None;
+    let mut part = 0usize;
+    let mut parts = 1usize;
+    let mut peer: Option<String> = None;
+    let mut start_unix_us: Option<u64> = None;
+    let mut p = FederatedParams::default();
+    for arg in args {
+        let (key, value) = match arg.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => return Err(format!("malformed pump flag {arg} (expected --key=value)")),
+        };
+        let uint = || {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("flag {key} needs an unsigned integer, got {value}"))
+        };
+        match key {
+            "--addr" => addr = Some(value.to_string()),
+            "--peer" => peer = Some(value.to_string()),
+            "--run-ms" => run_ms = Some(uint()?),
+            "--part" => part = uint()? as usize,
+            "--parts" => parts = (uint()? as usize).max(1),
+            "--start-unix-us" => start_unix_us = Some(uint()?),
+            "--seed" => p.seed = uint()?,
+            "--nodes" => p.nodes = uint()? as usize,
+            "--queries" => p.queries = uint()? as usize,
+            "--rate" => p.rate_tps = uint()? as u32,
+            "--batches" => p.batches_per_sec = uint()? as u32,
+            "--capacity" => p.capacity_tps = uint()? as u32,
+            "--stw-ms" => p.stw_ms = uint()?,
+            "--warmup-ms" => p.warmup_ms = uint()?,
+            "--duration-ms" => p.duration_ms = uint()?,
+            other => return Err(format!("unknown pump flag {other}")),
+        }
+    }
+    let addr = addr.ok_or("missing required pump flag --addr=HOST:PORT")?;
+    let run_ms = run_ms.ok_or("missing required pump flag --run-ms=N")?;
+    let peer = peer.unwrap_or_else(|| format!("source-pump-{part}"));
+    let start_at = start_unix_us.map(|at| std::time::UNIX_EPOCH + Duration::from_micros(at));
+    let scenario = build_federated_scenario(&p);
+    run_remote_sources(
+        &scenario,
+        part,
+        parts,
+        &addr,
+        &peer,
+        &NetConfig::default(),
+        Duration::from_millis(run_ms),
+        start_at,
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// One driven source plus its wire-routing header.
+struct RemoteSource {
+    driver: SourceDriver,
+    node: u32,
+    fragment: u32,
+}
+
+/// Final accounting of one remote pump run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RemotePumpStats {
+    /// Batches emitted by the drivers.
+    pub emitted_batches: u64,
+    /// Batches actually written to the socket.
+    pub sent_batches: u64,
+    /// Batches shed oldest-first from the full send queue.
+    pub shed_batches: u64,
+}
+
+/// Enumerates the scenario's source bindings in installer order and
+/// keeps every `parts`-th one starting at `part`. The seed formula
+/// matches the engine's installer, so a partitioned federation emits
+/// bit-identical streams to the in-process pump.
+fn partition_sources(scenario: &Scenario, part: usize, parts: usize) -> Vec<RemoteSource> {
+    let mut out = Vec::new();
+    let mut index = 0usize;
+    for q in &scenario.queries {
+        for fi in 0..q.n_fragments() {
+            let node = scenario
+                .deployment
+                .node_of(q.id, fi)
+                .expect("validated deployment")
+                .index();
+            for b in &q.fragments[fi].sources {
+                let mine = index % parts == part;
+                index += 1;
+                if !mine {
+                    continue;
+                }
+                let si = q
+                    .sources
+                    .iter()
+                    .position(|s| s.id == b.source)
+                    .expect("bound source declared");
+                let seed = scenario.seed ^ (b.source.0 as u64).wrapping_mul(0x9E37_79B9);
+                out.push(RemoteSource {
+                    driver: SourceDriver::new(
+                        q.id,
+                        &q.sources[si],
+                        scenario.profiles[&b.source],
+                        seed,
+                    ),
+                    node: node as u32,
+                    fragment: fi as u32,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Drives partition `part` of `parts` of the scenario's sources against
+/// the engine ingest listener at `addr` for `run_for` wall time (from
+/// the timeline epoch), then closes with a bye carrying the exact
+/// sent/shed accounting. `peer` names this process in the engine's
+/// error reports.
+///
+/// `start_at`, when given, anchors the pump's timeline epoch to a
+/// shared wall-clock instant — typically the moment the engine process
+/// started. An anchor still in the future is slept to; one already in
+/// the past back-dates the epoch and the drivers fast-forward over the
+/// missed emissions. Either way every pump in a federation (and the
+/// engine they feed) shares one schedule epoch, so the cross-partition
+/// interleaving order-sensitive shedding policies see matches the
+/// in-process pump's. Without an anchor the epoch is simply now.
+///
+/// The emission loop is the engine pump's: a due-heap ordered by each
+/// driver's next emission time, wall-clock paced, with
+/// [`SourceDriver::fast_forward`] re-anchoring any driver that fell more
+/// than a full interval behind, so an overloaded pump degrades its rate
+/// instead of storming catch-up batches.
+#[allow(clippy::too_many_arguments)]
+pub fn run_remote_sources(
+    scenario: &Scenario,
+    part: usize,
+    parts: usize,
+    addr: &str,
+    peer: &str,
+    cfg: &NetConfig,
+    run_for: Duration,
+    start_at: Option<std::time::SystemTime>,
+) -> Result<RemotePumpStats, NetError> {
+    const MAX_SWEEP: usize = 4096;
+    let mut sources = partition_sources(scenario, part, parts.max(1));
+    let router = FragmentRouter::connect(&[addr.to_string()], peer, cfg)?;
+    let epoch = match start_at {
+        Some(target) => {
+            while let Ok(rem) = target.duration_since(std::time::SystemTime::now()) {
+                if rem.is_zero() {
+                    break;
+                }
+                thread::sleep(rem.min(Duration::from_millis(5)));
+            }
+            // Back-date the epoch by however far past the anchor we are
+            // (process spawn latency): the due-heap fast-forwards the
+            // drivers straight onto the shared timeline.
+            match std::time::SystemTime::now().duration_since(target) {
+                Ok(behind) => Instant::now() - behind,
+                Err(_) => Instant::now(),
+            }
+        }
+        None => Instant::now(),
+    };
+    let deadline = epoch + run_for;
+    let mut due: BinaryHeap<Reverse<(u64, usize)>> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Reverse((s.driver.next_time().0, i)))
+        .collect();
+    let mut emitted = 0u64;
+    loop {
+        let now_wall = Instant::now();
+        if now_wall >= deadline {
+            break;
+        }
+        let now = Timestamp(now_wall.duration_since(epoch).as_micros() as u64);
+        let mut sweep = 0usize;
+        while let Some(&Reverse((at, i))) = due.peek() {
+            if at > now.0 || sweep >= MAX_SWEEP {
+                break;
+            }
+            due.pop();
+            sweep += 1;
+            let s = &mut sources[i];
+            s.driver.fast_forward(now);
+            let batch = s.driver.emit();
+            emitted += 1;
+            router.send_batch(&WireBatch {
+                node: s.node,
+                query: batch.query(),
+                fragment: s.fragment,
+                source: s.driver.source,
+                created: batch.created(),
+                batch: batch.into_data(),
+            });
+            due.push(Reverse((s.driver.next_time().0, i)));
+        }
+        // Sleep until the next due emission (like the engine's own
+        // pump), not a fixed poll beat: quantising emissions to a coarse
+        // tick would shift batches across the engine's shedding-tick
+        // boundaries relative to the in-process timeline.
+        let next = due
+            .peek()
+            .map(|&Reverse((at, _))| epoch + Duration::from_micros(at))
+            .unwrap_or(deadline)
+            .min(deadline);
+        let pause = next.saturating_duration_since(Instant::now());
+        if !pause.is_zero() {
+            thread::sleep(pause);
+        }
+    }
+    let send = router.close()?;
+    Ok(RemotePumpStats {
+        emitted_batches: emitted,
+        sent_batches: send.sent_batches,
+        shed_batches: send.shed_batches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_query::prelude::Template;
+
+    fn scenario(seed: u64) -> Scenario {
+        ScenarioBuilder::new("remote-test", seed)
+            .nodes(2)
+            .add_queries(
+                Template::Avg,
+                4,
+                SourceProfile::steady(100, 10, Dataset::Uniform),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn partitions_cover_every_source_exactly_once() {
+        let s = scenario(9);
+        let total: usize = s.queries.iter().map(|q| q.sources.len()).sum();
+        let parts = 3;
+        let mut seen = 0usize;
+        for p in 0..parts {
+            seen += partition_sources(&s, p, parts).len();
+        }
+        assert_eq!(seen, total);
+    }
+
+    #[test]
+    fn partition_matches_installer_seeding() {
+        let s = scenario(20160626);
+        let all = partition_sources(&s, 0, 1);
+        // Every driver's first emission must match a fresh driver built
+        // with the engine installer's seed formula — same phase, same
+        // schedule.
+        for rs in &all {
+            let q = s.queries.iter().find(|q| q.id == rs.driver.query).unwrap();
+            let spec = q
+                .sources
+                .iter()
+                .find(|sp| sp.id == rs.driver.source)
+                .unwrap();
+            let seed = s.seed ^ (spec.id.0 as u64).wrapping_mul(0x9E37_79B9);
+            let fresh = SourceDriver::new(q.id, spec, s.profiles[&spec.id], seed);
+            assert_eq!(fresh.next_time(), rs.driver.next_time());
+        }
+    }
+}
